@@ -1,0 +1,498 @@
+(** The benchmark harness: one experiment per performance claim in the
+    paper's discussion (see DESIGN.md's experiment index and
+    EXPERIMENTS.md for measured results).
+
+    The paper (PLDI 2013) reports no absolute numbers; its performance
+    statements are qualitative (Sec. 5).  Each experiment below
+    regenerates the quantitative series behind one such statement:
+
+    - B1 [fig1_render]      — render cost vs. box count ("recreating
+      the entire box tree on a redraw can become slow if there are
+      many boxes on the screen");
+    - B2 [update_latency]   — the cost of one live edit: compile,
+      UPDATE (typecheck + fixup), re-render ("continuously
+      type-checked, compiled, and executed");
+    - B3 [live_vs_restart]  — edit-to-feedback latency of the live
+      UPDATE transition vs. the conventional restart-and-replay cycle
+      (Sec. 2's archery-vs-hose contrast), vs. trace length;
+    - B4 [incremental]      — full re-layout vs. the box-tree-reuse
+      cache (Sec. 5's proposed optimization), vs. page size;
+    - B5 [typecheck]        — type-and-effect checking throughput vs.
+      program size;
+    - B6 [event_throughput] — steady-state TAP -> THUNK -> RENDER
+      cycles;
+    - B7 [fixup_cost]       — the Fig. 12 store fix-up vs. store size.
+
+    Output: one table per experiment, estimated ns (or µs/ms) per
+    operation from Bechamel's OLS fit against the run count. *)
+
+open Bechamel
+open Toolkit
+
+let ok_machine = function
+  | Ok v -> v
+  | Error e -> failwith (Live_core.Machine.error_to_string e)
+
+let compile src =
+  match Live_surface.Compile.compile src with
+  | Ok c -> c
+  | Error e -> failwith (Live_surface.Compile.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let quota =
+  match Sys.getenv_opt "BENCH_QUOTA" with
+  | Some s -> float_of_string s
+  | None -> 0.5
+
+let run_tests (tests : Test.t) : (string * float) list =
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | _ -> Float.nan
+      in
+      (name, est) :: acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_time ns =
+  if Float.is_nan ns then "n/a"
+  else if ns < 1e3 then Printf.sprintf "%8.1f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%8.2f s " (ns /. 1e9)
+
+let header title claim =
+  Printf.printf "\n=== %s ===\n%s\n%s\n" title claim (String.make 72 '-')
+
+let print_rows rows =
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-44s %s\n" name (pp_time est))
+    rows
+
+let run_experiment title claim (tests : Test.t) : (string * float) list =
+  header title claim;
+  let rows = run_tests tests in
+  print_rows rows;
+  rows
+
+let find rows name = try List.assoc name rows with Not_found -> Float.nan
+
+(* ------------------------------------------------------------------ *)
+(* B1: render scaling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let b1 () =
+  let sizes = [ 10; 50; 100; 250; 500; 1000 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        (* a mortgage start page with n listings in the model *)
+        let core = Live_workloads.Mortgage.core ~listings:n () in
+        let st = ok_machine (Live_core.Machine.boot core) in
+        let invalid = Live_core.State.invalidate st in
+        let display =
+          match st.Live_core.State.display with
+          | Live_core.State.Shown b -> b
+          | Live_core.State.Invalid -> failwith "no display"
+        in
+        [
+          Test.make
+            ~name:(Printf.sprintf "eval-render/listings=%04d" n)
+            (Staged.stage (fun () ->
+                 ok_machine (Live_core.Machine.render invalid)));
+          Test.make
+            ~name:(Printf.sprintf "layout+paint/listings=%04d" n)
+            (Staged.stage (fun () ->
+                 Live_ui.Render.screenshot ~width:48 display));
+        ])
+      sizes
+  in
+  let rows =
+    run_experiment "B1: fig1_render — render cost vs. box count"
+      "Claim (Sec. 5): rebuilding the whole box tree on a redraw scales \
+       with the number of boxes on the screen (linear here)."
+      (Test.make_grouped ~name:"b1" tests)
+  in
+  let t100 = find rows "b1/eval-render/listings=0100" in
+  let t1000 = find rows "b1/eval-render/listings=1000" in
+  Printf.printf
+    "  -> eval-render grows %.1fx from 100 to 1000 listings (linear ~ 10x)\n"
+    (t1000 /. t100);
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* B2: the cost of one live edit                                       *)
+(* ------------------------------------------------------------------ *)
+
+let b2 () =
+  let sizes = [ 10; 100; 500 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let src = Live_workloads.Mortgage.source ~listings:n () in
+        let c' = compile (Live_workloads.Mortgage.source ~listings:n ~i3:true ()) in
+        let st =
+          ok_machine
+            (Live_core.Machine.boot
+               (Live_workloads.Mortgage.core ~listings:n ()))
+        in
+        [
+          Test.make
+            ~name:(Printf.sprintf "compile/listings=%03d" n)
+            (Staged.stage (fun () -> compile src));
+          Test.make
+            ~name:(Printf.sprintf "update+fixup/listings=%03d" n)
+            (Staged.stage (fun () ->
+                 ok_machine
+                   (Live_core.Machine.update c'.Live_surface.Compile.core st)));
+          Test.make
+            ~name:(Printf.sprintf "update+rerender/listings=%03d" n)
+            (Staged.stage (fun () ->
+                 let st' =
+                   ok_machine
+                     (Live_core.Machine.update c'.Live_surface.Compile.core
+                        st)
+                 in
+                 ok_machine (Live_core.Machine.run_to_stable st')));
+        ])
+      sizes
+  in
+  let rows =
+    run_experiment "B2: update_latency — one live edit, end to end"
+      "Claim (Sec. 3): code is continuously type-checked, compiled and \
+       executed; the edit loop stays interactive.  Re-render dominates; \
+       UPDATE's typecheck+fixup is cheap."
+      (Test.make_grouped ~name:"b2" tests)
+  in
+  let fx = find rows "b2/update+fixup/listings=500" in
+  let rr = find rows "b2/update+rerender/listings=500" in
+  Printf.printf
+    "  -> at 500 listings, re-render is %.0fx the cost of UPDATE's \
+     typecheck+fixup\n"
+    (rr /. fx);
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* B3: live UPDATE vs. restart + trace replay                          *)
+(* ------------------------------------------------------------------ *)
+
+let b3 () =
+  (* a counter app; the user has tapped T times before the edit *)
+  let v1 = compile Live_workloads.Counter.source in
+  let v2 =
+    compile
+      (Printf.sprintf "%s\n// trivial edit\n" Live_workloads.Counter.source)
+  in
+  let traces = [ 1; 8; 32; 128 ] in
+  let tests =
+    List.concat_map
+      (fun t ->
+        (* state after T taps, and the recorded trace *)
+        let session =
+          ok_machine
+            (Live_runtime.Session.create ~width:24
+               v1.Live_surface.Compile.core)
+        in
+        for _ = 1 to t do
+          ignore (ok_machine (Live_runtime.Session.tap session ~x:2 ~y:1))
+        done;
+        let st = Live_runtime.Session.state session in
+        let trace = Live_runtime.Session.trace session in
+        [
+          Test.make
+            ~name:(Printf.sprintf "live-update/trace=%03d" t)
+            (Staged.stage (fun () ->
+                 let st' =
+                   ok_machine
+                     (Live_core.Machine.update v2.Live_surface.Compile.core
+                        st)
+                 in
+                 ok_machine (Live_core.Machine.run_to_stable st')));
+          Test.make
+            ~name:(Printf.sprintf "restart+replay/trace=%03d" t)
+            (Staged.stage (fun () ->
+                 let fresh =
+                   ok_machine
+                     (Live_runtime.Session.create ~width:24
+                        v2.Live_surface.Compile.core)
+                 in
+                 match Live_baseline.Restart_runtime.replay fresh trace with
+                 | Ok o -> o
+                 | Error e ->
+                     failwith
+                       (Live_baseline.Restart_runtime.error_to_string e)));
+        ])
+      traces
+  in
+  let rows =
+    run_experiment "B3: live_vs_restart — edit-to-feedback latency"
+      "Claim (Secs. 1-2): the live UPDATE transition costs one re-render \
+       regardless of history; the conventional cycle replays the whole \
+       interaction trace, so its cost grows with it."
+      (Test.make_grouped ~name:"b3" tests)
+  in
+  List.iter
+    (fun t ->
+      let live = find rows (Printf.sprintf "b3/live-update/trace=%03d" t) in
+      let restart =
+        find rows (Printf.sprintf "b3/restart+replay/trace=%03d" t)
+      in
+      Printf.printf "  -> trace=%3d: restart/live = %.1fx\n" t
+        (restart /. live))
+    traces;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* B4: incremental re-layout                                           *)
+(* ------------------------------------------------------------------ *)
+
+let b4 () =
+  let sizes = [ 50; 200; 800 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let core =
+          (Live_workloads.Synthetic.compile_exn
+             (Live_workloads.Synthetic.flat_rows ~n))
+            .Live_surface.Compile.core
+        in
+        let st = ok_machine (Live_core.Machine.boot core) in
+        let display st =
+          match st.Live_core.State.display with
+          | Live_core.State.Shown b -> b
+          | Live_core.State.Invalid -> failwith "no display"
+        in
+        let d0 = display st in
+        (* a tap moved the selection highlight by one row *)
+        let st1 =
+          let handler = List.nth (Live_core.Boxcontent.handlers d0) 1 in
+          ok_machine
+            (Result.bind
+               (Live_core.Machine.tap st ~handler)
+               Live_core.Machine.run_to_stable)
+        in
+        let d1 = display st1 in
+        let warm = Live_ui.Layout.create_cache () in
+        ignore (Live_ui.Layout.layout_page ~cache:warm ~width:48 d0);
+        [
+          Test.make
+            ~name:(Printf.sprintf "full-layout/rows=%03d" n)
+            (Staged.stage (fun () -> Live_ui.Layout.layout_page ~width:48 d1));
+          Test.make
+            ~name:(Printf.sprintf "cached-layout/rows=%03d" n)
+            (Staged.stage (fun () ->
+                 Live_ui.Layout.layout_page ~cache:warm ~width:48 d1));
+        ])
+      sizes
+  in
+  let rows =
+    run_experiment "B4: incremental_rerender — reuse of unchanged subtrees"
+      "Claim (Sec. 5): 'a simple optimization where we can reuse box tree \
+       elements that have not changed' pays off when few boxes change \
+       between frames (here: a selection highlight moved by one row)."
+      (Test.make_grouped ~name:"b4" tests)
+  in
+  List.iter
+    (fun n ->
+      let full = find rows (Printf.sprintf "b4/full-layout/rows=%03d" n) in
+      let inc = find rows (Printf.sprintf "b4/cached-layout/rows=%03d" n) in
+      Printf.printf "  -> rows=%3d: full/cached = %.1fx\n" n (full /. inc))
+    sizes;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* B5: type-and-effect checking throughput                             *)
+(* ------------------------------------------------------------------ *)
+
+let b5 () =
+  let sizes = [ 10; 50; 200 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let src = Live_workloads.Synthetic.many_functions ~n in
+        let core = (Live_workloads.Synthetic.compile_exn src).core in
+        [
+          Test.make
+            ~name:(Printf.sprintf "surface-check/functions=%03d" n)
+            (Staged.stage (fun () ->
+                 match Live_surface.Compile.check src with
+                 | Ok _ -> ()
+                 | Error _ -> failwith "check failed"));
+          Test.make
+            ~name:(Printf.sprintf "core-check/functions=%03d" n)
+            (Staged.stage (fun () ->
+                 match Live_core.State_typing.check_code core with
+                 | Ok () -> ()
+                 | Error m -> failwith m));
+        ])
+      sizes
+    @ [
+        (let core = Live_workloads.Mortgage.core () in
+         Test.make ~name:"core-check/mortgage"
+           (Staged.stage (fun () ->
+                match Live_core.State_typing.check_code core with
+                | Ok () -> ()
+                | Error m -> failwith m)));
+      ]
+  in
+  run_experiment "B5: typecheck_throughput — continuous checking"
+    "Claim (Sec. 3): the program is continuously type-checked as the \
+     programmer edits; Fig. 10/11 checking must be far cheaper than a \
+     frame."
+    (Test.make_grouped ~name:"b5" tests)
+
+(* ------------------------------------------------------------------ *)
+(* B6: steady-state interaction                                        *)
+(* ------------------------------------------------------------------ *)
+
+let b6 () =
+  let apps =
+    [
+      ("counter", Live_workloads.Counter.core ());
+      ("todo", Live_workloads.Todo.core ());
+      ( "flat100",
+        (Live_workloads.Synthetic.compile_exn
+           (Live_workloads.Synthetic.flat_rows ~n:100))
+          .core );
+    ]
+  in
+  let tests =
+    List.map
+      (fun (name, core) ->
+        let st = ok_machine (Live_core.Machine.boot core) in
+        Test.make ~name:("tap-cycle/" ^ name)
+          (Staged.stage (fun () ->
+               let st' = ok_machine (Live_core.Machine.tap_first st) in
+               ok_machine (Live_core.Machine.run_to_stable st'))))
+      apps
+  in
+  run_experiment "B6: event_throughput — TAP -> THUNK -> RENDER cycles"
+    "Steady-state interaction cost: one user tap including handler \
+     execution and the full re-render of the page."
+    (Test.make_grouped ~name:"b6" tests)
+
+(* ------------------------------------------------------------------ *)
+(* B7: fix-up cost                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let b7 () =
+  let sizes = [ 10; 100; 1000 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let src = Live_workloads.Synthetic.many_globals ~n in
+        let core = (Live_workloads.Synthetic.compile_exn src).core in
+        let st =
+          ok_machine
+            (Result.bind (Live_core.Machine.boot core)
+               Live_core.Machine.run_to_stable)
+        in
+        (* new code keeps only the first half of the globals: the rest
+           of the store is deleted by S-SKIP *)
+        let half = Live_workloads.Synthetic.many_globals ~n:(n / 2) in
+        let half_core = (Live_workloads.Synthetic.compile_exn half).core in
+        [
+          Test.make
+            ~name:(Printf.sprintf "fixup-keep-all/globals=%04d" n)
+            (Staged.stage (fun () ->
+                 Live_core.Fixup.fixup_store core st.Live_core.State.store));
+          Test.make
+            ~name:(Printf.sprintf "fixup-drop-half/globals=%04d" n)
+            (Staged.stage (fun () ->
+                 Live_core.Fixup.fixup_store half_core
+                   st.Live_core.State.store));
+        ])
+      sizes
+  in
+  run_experiment "B7: fixup_cost — Fig. 12's store fix-up"
+    "The UPDATE transition re-checks every store binding against the new \
+     code ('it just deletes whatever does not type'); linear in the \
+     store, cheap in absolute terms."
+    (Test.make_grouped ~name:"b7" tests)
+
+(* ------------------------------------------------------------------ *)
+(* B8: end-to-end ablation of the incremental layout cache             *)
+(* ------------------------------------------------------------------ *)
+
+let b8 () =
+  let sizes = [ 100; 400 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let core =
+          (Live_workloads.Synthetic.compile_exn
+             (Live_workloads.Synthetic.flat_rows ~n))
+            .Live_surface.Compile.core
+        in
+        let session incremental =
+          ok_machine (Live_runtime.Session.create ~width:48 ~incremental core)
+        in
+        let plain = session false in
+        let cached = session true in
+        (* warm both *)
+        ignore (Live_runtime.Session.screenshot plain);
+        ignore (Live_runtime.Session.screenshot cached);
+        let cycle s =
+          (* one full user interaction: tap a row, restabilise, repaint *)
+          ignore (ok_machine (Live_runtime.Session.tap s ~x:2 ~y:7));
+          ignore (Live_runtime.Session.screenshot s)
+        in
+        [
+          Test.make
+            ~name:(Printf.sprintf "session-plain/rows=%03d" n)
+            (Staged.stage (fun () -> cycle plain));
+          Test.make
+            ~name:(Printf.sprintf "session-incremental/rows=%03d" n)
+            (Staged.stage (fun () -> cycle cached));
+        ])
+      sizes
+  in
+  let rows =
+    run_experiment
+      "B8: session ablation — the cache in the full interaction loop"
+      "End-to-end effect of the Sec. 5 optimization on a whole user \
+       interaction (tap + handler + re-render + re-layout + paint), \
+       rather than on layout in isolation (B4)."
+      (Test.make_grouped ~name:"b8" tests)
+  in
+  List.iter
+    (fun n ->
+      let plain = find rows (Printf.sprintf "b8/session-plain/rows=%03d" n) in
+      let inc =
+        find rows (Printf.sprintf "b8/session-incremental/rows=%03d" n)
+      in
+      Printf.printf "  -> rows=%3d: plain/incremental = %.2fx\n" n
+        (plain /. inc))
+    sizes;
+  rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf
+    "itsalive benchmark harness — regenerating the paper's performance \
+     discussion\n";
+  Printf.printf "(quota per point: %.2fs; set BENCH_QUOTA to change)\n" quota;
+  let _ = b1 () in
+  let _ = b2 () in
+  let _ = b3 () in
+  let _ = b4 () in
+  let _ = b5 () in
+  let _ = b6 () in
+  let _ = b7 () in
+  let _ = b8 () in
+  Printf.printf "\nDone. See EXPERIMENTS.md for interpretation.\n"

@@ -1,0 +1,302 @@
+(** [liveui] — run, render, check, and live-edit programs from the
+    command line.
+
+    {v
+      liveui render FILE [--width W] [--plain]     one-shot screenshot
+      liveui check FILE                            typecheck only
+      liveui dump-core FILE                        print the lowered calculus
+      liveui run FILE [--width W]                  interactive session
+      liveui demo NAME                             render a bundled workload
+    v}
+
+    The interactive session reads commands from stdin:
+
+    {v
+      tap X Y       tap the display at column X, row Y
+      back          the back button
+      reload        re-read FILE and apply it as a live UPDATE
+      select X Y    show the boxed statement that made the box at (X,Y)
+      source        print the current program source
+      state         print the formal system state (C,D,S,P,Q)
+      quit
+    v}
+
+    Editing FILE in another window and typing [reload] is the
+    two-pane live-programming experience of Fig. 2, at teletype
+    fidelity. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline (Live_surface.Compile.error_to_string e);
+      exit 1
+
+let or_die_machine = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline (Live_core.Machine.error_to_string e);
+      exit 1
+
+(* -- arguments ------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+       ~doc:"Program source (.live).")
+
+let width_arg =
+  Arg.(value & opt int 48 & info [ "width"; "w" ] ~docv:"W"
+       ~doc:"Display width in character cells.")
+
+let plain_arg =
+  Arg.(value & flag & info [ "plain" ]
+       ~doc:"Plain text output (no ANSI colors).")
+
+(* -- render ---------------------------------------------------------- *)
+
+let render_cmd =
+  let run file width plain =
+    let c = or_die (Live_surface.Compile.compile (read_file file)) in
+    let session =
+      or_die_machine
+        (Live_runtime.Session.create ~width c.Live_surface.Compile.core)
+    in
+    print_string
+      (if plain then Live_runtime.Session.screenshot session
+       else Live_runtime.Session.screenshot_ansi session)
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Compile, boot, and print one screenshot.")
+    Term.(const run $ file_arg $ width_arg $ plain_arg)
+
+(* -- check ----------------------------------------------------------- *)
+
+let check_cmd =
+  let run file =
+    match Live_surface.Compile.compile (read_file file) with
+    | Ok c ->
+        let p = c.Live_surface.Compile.core in
+        Printf.printf
+          "OK: %d definition(s) (%d globals, %d functions, %d pages)\n"
+          (List.length (Live_core.Program.defs p))
+          (List.length (Live_core.Program.globals p))
+          (List.length (Live_core.Program.functions p))
+          (List.length (Live_core.Program.pages p))
+    | Error e ->
+        prerr_endline (Live_surface.Compile.error_to_string e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Type-and-effect check a program.")
+    Term.(const run $ file_arg)
+
+(* -- dump-core -------------------------------------------------------- *)
+
+let dump_core_cmd =
+  let run file =
+    let c = or_die (Live_surface.Compile.compile (read_file file)) in
+    Fmt.pr "%a@." Live_core.Program.pp c.Live_surface.Compile.core
+  in
+  Cmd.v
+    (Cmd.info "dump-core"
+       ~doc:"Print the program lowered to the Fig. 6 calculus.")
+    Term.(const run $ file_arg)
+
+(* -- demo ------------------------------------------------------------- *)
+
+let demo_cmd =
+  let demos =
+    [
+      ("mortgage", fun () -> Live_workloads.Mortgage.source ());
+      ("counter", fun () -> Live_workloads.Counter.source);
+      ("todo", fun () -> Live_workloads.Todo.source);
+      ("gallery", fun () -> Live_workloads.Gallery.source);
+      ("calculator", fun () -> Live_workloads.Calculator.source);
+    ]
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) demos)))
+           None
+         & info [] ~docv:"NAME"
+             ~doc:"One of: mortgage, counter, todo, gallery, calculator.")
+  in
+  let source_flag =
+    Arg.(value & flag & info [ "source" ] ~doc:"Print the source instead.")
+  in
+  let run name width plain source =
+    let src = (List.assoc name demos) () in
+    if source then print_string src
+    else begin
+      let c = or_die (Live_surface.Compile.compile src) in
+      let session =
+        or_die_machine
+          (Live_runtime.Session.create ~width c.Live_surface.Compile.core)
+      in
+      print_string
+        (if plain then Live_runtime.Session.screenshot session
+         else Live_runtime.Session.screenshot_ansi session)
+    end
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Render one of the bundled example programs.")
+    Term.(const run $ name_arg $ width_arg $ plain_arg $ source_flag)
+
+(* -- run (interactive) ------------------------------------------------ *)
+
+let run_cmd =
+  let run file width plain =
+    let show (ls : Live_runtime.Live_session.t) =
+      print_string
+        (if plain then Live_runtime.Live_session.screenshot ls
+         else Live_runtime.Live_session.screenshot_ansi ls)
+    in
+    let ls =
+      match Live_runtime.Live_session.create ~width (read_file file) with
+      | Ok ls -> ls
+      | Error e ->
+          prerr_endline (Live_runtime.Live_session.error_to_string e);
+          exit 1
+    in
+    show ls;
+    print_endline
+      "commands: tap X Y | back | reload | select X Y | probe EXPR | source \
+       | state | quit";
+    let rec loop () =
+      print_string "> ";
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line -> (
+          let words =
+            String.split_on_char ' ' (String.trim line)
+            |> List.filter (fun w -> w <> "")
+          in
+          match words with
+          | [] -> loop ()
+          | [ "quit" ] | [ "q" ] -> ()
+          | [ "tap"; x; y ] -> (
+              match (int_of_string_opt x, int_of_string_opt y) with
+              | Some x, Some y ->
+                  (match Live_runtime.Live_session.tap ls ~x ~y with
+                  | Ok Live_runtime.Session.Tapped -> show ls
+                  | Ok Live_runtime.Session.No_handler ->
+                      print_endline "(nothing tappable there)"
+                  | Error e ->
+                      print_endline
+                        (Live_runtime.Live_session.error_to_string e));
+                  loop ()
+              | _ ->
+                  print_endline "usage: tap X Y";
+                  loop ())
+          | [ "back" ] ->
+              (match Live_runtime.Live_session.back ls with
+              | Ok () -> show ls
+              | Error e ->
+                  print_endline (Live_runtime.Live_session.error_to_string e));
+              loop ()
+          | [ "reload" ] ->
+              (match Live_runtime.Live_session.edit ls (read_file file) with
+              | Ok outcome ->
+                  let r = outcome.Live_runtime.Live_session.report in
+                  if r.Live_core.Fixup.dropped_globals <> [] then
+                    Printf.printf "(reset globals: %s)\n"
+                      (String.concat ", " r.Live_core.Fixup.dropped_globals);
+                  if r.Live_core.Fixup.dropped_pages <> [] then
+                    Printf.printf "(dropped pages: %s)\n"
+                      (String.concat ", " r.Live_core.Fixup.dropped_pages);
+                  show ls
+              | Error e ->
+                  print_endline
+                    ("edit rejected; still running the previous version: "
+                    ^ Live_runtime.Live_session.error_to_string e));
+              loop ()
+          | [ "select"; x; y ] -> (
+              match (int_of_string_opt x, int_of_string_opt y) with
+              | Some x, Some y ->
+                  (match Live_runtime.Live_session.select_box ls ~x ~y with
+                  | Some sel ->
+                      Printf.printf "%s:\n%s\n"
+                        (Live_surface.Loc.to_string
+                           sel.Live_runtime.Navigation.span)
+                        sel.Live_runtime.Navigation.text
+                  | None -> print_endline "(no box there)");
+                  loop ()
+              | _ ->
+                  print_endline "usage: select X Y";
+                  loop ())
+          | "probe" :: rest when rest <> [] ->
+              (match
+                 Live_runtime.Probe.probe_source ls (String.concat " " rest)
+               with
+              | Ok r -> print_string r.Live_runtime.Probe.screenshot
+              | Error e ->
+                  print_endline (Live_runtime.Probe.error_to_string e));
+              loop ()
+          | [ "source" ] ->
+              print_string (Live_runtime.Live_session.source ls);
+              loop ()
+          | [ "state" ] ->
+              Fmt.pr "%a@."
+                Live_core.State.pp
+                (Live_runtime.Session.state
+                   (Live_runtime.Live_session.session ls));
+              loop ()
+          | _ ->
+              print_endline "unknown command";
+              loop ())
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a program interactively; edit the file elsewhere and type \
+          'reload' for live updates.")
+    Term.(const run $ file_arg $ width_arg $ plain_arg)
+
+(* -- step ------------------------------------------------------------- *)
+
+let step_cmd =
+  let expr_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR"
+         ~doc:"Expression to reduce, in surface syntax.")
+  in
+  let limit_arg =
+    Arg.(value & opt int 100 & info [ "limit" ] ~docv:"N"
+         ~doc:"Maximum number of small steps to show.")
+  in
+  let run file expr limit =
+    let c = or_die (Live_surface.Compile.compile (read_file file)) in
+    match Live_runtime.Stepper.trace_source ~limit c expr with
+    | Ok t -> print_string (Live_runtime.Stepper.to_string t)
+    | Error m ->
+        prerr_endline m;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "step"
+       ~doc:
+         "Trace an expression through the Fig. 8 small-step machine, \
+          one numbered reduction per line.")
+    Term.(const run $ file_arg $ expr_arg $ limit_arg)
+
+(* -- main ------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "liveui" ~version:"1.0.0"
+      ~doc:
+        "Live UI programming: an implementation of 'It's Alive! \
+         Continuous Feedback in UI Programming' (PLDI 2013)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ render_cmd; check_cmd; dump_core_cmd; run_cmd; demo_cmd; step_cmd ]))

@@ -1,0 +1,1 @@
+examples/live_demo.ml: Fmt Live_baseline Live_runtime Live_surface Printf

@@ -1,0 +1,1 @@
+examples/mortgage.ml: Fmt List Live_runtime Live_workloads Printf String

@@ -1,0 +1,1 @@
+examples/todo_app.ml: Buffer Fmt List Live_runtime Live_workloads Printf String

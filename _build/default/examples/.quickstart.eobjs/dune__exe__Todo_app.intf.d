@@ -1,0 +1,1 @@
+examples/todo_app.mli:

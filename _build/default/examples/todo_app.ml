@@ -1,0 +1,85 @@
+(** A multi-page application driven end-to-end: the todo list.
+
+    Run with: [dune exec examples/todo_app.exe]
+
+    Demonstrates page-stack navigation (the add-item picker page),
+    handlers mutating a list-of-tuples model, conditional styling from
+    model state, and one live restyle at the end. *)
+
+module LS = Live_runtime.Live_session
+
+let die fmt = Fmt.kstr (fun m -> prerr_endline m; exit 1) fmt
+
+let section title = Printf.printf "\n==== %s ====\n" title
+
+(* tap the first place where [text] appears on screen *)
+let tap_text ls text =
+  let lines = String.split_on_char '\n' (LS.screenshot ls) in
+  let found = ref false in
+  List.iteri
+    (fun y line ->
+      if not !found then
+        let n = String.length line and m = String.length text in
+        let rec find x =
+          if x + m > n then None
+          else if String.sub line x m = text then Some x
+          else find (x + 1)
+        in
+        match find 0 with
+        | Some x ->
+            found := true;
+            ignore (LS.tap ls ~x ~y)
+        | None -> ())
+    lines;
+  if not !found then die "%S not on screen" text
+
+let () =
+  let ls =
+    match LS.create ~width:40 Live_workloads.Todo.source with
+    | Ok ls -> ls
+    | Error e -> die "boot: %s" (LS.error_to_string e)
+  in
+  section "the list";
+  print_string (LS.screenshot ls);
+
+  section "toggle 'buy milk'";
+  tap_text ls "buy milk";
+  print_string (LS.screenshot ls);
+
+  section "add an item (pushes the picker page)";
+  tap_text ls "add item";
+  print_string (LS.screenshot ls);
+
+  section "pick 'fix bug' (the handler pops back)";
+  tap_text ls "fix bug";
+  print_string (LS.screenshot ls);
+
+  section "clear completed items";
+  tap_text ls "clear done";
+  print_string (LS.screenshot ls);
+
+  section "live restyle: checkboxes become arrows; items survive";
+  let restyled =
+    (* swap the glyphs in the source and apply as a live edit *)
+    let replace s from into =
+      let n = String.length s and m = String.length from in
+      let buf = Buffer.create n in
+      let i = ref 0 in
+      while !i < n do
+        if !i + m <= n && String.sub s !i m = from then begin
+          Buffer.add_string buf into;
+          i := !i + m
+        end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      Buffer.contents buf
+    in
+    replace (replace Live_workloads.Todo.source "[x] " "=> ") "[ ] " "-> "
+  in
+  (match LS.edit ls restyled with
+  | Ok o -> print_string o.LS.screenshot
+  | Error e -> die "edit: %s" (LS.error_to_string e));
+  Printf.printf "\n(same items, same done-flags — only the code changed)\n"

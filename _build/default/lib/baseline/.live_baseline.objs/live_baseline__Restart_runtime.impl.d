@@ -1,0 +1,1 @@
+lib/baseline/restart_runtime.ml: Live_core Live_runtime

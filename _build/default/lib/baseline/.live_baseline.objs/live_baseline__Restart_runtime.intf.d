@@ -1,0 +1,1 @@
+lib/baseline/restart_runtime.mli: Live_core Live_runtime

@@ -1,0 +1,1 @@
+lib/baseline/retained.ml: List Live_core Live_ui

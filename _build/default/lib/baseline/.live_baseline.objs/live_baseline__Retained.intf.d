@@ -1,0 +1,1 @@
+lib/baseline/retained.mli: Live_core Live_ui

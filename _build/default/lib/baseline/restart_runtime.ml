@@ -1,0 +1,93 @@
+(** The baseline the paper argues against: the conventional
+    edit-compile-run cycle (Sec. 2).
+
+    On every code change this runtime (1) stops the program, throwing
+    away all state, (2) "recompiles" and restarts from the initial
+    system state — re-running init bodies, re-downloading data — and
+    (3) replays the recorded trace of user interactions to navigate
+    back to the UI context the programmer was looking at (steps 4-5 of
+    the Sec. 2 workflow, mechanised).
+
+    Replay addresses taps by screen coordinates, so a code change that
+    moves boxes makes the replay {e diverge}: the tap lands on a
+    different box or on nothing, and the programmer ends up somewhere
+    else — the trace-re-execution problem the paper's introduction
+    describes.  {!update} reports whether any replayed tap failed to
+    find a handler. *)
+
+module Machine = Live_core.Machine
+
+type t = {
+  mutable program : Live_core.Program.t;
+  mutable session : Live_runtime.Session.t;
+  mutable trace : Live_runtime.Trace.t;
+  width : int;
+}
+
+type error = Runtime_error of Machine.error
+
+let error_to_string (Runtime_error e) = Machine.error_to_string e
+
+let ( let* ) r f =
+  match r with Ok v -> f v | Error e -> Error (Runtime_error e)
+
+let create ?(width = 48) (program : Live_core.Program.t) :
+    (t, error) result =
+  let* session = Live_runtime.Session.create ~width program in
+  Ok { program; session; trace = Live_runtime.Trace.empty; width }
+
+let screenshot (t : t) = Live_runtime.Session.screenshot t.session
+let state (t : t) = Live_runtime.Session.state t.session
+let trace (t : t) = t.trace
+
+let tap (t : t) ~x ~y : (Live_runtime.Session.tap_result, error) result =
+  t.trace <- Live_runtime.Trace.add (Live_runtime.Trace.Tap { x; y }) t.trace;
+  let* r = Live_runtime.Session.tap t.session ~x ~y in
+  Ok r
+
+let back (t : t) : (unit, error) result =
+  t.trace <- Live_runtime.Trace.add Live_runtime.Trace.Back t.trace;
+  let* () = Live_runtime.Session.back t.session in
+  Ok ()
+
+type replay_outcome = {
+  replayed : int;  (** interactions re-executed *)
+  missed_taps : int;  (** taps that found no handler after the change *)
+}
+
+(** Replay a trace against a fresh session. *)
+let replay (session : Live_runtime.Session.t)
+    (trace : Live_runtime.Trace.t) : (replay_outcome, error) result =
+  let rec go acc = function
+    | [] -> Ok acc
+    | Live_runtime.Trace.Back :: rest ->
+        let* () = Live_runtime.Session.back session in
+        go { acc with replayed = acc.replayed + 1 } rest
+    | Live_runtime.Trace.Tap { x; y } :: rest ->
+        let* r = Live_runtime.Session.tap session ~x ~y in
+        let acc =
+          match r with
+          | Live_runtime.Session.Tapped -> { acc with replayed = acc.replayed + 1 }
+          | Live_runtime.Session.No_handler ->
+              {
+                replayed = acc.replayed + 1;
+                missed_taps = acc.missed_taps + 1;
+              }
+        in
+        go acc rest
+  in
+  go { replayed = 0; missed_taps = 0 } trace
+
+(** A code change, the conventional way: full restart plus replay. *)
+let update (t : t) (new_program : Live_core.Program.t) :
+    (replay_outcome, error) result =
+  (match Live_core.State_typing.check_code new_program with
+  | Ok () -> ()
+  | Error _ -> ());
+  let* fresh = Live_runtime.Session.create ~width:t.width new_program in
+  match replay fresh t.trace with
+  | Error e -> Error e
+  | Ok outcome ->
+      t.program <- new_program;
+      t.session <- fresh;
+      Ok outcome

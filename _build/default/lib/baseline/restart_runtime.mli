@@ -1,0 +1,38 @@
+(** The baseline the paper argues against: the conventional
+    edit-compile-run cycle (Sec. 2).  Every code change stops the
+    program, restarts from the initial state (re-running init bodies),
+    and replays the recorded interaction trace to regain UI context.
+    Replay addresses taps by coordinates, so edits that move boxes make
+    it diverge — the Sec. 1 trace-re-execution problem, observable via
+    {!replay_outcome.missed_taps}. *)
+
+type t
+
+type error = Runtime_error of Live_core.Machine.error
+
+val error_to_string : error -> string
+
+val create : ?width:int -> Live_core.Program.t -> (t, error) result
+
+val screenshot : t -> string
+val state : t -> Live_core.State.t
+val trace : t -> Live_runtime.Trace.t
+
+val tap :
+  t -> x:int -> y:int -> (Live_runtime.Session.tap_result, error) result
+
+val back : t -> (unit, error) result
+
+type replay_outcome = {
+  replayed : int;  (** interactions re-executed *)
+  missed_taps : int;  (** taps that found no handler after the change *)
+}
+
+val replay :
+  Live_runtime.Session.t ->
+  Live_runtime.Trace.t ->
+  (replay_outcome, error) result
+(** Replay a trace against a fresh session (exposed for benchmark B3). *)
+
+val update : t -> Live_core.Program.t -> (replay_outcome, error) result
+(** The conventional cycle: full restart plus replay. *)

@@ -1,0 +1,107 @@
+(** A minimal retained-mode GUI library, for comparison.
+
+    The paper contrasts the immediate approach ("construct a fresh view
+    instead of updating the existing one") with the retained approach,
+    where "a program builds and modifies a tree of widget objects to be
+    rendered" — and observes that retained UIs are exactly why
+    fix-and-continue fails to be live: "changing the code that
+    initially builds this widget tree is meaningless as that code has
+    already executed and will not execute again!" (Sec. 2).
+
+    This module is that world in miniature: a mutable widget tree the
+    application constructs once and then updates in place by writing
+    code for every model change (the view-update problem).  The
+    [incremental_rerender] benchmark compares targeted retained updates
+    against immediate re-rendering, and the test-suite demonstrates the
+    staleness problem the paper describes. *)
+
+type widget = {
+  mutable text : string option;
+  mutable children : widget list;
+  mutable background : Live_ui.Color.t;
+  mutable color : Live_ui.Color.t;
+  mutable margin : int;
+  mutable padding : int;
+  mutable border : bool;
+  mutable horizontal : bool;
+  mutable on_tap : (unit -> unit) option;
+  mutable dirty : bool;
+}
+
+let make ?text ?(children = []) ?(background = Live_ui.Color.Default)
+    ?(color = Live_ui.Color.Default) ?(margin = 0) ?(padding = 0)
+    ?(border = false) ?(horizontal = false) ?on_tap () : widget =
+  {
+    text;
+    children;
+    background;
+    color;
+    margin;
+    padding;
+    border;
+    horizontal;
+    on_tap;
+    dirty = true;
+  }
+
+let set_text (w : widget) (s : string) : unit =
+  w.text <- Some s;
+  w.dirty <- true
+
+let set_background (w : widget) (c : Live_ui.Color.t) : unit =
+  w.background <- c;
+  w.dirty <- true
+
+let add_child (w : widget) (c : widget) : unit =
+  w.children <- w.children @ [ c ];
+  w.dirty <- true
+
+let remove_children (w : widget) : unit =
+  w.children <- [];
+  w.dirty <- true
+
+(** Lower a widget tree to immediate-mode box content so both worlds
+    share one renderer.  (The cost difference the benchmarks measure is
+    in who has to rebuild what, not in the painting.) *)
+let rec to_boxcontent (w : widget) : Live_core.Boxcontent.t =
+  let attrs =
+    List.concat
+      [
+        (if w.margin > 0 then
+           [ Live_core.Boxcontent.Attr ("margin", Live_core.Ast.VNum (float_of_int w.margin)) ]
+         else []);
+        (if w.padding > 0 then
+           [ Live_core.Boxcontent.Attr ("padding", Live_core.Ast.VNum (float_of_int w.padding)) ]
+         else []);
+        (if w.border then
+           [ Live_core.Boxcontent.Attr ("border", Live_core.Ast.VNum 1.0) ]
+         else []);
+        (if w.horizontal then
+           [ Live_core.Boxcontent.Attr ("direction", Live_core.Ast.VStr "horizontal") ]
+         else []);
+      ]
+  in
+  let text =
+    match w.text with
+    | Some s -> [ Live_core.Boxcontent.Leaf (Live_core.Ast.VStr s) ]
+    | None -> []
+  in
+  let children =
+    List.map
+      (fun c -> Live_core.Boxcontent.Box (None, to_boxcontent c))
+      w.children
+  in
+  attrs @ text @ children
+
+let render ?(width = 48) (w : widget) : string =
+  Live_ui.Render.screenshot ~width (to_boxcontent w)
+
+(** Count dirty widgets — the bookkeeping a retained framework must do
+    to know what to repaint. *)
+let rec dirty_count (w : widget) : int =
+  (if w.dirty then 1 else 0)
+  + List.fold_left (fun n c -> n + dirty_count c) 0 w.children
+
+let rec clean (w : widget) : unit =
+  w.dirty <- false;
+  List.iter clean w.children

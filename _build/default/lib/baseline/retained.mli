@@ -1,0 +1,46 @@
+(** A minimal retained-mode GUI, for contrast: a mutable widget tree
+    the application builds once and must then update by hand for every
+    model change (the view-update problem).  Demonstrates why
+    fix-and-continue is not live in a retained world: "changing the
+    code that initially builds this widget tree is meaningless as that
+    code has already executed" (Sec. 2). *)
+
+type widget = {
+  mutable text : string option;
+  mutable children : widget list;
+  mutable background : Live_ui.Color.t;
+  mutable color : Live_ui.Color.t;
+  mutable margin : int;
+  mutable padding : int;
+  mutable border : bool;
+  mutable horizontal : bool;
+  mutable on_tap : (unit -> unit) option;
+  mutable dirty : bool;
+}
+
+val make :
+  ?text:string ->
+  ?children:widget list ->
+  ?background:Live_ui.Color.t ->
+  ?color:Live_ui.Color.t ->
+  ?margin:int ->
+  ?padding:int ->
+  ?border:bool ->
+  ?horizontal:bool ->
+  ?on_tap:(unit -> unit) ->
+  unit ->
+  widget
+
+val set_text : widget -> string -> unit
+val set_background : widget -> Live_ui.Color.t -> unit
+val add_child : widget -> widget -> unit
+val remove_children : widget -> unit
+
+val to_boxcontent : widget -> Live_core.Boxcontent.t
+(** Lower to immediate-mode box content so both worlds share one
+    painter. *)
+
+val render : ?width:int -> widget -> string
+
+val dirty_count : widget -> int
+val clean : widget -> unit

@@ -1,0 +1,1 @@
+lib/core/ast.ml: Float Ident List Option Set Srcid String Typ

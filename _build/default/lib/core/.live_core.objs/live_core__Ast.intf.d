@@ -1,0 +1,1 @@
+lib/core/ast.mli: Ident Set Srcid Typ

@@ -1,0 +1,1 @@
+lib/core/attrs.ml: Ident List Option Typ

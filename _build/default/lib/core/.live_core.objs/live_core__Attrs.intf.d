@@ -1,0 +1,1 @@
+lib/core/attrs.mli: Ident Typ

@@ -1,0 +1,1 @@
+lib/core/boxcontent.ml: Ast Fmt Hashtbl Ident List Option Pretty Srcid String

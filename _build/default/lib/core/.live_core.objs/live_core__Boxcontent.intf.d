@@ -1,0 +1,1 @@
+lib/core/boxcontent.mli: Ast Format Ident Srcid

@@ -1,0 +1,1 @@
+lib/core/build.ml: Ast Eff Option Program Srcid State_typing Typ

@@ -1,0 +1,1 @@
+lib/core/build.mli: Ast Eff Program Typ

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Ast Boxcontent Eff Event Fmt Fqueue List Option Prim Program Store Subst

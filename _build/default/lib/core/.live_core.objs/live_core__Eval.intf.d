@@ -1,0 +1,1 @@
+lib/core/eval.mli: Ast Boxcontent Eff Event Fqueue Program Store

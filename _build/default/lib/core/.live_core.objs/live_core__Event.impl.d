@@ -1,0 +1,1 @@
+lib/core/event.ml: Ast Fmt Ident Pretty String

@@ -1,0 +1,1 @@
+lib/core/fixup.ml: Ast Ident List Program Store Typecheck

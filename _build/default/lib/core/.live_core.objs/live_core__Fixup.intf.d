@@ -1,0 +1,1 @@
+lib/core/fixup.mli: Ast Ident Program Store

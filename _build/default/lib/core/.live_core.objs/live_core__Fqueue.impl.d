@@ -1,0 +1,1 @@
+lib/core/fqueue.ml: Fmt List

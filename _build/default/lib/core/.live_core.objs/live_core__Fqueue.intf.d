@@ -1,0 +1,1 @@
+lib/core/fqueue.mli: Fmt Format

@@ -1,0 +1,1 @@
+lib/core/machine.ml: Ast Boxcontent Eval Event Fixup Fmt Fqueue Ident List Program Result State State_typing Store

@@ -1,0 +1,1 @@
+lib/core/pretty.ml: Ast Buffer Float Fmt List Srcid String Typ

@@ -1,0 +1,1 @@
+lib/core/prim.ml: Ast Buffer Eff Float Fmt Int64 List Pretty Printf String Typ

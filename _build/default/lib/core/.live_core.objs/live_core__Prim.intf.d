@@ -1,0 +1,1 @@
+lib/core/prim.mli: Ast Eff Typ

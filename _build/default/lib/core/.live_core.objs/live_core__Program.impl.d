@@ -1,0 +1,1 @@
+lib/core/program.ml: Ast Fmt Hashtbl Ident List Pretty String Typ

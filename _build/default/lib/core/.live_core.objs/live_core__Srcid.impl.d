@@ -1,0 +1,1 @@
+lib/core/srcid.ml: Fmt Int Map Set

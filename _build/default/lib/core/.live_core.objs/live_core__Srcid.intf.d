@@ -1,0 +1,1 @@
+lib/core/srcid.mli: Format Map Set

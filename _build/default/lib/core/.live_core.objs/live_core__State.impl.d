@@ -1,0 +1,1 @@
+lib/core/state.ml: Ast Boxcontent Event Fmt Fqueue Ident List Pretty Program Store

@@ -1,0 +1,1 @@
+lib/core/state.mli: Ast Boxcontent Event Format Fqueue Ident Program Store

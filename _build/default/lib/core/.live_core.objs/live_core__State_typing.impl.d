@@ -1,0 +1,1 @@
+lib/core/state_typing.ml: Ast Attrs Boxcontent Eff Event Fmt Fqueue Hashtbl Ident Program Result State Store Typ Typecheck

@@ -1,0 +1,1 @@
+lib/core/state_typing.mli: Ast Event Fqueue Ident Program State Store

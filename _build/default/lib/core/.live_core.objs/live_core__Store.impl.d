@@ -1,0 +1,1 @@
+lib/core/store.ml: Ast Fmt Ident List Map Pretty Program String

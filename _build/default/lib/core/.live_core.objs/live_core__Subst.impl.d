@@ -1,0 +1,1 @@
+lib/core/subst.ml: Ast Ident Lazy List Printf String Typ

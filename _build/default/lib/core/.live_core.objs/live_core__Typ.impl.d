@@ -1,0 +1,1 @@
+lib/core/typ.ml: Eff Fmt List

@@ -1,0 +1,1 @@
+lib/core/typ.mli: Eff Format

@@ -1,0 +1,1 @@
+lib/core/typecheck.ml: Ast Attrs Eff Fmt Ident List Prim Program Result Typ

@@ -1,0 +1,171 @@
+(** Values and expressions of the calculus (Fig. 6).
+
+    {v
+      v ::= n | s | x | (v_1, ..., v_n) | lambda(x : tau). e
+      e ::= v | e1 e2 | f | (e_1, ..., e_n) | e.n | g | g := e
+          | push p e | pop | boxed e | post e | box.a := e
+    v}
+
+    Implementation notes:
+    - Values and expressions are mutually recursive; [Val] injects a
+      value into expressions, and a tuple expression whose components
+      have all been reduced steps to a tuple value (EP-TUPLE context).
+    - Variables [Var x] only appear transiently: EP-APP substitutes the
+      argument value for the bound variable, so closed programs reduce
+      without environments, exactly as the paper's substitution
+      semantics prescribes.
+    - [Prim] is a documented extension: the paper treats arithmetic,
+      string operations ([math->floor], [||], ...) and the lazy
+      conditional as ambient functions; we realise them as primitive
+      applications with delta-rules (module {!Prim}).  Primitives are
+      effect-[p], so they do not perturb the effect discipline.
+    - [Boxed] carries an optional {!Srcid.t} stamped by the surface
+      compiler; it is what makes UI-Code Navigation (Sec. 3) possible.
+*)
+
+type value =
+  | VNum of float
+  | VStr of string
+  | VTuple of value list
+  | VLam of Ident.var * Typ.t * expr
+  | VList of Typ.t * value list
+      (** extension: homogeneous list with element type *)
+
+and expr =
+  | Val of value
+  | Var of Ident.var
+  | Tuple of expr list
+  | App of expr * expr
+  | Fn of Ident.func  (** reference to a global function definition *)
+  | Proj of expr * int  (** [e.n], 1-indexed as in Fig. 6 *)
+  | Get of Ident.global
+  | Set of Ident.global * expr
+  | Push of Ident.page * expr
+  | Pop
+  | Boxed of Srcid.t option * expr
+  | Post of expr
+  | SetAttr of Ident.attr * expr
+  | Prim of string * Typ.t list * expr list
+      (** extension: [Prim (name, type_args, args)] *)
+
+(** The unit value [()] — the empty tuple. *)
+let vunit = VTuple []
+
+let eunit = Val vunit
+
+(** Numbers double as booleans in the calculus (the paper encodes
+    conditionals with thunks; truth is non-zero-ness, as in the
+    TouchDevelop runtime). *)
+let vbool b = VNum (if b then 1.0 else 0.0)
+
+let vtrue = vbool true
+let vfalse = vbool false
+let truthy = function VNum f -> f <> 0.0 | _ -> false
+
+let rec equal_value a b =
+  match (a, b) with
+  | VNum x, VNum y -> Float.equal x y
+  | VStr x, VStr y -> String.equal x y
+  | VTuple xs, VTuple ys ->
+      List.length xs = List.length ys && List.for_all2 equal_value xs ys
+  | VLam (x1, t1, e1), VLam (x2, t2, e2) ->
+      String.equal x1 x2 && Typ.equal t1 t2 && equal_expr e1 e2
+  | VList (t1, xs), VList (t2, ys) ->
+      Typ.equal t1 t2
+      && List.length xs = List.length ys
+      && List.for_all2 equal_value xs ys
+  | (VNum _ | VStr _ | VTuple _ | VLam _ | VList _), _ -> false
+
+and equal_expr a b =
+  match (a, b) with
+  | Val v1, Val v2 -> equal_value v1 v2
+  | Var x, Var y -> String.equal x y
+  | Tuple xs, Tuple ys ->
+      List.length xs = List.length ys && List.for_all2 equal_expr xs ys
+  | App (f1, a1), App (f2, a2) -> equal_expr f1 f2 && equal_expr a1 a2
+  | Fn f, Fn g -> String.equal f g
+  | Proj (e1, n1), Proj (e2, n2) -> n1 = n2 && equal_expr e1 e2
+  | Get g1, Get g2 -> String.equal g1 g2
+  | Set (g1, e1), Set (g2, e2) -> String.equal g1 g2 && equal_expr e1 e2
+  | Push (p1, e1), Push (p2, e2) -> String.equal p1 p2 && equal_expr e1 e2
+  | Pop, Pop -> true
+  | Boxed (i1, e1), Boxed (i2, e2) ->
+      Option.equal Srcid.equal i1 i2 && equal_expr e1 e2
+  | Post e1, Post e2 -> equal_expr e1 e2
+  | SetAttr (a1, e1), SetAttr (a2, e2) ->
+      String.equal a1 a2 && equal_expr e1 e2
+  | Prim (n1, t1, a1), Prim (n2, t2, a2) ->
+      String.equal n1 n2
+      && List.length t1 = List.length t2
+      && List.for_all2 Typ.equal t1 t2
+      && List.length a1 = List.length a2
+      && List.for_all2 equal_expr a1 a2
+  | ( ( Val _ | Var _ | Tuple _ | App _ | Fn _ | Proj _ | Get _ | Set _
+      | Push _ | Pop | Boxed _ | Post _ | SetAttr _ | Prim _ ),
+      _ ) ->
+      false
+
+(** [as_value e] classifies an expression as a value (Fig. 6's [v]
+    production): a [Val] injection, or a tuple expression all of whose
+    components are values. *)
+let rec as_value = function
+  | Val v -> Some v
+  | Tuple es ->
+      let rec go acc = function
+        | [] -> Some (VTuple (List.rev acc))
+        | e :: rest -> (
+            match as_value e with
+            | Some v -> go (v :: acc) rest
+            | None -> None)
+      in
+      go [] es
+  | _ -> None
+
+let is_value e = Option.is_some (as_value e)
+
+module StringSet = Set.Make (String)
+
+(** Free variables of an expression (bound variables come only from
+    lambdas). *)
+let free_vars expr =
+  let module SS = StringSet in
+  let rec go_v bound acc = function
+    | VNum _ | VStr _ -> acc
+    (* an arrow-free-typed list cannot contain lambdas, hence no
+       variables: skip it in O(1) (large model values are repeatedly
+       substituted through loop bodies) *)
+    | VList (t, _) when Typ.arrow_free t -> acc
+    | VTuple vs | VList (_, vs) -> List.fold_left (go_v bound) acc vs
+    | VLam (x, _, e) -> go (SS.add x bound) acc e
+  and go bound acc = function
+    | Val v -> go_v bound acc v
+    | Var x -> if SS.mem x bound then acc else SS.add x acc
+    | Tuple es | Prim (_, _, es) -> List.fold_left (go bound) acc es
+    | App (e1, e2) -> go bound (go bound acc e1) e2
+    | Fn _ | Get _ | Pop -> acc
+    | Proj (e, _) | Set (_, e) | Push (_, e) | Boxed (_, e) | Post e
+    | SetAttr (_, e) ->
+        go bound acc e
+  in
+  go SS.empty SS.empty expr
+
+let closed_expr e = StringSet.is_empty (free_vars e)
+
+let closed_value v = closed_expr (Val v)
+
+(** Term size, used for shrinking and generation budgets. *)
+let rec size_value = function
+  | VNum _ | VStr _ -> 1
+  | VTuple vs | VList (_, vs) ->
+      1 + List.fold_left (fun n v -> n + size_value v) 0 vs
+  | VLam (_, _, e) -> 1 + size_expr e
+
+and size_expr = function
+  | Val v -> size_value v
+  | Var _ | Fn _ | Get _ | Pop -> 1
+  | Tuple es | Prim (_, _, es) ->
+      1 + List.fold_left (fun n e -> n + size_expr e) 0 es
+  | App (e1, e2) -> 1 + size_expr e1 + size_expr e2
+  | Proj (e, _) | Set (_, e) | Push (_, e) | Boxed (_, e) | Post e
+  | SetAttr (_, e) ->
+      1 + size_expr e

@@ -1,0 +1,65 @@
+(** Values and expressions of the calculus (Fig. 6).
+
+    Evaluation is substitution-based, as in the paper: EP-APP replaces
+    the bound variable by the argument value, so closed programs reduce
+    without environments.  [Prim] (delta-rule primitives) and [VList]
+    (homogeneous lists) are the two documented extensions; [Boxed]
+    carries an optional {!Srcid.t} linking boxes back to source. *)
+
+type value =
+  | VNum of float
+  | VStr of string
+  | VTuple of value list
+  | VLam of Ident.var * Typ.t * expr  (** [lambda(x : tau). e] *)
+  | VList of Typ.t * value list  (** homogeneous list; element type *)
+
+and expr =
+  | Val of value
+  | Var of Ident.var
+  | Tuple of expr list
+  | App of expr * expr
+  | Fn of Ident.func  (** reference to a global function *)
+  | Proj of expr * int  (** [e.n], 1-indexed *)
+  | Get of Ident.global
+  | Set of Ident.global * expr
+  | Push of Ident.page * expr
+  | Pop
+  | Boxed of Srcid.t option * expr
+  | Post of expr
+  | SetAttr of Ident.attr * expr
+  | Prim of string * Typ.t list * expr list
+      (** [Prim (name, type_args, args)] — see {!Prim} *)
+
+val vunit : value
+(** The unit value [()] (the empty tuple). *)
+
+val eunit : expr
+
+val vbool : bool -> value
+(** Numbers double as booleans: [1.] / [0.]. *)
+
+val vtrue : value
+val vfalse : value
+
+val truthy : value -> bool
+(** Non-zero-ness of numbers; everything else is falsy. *)
+
+val equal_value : value -> value -> bool
+val equal_expr : expr -> expr -> bool
+
+val as_value : expr -> value option
+(** Classify an expression as a value ([Val], or a tuple expression
+    whose components are all values). *)
+
+val is_value : expr -> bool
+
+module StringSet : Set.S with type elt = string
+
+val free_vars : expr -> StringSet.t
+(** Free lambda-bound variables (globals are not variables). *)
+
+val closed_expr : expr -> bool
+val closed_value : value -> bool
+
+val size_value : value -> int
+val size_expr : expr -> int

@@ -1,0 +1,34 @@
+(** The attribute environment [Gamma_a] (Sec. 4.3): types for box
+    attributes.  The paper names [ontap : () -s-> ()] and
+    [margin : number]; we add the attributes its screenshots and
+    improvements use (background colors, font size, layout direction,
+    ...).  The set is fixed per build — rule T-ATTR (Fig. 10) consults
+    this table. *)
+
+let handler_ty = Typ.handler
+
+let all : (Ident.attr * Typ.t) list =
+  [
+    (* event handlers *)
+    ("ontap", handler_ty);
+    (* box geometry *)
+    ("margin", Typ.Num);
+    ("padding", Typ.Num);
+    ("width", Typ.Num);
+    ("height", Typ.Num);
+    ("border", Typ.Num);
+    (* layout *)
+    ("direction", Typ.Str);  (* "vertical" (default) | "horizontal" *)
+    ("align", Typ.Str);  (* "left" | "center" | "right" *)
+    (* styling *)
+    ("background", Typ.Str);
+    ("color", Typ.Str);
+    ("fontsize", Typ.Num);
+    ("bold", Typ.Num);
+  ]
+
+let lookup (a : Ident.attr) : Typ.t option = List.assoc_opt a all
+
+let exists a = Option.is_some (lookup a)
+
+let names = List.map fst all

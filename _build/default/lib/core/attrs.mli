@@ -1,0 +1,15 @@
+(** The attribute environment [Gamma_a] (Sec. 4.3): the types of box
+    attributes, consulted by rule T-ATTR (Fig. 10).
+
+    Includes the paper's [ontap : () -s-> ()] and [margin : number]
+    plus the attributes its screenshots use: [padding], [width],
+    [height], [border], [direction], [align], [background], [color],
+    [fontsize], [bold]. *)
+
+val all : (Ident.attr * Typ.t) list
+val lookup : Ident.attr -> Typ.t option
+val exists : Ident.attr -> bool
+val names : Ident.attr list
+
+val handler_ty : Typ.t
+(** [() -s-> ()]. *)

@@ -1,0 +1,131 @@
+(** A combinator eDSL for constructing core programs from OCaml.
+
+    The surface language is the human-facing way to write programs;
+    this module is the programmatic one — used by tests, benchmarks
+    and hosts that embed the runtime and want to synthesise UI
+    programs without going through text.  Combinators produce plain
+    {!Ast} terms; nothing here extends the calculus.
+
+    Conventions:
+    - [let_ x ty e body] is the standard encoding
+      [(lambda(x:ty). body) e];
+    - [seq] chains unit-valued expressions;
+    - [if_] uses the thunked [cond] primitive (the Sec. 4.1 encoding);
+    - numeric literals lift with [n], strings with [s], booleans with
+      [b];
+    - infix helpers live in {!Infix} ([+.], [=.], ... all suffixed
+      with [!] to avoid clobbering the float operators).
+
+    Programs built here are ordinary code: run them through
+    {!State_typing.check_code} (or {!program}, which does it for you)
+    and hand them to {!Machine.boot}. *)
+
+let n (f : float) : Ast.expr = Ast.Val (Ast.VNum f)
+let ni (i : int) : Ast.expr = n (float_of_int i)
+let s (x : string) : Ast.expr = Ast.Val (Ast.VStr x)
+let b (x : bool) : Ast.expr = Ast.Val (Ast.vbool x)
+let unit_ : Ast.expr = Ast.eunit
+
+let var (x : string) : Ast.expr = Ast.Var x
+let get (g : string) : Ast.expr = Ast.Get g
+let set (g : string) (e : Ast.expr) : Ast.expr = Ast.Set (g, e)
+
+let lam (x : string) (ty : Typ.t) (body : Ast.expr) : Ast.expr =
+  Ast.Val (Ast.VLam (x, ty, body))
+
+let thunk (body : Ast.expr) : Ast.expr = lam "_" Typ.unit_ body
+
+let app (f : Ast.expr) (arg : Ast.expr) : Ast.expr = Ast.App (f, arg)
+let call (f : string) (arg : Ast.expr) : Ast.expr = Ast.App (Ast.Fn f, arg)
+
+let tuple (es : Ast.expr list) : Ast.expr = Ast.Tuple es
+let proj (e : Ast.expr) (i : int) : Ast.expr = Ast.Proj (e, i)
+
+let let_ (x : string) (ty : Typ.t) (e : Ast.expr) (body : Ast.expr) :
+    Ast.expr =
+  app (lam x ty body) e
+
+(** [seq ~ty e1 e2] evaluates [e1] for effect, then [e2].  [ty] is
+    [e1]'s type (defaults to unit, the common case). *)
+let seq ?(ty = Typ.unit_) (e1 : Ast.expr) (e2 : Ast.expr) : Ast.expr =
+  let_ "_" ty e1 e2
+
+let rec seqs ?(ty = Typ.unit_) (es : Ast.expr list) : Ast.expr =
+  match es with
+  | [] -> unit_
+  | [ e ] -> e
+  | e :: rest -> seq ~ty e (seqs ~ty rest)
+
+let prim ?(targs = []) (name : string) (args : Ast.expr list) : Ast.expr =
+  Ast.Prim (name, targs, args)
+
+(** The thunked conditional: [if_ ty c th el]. *)
+let if_ (ty : Typ.t) (c : Ast.expr) (th : Ast.expr) (el : Ast.expr) :
+    Ast.expr =
+  prim "cond" ~targs:[ ty ] [ c; thunk th; thunk el ]
+
+(* -- render constructs ---------------------------------------------- *)
+
+let boxed ?id (body : Ast.expr) : Ast.expr =
+  Ast.Boxed (Option.map Srcid.of_int id, body)
+
+let post (e : Ast.expr) : Ast.expr = Ast.Post e
+let attr (a : string) (e : Ast.expr) : Ast.expr = Ast.SetAttr (a, e)
+
+let on_tap (handler_body : Ast.expr) : Ast.expr =
+  attr "ontap" (lam "_" Typ.unit_ handler_body)
+
+(* -- state constructs ------------------------------------------------ *)
+
+let push (p : string) (arg : Ast.expr) : Ast.expr = Ast.Push (p, arg)
+let pop : Ast.expr = Ast.Pop
+
+(* -- arithmetic / comparison / strings ------------------------------- *)
+
+module Infix = struct
+  let ( +! ) a b = prim "add" [ a; b ]
+  let ( -! ) a b = prim "sub" [ a; b ]
+  let ( *! ) a b = prim "mul" [ a; b ]
+  let ( /! ) a b = prim "div" [ a; b ]
+  let ( %! ) a b = prim "mod" [ a; b ]
+  let ( =! ) a b = prim "eq" ~targs:[ Typ.Num ] [ a; b ]
+  let ( <! ) a b = prim "lt" ~targs:[ Typ.Num ] [ a; b ]
+  let ( <=! ) a b = prim "le" ~targs:[ Typ.Num ] [ a; b ]
+  let ( >! ) a b = prim "gt" ~targs:[ Typ.Num ] [ a; b ]
+  let ( >=! ) a b = prim "ge" ~targs:[ Typ.Num ] [ a; b ]
+  let ( ^! ) a b = prim "concat" [ a; b ]
+end
+
+let str_of (e : Ast.expr) : Ast.expr = prim "str_of" [ e ]
+
+(* -- definitions ------------------------------------------------------ *)
+
+let global (name : string) (ty : Typ.t) (init : Ast.value) : Program.def =
+  Program.Global { name; ty; init }
+
+let func (name : string) ~(param : string * Typ.t) ?(eff = Eff.Pure)
+    ~(ret : Typ.t) (body : Ast.expr) : Program.def =
+  let x, dom = param in
+  Program.Func { name; ty = Typ.Fn (dom, eff, ret); body = lam x dom body }
+
+(** A page; bodies receive the page argument as the named parameter. *)
+let page (name : string) ?(arg = ("_", Typ.unit_)) ~(init : Ast.expr)
+    ~(render : Ast.expr) () : Program.def =
+  let x, arg_ty = arg in
+  Program.Page { name; arg_ty; init = lam x arg_ty init; render = lam x arg_ty render }
+
+(** Assemble and validate.  Returns the well-formedness error rather
+    than booting a broken program. *)
+let program (defs : Program.def list) : (Program.t, string) result =
+  let p = Program.of_defs defs in
+  match State_typing.check_code p with
+  | Ok () -> (
+      match State_typing.check_start p with
+      | Ok () -> Ok p
+      | Error m -> Error m)
+  | Error m -> Error m
+
+let program_exn (defs : Program.def list) : Program.t =
+  match program defs with
+  | Ok p -> p
+  | Error m -> invalid_arg ("Build.program: " ^ m)

@@ -1,0 +1,87 @@
+(** A combinator eDSL for constructing core programs from OCaml —
+    the programmatic counterpart of the surface language, used by
+    tests, benchmarks and embedding hosts.  Nothing here extends the
+    calculus; combinators produce plain {!Ast} terms. *)
+
+(** {1 Literals and variables} *)
+
+val n : float -> Ast.expr
+val ni : int -> Ast.expr
+val s : string -> Ast.expr
+val b : bool -> Ast.expr
+val unit_ : Ast.expr
+val var : string -> Ast.expr
+val get : string -> Ast.expr
+val set : string -> Ast.expr -> Ast.expr
+
+(** {1 Functions and binding} *)
+
+val lam : string -> Typ.t -> Ast.expr -> Ast.expr
+val thunk : Ast.expr -> Ast.expr
+val app : Ast.expr -> Ast.expr -> Ast.expr
+val call : string -> Ast.expr -> Ast.expr
+val tuple : Ast.expr list -> Ast.expr
+val proj : Ast.expr -> int -> Ast.expr
+
+val let_ : string -> Typ.t -> Ast.expr -> Ast.expr -> Ast.expr
+(** [(lambda(x:ty). body) e]. *)
+
+val seq : ?ty:Typ.t -> Ast.expr -> Ast.expr -> Ast.expr
+val seqs : ?ty:Typ.t -> Ast.expr list -> Ast.expr
+
+val prim : ?targs:Typ.t list -> string -> Ast.expr list -> Ast.expr
+
+val if_ : Typ.t -> Ast.expr -> Ast.expr -> Ast.expr -> Ast.expr
+(** The thunked conditional (the Sec. 4.1 encoding). *)
+
+(** {1 Render and state constructs} *)
+
+val boxed : ?id:int -> Ast.expr -> Ast.expr
+val post : Ast.expr -> Ast.expr
+val attr : string -> Ast.expr -> Ast.expr
+val on_tap : Ast.expr -> Ast.expr
+val push : string -> Ast.expr -> Ast.expr
+val pop : Ast.expr
+
+val str_of : Ast.expr -> Ast.expr
+
+(** {1 Infix operators} (suffixed with [!] to avoid clobbering the
+    float operators) *)
+module Infix : sig
+  val ( +! ) : Ast.expr -> Ast.expr -> Ast.expr
+  val ( -! ) : Ast.expr -> Ast.expr -> Ast.expr
+  val ( *! ) : Ast.expr -> Ast.expr -> Ast.expr
+  val ( /! ) : Ast.expr -> Ast.expr -> Ast.expr
+  val ( %! ) : Ast.expr -> Ast.expr -> Ast.expr
+  val ( =! ) : Ast.expr -> Ast.expr -> Ast.expr
+  val ( <! ) : Ast.expr -> Ast.expr -> Ast.expr
+  val ( <=! ) : Ast.expr -> Ast.expr -> Ast.expr
+  val ( >! ) : Ast.expr -> Ast.expr -> Ast.expr
+  val ( >=! ) : Ast.expr -> Ast.expr -> Ast.expr
+  val ( ^! ) : Ast.expr -> Ast.expr -> Ast.expr
+end
+
+(** {1 Definitions and programs} *)
+
+val global : string -> Typ.t -> Ast.value -> Program.def
+
+val func :
+  string ->
+  param:string * Typ.t ->
+  ?eff:Eff.t ->
+  ret:Typ.t ->
+  Ast.expr ->
+  Program.def
+
+val page :
+  string ->
+  ?arg:string * Typ.t ->
+  init:Ast.expr ->
+  render:Ast.expr ->
+  unit ->
+  Program.def
+
+val program : Program.def list -> (Program.t, string) result
+(** Assemble and validate ([C |- C] plus the start-page condition). *)
+
+val program_exn : Program.def list -> Program.t

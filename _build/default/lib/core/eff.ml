@@ -1,0 +1,38 @@
+(** Effects [mu ::= p | r | s] (Fig. 6).
+
+    [Pure] code neither writes the store nor emits boxes; [State] code
+    may write globals and push/pop pages; [Render] code may emit boxes
+    and set attributes.  The sub-effect order has [Pure] below both
+    [State] and [Render], which are incomparable — this is the lattice
+    implicit in rule T-SUB (Fig. 10), which lets a [p]-latent function
+    be used at any effect. *)
+
+type t = Pure | State | Render
+
+let equal (a : t) (b : t) = a = b
+
+(** [sub a b] holds iff effect [a] may be used where [b] is expected. *)
+let sub a b =
+  match (a, b) with
+  | Pure, _ -> true
+  | State, State -> true
+  | Render, Render -> true
+  | (State | Render), _ -> false
+
+(** Least upper bound, when it exists.  [State] and [Render] have no
+    join: code that both writes the store and emits boxes is the
+    model-view violation the system is designed to reject. *)
+let join a b =
+  match (a, b) with
+  | Pure, x | x, Pure -> Some x
+  | State, State -> Some State
+  | Render, Render -> Some Render
+  | State, Render | Render, State -> None
+
+let to_string = function Pure -> "p" | State -> "s" | Render -> "r"
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let name = function
+  | Pure -> "pure"
+  | State -> "state"
+  | Render -> "render"

@@ -1,0 +1,29 @@
+(** Effects [mu ::= p | r | s] (Fig. 6) and their order.
+
+    The calculus distinguishes pure code, state code (may write global
+    variables and navigate pages) and render code (may build boxes).
+    [Pure] sits below both [State] and [Render]; the latter two are
+    incomparable — there is deliberately no effect for code that both
+    mutates the model and builds the view.  This lattice is what makes
+    the paper's model-view separation a type discipline rather than a
+    convention. *)
+
+type t = Pure | State | Render
+
+val equal : t -> t -> bool
+
+val sub : t -> t -> bool
+(** [sub a b] — effect [a] may be used where [b] is expected (the order
+    behind rule T-SUB, Fig. 10). *)
+
+val join : t -> t -> t option
+(** Least upper bound; [None] for [State]/[Render], the pair the
+    separation forbids. *)
+
+val to_string : t -> string
+(** The paper's one-letter names: ["p"], ["s"], ["r"]. *)
+
+val name : t -> string
+(** Long names for error messages: ["pure"], ["state"], ["render"]. *)
+
+val pp : Format.formatter -> t -> unit

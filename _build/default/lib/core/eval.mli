@@ -1,0 +1,67 @@
+(** Expression evaluation (Fig. 8): the pure, standard and render
+    relations, in two implementations.
+
+    The {b small-step} machine ({!step} and friends) is a literal
+    transcription of the paper's evaluation contexts and rules — the
+    executable specification, used by the metatheory tests.  The
+    {b big-step} evaluator ({!eval_pure}, {!eval_state},
+    {!eval_render}) is the efficient implementation used by
+    {!Machine}; property tests pin the two together on random
+    well-typed programs.
+
+    Both enforce the effect discipline dynamically: a [Set] in render
+    mode is {e stuck}, never silently executed. *)
+
+exception Stuck of string
+exception Out_of_fuel
+
+val default_fuel : int
+
+(** {1 Small-step} *)
+
+type cfg = { store : Store.t; queue : Event.t Fqueue.t; box : Boxcontent.t }
+(** Shared configuration: pure steps ignore [queue] and [box];
+    stateful steps ignore [box]; render steps may not change
+    [store]/[queue]. *)
+
+val cfg_of_store : Store.t -> cfg
+
+type outcome =
+  | Value  (** the expression is a value *)
+  | Next of cfg * Ast.expr  (** one step *)
+  | Wrong of string  (** stuck *)
+
+val step : ?fuel:int -> Eff.t -> Program.t -> cfg -> Ast.expr -> outcome
+(** One step of [->mu].  ER-BOXED's big-step premise
+    [(C,S,eps,e) ->r* (C,S,B',v)] is discharged by iterating inner
+    steps, as in the paper. *)
+
+val step_pure : ?fuel:int -> Program.t -> Store.t -> Ast.expr -> outcome
+val step_state :
+  ?fuel:int -> Program.t -> Store.t -> Event.t Fqueue.t -> Ast.expr -> outcome
+val step_render :
+  ?fuel:int -> Program.t -> Store.t -> Boxcontent.t -> Ast.expr -> outcome
+
+val run_small :
+  ?fuel:int -> Eff.t -> Program.t -> cfg -> Ast.expr -> cfg * Ast.value
+(** The reflexive-transitive closure [->mu*] down to a value.
+    @raise Stuck and @raise Out_of_fuel accordingly. *)
+
+(** {1 Big-step} *)
+
+val eval_pure : ?fuel:int -> Program.t -> Store.t -> Ast.expr -> Ast.value
+(** [(C, S, e) ->p* (C, S, v)]. *)
+
+val eval_state :
+  ?fuel:int ->
+  Program.t ->
+  Store.t ->
+  Event.t Fqueue.t ->
+  Ast.expr ->
+  Ast.value * Store.t * Event.t Fqueue.t
+(** Standard mode: value, final store, enqueued events. *)
+
+val eval_render :
+  ?fuel:int -> Program.t -> Store.t -> Ast.expr -> Ast.value * Boxcontent.t
+(** Render mode against the implicit top-level box (Sec. 4.3); the
+    store is read-only by construction. *)

@@ -1,0 +1,26 @@
+(** Events [q] (Fig. 7):
+
+    {v
+      q ::= [exec v] | [push p v] | [pop]
+    v}
+
+    [Exec] carries a unit-to-unit thunk of effect [s] (a tap handler);
+    [Push] carries a page name and its argument value; [Pop] removes
+    the top page. *)
+
+type t =
+  | Exec of Ast.value  (** [[exec v]], [v : () -s-> ()] *)
+  | Push of Ident.page * Ast.value  (** [[push p v]] *)
+  | Pop  (** [[pop]] *)
+
+let equal a b =
+  match (a, b) with
+  | Exec v1, Exec v2 -> Ast.equal_value v1 v2
+  | Push (p1, v1), Push (p2, v2) -> String.equal p1 p2 && Ast.equal_value v1 v2
+  | Pop, Pop -> true
+  | (Exec _ | Push _ | Pop), _ -> false
+
+let pp ppf = function
+  | Exec v -> Fmt.pf ppf "[exec %a]" Pretty.pp_value v
+  | Push (p, v) -> Fmt.pf ppf "[push %s %a]" p Pretty.pp_value v
+  | Pop -> Fmt.string ppf "[pop]"

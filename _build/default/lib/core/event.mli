@@ -1,0 +1,9 @@
+(** Events [q ::= [exec v] | [push p v] | [pop]] (Fig. 7). *)
+
+type t =
+  | Exec of Ast.value  (** a queued handler thunk, [v : () -s-> ()] *)
+  | Push of Ident.page * Ast.value
+  | Pop
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

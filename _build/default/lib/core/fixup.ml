@@ -1,0 +1,66 @@
+(** State fix-up after a code update (Fig. 12).
+
+    The UPDATE transition imposes {e no} relationship between the old
+    and new code ("Supporting arbitrary code changes is important in
+    practice", Sec. 4.2); instead, whatever part of the store and page
+    stack does not type under the new code is deleted:
+
+    - S-SKIP / S-OKAY: a binding [g -> v] survives iff the new code
+      declares [g] and [v] checks against its declared type.  A global
+      whose declaration disappeared, or whose type changed incompatibly,
+      reverts to the new initial value (via EP-GLOBAL-2's fallback).
+    - P-SKIP / P-OKAY: a stack entry [(p, v)] survives iff page [p]
+      still exists and [v] checks against its argument type.
+
+    "Essentially, it just deletes whatever does not type." *)
+
+(** [C' : S . S'] — the store fix-up. *)
+let fixup_store (new_code : Program.t) (s : Store.t) : Store.t =
+  Store.filter
+    (fun g v ->
+      match Program.find_global new_code g with
+      | None -> false (* S-SKIP: g not in C' *)
+      | Some (ty, _) -> Typecheck.check_value new_code v ty
+      (* S-OKAY / S-SKIP on type mismatch *))
+    s
+
+(** [C' : P . P'] — the page stack fix-up. *)
+let fixup_stack (new_code : Program.t) (p : (Ident.page * Ast.value) list) :
+    (Ident.page * Ast.value) list =
+  List.filter
+    (fun (page, v) ->
+      match Program.find_page new_code page with
+      | None -> false (* P-SKIP: p not in C' *)
+      | Some (arg_ty, _, _) -> Typecheck.check_value new_code v arg_ty
+      (* P-OKAY *))
+    p
+
+(** Statistics about what a fix-up deleted — surfaced to the programmer
+    by the live environment ("your edit reset global [xs]"). *)
+type report = {
+  dropped_globals : Ident.global list;
+  dropped_pages : Ident.page list;
+}
+
+let fixup_with_report (new_code : Program.t) (store : Store.t)
+    (stack : (Ident.page * Ast.value) list) :
+    Store.t * (Ident.page * Ast.value) list * report =
+  let store' = fixup_store new_code store in
+  let stack' = fixup_stack new_code stack in
+  let dropped_globals =
+    List.filter_map
+      (fun (g, _) -> if Store.mem g store' then None else Some g)
+      (Store.bindings store)
+  in
+  let dropped_pages =
+    List.filter_map
+      (fun (page, v) ->
+        let survives =
+          match Program.find_page new_code page with
+          | None -> false
+          | Some (arg_ty, _, _) -> Typecheck.check_value new_code v arg_ty
+        in
+        if survives then None else Some page)
+      stack
+  in
+  (store', stack', { dropped_globals; dropped_pages })

@@ -1,0 +1,27 @@
+(** State fix-up after a code update (Fig. 12): "it just deletes
+    whatever does not type".  Arbitrary code changes are supported;
+    the fixed-up store and page stack always type under the new code
+    (tested in [test/test_fixup.ml]). *)
+
+val fixup_store : Program.t -> Store.t -> Store.t
+(** [C' : S . S'] — keep [g -> v] iff [C'] declares [g] and [v] checks
+    against its declared type (S-OKAY / S-SKIP). *)
+
+val fixup_stack :
+  Program.t ->
+  (Ident.page * Ast.value) list ->
+  (Ident.page * Ast.value) list
+(** [C' : P . P'] (P-OKAY / P-SKIP). *)
+
+type report = {
+  dropped_globals : Ident.global list;
+  dropped_pages : Ident.page list;
+}
+(** What a fix-up deleted — surfaced to the programmer by the live
+    environment ("your edit reset global xs"). *)
+
+val fixup_with_report :
+  Program.t ->
+  Store.t ->
+  (Ident.page * Ast.value) list ->
+  Store.t * (Ident.page * Ast.value) list * report

@@ -1,0 +1,44 @@
+(** A persistent FIFO queue, used for the event queue [Q] (Fig. 7).
+
+    The paper enqueues "by adding elements to the left of the sequence"
+    and dequeues "by removing elements from the right end"; we keep that
+    orientation in the API names.  Implemented as the classic pair of
+    lists with amortised O(1) operations — system states are persistent
+    values (transitions return new states), so the queue must be
+    persistent too. *)
+
+type 'a t = { front : 'a list; back : 'a list }
+(* Invariant: elements leave from [front] head; enter at [back] head.
+   [front = []] implies [back = []] after normalisation. *)
+
+let empty = { front = []; back = [] }
+
+let is_empty q = q.front = [] && q.back = []
+
+let normalise q =
+  match q.front with
+  | [] -> { front = List.rev q.back; back = [] }
+  | _ -> q
+
+(** Add an element at the left end (newest). *)
+let enqueue x q = normalise { q with back = x :: q.back }
+
+(** Remove the element at the right end (oldest). *)
+let dequeue q =
+  match (normalise q).front with
+  | [] -> None
+  | x :: front -> Some (x, normalise { (normalise q) with front })
+
+let length q = List.length q.front + List.length q.back
+
+(** Oldest-first list of the queue's contents. *)
+let to_list q = q.front @ List.rev q.back
+
+let of_list xs = { front = xs; back = [] }
+
+let fold f acc q = List.fold_left f acc (to_list q)
+
+let equal eq a b = List.equal eq (to_list a) (to_list b)
+
+let pp pp_elt ppf q =
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp_elt) (to_list q)

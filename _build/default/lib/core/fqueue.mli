@@ -1,0 +1,28 @@
+(** A persistent FIFO queue — the event queue [Q] of Fig. 7.
+
+    The paper enqueues at the left end of the sequence and dequeues at
+    the right end; system states are persistent values, so the queue
+    is too. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val enqueue : 'a -> 'a t -> 'a t
+(** Add at the left (newest) end. *)
+
+val dequeue : 'a t -> ('a * 'a t) option
+(** Remove from the right (oldest) end; [None] on the empty queue. *)
+
+val length : 'a t -> int
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val of_list : 'a list -> 'a t
+(** Inverse of {!to_list}. *)
+
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+val pp : 'a Fmt.t -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,26 @@
+(** Identifier classes of the calculus (Fig. 6): global variables [g],
+    global functions [f], page names [p], box attributes [a], and
+    lambda-bound variables [x].  All are interned as strings; the
+    distinct types below are aliases kept separate for documentation. *)
+
+type global = string
+type func = string
+type page = string
+type attr = string
+type var = string
+
+(** The distinguished page every program must define (T-SYS, Fig. 11). *)
+let start_page : page = "start"
+
+(** Fresh-name generation for compiler-introduced identifiers (loop
+    functions, temporaries).  Generated names contain ['$'], which the
+    surface lexer rejects, so they can never collide with user names. *)
+let fresh_counter = ref 0
+
+let fresh prefix =
+  incr fresh_counter;
+  Printf.sprintf "$%s_%d" prefix !fresh_counter
+
+let reset_fresh () = fresh_counter := 0
+
+let is_generated name = String.length name > 0 && name.[0] = '$'

@@ -1,0 +1,21 @@
+(** Identifier classes of the calculus (Fig. 6). *)
+
+type global = string
+type func = string
+type page = string
+type attr = string
+type var = string
+
+val start_page : page
+(** The distinguished ["start"] page required by T-SYS (Fig. 11). *)
+
+val fresh : string -> string
+(** Fresh compiler-internal names (loop functions, temporaries); the
+    result contains ['$'], which the surface lexer rejects, so user
+    code can never collide with it. *)
+
+val reset_fresh : unit -> unit
+(** Restart the fresh-name counter — called once per compilation so
+    that recompiling identical source yields identical programs. *)
+
+val is_generated : string -> bool

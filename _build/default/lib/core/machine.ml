@@ -1,0 +1,216 @@
+(** The system step relation [->g] (Fig. 9).
+
+    Three rules enqueue events (STARTUP, TAP, BACK); three handle them
+    (THUNK, PUSH, POP); one refreshes the display (RENDER); one changes
+    the program (UPDATE).  Every transition except RENDER invalidates
+    the display, so the display is never stale: it is either [⊥] or
+    consistent with the current code and store.
+
+    The event-handling and render rules have big-step premises
+    ([->s*], [->r*]); we discharge them with the efficient big-step
+    evaluator {!Eval.eval_state} / {!Eval.eval_render}.  A fuel bound
+    turns the divergence the paper acknowledges into an
+    {!Eval.Out_of_fuel} exception. *)
+
+type error =
+  | Not_enabled of string  (** the transition's premise does not hold *)
+  | Ill_typed of string  (** UPDATE: the new code fails [C' |- C'] *)
+  | Execution_failed of string  (** user code got stuck (untypable states) *)
+  | Diverged  (** fuel exhausted discharging a big-step premise *)
+
+let pp_error ppf = function
+  | Not_enabled m -> Fmt.pf ppf "transition not enabled: %s" m
+  | Ill_typed m -> Fmt.pf ppf "ill-typed code: %s" m
+  | Execution_failed m -> Fmt.pf ppf "execution stuck: %s" m
+  | Diverged -> Fmt.string ppf "evaluation exceeded its fuel bound"
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+type 'a outcome = ('a, error) result
+
+let guard cond msg : (unit, error) result =
+  if cond then Ok () else Error (Not_enabled msg)
+
+let ( let* ) = Result.bind
+
+let run_state ?fuel (st : State.t) (e : Ast.expr) :
+    (Store.t * Event.t Fqueue.t) outcome =
+  match Eval.eval_state ?fuel st.code st.store st.queue e with
+  | _, store, queue -> Ok (store, queue)
+  | exception Eval.Stuck m -> Error (Execution_failed m)
+  | exception Eval.Out_of_fuel -> Error Diverged
+
+(* ------------------------------------------------------------------ *)
+(* Rules that enqueue events                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** (STARTUP): from [(C, D, S, eps, eps)], enqueue [push start ()]. *)
+let startup (st : State.t) : State.t outcome =
+  let* () = guard (st.stack = []) "STARTUP requires an empty page stack" in
+  let* () =
+    guard (Fqueue.is_empty st.queue) "STARTUP requires an empty event queue"
+  in
+  Ok
+    (State.invalidate
+       (State.enqueue (Event.Push (Ident.start_page, Ast.vunit)) st))
+
+(** (TAP): requires a valid display containing [[ontap = v]]; enqueues
+    [exec v].  The caller supplies the handler value [v] it found in
+    the display (the UI layer resolves a screen position to a handler
+    by hit-testing); [tap_first] taps the first handler in the tree,
+    which is what the core test-suite uses. *)
+let tap (st : State.t) ~(handler : Ast.value) : State.t outcome =
+  let* b =
+    match st.display with
+    | State.Invalid -> Error (Not_enabled "TAP requires a valid display")
+    | State.Shown b -> Ok b
+  in
+  let* () =
+    guard
+      (List.exists (Ast.equal_value handler) (Boxcontent.handlers b))
+      "TAP requires [ontap = v] ∈ B"
+  in
+  Ok (State.invalidate (State.enqueue (Event.Exec handler) st))
+
+let tap_first (st : State.t) : State.t outcome =
+  match st.display with
+  | State.Invalid -> Error (Not_enabled "TAP requires a valid display")
+  | State.Shown b -> (
+      match Boxcontent.first_handler b with
+      | Some handler -> tap st ~handler
+      | None -> Error (Not_enabled "display contains no tap handler"))
+
+(** (BACK): always enabled; enqueues [pop]. *)
+let back (st : State.t) : State.t =
+  State.invalidate (State.enqueue Event.Pop st)
+
+(* ------------------------------------------------------------------ *)
+(* Rules that handle events                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Dequeue and handle one event: (THUNK), (PUSH) or (POP). *)
+let dispatch ?fuel (st : State.t) : State.t outcome =
+  match Fqueue.dequeue st.queue with
+  | None -> Error (Not_enabled "event queue is empty")
+  | Some (ev, rest) -> (
+      let st = { st with queue = rest } in
+      match ev with
+      | Event.Exec v ->
+          (* (THUNK): run [v ()] in standard mode *)
+          let* store, queue =
+            run_state ?fuel st (Ast.App (Ast.Val v, Ast.eunit))
+          in
+          Ok (State.invalidate { st with store; queue })
+      | Event.Push (p, v) -> (
+          (* (PUSH): run the page's init code, then push [(p, v)] *)
+          match Program.find_page st.code p with
+          | None ->
+              Error
+                (Execution_failed (Fmt.str "push of undefined page %s" p))
+          | Some (_, init, _) ->
+              let* store, queue =
+                run_state ?fuel st (Ast.App (init, Ast.Val v))
+              in
+              Ok
+                (State.invalidate
+                   (State.push_page p v { st with store; queue })))
+      | Event.Pop ->
+          (* (POP): pop the top page, or do nothing on an empty stack *)
+          Ok (State.invalidate (State.pop_page st)))
+
+(* ------------------------------------------------------------------ *)
+(* Display refresh                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** (RENDER): from [(C, ⊥, S, P(p,v), eps)], run the page's render
+    code in render mode and install the produced box tree. *)
+let render ?fuel (st : State.t) : State.t outcome =
+  let* () =
+    guard (not (State.display_valid st)) "RENDER requires an invalid display"
+  in
+  let* () =
+    guard (Fqueue.is_empty st.queue) "RENDER requires an empty event queue"
+  in
+  let* p, v =
+    match State.top_page st with
+    | Some pv -> Ok pv
+    | None -> Error (Not_enabled "RENDER requires a non-empty page stack")
+  in
+  match Program.find_page st.code p with
+  | None -> Error (Execution_failed (Fmt.str "undefined page %s" p))
+  | Some (_, _, render_fn) -> (
+      match
+        Eval.eval_render ?fuel st.code st.store
+          (Ast.App (render_fn, Ast.Val v))
+      with
+      | _, box -> Ok { st with display = State.Shown box }
+      | exception Eval.Stuck m -> Error (Execution_failed m)
+      | exception Eval.Out_of_fuel -> Error Diverged)
+
+(* ------------------------------------------------------------------ *)
+(* Code update                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** (UPDATE): from a state with an empty event queue, swap in arbitrary
+    new code [C'], provided [C' |- C'] (and T-SYS's start-page
+    condition), and fix up the store and page stack per Fig. 12.  The
+    display is invalidated; the next RENDER rebuilds it from the new
+    code applied to the surviving model state. *)
+let update ?(report = ref None) (new_code : Program.t) (st : State.t) :
+    State.t outcome =
+  let* () =
+    guard (Fqueue.is_empty st.queue) "UPDATE requires an empty event queue"
+  in
+  let* () =
+    match State_typing.check_code new_code with
+    | Ok () -> Ok ()
+    | Error m -> Error (Ill_typed m)
+  in
+  let* () =
+    match State_typing.check_start new_code with
+    | Ok () -> Ok ()
+    | Error m -> Error (Ill_typed m)
+  in
+  let store, stack, rep =
+    Fixup.fixup_with_report new_code st.store st.stack
+  in
+  report := Some rep;
+  Ok
+    {
+      State.code = new_code;
+      display = State.Invalid;
+      store;
+      stack;
+      queue = st.queue;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Driving the system                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Run internal transitions until the state is stable with a valid
+    display (or the step budget is exhausted).  This is the "while the
+    system state is unstable, one of the following transitions is
+    always enabled" loop of Sec. 4.2: STARTUP on an empty stack,
+    event dispatch while the queue is non-empty, then RENDER. *)
+let run_to_stable ?fuel ?(max_steps = 100_000) (st : State.t) :
+    State.t outcome =
+  let rec go n st =
+    if n <= 0 then Error Diverged
+    else if st.State.stack = [] && Fqueue.is_empty st.State.queue then
+      let* st = startup st in
+      go (n - 1) st
+    else if not (Fqueue.is_empty st.State.queue) then
+      let* st = dispatch ?fuel st in
+      go (n - 1) st
+    else if not (State.display_valid st) then
+      let* st = render ?fuel st in
+      go (n - 1) st
+    else Ok st
+  in
+  go max_steps st
+
+(** Boot a program: initial state [(C, ⊥, eps, eps, eps)] driven to its
+    first stable state. *)
+let boot ?fuel ?max_steps (code : Program.t) : State.t outcome =
+  run_to_stable ?fuel ?max_steps (State.initial code)

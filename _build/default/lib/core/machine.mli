@@ -1,0 +1,57 @@
+(** The system step relation [->g] (Fig. 9): STARTUP, TAP, BACK
+    enqueue events; THUNK, PUSH, POP handle them; RENDER refreshes the
+    display; UPDATE swaps the code.  Every transition except RENDER
+    invalidates the display, so taps can never land on a stale view.
+
+    Big-step premises are discharged by {!Eval}'s efficient evaluator
+    under a fuel bound; divergence (which the paper acknowledges) is
+    reported as {!Diverged}. *)
+
+type error =
+  | Not_enabled of string  (** the transition's premise fails *)
+  | Ill_typed of string  (** UPDATE: [C' |- C'] fails *)
+  | Execution_failed of string  (** user code got stuck *)
+  | Diverged  (** fuel exhausted *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type 'a outcome = ('a, error) result
+
+val startup : State.t -> State.t outcome
+(** (STARTUP): requires empty stack and queue; enqueues
+    [push start ()]. *)
+
+val tap : State.t -> handler:Ast.value -> State.t outcome
+(** (TAP): requires a valid display containing the handler
+    ([[ontap = v] ∈ B]); enqueues [exec v].  The UI layer resolves
+    screen coordinates to the handler by hit-testing. *)
+
+val tap_first : State.t -> State.t outcome
+(** Tap the first handler in document order (tests, demos). *)
+
+val back : State.t -> State.t
+(** (BACK): always enabled; enqueues [pop]. *)
+
+val dispatch : ?fuel:int -> State.t -> State.t outcome
+(** Dequeue and handle one event: (THUNK), (PUSH) or (POP). *)
+
+val render : ?fuel:int -> State.t -> State.t outcome
+(** (RENDER): from [(C, ⊥, S, P(p,v), eps)], rebuild the display by
+    running the top page's render code in render mode. *)
+
+val update :
+  ?report:Fixup.report option ref ->
+  Program.t ->
+  State.t ->
+  State.t outcome
+(** (UPDATE): from a state with an empty queue, swap in arbitrary new
+    code provided [C' |- C'] (plus the start-page condition); fix up
+    store and stack per Fig. 12; invalidate the display. *)
+
+val run_to_stable : ?fuel:int -> ?max_steps:int -> State.t -> State.t outcome
+(** Drive internal transitions (STARTUP / dispatch / RENDER) until the
+    state is stable with a valid display — Sec. 4.2's liveness loop. *)
+
+val boot : ?fuel:int -> ?max_steps:int -> Program.t -> State.t outcome
+(** {!State.initial} driven to its first stable state. *)

@@ -1,0 +1,92 @@
+(** Pretty-printing of calculus terms in the paper's notation.
+
+    Used by error messages, the CLI's [--dump-core] mode, and the test
+    suite's golden files.  The printer is not required to be re-parsable
+    (the surface language has its own {!Live_surface.Printer}); it aims
+    at readability of core terms. *)
+
+let pp_num ppf (f : float) =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Fmt.pf ppf "%d" (int_of_float f)
+  else Fmt.pf ppf "%g" f
+
+(** Render a number the way the UI does ([post 42] shows ["42"], not
+    ["42."]). *)
+let string_of_num (f : float) = Fmt.str "%a" pp_num f
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp_value ppf (v : Ast.value) =
+  match v with
+  | VNum f -> pp_num ppf f
+  | VStr s -> Fmt.pf ppf "\"%s\"" (escape_string s)
+  | VTuple vs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_value) vs
+  | VLam (x, t, e) ->
+      Fmt.pf ppf "@[<2>\\(%s : %a).@ %a@]" x Typ.pp t pp_expr e
+  | VList (_, vs) ->
+      Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") pp_value) vs
+
+and pp_expr ppf (e : Ast.expr) =
+  match e with
+  | Val v -> pp_value ppf v
+  | Var x -> Fmt.string ppf x
+  | Tuple es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_expr) es
+  | App (e1, e2) -> Fmt.pf ppf "@[<2>%a@ %a@]" pp_app e1 pp_atom e2
+  | Fn f -> Fmt.pf ppf "#%s" f
+  | Proj (e, n) -> Fmt.pf ppf "%a.%d" pp_atom e n
+  | Get g -> Fmt.pf ppf "$%s" g
+  | Set (g, e) -> Fmt.pf ppf "@[<2>$%s :=@ %a@]" g pp_expr e
+  | Push (p, e) -> Fmt.pf ppf "@[<2>push %s@ %a@]" p pp_atom e
+  | Pop -> Fmt.string ppf "pop"
+  | Boxed (None, e) -> Fmt.pf ppf "@[<2>boxed@ %a@]" pp_atom e
+  | Boxed (Some id, e) ->
+      Fmt.pf ppf "@[<2>boxed@%a@ %a@]" Srcid.pp id pp_atom e
+  | Post e -> Fmt.pf ppf "@[<2>post@ %a@]" pp_atom e
+  | SetAttr (a, e) -> Fmt.pf ppf "@[<2>box.%s :=@ %a@]" a pp_expr e
+  | Prim (name, [], es) ->
+      Fmt.pf ppf "@[<2>%%%s(%a)@]" name Fmt.(list ~sep:(any ", ") pp_expr) es
+  | Prim (name, ts, es) ->
+      Fmt.pf ppf "@[<2>%%%s<%a>(%a)@]" name
+        Fmt.(list ~sep:(any ", ") Typ.pp)
+        ts
+        Fmt.(list ~sep:(any ", ") pp_expr)
+        es
+
+and pp_atom ppf e =
+  match e with
+  | Val (VLam _) | App _ | Set _ | Push _ | Post _ | SetAttr _ | Boxed _ ->
+      Fmt.pf ppf "(%a)" pp_expr e
+  | _ -> pp_expr ppf e
+
+and pp_app ppf e =
+  match e with
+  | Val (VLam _) | Set _ | Push _ | Post _ | SetAttr _ | Boxed _ ->
+      Fmt.pf ppf "(%a)" pp_expr e
+  | _ -> pp_expr ppf e
+
+let expr_to_string e = Fmt.str "@[%a@]" pp_expr e
+let value_to_string v = Fmt.str "@[%a@]" pp_value v
+
+(** How a posted value appears on the display: strings show their
+    contents (unquoted), numbers are trimmed of trailing [.], tuples
+    and lists are shown in value syntax. *)
+let rec display_string (v : Ast.value) =
+  match v with
+  | VStr s -> s
+  | VNum f -> string_of_num f
+  | VTuple vs ->
+      "(" ^ String.concat ", " (List.map display_string vs) ^ ")"
+  | VList (_, vs) ->
+      "[" ^ String.concat ", " (List.map display_string vs) ^ "]"
+  | VLam _ -> "<fun>"

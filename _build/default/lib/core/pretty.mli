@@ -1,0 +1,19 @@
+(** Pretty-printing of calculus terms in the paper's notation, plus
+    the display rendering of values ([post 42] shows ["42"]). *)
+
+val pp_num : Format.formatter -> float -> unit
+val string_of_num : float -> string
+(** ["42"] rather than ["42."]; scientific notation for extremes. *)
+
+val escape_string : string -> string
+
+val pp_value : Format.formatter -> Ast.value -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+
+val expr_to_string : Ast.expr -> string
+val value_to_string : Ast.value -> string
+
+val display_string : Ast.value -> string
+(** How a posted value appears on the display: strings unquoted,
+    numbers trimmed, tuples/lists in value syntax, functions as
+    ["<fun>"]. *)

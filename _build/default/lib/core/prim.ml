@@ -1,0 +1,347 @@
+(** Primitive operations and their delta-rules.
+
+    The paper treats arithmetic ([math->floor], [math->mod]), string
+    operations ([||] concatenation, [count]) and conditionals as ambient
+    library functions of TouchDevelop.  We realise them as primitive
+    applications [Prim (name, type_args, args)] with
+
+    - a typing function (consulted by {!Typecheck}), which also reports
+      the {e latent} effect a primitive imposes on its context (only
+      [cond], which applies its thunk arguments, is ever non-pure), and
+    - a delta-rule (consulted by {!Eval}), which maps argument values to
+      a result {e expression} — a plain value for almost all primitives;
+      [cond] returns the application of the chosen thunk, which the
+      evaluator then continues to reduce.  This is exactly the thunk
+      encoding of conditionals that Sec. 4.1 describes.
+
+    Partiality: [nth] and [head] on an empty list are the only stuck
+    delta-rules (there is no value of an abstract element type to
+    return).  The surface compiler only emits them behind emptiness
+    guards, so compiled programs never get stuck; the metatheory tests
+    exclude these two primitives from generated terms. *)
+
+type signature = { ty : Typ.t; eff : Eff.t }
+
+let ok ty = Ok { ty; eff = Eff.Pure }
+
+let err fmt = Fmt.kstr (fun s -> Error s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Typing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bad_args name = err "primitive %%%s applied to ill-typed arguments" name
+
+(** [typing name targs argtys] returns the result type and required
+    effect of the primitive, or an error if the instantiation is
+    ill-typed. *)
+let typing (name : string) (targs : Typ.t list) (argtys : Typ.t list) :
+    (signature, string) result =
+  let open Typ in
+  match (name, targs, argtys) with
+  (* arithmetic *)
+  | ( ("add" | "sub" | "mul" | "div" | "mod" | "pow" | "min" | "max"),
+      [],
+      [ Num; Num ] ) ->
+      ok Num
+  | ( ( "neg" | "floor" | "ceil" | "round" | "abs" | "sqrt" | "exp" | "ln"
+      | "not" ),
+      [],
+      [ Num ] ) ->
+      ok Num
+  | "rand2", [], [ Num; Num ] -> ok Num
+  (* comparison; [eq]/[ne] are generic over arrow-free types *)
+  | ("eq" | "ne"), [ t ], [ a; b ]
+    when arrow_free t && sub a t && sub b t ->
+      ok Num
+  | ("lt" | "le" | "gt" | "ge"), [ Num ], [ Num; Num ] -> ok Num
+  | ("lt" | "le" | "gt" | "ge"), [ Str ], [ Str; Str ] -> ok Num
+  (* lazy conditional: cond<T>(c, then_thunk, else_thunk) *)
+  | "cond", [ t ], [ Num; Fn (Tuple [], m1, r1); Fn (Tuple [], m2, r2) ]
+    when sub r1 t && sub r2 t -> (
+      match Eff.join m1 m2 with
+      | Some eff -> Ok { ty = t; eff }
+      | None ->
+          err
+            "conditional branches mix state and render effects (no such \
+             join exists)")
+  (* strings *)
+  | "concat", [], [ Str; Str ] -> ok Str
+  | "str_len", [], [ Str ] -> ok Num
+  | "substr", [], [ Str; Num; Num ] -> ok Str
+  | "str_index", [], [ Str; Str ] -> ok Num
+  | "str_contains", [], [ Str; Str ] -> ok Num
+  | "str_repeat", [], [ Str; Num ] -> ok Str
+  | ("to_upper" | "to_lower" | "trim"), [], [ Str ] -> ok Str
+  | "char_at", [], [ Str; Num ] -> ok Str
+  | "str_of", [], [ Num ] -> ok Str
+  | "num_of", [], [ Str ] -> ok Num
+  | "fmt_fixed", [], [ Num; Num ] -> ok Str
+  | ("pad_left" | "pad_right"), [], [ Str; Num; Str ] -> ok Str
+  | "split", [], [ Str; Str ] -> ok (List Str)
+  (* lists *)
+  | "nil", [ t ], [] -> ok (List t)
+  | "cons", [ t ], [ a; List b ] when sub a t && sub b t -> ok (List t)
+  | "snoc", [ t ], [ List a; b ] when sub a t && sub b t -> ok (List t)
+  | "append", [ t ], [ List a; List b ] when sub a t && sub b t ->
+      ok (List t)
+  | "len", [ t ], [ List a ] when sub a t -> ok Num
+  | "is_empty", [ t ], [ List a ] when sub a t -> ok Num
+  | "nth", [ t ], [ List a; Num ] when sub a t -> ok t
+  | "head", [ t ], [ List a ] when sub a t -> ok t
+  | ("tail" | "rev"), [ t ], [ List a ] when sub a t -> ok (List t)
+  | ("take" | "drop"), [ t ], [ List a; Num ] when sub a t -> ok (List t)
+  | "set_nth", [ t ], [ List a; Num; b ] when sub a t && sub b t ->
+      ok (List t)
+  | "range", [], [ Num; Num ] -> ok (List Num)
+  | "list_contains", [ t ], [ List a; b ]
+    when arrow_free t && sub a t && sub b t ->
+      ok Num
+  | "index_of", [ t ], [ List a; b ]
+    when arrow_free t && sub a t && sub b t ->
+      ok Num
+  | ( ( "add" | "sub" | "mul" | "div" | "mod" | "pow" | "min" | "max"
+      | "neg" | "floor" | "ceil" | "round" | "abs" | "sqrt" | "exp" | "ln"
+      | "not" | "rand2" | "eq" | "ne" | "lt" | "le" | "gt" | "ge" | "cond"
+      | "concat" | "str_len" | "substr" | "str_index" | "str_contains"
+      | "str_repeat" | "to_upper" | "to_lower" | "trim" | "char_at"
+      | "str_of" | "num_of" | "fmt_fixed" | "pad_left" | "pad_right"
+      | "split" | "nil" | "cons" | "snoc" | "append" | "len" | "is_empty" | "nth"
+      | "head" | "tail" | "rev" | "take" | "drop" | "set_nth" | "range"
+      | "list_contains" | "index_of" ),
+      _,
+      _ ) ->
+      bad_args name
+  | _ -> err "unknown primitive %%%s" name
+
+let all_names =
+  [ "add"; "sub"; "mul"; "div"; "mod"; "pow"; "min"; "max"; "neg"; "floor";
+    "ceil"; "round"; "abs"; "sqrt"; "exp"; "ln"; "not"; "rand2"; "eq"; "ne";
+    "lt"; "le"; "gt"; "ge"; "cond"; "concat"; "str_len"; "substr";
+    "str_index"; "str_contains"; "str_repeat"; "to_upper"; "to_lower";
+    "trim"; "char_at"; "str_of"; "num_of"; "fmt_fixed"; "pad_left";
+    "pad_right"; "split"; "nil"; "cons"; "snoc"; "append"; "len"; "is_empty";
+    "nth";
+    "head"; "tail"; "rev"; "take"; "drop"; "set_nth"; "range";
+    "list_contains"; "index_of" ]
+
+let exists name = List.mem name all_names
+
+(* ------------------------------------------------------------------ *)
+(* Delta rules                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let num f = Ast.VNum f
+let str s = Ast.VStr s
+let vbool = Ast.vbool
+
+let fclamp_index (f : float) ~len =
+  let i = int_of_float f in
+  if i < 0 then 0 else if i > len then len else i
+
+(* Lexicographic/value comparison for the polymorphic orderings; only
+   numbers and strings are admitted by [typing]. *)
+let compare_prim (a : Ast.value) (b : Ast.value) : int option =
+  match (a, b) with
+  | Ast.VNum x, Ast.VNum y -> Some (Float.compare x y)
+  | Ast.VStr x, Ast.VStr y -> Some (String.compare x y)
+  | _ -> None
+
+(* A deterministic hash-based pseudo-random source: [rand2 a b] is a
+   pure function of its arguments, uniformly-ish in [0, 1).  It stands
+   in for the nondeterministic inputs of the paper's demos (web data),
+   keeping every run reproducible. *)
+let rand2 (a : float) (b : float) : float =
+  let h = ref 0x9E3779B97F4A7C15L in
+  let mix (x : int64) =
+    let open Int64 in
+    h := mul (logxor !h x) 0xBF58476D1CE4E5B9L;
+    h := logxor !h (shift_right_logical !h 27)
+  in
+  mix (Int64.bits_of_float a);
+  mix (Int64.bits_of_float b);
+  mix 0x94D049BB133111EBL;
+  let bits = Int64.shift_right_logical !h 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let substr (s : string) (start : float) (len : float) : string =
+  let n = String.length s in
+  let i = fclamp_index start ~len:n in
+  let l = int_of_float len in
+  let l = if l < 0 then 0 else min l (n - i) in
+  String.sub s i l
+
+let find_sub (hay : string) (needle : string) : int =
+  if needle = "" then 0
+  else
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then -1
+      else if String.sub hay i nn = needle then i
+      else go (i + 1)
+    in
+    go 0
+
+let split_on (s : string) (sep : string) : string list =
+  if sep = "" then List.init (String.length s) (fun i -> String.make 1 s.[i])
+  else
+    let rec go acc s =
+      match find_sub s sep with
+      | -1 -> List.rev (s :: acc)
+      | i ->
+          let before = String.sub s 0 i in
+          let after =
+            String.sub s
+              (i + String.length sep)
+              (String.length s - i - String.length sep)
+          in
+          go (before :: acc) after
+    in
+    go [] s
+
+let pad (side : [ `Left | `Right ]) s width fill =
+  let w = int_of_float width in
+  let fill = if fill = "" then " " else fill in
+  let buf = Buffer.create (max w (String.length s)) in
+  let missing = w - String.length s in
+  if missing <= 0 then s
+  else begin
+    let padding = Buffer.create missing in
+    while Buffer.length padding < missing do
+      Buffer.add_string padding fill
+    done;
+    let padding = String.sub (Buffer.contents padding) 0 missing in
+    (match side with
+    | `Left ->
+        Buffer.add_string buf padding;
+        Buffer.add_string buf s
+    | `Right ->
+        Buffer.add_string buf s;
+        Buffer.add_string buf padding);
+    Buffer.contents buf
+  end
+
+let fmt_fixed (x : float) (digits : float) : string =
+  let d = max 0 (min 12 (int_of_float digits)) in
+  Printf.sprintf "%.*f" d x
+
+(** [delta name targs args] computes the reduct of a fully-applied
+    primitive.  Returns an expression: a value for strict primitives,
+    or a residual application for [cond]. *)
+let delta (name : string) (targs : Typ.t list) (args : Ast.value list) :
+    (Ast.expr, string) result =
+  let v x : (Ast.expr, string) result = Ok (Ast.Val x) in
+  match (name, targs, args) with
+  | "add", [], [ VNum a; VNum b ] -> v (num (a +. b))
+  | "sub", [], [ VNum a; VNum b ] -> v (num (a -. b))
+  | "mul", [], [ VNum a; VNum b ] -> v (num (a *. b))
+  | "div", [], [ VNum a; VNum b ] -> v (num (a /. b))
+  | "mod", [], [ VNum a; VNum b ] ->
+      (* TouchDevelop's math->mod: result has the sign of the divisor *)
+      let r = if b = 0.0 then Float.nan else Float.rem a b in
+      let r = if r <> 0.0 && (r < 0.0) <> (b < 0.0) then r +. b else r in
+      v (num r)
+  | "pow", [], [ VNum a; VNum b ] -> v (num (Float.pow a b))
+  | "min", [], [ VNum a; VNum b ] -> v (num (Float.min a b))
+  | "max", [], [ VNum a; VNum b ] -> v (num (Float.max a b))
+  | "neg", [], [ VNum a ] -> v (num (-.a))
+  | "floor", [], [ VNum a ] -> v (num (Float.floor a))
+  | "ceil", [], [ VNum a ] -> v (num (Float.ceil a))
+  | "round", [], [ VNum a ] -> v (num (Float.round a))
+  | "abs", [], [ VNum a ] -> v (num (Float.abs a))
+  | "sqrt", [], [ VNum a ] -> v (num (Float.sqrt a))
+  | "exp", [], [ VNum a ] -> v (num (Float.exp a))
+  | "ln", [], [ VNum a ] -> v (num (Float.log a))
+  | "not", [], [ VNum a ] -> v (vbool (a = 0.0))
+  | "rand2", [], [ VNum a; VNum b ] -> v (num (rand2 a b))
+  | "eq", [ _ ], [ a; b ] -> v (vbool (Ast.equal_value a b))
+  | "ne", [ _ ], [ a; b ] -> v (vbool (not (Ast.equal_value a b)))
+  | ("lt" | "le" | "gt" | "ge"), [ _ ], [ a; b ] -> (
+      match compare_prim a b with
+      | None -> err "ordering applied to non-ordered values"
+      | Some c ->
+          let r =
+            match name with
+            | "lt" -> c < 0
+            | "le" -> c <= 0
+            | "gt" -> c > 0
+            | _ -> c >= 0
+          in
+          v (vbool r))
+  | "cond", [ _ ], [ VNum c; t; f ] ->
+      let thunk = if c <> 0.0 then t else f in
+      Ok (Ast.App (Val thunk, Ast.eunit))
+  | "concat", [], [ VStr a; VStr b ] -> v (str (a ^ b))
+  | "str_len", [], [ VStr a ] -> v (num (float_of_int (String.length a)))
+  | "substr", [], [ VStr s; VNum i; VNum l ] -> v (str (substr s i l))
+  | "str_index", [], [ VStr s; VStr sub ] ->
+      v (num (float_of_int (find_sub s sub)))
+  | "str_contains", [], [ VStr s; VStr sub ] ->
+      v (vbool (find_sub s sub >= 0))
+  | "str_repeat", [], [ VStr s; VNum n ] ->
+      let n = max 0 (int_of_float n) in
+      let buf = Buffer.create (String.length s * n) in
+      for _ = 1 to n do
+        Buffer.add_string buf s
+      done;
+      v (str (Buffer.contents buf))
+  | "to_upper", [], [ VStr s ] -> v (str (String.uppercase_ascii s))
+  | "to_lower", [], [ VStr s ] -> v (str (String.lowercase_ascii s))
+  | "trim", [], [ VStr s ] -> v (str (String.trim s))
+  | "char_at", [], [ VStr s; VNum i ] ->
+      let i = int_of_float i in
+      if i >= 0 && i < String.length s then v (str (String.make 1 s.[i]))
+      else v (str "")
+  | "str_of", [], [ VNum a ] -> v (str (Pretty.string_of_num a))
+  | "num_of", [], [ VStr s ] -> (
+      match float_of_string_opt (String.trim s) with
+      | Some f -> v (num f)
+      | None -> v (num Float.nan))
+  | "fmt_fixed", [], [ VNum x; VNum d ] -> v (str (fmt_fixed x d))
+  | "pad_left", [], [ VStr s; VNum w; VStr f ] -> v (str (pad `Left s w f))
+  | "pad_right", [], [ VStr s; VNum w; VStr f ] -> v (str (pad `Right s w f))
+  | "split", [], [ VStr s; VStr sep ] ->
+      v (VList (Typ.Str, List.map str (split_on s sep)))
+  | "nil", [ t ], [] -> v (VList (t, []))
+  | "cons", [ t ], [ x; VList (_, xs) ] -> v (VList (t, x :: xs))
+  | "snoc", [ t ], [ VList (_, xs); x ] -> v (VList (t, xs @ [ x ]))
+  | "append", [ t ], [ VList (_, xs); VList (_, ys) ] ->
+      v (VList (t, xs @ ys))
+  | "len", [ _ ], [ VList (_, xs) ] ->
+      v (num (float_of_int (List.length xs)))
+  | "is_empty", [ _ ], [ VList (_, xs) ] -> v (vbool (xs = []))
+  | "nth", [ _ ], [ VList (_, xs); VNum i ] -> (
+      match List.nth_opt xs (int_of_float i) with
+      | Some x -> v x
+      | None -> err "nth: index %g out of bounds (length %d)" i
+                  (List.length xs))
+  | "head", [ _ ], [ VList (_, xs) ] -> (
+      match xs with
+      | x :: _ -> v x
+      | [] -> err "head of empty list")
+  | "tail", [ t ], [ VList (_, xs) ] ->
+      v (VList (t, match xs with [] -> [] | _ :: tl -> tl))
+  | "rev", [ t ], [ VList (_, xs) ] -> v (VList (t, List.rev xs))
+  | "take", [ t ], [ VList (_, xs); VNum n ] ->
+      let n = max 0 (int_of_float n) in
+      v (VList (t, List.filteri (fun i _ -> i < n) xs))
+  | "drop", [ t ], [ VList (_, xs); VNum n ] ->
+      let n = max 0 (int_of_float n) in
+      v (VList (t, List.filteri (fun i _ -> i >= n) xs))
+  | "set_nth", [ t ], [ VList (_, xs); VNum i; x ] ->
+      let i = int_of_float i in
+      v (VList (t, List.mapi (fun j y -> if j = i then x else y) xs))
+  | "range", [], [ VNum a; VNum b ] ->
+      let a = int_of_float a and b = int_of_float b in
+      let n = max 0 (b - a) in
+      v (VList (Typ.Num, List.init n (fun i -> num (float_of_int (a + i)))))
+  | "list_contains", [ _ ], [ VList (_, xs); x ] ->
+      v (vbool (List.exists (Ast.equal_value x) xs))
+  | "index_of", [ _ ], [ VList (_, xs); x ] ->
+      let rec go i = function
+        | [] -> -1
+        | y :: _ when Ast.equal_value x y -> i
+        | _ :: tl -> go (i + 1) tl
+      in
+      v (num (float_of_int (go 0 xs)))
+  | _ -> err "primitive %%%s applied to ill-matched arguments" name

@@ -1,0 +1,33 @@
+(** Primitive operations and their delta-rules.
+
+    The paper keeps arithmetic, string operations and conditionals
+    ambient; here they are primitive applications
+    [Prim (name, type_args, args)] with a typing function (consulted by
+    {!Typecheck}) and a delta-rule (consulted by {!Eval}).
+
+    Only [cond] imposes a non-pure effect on its context: it applies
+    one of its thunk arguments, so its effect is the join of their
+    latent effects — the thunk encoding of conditionals from Sec. 4.1.
+
+    The only partial delta-rules are [head] and [nth] on an empty
+    list; compiled loop code guards them and never gets stuck. *)
+
+type signature = { ty : Typ.t; eff : Eff.t }
+
+val typing :
+  string -> Typ.t list -> Typ.t list -> (signature, string) result
+(** [typing name targs argtys] — result type and required effect of
+    the instantiation, or why it is ill-typed. *)
+
+val delta :
+  string -> Typ.t list -> Ast.value list -> (Ast.expr, string) result
+(** Reduce a fully-applied primitive.  Returns an expression: a value
+    for strict primitives, a residual application for [cond]. *)
+
+val all_names : string list
+val exists : string -> bool
+
+val rand2 : float -> float -> float
+(** The deterministic pseudo-random source behind the [rand] builtin:
+    a pure hash of its arguments in [0, 1).  Stands in for the
+    nondeterministic inputs of the paper's demos (web data). *)

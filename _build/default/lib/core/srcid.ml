@@ -1,0 +1,18 @@
+(** Source identities for [boxed] statements.
+
+    The formal model does not need them, but the implementation's
+    UI-Code Navigation feature (Sec. 3) requires a bidirectional mapping
+    between boxes in the live view and the boxed statements that created
+    them.  The surface compiler stamps every [boxed] expression with a
+    unique id; rendering copies the id onto the produced box. *)
+
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp = Fmt.int
+let to_int (t : t) = t
+let of_int (i : int) : t = i
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)

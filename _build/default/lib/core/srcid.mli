@@ -1,0 +1,14 @@
+(** Identities of [boxed] statements, stamped by the surface compiler
+    and copied onto the boxes they create — the data behind UI-Code
+    Navigation (Sec. 3). *)
+
+type t
+
+val of_int : int -> t
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

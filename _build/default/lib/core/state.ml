@@ -1,0 +1,64 @@
+(** System states [sigma = (C, D, S, P, Q)] (Fig. 7).
+
+    - [code]    — the program [C];
+    - [display] — [D]: either valid box content or the invalid marker
+                  [⊥] ([Invalid]), meaning "needs re-render";
+    - [store]   — [S], the global variables;
+    - [stack]   — [P], the page stack; the top of the stack is the
+                  {e last} element of the list, matching the paper's
+                  convention of appending at the right end;
+    - [queue]   — [Q], the pending events. *)
+
+type display = Invalid | Shown of Boxcontent.t
+
+type t = {
+  code : Program.t;
+  display : display;
+  store : Store.t;
+  stack : (Ident.page * Ast.value) list;
+  queue : Event.t Fqueue.t;
+}
+
+(** The initial system state [(C, ⊥, eps, eps, eps)] (Sec. 4.2). *)
+let initial (code : Program.t) : t =
+  { code; display = Invalid; store = Store.empty; stack = []; queue = Fqueue.empty }
+
+(** A state is stable when the event queue is empty and the page stack
+    is non-empty (Sec. 4.2); stable states wait for user actions. *)
+let is_stable (s : t) = Fqueue.is_empty s.queue && s.stack <> []
+
+let display_valid (s : t) =
+  match s.display with Invalid -> false | Shown _ -> true
+
+let invalidate (s : t) : t = { s with display = Invalid }
+
+(** Top of the page stack, if any. *)
+let top_page (s : t) : (Ident.page * Ast.value) option =
+  match List.rev s.stack with [] -> None | top :: _ -> Some top
+
+let push_page (p : Ident.page) (v : Ast.value) (s : t) : t =
+  { s with stack = s.stack @ [ (p, v) ] }
+
+(** POP either removes the top page or does nothing on an empty stack
+    (rule POP, Fig. 9). *)
+let pop_page (s : t) : t =
+  match List.rev s.stack with
+  | [] -> s
+  | _ :: rest -> { s with stack = List.rev rest }
+
+let enqueue (q : Event.t) (s : t) : t =
+  { s with queue = Fqueue.enqueue q s.queue }
+
+let pp_display ppf = function
+  | Invalid -> Fmt.string ppf "⊥"
+  | Shown b -> Boxcontent.pp ppf b
+
+let pp ppf (s : t) =
+  Fmt.pf ppf
+    "@[<v2>state {@,display = %a@,store = %a@,stack = [%a]@,queue = %a@]@,}"
+    pp_display s.display Store.pp s.store
+    Fmt.(
+      list ~sep:(any "; ") (fun ppf (p, v) ->
+          Fmt.pf ppf "(%s, %a)" p Pretty.pp_value v))
+    s.stack
+    (Fqueue.pp Event.pp) s.queue

@@ -1,0 +1,33 @@
+(** System states [sigma = (C, D, S, P, Q)] (Fig. 7). *)
+
+type display =
+  | Invalid  (** the paper's [⊥]: stale, awaiting RENDER *)
+  | Shown of Boxcontent.t
+
+type t = {
+  code : Program.t;  (** C *)
+  display : display;  (** D *)
+  store : Store.t;  (** S *)
+  stack : (Ident.page * Ast.value) list;  (** P; top = last element *)
+  queue : Event.t Fqueue.t;  (** Q *)
+}
+
+val initial : Program.t -> t
+(** [(C, ⊥, eps, eps, eps)] — the initial system state (Sec. 4.2). *)
+
+val is_stable : t -> bool
+(** Empty queue and non-empty stack: waiting for user actions. *)
+
+val display_valid : t -> bool
+val invalidate : t -> t
+
+val top_page : t -> (Ident.page * Ast.value) option
+val push_page : Ident.page -> Ast.value -> t -> t
+
+val pop_page : t -> t
+(** Pops the top page; no-op on the empty stack (rule POP). *)
+
+val enqueue : Event.t -> t -> t
+
+val pp_display : Format.formatter -> display -> unit
+val pp : Format.formatter -> t -> unit

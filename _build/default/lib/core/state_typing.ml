@@ -1,0 +1,175 @@
+(** Typing of system states (Fig. 11): the judgments [C |- C],
+    [C |- D], [C |- S], [C |- P], [C |- Q], and the top-level
+    [|- (C, D, S, P, Q)] (T-SYS).
+
+    [C |- C] is the well-formedness premise of the UPDATE transition:
+    no duplicate names, globals and page arguments are arrow-free,
+    every body types at its declared type under the declared effect.
+    T-SYS additionally demands a [start] page. *)
+
+let ( let* ) = Result.bind
+
+let err fmt = Fmt.kstr (fun s -> Error s) fmt
+
+(** [C |- C] (T-C-GLOBAL, T-C-FUN, T-C-PAGE). *)
+let check_code (prog : Program.t) : (unit, string) result =
+  let seen = Hashtbl.create 16 in
+  let rec go = function
+    | [] -> Ok ()
+    | d :: rest ->
+        let name = Program.def_name d in
+        if Hashtbl.mem seen name then err "duplicate definition of %s" name
+        else begin
+          Hashtbl.add seen name ();
+          let* () =
+            match d with
+            | Program.Global { name; ty; init } ->
+                (* T-C-GLOBAL *)
+                if not (Typ.arrow_free ty) then
+                  err "global %s has a function type %s (must be ->-free)"
+                    name (Typ.to_string ty)
+                else if not (Typecheck.check_value prog init ty) then
+                  err "initial value of global %s does not have type %s" name
+                    (Typ.to_string ty)
+                else Ok ()
+            | Program.Func { name; ty; body } -> (
+                (* T-C-FUN *)
+                match ty with
+                | Typ.Fn _ -> (
+                    match
+                      Typecheck.check prog Typecheck.empty_gamma Eff.Pure body
+                        ty
+                    with
+                    | Ok () -> Ok ()
+                    | Error m -> err "in function %s: %s" name m)
+                | _ ->
+                    err "function %s declared with non-function type %s" name
+                      (Typ.to_string ty))
+            | Program.Page { name; arg_ty; init; render } ->
+                (* T-C-PAGE *)
+                if not (Typ.arrow_free arg_ty) then
+                  err "page %s has a function-typed argument %s" name
+                    (Typ.to_string arg_ty)
+                else
+                  let* () =
+                    match
+                      Typecheck.check prog Typecheck.empty_gamma Eff.State init
+                        (Typ.Fn (arg_ty, Eff.State, Typ.unit_))
+                    with
+                    | Ok () -> Ok ()
+                    | Error m -> err "in init body of page %s: %s" name m
+                  in
+                  let* () =
+                    match
+                      Typecheck.check prog Typecheck.empty_gamma Eff.State
+                        render
+                        (Typ.Fn (arg_ty, Eff.Render, Typ.unit_))
+                    with
+                    | Ok () -> Ok ()
+                    | Error m -> err "in render body of page %s: %s" name m
+                  in
+                  Ok ()
+          in
+          go rest
+        end
+  in
+  go (Program.defs prog)
+
+(** T-SYS's extra premise: [page start() ... ∈ C], with a unit
+    argument so that STARTUP's [push start ()] is well-typed. *)
+let check_start (prog : Program.t) : (unit, string) result =
+  match Program.find_page prog Ident.start_page with
+  | None -> err "program has no 'start' page"
+  | Some (arg_ty, _, _) ->
+      if Typ.equal arg_ty Typ.unit_ then Ok ()
+      else
+        err "'start' page must take the unit argument, has %s"
+          (Typ.to_string arg_ty)
+
+(** [C |- D] (T-D-INV, T-B-VAL, T-B-ATTR, T-B-NEST). *)
+let check_display (prog : Program.t) (d : State.display) :
+    (unit, string) result =
+  let rec check_box (b : Boxcontent.t) =
+    match b with
+    | [] -> Ok ()
+    | item :: rest ->
+        let* () =
+          match item with
+          | Boxcontent.Leaf v -> (
+              match
+                Typecheck.infer_value prog Typecheck.empty_gamma v
+              with
+              | Ok _ -> Ok ()
+              | Error m -> err "ill-typed leaf value in display: %s" m)
+          | Boxcontent.Attr (a, v) -> (
+              match Attrs.lookup a with
+              | None -> err "display sets unknown attribute %s" a
+              | Some ty ->
+                  if Typecheck.check_value prog v ty then Ok ()
+                  else
+                    err "display attribute %s does not have type %s" a
+                      (Typ.to_string ty))
+          | Boxcontent.Box (_, inner) -> check_box inner
+        in
+        check_box rest
+  in
+  match d with State.Invalid -> Ok () | State.Shown b -> check_box b
+
+(** [C |- S] (T-S-ENTRY): every assigned global is declared and its
+    value has the declared type. *)
+let check_store (prog : Program.t) (s : Store.t) : (unit, string) result =
+  let rec go = function
+    | [] -> Ok ()
+    | (g, v) :: rest -> (
+        match Program.find_global prog g with
+        | None -> err "store binds undeclared global %s" g
+        | Some (ty, _) ->
+            if Typecheck.check_value prog v ty then go rest
+            else err "store value for %s does not have type %s" g
+                (Typ.to_string ty))
+  in
+  go (Store.bindings s)
+
+(** [C |- P] (T-R-ENTRY). *)
+let check_stack (prog : Program.t) (p : (Ident.page * Ast.value) list) :
+    (unit, string) result =
+  let rec go = function
+    | [] -> Ok ()
+    | (page, v) :: rest -> (
+        match Program.find_page prog page with
+        | None -> err "page stack refers to undefined page %s" page
+        | Some (arg_ty, _, _) ->
+            if Typecheck.check_value prog v arg_ty then go rest
+            else
+              err "page stack argument for %s does not have type %s" page
+                (Typ.to_string arg_ty))
+  in
+  go p
+
+(** [C |- Q] (T-Q-EXEC, T-Q-PUSH, T-Q-POP). *)
+let check_queue (prog : Program.t) (q : Event.t Fqueue.t) :
+    (unit, string) result =
+  let rec go = function
+    | [] -> Ok ()
+    | Event.Pop :: rest -> go rest
+    | Event.Exec v :: rest ->
+        if Typecheck.check_value prog v Typ.handler then go rest
+        else err "queued thunk does not have type () -s-> ()"
+    | Event.Push (page, v) :: rest -> (
+        match Program.find_page prog page with
+        | None -> err "queued push refers to undefined page %s" page
+        | Some (arg_ty, _, _) ->
+            if Typecheck.check_value prog v arg_ty then go rest
+            else err "queued push argument for %s is ill-typed" page)
+  in
+  go (Fqueue.to_list q)
+
+(** [|- (C, D, S, P, Q)] (T-SYS). *)
+let check_state (st : State.t) : (unit, string) result =
+  let* () = check_code st.code in
+  let* () = check_start st.code in
+  let* () = check_display st.code st.display in
+  let* () = check_store st.code st.store in
+  let* () = check_stack st.code st.stack in
+  let* () = check_queue st.code st.queue in
+  Ok ()

@@ -1,0 +1,21 @@
+(** Typing of system states (Fig. 11): [C |- C], [C |- D], [C |- S],
+    [C |- P], [C |- Q] and the top-level T-SYS. *)
+
+val check_code : Program.t -> (unit, string) result
+(** [C |- C]: distinct names; arrow-free globals/page arguments with
+    well-typed initial values; function and page bodies typed at their
+    declared types and effects.  The premise of UPDATE (Fig. 9). *)
+
+val check_start : Program.t -> (unit, string) result
+(** T-SYS's extra premise: a parameterless [start] page exists. *)
+
+val check_display : Program.t -> State.display -> (unit, string) result
+val check_store : Program.t -> Store.t -> (unit, string) result
+
+val check_stack :
+  Program.t -> (Ident.page * Ast.value) list -> (unit, string) result
+
+val check_queue : Program.t -> Event.t Fqueue.t -> (unit, string) result
+
+val check_state : State.t -> (unit, string) result
+(** [|- (C, D, S, P, Q)]. *)

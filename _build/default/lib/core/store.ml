@@ -1,0 +1,46 @@
+(** The store [S] (Fig. 7): values of global variables.
+
+    The paper represents [S] as a sequence of key-value pairs with
+    right-most occurrence winning; we use a persistent map, which is
+    observationally identical.  A global that has never been written is
+    absent from the store: rule EP-GLOBAL-2 (Fig. 8) reads such a
+    global's initial value from the code.  Keeping the store partial in
+    this way is load-bearing for code updates — a freshly added global
+    immediately reads its declared initial value. *)
+
+module M = Map.Make (String)
+
+type t = Ast.value M.t
+
+let empty : t = M.empty
+
+(** Raw lookup: [Some v] iff the global has been assigned. *)
+let find (g : Ident.global) (s : t) : Ast.value option = M.find_opt g s
+
+(** The read semantics of EP-GLOBAL-1/2: assigned value, or the initial
+    value from the program, or [None] if the global is not defined at
+    all (a stuck read — cannot happen in well-typed states). *)
+let read (prog : Program.t) (g : Ident.global) (s : t) : Ast.value option =
+  match M.find_opt g s with
+  | Some v -> Some v
+  | None -> (
+      match Program.find_global prog g with
+      | Some (_, init) -> Some init
+      | None -> None)
+
+let write (g : Ident.global) (v : Ast.value) (s : t) : t = M.add g v s
+
+let remove = M.remove
+let bindings (s : t) = M.bindings s
+let of_bindings bs = List.fold_left (fun m (g, v) -> M.add g v m) M.empty bs
+let cardinal = M.cardinal
+let mem = M.mem
+let filter = M.filter
+let equal (a : t) (b : t) = M.equal Ast.equal_value a b
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "{@[%a@]}"
+    Fmt.(
+      list ~sep:(any ";@ ") (fun ppf (g, v) ->
+          Fmt.pf ppf "%s -> %a" g Pretty.pp_value v))
+    (bindings s)

@@ -1,0 +1,27 @@
+(** The store [S] (Fig. 7): values of assigned global variables.
+
+    The store is {e partial}: a global never written is absent, and
+    reads fall back to the initial value declared in the code
+    (EP-GLOBAL-2) — which is also how a freshly added global gets its
+    value after a code update. *)
+
+type t
+
+val empty : t
+
+val find : Ident.global -> t -> Ast.value option
+(** Raw lookup: [Some v] iff assigned. *)
+
+val read : Program.t -> Ident.global -> t -> Ast.value option
+(** The read semantics of EP-GLOBAL-1/2: assigned value, else the
+    declared initial value, else [None] (undefined global — stuck). *)
+
+val write : Ident.global -> Ast.value -> t -> t
+val remove : Ident.global -> t -> t
+val mem : Ident.global -> t -> bool
+val cardinal : t -> int
+val bindings : t -> (Ident.global * Ast.value) list
+val of_bindings : (Ident.global * Ast.value) list -> t
+val filter : (Ident.global -> Ast.value -> bool) -> t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(** Capture-avoiding substitution [e[v/x]] — the engine of rule EP-APP
+    (Fig. 8). *)
+
+val subst_expr :
+  ?closed_arg:bool -> Ident.var -> Ast.value -> Ast.expr -> Ast.expr
+(** [subst_expr x v e] is [e[v/x]].
+
+    [closed_arg] asserts that [v] is closed, making capture impossible
+    and letting substitution skip the free-variable scan of [v].  The
+    big-step evaluator maintains the invariant that every value it
+    produces from a closed program is closed and passes [true]; the
+    small-step specification machine does not. *)
+
+val rename_var : Ident.var -> Ident.var -> Ast.expr -> Ast.expr
+(** Alpha-renaming of free occurrences (used internally by capture
+    avoidance; exposed for the test-suite). *)
+
+val beta :
+  ?closed_arg:bool -> Ident.var -> Ast.expr -> Ast.value -> Ast.expr
+(** [beta x body v] — the right-hand side of EP-APP:
+    [(lambda(x:tau).body) v -> body[v/x]]. *)

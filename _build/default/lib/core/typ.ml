@@ -1,0 +1,79 @@
+(** Types [tau] of the calculus (Fig. 6):
+
+    {v
+      tau ::= number | string | (tau_1, ..., tau_n) | tau -mu-> tau
+    v}
+
+    plus one documented extension: homogeneous lists [tau list], needed
+    because the paper's running example stores a collection of listings
+    in a global variable.  Lists of arrow-free element types are
+    arrow-free, so they are storable in globals without weakening the
+    "no stale code after UPDATE" guarantee (Sec. 4.2). *)
+
+type t =
+  | Num
+  | Str
+  | Tuple of t list
+  | Fn of t * Eff.t * t
+  | List of t
+
+(** The unit type is the empty tuple [()] (Fig. 6). *)
+let unit_ = Tuple []
+
+let handler = Fn (unit_, Eff.State, unit_)
+
+let rec equal a b =
+  match (a, b) with
+  | Num, Num | Str, Str -> true
+  | Tuple xs, Tuple ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Fn (a1, m1, r1), Fn (a2, m2, r2) ->
+      equal a1 a2 && Eff.equal m1 m2 && equal r1 r2
+  | List a, List b -> equal a b
+  | (Num | Str | Tuple _ | Fn _ | List _), _ -> false
+
+(** Subtyping induced by T-SUB (Fig. 10): a function with latent effect
+    [mu1] may be used where latent effect [mu2] is expected whenever
+    [mu1 <= mu2].  We close the rule under the usual structural
+    variance (contravariant domains, covariant codomains); for the
+    paper's programs only the top-level latent effect ever varies. *)
+let rec sub a b =
+  match (a, b) with
+  | Num, Num | Str, Str -> true
+  | Tuple xs, Tuple ys ->
+      List.length xs = List.length ys && List.for_all2 sub xs ys
+  | Fn (a1, m1, r1), Fn (a2, m2, r2) ->
+      sub a2 a1 && Eff.sub m1 m2 && sub r1 r2
+  | List a, List b -> sub a b
+  | (Num | Str | Tuple _ | Fn _ | List _), _ -> false
+
+(** [arrow_free t] — the "[->]-free" side condition of T-C-GLOBAL and
+    T-C-PAGE (Fig. 11).  Globals and page arguments must not contain
+    function types; this is what guarantees that after an UPDATE
+    transition no closure from the old code survives anywhere in the
+    system state. *)
+let rec arrow_free = function
+  | Num | Str -> true
+  | Tuple ts -> List.for_all arrow_free ts
+  | Fn _ -> false
+  | List t -> arrow_free t
+
+let rec pp ppf = function
+  | Num -> Fmt.string ppf "number"
+  | Str -> Fmt.string ppf "string"
+  | Tuple ts -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp) ts
+  | Fn (a, m, r) -> Fmt.pf ppf "%a -%a-> %a" pp_atom a Eff.pp m pp r
+  | List t -> Fmt.pf ppf "[%a]" pp t
+
+and pp_atom ppf t =
+  match t with Fn _ -> Fmt.pf ppf "(%a)" pp t | _ -> pp ppf t
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Size of the type term; used by the qcheck shrinkers and as a fuel
+    measure in random generation. *)
+let rec size = function
+  | Num | Str -> 1
+  | Tuple ts -> 1 + List.fold_left (fun n t -> n + size t) 0 ts
+  | Fn (a, _, r) -> 1 + size a + size r
+  | List t -> 1 + size t

@@ -1,0 +1,38 @@
+(** Types [tau] of the calculus (Fig. 6):
+    numbers, strings, tuples (the empty tuple is unit), functions with
+    a latent effect, and one documented extension — homogeneous lists.
+
+    The [->]-free fragment ({!arrow_free}) is the storable fragment:
+    globals and page arguments must live in it (T-C-GLOBAL, T-C-PAGE,
+    Fig. 11), which is what guarantees no closure survives a code
+    update. *)
+
+type t =
+  | Num
+  | Str
+  | Tuple of t list
+  | Fn of t * Eff.t * t  (** [tau1 -mu-> tau2] *)
+  | List of t
+
+val unit_ : t
+(** The unit type [()], i.e. [Tuple []]. *)
+
+val handler : t
+(** The type of event handlers, [() -s-> ()] (the paper's
+    [Gamma_a(ontap)]). *)
+
+val equal : t -> t -> bool
+
+val sub : t -> t -> bool
+(** Subtyping induced by T-SUB: latent effects may grow ([Eff.sub]),
+    closed under the usual structural variance. *)
+
+val arrow_free : t -> bool
+(** The side condition of T-C-GLOBAL / T-C-PAGE. *)
+
+val size : t -> int
+(** Size of the type term (generation budgets and shrinking). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_atom : Format.formatter -> t -> unit
+val to_string : t -> string

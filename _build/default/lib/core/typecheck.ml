@@ -1,0 +1,219 @@
+(** The type and effect system for expressions (Fig. 10):
+
+    {v
+      C; Gamma |-mu e : tau
+    v}
+
+    The paper's rules are declarative; the algorithmic presentation
+    here computes, for each expression, its type together with the
+    {e least} effect under which it can be typed.  The effect order
+    (Pure below State and Render, which are incomparable) has binary
+    joins except for [State]/[Render] — exactly the pairs rule T-SUB
+    can reconcile.  An expression [e] then types under [mu] iff
+    [least_effect(e) <= mu]; this is equivalent to the declarative
+    system and gives principal latent effects to lambdas (T-LAM's
+    [mu_1] is chosen minimally, and T-SUB recovers all larger
+    choices). *)
+
+type gamma = (Ident.var * Typ.t) list
+
+let empty_gamma : gamma = []
+
+type answer = { ty : Typ.t; eff : Eff.t }
+
+let ( let* ) = Result.bind
+
+let err fmt = Fmt.kstr (fun s -> Error s) fmt
+
+let join_eff (a : Eff.t) (b : Eff.t) : (Eff.t, string) result =
+  match Eff.join a b with
+  | Some e -> Ok e
+  | None ->
+      err
+        "expression mixes state and render effects: the model-view \
+         separation admits no join of '%s' and '%s'" (Eff.name a)
+        (Eff.name b)
+
+let rec joins = function
+  | [] -> Ok Eff.Pure
+  | [ e ] -> Ok e
+  | e :: rest ->
+      let* r = joins rest in
+      join_eff e r
+
+(** [infer prog gamma e] — type and least effect of [e], or an error. *)
+let rec infer (prog : Program.t) (gamma : gamma) (e : Ast.expr) :
+    (answer, string) result =
+  match e with
+  | Ast.Val v -> infer_value prog gamma v
+  | Ast.Var x -> (
+      (* T-VAR *)
+      match List.assoc_opt x gamma with
+      | Some ty -> Ok { ty; eff = Eff.Pure }
+      | None -> err "unbound variable %s" x)
+  | Ast.Tuple es ->
+      (* T-TUPLE *)
+      let* answers = infer_all prog gamma es in
+      let* eff = joins (List.map (fun a -> a.eff) answers) in
+      Ok { ty = Typ.Tuple (List.map (fun a -> a.ty) answers); eff }
+  | Ast.App (e1, e2) -> (
+      (* T-APP with T-SUB folded in: the function's latent effect joins
+         into the application's effect *)
+      let* f = infer prog gamma e1 in
+      let* a = infer prog gamma e2 in
+      match f.ty with
+      | Typ.Fn (dom, latent, cod) ->
+          if not (Typ.sub a.ty dom) then
+            err "argument type %s does not match parameter type %s"
+              (Typ.to_string a.ty) (Typ.to_string dom)
+          else
+            let* eff = joins [ f.eff; a.eff; latent ] in
+            Ok { ty = cod; eff }
+      | ty -> err "application of a non-function (type %s)" (Typ.to_string ty)
+      )
+  | Ast.Fn f -> (
+      (* T-FUN: the declared type from C *)
+      match Program.find_func prog f with
+      | Some (ty, _) -> Ok { ty; eff = Eff.Pure }
+      | None -> err "undefined function %s" f)
+  | Ast.Proj (e1, n) -> (
+      (* T-PROJ *)
+      let* a = infer prog gamma e1 in
+      match a.ty with
+      | Typ.Tuple ts -> (
+          match List.nth_opt ts (n - 1) with
+          | Some ty -> Ok { ty; eff = a.eff }
+          | None ->
+              err "projection .%d out of range for %s" n
+                (Typ.to_string a.ty))
+      | ty -> err "projection from non-tuple type %s" (Typ.to_string ty))
+  | Ast.Get g -> (
+      (* T-GLOBAL *)
+      match Program.find_global prog g with
+      | Some (ty, _) -> Ok { ty; eff = Eff.Pure }
+      | None -> err "undefined global %s" g)
+  | Ast.Set (g, e1) -> (
+      (* T-ASSIGN: requires the state effect *)
+      match Program.find_global prog g with
+      | None -> err "assignment to undefined global %s" g
+      | Some (ty, _) ->
+          let* a = infer prog gamma e1 in
+          if not (Typ.sub a.ty ty) then
+            err "cannot assign %s to global %s : %s" (Typ.to_string a.ty) g
+              (Typ.to_string ty)
+          else
+            let* eff = join_eff a.eff Eff.State in
+            Ok { ty = Typ.unit_; eff })
+  | Ast.Push (p, e1) -> (
+      (* T-PUSH *)
+      match Program.find_page prog p with
+      | None -> err "push of undefined page %s" p
+      | Some (arg_ty, _, _) ->
+          let* a = infer prog gamma e1 in
+          if not (Typ.sub a.ty arg_ty) then
+            err "page %s expects argument type %s, got %s" p
+              (Typ.to_string arg_ty) (Typ.to_string a.ty)
+          else
+            let* eff = join_eff a.eff Eff.State in
+            Ok { ty = Typ.unit_; eff })
+  | Ast.Pop ->
+      (* T-POP *)
+      Ok { ty = Typ.unit_; eff = Eff.State }
+  | Ast.Boxed (_, e1) ->
+      (* T-BOXED *)
+      let* a = infer prog gamma e1 in
+      let* eff = join_eff a.eff Eff.Render in
+      Ok { ty = a.ty; eff }
+  | Ast.Post e1 ->
+      (* T-POST *)
+      let* a = infer prog gamma e1 in
+      let* eff = join_eff a.eff Eff.Render in
+      Ok { ty = Typ.unit_; eff }
+  | Ast.SetAttr (attr, e1) -> (
+      (* T-ATTR: the attribute environment Gamma_a fixes the type *)
+      match Attrs.lookup attr with
+      | None -> err "unknown box attribute %s" attr
+      | Some ty ->
+          let* a = infer prog gamma e1 in
+          if not (Typ.sub a.ty ty) then
+            err "attribute %s expects %s, got %s" attr (Typ.to_string ty)
+              (Typ.to_string a.ty)
+          else
+            let* eff = join_eff a.eff Eff.Render in
+            Ok { ty = Typ.unit_; eff })
+  | Ast.Prim (name, targs, es) ->
+      let* answers = infer_all prog gamma es in
+      let* sg = Prim.typing name targs (List.map (fun a -> a.ty) answers) in
+      let* eff = joins (sg.Prim.eff :: List.map (fun a -> a.eff) answers) in
+      Ok { ty = sg.Prim.ty; eff }
+
+and infer_all prog gamma es =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest ->
+        let* a = infer prog gamma e in
+        go (a :: acc) rest
+  in
+  go [] es
+
+and infer_value (prog : Program.t) (gamma : gamma) (v : Ast.value) :
+    (answer, string) result =
+  match v with
+  | Ast.VNum _ -> Ok { ty = Typ.Num; eff = Eff.Pure } (* T-INT *)
+  | Ast.VStr _ -> Ok { ty = Typ.Str; eff = Eff.Pure } (* T-STRING *)
+  | Ast.VTuple vs ->
+      let rec go acc = function
+        | [] -> Ok (Typ.Tuple (List.rev acc))
+        | v :: rest ->
+            let* a = infer_value prog gamma v in
+            go (a.ty :: acc) rest
+      in
+      let* ty = go [] vs in
+      Ok { ty; eff = Eff.Pure }
+  | Ast.VLam (x, dom, body) ->
+      (* T-LAM: the latent effect is the least effect of the body *)
+      let* b = infer prog ((x, dom) :: gamma) body in
+      Ok { ty = Typ.Fn (dom, b.eff, b.ty); eff = Eff.Pure }
+  | Ast.VList (elt, vs) ->
+      let rec go = function
+        | [] -> Ok ()
+        | v :: rest ->
+            let* a = infer_value prog gamma v in
+            if Typ.sub a.ty elt then go rest
+            else
+              err "list element type %s does not match %s"
+                (Typ.to_string a.ty) (Typ.to_string elt)
+      in
+      let* () = go vs in
+      Ok { ty = Typ.List elt; eff = Eff.Pure }
+
+(** [check prog gamma mu e tau]: the paper's judgment
+    [C; Gamma |-mu e : tau] — [e]'s least effect is below [mu] and its
+    type is a subtype of [tau]. *)
+let check (prog : Program.t) (gamma : gamma) (mu : Eff.t) (e : Ast.expr)
+    (tau : Typ.t) : (unit, string) result =
+  let* a = infer prog gamma e in
+  if not (Eff.sub a.eff mu) then
+    err "expression requires effect '%s' but context allows '%s'"
+      (Eff.name a.eff) (Eff.name mu)
+  else if not (Typ.sub a.ty tau) then
+    err "expression has type %s, expected %s" (Typ.to_string a.ty)
+      (Typ.to_string tau)
+  else Ok ()
+
+(** [infer_at prog gamma mu e]: type of [e] under effect bound [mu]. *)
+let infer_at (prog : Program.t) (gamma : gamma) (mu : Eff.t) (e : Ast.expr) :
+    (Typ.t, string) result =
+  let* a = infer prog gamma e in
+  if not (Eff.sub a.eff mu) then
+    err "expression requires effect '%s' but context allows '%s'"
+      (Eff.name a.eff) (Eff.name mu)
+  else Ok a.ty
+
+(** Convenience used by Fig. 11/12 rules: a closed value checks against
+    a type ([C; eps |-s v : tau]; for values the effect is irrelevant,
+    values type under every effect). *)
+let check_value (prog : Program.t) (v : Ast.value) (tau : Typ.t) : bool =
+  match infer_value prog empty_gamma v with
+  | Ok a -> Typ.sub a.ty tau
+  | Error _ -> false

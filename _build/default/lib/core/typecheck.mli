@@ -1,0 +1,29 @@
+(** The type-and-effect system for expressions (Fig. 10),
+    algorithmically: every expression gets its type together with the
+    {e least} effect under which it types.  [e] then satisfies the
+    declarative judgment [C; Gamma |-mu e : tau] iff its least effect
+    is below [mu] and its type is a subtype of [tau] — this gives
+    lambdas principal latent effects (T-LAM + T-SUB). *)
+
+type gamma = (Ident.var * Typ.t) list
+
+val empty_gamma : gamma
+
+type answer = { ty : Typ.t; eff : Eff.t }
+
+val infer : Program.t -> gamma -> Ast.expr -> (answer, string) result
+(** Type and least effect, or the first error. *)
+
+val infer_value : Program.t -> gamma -> Ast.value -> (answer, string) result
+
+val check :
+  Program.t -> gamma -> Eff.t -> Ast.expr -> Typ.t -> (unit, string) result
+(** The paper's judgment [C; Gamma |-mu e : tau]. *)
+
+val infer_at :
+  Program.t -> gamma -> Eff.t -> Ast.expr -> (Typ.t, string) result
+(** Type of [e] under an effect bound. *)
+
+val check_value : Program.t -> Ast.value -> Typ.t -> bool
+(** [C; eps |- v : tau] for closed values (effect-irrelevant) — the
+    workhorse of Figs. 11 and 12. *)

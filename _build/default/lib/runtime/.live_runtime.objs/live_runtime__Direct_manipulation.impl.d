@@ -1,0 +1,1 @@
+lib/runtime/direct_manipulation.ml: Fmt List Live_core Live_session Live_surface Option Session String

@@ -1,0 +1,1 @@
+lib/runtime/direct_manipulation.mli: Live_core Live_session

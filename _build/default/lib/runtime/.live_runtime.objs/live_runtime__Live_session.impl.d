@@ -1,0 +1,1 @@
+lib/runtime/live_session.ml: Live_core Live_surface Live_ui Navigation Result Session

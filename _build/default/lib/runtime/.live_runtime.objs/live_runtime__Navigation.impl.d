@@ -1,0 +1,1 @@
+lib/runtime/navigation.ml: List Live_core Live_surface Live_ui Option Session

@@ -1,0 +1,1 @@
+lib/runtime/navigation.mli: Live_core Live_surface Live_ui Session

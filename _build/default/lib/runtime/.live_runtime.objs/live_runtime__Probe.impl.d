@@ -1,0 +1,1 @@
+lib/runtime/probe.ml: Fmt List Live_core Live_session Live_surface Live_ui Printf Session

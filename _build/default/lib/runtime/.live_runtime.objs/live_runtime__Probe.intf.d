@@ -1,0 +1,1 @@
+lib/runtime/probe.mli: Live_core Live_session Session

@@ -1,0 +1,1 @@
+lib/runtime/session.ml: Live_core Live_ui Option Result Trace

@@ -1,0 +1,1 @@
+lib/runtime/session.mli: Live_core Live_ui Trace

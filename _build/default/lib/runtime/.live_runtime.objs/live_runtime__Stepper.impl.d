@@ -1,0 +1,1 @@
+lib/runtime/stepper.ml: Buffer Fmt List Live_core Live_surface Option Printf

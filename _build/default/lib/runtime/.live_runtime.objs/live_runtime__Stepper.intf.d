@@ -1,0 +1,1 @@
+lib/runtime/stepper.mli: Format Live_core Live_surface

@@ -1,0 +1,108 @@
+(** Direct manipulation (Sec. 3): change a box's attributes from the
+    live view, with the change "enshrined in code" — the editor inserts
+    or updates the corresponding [box.attr := v] statement inside the
+    boxed statement that created the box, recompiles, and applies the
+    UPDATE transition.
+
+    This is the I1 improvement of Sec. 3.1: select a box, pick the
+    margin property, and nudge the number while watching the live view. *)
+
+module Sast = Live_surface.Sast
+
+type error =
+  | No_such_box  (** the srcid does not name a boxed statement *)
+  | Bad_attribute of string
+  | Edit_failed of Live_session.error
+
+let error_to_string = function
+  | No_such_box -> "no boxed statement with that id"
+  | Bad_attribute m -> m
+  | Edit_failed e -> Live_session.error_to_string e
+
+(** Build the replacement block for a boxed statement: update the last
+    top-level [box.attr := _] if one exists, else append one.  Fresh
+    statements get ids above every existing id; ids are reassigned by
+    the re-parse anyway. *)
+let upsert_attr (ast : Sast.program) (stmt : Sast.stmt) (attr : string)
+    (value : Sast.expr) : Sast.stmt =
+  match stmt.Sast.sdesc with
+  | Sast.SBoxed block ->
+      let updated = ref false in
+      let block =
+        List.map
+          (fun (s : Sast.stmt) ->
+            match s.Sast.sdesc with
+            | Sast.SAttr (a, _) when String.equal a attr && not !updated ->
+                updated := true;
+                { s with Sast.sdesc = Sast.SAttr (attr, value) }
+            | _ -> s)
+          block
+      in
+      let block =
+        if !updated then block
+        else begin
+          let max_id = Sast.fold_stmts (fun m s -> max m s.Sast.sid) 0 ast in
+          block
+          @ [
+              {
+                Sast.sdesc = Sast.SAttr (attr, value);
+                sloc = Live_surface.Loc.dummy;
+                sid = max_id + 1;
+              };
+            ]
+        end
+      in
+      { stmt with Sast.sdesc = Sast.SBoxed block }
+  | _ -> stmt
+
+(** Set an attribute of the box created by the given boxed statement.
+    [value] is surface expression syntax (e.g. ["12"] or
+    ["\"light blue\""]). *)
+let set_attribute (t : Live_session.t) ~(srcid : Live_core.Srcid.t)
+    ~(attr : string) ~(value : string) :
+    (Live_session.edit_outcome, error) result =
+  match Live_core.Attrs.lookup attr with
+  | None -> Error (Bad_attribute (Fmt.str "unknown attribute '%s'" attr))
+  | Some (Live_core.Typ.Fn _) ->
+      Error
+        (Bad_attribute
+           (Fmt.str "attribute '%s' holds a handler; edit the code" attr))
+  | Some _ -> (
+      match
+        try Ok (Live_surface.Parser.parse_expr_string value)
+        with Live_surface.Lexer.Error (m, _) | Live_surface.Parser.Error (m, _)
+        -> Error (Bad_attribute m)
+      with
+      | Error e -> Error e
+      | Ok value_expr -> (
+          let ast = (Live_session.compiled t).Live_surface.Compile.ast in
+          match
+            Sast.rewrite_stmt ast (Live_core.Srcid.to_int srcid) (fun s ->
+                match s.Sast.sdesc with
+                | Sast.SBoxed _ -> [ upsert_attr ast s attr value_expr ]
+                | _ -> [ s ])
+          with
+          | None -> Error No_such_box
+          | Some ast' -> (
+              (* verify the target really was a boxed statement *)
+              match Sast.find_stmt ast (Live_core.Srcid.to_int srcid) with
+              | Some { Sast.sdesc = Sast.SBoxed _; _ } -> (
+                  match Live_session.edit_ast t ast' with
+                  | Ok outcome -> Ok outcome
+                  | Error e -> Error (Edit_failed e))
+              | _ -> Error No_such_box)))
+
+(** Read the current value of an attribute on the first box a boxed
+    statement produced — what the property editor shows before the
+    user changes it. *)
+let get_attribute (t : Live_session.t) ~(srcid : Live_core.Srcid.t)
+    ~(attr : string) : Live_core.Ast.value option =
+  match Session.display_content (Live_session.session t) with
+  | None -> None
+  | Some b -> (
+      match Live_core.Boxcontent.paths_of_srcid srcid b with
+      | [] -> None
+      | path :: _ ->
+          Option.bind
+            (Live_core.Boxcontent.box_at path b)
+            (Live_core.Boxcontent.own_attr attr))

@@ -1,0 +1,30 @@
+(** Direct manipulation (Sec. 3): change a box's attributes from the
+    live view, with the change enshrined in code — the editor upserts
+    the corresponding [box.attr := v] statement inside the boxed
+    statement that created the box, recompiles, and applies UPDATE.
+    This is Sec. 3.1's I1 improvement. *)
+
+type error =
+  | No_such_box
+  | Bad_attribute of string
+  | Edit_failed of Live_session.error
+
+val error_to_string : error -> string
+
+val set_attribute :
+  Live_session.t ->
+  srcid:Live_core.Srcid.t ->
+  attr:string ->
+  value:string ->
+  (Live_session.edit_outcome, error) result
+(** [value] is surface expression syntax (["12"], ["\"light blue\""],
+    ["1 + 1"]).  Handler attributes are not settable this way.  A
+    value that fails to type leaves the program untouched. *)
+
+val get_attribute :
+  Live_session.t ->
+  srcid:Live_core.Srcid.t ->
+  attr:string ->
+  Live_core.Ast.value option
+(** Current value on the first box the statement produced — what a
+    property editor shows before the user changes it. *)

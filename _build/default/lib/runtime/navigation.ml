@@ -1,0 +1,73 @@
+(** UI-Code Navigation (Sec. 3): the bidirectional mapping between
+    boxes in the live view and [boxed] statements in the code view.
+
+    - live view -> code: tapping a box selects the boxed statement that
+      created it ({!select_at}); nested boxes cover their containers,
+      so {!enclosing_at} also exposes the whole chain for the paper's
+      "nested selection mode" (Sec. 5);
+    - code -> live view: selecting a boxed statement highlights every
+      box it produced — several, when the statement sits in a loop
+      ({!frames_of_stmt}, Fig. 2's collective selection). *)
+
+module Srcid = Live_core.Srcid
+
+(** A selection: the boxed statement's id, its source span, and its
+    source text. *)
+type selection = {
+  srcid : Srcid.t;
+  span : Live_surface.Loc.t;
+  text : string;
+}
+
+let selection_of_srcid (compiled : Live_surface.Compile.compiled)
+    (id : Srcid.t) : selection option =
+  match
+    Live_surface.Sast.find_stmt compiled.Live_surface.Compile.ast
+      (Srcid.to_int id)
+  with
+  | Some stmt ->
+      Some
+        {
+          srcid = id;
+          span = stmt.Live_surface.Sast.sloc;
+          text = Live_surface.Printer.stmt_to_string stmt;
+        }
+  | None -> None
+
+(** Deepest boxed statement whose box contains the point. *)
+let select_at (session : Session.t)
+    (compiled : Live_surface.Compile.compiled) ~(x : int) ~(y : int) :
+    selection option =
+  match Session.layout session with
+  | None -> None
+  | Some root -> (
+      match Live_ui.Layout.srcid_at root ~x ~y with
+      | None -> None
+      | Some id -> selection_of_srcid compiled id)
+
+(** The chain of boxed statements enclosing a point, innermost first —
+    tapping repeatedly walks outward through this list. *)
+let enclosing_at (session : Session.t)
+    (compiled : Live_surface.Compile.compiled) ~(x : int) ~(y : int) :
+    selection list =
+  match Session.layout session with
+  | None -> []
+  | Some root ->
+      Live_ui.Layout.nodes_at root ~x ~y
+      |> List.rev
+      |> List.filter_map (fun (n : Live_ui.Layout.node) ->
+             Option.bind n.Live_ui.Layout.srcid
+               (selection_of_srcid compiled))
+
+(** Every frame produced by a boxed statement (code -> live view). *)
+let frames_of_stmt (session : Session.t) (id : Srcid.t) :
+    Live_ui.Geometry.rect list =
+  match Session.layout session with
+  | None -> []
+  | Some root -> Live_ui.Layout.frames_of_srcid root id
+
+(** All boxed-statement ids visible in the current display. *)
+let visible_srcids (session : Session.t) : Srcid.t list =
+  match Session.display_content session with
+  | None -> []
+  | Some b -> Live_core.Boxcontent.srcids b

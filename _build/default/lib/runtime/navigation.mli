@@ -1,0 +1,37 @@
+(** UI-Code Navigation (Sec. 3, Fig. 2): the bidirectional mapping
+    between boxes in the live view and [boxed] statements in the code
+    view. *)
+
+type selection = {
+  srcid : Live_core.Srcid.t;
+  span : Live_surface.Loc.t;  (** source span of the boxed statement *)
+  text : string;  (** its printed source *)
+}
+
+val selection_of_srcid :
+  Live_surface.Compile.compiled -> Live_core.Srcid.t -> selection option
+
+val select_at :
+  Session.t ->
+  Live_surface.Compile.compiled ->
+  x:int ->
+  y:int ->
+  selection option
+(** Live view -> code: deepest boxed statement whose box contains the
+    point. *)
+
+val enclosing_at :
+  Session.t ->
+  Live_surface.Compile.compiled ->
+  x:int ->
+  y:int ->
+  selection list
+(** The chain of enclosing boxed statements, innermost first — the
+    paper's nested selection mode (Sec. 5). *)
+
+val frames_of_stmt :
+  Session.t -> Live_core.Srcid.t -> Live_ui.Geometry.rect list
+(** Code -> live view: every frame the statement produced (several in
+    loops — Fig. 2's collective selection). *)
+
+val visible_srcids : Session.t -> Live_core.Srcid.t list

@@ -1,0 +1,137 @@
+(** Probing: live debugging output for non-UI code.
+
+    Sec. 5 of the paper suggests, as future work, "the use of boxed
+    statements to produce debugging output in batch computations".
+    This module realises that idea: evaluate an expression or a global
+    function against the {e current} model state of a running session,
+    in render mode, and show the boxes it produces — a scratch display
+    that never touches the session's real state (render code cannot
+    write globals, so probing is side-effect-free by construction).
+
+    A pure function probes as its printed result; a render function
+    probes as the box tree it builds.  Combined with live editing this
+    gives the REPL-with-state experience the paper contrasts with
+    command-line REPLs (Sec. 2): the probe sees the program's actual
+    globals, not a synthetic environment. *)
+
+module Ast = Live_core.Ast
+module Typ = Live_core.Typ
+module Eff = Live_core.Eff
+
+type error =
+  | Unknown_function of string
+  | Wrong_effect of string  (** state-effect code cannot be probed *)
+  | Bad_argument of string
+  | Probe_failed of string
+
+let error_to_string = function
+  | Unknown_function f -> Fmt.str "unknown function '%s'" f
+  | Wrong_effect m -> m
+  | Bad_argument m -> m
+  | Probe_failed m -> m
+
+type result_ = {
+  value : Ast.value;  (** the function's return value *)
+  boxes : Live_core.Boxcontent.t;  (** debugging output it posted *)
+  screenshot : string;  (** the boxes, rendered *)
+}
+
+(** Evaluate a closed core expression in render mode against the
+    session's current store. *)
+let probe_expr ?(width = 48) (session : Session.t) (e : Ast.expr) :
+    (result_, error) result =
+  let st = Session.state session in
+  let prog = st.Live_core.State.code in
+  (* type it first: only pure or render expressions are probeable *)
+  match Live_core.Typecheck.infer prog Live_core.Typecheck.empty_gamma e with
+  | Error m -> Error (Bad_argument m)
+  | Ok a ->
+      if not (Eff.sub a.Live_core.Typecheck.eff Eff.Render) then
+        Error
+          (Wrong_effect
+             "only pure or render code can be probed; state code would \
+              mutate the model (run it through a handler instead)")
+      else begin
+        match
+          Live_core.Eval.eval_render prog st.Live_core.State.store e
+        with
+        | value, boxes ->
+            let boxes =
+              if Live_core.Boxcontent.count_items boxes = 0 then
+                (* pure expressions: show the value itself *)
+                [ Live_core.Boxcontent.Leaf value ]
+              else boxes
+            in
+            Ok
+              {
+                value;
+                boxes;
+                screenshot = Live_ui.Render.screenshot ~width boxes;
+              }
+        | exception Live_core.Eval.Stuck m -> Error (Probe_failed m)
+        | exception Live_core.Eval.Out_of_fuel ->
+            Error (Probe_failed "probe diverged")
+      end
+
+(** Probe a global function applied to an argument value. *)
+let probe_call ?width (session : Session.t) ~(func : string)
+    ~(arg : Ast.value) : (result_, error) result =
+  let st = Session.state session in
+  match Live_core.Program.find_func st.Live_core.State.code func with
+  | None -> Error (Unknown_function func)
+  | Some _ -> probe_expr ?width session (Ast.App (Ast.Fn func, Ast.Val arg))
+
+(** Probe a surface-syntax expression typed against a live session —
+    e.g. [probe_source ls "monthly_payment(100000, 4.5, 360)"].
+
+    The expression is wrapped into a scratch render body and compiled
+    with the session's current program text, so it can use globals,
+    functions and builtins exactly like code in the editor. *)
+let probe_source ?width (ls : Live_session.t) (src : string) :
+    (result_, error) result =
+  let wrapped =
+    Printf.sprintf "%s\n\npage %s()\ninit { }\nrender {\n  post (%s)\n}\n"
+      (Live_session.source ls)
+      (* a name users cannot collide with is not expressible in surface
+         syntax, so use an unlikely one and fail gracefully on clash *)
+      "probe_scratch_page_" src
+  in
+  match Live_surface.Compile.compile wrapped with
+  | Error e -> Error (Bad_argument (Live_surface.Compile.error_to_string e))
+  | Ok compiled -> (
+      match
+        Live_core.Program.find_page compiled.Live_surface.Compile.core
+          "probe_scratch_page_"
+      with
+      | None -> Error (Probe_failed "internal error: scratch page missing")
+      | Some (_, _, render_fn) ->
+          (* evaluate the scratch render body against the live store,
+             under the session's (equivalent) current program *)
+          let st = Session.state (Live_session.session ls) in
+          let e = Ast.App (render_fn, Ast.eunit) in
+          let prog = compiled.Live_surface.Compile.core in
+          (match
+             Live_core.Eval.eval_render prog st.Live_core.State.store e
+           with
+          | _, boxes ->
+              (* the wrapper's [post] made the last leaf the probed
+                 expression's value; surface it as [value], and drop it
+                 from the display when it is an uninformative "()" next
+                 to real debugging output *)
+              let value, boxes =
+                match List.rev boxes with
+                | Live_core.Boxcontent.Leaf v :: (_ :: _ as rest)
+                  when Ast.equal_value v Ast.vunit ->
+                    (v, List.rev rest)
+                | Live_core.Boxcontent.Leaf v :: _ -> (v, boxes)
+                | _ -> (Ast.vunit, boxes)
+              in
+              Ok
+                {
+                  value;
+                  boxes;
+                  screenshot = Live_ui.Render.screenshot ?width boxes;
+                }
+          | exception Live_core.Eval.Stuck m -> Error (Probe_failed m)
+          | exception Live_core.Eval.Out_of_fuel ->
+              Error (Probe_failed "probe diverged")))

@@ -1,0 +1,42 @@
+(** Probing: live debugging output for non-UI code — the paper's
+    Sec. 5 future-work suggestion ("the use of boxed statements to
+    produce debugging output in batch computations"), implemented.
+
+    A probe evaluates pure or render code against the running
+    session's {e current} model state and shows the boxes it builds
+    (or its value, for pure code) on a scratch display.  Because
+    render code cannot write globals, probing is side-effect-free by
+    construction; state code is rejected. *)
+
+type error =
+  | Unknown_function of string
+  | Wrong_effect of string
+  | Bad_argument of string
+  | Probe_failed of string
+
+val error_to_string : error -> string
+
+type result_ = {
+  value : Live_core.Ast.value;
+  boxes : Live_core.Boxcontent.t;
+  screenshot : string;
+}
+
+val probe_expr :
+  ?width:int -> Session.t -> Live_core.Ast.expr -> (result_, error) result
+(** Probe a closed core expression (typechecked first; must be pure or
+    render effect). *)
+
+val probe_call :
+  ?width:int ->
+  Session.t ->
+  func:string ->
+  arg:Live_core.Ast.value ->
+  (result_, error) result
+(** Probe a global function applied to an argument. *)
+
+val probe_source :
+  ?width:int -> Live_session.t -> string -> (result_, error) result
+(** Probe a surface-syntax expression against a live session — e.g.
+    [probe_source ls "monthly_payment(price, apr, 360)"].  It may use
+    the program's globals, functions and builtins. *)

@@ -1,0 +1,148 @@
+(** An interactive session: a system state (Fig. 7) driven by the
+    transition rules (Fig. 9), connected to the character-cell display.
+
+    The session keeps the state {e stable} between interactions: every
+    public operation ends by draining the event queue and re-rendering
+    (the "system is always live" loop of Sec. 4.2).  Screen-coordinate
+    taps are resolved to handlers by hit-testing the laid-out box tree
+    — the implementation counterpart of the TAP rule's premise
+    [[ontap = v] ∈ B].
+
+    A session also records the trace of user interactions, which the
+    restart baseline replays and which this runtime deliberately never
+    needs. *)
+
+module Machine = Live_core.Machine
+module State = Live_core.State
+
+type t = {
+  mutable state : State.t;
+  width : int;
+  fuel : int;
+  mutable layout : Live_ui.Layout.node option;
+  mutable trace : Trace.t;
+  cache : Live_ui.Layout.cache option;  (** incremental layout, if on *)
+}
+
+let ( let* ) = Result.bind
+
+let stabilize (t : t) : (unit, Machine.error) result =
+  let* st = Machine.run_to_stable ~fuel:t.fuel t.state in
+  t.state <- st;
+  t.layout <- None;
+  Ok ()
+
+let create ?(width = 48) ?(fuel = Live_core.Eval.default_fuel)
+    ?(incremental = false) (program : Live_core.Program.t) :
+    (t, Machine.error) result =
+  let t =
+    {
+      state = State.initial program;
+      width;
+      fuel;
+      layout = None;
+      trace = Trace.empty;
+      cache = (if incremental then Some (Live_ui.Layout.create_cache ()) else None);
+    }
+  in
+  let* () = stabilize t in
+  Ok t
+
+let state (t : t) = t.state
+let trace (t : t) = t.trace
+let width (t : t) = t.width
+
+let display_content (t : t) : Live_core.Boxcontent.t option =
+  match t.state.State.display with
+  | State.Invalid -> None
+  | State.Shown b -> Some b
+
+(** The layout of the current display, computed lazily and cached until
+    the next transition. *)
+let layout (t : t) : Live_ui.Layout.node option =
+  match t.layout with
+  | Some l -> Some l
+  | None -> (
+      match display_content t with
+      | None -> None
+      | Some b ->
+          let l = Live_ui.Layout.layout_page ?cache:t.cache ~width:t.width b in
+          t.layout <- Some l;
+          Some l)
+
+let screenshot (t : t) : string =
+  match layout t with
+  | None -> "<display invalid>\n"
+  | Some root ->
+      let fb =
+        Live_ui.Framebuffer.create ~width:t.width
+          ~height:(max 1 (Live_ui.Layout.total_height root))
+      in
+      Live_ui.Render.paint fb root;
+      Live_ui.Framebuffer.to_text fb
+
+let screenshot_ansi (t : t) : string =
+  match display_content t with
+  | None -> "<display invalid>\n"
+  | Some b -> Live_ui.Render.screenshot_ansi ~width:t.width b
+
+(** Outcome of a coordinate tap. *)
+type tap_result =
+  | Tapped  (** a handler ran; the display was refreshed *)
+  | No_handler  (** nothing tappable at that position *)
+
+(** Tap the display at screen coordinates, like a user's finger.
+    Records the interaction in the trace either way (the user did
+    touch the screen; whether it hit is a property of the current UI). *)
+let tap (t : t) ~(x : int) ~(y : int) : (tap_result, Machine.error) result =
+  t.trace <- Trace.add (Trace.Tap { x; y }) t.trace;
+  match layout t with
+  | None -> Ok No_handler
+  | Some root -> (
+      match Live_ui.Layout.handler_at root ~x ~y with
+      | None -> Ok No_handler
+      | Some handler ->
+          let* st = Machine.tap t.state ~handler in
+          t.state <- st;
+          let* () = stabilize t in
+          Ok Tapped)
+
+(** Tap the first handler in document order — convenient in tests. *)
+let tap_first (t : t) : (tap_result, Machine.error) result =
+  match display_content t with
+  | None -> Ok No_handler
+  | Some b -> (
+      match Live_core.Boxcontent.first_handler b with
+      | None -> Ok No_handler
+      | Some handler ->
+          let* st = Machine.tap t.state ~handler in
+          t.state <- st;
+          let* () = stabilize t in
+          Ok Tapped)
+
+(** The BACK button. *)
+let back (t : t) : (unit, Machine.error) result =
+  t.trace <- Trace.add Trace.Back t.trace;
+  t.state <- Machine.back t.state;
+  stabilize t
+
+(** Apply a code update (the UPDATE transition) and re-render.
+    Returns the fix-up report: which globals and stack entries the
+    update deleted. *)
+let update (t : t) (new_code : Live_core.Program.t) :
+    (Live_core.Fixup.report, Machine.error) result =
+  let report = ref None in
+  let* st = Machine.update ~report new_code t.state in
+  t.state <- st;
+  let* () = stabilize t in
+  Ok
+    (Option.value !report
+       ~default:{ Live_core.Fixup.dropped_globals = []; dropped_pages = [] })
+
+let current_page (t : t) : (string * Live_core.Ast.value) option =
+  State.top_page t.state
+
+let store (t : t) = t.state.State.store
+
+let cache_stats (t : t) : (int * int) option =
+  Option.map Live_ui.Layout.cache_stats t.cache

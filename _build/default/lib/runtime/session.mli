@@ -1,0 +1,52 @@
+(** An interactive session: a system state driven by the Fig. 9
+    transitions and connected to the character-cell display.  Every
+    public operation leaves the state stable with a valid display
+    (Sec. 4.2's liveness loop). *)
+
+type t
+
+val create :
+  ?width:int ->
+  ?fuel:int ->
+  ?incremental:bool ->
+  Live_core.Program.t ->
+  (t, Live_core.Machine.error) result
+(** Boot to the first stable state.  [incremental] turns on the
+    Sec. 5 layout-reuse cache (pixel-identical; see
+    [test/test_incremental.ml]). *)
+
+val state : t -> Live_core.State.t
+val store : t -> Live_core.Store.t
+val trace : t -> Trace.t
+val width : t -> int
+val current_page : t -> (string * Live_core.Ast.value) option
+
+val display_content : t -> Live_core.Boxcontent.t option
+(** [None] iff the display is [⊥] (never, between operations). *)
+
+val layout : t -> Live_ui.Layout.node option
+(** The current display's layout, cached until the next transition. *)
+
+val screenshot : t -> string
+val screenshot_ansi : t -> string
+
+type tap_result =
+  | Tapped  (** a handler ran and the display refreshed *)
+  | No_handler  (** nothing tappable there *)
+
+val tap : t -> x:int -> y:int -> (tap_result, Live_core.Machine.error) result
+(** Tap at screen coordinates; recorded in the trace either way. *)
+
+val tap_first : t -> (tap_result, Live_core.Machine.error) result
+
+val back : t -> (unit, Live_core.Machine.error) result
+
+val update :
+  t ->
+  Live_core.Program.t ->
+  (Live_core.Fixup.report, Live_core.Machine.error) result
+(** Apply the UPDATE transition and re-render; reports what the
+    Fig. 12 fix-up deleted. *)
+
+val cache_stats : t -> (int * int) option
+(** (hits, misses) of the incremental layout cache, if enabled. *)

@@ -1,0 +1,113 @@
+(** A small-step tracer over the Fig. 8 specification machine: reduce
+    an expression step by step and record each intermediate term and
+    the side effects it produced.  Used by [liveui step] to show the
+    calculus at work, and by anyone studying how the surface language
+    lowers and reduces. *)
+
+module Ast = Live_core.Ast
+module Eff = Live_core.Eff
+module Eval = Live_core.Eval
+
+type entry = {
+  index : int;
+  term : string;  (** the term before this step, pretty-printed *)
+  note : string option;  (** a store/queue/box change this step made *)
+}
+
+type outcome =
+  | Finished of Ast.value
+  | Got_stuck of string
+  | Ran_out of int  (** more steps remained after the limit *)
+
+type trace = {
+  steps : entry list;  (** in order; the initial term is index 0 *)
+  outcome : outcome;
+  store : Live_core.Store.t;
+  box : Live_core.Boxcontent.t;
+}
+
+let describe_change (before : Eval.cfg) (after : Eval.cfg) : string option =
+  if not (Live_core.Store.equal before.Eval.store after.Eval.store) then
+    Some
+      (Fmt.str "store: %a" Live_core.Store.pp after.Eval.store)
+  else if
+    Live_core.Fqueue.length after.Eval.queue
+    > Live_core.Fqueue.length before.Eval.queue
+  then
+    Some
+      (Fmt.str "enqueued: %a"
+         (Live_core.Fqueue.pp Live_core.Event.pp)
+         after.Eval.queue)
+  else if
+    Live_core.Boxcontent.count_items after.Eval.box
+    > Live_core.Boxcontent.count_items before.Eval.box
+  then Some "box content grew"
+  else None
+
+(** Trace up to [limit] steps of [e] under the given mode. *)
+let trace ?(mode = Eff.State) ?(limit = 200)
+    (prog : Live_core.Program.t) (store : Live_core.Store.t) (e : Ast.expr)
+    : trace =
+  let rec go i (cfg : Eval.cfg) (e : Ast.expr) (acc : entry list) =
+    let entry note =
+      { index = i; term = Live_core.Pretty.expr_to_string e; note }
+    in
+    if i >= limit then
+      ( List.rev (entry None :: acc),
+        Ran_out limit,
+        cfg )
+    else
+      match Eval.step mode prog cfg e with
+      | Eval.Value ->
+          ( List.rev (entry None :: acc),
+            Finished (Option.get (Ast.as_value e)),
+            cfg )
+      | Eval.Wrong m -> (List.rev (entry None :: acc), Got_stuck m, cfg)
+      | Eval.Next (cfg', e') ->
+          let note = describe_change cfg cfg' in
+          go (i + 1) cfg' e' (entry note :: acc)
+  in
+  let steps, outcome, cfg = go 0 (Eval.cfg_of_store store) e [] in
+  { steps; outcome; store = cfg.Eval.store; box = cfg.Eval.box }
+
+let pp_outcome ppf = function
+  | Finished v -> Fmt.pf ppf "value: %a" Live_core.Pretty.pp_value v
+  | Got_stuck m -> Fmt.pf ppf "stuck: %s" m
+  | Ran_out n -> Fmt.pf ppf "stopped after %d steps" n
+
+(** Render a trace as text, one numbered line per step. *)
+let to_string (t : trace) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Printf.sprintf "%4d  %s\n" e.index e.term);
+      match e.note with
+      | Some note -> Buffer.add_string buf (Printf.sprintf "      -- %s\n" note)
+      | None -> ())
+    t.steps;
+  Buffer.add_string buf (Fmt.str "%a\n" pp_outcome t.outcome);
+  Buffer.contents buf
+
+(** Trace a surface expression against a compiled program: the
+    expression may call the program's functions and read its globals.
+    The store starts empty (initial values apply via EP-GLOBAL-2). *)
+let trace_source ?mode ?limit (compiled : Live_surface.Compile.compiled)
+    (src : string) : (trace, string) result =
+  (* compile the expression in a scratch function of the program *)
+  let wrapped =
+    Printf.sprintf "%s\n\npage step_scratch_page_()\ninit { }\nrender {\n  post (%s)\n}\n"
+      compiled.Live_surface.Compile.source src
+  in
+  match Live_surface.Compile.compile wrapped with
+  | Error e -> Error (Live_surface.Compile.error_to_string e)
+  | Ok c -> (
+      match
+        Live_core.Program.find_page c.Live_surface.Compile.core
+          "step_scratch_page_"
+      with
+      | None -> Error "internal error: scratch page missing"
+      | Some (_, _, render_fn) ->
+          Ok
+            (trace ?mode:(Some (Option.value mode ~default:Eff.Render))
+               ?limit c.Live_surface.Compile.core Live_core.Store.empty
+               (Ast.App (render_fn, Ast.eunit))))

@@ -1,0 +1,44 @@
+(** A tracer over the Fig. 8 small-step specification machine: reduce
+    an expression step by step, recording each intermediate term and
+    the side effect (store write, enqueued event, box growth) it
+    performed.  Drives [liveui step]. *)
+
+type entry = {
+  index : int;
+  term : string;  (** the term before this step, pretty-printed *)
+  note : string option;  (** side effect this step performed, if any *)
+}
+
+type outcome =
+  | Finished of Live_core.Ast.value
+  | Got_stuck of string
+  | Ran_out of int
+
+type trace = {
+  steps : entry list;
+  outcome : outcome;
+  store : Live_core.Store.t;
+  box : Live_core.Boxcontent.t;
+}
+
+val trace :
+  ?mode:Live_core.Eff.t ->
+  ?limit:int ->
+  Live_core.Program.t ->
+  Live_core.Store.t ->
+  Live_core.Ast.expr ->
+  trace
+(** Trace up to [limit] (default 200) steps under the given mode
+    (default [State]). *)
+
+val trace_source :
+  ?mode:Live_core.Eff.t ->
+  ?limit:int ->
+  Live_surface.Compile.compiled ->
+  string ->
+  (trace, string) result
+(** Trace a surface expression against a compiled program; it may call
+    the program's functions and read its globals. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val to_string : trace -> string

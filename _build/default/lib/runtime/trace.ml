@@ -1,0 +1,32 @@
+(** Event traces: the sequence of user interactions a session has seen.
+
+    Live programming does not need traces — its whole point is that
+    the model state persists across edits.  Traces exist for the
+    {e baseline}: the conventional edit-compile-run cycle has to replay
+    the user's navigation to regain UI context after a restart (steps
+    4-5 of the Sec. 2 workflow), and the [live_vs_restart] benchmark
+    measures exactly that replay cost.  Traces address taps by screen
+    coordinates, like a real user: after a code change the same
+    coordinate may hit a different (or no) box — the divergence problem
+    the paper attributes to trace re-execution (Sec. 1). *)
+
+type entry =
+  | Tap of { x : int; y : int }
+  | Back
+
+type t = entry list
+(** oldest first *)
+
+let empty : t = []
+
+let add (e : entry) (t : t) : t = t @ [ e ]
+
+let length = List.length
+
+let pp_entry ppf = function
+  | Tap { x; y } -> Fmt.pf ppf "tap(%d,%d)" x y
+  | Back -> Fmt.string ppf "back"
+
+let pp = Fmt.list ~sep:(Fmt.any "; ") pp_entry
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,15 @@
+(** Interaction traces, addressed by screen coordinates like a real
+    user's finger.  The live runtime records them but never needs
+    them; the restart baseline replays them to win back UI context
+    after every code change — and diverges when the edit moves boxes
+    (Sec. 1's trace-re-execution problem). *)
+
+type entry = Tap of { x : int; y : int } | Back
+type t = entry list
+
+val empty : t
+val add : entry -> t -> t
+val length : t -> int
+val equal : t -> t -> bool
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

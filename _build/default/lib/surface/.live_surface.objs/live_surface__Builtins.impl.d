@@ -1,0 +1,1 @@
+lib/surface/builtins.ml: Fmt Hashtbl Ity List Live_core

@@ -1,0 +1,1 @@
+lib/surface/check.ml: Builtins Fmt Hashtbl Ity List Live_core Loc Option Sast Set String

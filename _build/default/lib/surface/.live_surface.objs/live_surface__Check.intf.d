@@ -1,0 +1,1 @@
+lib/surface/check.mli: Hashtbl Live_core Loc Sast

@@ -1,0 +1,1 @@
+lib/surface/compile.ml: Check Desugar Fmt Ity Lexer Live_core Loc Parser Printer Sast

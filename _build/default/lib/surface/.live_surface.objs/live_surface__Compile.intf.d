@@ -1,0 +1,1 @@
+lib/surface/compile.mli: Check Format Live_core Loc Sast

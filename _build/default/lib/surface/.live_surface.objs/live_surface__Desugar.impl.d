@@ -1,0 +1,1 @@
+lib/surface/desugar.ml: Builtins Check Fmt Hashtbl List Live_core Loc Option Sast Set String

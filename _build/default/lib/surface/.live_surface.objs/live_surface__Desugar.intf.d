@@ -1,0 +1,1 @@
+lib/surface/desugar.mli: Check Live_core Loc Sast

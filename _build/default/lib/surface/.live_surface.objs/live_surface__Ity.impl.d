@@ -1,0 +1,1 @@
+lib/surface/ity.ml: Fmt List Live_core Loc Sast

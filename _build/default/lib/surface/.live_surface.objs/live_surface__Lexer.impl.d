@@ -1,0 +1,1 @@
+lib/surface/lexer.ml: Buffer Fmt List Loc Option String Token

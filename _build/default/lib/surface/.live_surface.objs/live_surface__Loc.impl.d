@@ -1,0 +1,1 @@
+lib/surface/loc.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/surface/parser.ml: Array Float Fmt Lexer List Loc Sast Token

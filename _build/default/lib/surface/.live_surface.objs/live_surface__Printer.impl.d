@@ -1,0 +1,1 @@
+lib/surface/printer.ml: Buffer List Live_core Sast String

@@ -1,0 +1,1 @@
+lib/surface/printer.mli: Sast

@@ -1,0 +1,1 @@
+lib/surface/sast.ml: Fmt List Live_core Loc String

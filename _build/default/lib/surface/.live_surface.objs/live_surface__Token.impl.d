@@ -1,0 +1,1 @@
+lib/surface/token.ml: Live_core Printf

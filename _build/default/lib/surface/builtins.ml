@@ -1,0 +1,132 @@
+(** The surface-level builtin function table.
+
+    Each builtin names a core primitive ({!Live_core.Prim}) together
+    with a typing schema (instantiated with fresh unification variables
+    per call site) and a rule for deriving the primitive's type
+    arguments from the call's resolved types.  Keeping the typing and
+    the lowering in one table prevents the two from drifting apart. *)
+
+type t = {
+  name : string;  (** surface name *)
+  prim : string;  (** core primitive *)
+  schema : unit -> Ity.t list * Ity.t;
+      (** fresh instantiation: parameter types and result type *)
+  targs : Live_core.Typ.t list -> Live_core.Typ.t -> Live_core.Typ.t list;
+      (** derive the primitive's type arguments from the {e resolved}
+          argument types and result type of the call *)
+}
+
+let no_targs _ _ = []
+
+(* Type-argument derivations for the polymorphic list primitives. *)
+let elem_of = function
+  | Live_core.Typ.List t -> t
+  | t ->
+      invalid_arg
+        (Fmt.str "builtin expected a list type, got %a" Live_core.Typ.pp t)
+
+let targ_from_arg0_list args _ret = [ elem_of (List.nth args 0) ]
+let targ_from_arg1_list args _ret = [ elem_of (List.nth args 1) ]
+let targ_from_ret_list _args ret = [ elem_of ret ]
+let targ_from_arg0 args _ret = [ List.nth args 0 ]
+
+let mono params ret () = (params, ret)
+
+let num = Ity.INum
+let str = Ity.IStr
+
+let list1 f () =
+  let a = Ity.fresh () in
+  f a
+
+let all : t list =
+  [
+    (* ---- arithmetic ---- *)
+    { name = "floor"; prim = "floor"; schema = mono [ num ] num; targs = no_targs };
+    { name = "ceil"; prim = "ceil"; schema = mono [ num ] num; targs = no_targs };
+    { name = "round"; prim = "round"; schema = mono [ num ] num; targs = no_targs };
+    { name = "abs"; prim = "abs"; schema = mono [ num ] num; targs = no_targs };
+    { name = "sqrt"; prim = "sqrt"; schema = mono [ num ] num; targs = no_targs };
+    { name = "exp"; prim = "exp"; schema = mono [ num ] num; targs = no_targs };
+    { name = "ln"; prim = "ln"; schema = mono [ num ] num; targs = no_targs };
+    { name = "pow"; prim = "pow"; schema = mono [ num; num ] num; targs = no_targs };
+    { name = "mod"; prim = "mod"; schema = mono [ num; num ] num; targs = no_targs };
+    { name = "min"; prim = "min"; schema = mono [ num; num ] num; targs = no_targs };
+    { name = "max"; prim = "max"; schema = mono [ num; num ] num; targs = no_targs };
+    { name = "rand"; prim = "rand2"; schema = mono [ num; num ] num; targs = no_targs };
+    (* ---- strings ---- *)
+    { name = "str"; prim = "str_of"; schema = mono [ num ] str; targs = no_targs };
+    { name = "num"; prim = "num_of"; schema = mono [ str ] num; targs = no_targs };
+    { name = "count"; prim = "str_len"; schema = mono [ str ] num; targs = no_targs };
+    { name = "substring"; prim = "substr"; schema = mono [ str; num; num ] str; targs = no_targs };
+    { name = "str_index"; prim = "str_index"; schema = mono [ str; str ] num; targs = no_targs };
+    { name = "contains"; prim = "str_contains"; schema = mono [ str; str ] num; targs = no_targs };
+    { name = "repeat"; prim = "str_repeat"; schema = mono [ str; num ] str; targs = no_targs };
+    { name = "upper"; prim = "to_upper"; schema = mono [ str ] str; targs = no_targs };
+    { name = "lower"; prim = "to_lower"; schema = mono [ str ] str; targs = no_targs };
+    { name = "trim"; prim = "trim"; schema = mono [ str ] str; targs = no_targs };
+    { name = "char_at"; prim = "char_at"; schema = mono [ str; num ] str; targs = no_targs };
+    { name = "fixed"; prim = "fmt_fixed"; schema = mono [ num; num ] str; targs = no_targs };
+    { name = "pad_left"; prim = "pad_left"; schema = mono [ str; num; str ] str; targs = no_targs };
+    { name = "pad_right"; prim = "pad_right"; schema = mono [ str; num; str ] str; targs = no_targs };
+    { name = "split"; prim = "split"; schema = mono [ str; str ] (Ity.IList str); targs = no_targs };
+    (* ---- lists ---- *)
+    { name = "len"; prim = "len";
+      schema = list1 (fun a -> ([ Ity.IList a ], num));
+      targs = targ_from_arg0_list };
+    { name = "is_empty"; prim = "is_empty";
+      schema = list1 (fun a -> ([ Ity.IList a ], num));
+      targs = targ_from_arg0_list };
+    { name = "at"; prim = "nth";
+      schema = list1 (fun a -> ([ Ity.IList a; num ], a));
+      targs = targ_from_arg0_list };
+    { name = "head"; prim = "head";
+      schema = list1 (fun a -> ([ Ity.IList a ], a));
+      targs = targ_from_arg0_list };
+    { name = "tail"; prim = "tail";
+      schema = list1 (fun a -> ([ Ity.IList a ], Ity.IList a));
+      targs = targ_from_arg0_list };
+    { name = "rev"; prim = "rev";
+      schema = list1 (fun a -> ([ Ity.IList a ], Ity.IList a));
+      targs = targ_from_arg0_list };
+    { name = "take"; prim = "take";
+      schema = list1 (fun a -> ([ Ity.IList a; num ], Ity.IList a));
+      targs = targ_from_arg0_list };
+    { name = "drop"; prim = "drop";
+      schema = list1 (fun a -> ([ Ity.IList a; num ], Ity.IList a));
+      targs = targ_from_arg0_list };
+    { name = "set_at"; prim = "set_nth";
+      schema = list1 (fun a -> ([ Ity.IList a; num; a ], Ity.IList a));
+      targs = targ_from_arg0_list };
+    { name = "cons"; prim = "cons";
+      schema = list1 (fun a -> ([ a; Ity.IList a ], Ity.IList a));
+      targs = targ_from_arg1_list };
+    { name = "snoc"; prim = "snoc";
+      schema = list1 (fun a -> ([ Ity.IList a; a ], Ity.IList a));
+      targs = targ_from_arg0_list };
+    { name = "append"; prim = "append";
+      schema = list1 (fun a -> ([ Ity.IList a; Ity.IList a ], Ity.IList a));
+      targs = targ_from_arg0_list };
+    { name = "range"; prim = "range";
+      schema = mono [ num; num ] (Ity.IList num);
+      targs = no_targs };
+    { name = "has"; prim = "list_contains";
+      schema = list1 (fun a -> ([ Ity.IList a; a ], num));
+      targs = targ_from_arg0_list };
+    { name = "find"; prim = "index_of";
+      schema = list1 (fun a -> ([ Ity.IList a; a ], num));
+      targs = targ_from_arg0_list };
+    (* ---- the empty list, when annotation-by-use is inconvenient ---- *)
+    { name = "empty"; prim = "nil";
+      schema = list1 (fun a -> ([], Ity.IList a));
+      targs = targ_from_ret_list };
+  ]
+
+let table : (string, t) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace h b.name b) all;
+  h
+
+let lookup (name : string) : t option = Hashtbl.find_opt table name
+let exists name = Hashtbl.mem table name
+let names = List.map (fun b -> b.name) all

@@ -1,0 +1,503 @@
+(** The surface type-and-effect checker.
+
+    The surface language keeps the paper's typing discipline (Fig. 10)
+    but offers local type inference for [var] bindings and list
+    literals (unification on the arrow-free types, {!Ity}).  Effects
+    are inferred: every function gets the {e least} latent effect of
+    its body, computed by a fixpoint over the call graph (effects form
+    a two-level lattice, so the fixpoint converges after at most one
+    pass per call-graph edge that raises an effect).
+
+    Output ({!info}) is a side table consumed by {!Desugar}:
+    - the resolved core type of every expression node,
+    - the effect of every statement (so loop-extraction can annotate
+      the generated global functions),
+    - the latent effect of every function.
+
+    Checked structural rules beyond typing:
+    - [init] bodies must be state code; [render] bodies must be render
+      code; [on tapped] handler bodies must be state code (the paper's
+      separation, Sec. 3);
+    - handlers may not assign local variables captured from the
+      enclosing render code — capture is by value (the view is
+      stateless; only globals persist, Sec. 5);
+    - [return] may only appear as the last statement of a function
+      body. *)
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun m -> raise (Error (m, loc))) fmt
+
+module SS = Set.Make (String)
+module Eff = Live_core.Eff
+module Typ = Live_core.Typ
+
+type info = {
+  expr_ty : (int, Typ.t) Hashtbl.t;  (** eid -> resolved core type *)
+  stmt_eff : (int, Eff.t) Hashtbl.t;  (** sid -> statement effect *)
+  fun_eff : (string, Eff.t) Hashtbl.t;  (** function -> latent effect *)
+}
+
+type ctx = {
+  globals : (string, Sast.ty) Hashtbl.t;
+  funs : (string, (string * Sast.ty) list * Sast.ty option) Hashtbl.t;
+  pages : (string, (string * Sast.ty) list) Hashtbl.t;
+  fun_eff : (string, Eff.t) Hashtbl.t;
+  raw_ty : (int, Ity.t * Loc.t) Hashtbl.t;  (** eid -> inference type *)
+  stmt_eff : (int, Eff.t) Hashtbl.t;
+  mutable changed : bool;
+}
+
+type env = {
+  vars : (string * Ity.t) list;  (** innermost first *)
+  frozen : SS.t;  (** locals not assignable here (handler capture) *)
+}
+
+let lookup_var env x = List.assoc_opt x env.vars
+
+let join loc a b =
+  match Eff.join a b with
+  | Some e -> e
+  | None ->
+      error loc
+        "this code mixes state and render effects; the model-view \
+         separation forbids writing globals and building boxes in the \
+         same context"
+
+let joins loc = List.fold_left (join loc) Eff.Pure
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec infer_expr (ctx : ctx) (env : env) (e : Sast.expr) : Ity.t * Eff.t =
+  let ty, eff = infer_expr' ctx env e in
+  Hashtbl.replace ctx.raw_ty e.eid (ty, e.loc);
+  (ty, eff)
+
+and infer_expr' (ctx : ctx) (env : env) (e : Sast.expr) : Ity.t * Eff.t =
+  match e.desc with
+  | Sast.Num _ -> (Ity.INum, Eff.Pure)
+  | Sast.Str _ -> (Ity.IStr, Eff.Pure)
+  | Sast.Bool _ -> (Ity.INum, Eff.Pure)
+  | Sast.Ref x -> (
+      match lookup_var env x with
+      | Some ty -> (ty, Eff.Pure)
+      | None -> (
+          match Hashtbl.find_opt ctx.globals x with
+          | Some gty -> (Ity.of_surface gty, Eff.Pure)
+          | None -> error e.loc "unknown variable '%s'" x))
+  | Sast.TupleE es ->
+      let tys, effs = List.split (List.map (infer_expr ctx env) es) in
+      (Ity.ITuple tys, joins e.loc effs)
+  | Sast.ListE es ->
+      let elem = Ity.fresh () in
+      let eff =
+        joins e.loc
+          (List.map
+             (fun (el : Sast.expr) ->
+               let t, eff = infer_expr ctx env el in
+               Ity.unify el.loc t elem;
+               eff)
+             es)
+      in
+      (Ity.IList elem, eff)
+  | Sast.ProjE (e1, n) -> (
+      let t, eff = infer_expr ctx env e1 in
+      match Ity.repr t with
+      | Ity.ITuple ts ->
+          if n >= 1 && n <= List.length ts then (List.nth ts (n - 1), eff)
+          else
+            error e.loc "projection .%d out of range for %s" n
+              (Ity.to_string t)
+      | Ity.IVar _ ->
+          error e1.loc
+            "the tuple type here is not known yet; annotate or reorder \
+             so it is known before projecting"
+      | _ -> error e1.loc "projection from non-tuple type %s" (Ity.to_string t)
+      )
+  | Sast.Call (f, args) -> infer_call ctx env e.loc f args
+  | Sast.Binop (op, a, b) -> (
+      let ta, ea = infer_expr ctx env a in
+      let tb, eb = infer_expr ctx env b in
+      let eff = join e.loc ea eb in
+      match op with
+      | Sast.Add | Sast.Sub | Sast.Mul | Sast.Div | Sast.Mod ->
+          Ity.unify a.loc ta Ity.INum;
+          Ity.unify b.loc tb Ity.INum;
+          (Ity.INum, eff)
+      | Sast.Concat ->
+          Ity.unify a.loc ta Ity.IStr;
+          Ity.unify b.loc tb Ity.IStr;
+          (Ity.IStr, eff)
+      | Sast.And | Sast.Or ->
+          Ity.unify a.loc ta Ity.INum;
+          Ity.unify b.loc tb Ity.INum;
+          (Ity.INum, eff)
+      | Sast.Eq | Sast.Ne ->
+          Ity.unify e.loc ta tb;
+          (Ity.INum, eff)
+      | Sast.Lt | Sast.Le | Sast.Gt | Sast.Ge -> (
+          Ity.unify e.loc ta tb;
+          match Ity.repr ta with
+          | Ity.INum | Ity.IStr -> (Ity.INum, eff)
+          | Ity.IVar _ ->
+              (* default ambiguous orderings to numbers *)
+              Ity.unify e.loc ta Ity.INum;
+              (Ity.INum, eff)
+          | t ->
+              error e.loc "ordering is defined on numbers and strings, not %s"
+                (Ity.to_string t)))
+  | Sast.Unop (op, a) -> (
+      let ta, ea = infer_expr ctx env a in
+      match op with
+      | Sast.Neg | Sast.Not ->
+          Ity.unify a.loc ta Ity.INum;
+          (Ity.INum, ea))
+
+and infer_call (ctx : ctx) (env : env) (loc : Loc.t) (f : string)
+    (args : Sast.expr list) : Ity.t * Eff.t =
+  let arg_tys_effs = List.map (infer_expr ctx env) args in
+  let arg_effs = List.map snd arg_tys_effs in
+  match Hashtbl.find_opt ctx.funs f with
+  | Some (params, ret) ->
+      if List.length params <> List.length args then
+        error loc "function %s expects %d argument(s), got %d" f
+          (List.length params) (List.length args);
+      List.iter2
+        (fun (_, pty) ((aty, _), (arg : Sast.expr)) ->
+          Ity.unify arg.loc aty (Ity.of_surface pty))
+        params
+        (List.combine arg_tys_effs args);
+      let latent =
+        match Hashtbl.find_opt ctx.fun_eff f with
+        | Some e -> e
+        | None -> Eff.Pure
+      in
+      let ret_ty =
+        match ret with
+        | Some t -> Ity.of_surface t
+        | None -> Ity.ITuple []
+      in
+      (ret_ty, joins loc (latent :: arg_effs))
+  | None -> (
+      match Builtins.lookup f with
+      | None -> error loc "unknown function '%s'" f
+      | Some b ->
+          let params, ret = b.schema () in
+          if List.length params <> List.length args then
+            error loc "builtin %s expects %d argument(s), got %d" f
+              (List.length params) (List.length args);
+          List.iter2
+            (fun pty ((aty, _), (arg : Sast.expr)) ->
+              Ity.unify arg.loc aty pty)
+            params
+            (List.combine arg_tys_effs args);
+          (ret, joins loc arg_effs))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [ret]: the function's declared return type when checking a function
+    body ([None] elsewhere — return statements are then errors). *)
+type bctx = { ret : Ity.t option; in_handler : bool }
+
+let rec infer_block (ctx : ctx) (bctx : bctx) (env : env) (b : Sast.block) :
+    Eff.t =
+  let _, eff =
+    List.fold_left
+      (fun (env, eff) stmt ->
+        let env', e = infer_stmt ctx bctx env stmt in
+        (env', join stmt.Sast.sloc eff e))
+      (env, Eff.Pure) b
+  in
+  eff
+
+and infer_stmt (ctx : ctx) (bctx : bctx) (env : env) (s : Sast.stmt) :
+    env * Eff.t =
+  let env', eff = infer_stmt' ctx bctx env s in
+  Hashtbl.replace ctx.stmt_eff s.sid eff;
+  (env', eff)
+
+and infer_stmt' (ctx : ctx) (bctx : bctx) (env : env) (s : Sast.stmt) :
+    env * Eff.t =
+  match s.sdesc with
+  | Sast.SVar (x, e) ->
+      if Builtins.exists x then
+        error s.sloc "'%s' is a builtin function name" x;
+      let ty, eff = infer_expr ctx env e in
+      ({ env with vars = (x, ty) :: env.vars }, eff)
+  | Sast.SAssign (x, e) -> (
+      let ty, eff = infer_expr ctx env e in
+      match lookup_var env x with
+      | Some declared ->
+          if SS.mem x env.frozen then
+            error s.sloc
+              "cannot assign to '%s' here: it is captured by value from \
+               the enclosing render code; use a global variable for \
+               state that must outlive the handler" x;
+          Ity.unify e.loc ty declared;
+          (env, eff)
+      | None -> (
+          match Hashtbl.find_opt ctx.globals x with
+          | Some gty ->
+              Ity.unify e.loc ty (Ity.of_surface gty);
+              (env, join s.sloc eff Eff.State)
+          | None -> error s.sloc "assignment to unknown variable '%s'" x))
+  | Sast.SAttr (a, e) -> (
+      match Live_core.Attrs.lookup a with
+      | None -> error s.sloc "unknown box attribute '%s'" a
+      | Some aty -> (
+          match aty with
+          | Typ.Fn _ ->
+              error s.sloc
+                "attribute '%s' holds a handler; use 'on tapped { ... }'" a
+          | _ ->
+              let ty, eff = infer_expr ctx env e in
+              Ity.unify e.loc ty (Ity.of_core aty);
+              (env, join s.sloc eff Eff.Render)))
+  | Sast.SIf (c, b1, b2) ->
+      let tc, ec = infer_expr ctx env c in
+      Ity.unify c.loc tc Ity.INum;
+      let e1 = infer_block ctx bctx env b1 in
+      let e2 = infer_block ctx bctx env b2 in
+      (env, joins s.sloc [ ec; e1; e2 ])
+  | Sast.SWhile (c, body) ->
+      let tc, ec = infer_expr ctx env c in
+      Ity.unify c.loc tc Ity.INum;
+      let eb = infer_block ctx bctx env body in
+      (env, join s.sloc ec eb)
+  | Sast.SForeach (x, e, body) ->
+      let te, ee = infer_expr ctx env e in
+      let elem = Ity.fresh () in
+      Ity.unify e.loc te (Ity.IList elem);
+      let inner = { env with vars = (x, elem) :: env.vars } in
+      let eb = infer_block ctx bctx inner body in
+      (env, join s.sloc ee eb)
+  | Sast.SFor (x, a, b, body) ->
+      let ta, ea = infer_expr ctx env a in
+      let tb, eb = infer_expr ctx env b in
+      Ity.unify a.loc ta Ity.INum;
+      Ity.unify b.loc tb Ity.INum;
+      let inner = { env with vars = (x, Ity.INum) :: env.vars } in
+      let ebody = infer_block ctx bctx inner body in
+      (env, joins s.sloc [ ea; eb; ebody ])
+  | Sast.SBoxed body ->
+      let eb = infer_block ctx bctx env body in
+      (env, join s.sloc eb Eff.Render)
+  | Sast.SPost e ->
+      let _, eff = infer_expr ctx env e in
+      (env, join s.sloc eff Eff.Render)
+  | Sast.SOn (ev, body) ->
+      if not (String.equal ev "tapped") then
+        error s.sloc "unknown event '%s' (supported: tapped)" ev;
+      if bctx.in_handler then
+        error s.sloc "event handlers cannot be nested";
+      (* the handler body is state code; freeze enclosing locals *)
+      let frozen =
+        List.fold_left (fun acc (x, _) -> SS.add x acc) env.frozen env.vars
+      in
+      let henv = { env with frozen } in
+      let heff =
+        infer_block ctx { ret = None; in_handler = true } henv body
+      in
+      if not (Eff.sub heff Eff.State) then
+        error s.sloc
+          "event handler bodies are state code; they cannot build boxes";
+      (env, Eff.Render)
+  | Sast.SPush (p, args) -> (
+      match Hashtbl.find_opt ctx.pages p with
+      | None -> error s.sloc "push of unknown page '%s'" p
+      | Some params ->
+          if List.length params <> List.length args then
+            error s.sloc "page %s expects %d argument(s), got %d" p
+              (List.length params) (List.length args);
+          let effs =
+            List.map2
+              (fun (_, pty) (arg : Sast.expr) ->
+                let t, eff = infer_expr ctx env arg in
+                Ity.unify arg.loc t (Ity.of_surface pty);
+                eff)
+              params args
+          in
+          (env, joins s.sloc (Eff.State :: effs)))
+  | Sast.SPop -> (env, Eff.State)
+  | Sast.SReturn e -> (
+      match bctx.ret with
+      | None -> error s.sloc "'return' is only allowed in function bodies"
+      | Some rty ->
+          let t, eff = infer_expr ctx env e in
+          Ity.unify e.loc t rty;
+          (env, eff))
+  | Sast.SExpr e ->
+      let _, eff = infer_expr ctx env e in
+      (env, eff)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Global initialisers are literals (numbers, strings, booleans,
+    negated numbers, tuples/lists of literals) — Fig. 7's
+    [global g : tau = v] requires a {e value}. *)
+let rec check_literal (e : Sast.expr) : unit =
+  match e.desc with
+  | Sast.Num _ | Sast.Str _ | Sast.Bool _ -> ()
+  | Sast.Unop (Sast.Neg, { desc = Sast.Num _; _ }) -> ()
+  | Sast.TupleE es | Sast.ListE es -> List.iter check_literal es
+  | _ ->
+      error e.loc
+        "global initialisers must be literal values; compute initial \
+         state in a page's init body instead"
+
+(** Enforce that [return] appears only as the final statement. *)
+let check_return_position (body : Sast.block) : unit =
+  let rec go_block ~tail_ok (b : Sast.block) =
+    List.iteri
+      (fun i s ->
+        let is_last = i = List.length b - 1 in
+        match s.Sast.sdesc with
+        | Sast.SReturn _ ->
+            if not (tail_ok && is_last) then
+              error s.sloc
+                "'return' may only appear as the last statement of a \
+                 function body"
+        | Sast.SIf (_, b1, b2) ->
+            go_block ~tail_ok:false b1;
+            go_block ~tail_ok:false b2
+        | Sast.SWhile (_, b1)
+        | Sast.SForeach (_, _, b1)
+        | Sast.SFor (_, _, _, b1)
+        | Sast.SBoxed b1
+        | Sast.SOn (_, b1) ->
+            go_block ~tail_ok:false b1
+        | _ -> ())
+      b
+  in
+  go_block ~tail_ok:true body
+
+let check_fun (ctx : ctx) name (params : (string * Sast.ty) list)
+    (ret : Sast.ty option) (body : Sast.block) (loc : Loc.t) : unit =
+  check_return_position body;
+  let env =
+    {
+      vars = List.rev_map (fun (x, t) -> (x, Ity.of_surface t)) params;
+      frozen = SS.empty;
+    }
+  in
+  let rty = Ity.of_surface (Option.value ret ~default:(Sast.TyTuple [])) in
+  let eff = infer_block ctx { ret = Some rty; in_handler = false } env body in
+  (* a non-unit return type requires an actual final return *)
+  (match ret with
+  | Some t when not (Sast.ty_equal t (Sast.TyTuple [])) -> (
+      match List.rev body with
+      | { Sast.sdesc = Sast.SReturn _; _ } :: _ -> ()
+      | _ ->
+          error loc "function %s declares return type %a but has no \
+                     final 'return'" name Sast.pp_ty t)
+  | _ -> ());
+  let prev =
+    Option.value (Hashtbl.find_opt ctx.fun_eff name) ~default:Eff.Pure
+  in
+  if not (Eff.equal prev eff) then begin
+    Hashtbl.replace ctx.fun_eff name eff;
+    ctx.changed <- true
+  end
+
+let check_page (ctx : ctx) (params : (string * Sast.ty) list)
+    (pinit : Sast.block) (prender : Sast.block) (dloc : Loc.t) : unit =
+  let env =
+    {
+      vars = List.rev_map (fun (x, t) -> (x, Ity.of_surface t)) params;
+      frozen = SS.empty;
+    }
+  in
+  let bctx = { ret = None; in_handler = false } in
+  let einit = infer_block ctx bctx env pinit in
+  if not (Eff.sub einit Eff.State) then
+    error dloc "a page's init body is state code; it cannot build boxes";
+  let erender = infer_block ctx bctx env prender in
+  if not (Eff.sub erender Eff.Render) then
+    error dloc
+      "a page's render body cannot write global variables; mutate state \
+       in init bodies or event handlers instead";
+  ()
+
+let check_global (ctx : ctx) (gty : Sast.ty) (init : Sast.expr) : unit =
+  check_literal init;
+  let env = { vars = []; frozen = SS.empty } in
+  let t, _ = infer_expr ctx env init in
+  Ity.unify init.loc t (Ity.of_surface gty)
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_program (p : Sast.program) : info =
+  let ctx =
+    {
+      globals = Hashtbl.create 16;
+      funs = Hashtbl.create 16;
+      pages = Hashtbl.create 16;
+      fun_eff = Hashtbl.create 16;
+      raw_ty = Hashtbl.create 256;
+      stmt_eff = Hashtbl.create 256;
+      changed = false;
+    }
+  in
+  (* Pass 1: collect signatures, reject duplicates and reserved names. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let name = Sast.decl_name d in
+      let loc = Sast.decl_loc d in
+      if Hashtbl.mem seen name then
+        error loc "duplicate definition of '%s'" name;
+      Hashtbl.add seen name ();
+      match d with
+      | Sast.DGlobal { name; gty; _ } -> Hashtbl.replace ctx.globals name gty
+      | Sast.DFun { name; params; ret; _ } ->
+          if Builtins.exists name then
+            error loc "'%s' is a builtin function name" name;
+          Hashtbl.replace ctx.funs name (params, ret);
+          Hashtbl.replace ctx.fun_eff name Eff.Pure
+      | Sast.DPage { name; params; _ } -> Hashtbl.replace ctx.pages name params)
+    p.decls;
+  (match Hashtbl.find_opt ctx.pages "start" with
+  | Some [] -> ()
+  | Some _ ->
+      error Loc.dummy "the 'start' page cannot take parameters"
+  | None -> error Loc.dummy "every program needs a parameterless 'start' page");
+  (* Pass 2: effect fixpoint over function bodies. *)
+  let iterations = ref 0 in
+  let rec fix () =
+    incr iterations;
+    if !iterations > 2 * List.length p.decls + 2 then
+      failwith "internal error: effect fixpoint did not converge";
+    ctx.changed <- false;
+    List.iter
+      (fun d ->
+        match d with
+        | Sast.DFun { name; params; ret; body; dloc } ->
+            check_fun ctx name params ret body dloc
+        | Sast.DGlobal _ | Sast.DPage _ -> ())
+      p.decls;
+    if ctx.changed then fix ()
+  in
+  fix ();
+  (* Pass 3: globals and pages under the final effect assumptions. *)
+  List.iter
+    (fun d ->
+      match d with
+      | Sast.DGlobal { gty; init; _ } -> check_global ctx gty init
+      | Sast.DPage { params; pinit; prender; dloc; _ } ->
+          check_page ctx params pinit prender dloc
+      | Sast.DFun _ -> ())
+    p.decls;
+  (* Pass 4: zonk every expression type to a concrete core type. *)
+  let expr_ty = Hashtbl.create (Hashtbl.length ctx.raw_ty) in
+  Hashtbl.iter
+    (fun eid (ity, loc) -> Hashtbl.replace expr_ty eid (Ity.zonk loc ity))
+    ctx.raw_ty;
+  { expr_ty; stmt_eff = ctx.stmt_eff; fun_eff = ctx.fun_eff }

@@ -1,0 +1,25 @@
+(** The surface type-and-effect checker: local type inference
+    (unification over the arrow-free types) plus least-effect
+    inference for functions via a fixpoint over the call graph.
+
+    Structural rules enforced here, before lowering:
+    - init bodies are state code, render bodies are render code,
+      handler bodies are state code;
+    - handlers may not assign enclosing render-code locals (capture is
+      by value);
+    - [return] only as the final statement of a function body;
+    - global initialisers are literals. *)
+
+exception Error of string * Loc.t
+
+type info = {
+  expr_ty : (int, Live_core.Typ.t) Hashtbl.t;
+      (** expression node id -> resolved core type *)
+  stmt_eff : (int, Live_core.Eff.t) Hashtbl.t;
+      (** statement node id -> statement effect *)
+  fun_eff : (string, Live_core.Eff.t) Hashtbl.t;
+      (** function name -> inferred latent effect *)
+}
+
+val check_program : Sast.program -> info
+(** @raise Error (or {!Ity.Error}) with a location. *)

@@ -1,0 +1,72 @@
+(** The compilation pipeline: source text -> tokens -> surface AST ->
+    checked info -> core program, with uniform error reporting.
+
+    This is the path the live editor runs continuously as the
+    programmer types ("code ... is continuously type-checked, compiled,
+    and executed", Sec. 3); its latency is measured by the
+    [update_latency] and [typecheck_throughput] benchmarks. *)
+
+type error = { message : string; loc : Loc.t }
+
+let pp_error ppf (e : error) =
+  Fmt.pf ppf "%a: %s" Loc.pp e.loc e.message
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+type compiled = {
+  source : string;
+  ast : Sast.program;
+  info : Check.info;
+  core : Live_core.Program.t;
+}
+
+let wrap (f : unit -> 'a) : ('a, error) result =
+  match f () with
+  | v -> Ok v
+  | exception Lexer.Error (message, loc) -> Error { message; loc }
+  | exception Parser.Error (message, loc) -> Error { message; loc }
+  | exception Ity.Error (message, loc) -> Error { message; loc }
+  | exception Check.Error (message, loc) -> Error { message; loc }
+  | exception Desugar.Error (message, loc) -> Error { message; loc }
+
+(** Parse only. *)
+let parse (source : string) : (Sast.program, error) result =
+  wrap (fun () -> Parser.parse_program source)
+
+(** Parse and type-check; no lowering. *)
+let check (source : string) : (Sast.program * Check.info, error) result =
+  wrap (fun () ->
+      let ast = Parser.parse_program source in
+      let info = Check.check_program ast in
+      (ast, info))
+
+(** Full pipeline.  The resulting core program also re-checks under the
+    paper's core system (Fig. 10/11) as a translation-validation step;
+    a failure there is a compiler bug, reported as such. *)
+let compile ?(validate = true) (source : string) : (compiled, error) result =
+  match
+    wrap (fun () ->
+        let ast = Parser.parse_program source in
+        let info = Check.check_program ast in
+        let core = Desugar.desugar_program ast info in
+        (ast, info, core))
+  with
+  | Error e -> Error e
+  | Ok (ast, info, core) ->
+      if validate then (
+        match Live_core.State_typing.check_code core with
+        | Ok () -> Ok { source; ast; info; core }
+        | Error m ->
+            Error
+              {
+                message =
+                  "internal error: generated core code is ill-typed: " ^ m;
+                loc = Loc.dummy;
+              })
+      else Ok { source; ast; info; core }
+
+(** Compile an AST that was edited programmatically (direct
+    manipulation): print it, then compile the printed source, so that
+    the result's locations refer to the new source text. *)
+let compile_ast (ast : Sast.program) : (compiled, error) result =
+  compile (Printer.program_to_string ast)

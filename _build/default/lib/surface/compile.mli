@@ -1,0 +1,29 @@
+(** The compilation pipeline: source -> tokens -> AST -> checked info
+    -> core program, with uniform located errors.  This is the path
+    the live editor runs continuously as the programmer types
+    (Sec. 3); its latency is benchmark B2. *)
+
+type error = { message : string; loc : Loc.t }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type compiled = {
+  source : string;
+  ast : Sast.program;
+  info : Check.info;
+  core : Live_core.Program.t;
+}
+
+val parse : string -> (Sast.program, error) result
+
+val check : string -> (Sast.program * Check.info, error) result
+
+val compile : ?validate:bool -> string -> (compiled, error) result
+(** Full pipeline.  With [validate] (default), the generated core
+    program is re-checked under Fig. 10/11 as translation validation;
+    a failure is reported as an internal error. *)
+
+val compile_ast : Sast.program -> (compiled, error) result
+(** Print-then-compile an AST edited programmatically (direct
+    manipulation), so locations refer to the new source. *)

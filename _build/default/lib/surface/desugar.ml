@@ -1,0 +1,579 @@
+(** Lowering surface programs to the core calculus (Fig. 6).
+
+    Sec. 4.1 of the paper: "Loops are expressible in our calculus via
+    recursion through global functions, conditionals via lambda
+    abstractions and thunks."  This module is that translation:
+
+    - statement sequences become [let]-chains
+      ([let x = e1 in e2] is [(lambda(x:tau).e2) e1]);
+    - local-variable {e assignment} becomes shadowing in straight-line
+      code, and {e state threading} across block boundaries: a nested
+      block that assigns outer locals evaluates to the tuple of their
+      final values, which the continuation unpacks;
+    - [if] becomes the [cond] primitive applied to two thunks;
+    - [while]/[foreach]/[for] each become a fresh {e global} recursive
+      function parameterised over every outer local the loop touches,
+      returning the tuple of their final values;
+    - [on tapped { ... }] becomes [box.ontap := lambda(_:()). body];
+      outer locals appearing in the body are captured by value through
+      the substitution semantics of EP-APP;
+    - [boxed { ... }] becomes the [boxed] core form, stamped with the
+      statement's node id as its {!Live_core.Srcid.t}. *)
+
+module Ast = Live_core.Ast
+module Typ = Live_core.Typ
+module Eff = Live_core.Eff
+module Program = Live_core.Program
+module Ident = Live_core.Ident
+module SS = Set.Make (String)
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun m -> raise (Error (m, loc))) fmt
+
+type denv = {
+  info : Check.info;
+  globals : SS.t;
+  fun_arity : (string, int) Hashtbl.t;
+  page_arity : (string, int) Hashtbl.t;
+  vars : (string * Typ.t) list;  (** in-scope locals, innermost first *)
+  extra : Program.def list ref;  (** generated loop functions *)
+}
+
+let ty_of (env : denv) (e : Sast.expr) : Typ.t =
+  match Hashtbl.find_opt env.info.Check.expr_ty e.eid with
+  | Some t -> t
+  | None -> error e.loc "internal error: expression was not typed"
+
+let eff_of (env : denv) (s : Sast.stmt) : Eff.t =
+  match Hashtbl.find_opt env.info.Check.stmt_eff s.sid with
+  | Some e -> e
+  | None -> Eff.Pure
+
+let var_ty (env : denv) loc x : Typ.t =
+  match List.assoc_opt x env.vars with
+  | Some t -> t
+  | None -> error loc "internal error: unbound local %s" x
+
+(* -- small constructors ------------------------------------------- *)
+
+let let_ (x : string) (ty : Typ.t) (e1 : Ast.expr) (e2 : Ast.expr) : Ast.expr
+    =
+  Ast.App (Ast.Val (Ast.VLam (x, ty, e2)), e1)
+
+let seq (ty1 : Typ.t) (e1 : Ast.expr) (e2 : Ast.expr) : Ast.expr =
+  let_ "_" ty1 e1 e2
+
+let thunk (body : Ast.expr) : Ast.expr =
+  Ast.Val (Ast.VLam ("_", Typ.unit_, body))
+
+let cond_ (ty : Typ.t) (c : Ast.expr) (t : Ast.expr) (f : Ast.expr) :
+    Ast.expr =
+  Ast.Prim ("cond", [ ty ], [ c; thunk t; thunk f ])
+
+let num_e f = Ast.Val (Ast.VNum f)
+
+(* ------------------------------------------------------------------ *)
+(* Read/write analysis of blocks against an outer scope                *)
+(* ------------------------------------------------------------------ *)
+
+(** [analyze scope block] returns [(reads, writes)]: the outer locals
+    (members of [scope]) that the block reads resp. assigns, taking
+    shadowing by [var] declarations and loop binders into account. *)
+let analyze (scope : SS.t) (block : Sast.block) : SS.t * SS.t =
+  let reads = ref SS.empty and writes = ref SS.empty in
+  let rec expr (shadow : SS.t) (e : Sast.expr) =
+    match e.desc with
+    | Sast.Num _ | Sast.Str _ | Sast.Bool _ -> ()
+    | Sast.Ref x ->
+        if SS.mem x scope && not (SS.mem x shadow) then
+          reads := SS.add x !reads
+    | Sast.TupleE es | Sast.ListE es | Sast.Call (_, es) ->
+        List.iter (expr shadow) es
+    | Sast.ProjE (e1, _) | Sast.Unop (_, e1) -> expr shadow e1
+    | Sast.Binop (_, a, b) ->
+        expr shadow a;
+        expr shadow b
+  in
+  let rec stmts (shadow : SS.t) (b : Sast.block) =
+    ignore
+      (List.fold_left
+         (fun shadow (s : Sast.stmt) ->
+           match s.sdesc with
+           | Sast.SVar (x, e) ->
+               expr shadow e;
+               SS.add x shadow
+           | Sast.SAssign (x, e) ->
+               expr shadow e;
+               if SS.mem x scope && not (SS.mem x shadow) then
+                 writes := SS.add x !writes;
+               shadow
+           | Sast.SAttr (_, e) | Sast.SPost e | Sast.SReturn e | Sast.SExpr e
+             ->
+               expr shadow e;
+               shadow
+           | Sast.SIf (c, b1, b2) ->
+               expr shadow c;
+               stmts shadow b1;
+               stmts shadow b2;
+               shadow
+           | Sast.SWhile (c, body) ->
+               expr shadow c;
+               stmts shadow body;
+               shadow
+           | Sast.SForeach (x, e, body) ->
+               expr shadow e;
+               stmts (SS.add x shadow) body;
+               shadow
+           | Sast.SFor (x, a, b', body) ->
+               expr shadow a;
+               expr shadow b';
+               stmts (SS.add x shadow) body;
+               shadow
+           | Sast.SBoxed body | Sast.SOn (_, body) ->
+               stmts shadow body;
+               shadow
+           | Sast.SPush (_, args) ->
+               List.iter (expr shadow) args;
+               shadow
+           | Sast.SPop -> shadow)
+         shadow b)
+  in
+  stmts SS.empty block;
+  (!reads, !writes)
+
+(** Order a set of locals by scope position, outermost first, paired
+    with their types — the canonical order of threading tuples. *)
+let ordered (env : denv) (names : SS.t) : (string * Typ.t) list =
+  List.rev
+    (List.filter (fun (x, _) -> SS.mem x names) env.vars)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec dexpr (env : denv) (e : Sast.expr) : Ast.expr =
+  match e.desc with
+  | Sast.Num f -> num_e f
+  | Sast.Str s -> Ast.Val (Ast.VStr s)
+  | Sast.Bool b -> Ast.Val (Ast.vbool b)
+  | Sast.Ref x ->
+      if List.mem_assoc x env.vars then Ast.Var x
+      else if SS.mem x env.globals then Ast.Get x
+      else error e.loc "internal error: unresolved name %s" x
+  | Sast.TupleE es -> Ast.Tuple (List.map (dexpr env) es)
+  | Sast.ListE es -> (
+      match ty_of env e with
+      | Typ.List elem ->
+          List.fold_right
+            (fun el acc -> Ast.Prim ("cons", [ elem ], [ dexpr env el; acc ]))
+            es
+            (Ast.Prim ("nil", [ elem ], []))
+      | t ->
+          error e.loc "internal error: list literal with type %a" Typ.pp t)
+  | Sast.ProjE (e1, n) -> Ast.Proj (dexpr env e1, n)
+  | Sast.Call (f, args) ->
+      if Hashtbl.mem env.fun_arity f then
+        Ast.App (Ast.Fn f, pack_args env args)
+      else (
+        match Builtins.lookup f with
+        | None -> error e.loc "internal error: unknown function %s" f
+        | Some b ->
+            let arg_tys = List.map (ty_of env) args in
+            let ret_ty = ty_of env e in
+            let targs = b.Builtins.targs arg_tys ret_ty in
+            Ast.Prim (b.Builtins.prim, targs, List.map (dexpr env) args))
+  | Sast.Binop (op, a, b) -> dbinop env op a b
+  | Sast.Unop (Sast.Neg, a) -> Ast.Prim ("neg", [], [ dexpr env a ])
+  | Sast.Unop (Sast.Not, a) -> Ast.Prim ("not", [], [ dexpr env a ])
+
+and pack_args (env : denv) (args : Sast.expr list) : Ast.expr =
+  match args with
+  | [] -> Ast.eunit
+  | [ a ] -> dexpr env a
+  | args -> Ast.Tuple (List.map (dexpr env) args)
+
+and dbinop (env : denv) (op : Sast.binop) (a : Sast.expr) (b : Sast.expr) :
+    Ast.expr =
+  let da () = dexpr env a and db () = dexpr env b in
+  let arith name = Ast.Prim (name, [], [ da (); db () ]) in
+  let compare name = Ast.Prim (name, [ ty_of env a ], [ da (); db () ]) in
+  match op with
+  | Sast.Add -> arith "add"
+  | Sast.Sub -> arith "sub"
+  | Sast.Mul -> arith "mul"
+  | Sast.Div -> arith "div"
+  | Sast.Mod -> arith "mod"
+  | Sast.Concat -> arith "concat"
+  | Sast.Eq -> compare "eq"
+  | Sast.Ne -> compare "ne"
+  | Sast.Lt -> compare "lt"
+  | Sast.Le -> compare "le"
+  | Sast.Gt -> compare "gt"
+  | Sast.Ge -> compare "ge"
+  (* short-circuit logic via the thunked conditional *)
+  | Sast.And -> cond_ Typ.Num (da ()) (db ()) (num_e 0.0)
+  | Sast.Or -> cond_ Typ.Num (da ()) (num_e 1.0) (db ())
+
+(* ------------------------------------------------------------------ *)
+(* Blocks and statements                                               *)
+(* ------------------------------------------------------------------ *)
+
+let scope_set (env : denv) : SS.t =
+  List.fold_left (fun acc (x, _) -> SS.add x acc) SS.empty env.vars
+
+(** Tuple of the current values of the given locals. *)
+let pack_locals (locals : (string * Typ.t) list) : Ast.expr =
+  Ast.Tuple (List.map (fun (x, _) -> Ast.Var x) locals)
+
+let tuple_ty (locals : (string * Typ.t) list) : Typ.t =
+  Typ.Tuple (List.map snd locals)
+
+(** Unpack a tuple of locals around a continuation:
+    [let packed = e in let x1 = packed.1 in ... k]. *)
+let unpack_locals (locals : (string * Typ.t) list) (e : Ast.expr)
+    (k : Ast.expr) : Ast.expr =
+  match locals with
+  | [] -> seq (tuple_ty locals) e k
+  | _ ->
+      let packed = "$packed" in
+      let body =
+        List.fold_right
+          (fun (i, (x, ty)) acc ->
+            let_ x ty (Ast.Proj (Ast.Var packed, i)) acc)
+          (List.mapi (fun i l -> (i + 1, l)) locals)
+          k
+      in
+      let_ packed (tuple_ty locals) e body
+
+let rec dblock (env : denv) (b : Sast.block) (yield : denv -> Ast.expr) :
+    Ast.expr =
+  match b with
+  | [] -> yield env
+  | s :: rest -> dstmt env s rest yield
+
+and dstmt (env : denv) (s : Sast.stmt) (rest : Sast.block)
+    (yield : denv -> Ast.expr) : Ast.expr =
+  let continue_ env = dblock env rest yield in
+  match s.sdesc with
+  | Sast.SVar (x, e) ->
+      let ty = ty_of env e in
+      let_ x ty (dexpr env e)
+        (continue_ { env with vars = (x, ty) :: env.vars })
+  | Sast.SAssign (x, e) ->
+      if List.mem_assoc x env.vars then
+        (* local: shadowing rebind *)
+        let_ x (var_ty env s.sloc x) (dexpr env e) (continue_ env)
+      else
+        (* global: ES-ASSIGN *)
+        seq Typ.unit_ (Ast.Set (x, dexpr env e)) (continue_ env)
+  | Sast.SAttr (a, e) ->
+      seq Typ.unit_ (Ast.SetAttr (a, dexpr env e)) (continue_ env)
+  | Sast.SPost e -> seq Typ.unit_ (Ast.Post (dexpr env e)) (continue_ env)
+  | Sast.SExpr e -> seq (ty_of env e) (dexpr env e) (continue_ env)
+  | Sast.SPush (p, args) ->
+      let arity =
+        match Hashtbl.find_opt env.page_arity p with
+        | Some n -> n
+        | None -> error s.sloc "internal error: unknown page %s" p
+      in
+      ignore arity;
+      seq Typ.unit_ (Ast.Push (p, pack_args env args)) (continue_ env)
+  | Sast.SPop -> seq Typ.unit_ Ast.Pop (continue_ env)
+  | Sast.SReturn e ->
+      (* checked to be in final position: the block's value *)
+      dexpr env e
+  | Sast.SOn (_, body) ->
+      let handler_body = dblock env body (fun _ -> Ast.eunit) in
+      let handler = Ast.Val (Ast.VLam ("_", Typ.unit_, handler_body)) in
+      seq Typ.unit_ (Ast.SetAttr ("ontap", handler)) (continue_ env)
+  | Sast.SBoxed body ->
+      let scope = scope_set env in
+      let _, writes = analyze scope body in
+      let assigned = ordered env writes in
+      let inner =
+        Ast.Boxed
+          ( Some (Live_core.Srcid.of_int s.sid),
+            dblock env body (fun _ -> pack_locals assigned) )
+      in
+      unpack_locals assigned inner (continue_ env)
+  | Sast.SIf (c, b1, b2) ->
+      let scope = scope_set env in
+      let _, w1 = analyze scope b1 in
+      let _, w2 = analyze scope b2 in
+      let assigned = ordered env (SS.union w1 w2) in
+      let ty = tuple_ty assigned in
+      let branch b = dblock env b (fun _ -> pack_locals assigned) in
+      let e = cond_ ty (dexpr env c) (branch b1) (branch b2) in
+      unpack_locals assigned e (continue_ env)
+  | Sast.SWhile (c, body) -> dwhile env s c body continue_
+  | Sast.SForeach (x, e, body) -> dforeach env s x e body continue_
+  | Sast.SFor (x, a, b, body) -> dfor env s x a b body continue_
+
+(* [while c { body }]:
+
+     fun $while_n : (TP) -mu-> (TP) is
+       \(ps : TP).
+         let p1 = ps.1 ... pk = ps.k in
+         cond<TP>(c, \().$while_n(<body yielding (p...)>), \().(p...))
+     ...
+     let packed = $while_n((p...)) in unpack P in rest
+
+   where P is every in-scope local the loop reads or writes. *)
+and dwhile (env : denv) (s : Sast.stmt) (c : Sast.expr) (body : Sast.block)
+    (continue_ : denv -> Ast.expr) : Ast.expr =
+  let scope = scope_set env in
+  let rc, wc = analyze scope [ { s with sdesc = Sast.SExpr c } ] in
+  let rb, wb = analyze scope body in
+  let p = ordered env (List.fold_left SS.union rc [ wc; rb; wb ]) in
+  let tp = tuple_ty p in
+  let eff = eff_of env s in
+  let fname = Ident.fresh "while" in
+  let fenv = { env with vars = List.rev p } in
+  let loop_body =
+    let recurse =
+      dblock fenv body (fun env' ->
+          ignore env';
+          Ast.App (Ast.Fn fname, pack_locals p))
+    in
+    cond_ tp (dexpr fenv c) recurse (pack_locals p)
+  in
+  let lam = make_param_lambda p loop_body in
+  env.extra :=
+    Program.Func { name = fname; ty = Typ.Fn (tp, eff, tp); body = lam }
+    :: !(env.extra);
+  unpack_locals p (Ast.App (Ast.Fn fname, pack_locals p)) (continue_ env)
+
+(* Build [\(ps : TP). let p1 = ps.1 in ... body]. *)
+and make_param_lambda (p : (string * Typ.t) list) (body : Ast.expr) :
+    Ast.expr =
+  let ps = "$ps" in
+  let unpacked =
+    List.fold_right
+      (fun (i, (x, ty)) acc -> let_ x ty (Ast.Proj (Ast.Var ps, i)) acc)
+      (List.mapi (fun i l -> (i + 1, l)) p)
+      body
+  in
+  Ast.Val (Ast.VLam (ps, tuple_ty p, unpacked))
+
+(* [foreach x in e { body }]:
+
+     fun $foreach_n : (([TE], TP)) -mu-> (TP) is
+       \(args). let lst = args.1, p... = args.2.. in
+         cond<TP>(len(lst) > 0,
+           \(). let x = head(lst) in
+                let packed = <body yielding (p...)> in
+                $foreach_n((tail(lst), packed.1, ..., packed.k)),
+           \(). (p...)) *)
+and dforeach (env : denv) (s : Sast.stmt) (x : string) (e : Sast.expr)
+    (body : Sast.block) (continue_ : denv -> Ast.expr) : Ast.expr =
+  let elem_ty =
+    match ty_of env e with
+    | Typ.List t -> t
+    | t -> error e.loc "internal error: foreach over %a" Typ.pp t
+  in
+  (* [x] shadows any outer local of the same name inside the body, so
+     it must not become a loop parameter *)
+  let scope = SS.remove x (scope_set env) in
+  let rb, wb = analyze scope body in
+  let p = ordered env (SS.union rb wb) in
+  let tp = tuple_ty p in
+  let eff = eff_of env s in
+  let fname = Ident.fresh "foreach" in
+  let args_locals = ("$lst", Typ.List elem_ty) :: p in
+  let benv = { env with vars = (x, elem_ty) :: List.rev p } in
+  let loop_body =
+    let recurse =
+      let_ x elem_ty
+        (Ast.Prim ("head", [ elem_ty ], [ Ast.Var "$lst" ]))
+        (unpack_locals p
+           (dblock benv body (fun _ -> pack_locals p))
+           (Ast.App
+              ( Ast.Fn fname,
+                Ast.Tuple
+                  (Ast.Prim ("tail", [ elem_ty ], [ Ast.Var "$lst" ])
+                  :: List.map (fun (y, _) -> Ast.Var y) p) )))
+    in
+    cond_ tp
+      (Ast.Prim
+         ("not", [], [ Ast.Prim ("is_empty", [ elem_ty ], [ Ast.Var "$lst" ]) ]))
+      recurse (pack_locals p)
+  in
+  let lam = make_param_lambda args_locals loop_body in
+  env.extra :=
+    Program.Func
+      {
+        name = fname;
+        ty = Typ.Fn (tuple_ty args_locals, eff, tp);
+        body = lam;
+      }
+    :: !(env.extra);
+  unpack_locals p
+    (Ast.App
+       ( Ast.Fn fname,
+         Ast.Tuple (dexpr env e :: List.map (fun (y, _) -> Ast.Var y) p) ))
+    (continue_ env)
+
+(* [for i from a to b { body }] iterates a <= i < b:
+
+     fun $for_n : ((number, number, TP)) -mu-> (TP) is
+       \(args). let i = args.1, stop = args.2, p... in
+         cond<TP>(i < stop,
+           \(). let packed = <body yielding (p...)> in
+                $for_n((i+1, stop, packed...)),
+           \(). (p...)) *)
+and dfor (env : denv) (s : Sast.stmt) (x : string) (a : Sast.expr)
+    (b : Sast.expr) (body : Sast.block) (continue_ : denv -> Ast.expr) :
+    Ast.expr =
+  (* the index [x] shadows any same-named outer local (see dforeach) *)
+  let scope = SS.remove x (scope_set env) in
+  let rb, wb = analyze scope body in
+  let p = ordered env (SS.union rb wb) in
+  let tp = tuple_ty p in
+  let eff = eff_of env s in
+  let fname = Ident.fresh "for" in
+  let stop = "$stop" in
+  let args_locals = (x, Typ.Num) :: (stop, Typ.Num) :: p in
+  let benv = { env with vars = (x, Typ.Num) :: List.rev p } in
+  let loop_body =
+    let recurse =
+      unpack_locals p
+        (dblock benv body (fun _ -> pack_locals p))
+        (Ast.App
+           ( Ast.Fn fname,
+             Ast.Tuple
+               (Ast.Prim ("add", [], [ Ast.Var x; num_e 1.0 ])
+               :: Ast.Var stop
+               :: List.map (fun (y, _) -> Ast.Var y) p) ))
+    in
+    cond_ tp
+      (Ast.Prim ("lt", [ Typ.Num ], [ Ast.Var x; Ast.Var stop ]))
+      recurse (pack_locals p)
+  in
+  let lam = make_param_lambda args_locals loop_body in
+  env.extra :=
+    Program.Func
+      {
+        name = fname;
+        ty = Typ.Fn (tuple_ty args_locals, eff, tp);
+        body = lam;
+      }
+    :: !(env.extra);
+  unpack_locals p
+    (Ast.App
+       ( Ast.Fn fname,
+         Ast.Tuple
+           (dexpr env a :: dexpr env b
+           :: List.map (fun (y, _) -> Ast.Var y) p) ))
+    (continue_ env)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec const_value (env : denv) (e : Sast.expr) : Ast.value =
+  match e.desc with
+  | Sast.Num f -> Ast.VNum f
+  | Sast.Str s -> Ast.VStr s
+  | Sast.Bool b -> Ast.vbool b
+  | Sast.Unop (Sast.Neg, { desc = Sast.Num f; _ }) -> Ast.VNum (-.f)
+  | Sast.TupleE es -> Ast.VTuple (List.map (const_value env) es)
+  | Sast.ListE es -> (
+      match ty_of env e with
+      | Typ.List elem -> Ast.VList (elem, List.map (const_value env) es)
+      | t -> error e.loc "internal error: list literal typed %a" Typ.pp t)
+  | _ -> error e.loc "global initialisers must be literal values"
+
+(** Build the lambda for a function/page body from its parameter list:
+    zero params bind unit, one binds directly, several bind a tuple
+    that the prologue unpacks. *)
+let param_lambda (env : denv) (params : (string * Typ.t) list)
+    (mk_body : denv -> Ast.expr) : Typ.t * Ast.expr =
+  match params with
+  | [] ->
+      let body = mk_body env in
+      (Typ.unit_, Ast.Val (Ast.VLam ("_", Typ.unit_, body)))
+  | [ (x, ty) ] ->
+      let body = mk_body { env with vars = (x, ty) :: env.vars } in
+      (ty, Ast.Val (Ast.VLam (x, ty, body)))
+  | _ ->
+      let dom = Typ.Tuple (List.map snd params) in
+      let inner_env =
+        { env with vars = List.rev params @ env.vars }
+      in
+      let body = mk_body inner_env in
+      let args = "$args" in
+      let unpacked =
+        List.fold_right
+          (fun (i, (x, ty)) acc ->
+            let_ x ty (Ast.Proj (Ast.Var args, i)) acc)
+          (List.mapi (fun i p -> (i + 1, p)) params)
+          body
+      in
+      (dom, Ast.Val (Ast.VLam (args, dom, unpacked)))
+
+(** Compile a checked program to core code. *)
+let desugar_program (p : Sast.program) (info : Check.info) : Program.t =
+  Ident.reset_fresh ();
+  let globals = ref SS.empty in
+  let fun_arity = Hashtbl.create 16 in
+  let page_arity = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      match d with
+      | Sast.DGlobal { name; _ } -> globals := SS.add name !globals
+      | Sast.DFun { name; params; _ } ->
+          Hashtbl.replace fun_arity name (List.length params)
+      | Sast.DPage { name; params; _ } ->
+          Hashtbl.replace page_arity name (List.length params))
+    p.decls;
+  let extra = ref [] in
+  let base_env =
+    { info; globals = !globals; fun_arity; page_arity; vars = []; extra }
+  in
+  let core_params params =
+    List.map (fun (x, t) -> (x, Sast.ty_to_core t)) params
+  in
+  let defs =
+    List.map
+      (fun d ->
+        match d with
+        | Sast.DGlobal { name; gty; init; _ } ->
+            Program.Global
+              {
+                name;
+                ty = Sast.ty_to_core gty;
+                init = const_value base_env init;
+              }
+        | Sast.DFun { name; params; ret; body; _ } ->
+            let params = core_params params in
+            let ret_ty =
+              Sast.ty_to_core (Option.value ret ~default:(Sast.TyTuple []))
+            in
+            let eff =
+              Option.value
+                (Hashtbl.find_opt info.Check.fun_eff name)
+                ~default:Eff.Pure
+            in
+            let dom, lam =
+              param_lambda base_env params (fun env ->
+                  dblock env body (fun _ -> Ast.eunit))
+            in
+            (* a function whose last statement is [return e] yields e;
+               dblock handles that because SReturn ignores the yield *)
+            Program.Func { name; ty = Typ.Fn (dom, eff, ret_ty); body = lam }
+        | Sast.DPage { name; params; pinit; prender; _ } ->
+            let params = core_params params in
+            let _, init_lam =
+              param_lambda base_env params (fun env ->
+                  dblock env pinit (fun _ -> Ast.eunit))
+            in
+            let dom, render_lam =
+              param_lambda base_env params (fun env ->
+                  dblock env prender (fun _ -> Ast.eunit))
+            in
+            Program.Page
+              { name; arg_ty = dom; init = init_lam; render = render_lam })
+      p.decls
+  in
+  Program.of_defs (defs @ List.rev !extra)

@@ -1,0 +1,17 @@
+(** Lowering surface programs to the Fig. 6 calculus, per Sec. 4.1:
+    statement sequences become let-chains, local mutation becomes
+    shadowing plus tuple-threading across block boundaries, [if]
+    becomes the thunked [cond] primitive, loops become fresh global
+    recursive functions parameterised over the locals they touch, and
+    [on tapped] becomes an [ontap]-attribute lambda capturing by
+    value.
+
+    The output is validated against the core system ([C |- C]) by
+    {!Compile.compile}; a failure there is a compiler bug. *)
+
+exception Error of string * Loc.t
+
+val desugar_program : Sast.program -> Check.info -> Live_core.Program.t
+(** Requires the program to have passed {!Check.check_program} (the
+    [info] argument is its output).  Deterministic: identical input
+    yields an identical program, including generated function names. *)

@@ -1,0 +1,112 @@
+(** Inference types for the surface checker: the arrow-free types of
+    the calculus plus unification variables.
+
+    The surface language has no lambda syntax, so inference never needs
+    function types — calls are resolved by name against known
+    signatures.  Unification variables exist to give local inference
+    for [var] bindings and empty list literals ([var xs := []] followed
+    by [xs := cons(1, xs)]). *)
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun m -> raise (Error (m, loc))) fmt
+
+type t =
+  | INum
+  | IStr
+  | ITuple of t list
+  | IList of t
+  | IVar of tv ref
+
+and tv = Unbound of int | Link of t
+
+let var_counter = ref 0
+
+let fresh () : t =
+  incr var_counter;
+  IVar (ref (Unbound !var_counter))
+
+(** Chase links so the head constructor is meaningful. *)
+let rec repr (t : t) : t =
+  match t with
+  | IVar ({ contents = Link u } as r) ->
+      let u' = repr u in
+      r := Link u';
+      u'
+  | _ -> t
+
+let rec of_surface : Sast.ty -> t = function
+  | Sast.TyNum -> INum
+  | Sast.TyStr -> IStr
+  | Sast.TyTuple ts -> ITuple (List.map of_surface ts)
+  | Sast.TyList t -> IList (of_surface t)
+
+(** Import an arrow-free core type (attribute types, page signatures). *)
+let rec of_core (t : Live_core.Typ.t) : t =
+  match t with
+  | Live_core.Typ.Num -> INum
+  | Live_core.Typ.Str -> IStr
+  | Live_core.Typ.Tuple ts -> ITuple (List.map of_core ts)
+  | Live_core.Typ.List t -> IList (of_core t)
+  | Live_core.Typ.Fn _ ->
+      invalid_arg "Ity.of_core: function types have no surface counterpart"
+
+let rec occurs (r : tv ref) (t : t) : bool =
+  match repr t with
+  | INum | IStr -> false
+  | ITuple ts -> List.exists (occurs r) ts
+  | IList t -> occurs r t
+  | IVar r' -> r == r'
+
+let rec pp ppf (t : t) =
+  match repr t with
+  | INum -> Fmt.string ppf "number"
+  | IStr -> Fmt.string ppf "string"
+  | ITuple ts -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp) ts
+  | IList t -> Fmt.pf ppf "[%a]" pp t
+  | IVar { contents = Unbound n } -> Fmt.pf ppf "'t%d" n
+  | IVar { contents = Link _ } -> assert false
+
+let to_string t = Fmt.str "%a" pp t
+
+let rec unify (loc : Loc.t) (a : t) (b : t) : unit =
+  let a = repr a and b = repr b in
+  match (a, b) with
+  | INum, INum | IStr, IStr -> ()
+  | ITuple xs, ITuple ys when List.length xs = List.length ys ->
+      List.iter2 (unify loc) xs ys
+  | IList x, IList y -> unify loc x y
+  | IVar r, t | t, IVar r -> (
+      match t with
+      | IVar r' when r == r' -> ()
+      | _ ->
+          if occurs r t then
+            error loc "cannot construct the infinite type %s = %s"
+              (to_string (IVar r)) (to_string t)
+          else r := Link t)
+  | _ ->
+      error loc "type mismatch: %s is not compatible with %s" (to_string a)
+        (to_string b)
+
+(** Resolve to a concrete core type; unresolved variables are an
+    "ambiguous type" error at the given location. *)
+let rec zonk (loc : Loc.t) (t : t) : Live_core.Typ.t =
+  match repr t with
+  | INum -> Live_core.Typ.Num
+  | IStr -> Live_core.Typ.Str
+  | ITuple ts -> Live_core.Typ.Tuple (List.map (zonk loc) ts)
+  | IList t -> Live_core.Typ.List (zonk loc t)
+  | IVar { contents = Unbound _ } ->
+      error loc
+        "cannot infer a concrete type here; add a use or an annotation"
+  | IVar { contents = Link _ } -> assert false
+
+(** Resolve as far as possible, defaulting leftover variables to
+    [number] — used only by error-recovery paths, never by compilation. *)
+let rec zonk_default (t : t) : Live_core.Typ.t =
+  match repr t with
+  | INum -> Live_core.Typ.Num
+  | IStr -> Live_core.Typ.Str
+  | ITuple ts -> Live_core.Typ.Tuple (List.map zonk_default ts)
+  | IList t -> Live_core.Typ.List (zonk_default t)
+  | IVar _ -> Live_core.Typ.Num

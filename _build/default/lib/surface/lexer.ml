@@ -1,0 +1,198 @@
+(** Hand-written lexer for the surface language.
+
+    Comments run from [//] to end of line.  The paper's [||] string
+    concatenation is accepted as a synonym for [++].  Identifiers are
+    ASCII [ [A-Za-z_][A-Za-z0-9_]* ]; names containing ['$'] are
+    reserved for compiler-generated functions and rejected here. *)
+
+exception Error of string * Loc.t
+
+type lexed = { tok : Token.t; loc : Loc.t }
+
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make_state src = { src; offset = 0; line = 1; col = 1 }
+
+let pos (st : state) : Loc.pos = { line = st.line; col = st.col; offset = st.offset }
+
+let peek (st : state) : char option =
+  if st.offset < String.length st.src then Some st.src.[st.offset] else None
+
+let peek2 (st : state) : char option =
+  if st.offset + 1 < String.length st.src then Some st.src.[st.offset + 1]
+  else None
+
+let advance (st : state) =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let error st start fmt =
+  Fmt.kstr (fun m -> raise (Error (m, Loc.make start (pos st)))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let rec skip_trivia (st : state) =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_number (st : state) (start : Loc.pos) : lexed =
+  let buf = Buffer.create 8 in
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+        Buffer.add_char buf c;
+        advance st;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      Buffer.add_char buf '.';
+      advance st;
+      digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') -> (
+      (* exponent: e[+-]?digits *)
+      let save = (st.offset, st.line, st.col) in
+      Buffer.add_char buf 'e';
+      advance st;
+      (match peek st with
+      | Some ('+' | '-') ->
+          Buffer.add_char buf (Option.get (peek st));
+          advance st
+      | _ -> ());
+      match peek st with
+      | Some c when is_digit c -> digits ()
+      | _ ->
+          (* not an exponent after all; roll back *)
+          let o, l, c = save in
+          st.offset <- o;
+          st.line <- l;
+          st.col <- c;
+          let s = Buffer.contents buf in
+          Buffer.clear buf;
+          Buffer.add_string buf (String.sub s 0 (String.length s - 1)))
+  | _ -> ());
+  let text = Buffer.contents buf in
+  match float_of_string_opt text with
+  | Some f -> { tok = Token.NUMBER f; loc = Loc.make start (pos st) }
+  | None -> error st start "malformed number literal %s" text
+
+let lex_string (st : state) (start : Loc.pos) : lexed =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st start "unterminated string literal"
+    | Some '"' ->
+        advance st;
+        { tok = Token.STRING (Buffer.contents buf); loc = Loc.make start (pos st) }
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance st; go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance st; go ()
+        | Some '"' -> Buffer.add_char buf '"'; advance st; go ()
+        | Some c -> error st start "invalid escape sequence \\%c" c
+        | None -> error st start "unterminated string literal")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ()
+
+let lex_ident (st : state) (start : Loc.pos) : lexed =
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | Some c when is_alnum c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let name = Buffer.contents buf in
+  let tok =
+    match List.assoc_opt name Token.keywords with
+    | Some kw -> kw
+    | None -> Token.IDENT name
+  in
+  { tok; loc = Loc.make start (pos st) }
+
+let next_token (st : state) : lexed =
+  skip_trivia st;
+  let start = pos st in
+  let simple tok n =
+    for _ = 1 to n do
+      advance st
+    done;
+    { tok; loc = Loc.make start (pos st) }
+  in
+  match peek st with
+  | None -> { tok = Token.EOF; loc = Loc.make start start }
+  | Some c when is_digit c -> lex_number st start
+  | Some '"' -> lex_string st start
+  | Some c when is_alpha c -> lex_ident st start
+  | Some '(' -> simple LPAREN 1
+  | Some ')' -> simple RPAREN 1
+  | Some '{' -> simple LBRACE 1
+  | Some '}' -> simple RBRACE 1
+  | Some '[' -> simple LBRACKET 1
+  | Some ']' -> simple RBRACKET 1
+  | Some ',' -> simple COMMA 1
+  | Some '.' -> simple DOT 1
+  | Some ':' -> if peek2 st = Some '=' then simple ASSIGN 2 else simple COLON 1
+  | Some '=' -> if peek2 st = Some '=' then simple EQEQ 2 else simple EQ 1
+  | Some '!' ->
+      if peek2 st = Some '=' then simple NEQ 2
+      else error st start "unexpected character '!'"
+  | Some '+' -> if peek2 st = Some '+' then simple CONCAT 2 else simple PLUS 1
+  | Some '-' -> simple MINUS 1
+  | Some '*' -> simple STAR 1
+  | Some '/' -> simple SLASH 1
+  | Some '%' -> simple PERCENT 1
+  | Some '<' -> if peek2 st = Some '=' then simple LE 2 else simple LT 1
+  | Some '>' -> if peek2 st = Some '=' then simple GE 2 else simple GT 1
+  | Some '|' ->
+      if peek2 st = Some '|' then simple CONCAT 2
+      else error st start "unexpected character '|'"
+  | Some c -> error st start "unexpected character %C" c
+
+(** Tokenise a whole source string. *)
+let tokenize (src : string) : lexed list =
+  let st = make_state src in
+  let rec go acc =
+    let l = next_token st in
+    if l.tok = Token.EOF then List.rev (l :: acc) else go (l :: acc)
+  in
+  go []

@@ -1,0 +1,11 @@
+(** Hand-written lexer for the surface language.  Comments run from
+    [//] to end of line; the paper's [||] string concatenation lexes
+    as {!Token.CONCAT}. *)
+
+exception Error of string * Loc.t
+
+type lexed = { tok : Token.t; loc : Loc.t }
+
+val tokenize : string -> lexed list
+(** The whole source, ending with an {!Token.EOF} token.
+    @raise Error on malformed input, with its location. *)

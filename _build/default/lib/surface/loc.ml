@@ -1,0 +1,39 @@
+(** Source locations for the surface language: 1-based line/column
+    positions and half-open spans.  Every surface AST node carries a
+    span so that type errors point at source and so that the live
+    environment can map boxes back to the text of the [boxed] statement
+    that created them. *)
+
+type pos = { line : int; col : int; offset : int }
+
+let start_pos = { line = 1; col = 1; offset = 0 }
+
+type t = { start : pos; stop : pos }
+
+let dummy = { start = start_pos; stop = start_pos }
+
+let make start stop = { start; stop }
+
+(** Smallest span covering both arguments. *)
+let merge a b =
+  let start = if a.start.offset <= b.start.offset then a.start else b.start in
+  let stop = if a.stop.offset >= b.stop.offset then a.stop else b.stop in
+  { start; stop }
+
+let contains (t : t) ~(offset : int) =
+  t.start.offset <= offset && offset < t.stop.offset
+
+let pp ppf (t : t) =
+  if t.start.line = t.stop.line then
+    Fmt.pf ppf "line %d, characters %d-%d" t.start.line t.start.col t.stop.col
+  else
+    Fmt.pf ppf "lines %d-%d" t.start.line t.stop.line
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Extract the source text a span covers. *)
+let extract (source : string) (t : t) : string =
+  let n = String.length source in
+  let a = max 0 (min n t.start.offset) in
+  let b = max a (min n t.stop.offset) in
+  String.sub source a (b - a)

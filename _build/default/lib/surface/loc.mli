@@ -1,0 +1,21 @@
+(** Source positions (1-based line/column) and half-open spans. *)
+
+type pos = { line : int; col : int; offset : int }
+
+val start_pos : pos
+
+type t = { start : pos; stop : pos }
+
+val dummy : t
+val make : pos -> pos -> t
+
+val merge : t -> t -> t
+(** Smallest span covering both. *)
+
+val contains : t -> offset:int -> bool
+
+val extract : string -> t -> string
+(** The source text a span covers. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

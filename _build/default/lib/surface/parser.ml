@@ -1,0 +1,489 @@
+(** Recursive-descent parser for the surface language.
+
+    Grammar sketch (see README for the full reference):
+
+    {v
+      program  := decl*
+      decl     := "global" IDENT ":" ty "=" literal
+                | "fun" IDENT "(" params ")" [":" ty] block
+                | "page" IDENT "(" params ")" "init" block "render" block
+      ty       := "number" | "string" | "(" [ty ("," ty)*] ")" | "[" ty "]"
+      block    := "{" stmt* "}"
+      stmt     := "var" IDENT ":=" expr | IDENT ":=" expr
+                | "box" "." IDENT ":=" expr
+                | "if" expr block ("else" (block | if-stmt))?
+                | "while" expr block
+                | "foreach" IDENT "in" expr block
+                | "for" IDENT "from" expr "to" expr block
+                | "boxed" block | "post" expr | "on" IDENT block
+                | "push" IDENT "(" args ")" | "pop"
+                | "return" expr | expr
+      expr     := or-expr with the usual precedence:
+                  or, and, not, comparisons, ++, additive, multiplicative,
+                  unary minus, postfix .n, atoms
+    v}
+
+    Statement node ids are assigned left-to-right from a counter that
+    starts fresh per parse; [boxed] statement ids double as
+    {!Live_core.Srcid.t} values. *)
+
+exception Error of string * Loc.t
+
+type st = {
+  toks : Lexer.lexed array;
+  mutable cur : int;
+  mutable next_id : int;
+}
+
+let parse_error (st : st) fmt =
+  let loc = st.toks.(st.cur).loc in
+  Fmt.kstr (fun m -> raise (Error (m, loc))) fmt
+
+let peek (st : st) : Token.t = st.toks.(st.cur).tok
+let peek_loc (st : st) : Loc.t = st.toks.(st.cur).loc
+
+let peek2 (st : st) : Token.t =
+  if st.cur + 1 < Array.length st.toks then st.toks.(st.cur + 1).tok
+  else Token.EOF
+
+let advance (st : st) : Lexer.lexed =
+  let l = st.toks.(st.cur) in
+  if st.cur + 1 < Array.length st.toks then st.cur <- st.cur + 1;
+  l
+
+let expect (st : st) (tok : Token.t) : Loc.t =
+  if Token.equal (peek st) tok then (advance st).loc
+  else
+    parse_error st "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let accept (st : st) (tok : Token.t) : bool =
+  if Token.equal (peek st) tok then begin
+    ignore (advance st);
+    true
+  end
+  else false
+
+let fresh_id (st : st) : int =
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  id
+
+let ident (st : st) : string * Loc.t =
+  match peek st with
+  | Token.IDENT name ->
+      let l = advance st in
+      (name, l.loc)
+  | t -> parse_error st "expected an identifier, found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_ty (st : st) : Sast.ty =
+  match peek st with
+  | Token.KW_NUMBER ->
+      ignore (advance st);
+      Sast.TyNum
+  | Token.KW_STRING ->
+      ignore (advance st);
+      Sast.TyStr
+  | Token.LPAREN ->
+      ignore (advance st);
+      if accept st Token.RPAREN then Sast.TyTuple []
+      else begin
+        let first = parse_ty st in
+        let rec rest acc =
+          if accept st Token.COMMA then rest (parse_ty st :: acc)
+          else begin
+            ignore (expect st Token.RPAREN);
+            List.rev acc
+          end
+        in
+        match rest [ first ] with
+        | [ single ] -> single (* parenthesised type *)
+        | ts -> Sast.TyTuple ts
+      end
+  | Token.LBRACKET ->
+      ignore (advance st);
+      let t = parse_ty st in
+      ignore (expect st Token.RBRACKET);
+      Sast.TyList t
+  | t -> parse_error st "expected a type, found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk_expr (st : st) desc loc : Sast.expr =
+  { Sast.desc; loc; eid = fresh_id st }
+
+let rec parse_expr (st : st) : Sast.expr = parse_or st
+
+and parse_or (st : st) : Sast.expr =
+  let lhs = parse_and st in
+  if Token.equal (peek st) Token.KW_OR then begin
+    ignore (advance st);
+    let rhs = parse_or st in
+    mk_expr st (Sast.Binop (Sast.Or, lhs, rhs)) (Loc.merge lhs.loc rhs.loc)
+  end
+  else lhs
+
+and parse_and (st : st) : Sast.expr =
+  let lhs = parse_not st in
+  if Token.equal (peek st) Token.KW_AND then begin
+    ignore (advance st);
+    let rhs = parse_and st in
+    mk_expr st (Sast.Binop (Sast.And, lhs, rhs)) (Loc.merge lhs.loc rhs.loc)
+  end
+  else lhs
+
+and parse_not (st : st) : Sast.expr =
+  if Token.equal (peek st) Token.KW_NOT then begin
+    let loc0 = peek_loc st in
+    ignore (advance st);
+    let e = parse_not st in
+    mk_expr st (Sast.Unop (Sast.Not, e)) (Loc.merge loc0 e.loc)
+  end
+  else parse_cmp st
+
+and parse_cmp (st : st) : Sast.expr =
+  let lhs = parse_concat st in
+  let op =
+    match peek st with
+    | Token.EQEQ -> Some Sast.Eq
+    | Token.NEQ -> Some Sast.Ne
+    | Token.LT -> Some Sast.Lt
+    | Token.LE -> Some Sast.Le
+    | Token.GT -> Some Sast.Gt
+    | Token.GE -> Some Sast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      ignore (advance st);
+      let rhs = parse_concat st in
+      mk_expr st (Sast.Binop (op, lhs, rhs)) (Loc.merge lhs.loc rhs.loc)
+
+and parse_concat (st : st) : Sast.expr =
+  let lhs = parse_add st in
+  if Token.equal (peek st) Token.CONCAT then begin
+    ignore (advance st);
+    let rhs = parse_concat st in
+    mk_expr st (Sast.Binop (Sast.Concat, lhs, rhs)) (Loc.merge lhs.loc rhs.loc)
+  end
+  else lhs
+
+and parse_add (st : st) : Sast.expr =
+  let rec go lhs =
+    match peek st with
+    | Token.PLUS ->
+        ignore (advance st);
+        let rhs = parse_mul st in
+        go (mk_expr st (Sast.Binop (Sast.Add, lhs, rhs)) (Loc.merge lhs.loc rhs.loc))
+    | Token.MINUS ->
+        ignore (advance st);
+        let rhs = parse_mul st in
+        go (mk_expr st (Sast.Binop (Sast.Sub, lhs, rhs)) (Loc.merge lhs.loc rhs.loc))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul (st : st) : Sast.expr =
+  let rec go lhs =
+    match peek st with
+    | Token.STAR ->
+        ignore (advance st);
+        let rhs = parse_unary st in
+        go (mk_expr st (Sast.Binop (Sast.Mul, lhs, rhs)) (Loc.merge lhs.loc rhs.loc))
+    | Token.SLASH ->
+        ignore (advance st);
+        let rhs = parse_unary st in
+        go (mk_expr st (Sast.Binop (Sast.Div, lhs, rhs)) (Loc.merge lhs.loc rhs.loc))
+    | Token.PERCENT ->
+        ignore (advance st);
+        let rhs = parse_unary st in
+        go (mk_expr st (Sast.Binop (Sast.Mod, lhs, rhs)) (Loc.merge lhs.loc rhs.loc))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary (st : st) : Sast.expr =
+  if Token.equal (peek st) Token.MINUS then begin
+    let loc0 = peek_loc st in
+    ignore (advance st);
+    let e = parse_unary st in
+    mk_expr st (Sast.Unop (Sast.Neg, e)) (Loc.merge loc0 e.loc)
+  end
+  else parse_postfix st
+
+and parse_postfix (st : st) : Sast.expr =
+  let rec go e =
+    if Token.equal (peek st) Token.DOT then begin
+      match peek2 st with
+      | Token.NUMBER f when Float.is_integer f && f >= 1.0 ->
+          ignore (advance st);
+          let l = advance st in
+          go (mk_expr st (Sast.ProjE (e, int_of_float f)) (Loc.merge e.loc l.loc))
+      | _ -> parse_error st "expected a tuple index after '.'"
+    end
+    else e
+  in
+  go (parse_atom st)
+
+and parse_atom (st : st) : Sast.expr =
+  let loc0 = peek_loc st in
+  match peek st with
+  | Token.NUMBER f ->
+      ignore (advance st);
+      mk_expr st (Sast.Num f) loc0
+  | Token.STRING s ->
+      ignore (advance st);
+      mk_expr st (Sast.Str s) loc0
+  | Token.KW_TRUE ->
+      ignore (advance st);
+      mk_expr st (Sast.Bool true) loc0
+  | Token.KW_FALSE ->
+      ignore (advance st);
+      mk_expr st (Sast.Bool false) loc0
+  | Token.IDENT name ->
+      ignore (advance st);
+      if Token.equal (peek st) Token.LPAREN then begin
+        ignore (advance st);
+        let args = parse_args st in
+        let loc1 = expect st Token.RPAREN in
+        mk_expr st (Sast.Call (name, args)) (Loc.merge loc0 loc1)
+      end
+      else mk_expr st (Sast.Ref name) loc0
+  | Token.LPAREN ->
+      ignore (advance st);
+      if Token.equal (peek st) Token.RPAREN then begin
+        let loc1 = (advance st).loc in
+        mk_expr st (Sast.TupleE []) (Loc.merge loc0 loc1)
+      end
+      else begin
+        let first = parse_expr st in
+        let rec rest acc =
+          if accept st Token.COMMA then rest (parse_expr st :: acc)
+          else begin
+            let loc1 = expect st Token.RPAREN in
+            (List.rev acc, loc1)
+          end
+        in
+        let es, loc1 = rest [ first ] in
+        match es with
+        | [ single ] -> { single with loc = Loc.merge loc0 loc1 }
+        | _ -> mk_expr st (Sast.TupleE es) (Loc.merge loc0 loc1)
+      end
+  | Token.LBRACKET ->
+      ignore (advance st);
+      if Token.equal (peek st) Token.RBRACKET then begin
+        let loc1 = (advance st).loc in
+        mk_expr st (Sast.ListE []) (Loc.merge loc0 loc1)
+      end
+      else begin
+        let first = parse_expr st in
+        let rec rest acc =
+          if accept st Token.COMMA then rest (parse_expr st :: acc)
+          else begin
+            let loc1 = expect st Token.RBRACKET in
+            (List.rev acc, loc1)
+          end
+        in
+        let es, loc1 = rest [ first ] in
+        mk_expr st (Sast.ListE es) (Loc.merge loc0 loc1)
+      end
+  | t -> parse_error st "expected an expression, found '%s'" (Token.to_string t)
+
+and parse_args (st : st) : Sast.expr list =
+  if Token.equal (peek st) Token.RPAREN then []
+  else begin
+    let first = parse_expr st in
+    let rec rest acc =
+      if accept st Token.COMMA then rest (parse_expr st :: acc)
+      else List.rev acc
+    in
+    rest [ first ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_stmt (st : st) sdesc sloc : Sast.stmt =
+  { Sast.sdesc; sloc; sid = fresh_id st }
+
+let rec parse_block (st : st) : Sast.block =
+  ignore (expect st Token.LBRACE);
+  let rec go acc =
+    if accept st Token.RBRACE then List.rev acc
+    else if Token.equal (peek st) Token.EOF then
+      parse_error st "unterminated block: expected '}'"
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt (st : st) : Sast.stmt =
+  let loc0 = peek_loc st in
+  match peek st with
+  | Token.KW_VAR ->
+      ignore (advance st);
+      let name, _ = ident st in
+      ignore (expect st Token.ASSIGN);
+      let e = parse_expr st in
+      mk_stmt st (Sast.SVar (name, e)) (Loc.merge loc0 e.loc)
+  | Token.KW_BOX when Token.equal (peek2 st) Token.DOT ->
+      ignore (advance st);
+      ignore (advance st);
+      let attr, _ = ident st in
+      ignore (expect st Token.ASSIGN);
+      let e = parse_expr st in
+      mk_stmt st (Sast.SAttr (attr, e)) (Loc.merge loc0 e.loc)
+  | Token.KW_IF -> parse_if st
+  | Token.KW_WHILE ->
+      ignore (advance st);
+      let c = parse_expr st in
+      let body = parse_block st in
+      mk_stmt st (Sast.SWhile (c, body)) loc0
+  | Token.KW_FOREACH ->
+      ignore (advance st);
+      let x, _ = ident st in
+      ignore (expect st Token.KW_IN);
+      let e = parse_expr st in
+      let body = parse_block st in
+      mk_stmt st (Sast.SForeach (x, e, body)) loc0
+  | Token.KW_FOR ->
+      ignore (advance st);
+      let x, _ = ident st in
+      ignore (expect st Token.KW_FROM);
+      let a = parse_expr st in
+      ignore (expect st Token.KW_TO);
+      let b = parse_expr st in
+      let body = parse_block st in
+      mk_stmt st (Sast.SFor (x, a, b, body)) loc0
+  | Token.KW_BOXED ->
+      ignore (advance st);
+      let body = parse_block st in
+      mk_stmt st (Sast.SBoxed body) loc0
+  | Token.KW_POST ->
+      ignore (advance st);
+      let e = parse_expr st in
+      mk_stmt st (Sast.SPost e) (Loc.merge loc0 e.loc)
+  | Token.KW_ON ->
+      ignore (advance st);
+      let ev, _ = ident st in
+      let body = parse_block st in
+      mk_stmt st (Sast.SOn (ev, body)) loc0
+  | Token.KW_PUSH ->
+      ignore (advance st);
+      let p, _ = ident st in
+      ignore (expect st Token.LPAREN);
+      let args = parse_args st in
+      let loc1 = expect st Token.RPAREN in
+      mk_stmt st (Sast.SPush (p, args)) (Loc.merge loc0 loc1)
+  | Token.KW_POP ->
+      ignore (advance st);
+      mk_stmt st Sast.SPop loc0
+  | Token.KW_RETURN ->
+      ignore (advance st);
+      let e = parse_expr st in
+      mk_stmt st (Sast.SReturn e) (Loc.merge loc0 e.loc)
+  | Token.IDENT _ when Token.equal (peek2 st) Token.ASSIGN ->
+      let name, _ = ident st in
+      ignore (advance st) (* := *);
+      let e = parse_expr st in
+      mk_stmt st (Sast.SAssign (name, e)) (Loc.merge loc0 e.loc)
+  | _ ->
+      let e = parse_expr st in
+      mk_stmt st (Sast.SExpr e) e.loc
+
+and parse_if (st : st) : Sast.stmt =
+  let loc0 = expect st Token.KW_IF in
+  let c = parse_expr st in
+  let then_b = parse_block st in
+  let else_b =
+    if accept st Token.KW_ELSE then
+      if Token.equal (peek st) Token.KW_IF then [ parse_if st ]
+      else parse_block st
+    else []
+  in
+  mk_stmt st (Sast.SIf (c, then_b, else_b)) loc0
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_params (st : st) : (string * Sast.ty) list =
+  ignore (expect st Token.LPAREN);
+  if accept st Token.RPAREN then []
+  else begin
+    let one () =
+      let name, _ = ident st in
+      ignore (expect st Token.COLON);
+      let t = parse_ty st in
+      (name, t)
+    in
+    let first = one () in
+    let rec rest acc =
+      if accept st Token.COMMA then rest (one () :: acc)
+      else begin
+        ignore (expect st Token.RPAREN);
+        List.rev acc
+      end
+    in
+    rest [ first ]
+  end
+
+let parse_decl (st : st) : Sast.decl =
+  let loc0 = peek_loc st in
+  match peek st with
+  | Token.KW_GLOBAL ->
+      ignore (advance st);
+      let name, _ = ident st in
+      ignore (expect st Token.COLON);
+      let gty = parse_ty st in
+      ignore (expect st Token.EQ);
+      let init = parse_expr st in
+      Sast.DGlobal { name; gty; init; dloc = Loc.merge loc0 init.loc }
+  | Token.KW_FUN ->
+      ignore (advance st);
+      let name, _ = ident st in
+      let params = parse_params st in
+      let ret =
+        if accept st Token.COLON then Some (parse_ty st) else None
+      in
+      let body = parse_block st in
+      Sast.DFun { name; params; ret; body; dloc = loc0 }
+  | Token.KW_PAGE ->
+      ignore (advance st);
+      let name, _ = ident st in
+      let params = parse_params st in
+      ignore (expect st Token.KW_INIT);
+      let pinit = parse_block st in
+      ignore (expect st Token.KW_RENDER);
+      let prender = parse_block st in
+      Sast.DPage { name; params; pinit; prender; dloc = loc0 }
+  | t ->
+      parse_error st "expected 'global', 'fun' or 'page', found '%s'"
+        (Token.to_string t)
+
+(** Parse a whole program.  Node ids restart from 0 on every parse, so
+    re-parsing an unchanged source yields identical ids — the property
+    the live environment's box ↔ code mapping relies on across edits. *)
+let parse_program (src : string) : Sast.program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; cur = 0; next_id = 0 } in
+  let rec go acc =
+    if Token.equal (peek st) Token.EOF then List.rev acc
+    else go (parse_decl st :: acc)
+  in
+  { Sast.decls = go [] }
+
+let parse_expr_string (src : string) : Sast.expr =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; cur = 0; next_id = 1_000_000 } in
+  let e = parse_expr st in
+  if not (Token.equal (peek st) Token.EOF) then
+    parse_error st "trailing input after expression";
+  e

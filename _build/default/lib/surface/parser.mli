@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the surface language (grammar in the
+    README).  Statement node ids are assigned deterministically
+    left-to-right, so identical source yields identical ids — the
+    property that keeps the box ↔ code mapping stable across no-op
+    recompiles.  A [boxed] statement's id doubles as its
+    {!Live_core.Srcid.t}. *)
+
+exception Error of string * Loc.t
+
+val parse_program : string -> Sast.program
+(** @raise Error (or {!Lexer.Error}) with a location. *)
+
+val parse_expr_string : string -> Sast.expr
+(** A single expression (used by direct manipulation's value input);
+    rejects trailing input. *)

@@ -1,0 +1,196 @@
+(** Source formatter: prints a surface AST back to concrete syntax.
+
+    The live environment's direct-manipulation feature (Sec. 3) edits
+    the AST (e.g. inserting [box.margin := 12] into a boxed statement)
+    and re-prints the program, so the printer must produce text that
+    re-parses to an equivalent AST ([parse (print p)] equals [p] up to
+    locations and node ids — tested by a round-trip property). *)
+
+let binop_str : Sast.binop -> string = function
+  | Sast.Add -> "+"
+  | Sast.Sub -> "-"
+  | Sast.Mul -> "*"
+  | Sast.Div -> "/"
+  | Sast.Mod -> "%"
+  | Sast.Concat -> "++"
+  | Sast.Eq -> "=="
+  | Sast.Ne -> "!="
+  | Sast.Lt -> "<"
+  | Sast.Le -> "<="
+  | Sast.Gt -> ">"
+  | Sast.Ge -> ">="
+  | Sast.And -> "and"
+  | Sast.Or -> "or"
+
+(* Precedence levels, looser to tighter; used to parenthesise minimally. *)
+let binop_prec : Sast.binop -> int = function
+  | Sast.Or -> 1
+  | Sast.And -> 2
+  | Sast.Eq | Sast.Ne | Sast.Lt | Sast.Le | Sast.Gt | Sast.Ge -> 4
+  | Sast.Concat -> 5
+  | Sast.Add | Sast.Sub -> 6
+  | Sast.Mul | Sast.Div | Sast.Mod -> 7
+
+let rec ty_str : Sast.ty -> string = function
+  | Sast.TyNum -> "number"
+  | Sast.TyStr -> "string"
+  | Sast.TyTuple ts ->
+      "(" ^ String.concat ", " (List.map ty_str ts) ^ ")"
+  | Sast.TyList t -> "[" ^ ty_str t ^ "]"
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** [expr_str ~prec e]: render [e], parenthesising if its top operator
+    binds looser than the context precedence. *)
+let rec expr_str ?(prec = 0) (e : Sast.expr) : string =
+  match e.desc with
+  | Sast.Num f ->
+      let s = Live_core.Pretty.string_of_num f in
+      if f < 0.0 && prec > 0 then "(" ^ s ^ ")" else s
+  | Sast.Str s -> "\"" ^ escape s ^ "\""
+  | Sast.Bool true -> "true"
+  | Sast.Bool false -> "false"
+  | Sast.Ref x -> x
+  | Sast.TupleE es ->
+      "(" ^ String.concat ", " (List.map (expr_str ~prec:0) es) ^ ")"
+  | Sast.ListE es ->
+      "[" ^ String.concat ", " (List.map (expr_str ~prec:0) es) ^ "]"
+  | Sast.ProjE (e1, n) -> expr_str ~prec:10 e1 ^ "." ^ string_of_int n
+  | Sast.Call (f, args) ->
+      f ^ "(" ^ String.concat ", " (List.map (expr_str ~prec:0) args) ^ ")"
+  | Sast.Binop (op, a, b) ->
+      let p = binop_prec op in
+      (* associativity must match the parser: additive and
+         multiplicative chains parse left-associative, concatenation
+         and the logical operators right-associative, comparisons do
+         not chain *)
+      let lp, rp =
+        match op with
+        | Sast.Add | Sast.Sub | Sast.Mul | Sast.Div | Sast.Mod -> (p, p + 1)
+        | Sast.Concat | Sast.And | Sast.Or -> (p + 1, p)
+        | Sast.Eq | Sast.Ne | Sast.Lt | Sast.Le | Sast.Gt | Sast.Ge ->
+            (p + 1, p + 1)
+      in
+      let s =
+        expr_str ~prec:lp a ^ " " ^ binop_str op ^ " " ^ expr_str ~prec:rp b
+      in
+      if p < prec then "(" ^ s ^ ")" else s
+  | Sast.Unop (Sast.Neg, a) ->
+      let s = "-" ^ expr_str ~prec:9 a in
+      if prec > 8 then "(" ^ s ^ ")" else s
+  | Sast.Unop (Sast.Not, a) ->
+      let s = "not " ^ expr_str ~prec:3 a in
+      if prec > 3 then "(" ^ s ^ ")" else s
+
+let indent buf n = Buffer.add_string buf (String.make (2 * n) ' ')
+
+let rec print_block (buf : Buffer.t) (lvl : int) (b : Sast.block) : unit =
+  Buffer.add_string buf "{\n";
+  List.iter (print_stmt buf (lvl + 1)) b;
+  indent buf lvl;
+  Buffer.add_string buf "}"
+
+and print_stmt (buf : Buffer.t) (lvl : int) (s : Sast.stmt) : unit =
+  indent buf lvl;
+  (match s.sdesc with
+  | Sast.SVar (x, e) ->
+      Buffer.add_string buf ("var " ^ x ^ " := " ^ expr_str e)
+  | Sast.SAssign (x, e) -> Buffer.add_string buf (x ^ " := " ^ expr_str e)
+  | Sast.SAttr (a, e) ->
+      Buffer.add_string buf ("box." ^ a ^ " := " ^ expr_str e)
+  | Sast.SIf (c, b1, b2) ->
+      Buffer.add_string buf ("if " ^ expr_str c ^ " ");
+      print_block buf lvl b1;
+      if b2 <> [] then begin
+        Buffer.add_string buf " else ";
+        match b2 with
+        | [ ({ sdesc = Sast.SIf _; _ } as nested) ] ->
+            (* else-if chain: print inline, reusing the same line *)
+            let sub = Buffer.create 64 in
+            print_stmt sub lvl nested;
+            (* drop the indentation the nested statement printed *)
+            let text = Buffer.contents sub in
+            let text = String.trim text in
+            let text =
+              if String.length text > 0 && text.[String.length text - 1] = '\n'
+              then String.sub text 0 (String.length text - 1)
+              else text
+            in
+            Buffer.add_string buf text
+        | _ -> print_block buf lvl b2
+      end
+  | Sast.SWhile (c, b) ->
+      Buffer.add_string buf ("while " ^ expr_str c ^ " ");
+      print_block buf lvl b
+  | Sast.SForeach (x, e, b) ->
+      Buffer.add_string buf ("foreach " ^ x ^ " in " ^ expr_str e ^ " ");
+      print_block buf lvl b
+  | Sast.SFor (x, a, b', body) ->
+      Buffer.add_string buf
+        ("for " ^ x ^ " from " ^ expr_str a ^ " to " ^ expr_str b' ^ " ");
+      print_block buf lvl body
+  | Sast.SBoxed b ->
+      Buffer.add_string buf "boxed ";
+      print_block buf lvl b
+  | Sast.SPost e -> Buffer.add_string buf ("post " ^ expr_str e)
+  | Sast.SOn (ev, b) ->
+      Buffer.add_string buf ("on " ^ ev ^ " ");
+      print_block buf lvl b
+  | Sast.SPush (p, args) ->
+      Buffer.add_string buf
+        ("push " ^ p ^ "("
+        ^ String.concat ", " (List.map expr_str args)
+        ^ ")")
+  | Sast.SPop -> Buffer.add_string buf "pop"
+  | Sast.SReturn e -> Buffer.add_string buf ("return " ^ expr_str e)
+  | Sast.SExpr e -> Buffer.add_string buf (expr_str e));
+  Buffer.add_char buf '\n'
+
+let print_params (params : (string * Sast.ty) list) : string =
+  "("
+  ^ String.concat ", " (List.map (fun (x, t) -> x ^ " : " ^ ty_str t) params)
+  ^ ")"
+
+let print_decl (buf : Buffer.t) (d : Sast.decl) : unit =
+  (match d with
+  | Sast.DGlobal { name; gty; init; _ } ->
+      Buffer.add_string buf
+        ("global " ^ name ^ " : " ^ ty_str gty ^ " = " ^ expr_str init ^ "\n")
+  | Sast.DFun { name; params; ret; body; _ } ->
+      Buffer.add_string buf ("fun " ^ name ^ print_params params);
+      (match ret with
+      | Some t -> Buffer.add_string buf (" : " ^ ty_str t)
+      | None -> ());
+      Buffer.add_char buf ' ';
+      print_block buf 0 body;
+      Buffer.add_char buf '\n'
+  | Sast.DPage { name; params; pinit; prender; _ } ->
+      Buffer.add_string buf ("page " ^ name ^ print_params params ^ "\n");
+      Buffer.add_string buf "init ";
+      print_block buf 0 pinit;
+      Buffer.add_string buf "\nrender ";
+      print_block buf 0 prender;
+      Buffer.add_char buf '\n');
+  Buffer.add_char buf '\n'
+
+(** Render a whole program as source text. *)
+let program_to_string (p : Sast.program) : string =
+  let buf = Buffer.create 1024 in
+  List.iter (print_decl buf) p.decls;
+  Buffer.contents buf
+
+let stmt_to_string (s : Sast.stmt) : string =
+  let buf = Buffer.create 64 in
+  print_stmt buf 0 s;
+  String.trim (Buffer.contents buf)

@@ -1,0 +1,15 @@
+(** Source formatter.  [parse (program_to_string p)] equals [p] up to
+    locations and node ids, and printing is canonical
+    ([print ∘ parse ∘ print = print]) — the properties direct
+    manipulation relies on to write code back without corrupting the
+    program (tested in [test/test_printer.ml]). *)
+
+val program_to_string : Sast.program -> string
+val stmt_to_string : Sast.stmt -> string
+
+val expr_str : ?prec:int -> Sast.expr -> string
+(** Render an expression, parenthesising minimally against the context
+    precedence. *)
+
+val ty_str : Sast.ty -> string
+val binop_str : Sast.binop -> string

@@ -1,0 +1,196 @@
+(** Surface abstract syntax.
+
+    The surface language is the TouchDevelop-flavoured notation the
+    paper's figures use (Figs. 3-5): pages with [init]/[render] bodies,
+    [boxed { ... }] statements, [post], [box.attr := e], [on tapped],
+    local variables, loops and conditionals.  It compiles to the core
+    calculus of Fig. 6 ({!Desugar}); in particular loops become
+    recursion through generated global functions and conditionals
+    become thunks, exactly the encodings Sec. 4.1 describes.
+
+    Every statement carries a unique node id ([sid]); the id of a
+    [boxed] statement doubles as its {!Live_core.Srcid.t}, giving the
+    box ↔ code mapping of the live environment. *)
+
+type ty =
+  | TyNum
+  | TyStr
+  | TyTuple of ty list  (** [()] is [TyTuple []] *)
+  | TyList of ty
+
+let rec ty_equal a b =
+  match (a, b) with
+  | TyNum, TyNum | TyStr, TyStr -> true
+  | TyTuple xs, TyTuple ys ->
+      List.length xs = List.length ys && List.for_all2 ty_equal xs ys
+  | TyList a, TyList b -> ty_equal a b
+  | (TyNum | TyStr | TyTuple _ | TyList _), _ -> false
+
+(** Surface types are exactly the arrow-free core types. *)
+let rec ty_to_core : ty -> Live_core.Typ.t = function
+  | TyNum -> Live_core.Typ.Num
+  | TyStr -> Live_core.Typ.Str
+  | TyTuple ts -> Live_core.Typ.Tuple (List.map ty_to_core ts)
+  | TyList t -> Live_core.Typ.List (ty_to_core t)
+
+let rec pp_ty ppf = function
+  | TyNum -> Fmt.string ppf "number"
+  | TyStr -> Fmt.string ppf "string"
+  | TyTuple ts -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_ty) ts
+  | TyList t -> Fmt.pf ppf "[%a]" pp_ty t
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Concat  (** [++] / the paper's [||] *)
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And  (** short-circuit *)
+  | Or  (** short-circuit *)
+
+type unop = Neg | Not
+
+type expr = { desc : desc; loc : Loc.t; eid : int }
+
+and desc =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Ref of string  (** local variable, parameter, or global *)
+  | TupleE of expr list  (** [()] or [(e1, e2, ...)], n <> 1 *)
+  | ListE of expr list  (** [[e1, ..., en]] *)
+  | ProjE of expr * int  (** [e.n], 1-indexed *)
+  | Call of string * expr list  (** user function or builtin *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type stmt = { sdesc : sdesc; sloc : Loc.t; sid : int }
+
+and sdesc =
+  | SVar of string * expr  (** [var x := e] *)
+  | SAssign of string * expr  (** [x := e] — local or global *)
+  | SAttr of string * expr  (** [box.a := e] *)
+  | SIf of expr * block * block  (** [else] branch may be empty *)
+  | SWhile of expr * block
+  | SForeach of string * expr * block  (** [foreach x in e { ... }] *)
+  | SFor of string * expr * expr * block
+      (** [for i from a to b { ... }] — iterates a <= i < b *)
+  | SBoxed of block  (** [boxed { ... }]; [sid] is its {!Live_core.Srcid.t} *)
+  | SPost of expr
+  | SOn of string * block  (** [on tapped { ... }] *)
+  | SPush of string * expr list
+  | SPop
+  | SReturn of expr  (** only as the final statement of a function *)
+  | SExpr of expr
+
+and block = stmt list
+
+type decl =
+  | DGlobal of { name : string; gty : ty; init : expr; dloc : Loc.t }
+      (** initialiser restricted to literals *)
+  | DFun of {
+      name : string;
+      params : (string * ty) list;
+      ret : ty option;  (** [None] means unit *)
+      body : block;
+      dloc : Loc.t;
+    }
+  | DPage of {
+      name : string;
+      params : (string * ty) list;
+      pinit : block;
+      prender : block;
+      dloc : Loc.t;
+    }
+
+type program = { decls : decl list }
+
+let decl_name = function
+  | DGlobal { name; _ } | DFun { name; _ } | DPage { name; _ } -> name
+
+let decl_loc = function
+  | DGlobal { dloc; _ } | DFun { dloc; _ } | DPage { dloc; _ } -> dloc
+
+let find_decl (p : program) name =
+  List.find_opt (fun d -> String.equal (decl_name d) name) p.decls
+
+(* ------------------------------------------------------------------ *)
+(* Traversals used by the editor                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Fold over every statement of a program, pre-order. *)
+let fold_stmts (f : 'a -> stmt -> 'a) (acc : 'a) (p : program) : 'a =
+  let rec go_block acc (b : block) = List.fold_left go_stmt acc b
+  and go_stmt acc s =
+    let acc = f acc s in
+    match s.sdesc with
+    | SIf (_, b1, b2) -> go_block (go_block acc b1) b2
+    | SWhile (_, b)
+    | SForeach (_, _, b)
+    | SFor (_, _, _, b)
+    | SBoxed b
+    | SOn (_, b) ->
+        go_block acc b
+    | SVar _ | SAssign _ | SAttr _ | SPost _ | SPush _ | SPop | SReturn _
+    | SExpr _ ->
+        acc
+  in
+  List.fold_left
+    (fun acc d ->
+      match d with
+      | DGlobal _ -> acc
+      | DFun { body; _ } -> go_block acc body
+      | DPage { pinit; prender; _ } -> go_block (go_block acc pinit) prender)
+    acc p.decls
+
+(** Find a statement by node id. *)
+let find_stmt (p : program) (sid : int) : stmt option =
+  fold_stmts
+    (fun acc s -> match acc with Some _ -> acc | None -> if s.sid = sid then Some s else None)
+    None p
+
+(** Apply [f] to the statement with the given id, replacing it by the
+    returned statements (deletion = [[]], rewriting = singleton,
+    insertion = several).  Returns [None] if the id does not occur. *)
+let rewrite_stmt (p : program) (sid : int) (f : stmt -> stmt list) :
+    program option =
+  let hit = ref false in
+  let rec go_block (b : block) : block =
+    List.concat_map
+      (fun s ->
+        if s.sid = sid then begin
+          hit := true;
+          f s
+        end
+        else [ { s with sdesc = go_desc s.sdesc } ])
+      b
+  and go_desc = function
+    | SIf (c, b1, b2) -> SIf (c, go_block b1, go_block b2)
+    | SWhile (c, b) -> SWhile (c, go_block b)
+    | SForeach (x, e, b) -> SForeach (x, e, go_block b)
+    | SFor (x, a, b', body) -> SFor (x, a, b', go_block body)
+    | SBoxed b -> SBoxed (go_block b)
+    | SOn (ev, b) -> SOn (ev, go_block b)
+    | ( SVar _ | SAssign _ | SAttr _ | SPost _ | SPush _ | SPop | SReturn _
+      | SExpr _ ) as d ->
+        d
+  in
+  let decls =
+    List.map
+      (fun d ->
+        match d with
+        | DGlobal _ -> d
+        | DFun r -> DFun { r with body = go_block r.body }
+        | DPage r ->
+            DPage
+              { r with pinit = go_block r.pinit; prender = go_block r.prender })
+      p.decls
+  in
+  if !hit then Some { decls } else None

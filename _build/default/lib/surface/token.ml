@@ -1,0 +1,132 @@
+(** Tokens of the surface language. *)
+
+type t =
+  | NUMBER of float
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_GLOBAL
+  | KW_FUN
+  | KW_PAGE
+  | KW_INIT
+  | KW_RENDER
+  | KW_VAR
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOREACH
+  | KW_FOR
+  | KW_IN
+  | KW_FROM
+  | KW_TO
+  | KW_BOXED
+  | KW_BOX
+  | KW_POST
+  | KW_ON
+  | KW_PUSH
+  | KW_POP
+  | KW_RETURN
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NUMBER  (** the type keyword [number] *)
+  | KW_STRING  (** the type keyword [string] *)
+  (* punctuation and operators *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | DOT
+  | ASSIGN  (** [:=] *)
+  | EQ  (** [=] — only in [global g : t = v] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CONCAT  (** [++] (also written [||] as in the paper) *)
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keywords =
+  [
+    ("global", KW_GLOBAL); ("fun", KW_FUN); ("page", KW_PAGE);
+    ("init", KW_INIT); ("render", KW_RENDER); ("var", KW_VAR);
+    ("if", KW_IF); ("else", KW_ELSE); ("while", KW_WHILE);
+    ("foreach", KW_FOREACH); ("for", KW_FOR); ("in", KW_IN);
+    ("from", KW_FROM); ("to", KW_TO); ("boxed", KW_BOXED); ("box", KW_BOX);
+    ("post", KW_POST); ("on", KW_ON); ("push", KW_PUSH); ("pop", KW_POP);
+    ("return", KW_RETURN); ("and", KW_AND); ("or", KW_OR); ("not", KW_NOT);
+    ("true", KW_TRUE); ("false", KW_FALSE); ("number", KW_NUMBER);
+    ("string", KW_STRING);
+  ]
+
+let to_string = function
+  | NUMBER f -> Live_core.Pretty.string_of_num f
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_GLOBAL -> "global"
+  | KW_FUN -> "fun"
+  | KW_PAGE -> "page"
+  | KW_INIT -> "init"
+  | KW_RENDER -> "render"
+  | KW_VAR -> "var"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOREACH -> "foreach"
+  | KW_FOR -> "for"
+  | KW_IN -> "in"
+  | KW_FROM -> "from"
+  | KW_TO -> "to"
+  | KW_BOXED -> "boxed"
+  | KW_BOX -> "box"
+  | KW_POST -> "post"
+  | KW_ON -> "on"
+  | KW_PUSH -> "push"
+  | KW_POP -> "pop"
+  | KW_RETURN -> "return"
+  | KW_AND -> "and"
+  | KW_OR -> "or"
+  | KW_NOT -> "not"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_NUMBER -> "number"
+  | KW_STRING -> "string"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | COLON -> ":"
+  | DOT -> "."
+  | ASSIGN -> ":="
+  | EQ -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | CONCAT -> "++"
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,1 @@
+lib/ui/color.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/ui/color.mli: Format

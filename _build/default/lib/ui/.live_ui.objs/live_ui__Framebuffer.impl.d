@@ -1,0 +1,1 @@
+lib/ui/framebuffer.ml: Array Buffer Bytes Color Geometry List String

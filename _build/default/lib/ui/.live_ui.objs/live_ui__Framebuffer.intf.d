@@ -1,0 +1,1 @@
+lib/ui/framebuffer.mli: Color Geometry

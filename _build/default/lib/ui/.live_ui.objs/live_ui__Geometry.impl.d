@@ -1,0 +1,1 @@
+lib/ui/geometry.ml: Fmt

@@ -1,0 +1,1 @@
+lib/ui/geometry.mli: Format

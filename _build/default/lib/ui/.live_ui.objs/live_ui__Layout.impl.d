@@ -1,0 +1,1 @@
+lib/ui/layout.ml: Buffer Geometry Hashtbl List Live_core String Style

@@ -1,0 +1,1 @@
+lib/ui/layout.mli: Geometry Live_core Style

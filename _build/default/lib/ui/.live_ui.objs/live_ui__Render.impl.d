@@ -1,0 +1,1 @@
+lib/ui/render.ml: Color Framebuffer Geometry Layout List Live_core Style

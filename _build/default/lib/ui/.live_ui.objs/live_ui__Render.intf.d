@@ -1,0 +1,1 @@
+lib/ui/render.mli: Color Framebuffer Layout Live_core

@@ -1,0 +1,1 @@
+lib/ui/style.ml: Color Float List Live_core String

@@ -1,0 +1,1 @@
+lib/ui/style.mli: Color Live_core

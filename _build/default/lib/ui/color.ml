@@ -1,0 +1,45 @@
+(** Colors for the character-cell renderer.
+
+    The paper's demo uses named colors ([colors->light blue] in the I3
+    improvement); we support a fixed palette of names mapped to
+    xterm-256 indexes for ANSI output.  Unknown names fall back to
+    [Default] rather than failing: styling is best-effort, semantics
+    (the box tree) is what the formal model governs. *)
+
+type t = Default | Indexed of int
+
+let palette : (string * int) list =
+  [
+    ("black", 16); ("white", 231); ("red", 196); ("green", 34);
+    ("blue", 21); ("yellow", 226); ("magenta", 201); ("cyan", 51);
+    ("gray", 244); ("grey", 244); ("light gray", 250); ("light grey", 250);
+    ("dark gray", 238); ("dark grey", 238); ("orange", 208);
+    ("light blue", 117); ("light green", 120); ("light red", 210);
+    ("pink", 218); ("purple", 93); ("brown", 130); ("navy", 17);
+    ("teal", 30); ("maroon", 88); ("olive", 100); ("silver", 252);
+  ]
+
+let of_name (name : string) : t =
+  let name = String.lowercase_ascii (String.trim name) in
+  match List.assoc_opt name palette with
+  | Some i -> Indexed i
+  | None -> Default
+
+let known (name : string) : bool =
+  List.mem_assoc (String.lowercase_ascii (String.trim name)) palette
+
+let equal (a : t) (b : t) = a = b
+
+(** ANSI SGR fragment selecting this color as foreground/background;
+    empty for [Default]. *)
+let sgr_fg = function
+  | Default -> ""
+  | Indexed i -> Printf.sprintf "38;5;%d" i
+
+let sgr_bg = function
+  | Default -> ""
+  | Indexed i -> Printf.sprintf "48;5;%d" i
+
+let pp ppf = function
+  | Default -> Fmt.string ppf "default"
+  | Indexed i -> Fmt.pf ppf "color-%d" i

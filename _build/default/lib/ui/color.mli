@@ -1,0 +1,19 @@
+(** Named colors mapped to xterm-256 indexes (the I3 improvement's
+    [colors->light blue]).  Unknown names fall back to [Default]:
+    styling is best-effort; semantics lives in the box tree. *)
+
+type t = Default | Indexed of int
+
+val of_name : string -> t
+(** Case-insensitive; trims whitespace. *)
+
+val known : string -> bool
+val equal : t -> t -> bool
+
+val sgr_fg : t -> string
+(** ANSI SGR fragment for this foreground; [""] for [Default]. *)
+
+val sgr_bg : t -> string
+
+val palette : (string * int) list
+val pp : Format.formatter -> t -> unit

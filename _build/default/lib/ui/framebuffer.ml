@@ -1,0 +1,140 @@
+(** A character-cell framebuffer with per-cell colors and emphasis.
+
+    This is the repository's display device: the paper rendered to a
+    browser, we render to a grid of styled ASCII cells (the formal
+    model deliberately does not specify visual layout, so any
+    deterministic presentation of the box tree is faithful).  Plain
+    text output feeds the golden tests; ANSI output feeds the CLI. *)
+
+type cell = { ch : char; fg : Color.t; bg : Color.t; bold : bool }
+
+let blank = { ch = ' '; fg = Color.Default; bg = Color.Default; bold = false }
+
+type t = { width : int; height : int; cells : cell array }
+
+let create ~width ~height =
+  { width; height; cells = Array.make (max 0 (width * height)) blank }
+
+let copy (t : t) = { t with cells = Array.copy t.cells }
+
+let in_bounds (t : t) x y = x >= 0 && x < t.width && y >= 0 && y < t.height
+
+let get (t : t) ~x ~y : cell =
+  if in_bounds t x y then t.cells.((y * t.width) + x) else blank
+
+let set (t : t) ~x ~y (c : cell) : unit =
+  if in_bounds t x y then t.cells.((y * t.width) + x) <- c
+
+let set_char (t : t) ~x ~y ?(fg = Color.Default) ?(bg = Color.Default)
+    ?(bold = false) (ch : char) : unit =
+  set t ~x ~y { ch; fg; bg; bold }
+
+(** Fill a rectangle's background (keeps nothing underneath — boxes
+    paint back-to-front). *)
+let fill_rect (t : t) (r : Geometry.rect) ~(bg : Color.t) : unit =
+  for y = r.y to r.y + r.h - 1 do
+    for x = r.x to r.x + r.w - 1 do
+      if in_bounds t x y then set t ~x ~y { blank with bg }
+    done
+  done
+
+(** Draw a string; clipped at the buffer edge and at [max_x] if given.
+    Preserves the existing background of each cell so text composes
+    over filled boxes. *)
+let draw_text (t : t) ~x ~y ?max_x ?(fg = Color.Default) ?(bold = false)
+    (s : string) : unit =
+  let limit = match max_x with Some m -> m | None -> t.width in
+  String.iteri
+    (fun i ch ->
+      let cx = x + i in
+      if cx < limit && in_bounds t cx y then begin
+        let prev = get t ~x:cx ~y in
+        set t ~x:cx ~y { ch; fg; bg = prev.bg; bold }
+      end)
+    s
+
+(** Draw an ASCII border just inside the rectangle. *)
+let draw_border (t : t) (r : Geometry.rect) ?(fg = Color.Default) () : unit =
+  if r.w >= 2 && r.h >= 2 then begin
+    let put x y ch =
+      if in_bounds t x y then begin
+        let prev = get t ~x ~y in
+        set t ~x ~y { ch; fg; bg = prev.bg; bold = false }
+      end
+    in
+    let x1 = r.x + r.w - 1 and y1 = r.y + r.h - 1 in
+    for x = r.x + 1 to x1 - 1 do
+      put x r.y '-';
+      put x y1 '-'
+    done;
+    for y = r.y + 1 to y1 - 1 do
+      put r.x y '|';
+      put x1 y '|'
+    done;
+    put r.x r.y '+';
+    put x1 r.y '+';
+    put r.x y1 '+';
+    put x1 y1 '+'
+  end
+
+(** Plain-text rendering, one line per row, trailing blanks trimmed.
+    This is the stable format the golden tests compare against. *)
+let to_text (t : t) : string =
+  let buf = Buffer.create (t.width * t.height) in
+  for y = 0 to t.height - 1 do
+    let line = Bytes.make t.width ' ' in
+    for x = 0 to t.width - 1 do
+      Bytes.set line x (get t ~x ~y).ch
+    done;
+    let s = Bytes.to_string line in
+    (* trim right *)
+    let len = ref (String.length s) in
+    while !len > 0 && s.[!len - 1] = ' ' do
+      decr len
+    done;
+    Buffer.add_string buf (String.sub s 0 !len);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(** ANSI rendering with 256-color SGR sequences. *)
+let to_ansi (t : t) : string =
+  let buf = Buffer.create (t.width * t.height * 4) in
+  for y = 0 to t.height - 1 do
+    let current = ref "" in
+    for x = 0 to t.width - 1 do
+      let c = get t ~x ~y in
+      let sgr =
+        String.concat ";"
+          (List.filter
+             (fun s -> s <> "")
+             [
+               (if c.bold then "1" else "");
+               Color.sgr_fg c.fg;
+               Color.sgr_bg c.bg;
+             ])
+      in
+      if sgr <> !current then begin
+        Buffer.add_string buf "\027[0m";
+        if sgr <> "" then begin
+          Buffer.add_string buf "\027[";
+          Buffer.add_string buf sgr;
+          Buffer.add_char buf 'm'
+        end;
+        current := sgr
+      end;
+      Buffer.add_char buf c.ch
+    done;
+    Buffer.add_string buf "\027[0m\n"
+  done;
+  Buffer.contents buf
+
+(** Count cells whose content differs between two buffers of equal
+    size; used by the incremental-rendering tests. *)
+let diff_cells (a : t) (b : t) : int =
+  if a.width <> b.width || a.height <> b.height then max_int
+  else begin
+    let n = ref 0 in
+    Array.iteri (fun i c -> if c <> b.cells.(i) then incr n) a.cells;
+    !n
+  end

@@ -1,0 +1,44 @@
+(** A character-cell framebuffer with per-cell colors and emphasis —
+    this repository's display device.  Plain-text output feeds the
+    golden tests; ANSI output feeds the CLI. *)
+
+type cell = { ch : char; fg : Color.t; bg : Color.t; bold : bool }
+
+val blank : cell
+
+type t = { width : int; height : int; cells : cell array }
+
+val create : width:int -> height:int -> t
+val copy : t -> t
+val in_bounds : t -> int -> int -> bool
+
+val get : t -> x:int -> y:int -> cell
+(** Out-of-bounds reads return {!blank}. *)
+
+val set : t -> x:int -> y:int -> cell -> unit
+(** Out-of-bounds writes are ignored. *)
+
+val set_char :
+  t -> x:int -> y:int -> ?fg:Color.t -> ?bg:Color.t -> ?bold:bool ->
+  char -> unit
+
+val fill_rect : t -> Geometry.rect -> bg:Color.t -> unit
+(** Paint a background; boxes paint back-to-front. *)
+
+val draw_text :
+  t -> x:int -> y:int -> ?max_x:int -> ?fg:Color.t -> ?bold:bool ->
+  string -> unit
+(** Clipped at the buffer edge and at [max_x]; preserves the existing
+    cell backgrounds so text composes over fills. *)
+
+val draw_border : t -> Geometry.rect -> ?fg:Color.t -> unit -> unit
+(** ASCII frame ([+--+] / [|]) just inside the rectangle; skipped for
+    degenerate rectangles. *)
+
+val to_text : t -> string
+(** One line per row, trailing blanks trimmed — the golden format. *)
+
+val to_ansi : t -> string
+
+val diff_cells : t -> t -> int
+(** Number of differing cells; [max_int] on size mismatch. *)

@@ -1,0 +1,28 @@
+(** Rectangles in character-cell space.  The origin is the top-left
+    corner; [x] grows rightward, [y] downward. *)
+
+type rect = { x : int; y : int; w : int; h : int }
+
+let empty = { x = 0; y = 0; w = 0; h = 0 }
+
+let make ~x ~y ~w ~h = { x; y; w = max 0 w; h = max 0 h }
+
+let contains (r : rect) ~(x : int) ~(y : int) =
+  x >= r.x && x < r.x + r.w && y >= r.y && y < r.y + r.h
+
+(** Shrink a rectangle by a uniform inset on all four sides. *)
+let inset (r : rect) (n : int) =
+  { x = r.x + n; y = r.y + n; w = max 0 (r.w - (2 * n)); h = max 0 (r.h - (2 * n)) }
+
+let area (r : rect) = r.w * r.h
+
+let intersect (a : rect) (b : rect) : rect =
+  let x0 = max a.x b.x and y0 = max a.y b.y in
+  let x1 = min (a.x + a.w) (b.x + b.w) and y1 = min (a.y + a.h) (b.y + b.h) in
+  if x1 <= x0 || y1 <= y0 then empty
+  else { x = x0; y = y0; w = x1 - x0; h = y1 - y0 }
+
+let equal (a : rect) (b : rect) =
+  a.x = b.x && a.y = b.y && a.w = b.w && a.h = b.h
+
+let pp ppf (r : rect) = Fmt.pf ppf "%dx%d+%d+%d" r.w r.h r.x r.y

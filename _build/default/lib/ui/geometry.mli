@@ -1,0 +1,16 @@
+(** Rectangles in character-cell space; origin top-left, [y] grows
+    downward. *)
+
+type rect = { x : int; y : int; w : int; h : int }
+
+val empty : rect
+val make : x:int -> y:int -> w:int -> h:int -> rect
+val contains : rect -> x:int -> y:int -> bool
+
+val inset : rect -> int -> rect
+(** Shrink by a uniform inset on all sides. *)
+
+val intersect : rect -> rect -> rect
+val area : rect -> int
+val equal : rect -> rect -> bool
+val pp : Format.formatter -> rect -> unit

@@ -1,0 +1,78 @@
+(** The layout engine: box content to positioned rectangles.
+
+    Every box has an outer rectangle (with margin), a frame (the
+    painted area) and an inner content rectangle (frame minus border
+    and padding).  Children of vertical boxes stretch to the available
+    width; children of horizontal boxes shrink to natural width; text
+    wraps.  Nodes keep their {!Live_core.Srcid.t} and box path — the
+    data UI-Code Navigation needs. *)
+
+type item =
+  | Text of { lines : string list; rect : Geometry.rect; style : Style.t }
+  | Child of node
+
+and node = {
+  srcid : Live_core.Srcid.t option;
+  bpath : int list;  (** box path within the page's content *)
+  style : Style.t;
+  outer : Geometry.rect;
+  frame : Geometry.rect;
+  inner : Geometry.rect;
+  items : item list;
+}
+
+val wrap_text : int -> string -> string list
+(** Greedy word-wrap; lines that fit are kept verbatim (leading
+    spaces matter in horizontal layouts). *)
+
+val text_natural_width : string -> int
+val natural_width : Live_core.Boxcontent.t -> int
+
+(** {1 The Sec. 5 cache}
+
+    Keyed by (content hash, srcid, available width, stretch); cached
+    subtrees are stored origin-normalized and rebased on reuse, and
+    every hit is verified with {!Live_core.Boxcontent.equal}, so
+    collisions cost time, never correctness. *)
+
+type cache
+
+val create_cache : unit -> cache
+val cache_stats : cache -> int * int
+(** (hits, misses). *)
+
+val layout_box :
+  ?cache:cache ->
+  x:int ->
+  y:int ->
+  avail:int ->
+  stretch:bool ->
+  bpath:int list ->
+  Live_core.Srcid.t option ->
+  Live_core.Boxcontent.t ->
+  node
+
+val layout_page : ?cache:cache -> ?width:int -> Live_core.Boxcontent.t -> node
+(** Lay the page out under the implicit top-level box (Sec. 4.3);
+    [width] defaults to 48 cells. *)
+
+(** {1 Queries} *)
+
+val iter_nodes : (node -> unit) -> node -> unit
+val fold_nodes : ('a -> node -> 'a) -> 'a -> node -> 'a
+
+val nodes_at : node -> x:int -> y:int -> node list
+(** Boxes whose frame contains the point, outermost first. *)
+
+val handler_at : node -> x:int -> y:int -> Live_core.Ast.value option
+(** Deepest handler under the point — the implementation counterpart
+    of TAP's [[ontap = v] ∈ B]. *)
+
+val srcid_at : node -> x:int -> y:int -> Live_core.Srcid.t option
+(** Deepest boxed statement under the point (live-view selection). *)
+
+val frames_of_srcid : node -> Live_core.Srcid.t -> Geometry.rect list
+(** Every frame a boxed statement produced (several, in loops). *)
+
+val count_nodes : node -> int
+val total_height : node -> int

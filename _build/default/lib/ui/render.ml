@@ -1,0 +1,68 @@
+(** Painting a layout tree into a {!Framebuffer}.
+
+    Paint order is parent-first: a box fills its background, draws its
+    border, then paints its text and children over it, so nested boxes
+    naturally override inherited styling.  Foreground color inherits
+    down the tree; background does not need to (the parent already
+    painted those cells). *)
+
+let rec paint (fb : Framebuffer.t) ?(fg = Color.Default) (n : Layout.node) :
+    unit =
+  let style = n.Layout.style in
+  if style.Style.background <> Color.Default then
+    Framebuffer.fill_rect fb n.Layout.frame ~bg:style.Style.background;
+  if style.Style.border then begin
+    let border_fg =
+      if style.Style.color <> Color.Default then style.Style.color else fg
+    in
+    Framebuffer.draw_border fb n.Layout.frame ~fg:border_fg ()
+  end;
+  let fg =
+    if style.Style.color <> Color.Default then style.Style.color else fg
+  in
+  let clip_bottom = n.Layout.frame.Geometry.y + n.Layout.frame.Geometry.h in
+  List.iter
+    (fun item ->
+      match item with
+      | Layout.Text { lines; rect; style = tstyle } ->
+          let tfg =
+            if tstyle.Style.color <> Color.Default then tstyle.Style.color
+            else fg
+          in
+          let bold = tstyle.Style.bold || tstyle.Style.fontsize > 1 in
+          List.iteri
+            (fun i line ->
+              let y = rect.Geometry.y + (i * tstyle.Style.fontsize) in
+              if y < clip_bottom then
+                Framebuffer.draw_text fb ~x:rect.Geometry.x ~y
+                  ~max_x:(rect.Geometry.x + rect.Geometry.w)
+                  ~fg:tfg ~bold line)
+            lines
+      | Layout.Child c -> paint fb ~fg c)
+    n.Layout.items
+
+(** Lay out and paint a page's box content.  Returns the framebuffer
+    and the layout tree (for hit-testing and navigation). *)
+let render_page ?cache ?(width = 48) (b : Live_core.Boxcontent.t) :
+    Framebuffer.t * Layout.node =
+  let root = Layout.layout_page ?cache ~width b in
+  let height = max 1 (Layout.total_height root) in
+  let fb = Framebuffer.create ~width ~height in
+  paint fb root;
+  (fb, root)
+
+(** Plain-text screenshot of box content — the golden-test format. *)
+let screenshot ?width (b : Live_core.Boxcontent.t) : string =
+  let fb, _ = render_page ?width b in
+  Framebuffer.to_text fb
+
+(** ANSI screenshot for terminals. *)
+let screenshot_ansi ?width (b : Live_core.Boxcontent.t) : string =
+  let fb, _ = render_page ?width b in
+  Framebuffer.to_ansi fb
+
+(** Screenshot of a system state's display; [⊥] renders as a marker. *)
+let screenshot_state ?width (st : Live_core.State.t) : string =
+  match st.Live_core.State.display with
+  | Live_core.State.Invalid -> "<display invalid>\n"
+  | Live_core.State.Shown b -> screenshot ?width b

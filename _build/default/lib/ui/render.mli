@@ -1,0 +1,18 @@
+(** Painting a layout tree into a framebuffer: parent-first, so nested
+    boxes override inherited styling; foreground color inherits. *)
+
+val paint : Framebuffer.t -> ?fg:Color.t -> Layout.node -> unit
+
+val render_page :
+  ?cache:Layout.cache ->
+  ?width:int ->
+  Live_core.Boxcontent.t ->
+  Framebuffer.t * Layout.node
+
+val screenshot : ?width:int -> Live_core.Boxcontent.t -> string
+(** Plain text — the golden-test format. *)
+
+val screenshot_ansi : ?width:int -> Live_core.Boxcontent.t -> string
+
+val screenshot_state : ?width:int -> Live_core.State.t -> string
+(** [⊥] renders as ["<display invalid>"]. *)

@@ -1,0 +1,104 @@
+(** Interpretation of box attributes (the [B [a = v]] entries of the
+    box content) as a style record for the layout engine.
+
+    Later attribute writes win, matching the render semantics where a
+    second [box.a := v] overwrites the first.  Numeric attributes are
+    floored to whole cells; nonsensical values are clamped rather than
+    rejected — attribute {e types} are enforced by T-ATTR (Fig. 10),
+    attribute {e ranges} are presentation concerns. *)
+
+module Ast = Live_core.Ast
+module Boxcontent = Live_core.Boxcontent
+
+type direction = Vertical | Horizontal
+
+type align = Left | Center | Right
+
+type t = {
+  margin : int;
+  padding : int;
+  border : bool;
+  direction : direction;
+  background : Color.t;
+  color : Color.t;
+  fontsize : int;  (** line-height multiplier, >= 1 *)
+  bold : bool;
+  align : align;
+  width : int option;  (** fixed frame width, overrides natural *)
+  height : int option;
+  handler : Ast.value option;  (** the [ontap] handler, if any *)
+}
+
+let default =
+  {
+    margin = 0;
+    padding = 0;
+    border = false;
+    direction = Vertical;
+    background = Color.Default;
+    color = Color.Default;
+    fontsize = 1;
+    bold = false;
+    align = Left;
+    width = None;
+    height = None;
+    handler = None;
+  }
+
+let int_of_value ?(min_ = 0) (v : Ast.value) : int option =
+  match v with
+  | Ast.VNum f when Float.is_finite f -> Some (max min_ (int_of_float f))
+  | _ -> None
+
+let apply (st : t) (attr : string) (v : Ast.value) : t =
+  match (attr, v) with
+  | "margin", _ -> (
+      match int_of_value v with Some n -> { st with margin = n } | None -> st)
+  | "padding", _ -> (
+      match int_of_value v with Some n -> { st with padding = n } | None -> st)
+  | "border", _ -> (
+      match int_of_value v with
+      | Some n -> { st with border = n > 0 }
+      | None -> st)
+  | "fontsize", _ -> (
+      match int_of_value ~min_:1 v with
+      | Some n -> { st with fontsize = min 4 n }
+      | None -> st)
+  | "bold", _ -> (
+      match int_of_value v with
+      | Some n -> { st with bold = n > 0 }
+      | None -> st)
+  | "width", _ -> (
+      match int_of_value v with
+      | Some 0 -> { st with width = None }
+      | Some n -> { st with width = Some n }
+      | None -> st)
+  | "height", _ -> (
+      match int_of_value v with
+      | Some 0 -> { st with height = None }
+      | Some n -> { st with height = Some n }
+      | None -> st)
+  | "direction", Ast.VStr s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "horizontal" -> { st with direction = Horizontal }
+      | "vertical" -> { st with direction = Vertical }
+      | _ -> st)
+  | "align", Ast.VStr s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "left" -> { st with align = Left }
+      | "center" | "centre" -> { st with align = Center }
+      | "right" -> { st with align = Right }
+      | _ -> st)
+  | "background", Ast.VStr s -> { st with background = Color.of_name s }
+  | "color", Ast.VStr s -> { st with color = Color.of_name s }
+  | "ontap", _ -> { st with handler = Some v }
+  | _ -> st
+
+(** Collect the style of a box from its attribute entries. *)
+let of_box (b : Boxcontent.t) : t =
+  List.fold_left
+    (fun st item ->
+      match item with
+      | Boxcontent.Attr (a, v) -> apply st a v
+      | Boxcontent.Leaf _ | Boxcontent.Box _ -> st)
+    default b

@@ -1,0 +1,25 @@
+(** Interpretation of a box's attribute entries as a style record.
+    Later writes win; values are clamped, not rejected — attribute
+    {e types} are T-ATTR's business, ranges are presentation. *)
+
+type direction = Vertical | Horizontal
+type align = Left | Center | Right
+
+type t = {
+  margin : int;
+  padding : int;
+  border : bool;
+  direction : direction;
+  background : Color.t;
+  color : Color.t;
+  fontsize : int;  (** line-height multiplier, 1-4 *)
+  bold : bool;
+  align : align;
+  width : int option;  (** fixed frame width *)
+  height : int option;
+  handler : Live_core.Ast.value option;  (** the [ontap] handler *)
+}
+
+val default : t
+val apply : t -> string -> Live_core.Ast.value -> t
+val of_box : Live_core.Boxcontent.t -> t

@@ -1,0 +1,1 @@
+lib/workloads/calculator.ml: Live_surface

@@ -1,0 +1,1 @@
+lib/workloads/calculator.mli: Live_core Live_surface

@@ -1,0 +1,1 @@
+lib/workloads/counter.ml: Live_surface

@@ -1,0 +1,1 @@
+lib/workloads/counter.mli: Live_core Live_surface

@@ -1,0 +1,1 @@
+lib/workloads/gallery.ml: Live_surface

@@ -1,0 +1,1 @@
+lib/workloads/gallery.mli: Live_core Live_surface

@@ -1,0 +1,1 @@
+lib/workloads/mortgage.ml: Live_core Live_surface Printf

@@ -1,0 +1,1 @@
+lib/workloads/mortgage.mli: Live_core Live_surface

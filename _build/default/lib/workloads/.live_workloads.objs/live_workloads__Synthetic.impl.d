@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Buffer Live_surface Printf

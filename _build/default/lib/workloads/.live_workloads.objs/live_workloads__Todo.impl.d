@@ -1,0 +1,1 @@
+lib/workloads/todo.ml: Live_surface

@@ -1,0 +1,1 @@
+lib/workloads/todo.mli: Live_core Live_surface

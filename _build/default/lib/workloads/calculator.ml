@@ -1,0 +1,109 @@
+(** A pocket calculator: a display and a 4x4 button grid.
+
+    The stress points are different from the other workloads: a grid
+    of {e horizontal} rows each containing several tappable boxes
+    (hit-testing must discriminate between siblings in a row), handler
+    logic with a small state machine spread over three globals, and a
+    render body that is almost pure styling. *)
+
+let source =
+  {|// model: accumulator, current entry, pending operation ("" = none)
+global acc : number = 0
+global entry : string = "0"
+global op : string = ""
+
+fun apply(a : number, b : number, operation : string) : number {
+  var r := b
+  if operation == "+" {
+    r := a + b
+  } else if operation == "-" {
+    r := a - b
+  } else if operation == "*" {
+    r := a * b
+  } else if operation == "/" {
+    r := a / b
+  }
+  return r
+}
+
+fun press_digit(d : string) {
+  if entry == "0" {
+    entry := d
+  } else {
+    entry := entry ++ d
+  }
+}
+
+fun press_op(operation : string) {
+  acc := apply(acc, num(entry), op)
+  op := operation
+  entry := "0"
+}
+
+fun press_equals() {
+  acc := apply(acc, num(entry), op)
+  entry := str(acc)
+  op := ""
+}
+
+fun press_clear() {
+  acc := 0
+  entry := "0"
+  op := ""
+}
+
+fun key(label : string) {
+  boxed {
+    box.border := 1
+    box.width := 5
+    box.align := "center"
+    post label
+    on tapped {
+      if label == "C" {
+        press_clear()
+      } else if label == "=" {
+        press_equals()
+      } else if label == "+" or label == "-" or label == "*" or label == "/" {
+        press_op(label)
+      } else {
+        press_digit(label)
+      }
+    }
+  }
+}
+
+fun keyrow(labels : [string]) {
+  boxed {
+    box.direction := "horizontal"
+    foreach l in labels {
+      key(l)
+    }
+  }
+}
+
+page start()
+init { }
+render {
+  boxed {
+    box.border := 1
+    box.align := "right"
+    box.background := "dark gray"
+    box.color := "white"
+    post entry
+  }
+  keyrow(["7", "8", "9", "/"])
+  keyrow(["4", "5", "6", "*"])
+  keyrow(["1", "2", "3", "-"])
+  keyrow(["0", "C", "=", "+"])
+}
+|}
+
+let compiled () : Live_surface.Compile.compiled =
+  match Live_surface.Compile.compile source with
+  | Ok c -> c
+  | Error e ->
+      invalid_arg
+        ("calculator workload does not compile: "
+        ^ Live_surface.Compile.error_to_string e)
+
+let core () = (compiled ()).Live_surface.Compile.core

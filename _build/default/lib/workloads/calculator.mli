@@ -1,0 +1,6 @@
+(** A pocket calculator: a 4x4 grid of tappable sibling boxes in
+    horizontal rows and a handler state machine over three globals. *)
+
+val source : string
+val compiled : unit -> Live_surface.Compile.compiled
+val core : unit -> Live_core.Program.t

@@ -1,0 +1,34 @@
+(** The smallest interesting live program: a tap counter.  Used by the
+    quickstart example and as the minimal fixture in many tests. *)
+
+let source =
+  {|global counter : number = 0
+
+page start()
+init {
+  counter := 0
+}
+render {
+  boxed {
+    box.border := 1
+    box.padding := 1
+    post "taps: " ++ str(counter)
+    on tapped {
+      counter := counter + 1
+    }
+  }
+  boxed {
+    post "tap the box above"
+  }
+}
+|}
+
+let compiled () : Live_surface.Compile.compiled =
+  match Live_surface.Compile.compile source with
+  | Ok c -> c
+  | Error e ->
+      invalid_arg
+        ("counter workload does not compile: "
+        ^ Live_surface.Compile.error_to_string e)
+
+let core () = (compiled ()).Live_surface.Compile.core

@@ -1,0 +1,5 @@
+(** The minimal live program: a tap counter. *)
+
+val source : string
+val compiled : unit -> Live_surface.Compile.compiled
+val core : unit -> Live_core.Program.t

@@ -1,0 +1,136 @@
+(** A styling gallery: one page per widget pattern, reachable from an
+    index page.  Exercises every attribute the layout engine supports
+    (directions, margins, padding, borders, colors, font sizes,
+    alignment, fixed sizes) plus deep nesting — the workload for the
+    layout and hit-testing tests. *)
+
+let source =
+  {|global visits : number = 0
+
+fun swatch(name : string) {
+  boxed {
+    box.direction := "horizontal"
+    boxed {
+      box.width := 12
+      box.background := name
+      post " "
+    }
+    boxed { post " " ++ name }
+  }
+}
+
+page start()
+init {
+  visits := visits + 1
+}
+render {
+  boxed {
+    box.background := "purple"
+    box.color := "white"
+    box.padding := 1
+    box.align := "center"
+    post "widget gallery (visit " ++ str(visits) ++ ")"
+  }
+  boxed {
+    box.border := 1
+    post "colors"
+    on tapped { push colors() }
+  }
+  boxed {
+    box.border := 1
+    post "nesting"
+    on tapped { push nesting(4) }
+  }
+  boxed {
+    box.border := 1
+    post "typography"
+    on tapped { push typography() }
+  }
+}
+
+page colors()
+init { }
+render {
+  boxed {
+    box.bold := 1
+    post "named colors"
+  }
+  boxed {
+    foreach c in ["red", "green", "blue", "yellow", "orange",
+                  "light blue", "pink", "teal", "gray"] {
+      swatch(c)
+    }
+  }
+}
+
+page nesting(depth : number)
+init { }
+render {
+  boxed {
+    box.border := 1
+    box.padding := 1
+    post "depth " ++ str(depth)
+    if depth > 0 {
+      boxed {
+        box.margin := 1
+        box.border := 1
+        post "nested " ++ str(depth - 1)
+        if depth > 1 {
+          boxed {
+            box.background := "light gray"
+            post "innermost"
+          }
+        }
+      }
+    }
+    on tapped {
+      if depth > 0 {
+        push nesting(depth - 1)
+      } else {
+        pop
+      }
+    }
+  }
+}
+
+page typography()
+init { }
+render {
+  boxed {
+    box.fontsize := 2
+    post "big heading"
+  }
+  boxed {
+    box.bold := 1
+    post "bold line"
+  }
+  boxed {
+    box.align := "center"
+    post "centered"
+  }
+  boxed {
+    box.align := "right"
+    post "right-aligned"
+  }
+  boxed {
+    box.direction := "horizontal"
+    boxed { post "left" }
+    boxed {
+      box.width := 10
+      box.align := "center"
+      post "mid"
+    }
+    boxed { post "right" }
+  }
+}
+|}
+
+let compiled () : Live_surface.Compile.compiled =
+  match Live_surface.Compile.compile source with
+  | Ok c -> c
+  | Error e ->
+      invalid_arg
+        ("gallery workload does not compile: "
+        ^ Live_surface.Compile.error_to_string e)
+
+let core () = (compiled ()).Live_surface.Compile.core

@@ -1,0 +1,6 @@
+(** A styling gallery exercising every layout attribute plus deep
+    nesting and recursive pages. *)
+
+val source : string
+val compiled : unit -> Live_surface.Compile.compiled
+val core : unit -> Live_core.Program.t

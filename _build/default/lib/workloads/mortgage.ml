@@ -1,0 +1,200 @@
+(** The paper's running example: the mortgage calculator of Figs. 1,
+    3, 4 and 5 — a start page listing houses for sale and a detail
+    page with the monthly payment and an amortization schedule whose
+    term and rate can be adjusted by tapping.
+
+    The paper's init body downloads listings from the web; we
+    substitute a deterministic synthetic generator over the same code
+    path (a state-effect init body filling the [listings] global) —
+    see DESIGN.md's substitution table.
+
+    [source] can also produce the improved versions of Sec. 3.1:
+    - [i1]: wider margins on the listing rows (the direct-manipulation
+      improvement);
+    - [i2]: the balance printed in properly formatted dollars and
+      cents (the paper's exact algorithm: floor for dollars, rounded
+      remainder with zero-padding for cents);
+    - [i3]: every fifth amortization row highlighted light blue. *)
+
+let amortization_row_body ~(i2 : bool) ~(i3 : bool) : string =
+  let highlight =
+    if i3 then
+      "\n      if mod(i, 5) == 4 {\n        box.background := \"light blue\"\n      }"
+    else ""
+  in
+  let balance_post =
+    if i2 then
+      {|var dollars := floor(balance)
+        var cents := str(round((balance - dollars) * 100))
+        if count(cents) < 2 {
+          cents := "0" ++ cents
+        }
+        post "balance: $" ++ str(dollars) ++ "." ++ cents|}
+    else {|post "balance: $" ++ str(floor(balance))|}
+  in
+  Printf.sprintf
+    {|    boxed {
+      box.direction := "horizontal"%s
+      boxed {
+        box.width := 9
+        post "year " ++ str(i + 1)
+      }
+      var m := 0
+      while m < 12 and balance > 0 {
+        var interest := balance * r
+        balance := balance + interest - payment
+        m := m + 1
+      }
+      if balance < 0 {
+        balance := 0
+      }
+      boxed {
+        %s
+      }
+    }|}
+    highlight balance_post
+
+(** The full program source.  [listings] controls how many houses the
+    init body generates (the paper's screenshot shows about a dozen;
+    the render benchmark scales it to hundreds). *)
+let source ?(listings = 12) ?(i1 = false) ?(i2 = false) ?(i3 = false) () :
+    string =
+  let entry_margin = if i1 then 1 else 0 in
+  Printf.sprintf
+    {|// The mortgage calculator of "It's Alive!" (PLDI 2013), Figs. 1, 3-5.
+
+global listings : [(string, number, string)] = []
+global term_months : number = 360
+global apr : number = 4.5
+
+fun make_listing(i : number) : (string, number, string) {
+  var streets := ["Maple St", "Oak Ave", "Pine Rd", "Cedar Ln",
+                  "Elm Dr", "Lake View", "Hill Crest", "River Bend"]
+  var cities := ["Seattle", "Redmond", "Bellevue", "Kirkland"]
+  var street := at(streets, mod(i * 7, len(streets)))
+  var city := at(cities, mod(i * 3, len(cities)))
+  var house := 100 + floor(rand(i, 1) * 899)
+  var price := 150000 + floor(rand(i, 2) * 85) * 10000
+  return (str(house) ++ " " ++ street, price, city)
+}
+
+fun monthly_payment(principal : number, rate : number, months : number) : number {
+  var r := rate / 1200
+  var m := principal / months
+  if r > 0 {
+    m := principal * r / (1 - pow(1 + r, 0 - months))
+  }
+  return m
+}
+
+fun display_listentry(addr : string, price : number, city : string) {
+  boxed {
+    box.margin := %d
+    box.padding := 1
+    box.border := 1
+    boxed {
+      box.bold := 1
+      post addr
+    }
+    boxed {
+      box.direction := "horizontal"
+      boxed { post "$" ++ str(price) }
+      boxed { post "  - " ++ city }
+    }
+    on tapped {
+      push detail(addr, price, city)
+    }
+  }
+}
+
+fun display_amortization(principal : number, rate : number, months : number) {
+  var payment := monthly_payment(principal, rate, months)
+  var balance := principal
+  var r := rate / 1200
+  var years := ceil(months / 12)
+  for i from 0 to years {
+%s
+  }
+}
+
+page start()
+init {
+  listings := []
+  for i from 0 to %d {
+    listings := snoc(listings, make_listing(i))
+  }
+}
+render {
+  boxed {
+    box.direction := "horizontal"
+    box.background := "navy"
+    box.color := "white"
+    box.padding := 1
+    boxed {
+      box.bold := 1
+      post "House Listings"
+    }
+    boxed { post " for Sale" }
+  }
+  boxed {
+    foreach l in listings {
+      display_listentry(l.1, l.2, l.3)
+    }
+  }
+}
+
+page detail(addr : string, price : number, city : string)
+init { }
+render {
+  boxed {
+    box.background := "navy"
+    box.color := "white"
+    box.padding := 1
+    box.bold := 1
+    post addr ++ ", " ++ city
+  }
+  boxed {
+    post "price: $" ++ str(price)
+  }
+  boxed {
+    box.direction := "horizontal"
+    boxed {
+      box.border := 1
+      post "term: " ++ str(term_months) ++ " mo"
+      on tapped {
+        term_months := mod(term_months, 360) + 120
+      }
+    }
+    boxed {
+      box.border := 1
+      post " apr: " ++ fixed(apr, 2) ++ "%%"
+      on tapped {
+        apr := mod(apr + 0.5, 10)
+      }
+    }
+  }
+  boxed {
+    box.bold := 1
+    post "monthly payment: $" ++ fixed(monthly_payment(price, apr, term_months), 2)
+  }
+  boxed {
+    display_amortization(price, apr, term_months)
+  }
+}
+|}
+    entry_margin
+    (amortization_row_body ~i2 ~i3)
+    listings
+
+(** Compile the workload, failing loudly on error (these sources are
+    fixtures; a compile failure is a bug). *)
+let compiled ?listings ?i1 ?i2 ?i3 () : Live_surface.Compile.compiled =
+  match Live_surface.Compile.compile (source ?listings ?i1 ?i2 ?i3 ()) with
+  | Ok c -> c
+  | Error e ->
+      invalid_arg
+        ("mortgage workload does not compile: "
+        ^ Live_surface.Compile.error_to_string e)
+
+let core ?listings ?i1 ?i2 ?i3 () : Live_core.Program.t =
+  (compiled ?listings ?i1 ?i2 ?i3 ()).Live_surface.Compile.core

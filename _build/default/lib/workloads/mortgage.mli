@@ -1,0 +1,17 @@
+(** The paper's running example (Figs. 1, 3, 4, 5): the mortgage
+    calculator, with the Sec. 3.1 improvements as source variants. *)
+
+val source :
+  ?listings:int -> ?i1:bool -> ?i2:bool -> ?i3:bool -> unit -> string
+(** [listings] sizes the simulated download (default 12); [i1] adds
+    listing-row margins, [i2] formats balances as dollars-and-cents
+    (the paper's exact algorithm, bug included), [i3] highlights every
+    fifth amortization row. *)
+
+val compiled :
+  ?listings:int -> ?i1:bool -> ?i2:bool -> ?i3:bool -> unit ->
+  Live_surface.Compile.compiled
+
+val core :
+  ?listings:int -> ?i1:bool -> ?i2:bool -> ?i3:bool -> unit ->
+  Live_core.Program.t

@@ -1,0 +1,108 @@
+(** Synthetic program generators for the benchmarks: programs whose
+    size along one axis (box count, nesting depth, global count,
+    function count, page-stack depth) is a parameter, so the benches
+    can sweep it. *)
+
+let buf_program (f : Buffer.t -> unit) : string =
+  let buf = Buffer.create 1024 in
+  f buf;
+  Buffer.contents buf
+
+(** A page rendering [n] flat rows — the render-scaling workload (B1's
+    companion; Sec. 5: "recreating the entire box tree on a redraw can
+    become slow if there are many boxes on the screen"). *)
+let flat_rows ~(n : int) : string =
+  buf_program (fun b ->
+      Buffer.add_string b "global sel : number = 0\n\n";
+      Buffer.add_string b "page start()\ninit { }\nrender {\n";
+      Buffer.add_string b "  boxed {\n";
+      Buffer.add_string b (Printf.sprintf "    for i from 0 to %d {\n" n);
+      Buffer.add_string b "      boxed {\n";
+      Buffer.add_string b "        box.direction := \"horizontal\"\n";
+      Buffer.add_string b "        if i == sel {\n";
+      Buffer.add_string b "          box.background := \"light blue\"\n";
+      Buffer.add_string b "        }\n";
+      Buffer.add_string b "        boxed { box.width := 8 post \"row \" ++ str(i) }\n";
+      Buffer.add_string b "        boxed { post \"value \" ++ str(i * i) }\n";
+      Buffer.add_string b "        on tapped { sel := i }\n";
+      Buffer.add_string b "      }\n";
+      Buffer.add_string b "    }\n";
+      Buffer.add_string b "  }\n";
+      Buffer.add_string b "}\n")
+
+(** A page rendering a complete tree of boxes with the given depth and
+    fan-out — the nesting workload for layout. *)
+let nested ~(depth : int) ~(fanout : int) : string =
+  buf_program (fun b ->
+      Buffer.add_string b "fun node(d : number) {\n";
+      Buffer.add_string b "  boxed {\n";
+      Buffer.add_string b "    post \"d\" ++ str(d)\n";
+      Buffer.add_string b "    if d > 0 {\n";
+      Buffer.add_string b
+        (Printf.sprintf "      for i from 0 to %d {\n" fanout);
+      Buffer.add_string b "        node(d - 1)\n";
+      Buffer.add_string b "      }\n";
+      Buffer.add_string b "    }\n";
+      Buffer.add_string b "  }\n";
+      Buffer.add_string b "}\n\n";
+      Buffer.add_string b "page start()\ninit { }\nrender {\n";
+      Buffer.add_string b (Printf.sprintf "  node(%d)\n" depth);
+      Buffer.add_string b "}\n")
+
+(** A program with [n] globals, all written by init — the store-fixup
+    workload (B7). *)
+let many_globals ~(n : int) : string =
+  buf_program (fun b ->
+      for i = 0 to n - 1 do
+        Buffer.add_string b
+          (Printf.sprintf "global g%d : number = %d\n" i i)
+      done;
+      Buffer.add_string b "\npage start()\ninit {\n";
+      for i = 0 to n - 1 do
+        Buffer.add_string b (Printf.sprintf "  g%d := g%d + 1\n" i i)
+      done;
+      Buffer.add_string b "}\nrender {\n  boxed { post \"g0 = \" ++ str(g0) }\n}\n")
+
+(** A program with [n] small functions chained into the render path —
+    the typechecking workload (B5). *)
+let many_functions ~(n : int) : string =
+  buf_program (fun b ->
+      Buffer.add_string b "fun f0(x : number) : number {\n  return x + 1\n}\n";
+      for i = 1 to n - 1 do
+        Buffer.add_string b
+          (Printf.sprintf
+             "fun f%d(x : number) : number {\n  return f%d(x) + %d\n}\n" i
+             (i - 1) i)
+      done;
+      Buffer.add_string b "\npage start()\ninit { }\nrender {\n";
+      Buffer.add_string b
+        (Printf.sprintf "  boxed { post \"v = \" ++ str(f%d(0)) }\n" (n - 1));
+      Buffer.add_string b "}\n")
+
+(** [n] pages where page [i] links to page [i+1]; used for page-stack
+    and navigation tests. *)
+let page_chain ~(n : int) : string =
+  buf_program (fun b ->
+      Buffer.add_string b "page start()\ninit { }\nrender {\n";
+      Buffer.add_string b "  boxed {\n    post \"page 0\"\n";
+      if n > 1 then
+        Buffer.add_string b "    on tapped { push p1() }\n";
+      Buffer.add_string b "  }\n}\n\n";
+      for i = 1 to n - 1 do
+        Buffer.add_string b (Printf.sprintf "page p%d()\ninit { }\nrender {\n" i);
+        Buffer.add_string b
+          (Printf.sprintf "  boxed {\n    post \"page %d\"\n" i);
+        if i < n - 1 then
+          Buffer.add_string b
+            (Printf.sprintf "    on tapped { push p%d() }\n" (i + 1));
+        Buffer.add_string b "  }\n}\n\n"
+      done)
+
+let compile_exn (src : string) : Live_surface.Compile.compiled =
+  match Live_surface.Compile.compile src with
+  | Ok c -> c
+  | Error e ->
+      invalid_arg
+        ("synthetic workload does not compile: "
+        ^ Live_surface.Compile.error_to_string e
+        ^ "\n" ^ src)

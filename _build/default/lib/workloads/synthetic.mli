@@ -1,0 +1,20 @@
+(** Synthetic program generators for the benchmarks: size along one
+    axis is the parameter. *)
+
+val flat_rows : n:int -> string
+(** [n] tappable rows with a selection highlight (render scaling,
+    incremental re-layout). *)
+
+val nested : depth:int -> fanout:int -> string
+(** A complete box tree of the given depth and fan-out. *)
+
+val many_globals : n:int -> string
+(** [n] globals, all written by init (the fix-up workload). *)
+
+val many_functions : n:int -> string
+(** [n] chained functions (the typechecking workload). *)
+
+val page_chain : n:int -> string
+(** [n] pages, each linking to the next. *)
+
+val compile_exn : string -> Live_surface.Compile.compiled

@@ -1,0 +1,122 @@
+(** A two-page todo-list application: add items from a palette page,
+    toggle them done by tapping, clear completed ones.
+
+    Exercises the parts of the model the mortgage example does not:
+    list-of-tuple globals mutated by handlers, conditional styling
+    from model state, page navigation in both directions, and
+    handlers that capture loop-iteration locals by value. *)
+
+let source =
+  {|// items are (label, done-flag)
+global items : [(string, number)] = [("buy milk", 0), ("write tests", 0), ("read paper", 1)]
+global next_labels : [string] = ["water plants", "fix bug", "ship release", "review diff"]
+
+fun count_done() : number {
+  var n := 0
+  foreach it in items {
+    if it.2 == 1 {
+      n := n + 1
+    }
+  }
+  return n
+}
+
+fun toggle(i : number) {
+  var it := at(items, i)
+  if it.2 == 1 {
+    items := set_at(items, i, (it.1, 0))
+  } else {
+    items := set_at(items, i, (it.1, 1))
+  }
+}
+
+fun clear_done() {
+  var rest := []
+  foreach it in items {
+    if it.2 == 0 {
+      rest := snoc(rest, it)
+    }
+  }
+  items := rest
+}
+
+page start()
+init { }
+render {
+  boxed {
+    box.background := "teal"
+    box.color := "white"
+    box.padding := 1
+    post "todo (" ++ str(count_done()) ++ "/" ++ str(len(items)) ++ " done)"
+  }
+  boxed {
+    var i := 0
+    foreach it in items {
+      var idx := i
+      boxed {
+        box.border := 1
+        if it.2 == 1 {
+          box.color := "gray"
+          post "[x] " ++ it.1
+        } else {
+          post "[ ] " ++ it.1
+        }
+        on tapped {
+          toggle(idx)
+        }
+      }
+      i := i + 1
+    }
+  }
+  boxed {
+    box.direction := "horizontal"
+    boxed {
+      box.border := 1
+      post "add item"
+      on tapped {
+        push add_item()
+      }
+    }
+    boxed {
+      box.border := 1
+      post "clear done"
+      on tapped {
+        clear_done()
+      }
+    }
+  }
+}
+
+page add_item()
+init { }
+render {
+  boxed {
+    box.background := "teal"
+    box.color := "white"
+    box.padding := 1
+    post "pick an item to add"
+  }
+  boxed {
+    foreach label in next_labels {
+      boxed {
+        box.border := 1
+        post "+ " ++ label
+        on tapped {
+          items := snoc(items, (label, 0))
+          pop
+        }
+      }
+    }
+  }
+}
+|}
+
+let compiled () : Live_surface.Compile.compiled =
+  match Live_surface.Compile.compile source with
+  | Ok c -> c
+  | Error e ->
+      invalid_arg
+        ("todo workload does not compile: "
+        ^ Live_surface.Compile.error_to_string e)
+
+let core () = (compiled ()).Live_surface.Compile.core

@@ -1,0 +1,7 @@
+(** A two-page todo list: handlers mutating a list-of-tuples model,
+    conditional styling, navigation both ways, by-value capture of
+    loop locals. *)
+
+val source : string
+val compiled : unit -> Live_surface.Compile.compiled
+val core : unit -> Live_core.Program.t

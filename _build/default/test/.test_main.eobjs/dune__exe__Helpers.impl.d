@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Ast Boxcontent Buffer Eff Event Live_core Live_runtime Live_surface Live_ui Machine Pretty Program QCheck2 QCheck_alcotest Srcid State Store String Typ

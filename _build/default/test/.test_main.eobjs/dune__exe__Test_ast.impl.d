@@ -1,0 +1,1 @@
+test/test_ast.ml: Alcotest Ast Helpers Live_core QCheck2 Subst Typ

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Helpers Live_baseline Live_runtime Live_session Live_workloads Printf

@@ -1,0 +1,1 @@
+test/test_build.ml: Alcotest Ast Build Eff Eval Helpers List Live_core Machine Program Store Typ

@@ -1,0 +1,1 @@
+test/test_calculator.ml: Alcotest Helpers List Live_runtime Live_session Live_workloads Seq Session String

@@ -1,0 +1,1 @@
+test/test_check_surface.ml: Alcotest Helpers Printf String

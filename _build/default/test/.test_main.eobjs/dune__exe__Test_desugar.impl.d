@@ -1,0 +1,1 @@
+test/test_desugar.ml: Alcotest Ast Boxcontent Helpers List Live_core Live_surface Live_workloads Machine Printf Program State_typing

@@ -1,0 +1,1 @@
+test/test_eff.ml: Alcotest Eff Fmt Helpers List Live_core QCheck2

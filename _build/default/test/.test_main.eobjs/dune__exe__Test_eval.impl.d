@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Ast Boxcontent Eff Eval Event Fqueue Helpers Live_core Option Program Srcid Store Typ

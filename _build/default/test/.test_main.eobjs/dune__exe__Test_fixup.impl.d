@@ -1,0 +1,1 @@
+test/test_fixup.ml: Alcotest Ast Fixup Helpers List Live_core Option Program State_typing Store Typ

@@ -1,0 +1,1 @@
+test/test_fqueue.ml: Alcotest Fqueue Helpers List Live_core Option QCheck2

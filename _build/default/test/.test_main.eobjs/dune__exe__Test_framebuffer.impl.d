@@ -1,0 +1,1 @@
+test/test_framebuffer.ml: Alcotest Color Framebuffer Geometry Helpers Live_ui String

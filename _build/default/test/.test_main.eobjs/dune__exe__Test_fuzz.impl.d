@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Helpers List Live_baseline Live_core Live_runtime Live_session Live_surface Live_ui Live_workloads QCheck2 Result Session String

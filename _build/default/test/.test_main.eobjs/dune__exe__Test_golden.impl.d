@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Helpers Live_runtime Live_session Live_workloads Session String

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Helpers List Live_runtime Live_workloads Option Printf Session

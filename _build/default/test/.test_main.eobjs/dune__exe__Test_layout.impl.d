@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Ast Boxcontent Geometry Helpers Layout List Live_core Live_ui Option Printf Srcid Typ

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Fmt Helpers Lexer List Live_surface Loc Token

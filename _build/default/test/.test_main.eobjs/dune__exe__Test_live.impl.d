@@ -1,0 +1,1 @@
+test/test_live.ml: Alcotest Buffer Direct_manipulation Helpers List Live_core Live_runtime Live_session Live_workloads Navigation Option Session String

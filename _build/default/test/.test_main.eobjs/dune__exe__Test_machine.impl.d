@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Ast Boxcontent Eff Event Fqueue Helpers List Live_core Machine Program Srcid State State_typing Store Typ

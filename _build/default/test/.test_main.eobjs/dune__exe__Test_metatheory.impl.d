@@ -1,0 +1,1 @@
+test/test_metatheory.ml: Array Ast Eff Eval Fqueue Helpers List Live_core Machine Option Pretty Program QCheck2 Result Srcid State State_typing Store Typ Typecheck

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Helpers Live_core Live_surface Live_ui String

@@ -1,0 +1,1 @@
+test/test_mortgage.ml: Alcotest Helpers List Live_core Live_runtime Live_session Live_workloads Printf Session String

@@ -1,0 +1,1 @@
+test/test_navigation.ml: Alcotest Helpers List Live_core Live_runtime Live_session Live_surface Live_ui Navigation

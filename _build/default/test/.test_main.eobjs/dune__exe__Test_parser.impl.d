@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Float Fmt Helpers Int Lexer List Live_surface Live_workloads Loc Parser Sast String

@@ -1,0 +1,1 @@
+test/test_prim.ml: Alcotest Ast Eff Eval Float Helpers List Live_core Prim Program QCheck2 Store Typ

@@ -1,0 +1,1 @@
+test/test_printer.ml: Alcotest Float Helpers Lexer List Live_surface Live_workloads Option Parser Printer Sast String

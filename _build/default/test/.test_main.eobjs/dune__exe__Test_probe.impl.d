@@ -1,0 +1,1 @@
+test/test_probe.ml: Alcotest Helpers List Live_core Live_runtime Live_session Probe

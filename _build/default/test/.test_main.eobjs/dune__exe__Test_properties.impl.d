@@ -1,0 +1,1 @@
+test/test_properties.ml: Ast Boxcontent Float Helpers List Live_core Live_surface Live_ui Machine Pretty Printf Program QCheck2 State State_typing String Typ

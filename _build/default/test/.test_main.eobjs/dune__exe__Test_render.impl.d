@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Ast Boxcontent Helpers Live_core Live_ui Render String

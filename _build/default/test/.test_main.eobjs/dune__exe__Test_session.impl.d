@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Helpers List Live_core Live_runtime Live_surface Live_workloads Session String Trace

@@ -1,0 +1,1 @@
+test/test_smallstep.ml: Alcotest Ast Boxcontent Eff Eval Float Fqueue Helpers List Live_core Option Program QCheck2 Srcid Store Typ

@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Ast Event Fmt Fqueue Helpers List Live_core State Store

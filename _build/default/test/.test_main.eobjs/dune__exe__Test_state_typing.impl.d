@@ -1,0 +1,1 @@
+test/test_state_typing.ml: Alcotest Ast Boxcontent Eff Event Fqueue Helpers Live_core Program State State_typing Store Typ

@@ -1,0 +1,1 @@
+test/test_stepper.ml: Alcotest Ast Eff Fmt Helpers List Live_core Live_runtime Live_workloads Option Program Store Typ

@@ -1,0 +1,1 @@
+test/test_typ.ml: Alcotest Eff Helpers Live_core QCheck2 Typ

@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Ast Eff Helpers Live_core Program Typ Typecheck

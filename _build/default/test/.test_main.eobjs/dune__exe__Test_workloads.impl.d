@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Helpers List Live_runtime Live_session Live_workloads Session String

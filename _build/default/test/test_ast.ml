@@ -1,0 +1,123 @@
+(** Values, expressions (Fig. 6) and capture-avoiding substitution
+    (the engine of EP-APP). *)
+
+open Live_core
+open Helpers
+
+let test_as_value () =
+  Alcotest.(check bool) "literal" true (Ast.is_value (num 1.0));
+  Alcotest.(check bool)
+    "tuple of values" true
+    (Ast.is_value (Ast.Tuple [ num 1.0; str "x" ]));
+  Alcotest.(check bool)
+    "tuple with redex" false
+    (Ast.is_value (Ast.Tuple [ num 1.0; add (num 1.0) (num 2.0) ]));
+  Alcotest.(check bool) "lambda" true (Ast.is_value (lam "x" Typ.Num (Ast.Var "x")));
+  Alcotest.(check bool) "variable" false (Ast.is_value (Ast.Var "x"));
+  Alcotest.(check bool) "application" false
+    (Ast.is_value (Ast.App (lam "x" Typ.Num (Ast.Var "x"), num 1.0)));
+  (* a tuple expression of values classifies as the tuple value *)
+  Alcotest.(check (option value))
+    "tuple collapses"
+    (Some (Ast.VTuple [ vnum 1.0; vstr "x" ]))
+    (Ast.as_value (Ast.Tuple [ num 1.0; str "x" ]))
+
+let test_truthy () =
+  Alcotest.(check bool) "0 falsy" false (Ast.truthy (vnum 0.0));
+  Alcotest.(check bool) "1 truthy" true (Ast.truthy (vnum 1.0));
+  Alcotest.(check bool) "-2 truthy" true (Ast.truthy (vnum (-2.0)));
+  Alcotest.(check bool) "string falsy" false (Ast.truthy (vstr "yes"))
+
+let test_free_vars () =
+  let fv e = Ast.StringSet.elements (Ast.free_vars e) in
+  Alcotest.(check (list string)) "var" [ "x" ] (fv (Ast.Var "x"));
+  Alcotest.(check (list string))
+    "lambda binds" []
+    (fv (lam "x" Typ.Num (Ast.Var "x")));
+  Alcotest.(check (list string))
+    "free under lambda" [ "y" ]
+    (fv (lam "x" Typ.Num (add (Ast.Var "x") (Ast.Var "y"))));
+  Alcotest.(check (list string))
+    "globals are not variables" []
+    (fv (Ast.Get "g"));
+  Alcotest.(check (list string))
+    "handler capture" [ "z" ]
+    (fv (Ast.SetAttr ("ontap", lam "_" Typ.unit_ (Ast.Set ("g", Ast.Var "z")))))
+
+let test_subst_simple () =
+  let e = add (Ast.Var "x") (num 1.0) in
+  Alcotest.check expr "x := 2 in x+1"
+    (add (num 2.0) (num 1.0))
+    (Subst.subst_expr "x" (vnum 2.0) e)
+
+let test_subst_shadowing () =
+  (* (\x. x) with outer substitution for x must not touch the bound x *)
+  let inner = lam "x" Typ.Num (Ast.Var "x") in
+  Alcotest.check expr "bound occurrence untouched" inner
+    (Subst.subst_expr "x" (vnum 5.0) inner)
+
+let test_subst_inside_values () =
+  (* substitution descends into lambda values (handler capture) *)
+  let handler = lam "_" Typ.unit_ (Ast.Set ("g", Ast.Var "y")) in
+  let expected = lam "_" Typ.unit_ (Ast.Set ("g", num 7.0)) in
+  Alcotest.check expr "captured by value" expected
+    (Subst.subst_expr "y" (vnum 7.0) handler)
+
+let test_subst_capture_avoidance () =
+  (* substituting a value that mentions variable y into \y.(x, y):
+     the bound y must be renamed, not capture the free y *)
+  let v = Ast.VLam ("z", Typ.Num, add (Ast.Var "z") (Ast.Var "y")) in
+  let target = lam "y" Typ.Num (Ast.Tuple [ Ast.Var "x"; Ast.Var "y" ]) in
+  let result = Subst.subst_expr "x" v target in
+  (* the result must still be a lambda whose bound variable differs
+     from y, and the free y of v must remain free *)
+  match result with
+  | Ast.Val (Ast.VLam (y', _, body)) ->
+      Alcotest.(check bool) "renamed" true (y' <> "y");
+      let fv = Ast.free_vars body in
+      Alcotest.(check bool) "v's y stays free" true
+        (Ast.StringSet.mem "y" fv)
+  | _ -> Alcotest.fail "substitution destroyed the lambda"
+
+let test_beta () =
+  let body = add (Ast.Var "x") (Ast.Var "x") in
+  Alcotest.check expr "beta" (add (num 3.0) (num 3.0))
+    (Subst.beta "x" body (vnum 3.0))
+
+let test_closed () =
+  Alcotest.(check bool) "closed" true (Ast.closed_expr (num 1.0));
+  Alcotest.(check bool) "open" false (Ast.closed_expr (Ast.Var "x"));
+  Alcotest.(check bool)
+    "lambda closed" true
+    (Ast.closed_expr (lam "x" Typ.Num (Ast.Var "x")))
+
+let test_size () =
+  Alcotest.(check bool) "size grows" true
+    (Ast.size_expr (add (num 1.0) (num 2.0)) > Ast.size_expr (num 1.0))
+
+(* substitution for a variable not free is the identity *)
+let prop_subst_not_free =
+  Helpers.qcheck "subst of non-free var is identity"
+    QCheck2.Gen.(pure ())
+    (fun () ->
+      let e =
+        Ast.App
+          ( lam "x" Typ.Num (add (Ast.Var "x") (num 1.0)),
+            Ast.Get "g" )
+      in
+      Ast.equal_expr e (Subst.subst_expr "zzz" (vnum 9.0) e))
+
+let suite =
+  [
+    case "value classification" test_as_value;
+    case "truthiness" test_truthy;
+    case "free variables" test_free_vars;
+    case "substitution: simple" test_subst_simple;
+    case "substitution: shadowing" test_subst_shadowing;
+    case "substitution: inside lambda values" test_subst_inside_values;
+    case "substitution: capture avoidance" test_subst_capture_avoidance;
+    case "beta reduction" test_beta;
+    case "closedness" test_closed;
+    case "sizes" test_size;
+    prop_subst_not_free;
+  ]

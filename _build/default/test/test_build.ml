@@ -1,0 +1,84 @@
+(** The program-construction eDSL: build a complete two-page app in
+    OCaml, validate it, run it through the machine. *)
+
+open Live_core
+open Live_core.Build.Infix
+open Helpers
+
+module B = Build
+
+let scoreboard () : Program.t =
+  B.program_exn
+    [
+      B.global "score" Typ.Num (Ast.VNum 0.0);
+      B.func "bump" ~param:("by", Typ.Num) ~eff:Eff.State ~ret:Typ.unit_
+        (B.set "score" (B.get "score" +! B.var "by"));
+      B.page "start"
+        ~init:(B.set "score" (B.ni 5))
+        ~render:
+          (B.boxed ~id:1
+             (B.seqs
+                [
+                  B.post (B.s "score: " ^! B.str_of (B.get "score"));
+                  B.on_tap (B.call "bump" (B.ni 3));
+                  B.attr "border" (B.ni 1);
+                ]))
+        ();
+      B.page "detail" ~arg:("x", Typ.Num)
+        ~init:B.unit_
+        ~render:(B.post (B.var "x"))
+        ();
+    ]
+
+let test_builds_and_validates () =
+  let p = scoreboard () in
+  Alcotest.(check int) "four defs" 4 (List.length (Program.defs p))
+
+let test_runs () =
+  let st = boot (scoreboard ()) in
+  Alcotest.(check (float 0.0)) "init ran" 5.0 (get_store_num st "score");
+  let st = stable (ok_machine "tap" (Machine.tap_first st)) in
+  Alcotest.(check (float 0.0)) "handler ran" 8.0 (get_store_num st "score")
+
+let test_if_and_let () =
+  let e =
+    B.let_ "x" Typ.Num (B.ni 10)
+      (B.if_ Typ.Str
+         (B.var "x" >! B.ni 5)
+         (B.s "big") (B.s "small"))
+  in
+  Alcotest.check value "conditional" (vstr "big")
+    (Eval.eval_pure Program.empty Store.empty e)
+
+let test_validation_rejects () =
+  (match
+     B.program
+       [
+         B.global "g" Typ.Num (Ast.VNum 0.0);
+         B.page "start"
+           ~init:B.unit_
+           ~render:(B.set "g" (B.ni 1)) (* render writes the model *)
+           ();
+       ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "render body writing a global must be rejected");
+  match B.program [ B.global "g" Typ.Num (Ast.VNum 0.0) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing start page must be rejected"
+
+let test_infix_ops () =
+  let ev e = Eval.eval_pure Program.empty Store.empty e in
+  Alcotest.check value "arith" (vnum 7.0) (ev (B.ni 1 +! (B.ni 2 *! B.ni 3)));
+  Alcotest.check value "mod" (vnum 1.0) (ev (B.ni 7 %! B.ni 3));
+  Alcotest.check value "cmp" Ast.vtrue (ev (B.ni 1 <=! B.ni 1));
+  Alcotest.check value "concat" (vstr "ab") (ev (B.s "a" ^! B.s "b"))
+
+let suite =
+  [
+    case "builds and validates" test_builds_and_validates;
+    case "runs through the machine" test_runs;
+    case "if_/let_ combinators" test_if_and_let;
+    case "validation rejects bad programs" test_validation_rejects;
+    case "infix operators" test_infix_ops;
+  ]

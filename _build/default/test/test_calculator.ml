@@ -1,0 +1,141 @@
+(** The calculator workload: sibling hit-testing in horizontal rows
+    and a handler state machine. *)
+
+open Live_runtime
+open Helpers
+
+let calc () = live_of ~width:30 Live_workloads.Calculator.source
+
+(** Press a key by its label: find the bordered cell whose content is
+    exactly the label and tap its centre. *)
+let press (ls : Live_session.t) (label : string) : unit =
+  let lines = String.split_on_char '\n' (Live_session.screenshot ls) in
+  let found = ref false in
+  List.iteri
+    (fun y line ->
+      if not !found then begin
+        (* cells look like |  7  | — find the label at a cell centre *)
+        let n = String.length line in
+        let m = String.length label in
+        let rec scan x =
+          if x + m > n then ()
+          else if
+            String.sub line x m = label
+            && (x = 0 || line.[x - 1] = ' ' || line.[x - 1] = '|')
+            && (x + m >= n || line.[x + m] = ' ' || line.[x + m] = '|')
+          then begin
+            found := true;
+            match Live_session.tap ls ~x ~y with
+            | Ok Session.Tapped -> ()
+            | Ok Session.No_handler ->
+                Alcotest.failf "key %S not tappable at (%d,%d)" label x y
+            | Error e ->
+                Alcotest.failf "tap: %s" (Live_session.error_to_string e)
+          end
+          else scan (x + 1)
+        in
+        scan 0
+      end)
+    lines;
+  if not !found then Alcotest.failf "key %S not on screen" label
+
+let display (ls : Live_session.t) : string =
+  (* first non-empty screen line is inside the display box *)
+  let lines = String.split_on_char '\n' (Live_session.screenshot ls) in
+  match
+    List.find_map
+      (fun l ->
+        let t = String.trim l in
+        if
+          String.length t > 0
+          && t.[0] <> '+' && t.[0] <> '|'
+        then Some t
+        else
+          (* display text sits inside a bordered box: strip the pipes *)
+          let inner =
+            String.to_seq l
+            |> Seq.filter (fun c -> c <> '|' && c <> ' ')
+            |> String.of_seq
+          in
+          if inner <> "" && String.for_all (fun c -> c <> '-') inner then
+            Some inner
+          else None)
+      lines
+  with
+  | Some s -> s
+  | None -> Alcotest.fail "no display content"
+
+let test_initial () =
+  Alcotest.(check string) "shows 0" "0" (display (calc ()))
+
+let test_digits_accumulate () =
+  let ls = calc () in
+  press ls "1";
+  press ls "2";
+  press ls "3";
+  Alcotest.(check string) "123" "123" (display ls)
+
+let test_addition () =
+  let ls = calc () in
+  press ls "7";
+  press ls "+";
+  press ls "5";
+  press ls "=";
+  Alcotest.(check string) "12" "12" (display ls)
+
+let test_chained_ops () =
+  let ls = calc () in
+  (* 2 * 3 - 4 = 2 (left to right) *)
+  press ls "2";
+  press ls "*";
+  press ls "3";
+  press ls "-";
+  press ls "4";
+  press ls "=";
+  Alcotest.(check string) "2" "2" (display ls)
+
+let test_clear () =
+  let ls = calc () in
+  press ls "9";
+  press ls "C";
+  Alcotest.(check string) "0" "0" (display ls);
+  press ls "4";
+  press ls "+";
+  press ls "4";
+  press ls "=";
+  Alcotest.(check string) "8 after clear" "8" (display ls)
+
+let test_division () =
+  let ls = calc () in
+  press ls "9";
+  press ls "/";
+  press ls "2";
+  press ls "=";
+  Alcotest.(check string) "4.5" "4.5" (display ls)
+
+let test_live_edit_mid_calculation () =
+  (* retheme the calculator in the middle of a pending computation;
+     the pending state (acc, op, entry) survives *)
+  let ls = calc () in
+  press ls "6";
+  press ls "*";
+  press ls "7";
+  let edited =
+    replace Live_workloads.Calculator.source "\"dark gray\"" "\"navy\""
+  in
+  (match Live_session.edit ls edited with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "edit: %s" (Live_session.error_to_string e));
+  press ls "=";
+  Alcotest.(check string) "42" "42" (display ls)
+
+let suite =
+  [
+    case "initial display" test_initial;
+    case "digits accumulate" test_digits_accumulate;
+    case "addition" test_addition;
+    case "chained operations" test_chained_ops;
+    case "clear" test_clear;
+    case "division" test_division;
+    case "live edit mid-calculation" test_live_edit_mid_calculation;
+  ]

@@ -1,0 +1,177 @@
+(** The surface type-and-effect checker: inference, effect fixpoint,
+    and the structural rules that protect the model-view separation at
+    the source level. *)
+
+open Helpers
+
+let wrap_render body =
+  Printf.sprintf "page start()\ninit { }\nrender {\n%s\n}\n" body
+
+let wrap_init body =
+  Printf.sprintf "page start()\ninit {\n%s\n}\nrender { }\n" body
+
+let accepts src = ignore (ok_compile src)
+
+let rejects ?(substring = "") src =
+  let msg = compile_error src in
+  if substring <> "" then
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    if not (contains msg substring) then
+      Alcotest.failf "error %S does not mention %S" msg substring
+
+let test_inference_var () =
+  accepts (wrap_render "var x := 1\npost str(x + 1)");
+  accepts (wrap_render "var xs := []\nxs := cons(1, xs)\npost str(len(xs))");
+  accepts (wrap_render "var t := (1, \"a\")\npost t.2");
+  rejects (wrap_render "var x := 1\nx := \"no\"");
+  rejects ~substring:"infer" (wrap_render "var xs := []\npost str(1)")
+
+let test_unknown_names () =
+  rejects ~substring:"unknown variable" (wrap_render "post nope");
+  rejects ~substring:"unknown function" (wrap_render "nope()");
+  rejects ~substring:"unknown page"
+    (wrap_render "boxed { on tapped { push nowhere() } }");
+  rejects ~substring:"attribute"
+    (wrap_render "boxed { box.wibble := 1 }")
+
+let test_effect_rules () =
+  (* render cannot write globals *)
+  rejects ~substring:"render"
+    ("global g : number = 0\n" ^ wrap_render "g := 1");
+  (* init cannot build boxes *)
+  rejects ~substring:"init" (wrap_init "boxed { }");
+  rejects (wrap_init "post 1");
+  (* handlers are state code: no boxes inside *)
+  rejects (wrap_render "boxed { on tapped { post 1 } }");
+  rejects (wrap_render "boxed { on tapped { boxed { } } }");
+  (* handlers may write globals and navigate *)
+  accepts
+    ("global g : number = 0\n"
+   ^ wrap_render "boxed { on tapped { g := g + 1\npop } }")
+
+let test_handler_capture_frozen () =
+  (* assigning an enclosing render local inside a handler is rejected:
+     capture is by value *)
+  rejects ~substring:"captured"
+    (wrap_render "var x := 1\nboxed { on tapped { x := 2 } }");
+  (* the handler's own locals are assignable *)
+  accepts
+    (wrap_render "boxed { on tapped { var y := 1\ny := y + 1 } }");
+  (* reading enclosing locals is fine *)
+  accepts
+    ("global g : number = 0\n"
+   ^ wrap_render "var x := 1\nboxed { on tapped { g := x } }")
+
+let test_effect_fixpoint () =
+  (* f calls g; g is stateful; so f is stateful and unusable in render *)
+  let src init_body render_body =
+    Printf.sprintf
+      {|global n : number = 0
+fun g_() { n := 1 }
+fun f_() { g_() }
+page start()
+init { %s }
+render { %s }
+|}
+      init_body render_body
+  in
+  accepts (src "f_()" "");
+  rejects (src "" "f_()");
+  (* mutual recursion through the fixpoint *)
+  accepts
+    {|fun even(n : number) : number {
+  var r := 1
+  if n > 0 { r := odd(n - 1) }
+  return r
+}
+fun odd(n : number) : number {
+  var r := 0
+  if n > 0 { r := even(n - 1) }
+  return r
+}
+page start()
+init { }
+render { post str(even(10)) }
+|}
+
+let test_mixed_effects_rejected () =
+  (* one function both writing state and building boxes *)
+  rejects ~substring:"mixes"
+    {|global n : number = 0
+fun bad() {
+  n := 1
+  post n
+}
+page start()
+init { }
+render { }
+|}
+
+let test_return_rules () =
+  rejects ~substring:"return"
+    "fun f() : number { return 1\npost 2 }\npage start()\ninit { }\nrender { }";
+  rejects ~substring:"return"
+    (wrap_render "return 1");
+  rejects ~substring:"final"
+    "fun f() : number { var x := 1 }\npage start()\ninit { }\nrender { }";
+  accepts "fun f() : number { return 7 }\npage start()\ninit { }\nrender { post str(f()) }";
+  (* return inside a loop body is rejected *)
+  rejects
+    "fun f() : number { while 1 { return 1 }\nreturn 2 }\npage start()\ninit { }\nrender { }"
+
+let test_global_initialisers () =
+  accepts "global g : [(number, string)] = [(1, \"a\")]\npage start()\ninit { }\nrender { }";
+  accepts "global g : number = -5\npage start()\ninit { }\nrender { }";
+  rejects ~substring:"literal"
+    "global g : number = 1 + 2\npage start()\ninit { }\nrender { }";
+  rejects "global g : number = \"s\"\npage start()\ninit { }\nrender { }"
+
+let test_start_page_required () =
+  rejects ~substring:"start" "global g : number = 0";
+  rejects ~substring:"start"
+    "page start(x : number) init { } render { }"
+
+let test_duplicates_and_builtins () =
+  rejects ~substring:"duplicate"
+    "global g : number = 0\nglobal g : number = 1\npage start()\ninit { }\nrender { }";
+  rejects ~substring:"builtin"
+    "fun floor(x : number) : number { return x }\npage start()\ninit { }\nrender { }";
+  rejects ~substring:"builtin" (wrap_render "var floor := 1")
+
+let test_arity_checks () =
+  rejects
+    "fun f(x : number) { }\npage start()\ninit { f(1, 2) }\nrender { }";
+  rejects (wrap_render "post str(floor(1, 2))");
+  rejects
+    "page start()\ninit { }\nrender { boxed { on tapped { push p2(1, 2) } } }\npage p2(x : number)\ninit { }\nrender { }"
+
+let test_comparison_types () =
+  accepts (wrap_render "if \"a\" < \"b\" { post 1 }");
+  accepts (wrap_render "if 1 < 2 { post 1 }");
+  rejects (wrap_render "if (1, 2) < (3, 4) { post 1 }");
+  rejects (wrap_render "if 1 < \"b\" { post 1 }");
+  accepts (wrap_render "if (1, \"a\") == (2, \"b\") { post 1 }")
+
+let test_projection_needs_concrete () =
+  rejects (wrap_render "var x := []\npost head(x).1")
+
+let suite =
+  [
+    case "local inference" test_inference_var;
+    case "unknown names" test_unknown_names;
+    case "effect discipline at the source" test_effect_rules;
+    case "handler capture is by value" test_handler_capture_frozen;
+    case "effect fixpoint over the call graph" test_effect_fixpoint;
+    case "state+render mix rejected" test_mixed_effects_rejected;
+    case "return placement" test_return_rules;
+    case "global initialisers are literals" test_global_initialisers;
+    case "start page requirements" test_start_page_required;
+    case "duplicates and builtin shadowing" test_duplicates_and_builtins;
+    case "arity checks" test_arity_checks;
+    case "comparison operand types" test_comparison_types;
+    case "ambiguous projection rejected" test_projection_needs_concrete;
+  ]

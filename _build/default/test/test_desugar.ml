@@ -1,0 +1,222 @@
+(** The desugarer, tested semantically: compile surface programs and
+    check the behaviour of the lowered code — loops as recursion
+    through generated global functions, conditionals as thunks, local
+    mutation as shadowing and threading (Sec. 4.1's encodings). *)
+
+open Live_core
+open Helpers
+
+(** Compile a render body, boot, and return the posted leaves of the
+    page's single top-level box (or of the implicit top box). *)
+let render_leaves (body : string) : Ast.value list =
+  let src = Printf.sprintf "page start()\ninit { }\nrender {\n%s\n}" body in
+  let c = ok_compile src in
+  let st = boot c.Live_surface.Compile.core in
+  Boxcontent.own_leaves (get_display st)
+
+let check_posts name body expected =
+  Alcotest.(check (list value)) name expected (render_leaves body)
+
+let nums xs = List.map vnum xs
+let strs xs = List.map vstr xs
+
+let test_straightline_shadowing () =
+  check_posts "sequential assignment"
+    "var x := 1\nx := x + 1\nx := x * 10\npost x"
+    (nums [ 20.0 ])
+
+let test_if_threading () =
+  check_posts "if assigns an outer local"
+    "var x := 1\nif x > 0 { x := 42 }\npost x"
+    (nums [ 42.0 ]);
+  check_posts "else branch"
+    "var x := 0\nif x > 0 { x := 1 } else { x := 2 }\npost x"
+    (nums [ 2.0 ]);
+  check_posts "both branches assign different vars"
+    "var a := 0\nvar b := 0\nif 1 { a := 5 } else { b := 6 }\npost a\npost b"
+    (nums [ 5.0; 0.0 ]);
+  check_posts "nested ifs"
+    "var x := 0\nif 1 { if 1 { x := 7 } }\npost x"
+    (nums [ 7.0 ])
+
+let test_if_scoping () =
+  (* a var declared inside a branch is not visible outside: the
+     checker rejects the reference *)
+  let src =
+    "page start()\ninit { }\nrender { if 1 { var y := 1 }\npost y }"
+  in
+  match Live_surface.Compile.compile src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "branch-local variable escaped its scope"
+
+let test_while_loop () =
+  check_posts "sum 0..9"
+    "var s := 0\nvar i := 0\nwhile i < 10 { s := s + i\ni := i + 1 }\npost s"
+    (nums [ 45.0 ]);
+  check_posts "zero iterations"
+    "var s := 5\nwhile 0 { s := 99 }\npost s"
+    (nums [ 5.0 ]);
+  check_posts "loop reading an unassigned outer var"
+    "var limit := 3\nvar n := 0\nwhile n < limit { n := n + 1 }\npost n"
+    (nums [ 3.0 ])
+
+let test_for_loop () =
+  check_posts "for is half-open [a, b)"
+    "var s := 0\nfor i from 0 to 5 { s := s + i }\npost s"
+    (nums [ 10.0 ]);
+  check_posts "empty range" "var s := 1\nfor i from 5 to 5 { s := 0 }\npost s"
+    (nums [ 1.0 ]);
+  check_posts "nested for"
+    "var s := 0\nfor i from 0 to 3 { for j from 0 to 3 { s := s + 1 } }\npost s"
+    (nums [ 9.0 ])
+
+let test_foreach () =
+  check_posts "foreach threads locals"
+    "var s := \"\"\nforeach w in [\"a\", \"b\", \"c\"] { s := s ++ w }\npost s"
+    (strs [ "abc" ]);
+  check_posts "foreach over empty list"
+    "var s := 9\nforeach x in drop([1], 1) { s := x }\npost s"
+    (nums [ 9.0 ]);
+  check_posts "binder shadows outer"
+    "var x := 100\nvar s := 0\nforeach x in [1, 2] { s := s + x }\npost s\npost x"
+    (nums [ 3.0; 100.0 ])
+
+let test_short_circuit () =
+  (* and/or must not evaluate their right operand eagerly: head([]) on
+     the right would get stuck *)
+  check_posts "and short-circuits"
+    "var xs := drop([1], 1)\nvar ok := 0\nif len(xs) > 0 and head(xs) > 0 { ok := 1 }\npost ok"
+    (nums [ 0.0 ]);
+  check_posts "or short-circuits"
+    "var xs := drop([1], 1)\nvar ok := 0\nif len(xs) == 0 or head(xs) > 0 { ok := 1 }\npost ok"
+    (nums [ 1.0 ])
+
+let test_boxed_threading () =
+  (* Fig. 5's pattern: a loop over boxed rows where the body mutates a
+     local across iterations (the amortization balance) *)
+  check_posts "local threads through boxed statements"
+    "var total := 0\nfor i from 0 to 3 { boxed { total := total + i\npost total } }\npost total"
+    (nums [ 3.0 ])
+
+let test_boxed_structure () =
+  let src =
+    "page start()\ninit { }\nrender { boxed { post 1\nboxed { post 2 } }\npost 3 }"
+  in
+  let c = ok_compile src in
+  let st = boot c.Live_surface.Compile.core in
+  let b = get_display st in
+  Alcotest.(check int) "one top-level box" 1 (List.length (Boxcontent.children b));
+  Alcotest.(check (list value)) "top-level leaf" [ vnum 3.0 ]
+    (Boxcontent.own_leaves b);
+  let _, inner = List.hd (Boxcontent.children b) in
+  Alcotest.(check (list value)) "inner leaf" [ vnum 1.0 ]
+    (Boxcontent.own_leaves inner);
+  Alcotest.(check int) "nested box" 1 (List.length (Boxcontent.children inner))
+
+let test_functions_and_returns () =
+  let src =
+    {|fun fib(n : number) : number {
+  var r := n
+  if n > 1 { r := fib(n - 1) + fib(n - 2) }
+  return r
+}
+page start()
+init { }
+render { post str(fib(12)) }
+|}
+  in
+  let c = ok_compile src in
+  let st = boot c.Live_surface.Compile.core in
+  Alcotest.(check (list value)) "fib 12" [ vstr "144" ]
+    (Boxcontent.own_leaves (get_display st))
+
+let test_multi_param () =
+  let src =
+    {|fun clamp(x : number, lo : number, hi : number) : number {
+  return min(max(x, lo), hi)
+}
+page start()
+init { }
+render { post str(clamp(5, 1, 3)) }
+|}
+  in
+  let c = ok_compile src in
+  let st = boot c.Live_surface.Compile.core in
+  Alcotest.(check (list value)) "clamp" [ vstr "3" ]
+    (Boxcontent.own_leaves (get_display st))
+
+let test_handler_captures_value () =
+  (* the loop binder captured in a handler keeps the iteration's value *)
+  let src =
+    {|global picked : number = -1
+page start()
+init { }
+render {
+  foreach i in [10, 20, 30] {
+    boxed {
+      post i
+      on tapped { picked := i }
+    }
+  }
+}
+|}
+  in
+  let c = ok_compile src in
+  let st = boot c.Live_surface.Compile.core in
+  let b = get_display st in
+  (* tap the *second* box's handler *)
+  let handlers = Boxcontent.handlers b in
+  Alcotest.(check int) "three handlers" 3 (List.length handlers);
+  let st =
+    stable (ok_machine "tap" (Machine.tap st ~handler:(List.nth handlers 1)))
+  in
+  Alcotest.(check (float 0.0)) "captured 20" 20.0 (get_store_num st "picked")
+
+let test_generated_functions_are_hidden () =
+  (* loop functions are compiler-named; they never collide with user
+     names and the core re-check accepts them (validated on compile) *)
+  let c =
+    ok_compile
+      "page start()\ninit { }\nrender { var s := 0\nwhile s < 3 { s := s + 1 } }"
+  in
+  let gen_funcs =
+    List.filter
+      (fun (n, _, _) -> Live_core.Ident.is_generated n)
+      (Program.functions c.Live_surface.Compile.core)
+  in
+  Alcotest.(check int) "one generated loop function" 1 (List.length gen_funcs)
+
+let test_translation_validation_on_workloads () =
+  (* every workload's generated core code passes C |- C (Fig. 11) *)
+  let check name (core : Program.t) =
+    match State_typing.check_code core with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "%s: generated code ill-typed: %s" name m
+  in
+  check "mortgage" (Live_workloads.Mortgage.core ());
+  check "mortgage i2 i3" (Live_workloads.Mortgage.core ~i2:true ~i3:true ());
+  check "counter" (Live_workloads.Counter.core ());
+  check "todo" (Live_workloads.Todo.core ());
+  check "gallery" (Live_workloads.Gallery.core ());
+  check "flat"
+    (Live_workloads.Synthetic.compile_exn
+       (Live_workloads.Synthetic.flat_rows ~n:10))
+      .Live_surface.Compile.core
+
+let suite =
+  [
+    case "straight-line mutation is shadowing" test_straightline_shadowing;
+    case "if threads assigned locals" test_if_threading;
+    case "branch locals do not escape" test_if_scoping;
+    case "while loops" test_while_loop;
+    case "for loops" test_for_loop;
+    case "foreach loops" test_foreach;
+    case "and/or short-circuit" test_short_circuit;
+    case "locals thread through boxed" test_boxed_threading;
+    case "boxed builds nested content" test_boxed_structure;
+    case "recursive functions with return" test_functions_and_returns;
+    case "multi-parameter functions" test_multi_param;
+    case "handlers capture by value" test_handler_captures_value;
+    case "loop functions are generated and hidden" test_generated_functions_are_hidden;
+    case "translation validation on workloads" test_translation_validation_on_workloads;
+  ]

@@ -1,0 +1,132 @@
+(** Direct manipulation details: upsert semantics, validation, value
+    kinds. *)
+
+open Live_runtime
+open Helpers
+
+let simple_src =
+  {|page start()
+init { }
+render {
+  boxed {
+    box.margin := 2
+    post "target"
+  }
+}
+|}
+
+(** Select the box showing "target", wherever the current styling put
+    it. *)
+let select_target ls =
+  let lines = String.split_on_char '\n' (Live_session.screenshot ls) in
+  let rec go y = function
+    | [] -> Alcotest.fail "'target' not on screen"
+    | l :: rest -> (
+        if contains l "target" then
+          match Live_session.select_box ls ~x:(String.length l - 1) ~y with
+          | Some s -> s.Navigation.srcid
+          | None -> Alcotest.fail "no box under 'target'"
+        else go (y + 1) rest)
+  in
+  go 0 lines
+
+let set ls srcid attr value =
+  match Direct_manipulation.set_attribute ls ~srcid ~attr ~value with
+  | Ok o -> o
+  | Error e ->
+      Alcotest.failf "set_attribute %s: %s" attr
+        (Direct_manipulation.error_to_string e)
+
+let test_updates_existing_attr_statement () =
+  let ls = live_of ~width:20 simple_src in
+  let id = select_target ls in
+  ignore (set ls id "margin" "4");
+  let src = Live_session.source ls in
+  check_contains "value replaced" src "box.margin := 4";
+  Alcotest.(check bool) "old value gone" false (contains src "box.margin := 2");
+  (* exactly one margin statement: upsert, not append *)
+  let count_occurrences s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i acc =
+      if i + m > n then acc
+      else if String.sub s i m = sub then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "single statement" 1
+    (count_occurrences src "box.margin")
+
+let test_inserts_missing_attr_statement () =
+  let ls = live_of ~width:20 simple_src in
+  let id = select_target ls in
+  ignore (set ls id "background" "\"light blue\"");
+  check_contains "inserted" (Live_session.source ls)
+    {|box.background := "light blue"|}
+
+let test_string_and_expression_values () =
+  let ls = live_of ~width:20 simple_src in
+  let id = select_target ls in
+  (* expressions are allowed, not just literals *)
+  ignore (set ls id "padding" "1 + 1");
+  check_contains "expression kept" (Live_session.source ls)
+    "box.padding := 1 + 1";
+  match
+    Direct_manipulation.get_attribute ls ~srcid:(select_target ls)
+      ~attr:"padding"
+  with
+  | Some (Live_core.Ast.VNum 2.0) -> ()
+  | _ -> Alcotest.fail "padding should evaluate to 2"
+
+let test_rejects_bad_input () =
+  let ls = live_of ~width:20 simple_src in
+  let id = select_target ls in
+  (match
+     Direct_manipulation.set_attribute ls ~srcid:id ~attr:"nonsense"
+       ~value:"1"
+   with
+  | Error (Direct_manipulation.Bad_attribute _) -> ()
+  | _ -> Alcotest.fail "unknown attribute must be rejected");
+  (match
+     Direct_manipulation.set_attribute ls ~srcid:id ~attr:"ontap" ~value:"1"
+   with
+  | Error (Direct_manipulation.Bad_attribute _) -> ()
+  | _ -> Alcotest.fail "handler attributes are not direct-manipulable");
+  (match
+     Direct_manipulation.set_attribute ls ~srcid:id ~attr:"margin"
+       ~value:"][broken"
+   with
+  | Error (Direct_manipulation.Bad_attribute _) -> ()
+  | _ -> Alcotest.fail "unparseable value must be rejected");
+  (* a type-incorrect value fails the recompile and leaves the program
+     untouched *)
+  (match
+     Direct_manipulation.set_attribute ls ~srcid:id ~attr:"margin"
+       ~value:"\"wide\""
+   with
+  | Error (Direct_manipulation.Edit_failed _) -> ()
+  | _ -> Alcotest.fail "ill-typed value must fail the edit");
+  check_contains "program unchanged" (Live_session.source ls)
+    "box.margin := 2";
+  (* unknown srcid *)
+  match
+    Direct_manipulation.set_attribute ls ~srcid:(Live_core.Srcid.of_int 99999)
+      ~attr:"margin" ~value:"1"
+  with
+  | Error Direct_manipulation.No_such_box -> ()
+  | _ -> Alcotest.fail "unknown box id must be rejected"
+
+let test_get_attribute_none_when_unset () =
+  let ls = live_of ~width:20 simple_src in
+  let id = select_target ls in
+  Alcotest.(check bool) "unset attr reads None" true
+    (Direct_manipulation.get_attribute ls ~srcid:id ~attr:"background" = None)
+
+let suite =
+  [
+    case "upsert updates an existing statement" test_updates_existing_attr_statement;
+    case "upsert inserts a missing statement" test_inserts_missing_attr_statement;
+    case "expression values" test_string_and_expression_values;
+    case "invalid edits rejected, program intact" test_rejects_bad_input;
+    case "get_attribute on unset attributes" test_get_attribute_none_when_unset;
+  ]

@@ -1,0 +1,76 @@
+(** The effect lattice (Fig. 6's [mu] with the order induced by T-SUB):
+    [Pure] below [State] and [Render], which are incomparable. *)
+
+open Live_core
+
+let all = [ Eff.Pure; Eff.State; Eff.Render ]
+
+let gen_eff = QCheck2.Gen.oneofl all
+
+let test_sub_table () =
+  let expect a b v =
+    Alcotest.(check bool)
+      (Fmt.str "%a <= %a" Eff.pp a Eff.pp b)
+      v (Eff.sub a b)
+  in
+  expect Eff.Pure Eff.Pure true;
+  expect Eff.Pure Eff.State true;
+  expect Eff.Pure Eff.Render true;
+  expect Eff.State Eff.State true;
+  expect Eff.Render Eff.Render true;
+  expect Eff.State Eff.Pure false;
+  expect Eff.Render Eff.Pure false;
+  expect Eff.State Eff.Render false;
+  expect Eff.Render Eff.State false
+
+let test_join_table () =
+  let some = Alcotest.(check (option Helpers.eff)) in
+  some "p v p" (Some Eff.Pure) (Eff.join Eff.Pure Eff.Pure);
+  some "p v s" (Some Eff.State) (Eff.join Eff.Pure Eff.State);
+  some "r v p" (Some Eff.Render) (Eff.join Eff.Render Eff.Pure);
+  some "s v s" (Some Eff.State) (Eff.join Eff.State Eff.State);
+  some "r v r" (Some Eff.Render) (Eff.join Eff.Render Eff.Render);
+  some "s v r" None (Eff.join Eff.State Eff.Render);
+  some "r v s" None (Eff.join Eff.Render Eff.State)
+
+(* lattice laws *)
+let prop_sub_reflexive =
+  Helpers.qcheck "sub reflexive" gen_eff (fun a -> Eff.sub a a)
+
+let prop_sub_antisymmetric =
+  Helpers.qcheck "sub antisymmetric"
+    QCheck2.Gen.(pair gen_eff gen_eff)
+    (fun (a, b) -> (not (Eff.sub a b && Eff.sub b a)) || Eff.equal a b)
+
+let prop_sub_transitive =
+  Helpers.qcheck "sub transitive"
+    QCheck2.Gen.(triple gen_eff gen_eff gen_eff)
+    (fun (a, b, c) -> (not (Eff.sub a b && Eff.sub b c)) || Eff.sub a c)
+
+let prop_join_commutative =
+  Helpers.qcheck "join commutative"
+    QCheck2.Gen.(pair gen_eff gen_eff)
+    (fun (a, b) -> Eff.join a b = Eff.join b a)
+
+let prop_join_is_lub =
+  Helpers.qcheck "join is the least upper bound"
+    QCheck2.Gen.(triple gen_eff gen_eff gen_eff)
+    (fun (a, b, c) ->
+      match Eff.join a b with
+      | Some j ->
+          Eff.sub a j && Eff.sub b j
+          && ((not (Eff.sub a c && Eff.sub b c)) || Eff.sub j c)
+      | None ->
+          (* no upper bound exists at all *)
+          not (List.exists (fun u -> Eff.sub a u && Eff.sub b u) all))
+
+let suite =
+  [
+    Helpers.case "sub: full table" test_sub_table;
+    Helpers.case "join: full table" test_join_table;
+    prop_sub_reflexive;
+    prop_sub_antisymmetric;
+    prop_sub_transitive;
+    prop_join_commutative;
+    prop_join_is_lub;
+  ]

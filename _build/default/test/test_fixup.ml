@@ -1,0 +1,125 @@
+(** The state fix-up of Fig. 12: after UPDATE, "it just deletes
+    whatever does not type". *)
+
+open Live_core
+open Helpers
+
+let prog_with (defs : Program.def list) = Program.of_defs defs
+
+let g name ty init = Program.Global { name; ty; init }
+
+let page name arg_ty =
+  let x = "x" in
+  Program.Page
+    {
+      name;
+      arg_ty;
+      init = lam x arg_ty Ast.eunit;
+      render = lam x arg_ty Ast.eunit;
+    }
+
+let test_s_okay () =
+  (* a binding that still types survives *)
+  let new_code = prog_with [ g "a" Typ.Num (vnum 0.0) ] in
+  let store = Store.write "a" (vnum 42.0) Store.empty in
+  let store' = Fixup.fixup_store new_code store in
+  Alcotest.check value "kept" (vnum 42.0) (Option.get (Store.find "a" store'))
+
+let test_s_skip_deleted_global () =
+  (* S-SKIP: g ∉ C' *)
+  let new_code = prog_with [ g "b" Typ.Num (vnum 0.0) ] in
+  let store = Store.write "a" (vnum 42.0) Store.empty in
+  let store' = Fixup.fixup_store new_code store in
+  Alcotest.(check int) "dropped" 0 (Store.cardinal store')
+
+let test_s_skip_retyped_global () =
+  (* S-SKIP: the declared type changed incompatibly *)
+  let new_code = prog_with [ g "a" Typ.Str (vstr "") ] in
+  let store = Store.write "a" (vnum 42.0) Store.empty in
+  let store' = Fixup.fixup_store new_code store in
+  Alcotest.(check int) "dropped" 0 (Store.cardinal store');
+  (* ... and the read now falls back to the new initial value
+     (EP-GLOBAL-2) *)
+  Alcotest.check value "fallback" (vstr "")
+    (Option.get (Store.read new_code "a" store'))
+
+let test_s_mixed () =
+  let new_code =
+    prog_with [ g "keep" Typ.Num (vnum 0.0); g "retype" Typ.Str (vstr "") ]
+  in
+  let store =
+    Store.empty
+    |> Store.write "keep" (vnum 1.0)
+    |> Store.write "retype" (vnum 2.0)
+    |> Store.write "gone" (vnum 3.0)
+  in
+  let store' = Fixup.fixup_store new_code store in
+  Alcotest.(check int) "only one survives" 1 (Store.cardinal store');
+  Alcotest.(check bool) "keep survived" true (Store.mem "keep" store')
+
+let test_p_okay_p_skip () =
+  let new_code = prog_with [ page "start" Typ.unit_; page "detail" Typ.Num ] in
+  let stack =
+    [ ("start", Ast.vunit); ("detail", vnum 1.0); ("gone", Ast.vunit) ]
+  in
+  let stack' = Fixup.fixup_stack new_code stack in
+  Alcotest.(check int) "two survive" 2 (List.length stack');
+  Alcotest.(check (list string))
+    "order preserved" [ "start"; "detail" ] (List.map fst stack')
+
+let test_p_skip_retyped_arg () =
+  (* the page still exists but its argument type changed *)
+  let new_code = prog_with [ page "detail" Typ.Str ] in
+  let stack' = Fixup.fixup_stack new_code [ ("detail", vnum 1.0) ] in
+  Alcotest.(check int) "dropped" 0 (List.length stack')
+
+let test_report () =
+  let new_code = prog_with [ g "keep" Typ.Num (vnum 0.0); page "start" Typ.unit_ ] in
+  let store =
+    Store.empty |> Store.write "keep" (vnum 1.0) |> Store.write "lost" (vnum 2.0)
+  in
+  let stack = [ ("start", Ast.vunit); ("oldpage", Ast.vunit) ] in
+  let _, _, report = Fixup.fixup_with_report new_code store stack in
+  Alcotest.(check (list string)) "dropped globals" [ "lost" ]
+    report.Fixup.dropped_globals;
+  Alcotest.(check (list string)) "dropped pages" [ "oldpage" ]
+    report.Fixup.dropped_pages
+
+(* the theorem the fix-up exists for: the fixed-up state types under
+   the new code *)
+let test_fixup_makes_states_type () =
+  let new_code =
+    prog_with
+      [
+        g "a" Typ.Num (vnum 0.0);
+        g "b" Typ.Str (vstr "");
+        page "start" Typ.unit_;
+        page "detail" Typ.Num;
+      ]
+  in
+  let store =
+    Store.empty
+    |> Store.write "a" (vstr "wrong type now")
+    |> Store.write "b" (vstr "fine")
+    |> Store.write "c" (vnum 1.0)
+  in
+  let stack = [ ("start", Ast.vunit); ("detail", vstr "wrong") ] in
+  let store', stack', _ = Fixup.fixup_with_report new_code store stack in
+  (match State_typing.check_store new_code store' with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "store does not type after fixup: %s" m);
+  match State_typing.check_stack new_code stack' with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "stack does not type after fixup: %s" m
+
+let suite =
+  [
+    case "S-OKAY keeps typed bindings" test_s_okay;
+    case "S-SKIP drops deleted globals" test_s_skip_deleted_global;
+    case "S-SKIP drops retyped globals; reads fall back" test_s_skip_retyped_global;
+    case "mixed store fixup" test_s_mixed;
+    case "P-OKAY / P-SKIP" test_p_okay_p_skip;
+    case "P-SKIP on retyped page argument" test_p_skip_retyped_arg;
+    case "fixup report" test_report;
+    case "fixed-up state types under the new code" test_fixup_makes_states_type;
+  ]

@@ -1,0 +1,79 @@
+(** The persistent FIFO backing the event queue [Q].  Model-checked
+    against plain lists: any sequence of enqueues/dequeues agrees with
+    the list semantics. *)
+
+open Live_core
+
+let test_empty () =
+  Alcotest.(check bool) "is_empty" true (Fqueue.is_empty Fqueue.empty);
+  Alcotest.(check int) "length" 0 (Fqueue.length Fqueue.empty);
+  Alcotest.(check bool)
+    "dequeue" true
+    (Fqueue.dequeue Fqueue.empty = None)
+
+let test_fifo_order () =
+  let q =
+    Fqueue.empty |> Fqueue.enqueue 1 |> Fqueue.enqueue 2 |> Fqueue.enqueue 3
+  in
+  Alcotest.(check (list int)) "to_list oldest first" [ 1; 2; 3 ]
+    (Fqueue.to_list q);
+  match Fqueue.dequeue q with
+  | Some (x, q') ->
+      Alcotest.(check int) "dequeues oldest" 1 x;
+      Alcotest.(check (list int)) "rest" [ 2; 3 ] (Fqueue.to_list q')
+  | None -> Alcotest.fail "dequeue of non-empty queue"
+
+let test_interleaved () =
+  let q = Fqueue.empty |> Fqueue.enqueue "a" |> Fqueue.enqueue "b" in
+  let x, q = Option.get (Fqueue.dequeue q) in
+  let q = Fqueue.enqueue "c" q in
+  let y, q = Option.get (Fqueue.dequeue q) in
+  let z, q = Option.get (Fqueue.dequeue q) in
+  Alcotest.(check (list string)) "order across interleaving" [ "a"; "b"; "c" ]
+    [ x; y; z ];
+  Alcotest.(check bool) "drained" true (Fqueue.is_empty q)
+
+let test_of_list () =
+  Alcotest.(check (list int))
+    "roundtrip" [ 5; 6; 7 ]
+    (Fqueue.to_list (Fqueue.of_list [ 5; 6; 7 ]))
+
+(* model-based property: a random op sequence matches the list model *)
+type op = Enq of int | Deq
+
+let gen_ops : op list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  list_size (int_range 0 60)
+    (frequency [ (3, int_range 0 100 >|= fun n -> Enq n); (2, pure Deq) ])
+
+let prop_model =
+  Helpers.qcheck "agrees with the list model" gen_ops (fun ops ->
+      let rec run q (model : int list) outs_q outs_m = function
+        | [] -> Fqueue.to_list q = model && List.rev outs_q = List.rev outs_m
+        | Enq n :: rest ->
+            run (Fqueue.enqueue n q) (model @ [ n ]) outs_q outs_m rest
+        | Deq :: rest -> (
+            match (Fqueue.dequeue q, model) with
+            | None, [] -> run q model outs_q outs_m rest
+            | Some (x, q'), m :: ms ->
+                run q' ms (x :: outs_q) (m :: outs_m) rest
+            | None, _ :: _ | Some _, [] -> false)
+      in
+      run Fqueue.empty [] [] [] ops)
+
+let prop_length =
+  Helpers.qcheck "length = list length"
+    QCheck2.Gen.(list_size (int_range 0 40) int)
+    (fun xs ->
+      let q = List.fold_left (fun q x -> Fqueue.enqueue x q) Fqueue.empty xs in
+      Fqueue.length q = List.length xs)
+
+let suite =
+  [
+    Helpers.case "empty queue" test_empty;
+    Helpers.case "fifo order" test_fifo_order;
+    Helpers.case "interleaved enqueue/dequeue" test_interleaved;
+    Helpers.case "of_list/to_list" test_of_list;
+    prop_model;
+    prop_length;
+  ]

@@ -1,0 +1,87 @@
+(** Full-frame golden screenshots: the mortgage calculator's two pages
+    (Fig. 1) at width 40 with 3 listings, byte for byte.  Any change
+    to the renderer, layout engine, lowering, evaluator, or the
+    workload itself shows up here as a readable diff. *)
+
+open Live_runtime
+open Helpers
+
+let start_page_golden =
+  "\n\
+  \ House Listings for Sale\n\
+   \n\
+   +--------------------------------------+\n\
+   |                                      |\n\
+   | 808 Maple St                         |\n\
+   | $310000  - Seattle                   |\n\
+   |                                      |\n\
+   +--------------------------------------+\n\
+   +--------------------------------------+\n\
+   |                                      |\n\
+   | 131 River Bend                       |\n\
+   | $730000  - Kirkland                  |\n\
+   |                                      |\n\
+   +--------------------------------------+\n\
+   +--------------------------------------+\n\
+   |                                      |\n\
+   | 100 Hill Crest                       |\n\
+   | $220000  - Bellevue                  |\n\
+   |                                      |\n\
+   +--------------------------------------+\n"
+
+let detail_page_header_golden =
+  "\n\
+  \ 808 Maple St, Seattle\n\
+   \n\
+   price: $310000\n\
+   +------------++-----------+\n\
+   |term: 360 mo|| apr: 4.50%|\n\
+   +------------++-----------+\n\
+   monthly payment: $1570.72\n\
+   year 1   balance: $304998\n"
+
+let detail_page_tail_golden =
+  "year 29  balance: $18397\nyear 30  balance: $0\n"
+
+let app () = live_of ~width:40 (Live_workloads.Mortgage.source ~listings:3 ())
+
+let test_start_page () =
+  Alcotest.(check string) "Fig. 1 left, byte for byte" start_page_golden
+    (Live_session.screenshot (app ()))
+
+let test_detail_page () =
+  let ls = app () in
+  (match Live_session.tap ls ~x:3 ~y:4 with
+  | Ok Session.Tapped -> ()
+  | _ -> Alcotest.fail "tap failed");
+  let shot = Live_session.screenshot ls in
+  let head = String.sub shot 0 (String.length detail_page_header_golden) in
+  Alcotest.(check string) "detail page head" detail_page_header_golden head;
+  let tail =
+    String.sub shot
+      (String.length shot - String.length detail_page_tail_golden)
+      (String.length detail_page_tail_golden)
+  in
+  Alcotest.(check string) "detail page tail" detail_page_tail_golden tail
+
+let test_stability_across_roundtrip () =
+  (* navigating away and back reproduces the golden screen exactly *)
+  let ls = app () in
+  ignore (Live_session.tap ls ~x:3 ~y:4);
+  ignore (Live_session.back ls);
+  Alcotest.(check string) "identical after back" start_page_golden
+    (Live_session.screenshot ls);
+  (* and so does a no-op live edit *)
+  match Live_session.edit ls (Live_workloads.Mortgage.source ~listings:3 ()) with
+  | Ok o ->
+      Alcotest.(check string) "identical after no-op edit" start_page_golden
+        o.Live_session.screenshot
+  | Error e -> Alcotest.failf "edit: %s" (Live_session.error_to_string e)
+
+let suite =
+  [
+    case "Fig. 1 left (full frame)" test_start_page;
+    case "Fig. 1 right (head and tail)" test_detail_page;
+    case "goldens stable across navigation and no-op edits"
+      test_stability_across_roundtrip;
+  ]

@@ -1,0 +1,75 @@
+(** The incremental-rendering optimization (Sec. 5: "reuse box tree
+    elements that have not changed"): transparency (cached and
+    uncached sessions pixel-identical) and effectiveness (row reuse
+    across re-renders). *)
+
+open Live_runtime
+open Helpers
+
+let rows_src n = Live_workloads.Synthetic.flat_rows ~n
+
+let test_transparent_over_interactions () =
+  let plain = session_of ~width:40 (rows_src 30) in
+  let cached = session_of ~width:40 ~incremental:true (rows_src 30) in
+  let check_same what =
+    Alcotest.(check string) what (Session.screenshot plain)
+      (Session.screenshot cached)
+  in
+  check_same "initial render";
+  (* tap row 7 in both: selection highlight moves *)
+  ignore (ok_machine "tap" (Session.tap plain ~x:2 ~y:7));
+  ignore (ok_machine "tap" (Session.tap cached ~x:2 ~y:7));
+  check_same "after tap";
+  ignore (ok_machine "tap" (Session.tap plain ~x:2 ~y:20));
+  ignore (ok_machine "tap" (Session.tap cached ~x:2 ~y:20));
+  check_same "after second tap"
+
+let test_cache_reuses_unchanged_rows () =
+  let s = session_of ~width:40 ~incremental:true (rows_src 50) in
+  ignore (Session.screenshot s);
+  let hits0, misses0 =
+    match Session.cache_stats s with
+    | Some st -> st
+    | None -> Alcotest.fail "expected a cache"
+  in
+  (* tap a row: one row gains the highlight, one loses it; the other 48
+     and their inner boxes are structurally unchanged *)
+  ignore (ok_machine "tap" (Session.tap s ~x:2 ~y:7));
+  ignore (Session.screenshot s);
+  let hits1, misses1 = Option.get (Session.cache_stats s) in
+  let new_hits = hits1 - hits0 and new_misses = misses1 - misses0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "mostly hits (%d hits, %d misses)" new_hits new_misses)
+    true
+    (new_hits > 40 && new_misses < 10)
+
+let test_transparent_across_code_update () =
+  let plain = session_of ~width:40 (rows_src 20) in
+  let cached = session_of ~width:40 ~incremental:true (rows_src 20) in
+  let v2 = (ok_compile (rows_src 25)).core in
+  ignore (ok_machine "update" (Session.update plain v2));
+  ignore (ok_machine "update" (Session.update cached v2));
+  Alcotest.(check string) "after update" (Session.screenshot plain)
+    (Session.screenshot cached)
+
+let test_transparent_on_workloads () =
+  List.iter
+    (fun (name, src) ->
+      let plain = session_of ~width:46 src in
+      let cached = session_of ~width:46 ~incremental:true src in
+      Alcotest.(check string) name (Session.screenshot plain)
+        (Session.screenshot cached))
+    [
+      ("mortgage", Live_workloads.Mortgage.source ~listings:6 ());
+      ("todo", Live_workloads.Todo.source);
+      ("gallery", Live_workloads.Gallery.source);
+      ("nested", Live_workloads.Synthetic.nested ~depth:3 ~fanout:3);
+    ]
+
+let suite =
+  [
+    case "pixel-identical across interactions" test_transparent_over_interactions;
+    case "unchanged rows hit the cache" test_cache_reuses_unchanged_rows;
+    case "pixel-identical across code updates" test_transparent_across_code_update;
+    case "pixel-identical on all workloads" test_transparent_on_workloads;
+  ]

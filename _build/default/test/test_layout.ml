@@ -1,0 +1,205 @@
+(** The layout engine: wrapping, stacking, chrome (margin, padding,
+    border), shrink-vs-stretch sizing, hit-testing, and the layout
+    cache. *)
+
+open Live_core
+open Live_ui
+open Helpers
+
+let leaf s = Boxcontent.Leaf (Ast.VStr s)
+let attr a v = Boxcontent.Attr (a, v)
+let nattr a f = attr a (Ast.VNum f)
+let sattr a s = attr a (Ast.VStr s)
+let box ?id items = Boxcontent.Box (Option.map Srcid.of_int id, items)
+
+let test_wrap_text () =
+  Alcotest.(check (list string)) "fits verbatim" [ "  a b" ]
+    (Layout.wrap_text 10 "  a b");
+  Alcotest.(check (list string)) "wraps at spaces" [ "aa bb"; "cc" ]
+    (Layout.wrap_text 5 "aa bb cc");
+  Alcotest.(check (list string)) "hard-breaks long words" [ "abcde"; "fg" ]
+    (Layout.wrap_text 5 "abcdefg");
+  Alcotest.(check (list string)) "explicit newlines" [ "a"; "b" ]
+    (Layout.wrap_text 10 "a\nb");
+  Alcotest.(check (list string)) "empty" [ "" ] (Layout.wrap_text 5 "")
+
+let test_vertical_stacking () =
+  let root = Layout.layout_page ~width:10 [ box [ leaf "a" ]; box [ leaf "b" ] ] in
+  match root.Layout.items with
+  | [ Layout.Child c1; Layout.Child c2 ] ->
+      Alcotest.(check int) "first at top" 0 c1.Layout.outer.Geometry.y;
+      Alcotest.(check int) "second below" 1 c2.Layout.outer.Geometry.y;
+      (* vertical children stretch *)
+      Alcotest.(check int) "stretch" 10 c1.Layout.frame.Geometry.w
+  | _ -> Alcotest.fail "expected two children"
+
+let test_horizontal_shrink () =
+  let root =
+    Layout.layout_page ~width:20
+      [
+        box
+          [
+            sattr "direction" "horizontal";
+            box [ leaf "ab" ];
+            box [ leaf "cdef" ];
+          ];
+      ]
+  in
+  match root.Layout.items with
+  | [ Layout.Child row ] -> (
+      match row.Layout.items with
+      | [ Layout.Child a; Layout.Child b ] ->
+          Alcotest.(check int) "shrink to text" 2 a.Layout.frame.Geometry.w;
+          Alcotest.(check int) "next starts after" 2 b.Layout.frame.Geometry.x;
+          Alcotest.(check int) "second width" 4 b.Layout.frame.Geometry.w
+      | _ -> Alcotest.fail "expected two row children")
+  | _ -> Alcotest.fail "expected the row"
+
+let test_chrome_geometry () =
+  let root =
+    Layout.layout_page ~width:20
+      [ box [ nattr "margin" 2.0; nattr "padding" 1.0; nattr "border" 1.0; leaf "x" ] ]
+  in
+  match root.Layout.items with
+  | [ Layout.Child c ] ->
+      Alcotest.check rect "outer includes margin"
+        (Geometry.make ~x:0 ~y:0 ~w:20 ~h:9)
+        c.Layout.outer;
+      Alcotest.check rect "frame inset by margin"
+        (Geometry.make ~x:2 ~y:2 ~w:16 ~h:5)
+        c.Layout.frame;
+      Alcotest.check rect "inner inset by border+padding"
+        (Geometry.make ~x:4 ~y:4 ~w:12 ~h:1)
+        c.Layout.inner
+  | _ -> Alcotest.fail "expected one child"
+
+let test_fixed_width_height () =
+  let root =
+    Layout.layout_page ~width:30
+      [ box [ nattr "width" 10.0; nattr "height" 3.0; leaf "x" ] ]
+  in
+  match root.Layout.items with
+  | [ Layout.Child c ] ->
+      Alcotest.(check int) "fixed width" 10 c.Layout.frame.Geometry.w;
+      Alcotest.(check int) "fixed height" 3 c.Layout.frame.Geometry.h
+  | _ -> Alcotest.fail "expected one child"
+
+let test_fontsize_height () =
+  let root =
+    Layout.layout_page ~width:30 [ box [ nattr "fontsize" 2.0; leaf "t" ] ]
+  in
+  match root.Layout.items with
+  | [ Layout.Child c ] ->
+      Alcotest.(check int) "doubled line height" 2 c.Layout.frame.Geometry.h
+  | _ -> Alcotest.fail "expected one child"
+
+let test_text_wrap_in_narrow_box () =
+  let root = Layout.layout_page ~width:6 [ box [ leaf "aa bb cc" ] ] in
+  match root.Layout.items with
+  | [ Layout.Child c ] ->
+      Alcotest.(check int) "two lines" 2 c.Layout.frame.Geometry.h
+  | _ -> Alcotest.fail "expected one child"
+
+let handler = Ast.VLam ("_", Typ.unit_, Ast.eunit)
+
+let tree_with_handlers =
+  [
+    box ~id:1 [ leaf "top"; attr "ontap" handler ];
+    box ~id:2
+      [
+        leaf "outer";
+        box ~id:3 [ leaf "inner"; attr "ontap" handler ];
+      ];
+  ]
+
+let test_hit_testing () =
+  let root = Layout.layout_page ~width:10 tree_with_handlers in
+  (* y=0: first box (leaf "top") *)
+  Alcotest.(check (option int)) "top box"
+    (Some 1)
+    (Option.map Srcid.to_int (Layout.srcid_at root ~x:1 ~y:0));
+  (* y=2: the nested inner box *)
+  Alcotest.(check (option int)) "deepest srcid wins"
+    (Some 3)
+    (Option.map Srcid.to_int (Layout.srcid_at root ~x:1 ~y:2));
+  (* handler lookup at the inner box *)
+  Alcotest.(check bool) "handler found" true
+    (Option.is_some (Layout.handler_at root ~x:1 ~y:2));
+  (* outside everything *)
+  Alcotest.(check bool) "miss" true (Layout.srcid_at root ~x:1 ~y:99 = None)
+
+let test_nodes_at_order () =
+  let root = Layout.layout_page ~width:10 tree_with_handlers in
+  let chain = Layout.nodes_at root ~x:1 ~y:2 in
+  let ids =
+    List.filter_map (fun (n : Layout.node) -> Option.map Srcid.to_int n.Layout.srcid) chain
+  in
+  Alcotest.(check (list int)) "outermost first" [ 2; 3 ] ids
+
+let test_frames_of_srcid () =
+  (* a boxed statement in a loop yields several frames *)
+  let tree = [ box ~id:9 [ leaf "a" ]; box ~id:9 [ leaf "b" ]; box ~id:9 [ leaf "c" ] ] in
+  let root = Layout.layout_page ~width:10 tree in
+  let frames = Layout.frames_of_srcid root (Srcid.of_int 9) in
+  Alcotest.(check int) "all three" 3 (List.length frames);
+  Alcotest.(check (list int)) "stacked"
+    [ 0; 1; 2 ]
+    (List.map (fun (r : Geometry.rect) -> r.Geometry.y) frames)
+
+let test_bpaths () =
+  let root = Layout.layout_page ~width:10 tree_with_handlers in
+  match root.Layout.items with
+  | [ Layout.Child a; Layout.Child b ] -> (
+      Alcotest.(check (list int)) "first" [ 0 ] a.Layout.bpath;
+      Alcotest.(check (list int)) "second" [ 1 ] b.Layout.bpath;
+      match
+        List.filter_map
+          (function Layout.Child c -> Some c | _ -> None)
+          b.Layout.items
+      with
+      | [ inner ] ->
+          Alcotest.(check (list int)) "nested" [ 1; 0 ] inner.Layout.bpath
+      | _ -> Alcotest.fail "expected nested child")
+  | _ -> Alcotest.fail "expected two children"
+
+let test_cache_equivalence () =
+  (* layout with and without the cache is identical *)
+  let tree =
+    List.init 20 (fun i ->
+        box ~id:(i mod 3) [ leaf (Printf.sprintf "row %d" (i mod 5)) ])
+  in
+  let plain = Layout.layout_page ~width:20 tree in
+  let cache = Layout.create_cache () in
+  let cached = Layout.layout_page ~cache ~width:20 tree in
+  let rects n = Layout.fold_nodes (fun acc (m : Layout.node) -> m.Layout.frame :: acc) [] n in
+  Alcotest.(check (list rect)) "same frames" (rects plain) (rects cached);
+  (* repeated rows hit the cache *)
+  let hits, misses = Layout.cache_stats cache in
+  Alcotest.(check bool) "cache was useful" true (hits > 0);
+  Alcotest.(check bool) "some misses" true (misses > 0);
+  (* a second layout of the same content is almost all hits *)
+  let _ = Layout.layout_page ~cache ~width:20 tree in
+  let hits2, misses2 = Layout.cache_stats cache in
+  Alcotest.(check bool) "second pass hits" true (hits2 > hits);
+  Alcotest.(check int) "no new misses" misses2 misses
+
+let test_count_nodes () =
+  let root = Layout.layout_page ~width:10 tree_with_handlers in
+  Alcotest.(check int) "boxes + root" 4 (Layout.count_nodes root)
+
+let suite =
+  [
+    case "wrap_text" test_wrap_text;
+    case "vertical stacking stretches" test_vertical_stacking;
+    case "horizontal stacking shrinks" test_horizontal_shrink;
+    case "margin/padding/border geometry" test_chrome_geometry;
+    case "fixed width and height" test_fixed_width_height;
+    case "fontsize scales line height" test_fontsize_height;
+    case "narrow boxes wrap text" test_text_wrap_in_narrow_box;
+    case "hit-testing" test_hit_testing;
+    case "nodes_at is outermost-first" test_nodes_at_order;
+    case "frames_of_srcid finds loop instances" test_frames_of_srcid;
+    case "box paths" test_bpaths;
+    case "cache is transparent and effective" test_cache_equivalence;
+    case "node counting" test_count_nodes;
+  ]

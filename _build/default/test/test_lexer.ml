@@ -1,0 +1,79 @@
+(** The surface lexer. *)
+
+open Live_surface
+
+let toks src = List.map (fun l -> l.Lexer.tok) (Lexer.tokenize src)
+
+let token = Alcotest.testable (Fmt.of_to_string Token.to_string) Token.equal
+
+let check src expected =
+  Alcotest.(check (list token)) src (expected @ [ Token.EOF ]) (toks src)
+
+let test_numbers () =
+  check "42" [ Token.NUMBER 42.0 ];
+  check "3.14" [ Token.NUMBER 3.14 ];
+  check "1e3" [ Token.NUMBER 1000.0 ];
+  check "2.5e-2" [ Token.NUMBER 0.025 ];
+  (* 1.2.3 lexes as 1.2 then .3 — documented projection caveat *)
+  check "0.5" [ Token.NUMBER 0.5 ]
+
+let test_strings () =
+  check {|"hello"|} [ Token.STRING "hello" ];
+  check {|"a\"b"|} [ Token.STRING {|a"b|} ];
+  check {|"line\nbreak"|} [ Token.STRING "line\nbreak" ];
+  check {|"tab\there"|} [ Token.STRING "tab\there" ];
+  check {|"back\\slash"|} [ Token.STRING {|back\slash|} ];
+  check {|""|} [ Token.STRING "" ]
+
+let test_keywords_vs_idents () =
+  check "boxed boxer" [ Token.KW_BOXED; Token.IDENT "boxer" ];
+  check "if iffy" [ Token.KW_IF; Token.IDENT "iffy" ];
+  check "foo_bar2" [ Token.IDENT "foo_bar2" ];
+  check "number string" [ Token.KW_NUMBER; Token.KW_STRING ]
+
+let test_operators () =
+  check ":= : = ==" [ Token.ASSIGN; Token.COLON; Token.EQ; Token.EQEQ ];
+  check "< <= > >= !=" [ Token.LT; Token.LE; Token.GT; Token.GE; Token.NEQ ];
+  check "+ ++ - * / %"
+    [ Token.PLUS; Token.CONCAT; Token.MINUS; Token.STAR; Token.SLASH;
+      Token.PERCENT ];
+  (* the paper writes string concatenation as || *)
+  check {|"a" || "b"|} [ Token.STRING "a"; Token.CONCAT; Token.STRING "b" ]
+
+let test_comments_and_space () =
+  check "1 // comment to eol\n2" [ Token.NUMBER 1.0; Token.NUMBER 2.0 ];
+  check "  \t\r\n " [];
+  check "a//x\n//y\nb" [ Token.IDENT "a"; Token.IDENT "b" ]
+
+let test_positions () =
+  let l = Lexer.tokenize "ab\n  cd" in
+  match l with
+  | [ a; c; _eof ] ->
+      Alcotest.(check int) "a line" 1 a.Lexer.loc.Loc.start.Loc.line;
+      Alcotest.(check int) "a col" 1 a.Lexer.loc.Loc.start.Loc.col;
+      Alcotest.(check int) "cd line" 2 c.Lexer.loc.Loc.start.Loc.line;
+      Alcotest.(check int) "cd col" 3 c.Lexer.loc.Loc.start.Loc.col
+  | _ -> Alcotest.fail "expected three tokens"
+
+let expect_error src =
+  match Lexer.tokenize src with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.failf "expected a lex error on %S" src
+
+let test_errors () =
+  expect_error {|"unterminated|};
+  expect_error {|"bad \q escape"|};
+  expect_error "a # b";
+  expect_error "a | b";
+  expect_error "!"
+
+let suite =
+  [
+    Helpers.case "numbers" test_numbers;
+    Helpers.case "strings and escapes" test_strings;
+    Helpers.case "keywords vs identifiers" test_keywords_vs_idents;
+    Helpers.case "operators" test_operators;
+    Helpers.case "comments and whitespace" test_comments_and_space;
+    Helpers.case "line/column tracking" test_positions;
+    Helpers.case "lex errors" test_errors;
+  ]

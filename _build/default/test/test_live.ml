@@ -1,0 +1,213 @@
+(** The live-programming experience (Sec. 3): live editing with state
+    preservation, error recovery, direct manipulation — including the
+    paper's three improvements I1-I3 (Sec. 3.1) applied to the running
+    mortgage calculator. *)
+
+open Live_runtime
+open Helpers
+
+(* naive string replace helper *)
+let replace (s : string) (from : string) (into : string) : string =
+  let n = String.length s and m = String.length from in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + m <= n && String.sub s !i m = from then begin
+      Buffer.add_string buf into;
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let test_live_edit_preserves_model () =
+  let ls = live_of ~width:24 Live_workloads.Counter.source in
+  ignore (Live_session.tap ls ~x:2 ~y:1);
+  ignore (Live_session.tap ls ~x:2 ~y:1);
+  check_contains "two taps" (Live_session.screenshot ls) "taps: 2";
+  (* edit the label; the count must survive (the init body does NOT
+     re-run) *)
+  let edited = replace Live_workloads.Counter.source "taps: " "count = " in
+  match Live_session.edit ls edited with
+  | Ok o ->
+      check_contains "new label, old model" o.Live_session.screenshot
+        "count = 2"
+  | Error e -> Alcotest.failf "edit: %s" (Live_session.error_to_string e)
+
+let test_bad_edit_keeps_running () =
+  (* "the program keeps running while the programmer edits their code"
+     — a source that does not compile leaves the old program live *)
+  let ls = live_of ~width:24 Live_workloads.Counter.source in
+  ignore (Live_session.tap ls ~x:2 ~y:1);
+  (match Live_session.edit ls "page start() init { } render { post nope }" with
+  | Error (Live_session.Compile_error _) -> ()
+  | Error e -> Alcotest.failf "unexpected: %s" (Live_session.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected a compile error");
+  check_contains "still running the old code" (Live_session.screenshot ls)
+    "taps: 1";
+  Alcotest.(check bool) "error is recorded" true
+    (Option.is_some (Live_session.last_error ls));
+  (* a subsequent good edit clears it *)
+  (match Live_session.edit ls Live_workloads.Counter.source with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "edit: %s" (Live_session.error_to_string e));
+  Alcotest.(check bool) "error cleared" true
+    (Option.is_none (Live_session.last_error ls))
+
+let test_undo () =
+  let ls = live_of ~width:24 Live_workloads.Counter.source in
+  let v2 = replace Live_workloads.Counter.source "taps: " "n=" in
+  (match Live_session.edit ls v2 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "edit: %s" (Live_session.error_to_string e));
+  check_contains "v2 live" (Live_session.screenshot ls) "n=0";
+  (match Live_session.undo ls with
+  | Some (Ok o) -> check_contains "back to v1" o.Live_session.screenshot "taps: 0"
+  | Some (Error e) -> Alcotest.failf "undo: %s" (Live_session.error_to_string e)
+  | None -> Alcotest.fail "no history");
+  Alcotest.(check bool) "no more history" true (Live_session.undo ls = None)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's Sec. 3.1 walkthrough on the mortgage calculator         *)
+(* ------------------------------------------------------------------ *)
+
+(** Boot the mortgage app and navigate to the detail page, like the
+    programmer in Sec. 2 (steps 4-5 of the conventional cycle). *)
+let open_detail_page () =
+  let ls = live_of ~width:46 (Live_workloads.Mortgage.source ~listings:4 ()) in
+  (* the first listing row sits just below the header *)
+  (match Live_session.tap ls ~x:3 ~y:4 with
+  | Ok Session.Tapped -> ()
+  | Ok Session.No_handler -> Alcotest.fail "no listing at (3,4)"
+  | Error e -> Alcotest.failf "tap: %s" (Live_session.error_to_string e));
+  check_contains "on the detail page" (Live_session.screenshot ls)
+    "monthly payment";
+  ls
+
+let test_i1_margin_by_direct_manipulation () =
+  let ls = live_of ~width:46 (Live_workloads.Mortgage.source ~listings:4 ()) in
+  let before = Live_session.screenshot ls in
+  (* I1: select a listing row in the live view and adjust its margin *)
+  let sel =
+    match Live_session.select_box ls ~x:3 ~y:4 with
+    | Some s -> s
+    | None -> Alcotest.fail "no box at (3,4)"
+  in
+  (match
+     Direct_manipulation.set_attribute ls ~srcid:sel.Navigation.srcid
+       ~attr:"margin" ~value:"1"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "I1: %s" (Direct_manipulation.error_to_string e));
+  let after = Live_session.screenshot ls in
+  Alcotest.(check bool) "view changed" false (String.equal before after);
+  (* the change is enshrined in code *)
+  check_contains "code updated" (Live_session.source ls) "box.margin := 1";
+  (* and the attribute reads back from the display *)
+  let sel2 =
+    match Live_session.select_box ls ~x:4 ~y:5 with
+    | Some s -> s
+    | None -> Alcotest.fail "row lost after I1"
+  in
+  match
+    Direct_manipulation.get_attribute ls ~srcid:sel2.Navigation.srcid
+      ~attr:"margin"
+  with
+  | Some (Live_core.Ast.VNum 1.0) -> ()
+  | other ->
+      Alcotest.failf "margin readback: %s"
+        (match other with
+        | Some v -> Live_core.Pretty.value_to_string v
+        | None -> "<none>")
+
+let test_i2_dollars_and_cents () =
+  let ls = open_detail_page () in
+  check_contains "integer balances before the edit"
+    (Live_session.screenshot ls) "balance: $";
+  (* the paper's exact improvement: floor/round/pad formatting *)
+  (match
+     Live_session.edit ls
+       (Live_workloads.Mortgage.source ~listings:4 ~i2:true ())
+   with
+  | Ok o ->
+      (* the final year amortises to zero: formatted with cents now *)
+      check_contains "cents shown" o.Live_session.screenshot "$0.00";
+      (* still on the detail page: the page stack survived the edit *)
+      check_contains "detail page still open" o.Live_session.screenshot
+        "monthly payment"
+  | Error e -> Alcotest.failf "I2: %s" (Live_session.error_to_string e))
+
+let test_i3_highlight_every_fifth_row () =
+  let ls = open_detail_page () in
+  (match
+     Live_session.edit ls
+       (Live_workloads.Mortgage.source ~listings:4 ~i2:true ~i3:true ())
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "I3: %s" (Live_session.error_to_string e));
+  (* every fifth amortization row now carries the light-blue background
+     in its box attributes *)
+  let display =
+    match Session.display_content (Live_session.session ls) with
+    | Some b -> b
+    | None -> Alcotest.fail "no display"
+  in
+  let rec collect_backgrounds (b : Live_core.Boxcontent.t) acc =
+    List.fold_left
+      (fun acc item ->
+        match item with
+        | Live_core.Boxcontent.Box (_, inner) ->
+            let acc =
+              match Live_core.Boxcontent.own_attr "background" inner with
+              | Some (Live_core.Ast.VStr s) -> s :: acc
+              | _ -> acc
+            in
+            collect_backgrounds inner acc
+        | _ -> acc)
+      acc b
+  in
+  let highlights =
+    List.filter
+      (fun s -> String.equal s "light blue")
+      (collect_backgrounds display [])
+  in
+  (* 30-year mortgage: years 5, 10, 15, 20, 25, 30 *)
+  Alcotest.(check int) "six highlighted rows" 6 (List.length highlights)
+
+let test_term_and_apr_taps_rerender () =
+  (* the detail page's interactive boxes: tapping term cycles it, and
+     the amortization re-renders from the new model *)
+  let ls = open_detail_page () in
+  let before = Live_session.screenshot ls in
+  check_contains "term 360" before "term: 360 mo";
+  (* find the term box: scan for a coordinate whose selection mentions
+     term *)
+  let found = ref false in
+  for y = 0 to 12 do
+    if not !found then
+      match Live_session.select_box ls ~x:3 ~y with
+      | Some sel when contains sel.Navigation.text "term_months" ->
+          found := true;
+          (match Live_session.tap ls ~x:3 ~y with
+          | Ok Session.Tapped -> ()
+          | _ -> Alcotest.fail "term box not tappable")
+      | _ -> ()
+  done;
+  Alcotest.(check bool) "term box found" true !found;
+  check_contains "term cycled" (Live_session.screenshot ls) "term: 120 mo";
+  Alcotest.(check bool) "payment changed" false
+    (String.equal before (Live_session.screenshot ls))
+
+let suite =
+  [
+    case "live edits preserve the model" test_live_edit_preserves_model;
+    case "bad edits keep the old program running" test_bad_edit_keeps_running;
+    case "undo" test_undo;
+    case "I1: margins by direct manipulation" test_i1_margin_by_direct_manipulation;
+    case "I2: dollars and cents, live" test_i2_dollars_and_cents;
+    case "I3: highlight every fifth row, live" test_i3_highlight_every_fifth_row;
+    case "model taps re-render the view" test_term_and_apr_taps_rerender;
+  ]

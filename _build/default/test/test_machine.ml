@@ -1,0 +1,295 @@
+(** The system step relation [->g] (Fig. 9), rule by rule, plus the
+    liveness loop of Sec. 4.2. *)
+
+open Live_core
+open Helpers
+
+let test_startup () =
+  (* (STARTUP): (C, D, S, eps, eps) enqueues [push start ()] *)
+  let st = State.initial (counter_core ()) in
+  let st' = ok_machine "startup" (Machine.startup st) in
+  Alcotest.(check (list event))
+    "queued" [ Event.Push ("start", Ast.vunit) ]
+    (Fqueue.to_list st'.State.queue);
+  Alcotest.(check bool) "display invalidated" false (State.display_valid st');
+  (* not enabled when the stack is non-empty *)
+  let busy = State.push_page "start" Ast.vunit st in
+  match Machine.startup busy with
+  | Error (Machine.Not_enabled _) -> ()
+  | _ -> Alcotest.fail "STARTUP requires an empty stack"
+
+let test_boot_runs_init_then_renders () =
+  let init_body = Ast.Set ("n", num 41.0) in
+  let st = boot (counter_core ~init_body ()) in
+  Alcotest.(check bool) "stable" true (State.is_stable st);
+  Alcotest.(check bool) "display valid" true (State.display_valid st);
+  Alcotest.(check (float 0.0)) "init ran" 41.0 (get_store_num st "n");
+  (* the render body shows the model value *)
+  let b = get_display st in
+  Alcotest.(check (list value))
+    "rendered from the store" [ vnum 41.0 ]
+    (match Boxcontent.children b with
+    | [ (_, inner) ] -> Boxcontent.own_leaves inner
+    | _ -> Alcotest.fail "expected one box")
+
+let test_tap_thunk_rerender () =
+  (* (TAP) enqueues [exec v]; (THUNK) runs it; (RENDER) refreshes *)
+  let st = boot (counter_core ()) in
+  let st = ok_machine "tap" (Machine.tap_first st) in
+  Alcotest.(check bool) "tap invalidates" false (State.display_valid st);
+  Alcotest.(check int) "one event" 1 (Fqueue.length st.State.queue);
+  let st = stable st in
+  Alcotest.(check (float 0.0)) "handler ran" 1.0 (get_store_num st "n");
+  Alcotest.(check bool) "re-rendered" true (State.display_valid st)
+
+let test_tap_requires_valid_display () =
+  let st = boot (counter_core ()) in
+  let st = State.invalidate st in
+  match Machine.tap_first st with
+  | Error (Machine.Not_enabled _) -> ()
+  | _ -> Alcotest.fail "TAP requires a valid display (no taps on stale UI)"
+
+let test_tap_requires_handler_in_display () =
+  (* the TAP premise [ontap = v] ∈ B: a foreign handler is rejected *)
+  let st = boot (counter_core ()) in
+  let foreign = Ast.VLam ("_", Typ.unit_, Ast.eunit) in
+  match Machine.tap st ~handler:foreign with
+  | Error (Machine.Not_enabled _) -> ()
+  | _ -> Alcotest.fail "handler must occur in the display"
+
+let test_back_pop () =
+  (* (BACK) enqueues [pop]; (POP) pops, or no-ops on an empty stack *)
+  let st = boot (counter_core ()) in
+  let st = Machine.back st in
+  let st = stable st in
+  (* popping the only page empties the stack; run_to_stable's STARTUP
+     rule then re-pushes start — the system is always live *)
+  Alcotest.(check int) "stack is back to one page" 1
+    (List.length st.State.stack);
+  Alcotest.(check bool) "stable again" true (State.is_stable st)
+
+let push_pop_core () =
+  (* start page whose handler pushes a detail page with argument 7 *)
+  Program.of_defs
+    [
+      Program.Global { name = "n"; ty = Typ.Num; init = vnum 0.0 };
+      Program.Page
+        {
+          name = "start";
+          arg_ty = Typ.unit_;
+          init = lam "_" Typ.unit_ Ast.eunit;
+          render =
+            lam "_" Typ.unit_
+              (Ast.Boxed
+                 ( Some (Srcid.of_int 1),
+                   Ast.SetAttr
+                     ( "ontap",
+                       lam "_" Typ.unit_ (Ast.Push ("detail", num 7.0)) ) ));
+        };
+      Program.Page
+        {
+          name = "detail";
+          arg_ty = Typ.Num;
+          init = lam "x" Typ.Num (Ast.Set ("n", Ast.Var "x"));
+          render = lam "x" Typ.Num (Ast.Post (Ast.Var "x"));
+        };
+    ]
+
+let test_push_runs_init_and_stacks () =
+  let st = boot (push_pop_core ()) in
+  let st = stable (ok_machine "tap" (Machine.tap_first st)) in
+  Alcotest.(check (list string))
+    "stack" [ "start"; "detail" ]
+    (List.map fst st.State.stack);
+  Alcotest.(check (float 0.0)) "detail's init ran with the argument" 7.0
+    (get_store_num st "n");
+  (* the top page renders *)
+  Alcotest.(check (list value)) "detail rendered" [ vnum 7.0 ]
+    (Boxcontent.own_leaves (get_display st));
+  (* BACK pops back to start *)
+  let st = stable (Machine.back st) in
+  Alcotest.(check (list string)) "popped" [ "start" ] (List.map fst st.State.stack)
+
+let test_update_happy_path () =
+  let st = boot (counter_core ()) in
+  let st = stable (ok_machine "tap" (Machine.tap_first st)) in
+  Alcotest.(check (float 0.0)) "n = 1" 1.0 (get_store_num st "n");
+  (* new code: render shows n doubled; n survives the update *)
+  let new_code =
+    Program.of_defs
+      [
+        Program.Global { name = "n"; ty = Typ.Num; init = vnum 0.0 };
+        Program.Page
+          {
+            name = "start";
+            arg_ty = Typ.unit_;
+            init = lam "_" Typ.unit_ Ast.eunit;
+            render =
+              lam "_" Typ.unit_
+                (Ast.Post (prim "mul" [ Ast.Get "n"; num 2.0 ]));
+          };
+      ]
+  in
+  let st = ok_machine "update" (Machine.update new_code st) in
+  Alcotest.(check bool) "display invalidated" false (State.display_valid st);
+  let st = stable st in
+  Alcotest.(check (float 0.0)) "model survived" 1.0 (get_store_num st "n");
+  Alcotest.(check (list value)) "view from new code" [ vnum 2.0 ]
+    (Boxcontent.own_leaves (get_display st))
+
+let test_update_rejects_ill_typed () =
+  let st = boot (counter_core ()) in
+  let bad =
+    Program.of_defs
+      [
+        Program.Page
+          {
+            name = "start";
+            arg_ty = Typ.unit_;
+            init = lam "_" Typ.unit_ Ast.eunit;
+            render = lam "_" Typ.unit_ (Ast.Get "nope");
+          };
+      ]
+  in
+  match Machine.update bad st with
+  | Error (Machine.Ill_typed _) -> ()
+  | _ -> Alcotest.fail "UPDATE requires C' |- C'"
+
+let test_update_requires_empty_queue () =
+  let st = State.initial (counter_core ()) in
+  let st = State.enqueue Event.Pop st in
+  match Machine.update (counter_core ()) st with
+  | Error (Machine.Not_enabled _) -> ()
+  | _ -> Alcotest.fail "UPDATE requires an empty event queue"
+
+let test_update_drops_deleted_page_and_recovers () =
+  (* delete the page the user is on: fix-up drops it and the system
+     falls back to the start page *)
+  let st = boot (push_pop_core ()) in
+  let st = stable (ok_machine "tap" (Machine.tap_first st)) in
+  Alcotest.(check int) "on detail" 2 (List.length st.State.stack);
+  let without_detail =
+    Program.of_defs
+      [
+        Program.Global { name = "n"; ty = Typ.Num; init = vnum 0.0 };
+        Program.Page
+          {
+            name = "start";
+            arg_ty = Typ.unit_;
+            init = lam "_" Typ.unit_ Ast.eunit;
+            render = lam "_" Typ.unit_ (Ast.Post (str "just start"));
+          };
+      ]
+  in
+  let st = ok_machine "update" (Machine.update without_detail st) in
+  let st = stable st in
+  Alcotest.(check (list string)) "detail dropped" [ "start" ]
+    (List.map fst st.State.stack);
+  Alcotest.(check bool) "still live" true (State.display_valid st)
+
+let test_no_stale_code_after_update () =
+  (* Sec. 4.2: "after a code update, the system contains no stale
+     code" — display and queue are empty, and neither globals nor the
+     page stack can hold function values *)
+  let st = boot (counter_core ()) in
+  let st = stable (ok_machine "tap" (Machine.tap_first st)) in
+  let st' = ok_machine "update" (Machine.update (counter_core ()) st) in
+  Alcotest.(check bool) "display is bottom" false (State.display_valid st');
+  Alcotest.(check bool) "queue empty" true (Fqueue.is_empty st'.State.queue);
+  let no_fun_in_value v =
+    let rec go = function
+      | Ast.VLam _ -> false
+      | Ast.VNum _ | Ast.VStr _ -> true
+      | Ast.VTuple vs | Ast.VList (_, vs) -> List.for_all go vs
+    in
+    go v
+  in
+  Alcotest.(check bool) "no closures in the store" true
+    (List.for_all (fun (_, v) -> no_fun_in_value v) (Store.bindings st'.State.store));
+  Alcotest.(check bool) "no closures in the stack" true
+    (List.for_all (fun (_, v) -> no_fun_in_value v) st'.State.stack)
+
+let test_run_to_stable_diverging_handler () =
+  (* a handler that diverges: the system reports divergence instead of
+     hanging *)
+  let prog =
+    Program.of_defs
+      [
+        Program.Func
+          {
+            name = "loop";
+            ty = Typ.Fn (Typ.unit_, Eff.State, Typ.unit_);
+            body = lam "x" Typ.unit_ (Ast.App (Ast.Fn "loop", Ast.Var "x"));
+          };
+        Program.Page
+          {
+            name = "start";
+            arg_ty = Typ.unit_;
+            init = lam "_" Typ.unit_ Ast.eunit;
+            render =
+              lam "_" Typ.unit_
+                (Ast.SetAttr
+                   ("ontap", lam "_" Typ.unit_ (Ast.App (Ast.Fn "loop", Ast.eunit))));
+          };
+      ]
+  in
+  let st = ok_machine "boot" (Machine.boot prog) in
+  let st = ok_machine "tap" (Machine.tap_first st) in
+  match Machine.run_to_stable ~fuel:50_000 st with
+  | Error Machine.Diverged -> ()
+  | Error e -> Alcotest.failf "unexpected: %s" (Machine.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected divergence"
+
+let test_infinite_push_loop () =
+  (* Sec. 4.2 notes push loops as a source of unbounded event queues *)
+  let prog =
+    Program.of_defs
+      [
+        Program.Page
+          {
+            name = "start";
+            arg_ty = Typ.unit_;
+            init = lam "_" Typ.unit_ (Ast.Push ("start", Ast.eunit));
+            render = lam "_" Typ.unit_ Ast.eunit;
+          };
+      ]
+  in
+  match Machine.boot ~max_steps:1000 prog with
+  | Error Machine.Diverged -> ()
+  | Error e -> Alcotest.failf "unexpected: %s" (Machine.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected a diverging push loop"
+
+let test_transitions_preserve_typing () =
+  let st = boot (push_pop_core ()) in
+  let check_ok st =
+    match State_typing.check_state st with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "state ill-typed: %s" m
+  in
+  check_ok st;
+  let st = stable (ok_machine "tap" (Machine.tap_first st)) in
+  check_ok st;
+  let st = stable (Machine.back st) in
+  check_ok st;
+  let st = ok_machine "update" (Machine.update (push_pop_core ()) st) in
+  check_ok st;
+  check_ok (stable st)
+
+let suite =
+  [
+    case "STARTUP" test_startup;
+    case "boot: init then render" test_boot_runs_init_then_renders;
+    case "TAP -> THUNK -> RENDER" test_tap_thunk_rerender;
+    case "TAP requires a valid display" test_tap_requires_valid_display;
+    case "TAP premise: handler ∈ B" test_tap_requires_handler_in_display;
+    case "BACK / POP on last page restarts" test_back_pop;
+    case "PUSH runs init and stacks the page" test_push_runs_init_and_stacks;
+    case "UPDATE preserves the model, rebuilds the view" test_update_happy_path;
+    case "UPDATE rejects ill-typed code" test_update_rejects_ill_typed;
+    case "UPDATE requires an empty queue" test_update_requires_empty_queue;
+    case "UPDATE drops a deleted page and recovers" test_update_drops_deleted_page_and_recovers;
+    case "no stale code after UPDATE" test_no_stale_code_after_update;
+    case "diverging handler is caught" test_run_to_stable_diverging_handler;
+    case "infinite push loop is caught" test_infinite_push_loop;
+    case "transitions preserve state typing" test_transitions_preserve_typing;
+  ]

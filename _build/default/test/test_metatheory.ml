@@ -1,0 +1,306 @@
+(** Metatheory (Sec. 4.3): preservation and progress, checked by
+    property-based testing over well-typed-by-construction expressions,
+    plus the system-level invariant that arbitrary interleavings of
+    user actions and code updates keep the system state well-typed.
+
+    The generator builds expressions for a target type and effect
+    bound, drawing from every expression former of Fig. 6 (values,
+    applications, tuples, projections, globals, assignment, push/pop,
+    boxed/post/attribute writes) and total primitives; the partial
+    primitives ([head]/[nth]) are excluded, as documented in
+    {!Live_core.Prim}. *)
+
+open Live_core
+open Helpers
+
+let prog =
+  Program.of_defs
+    [
+      Program.Global { name = "gn"; ty = Typ.Num; init = vnum 1.0 };
+      Program.Global { name = "gs"; ty = Typ.Str; init = vstr "s" };
+      Program.Func
+        {
+          name = "inc";
+          ty = Typ.Fn (Typ.Num, Eff.Pure, Typ.Num);
+          body = lam "x" Typ.Num (add (Ast.Var "x") (num 1.0));
+        };
+      Program.Func
+        {
+          name = "poke";
+          ty = Typ.Fn (Typ.Num, Eff.State, Typ.unit_);
+          body = lam "x" Typ.Num (Ast.Set ("gn", Ast.Var "x"));
+        };
+      Program.Func
+        {
+          name = "show";
+          ty = Typ.Fn (Typ.Num, Eff.Render, Typ.unit_);
+          body = lam "x" Typ.Num (Ast.Post (Ast.Var "x"));
+        };
+      Program.Page
+        {
+          name = "start";
+          arg_ty = Typ.unit_;
+          init = lam "_" Typ.unit_ Ast.eunit;
+          render = lam "_" Typ.unit_ (Ast.Post (Ast.Get "gn"));
+        };
+      Program.Page
+        {
+          name = "detail";
+          arg_ty = Typ.Num;
+          init = lam "x" Typ.Num Ast.eunit;
+          render = lam "x" Typ.Num (Ast.Post (Ast.Var "x"));
+        };
+    ]
+
+(** Generate a closed expression of the given type whose least effect
+    is below [eff]. *)
+let rec gen_expr (eff : Eff.t) (ty : Typ.t) (n : int) : Ast.expr QCheck2.Gen.t
+    =
+  let open QCheck2.Gen in
+  let leaf =
+    match ty with
+    | Typ.Num ->
+        oneof
+          [ (float_range (-50.0) 50.0 >|= fun f -> num f); pure (Ast.Get "gn") ]
+    | Typ.Str -> oneof [ (string_size (int_range 0 6) >|= str); pure (Ast.Get "gs") ]
+    | Typ.Tuple ts ->
+        (* recurse with tiny budget *)
+        let rec all = function
+          | [] -> pure []
+          | t :: rest ->
+              gen_expr eff t 1 >>= fun e ->
+              all rest >|= fun es -> e :: es
+        in
+        all ts >|= fun es -> Ast.Tuple es
+    | Typ.List t ->
+        list_size (int_range 0 3) (gen_expr eff t 1) >|= fun es ->
+        List.fold_right
+          (fun e acc -> prim "cons" ~targs:[ t ] [ e; acc ])
+          es
+          (prim "nil" ~targs:[ t ] [])
+    | Typ.Fn (dom, lat, cod) ->
+        gen_expr lat cod 1 >|= fun body -> lam "_" dom body
+  in
+  if n <= 1 then leaf
+  else
+    let sub t = gen_expr eff t (n / 2) in
+    let general =
+      [
+        (* beta redex of the right type *)
+        ( 2,
+          sub Typ.Num >>= fun arg ->
+          sub ty >|= fun body -> Ast.App (lam "_" Typ.Num body, arg) );
+        (* projection from a wider tuple *)
+        ( 1,
+          sub ty >>= fun a ->
+          sub Typ.Num >|= fun b -> Ast.Proj (Ast.Tuple [ a; b ], 1) );
+        (* lazy conditional *)
+        ( 2,
+          sub Typ.Num >>= fun c ->
+          sub ty >>= fun a ->
+          sub ty >|= fun b ->
+          prim "cond" ~targs:[ ty ]
+            [
+              prim "gt" ~targs:[ Typ.Num ] [ c; num 0.0 ];
+              lam "_" Typ.unit_ a;
+              lam "_" Typ.unit_ b;
+            ] );
+      ]
+    in
+    let typed =
+      match ty with
+      | Typ.Num ->
+          [
+            (3, map2 add (sub Typ.Num) (sub Typ.Num));
+            ( 2,
+              map2 (fun a b -> prim "max" [ a; b ]) (sub Typ.Num) (sub Typ.Num)
+            );
+            (2, sub Typ.Num >|= fun a -> Ast.App (Ast.Fn "inc", a));
+            (1, sub Typ.Str >|= fun s -> prim "str_len" [ s ]);
+          ]
+      | Typ.Str ->
+          [
+            ( 3,
+              map2 (fun a b -> prim "concat" [ a; b ]) (sub Typ.Str)
+                (sub Typ.Str) );
+            (2, sub Typ.Num >|= fun a -> prim "str_of" [ a ]);
+          ]
+      | Typ.Tuple [] ->
+          let stateful =
+            if Eff.sub Eff.State eff then
+              [
+                (3, sub Typ.Num >|= fun a -> Ast.Set ("gn", a));
+                (1, sub Typ.Str >|= fun s -> Ast.Set ("gs", s));
+                (1, sub Typ.Num >|= fun a -> Ast.Push ("detail", a));
+                (1, pure Ast.Pop);
+                (2, sub Typ.Num >|= fun a -> Ast.App (Ast.Fn "poke", a));
+              ]
+            else []
+          in
+          let rendering =
+            if Eff.sub Eff.Render eff then
+              [
+                (3, sub Typ.Num >|= fun a -> Ast.Post a);
+                (2, sub Typ.Num >|= fun a -> Ast.SetAttr ("margin", a));
+                ( 2,
+                  sub Typ.unit_ >|= fun body ->
+                  Ast.Boxed (Some (Srcid.of_int 99), body) );
+                (1, sub Typ.Num >|= fun a -> Ast.App (Ast.Fn "show", a));
+              ]
+            else []
+          in
+          stateful @ rendering
+      | _ -> []
+    in
+    frequency ((1, leaf) :: (general @ typed))
+
+let gen_effect = QCheck2.Gen.oneofl [ Eff.Pure; Eff.State; Eff.Render ]
+
+let gen_typed_expr : (Eff.t * Typ.t * Ast.expr) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  gen_effect >>= fun eff ->
+  oneofl
+    [ Typ.Num; Typ.Str; Typ.unit_; Typ.Tuple [ Typ.Num; Typ.Str ] ]
+  >>= fun ty ->
+  int_range 2 24 >>= fun n ->
+  gen_expr eff ty n >|= fun e -> (eff, ty, e)
+
+(* sanity: the generator only produces well-typed terms *)
+let prop_generator_sound =
+  Helpers.qcheck ~count:500 "generated terms are well-typed"
+    gen_typed_expr (fun (eff, ty, e) ->
+      match Typecheck.check prog Typecheck.empty_gamma eff e ty with
+      | Ok () -> true
+      | Error _ -> false)
+
+(* progress: a well-typed non-value can always step *)
+let prop_progress =
+  Helpers.qcheck ~count:500 "progress" gen_typed_expr (fun (eff, _, e) ->
+      let cfg = Eval.cfg_of_store Store.empty in
+      let rec run budget cfg e =
+        budget <= 0
+        ||
+        match Eval.step eff prog cfg e with
+        | Eval.Value -> true
+        | Eval.Next (cfg', e') -> run (budget - 1) cfg' e'
+        | Eval.Wrong m ->
+            QCheck2.Test.fail_reportf "stuck: %s on %s" m
+              (Pretty.expr_to_string e)
+      in
+      run 2_000 cfg e)
+
+(* preservation: every step preserves the type (up to subtyping) and
+   keeps store/queue/display content well-typed *)
+let prop_preservation =
+  Helpers.qcheck ~count:500 "preservation" gen_typed_expr
+    (fun (eff, ty, e) ->
+      let cfg = Eval.cfg_of_store Store.empty in
+      let ok_cfg (cfg : Eval.cfg) =
+        State_typing.check_store prog cfg.Eval.store = Ok ()
+        && State_typing.check_queue prog cfg.Eval.queue = Ok ()
+        && State_typing.check_display prog (State.Shown cfg.Eval.box) = Ok ()
+      in
+      let rec run budget cfg e =
+        budget <= 0
+        ||
+        match Eval.step eff prog cfg e with
+        | Eval.Value -> true
+        | Eval.Wrong _ -> false
+        | Eval.Next (cfg', e') -> (
+            match Typecheck.check prog Typecheck.empty_gamma eff e' ty with
+            | Error m ->
+                QCheck2.Test.fail_reportf
+                  "type not preserved (%s): %s stepped to %s" m
+                  (Pretty.expr_to_string e) (Pretty.expr_to_string e')
+            | Ok () ->
+                if not (ok_cfg cfg') then
+                  QCheck2.Test.fail_reportf "configuration became ill-typed"
+                else run (budget - 1) cfg' e')
+      in
+      run 2_000 cfg e)
+
+(* evaluation agreement at scale: small-step closure = big-step *)
+let prop_agreement =
+  Helpers.qcheck ~count:300 "small-step = big-step on generated terms"
+    gen_typed_expr (fun (eff, _, e) ->
+      let run_big () =
+        match eff with
+        | Eff.Pure -> Some (Eval.eval_pure prog Store.empty e)
+        | Eff.State ->
+            let v, _, _ = Eval.eval_state prog Store.empty Fqueue.empty e in
+            Some v
+        | Eff.Render ->
+            let v, _ = Eval.eval_render prog Store.empty e in
+            Some v
+      in
+      match run_big () with
+      | None -> true
+      | Some big ->
+          let _, small =
+            Eval.run_small eff prog (Eval.cfg_of_store Store.empty) e
+          in
+          (* floats: generated arithmetic is deterministic and shared,
+             so exact equality holds *)
+          Ast.equal_value big small)
+
+(* ------------------------------------------------------------------ *)
+(* System-level: random drivers keep the state well-typed              *)
+(* ------------------------------------------------------------------ *)
+
+type action = Do_tap | Do_back | Do_update of int
+
+let programs =
+  [|
+    prog;
+    counter_core ();
+    counter_core ~init_body:(Ast.Set ("n", num 5.0)) ();
+  |]
+
+let gen_actions : action list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  list_size (int_range 1 25)
+    (frequency
+       [
+         (3, pure Do_tap);
+         (2, pure Do_back);
+         (2, int_range 0 (Array.length programs - 1) >|= fun i -> Do_update i);
+       ])
+
+let prop_system_typing =
+  Helpers.qcheck ~count:100 "random drives keep |- (C,D,S,P,Q)"
+    QCheck2.Gen.(pair (int_range 0 (Array.length programs - 1)) gen_actions)
+    (fun (p0, actions) ->
+      let st = ref (Option.get (Result.to_option (Machine.boot programs.(p0)))) in
+      let apply = function
+        | Do_tap -> (
+            match Machine.tap_first !st with
+            | Ok st' -> (
+                match Machine.run_to_stable st' with
+                | Ok st'' -> st := st''
+                | Error _ -> ())
+            | Error _ -> ())
+        | Do_back -> (
+            match Machine.run_to_stable (Machine.back !st) with
+            | Ok st' -> st := st'
+            | Error _ -> ())
+        | Do_update i -> (
+            match Machine.update programs.(i) !st with
+            | Ok st' -> (
+                match Machine.run_to_stable st' with
+                | Ok st'' -> st := st''
+                | Error _ -> ())
+            | Error _ -> ())
+      in
+      List.iter apply actions;
+      match State_typing.check_state !st with
+      | Ok () -> true
+      | Error m -> QCheck2.Test.fail_reportf "ill-typed after drive: %s" m)
+
+let suite =
+  [
+    prop_generator_sound;
+    prop_progress;
+    prop_preservation;
+    prop_agreement;
+    prop_system_typing;
+  ]

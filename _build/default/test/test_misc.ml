@@ -1,0 +1,148 @@
+(** Small-module coverage: source locations, style interpretation,
+    identifiers, geometry. *)
+
+open Helpers
+
+(* -- Loc ------------------------------------------------------------- *)
+
+let mkpos line col offset = { Live_surface.Loc.line; col; offset }
+
+let test_loc_merge () =
+  let a = Live_surface.Loc.make (mkpos 1 1 0) (mkpos 1 5 4) in
+  let b = Live_surface.Loc.make (mkpos 2 1 10) (mkpos 2 3 12) in
+  let m = Live_surface.Loc.merge a b in
+  Alcotest.(check int) "start" 0 m.Live_surface.Loc.start.Live_surface.Loc.offset;
+  Alcotest.(check int) "stop" 12 m.Live_surface.Loc.stop.Live_surface.Loc.offset;
+  (* merge is commutative *)
+  let m' = Live_surface.Loc.merge b a in
+  Alcotest.(check int) "commutes" m.Live_surface.Loc.stop.Live_surface.Loc.offset
+    m'.Live_surface.Loc.stop.Live_surface.Loc.offset
+
+let test_loc_contains_extract () =
+  let span = Live_surface.Loc.make (mkpos 1 3 2) (mkpos 1 7 6) in
+  Alcotest.(check bool) "inside" true (Live_surface.Loc.contains span ~offset:4);
+  Alcotest.(check bool) "start inclusive" true
+    (Live_surface.Loc.contains span ~offset:2);
+  Alcotest.(check bool) "stop exclusive" false
+    (Live_surface.Loc.contains span ~offset:6);
+  Alcotest.(check string) "extract" "cdef"
+    (Live_surface.Loc.extract "abcdefgh" span);
+  (* extraction clamps out-of-range spans instead of raising *)
+  let wild = Live_surface.Loc.make (mkpos 1 1 0) (mkpos 9 9 999) in
+  Alcotest.(check string) "clamped" "abc" (Live_surface.Loc.extract "abc" wild)
+
+let test_loc_pp () =
+  let same_line = Live_surface.Loc.make (mkpos 3 2 10) (mkpos 3 9 17) in
+  check_contains "single line" (Live_surface.Loc.to_string same_line) "line 3";
+  let multi = Live_surface.Loc.make (mkpos 3 2 10) (mkpos 5 1 30) in
+  check_contains "range" (Live_surface.Loc.to_string multi) "lines 3-5"
+
+(* -- Style ------------------------------------------------------------ *)
+
+let vnum' f = Live_core.Ast.VNum f
+let vstr' s = Live_core.Ast.VStr s
+
+let test_style_last_write_wins () =
+  let st =
+    Live_ui.Style.of_box
+      [
+        Live_core.Boxcontent.Attr ("margin", vnum' 1.0);
+        Live_core.Boxcontent.Attr ("margin", vnum' 4.0);
+      ]
+  in
+  Alcotest.(check int) "margin" 4 st.Live_ui.Style.margin
+
+let test_style_clamping () =
+  let st =
+    Live_ui.Style.of_box
+      [
+        Live_core.Boxcontent.Attr ("margin", vnum' (-3.0));
+        Live_core.Boxcontent.Attr ("fontsize", vnum' 99.0);
+        Live_core.Boxcontent.Attr ("direction", vstr' "sideways");
+        Live_core.Boxcontent.Attr ("align", vstr' "  CENTER ");
+      ]
+  in
+  Alcotest.(check int) "negative margin clamped" 0 st.Live_ui.Style.margin;
+  Alcotest.(check int) "fontsize capped" 4 st.Live_ui.Style.fontsize;
+  Alcotest.(check bool) "bad direction ignored" true
+    (st.Live_ui.Style.direction = Live_ui.Style.Vertical);
+  Alcotest.(check bool) "align parsed case-insensitively" true
+    (st.Live_ui.Style.align = Live_ui.Style.Center)
+
+let test_style_zero_width_resets () =
+  let st =
+    Live_ui.Style.of_box
+      [
+        Live_core.Boxcontent.Attr ("width", vnum' 10.0);
+        Live_core.Boxcontent.Attr ("width", vnum' 0.0);
+      ]
+  in
+  Alcotest.(check bool) "width 0 means auto" true
+    (st.Live_ui.Style.width = None)
+
+let test_style_handler_captured () =
+  let h = Live_core.Ast.VLam ("_", Live_core.Typ.unit_, Live_core.Ast.eunit) in
+  let st =
+    Live_ui.Style.of_box [ Live_core.Boxcontent.Attr ("ontap", h) ]
+  in
+  Alcotest.(check bool) "handler kept" true
+    (match st.Live_ui.Style.handler with Some _ -> true | None -> false)
+
+(* -- Ident ------------------------------------------------------------ *)
+
+let test_fresh_names () =
+  Live_core.Ident.reset_fresh ();
+  let a = Live_core.Ident.fresh "while" in
+  let b = Live_core.Ident.fresh "while" in
+  Alcotest.(check bool) "distinct" false (String.equal a b);
+  Alcotest.(check bool) "marked" true (Live_core.Ident.is_generated a);
+  Alcotest.(check bool) "user names unmarked" false
+    (Live_core.Ident.is_generated "while_loop");
+  (* deterministic after reset *)
+  Live_core.Ident.reset_fresh ();
+  Alcotest.(check string) "reset restarts the sequence" a
+    (Live_core.Ident.fresh "while")
+
+let test_generated_names_unlexable () =
+  (* the lexer rejects '$', so user code cannot name-collide with
+     generated loop functions *)
+  match Live_surface.Lexer.tokenize "$while_1" with
+  | exception Live_surface.Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "'$' must not lex"
+
+(* -- Geometry ---------------------------------------------------------- *)
+
+let test_geometry () =
+  let r = Live_ui.Geometry.make ~x:2 ~y:3 ~w:5 ~h:4 in
+  Alcotest.(check bool) "contains corner" true
+    (Live_ui.Geometry.contains r ~x:2 ~y:3);
+  Alcotest.(check bool) "excludes far edge" false
+    (Live_ui.Geometry.contains r ~x:7 ~y:3);
+  Alcotest.(check int) "area" 20 (Live_ui.Geometry.area r);
+  let i = Live_ui.Geometry.inset r 1 in
+  Alcotest.check rect "inset" (Live_ui.Geometry.make ~x:3 ~y:4 ~w:3 ~h:2) i;
+  let over = Live_ui.Geometry.inset r 10 in
+  Alcotest.(check int) "over-inset collapses" 0 (Live_ui.Geometry.area over);
+  let s = Live_ui.Geometry.make ~x:4 ~y:4 ~w:10 ~h:10 in
+  Alcotest.check rect "intersection"
+    (Live_ui.Geometry.make ~x:4 ~y:4 ~w:3 ~h:3)
+    (Live_ui.Geometry.intersect r s);
+  let far = Live_ui.Geometry.make ~x:50 ~y:50 ~w:2 ~h:2 in
+  Alcotest.(check int) "disjoint intersection is empty" 0
+    (Live_ui.Geometry.area (Live_ui.Geometry.intersect r far));
+  Alcotest.(check bool) "negative size clamped" true
+    (Live_ui.Geometry.make ~x:0 ~y:0 ~w:(-5) ~h:2 = Live_ui.Geometry.make ~x:0 ~y:0 ~w:0 ~h:2)
+
+let suite =
+  [
+    case "loc: merge" test_loc_merge;
+    case "loc: contains and extract" test_loc_contains_extract;
+    case "loc: printing" test_loc_pp;
+    case "style: last write wins" test_style_last_write_wins;
+    case "style: clamping and validation" test_style_clamping;
+    case "style: zero width is auto" test_style_zero_width_resets;
+    case "style: handlers captured" test_style_handler_captured;
+    case "ident: fresh names" test_fresh_names;
+    case "ident: generated names cannot be lexed" test_generated_names_unlexable;
+    case "geometry" test_geometry;
+  ]

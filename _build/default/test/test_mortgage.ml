@@ -1,0 +1,152 @@
+(** The mortgage calculator (Figs. 1, 3, 4, 5): golden screenshots of
+    both pages and the payment mathematics. *)
+
+open Live_runtime
+open Helpers
+
+let boot_app ?(listings = 3) ?(width = 44) ?i1 ?i2 ?i3 () =
+  live_of ~width (Live_workloads.Mortgage.source ~listings ?i1 ?i2 ?i3 ())
+
+let test_start_page_contents () =
+  (* Fig. 1, left: a header and one row per listing *)
+  let ls = boot_app () in
+  let shot = Live_session.screenshot ls in
+  check_contains "header" shot "House Listings for Sale";
+  check_contains "an address" shot "Maple St";
+  check_contains "a price" shot "$";
+  check_contains "a city" shot "Seattle";
+  (* three bordered listing rows *)
+  let borders =
+    List.filter
+      (fun l -> String.length l > 0 && l.[0] = '+')
+      (String.split_on_char '\n' shot)
+  in
+  Alcotest.(check int) "3 rows, 2 border lines each" 6 (List.length borders)
+
+let test_listing_count_scales () =
+  let count_rows n =
+    let ls = boot_app ~listings:n () in
+    match Session.display_content (Live_session.session ls) with
+    | Some b -> (
+        match Live_core.Boxcontent.children b with
+        | [ _header; (_, rows) ] ->
+            List.length (Live_core.Boxcontent.children rows)
+        | _ -> Alcotest.fail "unexpected page structure")
+    | None -> Alcotest.fail "no display"
+  in
+  Alcotest.(check int) "3 listings" 3 (count_rows 3);
+  Alcotest.(check int) "12 listings" 12 (count_rows 12);
+  Alcotest.(check int) "60 listings" 60 (count_rows 60)
+
+let test_detail_page_contents () =
+  (* Fig. 1, right: price, term/apr controls, monthly payment, and the
+     amortization schedule *)
+  let ls = boot_app () in
+  (match Live_session.tap ls ~x:3 ~y:4 with
+  | Ok Session.Tapped -> ()
+  | _ -> Alcotest.fail "listing tap failed");
+  let shot = Live_session.screenshot ls in
+  check_contains "price" shot "price: $";
+  check_contains "term control" shot "term: 360 mo";
+  check_contains "apr control" shot "apr: 4.50%";
+  check_contains "payment" shot "monthly payment: $";
+  check_contains "first year" shot "year 1";
+  check_contains "last year" shot "year 30";
+  (* a 30-year mortgage fully amortises *)
+  check_contains "final balance zero" shot "balance: $0"
+
+let test_payment_math () =
+  (* the standard annuity formula, checked against a known value:
+     $310,000 at 4.5% over 360 months = $1,570.72/month *)
+  let src =
+    {|page start()
+init { }
+render { post fixed(pay(310000, 4.5, 360), 2) }
+fun pay(principal : number, rate : number, months : number) : number {
+  var r := rate / 1200
+  var m := principal / months
+  if r > 0 {
+    m := principal * r / (1 - pow(1 + r, 0 - months))
+  }
+  return m
+}
+|}
+  in
+  let s = session_of ~width:20 src in
+  Alcotest.(check string) "annuity" "1570.72\n" (Session.screenshot s)
+
+let test_zero_rate_payment () =
+  (* at 0% APR the payment is principal/months — the r > 0 guard *)
+  let src =
+    Printf.sprintf
+      "page start()\ninit { }\nrender { post fixed(%s, 2) }\n%s"
+      "pay(12000, 0, 120)"
+      {|fun pay(principal : number, rate : number, months : number) : number {
+  var r := rate / 1200
+  var m := principal / months
+  if r > 0 {
+    m := principal * r / (1 - pow(1 + r, 0 - months))
+  }
+  return m
+}|}
+  in
+  let s = session_of ~width:20 src in
+  Alcotest.(check string) "zero rate" "100.00\n" (Session.screenshot s)
+
+let test_amortization_monotone () =
+  (* balances decrease year over year *)
+  let ls = boot_app () in
+  ignore (Live_session.tap ls ~x:3 ~y:4);
+  let shot = Live_session.screenshot ls in
+  let balances =
+    String.split_on_char '\n' shot
+    |> List.filter_map (fun line ->
+           match String.index_opt line '$' with
+           | Some i when contains line "balance" ->
+               float_of_string_opt
+                 (String.sub line (i + 1) (String.length line - i - 1))
+           | _ -> None)
+  in
+  Alcotest.(check int) "30 rows" 30 (List.length balances);
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone decreasing" true (decreasing balances)
+
+let test_deterministic_listings () =
+  (* the simulated web download is deterministic: two boots agree *)
+  let a = Live_session.screenshot (boot_app ()) in
+  let b = Live_session.screenshot (boot_app ()) in
+  Alcotest.(check string) "same screenshot" a b
+
+let test_back_returns_to_listings () =
+  let ls = boot_app () in
+  let start_shot = Live_session.screenshot ls in
+  ignore (Live_session.tap ls ~x:3 ~y:4);
+  (match Live_session.back ls with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "back: %s" (Live_session.error_to_string e));
+  Alcotest.(check string) "identical start page" start_shot
+    (Live_session.screenshot ls)
+
+let test_i1_margins_change_layout () =
+  let plain = Live_session.screenshot (boot_app ()) in
+  let roomy = Live_session.screenshot (boot_app ~i1:true ()) in
+  Alcotest.(check bool) "margins visible" false (String.equal plain roomy);
+  Alcotest.(check bool) "taller" true
+    (List.length (String.split_on_char '\n' roomy)
+    > List.length (String.split_on_char '\n' plain))
+
+let suite =
+  [
+    case "Fig. 1 left: start page" test_start_page_contents;
+    case "listing count scales" test_listing_count_scales;
+    case "Fig. 1 right: detail page" test_detail_page_contents;
+    case "annuity payment formula" test_payment_math;
+    case "zero-rate guard" test_zero_rate_payment;
+    case "amortization balances decrease" test_amortization_monotone;
+    case "simulated download is deterministic" test_deterministic_listings;
+    case "back returns to identical listings" test_back_returns_to_listings;
+    case "I1 margins change the layout" test_i1_margins_change_layout;
+  ]

@@ -1,0 +1,119 @@
+(** UI-Code Navigation (Sec. 3, Fig. 2): the bidirectional box ↔
+    boxed-statement mapping. *)
+
+open Live_runtime
+open Helpers
+
+let nav_src =
+  {|page start()
+init { }
+render {
+  boxed {
+    post "header"
+  }
+  foreach i in [1, 2, 3] {
+    boxed {
+      post "row " ++ str(i)
+    }
+  }
+}
+|}
+
+let test_live_view_to_code () =
+  let ls = live_of ~width:20 nav_src in
+  (* tapping the header selects its boxed statement... *)
+  match Live_session.select_box ls ~x:1 ~y:0 with
+  | None -> Alcotest.fail "no selection on the header"
+  | Some sel ->
+      check_contains "statement text" sel.Navigation.text "post \"header\"";
+      (* ...and the span points into the source *)
+      let span_text =
+        Live_surface.Loc.extract (Live_session.source ls) sel.Navigation.span
+      in
+      check_contains "span covers the boxed keyword" span_text "boxed"
+
+let test_code_to_live_view_loop () =
+  (* "a selected boxed statement appearing inside a loop corresponds to
+     multiple boxes in the display, which are collectively selected" *)
+  let ls = live_of ~width:20 nav_src in
+  match Live_session.select_box ls ~x:1 ~y:1 with
+  | None -> Alcotest.fail "no selection on a row"
+  | Some sel ->
+      let frames = Live_session.frames_of_stmt ls sel.Navigation.srcid in
+      Alcotest.(check int) "three boxes selected" 3 (List.length frames);
+      (* collectively selected: one frame per loop iteration, stacked *)
+      let ys =
+        List.map (fun (r : Live_ui.Geometry.rect) -> r.Live_ui.Geometry.y) frames
+      in
+      Alcotest.(check (list int)) "stacked rows" [ 1; 2; 3 ] ys
+
+let test_round_trip () =
+  (* box -> statement -> boxes: the original box is among the frames *)
+  let ls = live_of ~width:20 nav_src in
+  match Live_session.select_box ls ~x:1 ~y:2 with
+  | None -> Alcotest.fail "no selection"
+  | Some sel ->
+      let frames = Live_session.frames_of_stmt ls sel.Navigation.srcid in
+      Alcotest.(check bool) "tapped point inside some selected frame" true
+        (List.exists
+           (fun r -> Live_ui.Geometry.contains r ~x:1 ~y:2)
+           frames)
+
+let nested_src =
+  {|page start()
+init { }
+render {
+  boxed {
+    post "outer"
+    boxed {
+      post "inner"
+    }
+  }
+}
+|}
+
+let test_nested_selection_mode () =
+  (* Sec. 5: "the user can tap the same box multiple times to select
+     enclosing boxes" — enclosing_at exposes the chain *)
+  let ls = live_of ~width:20 nested_src in
+  let chain = Live_session.enclosing_boxes ls ~x:1 ~y:1 in
+  Alcotest.(check int) "two enclosing boxed statements" 2 (List.length chain);
+  (match chain with
+  | inner :: outer :: _ ->
+      check_contains "innermost first" inner.Navigation.text "inner";
+      check_contains "then the outer" outer.Navigation.text "outer"
+  | _ -> Alcotest.fail "expected a chain")
+
+let test_selection_survives_recompile_of_same_source () =
+  (* node ids are stable across re-parses of identical source *)
+  let ls = live_of ~width:20 nav_src in
+  let before = Live_session.select_box ls ~x:1 ~y:0 in
+  (match Live_session.edit ls nav_src with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "no-op edit failed: %s" (Live_session.error_to_string e));
+  let after = Live_session.select_box ls ~x:1 ~y:0 in
+  match (before, after) with
+  | Some a, Some b ->
+      Alcotest.(check int) "same srcid"
+        (Live_core.Srcid.to_int a.Navigation.srcid)
+        (Live_core.Srcid.to_int b.Navigation.srcid)
+  | _ -> Alcotest.fail "selection lost"
+
+let test_visible_srcids () =
+  let ls = live_of ~width:20 nav_src in
+  let ids = Navigation.visible_srcids (Live_session.session ls) in
+  (* header box + 3 instances of the loop box (same id) *)
+  Alcotest.(check int) "four boxes" 4 (List.length ids);
+  Alcotest.(check int) "two distinct statements" 2
+    (List.length (List.sort_uniq Live_core.Srcid.compare ids))
+
+let suite =
+  [
+    case "live view -> code" test_live_view_to_code;
+    case "code -> live view (loop multi-selection)" test_code_to_live_view_loop;
+    case "round trip" test_round_trip;
+    case "nested selection mode" test_nested_selection_mode;
+    case "selection stable across identical recompiles"
+      test_selection_survives_recompile_of_same_source;
+    case "visible srcids" test_visible_srcids;
+  ]

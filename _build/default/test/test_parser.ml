@@ -1,0 +1,168 @@
+(** The surface parser: precedence, statement forms, declarations,
+    error reporting. *)
+
+open Live_surface
+
+let parse_e src = Parser.parse_expr_string src
+
+(** Compare expressions structurally, ignoring locations and node ids. *)
+let rec same_expr (a : Sast.expr) (b : Sast.expr) : bool =
+  match (a.desc, b.desc) with
+  | Sast.Num x, Sast.Num y -> Float.equal x y
+  | Sast.Str x, Sast.Str y -> String.equal x y
+  | Sast.Bool x, Sast.Bool y -> x = y
+  | Sast.Ref x, Sast.Ref y -> String.equal x y
+  | Sast.TupleE xs, Sast.TupleE ys | Sast.ListE xs, Sast.ListE ys ->
+      List.length xs = List.length ys && List.for_all2 same_expr xs ys
+  | Sast.ProjE (x, n), Sast.ProjE (y, m) -> n = m && same_expr x y
+  | Sast.Call (f, xs), Sast.Call (g, ys) ->
+      String.equal f g
+      && List.length xs = List.length ys
+      && List.for_all2 same_expr xs ys
+  | Sast.Binop (o1, a1, b1), Sast.Binop (o2, a2, b2) ->
+      o1 = o2 && same_expr a1 a2 && same_expr b1 b2
+  | Sast.Unop (o1, a1), Sast.Unop (o2, a2) -> o1 = o2 && same_expr a1 a2
+  | _ -> false
+
+let check_same src1 src2 =
+  Alcotest.(check bool)
+    (Fmt.str "%s == %s" src1 src2)
+    true
+    (same_expr (parse_e src1) (parse_e src2))
+
+let check_differ src1 src2 =
+  Alcotest.(check bool)
+    (Fmt.str "%s != %s" src1 src2)
+    false
+    (same_expr (parse_e src1) (parse_e src2))
+
+let test_precedence () =
+  check_same "1 + 2 * 3" "1 + (2 * 3)";
+  check_differ "1 + 2 * 3" "(1 + 2) * 3";
+  check_same "1 - 2 - 3" "(1 - 2) - 3";
+  (* left assoc *)
+  check_same "a ++ b ++ c" "a ++ (b ++ c)";
+  check_same "1 + 2 == 3" "(1 + 2) == 3";
+  check_same "not a == b" "not (a == b)";
+  check_same "a and b or c" "(a and b) or c";
+  check_same "not a and b" "(not a) and b";
+  check_same "-x * y" "(-x) * y";
+  check_same "a ++ b == c ++ d" "(a ++ b) == (c ++ d)";
+  check_same "1 + 2 ++ x" "(1 + 2) ++ x"
+
+let test_atoms () =
+  check_same "(1)" "1";
+  check_same "((x))" "x";
+  check_differ "(1, 2)" "1";
+  check_same "f(1, 2).1" "(f(1, 2)).1";
+  (* caveat: ".1.2" lexes as the number 1.2, so chained projection
+     needs parentheses — (x.1).2 *)
+  (match Parser.parse_expr_string "x.1.2" with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail "x.1.2 should require parentheses");
+  check_same "(x.1).2" "(x.1).2"
+
+let test_tuple_and_list () =
+  (match (parse_e "()").desc with
+  | Sast.TupleE [] -> ()
+  | _ -> Alcotest.fail "unit literal");
+  (match (parse_e "(1, 2, 3)").desc with
+  | Sast.TupleE [ _; _; _ ] -> ()
+  | _ -> Alcotest.fail "triple");
+  (match (parse_e "[]").desc with
+  | Sast.ListE [] -> ()
+  | _ -> Alcotest.fail "empty list");
+  match (parse_e "[1, 2]").desc with
+  | Sast.ListE [ _; _ ] -> ()
+  | _ -> Alcotest.fail "list of two"
+
+let parse_p src = Parser.parse_program src
+
+let test_program_decls () =
+  let p =
+    parse_p
+      {|global g : number = 1
+        fun f(x : number) : number { return x }
+        page start() init { } render { }|}
+  in
+  Alcotest.(check (list string))
+    "decl names" [ "g"; "f"; "start" ]
+    (List.map Sast.decl_name p.Sast.decls)
+
+let test_statement_forms () =
+  let p =
+    parse_p
+      {|page start()
+        init {
+          var x := 1
+          x := x + 1
+          g_write()
+          pop
+        }
+        render {
+          boxed {
+            box.margin := 2
+            post "hi"
+            on tapped { pop }
+          }
+          if 1 { post "a" } else if 0 { post "b" } else { post "c" }
+          while 0 { post "w" }
+          foreach y in [1] { post y }
+          for i from 0 to 3 { post i }
+          push start()
+        }
+        fun g_write() { }|}
+  in
+  let count = Sast.fold_stmts (fun n _ -> n + 1) 0 p in
+  Alcotest.(check bool) "parsed many statements" true (count >= 15)
+
+let test_srcids_unique () =
+  let p = parse_p (Live_workloads.Mortgage.source ()) in
+  let ids = Sast.fold_stmts (fun acc s -> s.Sast.sid :: acc) [] p in
+  let sorted = List.sort_uniq Int.compare ids in
+  Alcotest.(check int) "unique" (List.length ids) (List.length sorted)
+
+let test_reparse_stable_ids () =
+  (* identical source yields identical statement ids — what keeps the
+     box ↔ code map stable across no-op recompiles *)
+  let src = Live_workloads.Todo.source in
+  let ids p = Sast.fold_stmts (fun acc s -> s.Sast.sid :: acc) [] p in
+  Alcotest.(check (list int))
+    "stable" (ids (parse_p src)) (ids (parse_p src))
+
+let expect_error src =
+  match Parser.parse_program src with
+  | exception Parser.Error _ -> ()
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.failf "expected a parse error on %S" src
+
+let test_errors () =
+  expect_error "page start() init { render { }";
+  (* missing brace *)
+  expect_error "global g = 1";
+  (* missing type *)
+  expect_error "fun f( { }";
+  expect_error "page start() render { }";
+  (* missing init *)
+  expect_error "page start() init { } render { post }";
+  expect_error "xyzzy";
+  expect_error "page start() init { } render { box margin := 1 }"
+
+let test_error_location () =
+  match Parser.parse_program "page start()\ninit { }\nrender { post }" with
+  | exception Parser.Error (_, loc) ->
+      Alcotest.(check int) "line" 3 loc.Loc.start.Loc.line
+  | _ -> Alcotest.fail "expected error"
+
+let suite =
+  [
+    Helpers.case "operator precedence" test_precedence;
+    Helpers.case "atoms and grouping" test_atoms;
+    Helpers.case "tuples and lists" test_tuple_and_list;
+    Helpers.case "declarations" test_program_decls;
+    Helpers.case "statement forms" test_statement_forms;
+    Helpers.case "statement ids are unique" test_srcids_unique;
+    Helpers.case "re-parsing is id-stable" test_reparse_stable_ids;
+    Helpers.case "parse errors" test_errors;
+    Helpers.case "errors carry locations" test_error_location;
+  ]

@@ -1,0 +1,250 @@
+(** Primitive typing and delta-rules.  Every primitive gets at least
+    one behavioural test; soundness (delta result matches declared
+    type) is property-checked per family. *)
+
+open Live_core
+open Helpers
+
+let run name ?(targs = []) args =
+  match Prim.delta name targs args with
+  | Ok (Ast.Val v) -> v
+  | Ok e -> (
+      (* cond returns a residual application; finish it purely *)
+      match Eval.eval_pure Program.empty Store.empty e with
+      | v -> v)
+  | Error m -> Alcotest.failf "%%%s stuck: %s" name m
+
+let n = vnum
+let s = vstr
+
+let check_num name ?targs args expected =
+  Alcotest.check value name (n expected) (run name ?targs args)
+
+let check_str name ?targs args expected =
+  Alcotest.check value name (s expected) (run name ?targs args)
+
+let test_arithmetic () =
+  check_num "add" [ n 2.0; n 3.0 ] 5.0;
+  check_num "sub" [ n 2.0; n 3.0 ] (-1.0);
+  check_num "mul" [ n 4.0; n 2.5 ] 10.0;
+  check_num "div" [ n 9.0; n 2.0 ] 4.5;
+  check_num "pow" [ n 2.0; n 10.0 ] 1024.0;
+  check_num "min" [ n 2.0; n 3.0 ] 2.0;
+  check_num "max" [ n 2.0; n 3.0 ] 3.0;
+  check_num "neg" [ n 2.0 ] (-2.0);
+  check_num "floor" [ n 2.7 ] 2.0;
+  check_num "ceil" [ n 2.1 ] 3.0;
+  check_num "round" [ n 2.5 ] 3.0;
+  check_num "abs" [ n (-2.0) ] 2.0;
+  check_num "sqrt" [ n 16.0 ] 4.0;
+  check_num "exp" [ n 0.0 ] 1.0;
+  check_num "ln" [ n 1.0 ] 0.0
+
+let test_mod_sign () =
+  (* math->mod: result carries the divisor's sign *)
+  check_num "mod" [ n 7.0; n 3.0 ] 1.0;
+  check_num "mod" [ n (-7.0); n 3.0 ] 2.0;
+  check_num "mod" [ n 7.0; n (-3.0) ] (-2.0);
+  match run "mod" [ n 7.0; n 0.0 ] with
+  | Ast.VNum f -> Alcotest.(check bool) "mod by zero is nan" true (Float.is_nan f)
+  | _ -> Alcotest.fail "mod returned a non-number"
+
+let test_comparisons () =
+  let t = Typ.Num in
+  check_num "eq" ~targs:[ t ] [ n 2.0; n 2.0 ] 1.0;
+  check_num "eq" ~targs:[ t ] [ n 2.0; n 3.0 ] 0.0;
+  check_num "ne" ~targs:[ t ] [ n 2.0; n 3.0 ] 1.0;
+  check_num "lt" ~targs:[ t ] [ n 2.0; n 3.0 ] 1.0;
+  check_num "le" ~targs:[ t ] [ n 3.0; n 3.0 ] 1.0;
+  check_num "gt" ~targs:[ t ] [ n 2.0; n 3.0 ] 0.0;
+  check_num "ge" ~targs:[ t ] [ n 2.0; n 3.0 ] 0.0;
+  (* string ordering is lexicographic *)
+  check_num "lt" ~targs:[ Typ.Str ] [ s "abc"; s "abd" ] 1.0;
+  (* generic equality on structured values *)
+  check_num "eq"
+    ~targs:[ Typ.Tuple [ Typ.Num; Typ.Str ] ]
+    [ Ast.VTuple [ n 1.0; s "a" ]; Ast.VTuple [ n 1.0; s "a" ] ]
+    1.0;
+  check_num "eq"
+    ~targs:[ Typ.List Typ.Num ]
+    [ Ast.VList (Typ.Num, [ n 1.0 ]); Ast.VList (Typ.Num, []) ]
+    0.0
+
+let test_cond_laziness () =
+  (* cond must apply only the selected thunk: the untaken branch would
+     get stuck (unbound variable), so taking it would fail the test *)
+  let stuck_branch = Ast.VLam ("_", Typ.unit_, Ast.Var "boom") in
+  let ok_branch = Ast.VLam ("_", Typ.unit_, num 42.0) in
+  check_num "cond" ~targs:[ Typ.Num ]
+    [ n 1.0; ok_branch; stuck_branch ]
+    42.0;
+  check_num "cond" ~targs:[ Typ.Num ]
+    [ n 0.0; stuck_branch; ok_branch ]
+    42.0
+
+let test_strings () =
+  check_str "concat" [ s "foo"; s "bar" ] "foobar";
+  check_num "str_len" [ s "hello" ] 5.0;
+  check_str "substr" [ s "hello"; n 1.0; n 3.0 ] "ell";
+  check_str "substr" [ s "hello"; n 3.0; n 99.0 ] "lo";
+  check_num "str_index" [ s "hello"; s "ll" ] 2.0;
+  check_num "str_index" [ s "hello"; s "zz" ] (-1.0);
+  check_num "str_contains" [ s "hello"; s "ell" ] 1.0;
+  check_str "str_repeat" [ s "ab"; n 3.0 ] "ababab";
+  check_str "to_upper" [ s "MiXed" ] "MIXED";
+  check_str "to_lower" [ s "MiXed" ] "mixed";
+  check_str "trim" [ s "  x  " ] "x";
+  check_str "char_at" [ s "abc"; n 1.0 ] "b";
+  check_str "char_at" [ s "abc"; n 9.0 ] "";
+  check_str "str_of" [ n 42.0 ] "42";
+  check_str "str_of" [ n 2.5 ] "2.5";
+  check_num "num_of" [ s " 3.5 " ] 3.5;
+  check_str "fmt_fixed" [ n 3.14159; n 2.0 ] "3.14";
+  check_str "fmt_fixed" [ n 2.0; n 2.0 ] "2.00";
+  check_str "pad_left" [ s "7"; n 3.0; s "0" ] "007";
+  check_str "pad_right" [ s "ab"; n 4.0; s "." ] "ab..";
+  Alcotest.check value "split"
+    (Ast.VList (Typ.Str, [ s "a"; s "b"; s "c" ]))
+    (run "split" [ s "a,b,c"; s "," ])
+
+let test_num_of_garbage () =
+  match run "num_of" [ s "not a number" ] with
+  | Ast.VNum f -> Alcotest.(check bool) "nan" true (Float.is_nan f)
+  | _ -> Alcotest.fail "num_of returned a non-number"
+
+let nums xs = Ast.VList (Typ.Num, List.map n xs)
+
+let test_lists () =
+  let t = [ Typ.Num ] in
+  Alcotest.check value "nil" (nums []) (run "nil" ~targs:t []);
+  Alcotest.check value "cons" (nums [ 1.0; 2.0 ])
+    (run "cons" ~targs:t [ n 1.0; nums [ 2.0 ] ]);
+  Alcotest.check value "snoc" (nums [ 1.0; 2.0 ])
+    (run "snoc" ~targs:t [ nums [ 1.0 ]; n 2.0 ]);
+  Alcotest.check value "append" (nums [ 1.0; 2.0; 3.0 ])
+    (run "append" ~targs:t [ nums [ 1.0 ]; nums [ 2.0; 3.0 ] ]);
+  check_num "len" ~targs:t [ nums [ 1.0; 2.0; 3.0 ] ] 3.0;
+  check_num "nth" ~targs:t [ nums [ 5.0; 6.0 ]; n 1.0 ] 6.0;
+  check_num "head" ~targs:t [ nums [ 5.0; 6.0 ] ] 5.0;
+  Alcotest.check value "tail" (nums [ 6.0 ])
+    (run "tail" ~targs:t [ nums [ 5.0; 6.0 ] ]);
+  Alcotest.check value "tail of empty" (nums [])
+    (run "tail" ~targs:t [ nums [] ]);
+  Alcotest.check value "rev" (nums [ 2.0; 1.0 ])
+    (run "rev" ~targs:t [ nums [ 1.0; 2.0 ] ]);
+  Alcotest.check value "take" (nums [ 1.0; 2.0 ])
+    (run "take" ~targs:t [ nums [ 1.0; 2.0; 3.0 ]; n 2.0 ]);
+  Alcotest.check value "drop" (nums [ 3.0 ])
+    (run "drop" ~targs:t [ nums [ 1.0; 2.0; 3.0 ]; n 2.0 ]);
+  Alcotest.check value "set_nth" (nums [ 1.0; 9.0 ])
+    (run "set_nth" ~targs:t [ nums [ 1.0; 2.0 ]; n 1.0; n 9.0 ]);
+  Alcotest.check value "set_nth out of range is identity"
+    (nums [ 1.0; 2.0 ])
+    (run "set_nth" ~targs:t [ nums [ 1.0; 2.0 ]; n 7.0; n 9.0 ]);
+  Alcotest.check value "range" (nums [ 2.0; 3.0; 4.0 ])
+    (run "range" [ n 2.0; n 5.0 ]);
+  Alcotest.check value "empty range" (nums []) (run "range" [ n 5.0; n 2.0 ]);
+  check_num "list_contains" ~targs:t [ nums [ 1.0; 2.0 ]; n 2.0 ] 1.0;
+  check_num "index_of" ~targs:t [ nums [ 4.0; 5.0; 6.0 ]; n 6.0 ] 2.0;
+  Alcotest.check value "index_of missing" (n (-1.0))
+    (run "index_of" ~targs:t [ nums []; n 6.0 ])
+
+let test_partial_prims_stuck () =
+  (* head/nth on empty lists are the documented partial delta-rules *)
+  (match Prim.delta "head" [ Typ.Num ] [ nums [] ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "head of empty list should be stuck");
+  match Prim.delta "nth" [ Typ.Num ] [ nums []; n 0.0 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nth out of bounds should be stuck"
+
+let test_rand_deterministic () =
+  let a = run "rand2" [ n 1.0; n 2.0 ] in
+  let b = run "rand2" [ n 1.0; n 2.0 ] in
+  Alcotest.check value "same seed same value" a b;
+  let c = run "rand2" [ n 1.0; n 3.0 ] in
+  Alcotest.(check bool) "different seed different value" false
+    (Ast.equal_value a c);
+  match a with
+  | Ast.VNum f ->
+      Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  | _ -> Alcotest.fail "rand2 returned a non-number"
+
+let test_typing_rejects () =
+  let bad name targs argtys =
+    match Prim.typing name targs argtys with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%%%s should be ill-typed" name
+  in
+  bad "add" [] [ Typ.Num; Typ.Str ];
+  bad "concat" [] [ Typ.Num; Typ.Num ];
+  bad "cond" [ Typ.Num ] [ Typ.Num; Typ.Num; Typ.Num ];
+  bad "eq" [ Typ.handler ] [ Typ.handler; Typ.handler ];
+  (* arrow types have no equality *)
+  bad "nth" [ Typ.Num ] [ Typ.List Typ.Str; Typ.Num ];
+  bad "nosuchprim" [] []
+
+let test_cond_effect_join () =
+  (* cond's latent effect is the join of its branches; state+render has
+     no join *)
+  let th mu = Typ.Fn (Typ.unit_, mu, Typ.unit_) in
+  (match Prim.typing "cond" [ Typ.unit_ ] [ Typ.Num; th Eff.State; th Eff.Render ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "state/render branches must not join");
+  match Prim.typing "cond" [ Typ.unit_ ] [ Typ.Num; th Eff.Pure; th Eff.State ] with
+  | Ok { Prim.eff; _ } -> Alcotest.check Helpers.eff "join" Eff.State eff
+  | Error m -> Alcotest.fail m
+
+(* soundness: for random binary arithmetic the result is a number *)
+let prop_arith_sound =
+  Helpers.qcheck "arithmetic delta returns numbers"
+    QCheck2.Gen.(
+      triple
+        (oneofl [ "add"; "sub"; "mul"; "div"; "pow"; "min"; "max"; "mod" ])
+        (float_range (-1e6) 1e6)
+        (float_range (-1e6) 1e6))
+    (fun (name, a, b) ->
+      match Prim.delta name [] [ vnum a; vnum b ] with
+      | Ok (Ast.Val (Ast.VNum _)) -> true
+      | _ -> false)
+
+let prop_string_roundtrip =
+  Helpers.qcheck "num_of (str_of n) = n for integers"
+    QCheck2.Gen.(int_range (-100000) 100000)
+    (fun i ->
+      let f = float_of_int i in
+      match run "num_of" [ run "str_of" [ vnum f ] ] with
+      | Ast.VNum g -> Float.equal f g
+      | _ -> false)
+
+let prop_list_ops =
+  Helpers.qcheck "rev (rev l) = l; len (append a b) = len a + len b"
+    QCheck2.Gen.(pair (list_size (int_range 0 20) (float_range 0. 100.))
+                   (list_size (int_range 0 20) (float_range 0. 100.)))
+    (fun (a, b) ->
+      let la = nums a and lb = nums b in
+      let targs = [ Typ.Num ] in
+      let rev l = run "rev" ~targs [ l ] in
+      Ast.equal_value la (rev (rev la))
+      &&
+      match run "len" ~targs [ run "append" ~targs [ la; lb ] ] with
+      | Ast.VNum f -> int_of_float f = List.length a + List.length b
+      | _ -> false)
+
+let suite =
+  [
+    case "arithmetic" test_arithmetic;
+    case "mod follows the divisor's sign" test_mod_sign;
+    case "comparisons" test_comparisons;
+    case "cond is lazy" test_cond_laziness;
+    case "strings" test_strings;
+    case "num_of on garbage is nan" test_num_of_garbage;
+    case "lists" test_lists;
+    case "partial primitives are stuck, not wrong" test_partial_prims_stuck;
+    case "rand2 is deterministic" test_rand_deterministic;
+    case "ill-typed instantiations rejected" test_typing_rejects;
+    case "cond joins branch effects" test_cond_effect_join;
+    prop_arith_sound;
+    prop_string_roundtrip;
+    prop_list_ops;
+  ]

@@ -1,0 +1,139 @@
+(** The source printer: [parse (print p)] must equal [p] up to
+    locations and node ids — the property direct manipulation relies
+    on to write code back without corrupting the program. *)
+
+open Live_surface
+
+(* structural program equality, ignoring locations and ids *)
+let rec same_expr (a : Sast.expr) (b : Sast.expr) =
+  match (a.desc, b.desc) with
+  | Sast.Num x, Sast.Num y -> Float.equal x y
+  | Sast.Str x, Sast.Str y -> String.equal x y
+  | Sast.Bool x, Sast.Bool y -> x = y
+  | Sast.Ref x, Sast.Ref y -> String.equal x y
+  | Sast.TupleE xs, Sast.TupleE ys | Sast.ListE xs, Sast.ListE ys ->
+      List.length xs = List.length ys && List.for_all2 same_expr xs ys
+  | Sast.ProjE (x, n), Sast.ProjE (y, m) -> n = m && same_expr x y
+  | Sast.Call (f, xs), Sast.Call (g, ys) ->
+      String.equal f g
+      && List.length xs = List.length ys
+      && List.for_all2 same_expr xs ys
+  | Sast.Binop (o1, a1, b1), Sast.Binop (o2, a2, b2) ->
+      o1 = o2 && same_expr a1 a2 && same_expr b1 b2
+  | Sast.Unop (o1, a1), Sast.Unop (o2, a2) -> o1 = o2 && same_expr a1 a2
+  | _ -> false
+
+let rec same_stmt (a : Sast.stmt) (b : Sast.stmt) =
+  match (a.sdesc, b.sdesc) with
+  | Sast.SVar (x, e), Sast.SVar (y, f) -> x = y && same_expr e f
+  | Sast.SAssign (x, e), Sast.SAssign (y, f) -> x = y && same_expr e f
+  | Sast.SAttr (x, e), Sast.SAttr (y, f) -> x = y && same_expr e f
+  | Sast.SIf (c1, t1, e1), Sast.SIf (c2, t2, e2) ->
+      same_expr c1 c2 && same_block t1 t2 && same_block e1 e2
+  | Sast.SWhile (c1, b1), Sast.SWhile (c2, b2) ->
+      same_expr c1 c2 && same_block b1 b2
+  | Sast.SForeach (x1, e1, b1), Sast.SForeach (x2, e2, b2) ->
+      x1 = x2 && same_expr e1 e2 && same_block b1 b2
+  | Sast.SFor (x1, a1, c1, b1), Sast.SFor (x2, a2, c2, b2) ->
+      x1 = x2 && same_expr a1 a2 && same_expr c1 c2 && same_block b1 b2
+  | Sast.SBoxed b1, Sast.SBoxed b2 -> same_block b1 b2
+  | Sast.SPost e, Sast.SPost f -> same_expr e f
+  | Sast.SOn (x, b1), Sast.SOn (y, b2) -> x = y && same_block b1 b2
+  | Sast.SPush (p1, a1), Sast.SPush (p2, a2) ->
+      p1 = p2 && List.length a1 = List.length a2 && List.for_all2 same_expr a1 a2
+  | Sast.SPop, Sast.SPop -> true
+  | Sast.SReturn e, Sast.SReturn f -> same_expr e f
+  | Sast.SExpr e, Sast.SExpr f -> same_expr e f
+  | _ -> false
+
+and same_block a b =
+  List.length a = List.length b && List.for_all2 same_stmt a b
+
+let same_decl (a : Sast.decl) (b : Sast.decl) =
+  match (a, b) with
+  | Sast.DGlobal g1, Sast.DGlobal g2 ->
+      g1.name = g2.name
+      && Sast.ty_equal g1.gty g2.gty
+      && same_expr g1.init g2.init
+  | Sast.DFun f1, Sast.DFun f2 ->
+      f1.name = f2.name
+      && List.length f1.params = List.length f2.params
+      && List.for_all2
+           (fun (x, t) (y, u) -> x = y && Sast.ty_equal t u)
+           f1.params f2.params
+      && Option.equal Sast.ty_equal f1.ret f2.ret
+      && same_block f1.body f2.body
+  | Sast.DPage p1, Sast.DPage p2 ->
+      p1.name = p2.name
+      && List.length p1.params = List.length p2.params
+      && List.for_all2
+           (fun (x, t) (y, u) -> x = y && Sast.ty_equal t u)
+           p1.params p2.params
+      && same_block p1.pinit p2.pinit
+      && same_block p1.prender p2.prender
+  | _ -> false
+
+let same_program (a : Sast.program) (b : Sast.program) =
+  List.length a.decls = List.length b.decls
+  && List.for_all2 same_decl a.decls b.decls
+
+let roundtrip name src =
+  let p = Parser.parse_program src in
+  let printed = Printer.program_to_string p in
+  let p' =
+    try Parser.parse_program printed
+    with Parser.Error (m, _) | Lexer.Error (m, _) ->
+      Alcotest.failf "%s: printed source does not re-parse (%s):\n%s" name m
+        printed
+  in
+  if not (same_program p p') then
+    Alcotest.failf "%s: round-trip changed the program:\n%s" name printed
+
+let test_roundtrip_workloads () =
+  roundtrip "mortgage" (Live_workloads.Mortgage.source ());
+  roundtrip "mortgage i1 i2 i3"
+    (Live_workloads.Mortgage.source ~i1:true ~i2:true ~i3:true ());
+  roundtrip "counter" Live_workloads.Counter.source;
+  roundtrip "todo" Live_workloads.Todo.source;
+  roundtrip "gallery" Live_workloads.Gallery.source;
+  roundtrip "flat" (Live_workloads.Synthetic.flat_rows ~n:3);
+  roundtrip "nested" (Live_workloads.Synthetic.nested ~depth:2 ~fanout:2);
+  roundtrip "chain" (Live_workloads.Synthetic.page_chain ~n:3)
+
+let test_roundtrip_twice_is_fixpoint () =
+  (* print . parse . print = print: formatting is canonical *)
+  let src = Live_workloads.Mortgage.source ~i3:true () in
+  let once = Printer.program_to_string (Parser.parse_program src) in
+  let twice = Printer.program_to_string (Parser.parse_program once) in
+  Alcotest.(check string) "fixpoint" once twice
+
+let test_expr_parens () =
+  let rt s = Printer.expr_str (Parser.parse_expr_string s) in
+  Alcotest.(check string) "precedence kept" "1 + 2 * 3" (rt "1 + 2 * 3");
+  Alcotest.(check string) "parens kept when needed" "(1 + 2) * 3"
+    (rt "(1 + 2) * 3");
+  Alcotest.(check string) "redundant parens dropped" "1 + 2" (rt "(1) + (2)");
+  Alcotest.(check string) "unary minus" "-x" (rt "-x");
+  Alcotest.(check string) "not binds loosely, parens unneeded" "not a == b"
+    (rt "not a == b");
+  Alcotest.(check string) "not around and needs parens" "not (a and b)"
+    (rt "not (a and b)");
+  Alcotest.(check string) "string escapes" {|"a\"b\n"|} (rt {|"a\"b\n"|})
+
+let test_edge_cases () =
+  roundtrip "empty bodies" "page start() init { } render { }";
+  roundtrip "else-if chain"
+    {|page start() init { } render {
+  if 1 { post 1 } else if 2 { post 2 } else { post 3 }
+}|};
+  roundtrip "negative literal global" "global g : number = -3\npage start() init { } render { }";
+  roundtrip "nested lists"
+    "global g : [[number]] = [[1], [2, 3]]\npage start() init { } render { }"
+
+let suite =
+  [
+    Helpers.case "round-trip on all workloads" test_roundtrip_workloads;
+    Helpers.case "printing is canonical" test_roundtrip_twice_is_fixpoint;
+    Helpers.case "expression parenthesisation" test_expr_parens;
+    Helpers.case "edge cases" test_edge_cases;
+  ]

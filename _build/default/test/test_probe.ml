@@ -1,0 +1,110 @@
+(** The probe facility (Sec. 5 future work, implemented): debugging
+    output from batch code against live state, side-effect-free. *)
+
+open Live_runtime
+open Helpers
+
+let probe_src =
+  {|global base : number = 10
+
+fun double(x : number) : number {
+  return x * 2
+}
+
+fun bars(n : number) {
+  for i from 0 to n {
+    boxed {
+      post repeat("#", i + 1)
+    }
+  }
+}
+
+fun poke() {
+  base := 0
+}
+
+page start()
+init {
+  base := 21
+}
+render {
+  boxed { post "base: " ++ str(base) }
+}
+|}
+
+let ok = function
+  | Ok (r : Probe.result_) -> r
+  | Error e -> Alcotest.failf "probe: %s" (Probe.error_to_string e)
+
+let test_probe_pure_function () =
+  let ls = live_of ~width:30 probe_src in
+  let r =
+    ok
+      (Probe.probe_call (Live_session.session ls) ~func:"double"
+         ~arg:(vnum 21.0))
+  in
+  Alcotest.check value "value" (vnum 42.0) r.Probe.value;
+  check_contains "shown" r.Probe.screenshot "42"
+
+let test_probe_sees_live_state () =
+  (* the probe reads the session's current globals, not initial values *)
+  let ls = live_of ~width:30 probe_src in
+  let r = ok (Probe.probe_source ls "base + 1") in
+  Alcotest.check value "init ran: base = 21" (vnum 22.0) r.Probe.value
+
+let test_probe_render_function () =
+  (* a render-effect function probes as the boxes it builds — the
+     paper's "debugging output in batch computations" *)
+  let ls = live_of ~width:30 probe_src in
+  let r = ok (Probe.probe_source ls "bars(3)") in
+  check_contains "bar 1" r.Probe.screenshot "#";
+  check_contains "bar 3" r.Probe.screenshot "###";
+  Alcotest.(check int) "three boxes" 3
+    (List.length (Live_core.Boxcontent.children r.Probe.boxes))
+
+let test_probe_rejects_state_code () =
+  let ls = live_of ~width:30 probe_src in
+  (match Probe.probe_source ls "poke()" with
+  | Error (Probe.Bad_argument _) | Error (Probe.Wrong_effect _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Probe.error_to_string e)
+  | Ok _ -> Alcotest.fail "state code must not be probeable");
+  (* the model is untouched *)
+  check_contains "unharmed" (Live_session.screenshot ls) "base: 21"
+
+let test_probe_is_side_effect_free () =
+  let ls = live_of ~width:30 probe_src in
+  let before = Live_session.screenshot ls in
+  ignore (ok (Probe.probe_source ls "bars(5)"));
+  ignore (ok (Probe.probe_source ls "double(base)"));
+  Alcotest.(check string) "session unchanged" before
+    (Live_session.screenshot ls)
+
+let test_probe_bad_input () =
+  let ls = live_of ~width:30 probe_src in
+  (match Probe.probe_source ls "nonsense(" with
+  | Error (Probe.Bad_argument _) -> ()
+  | _ -> Alcotest.fail "syntax errors reported");
+  match
+    Probe.probe_call (Live_session.session ls) ~func:"nope"
+      ~arg:Live_core.Ast.vunit
+  with
+  | Error (Probe.Unknown_function _) -> ()
+  | _ -> Alcotest.fail "unknown function reported"
+
+let test_probe_stuck_reported () =
+  let ls = live_of ~width:30 probe_src in
+  match Probe.probe_source ls "head(drop([1], 1))" with
+  | Error (Probe.Probe_failed _) -> ()
+  | Error e -> Alcotest.failf "unexpected: %s" (Probe.error_to_string e)
+  | Ok _ -> Alcotest.fail "head of empty list should fail the probe"
+
+let suite =
+  [
+    case "pure functions probe as values" test_probe_pure_function;
+    case "probes see live model state" test_probe_sees_live_state;
+    case "render functions probe as boxes" test_probe_render_function;
+    case "state code rejected" test_probe_rejects_state_code;
+    case "probing is side-effect-free" test_probe_is_side_effect_free;
+    case "bad input reported" test_probe_bad_input;
+    case "runtime failures reported" test_probe_stuck_reported;
+  ]

@@ -1,0 +1,96 @@
+(** The painter: golden screenshots of small box trees. *)
+
+open Live_core
+open Live_ui
+
+let leaf s = Boxcontent.Leaf (Ast.VStr s)
+let nattr a f = Boxcontent.Attr (a, Ast.VNum f)
+let sattr a s = Boxcontent.Attr (a, Ast.VStr s)
+let box items = Boxcontent.Box (None, items)
+
+let golden name tree width expected =
+  Alcotest.(check string) name expected (Render.screenshot ~width tree)
+
+let test_text_only () =
+  golden "single line" [ leaf "hello" ] 10 "hello\n";
+  golden "two leaves stack" [ leaf "a"; leaf "b" ] 10 "a\nb\n"
+
+let test_bordered_box () =
+  golden "border" [ box [ nattr "border" 1.0; leaf "hi" ] ] 8
+    "+------+\n|hi    |\n+------+\n"
+
+let test_padding () =
+  golden "padding"
+    [ box [ nattr "border" 1.0; nattr "padding" 1.0; leaf "x" ] ]
+    7 "+-----+\n|     |\n| x   |\n|     |\n+-----+\n"
+
+let test_margin () =
+  golden "margin"
+    [ box [ nattr "margin" 1.0; nattr "border" 1.0; leaf "x" ] ]
+    7 "\n +---+\n |x  |\n +---+\n\n"
+
+let test_horizontal () =
+  golden "row"
+    [
+      box
+        [
+          sattr "direction" "horizontal";
+          box [ leaf "ab" ];
+          box [ leaf "cd" ];
+        ];
+    ]
+    10 "abcd\n"
+
+let test_align () =
+  golden "center" [ box [ sattr "align" "center"; leaf "mid" ] ] 9
+    "   mid\n";
+  golden "right" [ box [ sattr "align" "right"; leaf "end" ] ] 9
+    "      end\n"
+
+let test_fontsize_spacing () =
+  golden "double height"
+    [ box [ nattr "fontsize" 2.0; leaf "big" ]; box [ leaf "after" ] ]
+    10 "big\n\nafter\n"
+
+let test_wrapping () =
+  golden "wraps" [ box [ leaf "aa bb cc" ] ] 5 "aa bb\ncc\n"
+
+let test_nested () =
+  golden "nested borders"
+    [ box [ nattr "border" 1.0; box [ nattr "border" 1.0; leaf "x" ] ] ]
+    9 "+-------+\n|+-----+|\n||x    ||\n|+-----+|\n+-------+\n"
+
+let test_background_colors_in_ansi () =
+  let tree = [ box [ sattr "background" "light blue"; leaf "row" ] ] in
+  let ansi = Render.screenshot_ansi ~width:6 tree in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "light blue bg" true (contains ansi "48;5;117");
+  (* the plain-text screenshot is identical modulo color *)
+  Alcotest.(check string) "plain text" "row\n" (Render.screenshot ~width:6 tree)
+
+let test_state_screenshot () =
+  let st = Helpers.boot (Helpers.counter_core ()) in
+  let s = Render.screenshot_state ~width:10 st in
+  Alcotest.(check string) "counter shows 0" "0\n" s;
+  let st = Live_core.State.invalidate st in
+  Alcotest.(check string) "invalid display marker" "<display invalid>\n"
+    (Render.screenshot_state st)
+
+let suite =
+  [
+    Helpers.case "text" test_text_only;
+    Helpers.case "borders" test_bordered_box;
+    Helpers.case "padding" test_padding;
+    Helpers.case "margins" test_margin;
+    Helpers.case "horizontal rows" test_horizontal;
+    Helpers.case "alignment" test_align;
+    Helpers.case "fontsize spacing" test_fontsize_spacing;
+    Helpers.case "wrapping" test_wrapping;
+    Helpers.case "nesting" test_nested;
+    Helpers.case "ANSI colors" test_background_colors_in_ansi;
+    Helpers.case "state screenshots" test_state_screenshot;
+  ]

@@ -1,0 +1,178 @@
+(** The literal small-step machine of Fig. 8, and its agreement with
+    the big-step evaluator used by the runtime.  The small-step
+    relation is the executable specification; the big-step evaluator
+    is the implementation — random expressions must agree. *)
+
+open Live_core
+open Helpers
+
+let prog_g =
+  Program.of_defs
+    [
+      Program.Global { name = "g"; ty = Typ.Num; init = vnum 10.0 };
+      Program.Func
+        {
+          name = "inc";
+          ty = Typ.Fn (Typ.Num, Eff.Pure, Typ.Num);
+          body = lam "x" Typ.Num (add (Ast.Var "x") (num 1.0));
+        };
+    ]
+
+let run_small mode ?(store = Store.empty) e =
+  Eval.run_small mode prog_g
+    { Eval.store; queue = Fqueue.empty; box = [] }
+    e
+
+let test_single_steps () =
+  (* one EP-APP step, literally *)
+  let e = Ast.App (lam "x" Typ.Num (Ast.Var "x"), num 3.0) in
+  match Eval.step_pure prog_g Store.empty e with
+  | Eval.Next (_, e') -> Alcotest.check expr "stepped to body" (num 3.0) e'
+  | _ -> Alcotest.fail "expected a step"
+
+let test_leftmost_order () =
+  (* evaluation contexts evaluate tuples left to right: the first
+     non-value is reduced first *)
+  let e =
+    Ast.Tuple [ num 1.0; add (num 1.0) (num 1.0); add (num 2.0) (num 2.0) ]
+  in
+  match Eval.step_pure prog_g Store.empty e with
+  | Eval.Next (_, Ast.Tuple [ a; b; c ]) ->
+      Alcotest.check expr "first stays" (num 1.0) a;
+      Alcotest.check expr "second reduced" (num 2.0) b;
+      Alcotest.check expr "third untouched" (add (num 2.0) (num 2.0)) c
+  | _ -> Alcotest.fail "expected a tuple step"
+
+let test_app_function_first () =
+  (* E e then v E: the function position reduces before the argument *)
+  let e =
+    Ast.App (Ast.Fn "inc", add (num 1.0) (num 1.0))
+  in
+  match Eval.step_pure prog_g Store.empty e with
+  | Eval.Next (_, Ast.App (f, arg)) ->
+      Alcotest.(check bool) "EP-FUN fired" true (Ast.is_value f);
+      Alcotest.check expr "argument untouched" (add (num 1.0) (num 1.0)) arg
+  | _ -> Alcotest.fail "expected an application step"
+
+let test_value_no_step () =
+  match Eval.step_pure prog_g Store.empty (num 1.0) with
+  | Eval.Value -> ()
+  | _ -> Alcotest.fail "values do not step"
+
+let test_pure_mode_blocks_effects () =
+  (match Eval.step_pure prog_g Store.empty (Ast.Set ("g", num 1.0)) with
+  | Eval.Wrong _ -> ()
+  | _ -> Alcotest.fail "ES-ASSIGN must not fire in pure mode");
+  match Eval.step_pure prog_g Store.empty (Ast.Post (num 1.0)) with
+  | Eval.Wrong _ -> ()
+  | _ -> Alcotest.fail "ER-POST must not fire in pure mode"
+
+let test_state_run () =
+  let cfg, v =
+    run_small Eff.State
+      (Ast.App
+         ( lam "_" Typ.unit_ (Ast.Get "g"),
+           Ast.Set ("g", add (Ast.Get "g") (num 1.0)) ))
+  in
+  Alcotest.check value "result" (vnum 11.0) v;
+  Alcotest.check value "store" (vnum 11.0)
+    (Option.get (Store.find "g" cfg.Eval.store))
+
+let test_render_run_boxed () =
+  let cfg, v =
+    run_small Eff.Render
+      (Ast.Boxed
+         ( Some (Srcid.of_int 3),
+           Ast.App
+             (lam "_" Typ.unit_ (num 9.0), Ast.Post (Ast.Get "g")) ))
+  in
+  Alcotest.check value "value" (vnum 9.0) v;
+  Alcotest.check boxcontent "box built"
+    [ Boxcontent.Box (Some (Srcid.of_int 3), [ Boxcontent.Leaf (vnum 10.0) ]) ]
+    cfg.Eval.box
+
+(* -- agreement with big-step --------------------------------------- *)
+
+(** Generator of well-typed-by-construction numeric expressions using
+    applications, tuples, projections, conditionals, globals and
+    primitives — the pure/state fragment. *)
+let gen_num_expr : Ast.expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 1 then
+           oneof
+             [
+               (float_range (-100.0) 100.0 >|= fun f -> num f);
+               pure (Ast.Get "g");
+             ]
+         else
+           let sub = self (n / 2) in
+           oneof
+             [
+               (float_range (-100.0) 100.0 >|= fun f -> num f);
+               map2 add sub sub;
+               (map2 (fun a b -> prim "mul" [ a; b ]) sub sub);
+               (map2 (fun a b -> prim "min" [ a; b ]) sub sub);
+               ( map2
+                   (fun a b ->
+                     Ast.App (lam "x" Typ.Num (add (Ast.Var "x") b), a))
+                   sub sub );
+               ( map2
+                   (fun a b -> Ast.Proj (Ast.Tuple [ a; b ], 2))
+                   sub sub );
+               ( map3
+                   (fun c a b ->
+                     prim "cond" ~targs:[ Typ.Num ]
+                       [
+                         prim "gt" ~targs:[ Typ.Num ] [ c; num 0.0 ];
+                         lam "_" Typ.unit_ a;
+                         lam "_" Typ.unit_ b;
+                       ])
+                   sub sub sub );
+               (sub >|= fun a -> Ast.App (Ast.Fn "inc", a));
+             ])
+
+let float_eq a b =
+  Float.equal a b || (Float.is_nan a && Float.is_nan b)
+  || Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let rec value_close (a : Ast.value) (b : Ast.value) =
+  match (a, b) with
+  | Ast.VNum x, Ast.VNum y -> float_eq x y
+  | Ast.VTuple xs, Ast.VTuple ys ->
+      List.length xs = List.length ys && List.for_all2 value_close xs ys
+  | _ -> Ast.equal_value a b
+
+let prop_small_big_agree =
+  Helpers.qcheck ~count:300 "small-step closure = big-step (pure)"
+    gen_num_expr (fun e ->
+      let big = Eval.eval_pure prog_g Store.empty e in
+      let _, small =
+        Eval.run_small Eff.Pure prog_g (Eval.cfg_of_store Store.empty) e
+      in
+      value_close big small)
+
+let prop_small_big_render =
+  Helpers.qcheck ~count:150 "small-step = big-step (render, box content)"
+    gen_num_expr (fun e ->
+      let body = Ast.Boxed (None, Ast.App (lam "v" Typ.Num Ast.eunit, Ast.Post e)) in
+      let _, big_box = Eval.eval_render prog_g Store.empty body in
+      let cfg, _ =
+        Eval.run_small Eff.Render prog_g (Eval.cfg_of_store Store.empty) body
+      in
+      (* compare number of items and structure up to float noise *)
+      Boxcontent.count_items big_box = Boxcontent.count_items cfg.Eval.box)
+
+let suite =
+  [
+    case "single EP-APP step" test_single_steps;
+    case "leftmost-innermost context order" test_leftmost_order;
+    case "function position before argument" test_app_function_first;
+    case "values do not step" test_value_no_step;
+    case "pure mode blocks effects" test_pure_mode_blocks_effects;
+    case "stateful run" test_state_run;
+    case "render run with ER-BOXED premise" test_render_run_boxed;
+    prop_small_big_agree;
+    prop_small_big_render;
+  ]

@@ -1,0 +1,78 @@
+(** The system-state record (Fig. 7) and its small operations. *)
+
+open Live_core
+open Helpers
+
+let prog = counter_core ()
+
+let test_initial () =
+  let st = State.initial prog in
+  Alcotest.(check bool) "display invalid" false (State.display_valid st);
+  Alcotest.(check bool) "queue empty" true (Fqueue.is_empty st.State.queue);
+  Alcotest.(check int) "stack empty" 0 (List.length st.State.stack);
+  Alcotest.(check int) "store empty" 0 (Store.cardinal st.State.store);
+  (* the initial state is unstable: STARTUP must fire *)
+  Alcotest.(check bool) "unstable" false (State.is_stable st)
+
+let test_stability () =
+  let st = State.initial prog in
+  let st = State.push_page "start" Ast.vunit st in
+  Alcotest.(check bool) "stable with page, empty queue" true
+    (State.is_stable st);
+  let st = State.enqueue Event.Pop st in
+  Alcotest.(check bool) "unstable with pending event" false
+    (State.is_stable st)
+
+let test_stack_discipline () =
+  let st = State.initial prog in
+  Alcotest.(check bool) "empty top" true (State.top_page st = None);
+  let st = State.push_page "start" Ast.vunit st in
+  let st = State.push_page "detail" (vnum 1.0) st in
+  (match State.top_page st with
+  | Some ("detail", v) -> Alcotest.check value "argument" (vnum 1.0) v
+  | _ -> Alcotest.fail "top should be detail");
+  let st = State.pop_page st in
+  (match State.top_page st with
+  | Some ("start", _) -> ()
+  | _ -> Alcotest.fail "pop exposes start");
+  (* POP on the empty stack is a no-op (Fig. 9) *)
+  let st = State.pop_page st in
+  let st = State.pop_page st in
+  Alcotest.(check int) "no-op pop" 0 (List.length st.State.stack)
+
+let test_invalidate () =
+  let st = boot prog in
+  Alcotest.(check bool) "valid after boot" true (State.display_valid st);
+  let st = State.invalidate st in
+  Alcotest.(check bool) "invalidated" false (State.display_valid st);
+  (* idempotent *)
+  let st = State.invalidate st in
+  Alcotest.(check bool) "still invalid" false (State.display_valid st)
+
+let test_enqueue_order () =
+  let st = State.initial prog in
+  let st = State.enqueue (Event.Push ("a", Ast.vunit)) st in
+  let st = State.enqueue Event.Pop st in
+  Alcotest.(check (list event)) "fifo"
+    [ Event.Push ("a", Ast.vunit); Event.Pop ]
+    (Fqueue.to_list st.State.queue)
+
+let test_pp_smoke () =
+  (* the printer renders every component, including the bottom display *)
+  let st = State.initial prog in
+  let text = Fmt.str "%a" State.pp st in
+  check_contains "display marker" text "⊥";
+  let st = boot (counter_core ~init_body:(Ast.Set ("n", num 3.0)) ()) in
+  let text = Fmt.str "%a" State.pp st in
+  check_contains "store shown" text "n -> 3";
+  check_contains "stack shown" text "(start, ())"
+
+let suite =
+  [
+    case "initial state" test_initial;
+    case "stability" test_stability;
+    case "page stack discipline" test_stack_discipline;
+    case "display invalidation" test_invalidate;
+    case "event ordering" test_enqueue_order;
+    case "printer smoke" test_pp_smoke;
+  ]

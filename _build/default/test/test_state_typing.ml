@@ -1,0 +1,231 @@
+(** System-state typing (Fig. 11): [C |- C], [C |- D], [C |- S],
+    [C |- P], [C |- Q] and T-SYS. *)
+
+open Live_core
+open Helpers
+
+let ok_code defs =
+  match State_typing.check_code (Program.of_defs defs) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "expected well-formed code: %s" m
+
+let bad_code name defs =
+  match State_typing.check_code (Program.of_defs defs) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s: expected ill-formed code" name
+
+let gdef ?(name = "g") ?(ty = Typ.Num) ?(init = vnum 0.0) () =
+  Program.Global { name; ty; init }
+
+let start_page ?(render = Ast.eunit) () =
+  Program.Page
+    {
+      name = "start";
+      arg_ty = Typ.unit_;
+      init = lam "_" Typ.unit_ Ast.eunit;
+      render = lam "_" Typ.unit_ render;
+    }
+
+let test_check_code_accepts () =
+  ok_code [ gdef (); start_page ~render:(Ast.Post (Ast.Get "g")) () ];
+  ok_code
+    [
+      Program.Func
+        {
+          name = "f";
+          ty = Typ.Fn (Typ.Num, Eff.Pure, Typ.Num);
+          body = lam "x" Typ.Num (Ast.Var "x");
+        };
+    ]
+
+let test_duplicate_names () =
+  (* the paper uses a single Defs(C) set across globals/functions/pages *)
+  bad_code "two globals" [ gdef (); gdef () ];
+  bad_code "global and page share a name"
+    [
+      gdef ~name:"start" ();
+      start_page ();
+    ]
+
+let test_arrow_free_globals () =
+  (* T-C-GLOBAL: tau is ->-free — this is what makes "no stale code
+     after UPDATE" (Sec. 4.2) a theorem *)
+  bad_code "handler-typed global"
+    [
+      Program.Global
+        {
+          name = "h";
+          ty = Typ.handler;
+          init = Ast.VLam ("_", Typ.unit_, Ast.eunit);
+        };
+    ]
+
+let test_global_init_type () =
+  bad_code "initial value type mismatch"
+    [ gdef ~ty:Typ.Num ~init:(vstr "no") () ]
+
+let test_function_typing () =
+  bad_code "body type mismatch"
+    [
+      Program.Func
+        {
+          name = "f";
+          ty = Typ.Fn (Typ.Num, Eff.Pure, Typ.Str);
+          body = lam "x" Typ.Num (Ast.Var "x");
+        };
+    ];
+  bad_code "declared pure but stateful"
+    [
+      gdef ();
+      Program.Func
+        {
+          name = "f";
+          ty = Typ.Fn (Typ.unit_, Eff.Pure, Typ.unit_);
+          body = lam "_" Typ.unit_ (Ast.Set ("g", num 1.0));
+        };
+    ];
+  bad_code "non-function type"
+    [ Program.Func { name = "f"; ty = Typ.Num; body = num 1.0 } ]
+
+let test_page_typing () =
+  (* T-C-PAGE: init at tau -s-> (), render at tau -r-> () *)
+  bad_code "render body writes a global"
+    [
+      gdef ();
+      Program.Page
+        {
+          name = "start";
+          arg_ty = Typ.unit_;
+          init = lam "_" Typ.unit_ Ast.eunit;
+          render = lam "_" Typ.unit_ (Ast.Set ("g", num 1.0));
+        };
+    ];
+  bad_code "init body posts a box"
+    [
+      Program.Page
+        {
+          name = "start";
+          arg_ty = Typ.unit_;
+          init = lam "_" Typ.unit_ (Ast.Post (num 1.0));
+          render = lam "_" Typ.unit_ Ast.eunit;
+        };
+    ];
+  bad_code "function-typed page argument"
+    [
+      Program.Page
+        {
+          name = "p";
+          arg_ty = Typ.handler;
+          init = lam "h" Typ.handler Ast.eunit;
+          render = lam "h" Typ.handler Ast.eunit;
+        };
+    ]
+
+let test_check_start () =
+  let prog = Program.of_defs [ gdef () ] in
+  (match State_typing.check_start prog with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing start page must be rejected");
+  let prog2 =
+    Program.of_defs
+      [
+        Program.Page
+          {
+            name = "start";
+            arg_ty = Typ.Num;
+            init = lam "x" Typ.Num Ast.eunit;
+            render = lam "x" Typ.Num Ast.eunit;
+          };
+      ]
+  in
+  match State_typing.check_start prog2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "start page with a parameter must be rejected"
+
+let prog_g =
+  Program.of_defs [ gdef (); start_page ~render:(Ast.Post (Ast.Get "g")) () ]
+
+let test_store_typing () =
+  let good = Store.write "g" (vnum 3.0) Store.empty in
+  (match State_typing.check_store prog_g good with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let bad = Store.write "g" (vstr "no") Store.empty in
+  (match State_typing.check_store prog_g bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "ill-typed store value accepted");
+  let undeclared = Store.write "zz" (vnum 1.0) Store.empty in
+  match State_typing.check_store prog_g undeclared with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "undeclared global accepted"
+
+let test_stack_typing () =
+  (match State_typing.check_stack prog_g [ ("start", Ast.vunit) ] with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match State_typing.check_stack prog_g [ ("nope", Ast.vunit) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown page accepted");
+  match State_typing.check_stack prog_g [ ("start", vnum 1.0) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "ill-typed page argument accepted"
+
+let test_queue_typing () =
+  let handler = Ast.VLam ("_", Typ.unit_, Ast.Set ("g", num 1.0)) in
+  let q =
+    Fqueue.of_list
+      [ Event.Exec handler; Event.Push ("start", Ast.vunit); Event.Pop ]
+  in
+  (match State_typing.check_queue prog_g q with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let bad = Fqueue.of_list [ Event.Exec (vnum 1.0) ] in
+  match State_typing.check_queue prog_g bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-thunk exec event accepted"
+
+let test_display_typing () =
+  let good =
+    [
+      Boxcontent.Box
+        ( None,
+          [
+            Boxcontent.Leaf (vstr "hi");
+            Boxcontent.Attr ("margin", vnum 1.0);
+            Boxcontent.Attr
+              ("ontap", Ast.VLam ("_", Typ.unit_, Ast.Set ("g", num 1.0)));
+          ] );
+    ]
+  in
+  (match State_typing.check_display prog_g (State.Shown good) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match State_typing.check_display prog_g State.Invalid with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "T-D-INV: %s" m);
+  let bad = [ Boxcontent.Attr ("margin", vstr "wide") ] in
+  match State_typing.check_display prog_g (State.Shown bad) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "ill-typed attribute accepted"
+
+let test_t_sys_on_boot () =
+  let st = boot prog_g in
+  match State_typing.check_state st with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "booted state ill-typed: %s" m
+
+let suite =
+  [
+    case "C |- C accepts well-formed code" test_check_code_accepts;
+    case "duplicate definitions rejected" test_duplicate_names;
+    case "globals must be arrow-free" test_arrow_free_globals;
+    case "global initial values typed" test_global_init_type;
+    case "T-C-FUN" test_function_typing;
+    case "T-C-PAGE effect discipline" test_page_typing;
+    case "T-SYS start page" test_check_start;
+    case "C |- S" test_store_typing;
+    case "C |- P" test_stack_typing;
+    case "C |- Q" test_queue_typing;
+    case "C |- D" test_display_typing;
+    case "booted state is well-typed" test_t_sys_on_boot;
+  ]

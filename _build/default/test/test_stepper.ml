@@ -1,0 +1,106 @@
+(** The small-step tracer. *)
+
+open Live_core
+open Helpers
+
+let test_trace_arithmetic () =
+  let t =
+    Live_runtime.Stepper.trace ~mode:Eff.Pure Program.empty Store.empty
+      (add (num 1.0) (prim "mul" [ num 2.0; num 3.0 ]))
+  in
+  (match t.Live_runtime.Stepper.outcome with
+  | Live_runtime.Stepper.Finished v ->
+      Alcotest.check value "result" (vnum 7.0) v
+  | _ -> Alcotest.fail "expected a value");
+  (* inner redex first, then the addition, then done: 2 steps + final *)
+  Alcotest.(check int) "step count" 3
+    (List.length t.Live_runtime.Stepper.steps)
+
+let test_trace_notes_effects () =
+  let prog =
+    Program.of_defs
+      [ Program.Global { name = "g"; ty = Typ.Num; init = vnum 0.0 } ]
+  in
+  let t =
+    Live_runtime.Stepper.trace ~mode:Eff.State prog Store.empty
+      (Ast.Set ("g", num 5.0))
+  in
+  let noted =
+    List.exists
+      (fun (e : Live_runtime.Stepper.entry) ->
+        match e.Live_runtime.Stepper.note with
+        | Some n -> Helpers.contains n "store"
+        | None -> false)
+      t.Live_runtime.Stepper.steps
+  in
+  Alcotest.(check bool) "store change noted" true noted;
+  Alcotest.check value "final store" (vnum 5.0)
+    (Option.get (Store.find "g" t.Live_runtime.Stepper.store))
+
+let test_trace_stuck () =
+  let t =
+    Live_runtime.Stepper.trace ~mode:Eff.Pure Program.empty Store.empty
+      (Ast.Get "nope")
+  in
+  match t.Live_runtime.Stepper.outcome with
+  | Live_runtime.Stepper.Got_stuck _ -> ()
+  | _ -> Alcotest.fail "expected stuck"
+
+let test_trace_limit () =
+  let prog =
+    Program.of_defs
+      [
+        Program.Func
+          {
+            name = "loop";
+            ty = Typ.Fn (Typ.Num, Eff.Pure, Typ.Num);
+            body = lam "x" Typ.Num (Ast.App (Ast.Fn "loop", Ast.Var "x"));
+          };
+      ]
+  in
+  let t =
+    Live_runtime.Stepper.trace ~mode:Eff.Pure ~limit:20 prog Store.empty
+      (Ast.App (Ast.Fn "loop", num 1.0))
+  in
+  match t.Live_runtime.Stepper.outcome with
+  | Live_runtime.Stepper.Ran_out 20 -> ()
+  | _ -> Alcotest.fail "expected the limit to trigger"
+
+let test_trace_source () =
+  let c = ok_compile Live_workloads.Counter.source in
+  match Live_runtime.Stepper.trace_source c "1 + 1" with
+  | Ok t ->
+      (match t.Live_runtime.Stepper.outcome with
+      | Live_runtime.Stepper.Finished _ -> ()
+      | o ->
+          Alcotest.failf "unexpected outcome: %s"
+            (Fmt.str "%a" Live_runtime.Stepper.pp_outcome o));
+      (* the rendering shows the numbered steps *)
+      let text = Live_runtime.Stepper.to_string t in
+      check_contains "numbered" text "0  ";
+      check_contains "value line" text "value:"
+  | Error m -> Alcotest.fail m
+
+let test_trace_source_uses_program () =
+  let c = ok_compile (Live_workloads.Mortgage.source ()) in
+  match
+    Live_runtime.Stepper.trace_source ~limit:5000 c
+      "monthly_payment(100000, 0, 100)"
+  with
+  | Ok t -> (
+      match t.Live_runtime.Stepper.outcome with
+      | Live_runtime.Stepper.Finished _ -> ()
+      | o ->
+          Alcotest.failf "unexpected outcome: %s"
+            (Fmt.str "%a" Live_runtime.Stepper.pp_outcome o))
+  | Error m -> Alcotest.fail m
+
+let suite =
+  [
+    case "arithmetic trace" test_trace_arithmetic;
+    case "effect notes" test_trace_notes_effects;
+    case "stuck terms reported" test_trace_stuck;
+    case "step limit" test_trace_limit;
+    case "surface expressions" test_trace_source;
+    case "traces can call program functions" test_trace_source_uses_program;
+  ]

@@ -1,0 +1,114 @@
+(** Types (Fig. 6) and the subtyping induced by T-SUB. *)
+
+open Live_core
+
+let gen_eff = QCheck2.Gen.oneofl [ Eff.Pure; Eff.State; Eff.Render ]
+
+(** Random types, arrow-free with probability ~1/2. *)
+let gen_typ : Typ.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 1 then oneofl [ Typ.Num; Typ.Str ]
+         else
+           frequency
+             [
+               (2, oneofl [ Typ.Num; Typ.Str ]);
+               ( 2,
+                 list_size (int_range 0 3) (self (n / 2)) >|= fun ts ->
+                 Typ.Tuple ts );
+               (1, self (n / 2) >|= fun t -> Typ.List t);
+               ( 1,
+                 map3
+                   (fun a e r -> Typ.Fn (a, e, r))
+                   (self (n / 2)) gen_eff (self (n / 2)) );
+             ])
+
+let test_unit_is_empty_tuple () =
+  Alcotest.check Helpers.typ "unit" (Typ.Tuple []) Typ.unit_
+
+let test_arrow_free () =
+  let af t = Typ.arrow_free t in
+  Alcotest.(check bool) "number" true (af Typ.Num);
+  Alcotest.(check bool) "string list" true (af (Typ.List Typ.Str));
+  Alcotest.(check bool)
+    "nested tuple" true
+    (af (Typ.Tuple [ Typ.Num; Typ.Tuple [ Typ.Str; Typ.List Typ.Num ] ]));
+  Alcotest.(check bool)
+    "handler" false
+    (af Typ.handler);
+  Alcotest.(check bool)
+    "function inside tuple" false
+    (af (Typ.Tuple [ Typ.Num; Typ.Fn (Typ.Num, Eff.Pure, Typ.Num) ]));
+  Alcotest.(check bool)
+    "function inside list" false
+    (af (Typ.List (Typ.Fn (Typ.unit_, Eff.State, Typ.unit_))))
+
+let test_sub_latent_effect () =
+  (* T-SUB: a pure-latent function can be used at any latent effect *)
+  let f mu = Typ.Fn (Typ.Num, mu, Typ.Str) in
+  Alcotest.(check bool) "p -> s" true (Typ.sub (f Eff.Pure) (f Eff.State));
+  Alcotest.(check bool) "p -> r" true (Typ.sub (f Eff.Pure) (f Eff.Render));
+  Alcotest.(check bool) "s -> r" false (Typ.sub (f Eff.State) (f Eff.Render));
+  Alcotest.(check bool) "s -> p" false (Typ.sub (f Eff.State) (f Eff.Pure))
+
+let test_sub_variance () =
+  (* contravariant domain, covariant codomain *)
+  let mk dom cod = Typ.Fn (dom, Eff.Pure, cod) in
+  let sub_dom = Typ.Fn (Typ.Num, Eff.Pure, Typ.Num) in
+  let super_dom = Typ.Fn (Typ.Num, Eff.State, Typ.Num) in
+  Alcotest.(check bool)
+    "contravariance" true
+    (Typ.sub (mk super_dom Typ.Num) (mk sub_dom Typ.Num));
+  Alcotest.(check bool)
+    "no covariant domain" false
+    (Typ.sub (mk sub_dom Typ.Num) (mk super_dom Typ.Num));
+  Alcotest.(check bool)
+    "covariant codomain" true
+    (Typ.sub (mk Typ.Num sub_dom) (mk Typ.Num super_dom))
+
+let test_pp () =
+  let show t = Typ.to_string t in
+  Alcotest.(check string) "number" "number" (show Typ.Num);
+  Alcotest.(check string) "unit" "()" (show Typ.unit_);
+  Alcotest.(check string)
+    "handler" "() -s-> ()" (show Typ.handler);
+  Alcotest.(check string)
+    "list" "[(number, string)]"
+    (show (Typ.List (Typ.Tuple [ Typ.Num; Typ.Str ])));
+  Alcotest.(check string)
+    "nested arrow domain" "(number -p-> number) -r-> ()"
+    (show (Typ.Fn (Typ.Fn (Typ.Num, Eff.Pure, Typ.Num), Eff.Render, Typ.unit_)))
+
+let prop_equal_refl =
+  Helpers.qcheck "equal reflexive" gen_typ (fun t -> Typ.equal t t)
+
+let prop_sub_refl =
+  Helpers.qcheck "sub reflexive" gen_typ (fun t -> Typ.sub t t)
+
+let prop_sub_antisym =
+  Helpers.qcheck "sub antisymmetric"
+    QCheck2.Gen.(pair gen_typ gen_typ)
+    (fun (a, b) -> (not (Typ.sub a b && Typ.sub b a)) || Typ.equal a b)
+
+let prop_equal_implies_sub =
+  Helpers.qcheck "equal implies sub"
+    QCheck2.Gen.(pair gen_typ gen_typ)
+    (fun (a, b) -> (not (Typ.equal a b)) || Typ.sub a b)
+
+let prop_size_positive =
+  Helpers.qcheck "size positive" gen_typ (fun t -> Typ.size t >= 1)
+
+let suite =
+  [
+    Helpers.case "unit is the empty tuple" test_unit_is_empty_tuple;
+    Helpers.case "arrow_free (T-C-GLOBAL side condition)" test_arrow_free;
+    Helpers.case "T-SUB on latent effects" test_sub_latent_effect;
+    Helpers.case "subtyping variance" test_sub_variance;
+    Helpers.case "printing" test_pp;
+    prop_equal_refl;
+    prop_sub_refl;
+    prop_sub_antisym;
+    prop_equal_implies_sub;
+    prop_size_positive;
+  ]

@@ -1,0 +1,188 @@
+(** The core type-and-effect system (Fig. 10): acceptance, rejection,
+    and the least-effect discipline that implements T-SUB. *)
+
+open Live_core
+open Helpers
+
+let prog =
+  Program.of_defs
+    [
+      Program.Global { name = "g"; ty = Typ.Num; init = vnum 0.0 };
+      Program.Global { name = "s"; ty = Typ.Str; init = vstr "" };
+      Program.Func
+        {
+          name = "inc";
+          ty = Typ.Fn (Typ.Num, Eff.Pure, Typ.Num);
+          body = lam "x" Typ.Num (add (Ast.Var "x") (num 1.0));
+        };
+      Program.Func
+        {
+          name = "bump";
+          ty = Typ.Fn (Typ.unit_, Eff.State, Typ.unit_);
+          body =
+            lam "_" Typ.unit_ (Ast.Set ("g", add (Ast.Get "g") (num 1.0)));
+        };
+      Program.Page
+        {
+          name = "start";
+          arg_ty = Typ.unit_;
+          init = lam "_" Typ.unit_ Ast.eunit;
+          render = lam "_" Typ.unit_ Ast.eunit;
+        };
+      Program.Page
+        {
+          name = "detail";
+          arg_ty = Typ.Num;
+          init = lam "x" Typ.Num Ast.eunit;
+          render = lam "x" Typ.Num (Ast.Post (Ast.Var "x"));
+        };
+    ]
+
+let infer e =
+  match Typecheck.infer prog Typecheck.empty_gamma e with
+  | Ok a -> a
+  | Error m -> Alcotest.failf "unexpected type error: %s" m
+
+let reject ?(gamma = Typecheck.empty_gamma) name e =
+  match Typecheck.infer prog gamma e with
+  | Error _ -> ()
+  | Ok a ->
+      Alcotest.failf "%s: expected a type error, got %s / %s" name
+        (Typ.to_string a.Typecheck.ty)
+        (Eff.name a.Typecheck.eff)
+
+let check_ty name e ty =
+  Alcotest.check typ name ty (infer e).Typecheck.ty
+
+let check_eff name e expected =
+  Alcotest.check eff name expected (infer e).Typecheck.eff
+
+let test_literals () =
+  check_ty "T-INT" (num 1.0) Typ.Num;
+  check_ty "T-STRING" (str "x") Typ.Str;
+  check_ty "T-TUPLE" (Ast.Tuple [ num 1.0; str "x" ])
+    (Typ.Tuple [ Typ.Num; Typ.Str ]);
+  check_eff "values are pure" (str "x") Eff.Pure
+
+let test_lambda_latent_effect () =
+  (* T-LAM assigns the least effect of the body as the latent effect *)
+  check_ty "pure body"
+    (lam "x" Typ.Num (Ast.Var "x"))
+    (Typ.Fn (Typ.Num, Eff.Pure, Typ.Num));
+  check_ty "state body"
+    (lam "_" Typ.unit_ (Ast.Set ("g", num 1.0)))
+    (Typ.Fn (Typ.unit_, Eff.State, Typ.unit_));
+  check_ty "render body"
+    (lam "_" Typ.unit_ (Ast.Post (num 1.0)))
+    (Typ.Fn (Typ.unit_, Eff.Render, Typ.unit_));
+  (* the lambda itself is a value: pure whatever its body does *)
+  check_eff "lambda is pure"
+    (lam "_" Typ.unit_ (Ast.Set ("g", num 1.0)))
+    Eff.Pure
+
+let test_application_effects () =
+  (* T-APP: the latent effect joins into the application *)
+  check_eff "pure call" (Ast.App (Ast.Fn "inc", num 1.0)) Eff.Pure;
+  check_eff "state call" (Ast.App (Ast.Fn "bump", Ast.eunit)) Eff.State;
+  check_ty "call type" (Ast.App (Ast.Fn "inc", num 1.0)) Typ.Num;
+  reject "argument mismatch" (Ast.App (Ast.Fn "inc", str "no"));
+  reject "apply non-function" (Ast.App (num 1.0, num 2.0))
+
+let test_t_sub () =
+  (* a pure-latent function may be used where a state function is
+     expected (T-SUB) *)
+  let pure_fn = lam "x" Typ.Num (Ast.Var "x") in
+  match
+    Typecheck.check prog Typecheck.empty_gamma Eff.Pure pure_fn
+      (Typ.Fn (Typ.Num, Eff.State, Typ.Num))
+  with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_globals () =
+  check_ty "T-GLOBAL" (Ast.Get "g") Typ.Num;
+  check_eff "reads are pure" (Ast.Get "g") Eff.Pure;
+  check_eff "T-ASSIGN is state" (Ast.Set ("g", num 1.0)) Eff.State;
+  check_ty "assign yields unit" (Ast.Set ("g", num 1.0)) Typ.unit_;
+  reject "assign wrong type" (Ast.Set ("g", str "no"));
+  reject "assign unknown global" (Ast.Set ("nope", num 1.0));
+  reject "read unknown global" (Ast.Get "nope")
+
+let test_pages () =
+  check_eff "T-PUSH is state" (Ast.Push ("detail", num 1.0)) Eff.State;
+  check_eff "T-POP is state" Ast.Pop Eff.State;
+  reject "push wrong argument" (Ast.Push ("detail", str "no"));
+  reject "push unknown page" (Ast.Push ("nope", num 1.0))
+
+let test_render_constructs () =
+  check_eff "T-BOXED" (Ast.Boxed (None, num 1.0)) Eff.Render;
+  check_ty "boxed keeps the type" (Ast.Boxed (None, num 1.0)) Typ.Num;
+  check_eff "T-POST" (Ast.Post (num 1.0)) Eff.Render;
+  check_eff "T-ATTR" (Ast.SetAttr ("margin", num 1.0)) Eff.Render;
+  reject "unknown attribute" (Ast.SetAttr ("nope", num 1.0));
+  reject "attribute type mismatch" (Ast.SetAttr ("margin", str "wide"));
+  (* Gamma_a: ontap takes a state handler *)
+  (match
+     Typecheck.infer prog Typecheck.empty_gamma
+       (Ast.SetAttr
+          ("ontap", lam "_" Typ.unit_ (Ast.Set ("g", num 1.0))))
+   with
+  | Ok a -> Alcotest.check eff "handler install is render" Eff.Render a.Typecheck.eff
+  | Error m -> Alcotest.fail m);
+  reject "render handler rejected"
+    (Ast.SetAttr ("ontap", lam "_" Typ.unit_ (Ast.Post (num 1.0))))
+
+let test_separation () =
+  (* the heart of the paper: no expression may both write the model
+     and build the view *)
+  reject "set then post"
+    (Ast.App
+       ( lam "_" Typ.unit_ (Ast.Post (num 1.0)),
+         Ast.Set ("g", num 1.0) ));
+  reject "boxed around set" (Ast.Boxed (None, Ast.Set ("g", num 1.0)));
+  reject "push inside render"
+    (Ast.Boxed (None, Ast.Push ("detail", num 1.0)))
+
+let test_projection () =
+  check_ty "T-PROJ" (Ast.Proj (Ast.Tuple [ num 1.0; str "x" ], 2)) Typ.Str;
+  reject "out of range" (Ast.Proj (Ast.Tuple [ num 1.0 ], 2));
+  reject "project non-tuple" (Ast.Proj (num 1.0, 1))
+
+let test_vars () =
+  let gamma = [ ("x", Typ.Num) ] in
+  (match Typecheck.infer prog gamma (Ast.Var "x") with
+  | Ok a -> Alcotest.check typ "T-VAR" Typ.Num a.Typecheck.ty
+  | Error m -> Alcotest.fail m);
+  reject "unbound variable" (Ast.Var "x")
+
+let test_check_value () =
+  Alcotest.(check bool) "number" true (Typecheck.check_value prog (vnum 1.0) Typ.Num);
+  Alcotest.(check bool) "mismatch" false
+    (Typecheck.check_value prog (vnum 1.0) Typ.Str);
+  Alcotest.(check bool) "list" true
+    (Typecheck.check_value prog
+       (Ast.VList (Typ.Num, [ vnum 1.0; vnum 2.0 ]))
+       (Typ.List Typ.Num));
+  Alcotest.(check bool) "bad element" false
+    (Typecheck.check_value prog
+       (Ast.VList (Typ.Num, [ vstr "x" ]))
+       (Typ.List Typ.Num));
+  Alcotest.(check bool) "handler value" true
+    (Typecheck.check_value prog
+       (Ast.VLam ("_", Typ.unit_, Ast.Set ("g", num 1.0)))
+       Typ.handler)
+
+let suite =
+  [
+    case "literals and tuples" test_literals;
+    case "T-LAM: least latent effect" test_lambda_latent_effect;
+    case "T-APP and latent effects" test_application_effects;
+    case "T-SUB" test_t_sub;
+    case "globals (T-GLOBAL / T-ASSIGN)" test_globals;
+    case "pages (T-PUSH / T-POP)" test_pages;
+    case "render constructs (T-BOXED / T-POST / T-ATTR)" test_render_constructs;
+    case "model-view separation has no join" test_separation;
+    case "projection (T-PROJ)" test_projection;
+    case "variables (T-VAR)" test_vars;
+    case "value checking" test_check_value;
+  ]

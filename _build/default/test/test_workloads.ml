@@ -1,0 +1,125 @@
+(** The todo and gallery applications, driven end-to-end. *)
+
+open Live_runtime
+open Helpers
+
+(* -- todo ----------------------------------------------------------- *)
+
+let todo () = live_of ~width:46 Live_workloads.Todo.source
+
+(** Find the (x, y) of the first occurrence of [text] on screen — a
+    coordinate guaranteed to be inside the box showing it. *)
+let point_at (ls : Live_session.t) (text : string) : int * int =
+  let lines = String.split_on_char '\n' (Live_session.screenshot ls) in
+  let rec go y = function
+    | [] -> Alcotest.failf "no row containing %S" text
+    | l :: rest -> (
+        let n = String.length l and m = String.length text in
+        let rec find x =
+          if x + m > n then None
+          else if String.sub l x m = text then Some x
+          else find (x + 1)
+        in
+        match find 0 with Some x -> (x, y) | None -> go (y + 1) rest)
+  in
+  go 0 lines
+
+let tap_text (ls : Live_session.t) (text : string) : unit =
+  let x, y = point_at ls text in
+  match Live_session.tap ls ~x ~y with
+  | Ok Session.Tapped -> ()
+  | Ok Session.No_handler -> Alcotest.failf "%S is not tappable" text
+  | Error e -> Alcotest.failf "tap: %s" (Live_session.error_to_string e)
+
+let test_todo_initial () =
+  let ls = todo () in
+  let shot = Live_session.screenshot ls in
+  check_contains "title with counts" shot "todo (1/3 done)";
+  check_contains "open item" shot "[ ] buy milk";
+  check_contains "done item" shot "[x] read paper"
+
+let test_todo_toggle () =
+  let ls = todo () in
+  tap_text ls "buy milk";
+  let shot = Live_session.screenshot ls in
+  check_contains "toggled" shot "[x] buy milk";
+  check_contains "count updated" shot "todo (2/3 done)";
+  (* toggle back *)
+  tap_text ls "buy milk";
+  check_contains "untoggled" (Live_session.screenshot ls) "[ ] buy milk"
+
+let test_todo_clear_done () =
+  let ls = todo () in
+  tap_text ls "clear done";
+  let shot = Live_session.screenshot ls in
+  check_contains "count" shot "todo (0/2 done)";
+  Alcotest.(check bool) "done item removed" false (contains shot "read paper")
+
+let test_todo_add_item_via_second_page () =
+  let ls = todo () in
+  tap_text ls "add item";
+  check_contains "picker page" (Live_session.screenshot ls) "pick an item";
+  tap_text ls "water plants";
+  (* the handler pops back after adding *)
+  let shot = Live_session.screenshot ls in
+  check_contains "back on the list" shot "todo (1/4 done)";
+  check_contains "item added" shot "[ ] water plants"
+
+let test_todo_live_edit_preserves_items () =
+  let ls = todo () in
+  tap_text ls "buy milk";
+  check_contains "2 done" (Live_session.screenshot ls) "todo (2/3 done)";
+  (* restyle the checkbox glyph in a live edit; items survive *)
+  let edited = replace Live_workloads.Todo.source "[x] " "DONE " in
+  match Live_session.edit ls edited with
+  | Ok o ->
+      check_contains "model survived the restyle" o.Live_session.screenshot
+        "DONE buy milk"
+  | Error e -> Alcotest.failf "edit: %s" (Live_session.error_to_string e)
+
+(* -- gallery -------------------------------------------------------- *)
+
+let gallery () = live_of ~width:46 Live_workloads.Gallery.source
+
+let test_gallery_navigation_and_visits () =
+  let ls = gallery () in
+  check_contains "index" (Live_session.screenshot ls) "visit 1";
+  tap_text ls "colors";
+  check_contains "colors page" (Live_session.screenshot ls) "named colors";
+  ignore (Live_session.back ls);
+  (* the start page's init body does NOT re-run when we pop back to it:
+     the page was never re-pushed, so visits stays 1 *)
+  check_contains "no init re-run on pop" (Live_session.screenshot ls) "visit 1"
+
+let test_gallery_nested_pages () =
+  let ls = gallery () in
+  tap_text ls "nesting";
+  check_contains "depth 4" (Live_session.screenshot ls) "depth 4";
+  (* tapping pushes ever-shallower nesting pages *)
+  tap_text ls "depth 4";
+  check_contains "depth 3" (Live_session.screenshot ls) "depth 3"
+
+let test_gallery_typography () =
+  let ls = gallery () in
+  tap_text ls "typography";
+  let shot = Live_session.screenshot ls in
+  check_contains "heading" shot "big heading";
+  check_contains "centered" shot "centered";
+  (* right-aligned text ends at the right margin *)
+  let line =
+    List.find (fun l -> contains l "right-aligned")
+      (String.split_on_char '\n' shot)
+  in
+  Alcotest.(check int) "flush right" 46 (String.length line)
+
+let suite =
+  [
+    case "todo: initial render" test_todo_initial;
+    case "todo: toggling items" test_todo_toggle;
+    case "todo: clear done" test_todo_clear_done;
+    case "todo: add via second page" test_todo_add_item_via_second_page;
+    case "todo: live restyle preserves items" test_todo_live_edit_preserves_items;
+    case "gallery: navigation and init-once" test_gallery_navigation_and_visits;
+    case "gallery: recursive nesting pages" test_gallery_nested_pages;
+    case "gallery: typography page" test_gallery_typography;
+  ]
