@@ -21,10 +21,15 @@
       program size;
     - B6 [event_throughput] — steady-state TAP -> THUNK -> RENDER
       cycles;
-    - B7 [fixup_cost]       — the Fig. 12 store fix-up vs. store size.
+    - B7 [fixup_cost]       — the Fig. 12 store fix-up vs. store size;
+    - B8 [session_ablation] — the incremental caches (layout reuse,
+      dependency-tracked render memoization, damage repainting) ablated
+      in the full interaction loop: cached vs. uncached tap cycles and
+      unchanged-store re-renders.
 
     Output: one table per experiment, estimated ns (or µs/ms) per
-    operation from Bechamel's OLS fit against the run count. *)
+    operation from Bechamel's OLS fit against the run count, plus a
+    machine-readable BENCH_RESULTS.json (experiment -> test -> ns). *)
 
 open Bechamel
 open Toolkit
@@ -90,6 +95,61 @@ let run_experiment title claim (tests : Test.t) : (string * float) list =
   rows
 
 let find rows name = try List.assoc name rows with Not_found -> Float.nan
+
+(* -- machine-readable output ---------------------------------------- *)
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Write every experiment's estimates to BENCH_RESULTS.json:
+    experiment -> test name (the "bN/" prefix stripped) -> estimated ns
+    per run.  NaN (no estimate) becomes null. *)
+let write_json (all : (string * (string * float) list) list) =
+  let strip_prefix exp name =
+    let p = exp ^ "/" in
+    let lp = String.length p in
+    if String.length name > lp && String.sub name 0 lp = p then
+      String.sub name lp (String.length name - lp)
+    else name
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quota_s\": %g,\n" quota);
+  Buffer.add_string buf "  \"unit\": \"ns/run\",\n";
+  Buffer.add_string buf "  \"experiments\": {\n";
+  List.iteri
+    (fun i (exp, rows) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": {\n" (json_escape exp));
+      List.iteri
+        (fun j (name, est) ->
+          Buffer.add_string buf
+            (Printf.sprintf "      \"%s\": %s%s\n"
+               (json_escape (strip_prefix exp name))
+               (if Float.is_nan est then "null"
+                else Printf.sprintf "%.1f" est)
+               (if j = List.length rows - 1 then "" else ",")))
+        rows;
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n"
+           (if i = List.length all - 1 then "" else ",")))
+    all;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_RESULTS.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nWrote BENCH_RESULTS.json (%d experiments)\n"
+    (List.length all)
 
 (* ------------------------------------------------------------------ *)
 (* B1: render scaling                                                  *)
@@ -425,12 +485,12 @@ let b7 () =
     (Test.make_grouped ~name:"b7" tests)
 
 (* ------------------------------------------------------------------ *)
-(* B8: end-to-end ablation of the incremental layout cache             *)
+(* B8: end-to-end ablation of the incremental render pipeline          *)
 (* ------------------------------------------------------------------ *)
 
 let b8 () =
   let sizes = [ 100; 400 ] in
-  let tests =
+  let layout_tests =
     List.concat_map
       (fun n ->
         let core =
@@ -461,13 +521,75 @@ let b8 () =
         ])
       sizes
   in
+  (* the render memoization cache (dependency-tracked; see
+     Render_cache): (a) re-render with an unchanged store — the
+     whole-display fast path revalidates without evaluating; (b) the
+     full TAP -> THUNK -> RENDER loop on independent_rows, where a tap
+     dirties one row's read set and the other rows splice from the
+     cache, with damage-tracked repainting downstream *)
+  let rerender_tests =
+    List.concat_map
+      (fun n ->
+        let core =
+          (Live_workloads.Synthetic.compile_exn
+             (Live_workloads.Synthetic.flat_rows ~n))
+            .Live_surface.Compile.core
+        in
+        let cache = Live_core.Render_cache.create () in
+        let st = ok_machine (Live_core.Machine.boot ~cache core) in
+        let invalid = Live_core.State.invalidate st in
+        [
+          Test.make
+            ~name:(Printf.sprintf "rerender-unchanged-plain/rows=%03d" n)
+            (Staged.stage (fun () ->
+                 ok_machine (Live_core.Machine.render invalid)));
+          Test.make
+            ~name:(Printf.sprintf "rerender-unchanged-cached/rows=%03d" n)
+            (Staged.stage (fun () ->
+                 ok_machine (Live_core.Machine.render ~cache invalid)));
+        ])
+      sizes
+  in
+  let tap_tests =
+    List.concat_map
+      (fun n ->
+        let core =
+          (Live_workloads.Synthetic.compile_exn
+             (Live_workloads.Synthetic.independent_rows ~n))
+            .Live_surface.Compile.core
+        in
+        (* ablate the whole incremental pipeline (render memoization +
+           previous-frame layout reuse + damage repainting) vs. none *)
+        let session cache =
+          ok_machine (Live_runtime.Session.create ~width:48 ~cache core)
+        in
+        let plain = session false in
+        let cached = session true in
+        ignore (Live_runtime.Session.screenshot plain);
+        ignore (Live_runtime.Session.screenshot cached);
+        let cycle s =
+          ignore (ok_machine (Live_runtime.Session.tap s ~x:2 ~y:7));
+          ignore (Live_runtime.Session.screenshot s)
+        in
+        [
+          Test.make
+            ~name:(Printf.sprintf "tap-cycle-plain/rows=%03d" n)
+            (Staged.stage (fun () -> cycle plain));
+          Test.make
+            ~name:(Printf.sprintf "tap-cycle-cached/rows=%03d" n)
+            (Staged.stage (fun () -> cycle cached));
+        ])
+      sizes
+  in
   let rows =
     run_experiment
-      "B8: session ablation — the cache in the full interaction loop"
-      "End-to-end effect of the Sec. 5 optimization on a whole user \
-       interaction (tap + handler + re-render + re-layout + paint), \
-       rather than on layout in isolation (B4)."
-      (Test.make_grouped ~name:"b8" tests)
+      "B8: session ablation — the caches in the full interaction loop"
+      "End-to-end effect of the incremental pipeline: the Sec. 5 layout \
+       cache on a whole interaction; the dependency-tracked render cache \
+       on an unchanged-store re-render (revalidation, no evaluation) and \
+       on the tap loop (one dirty row re-evaluated, the rest spliced)."
+      (Test.make_grouped ~name:"b8"
+         (layout_tests @ rerender_tests @ tap_tests))
   in
   List.iter
     (fun n ->
@@ -478,6 +600,29 @@ let b8 () =
       Printf.printf "  -> rows=%3d: plain/incremental = %.2fx\n" n
         (plain /. inc))
     sizes;
+  List.iter
+    (fun n ->
+      let plain =
+        find rows (Printf.sprintf "b8/rerender-unchanged-plain/rows=%03d" n)
+      in
+      let cached =
+        find rows (Printf.sprintf "b8/rerender-unchanged-cached/rows=%03d" n)
+      in
+      Printf.printf
+        "  -> rows=%3d: unchanged-store re-render plain/cached = %.1fx\n" n
+        (plain /. cached))
+    sizes;
+  List.iter
+    (fun n ->
+      let plain =
+        find rows (Printf.sprintf "b8/tap-cycle-plain/rows=%03d" n)
+      in
+      let cached =
+        find rows (Printf.sprintf "b8/tap-cycle-cached/rows=%03d" n)
+      in
+      Printf.printf "  -> rows=%3d: tap cycle plain/cached = %.2fx\n" n
+        (plain /. cached))
+    sizes;
   rows
 
 (* ------------------------------------------------------------------ *)
@@ -487,12 +632,23 @@ let () =
     "itsalive benchmark harness — regenerating the paper's performance \
      discussion\n";
   Printf.printf "(quota per point: %.2fs; set BENCH_QUOTA to change)\n" quota;
-  let _ = b1 () in
-  let _ = b2 () in
-  let _ = b3 () in
-  let _ = b4 () in
-  let _ = b5 () in
-  let _ = b6 () in
-  let _ = b7 () in
-  let _ = b8 () in
+  let r1 = b1 () in
+  let r2 = b2 () in
+  let r3 = b3 () in
+  let r4 = b4 () in
+  let r5 = b5 () in
+  let r6 = b6 () in
+  let r7 = b7 () in
+  let r8 = b8 () in
+  write_json
+    [
+      ("b1", r1);
+      ("b2", r2);
+      ("b3", r3);
+      ("b4", r4);
+      ("b5", r5);
+      ("b6", r6);
+      ("b7", r7);
+      ("b8", r8);
+    ];
   Printf.printf "\nDone. See EXPERIMENTS.md for interpretation.\n"

@@ -169,3 +169,13 @@ and size_expr = function
   | Proj (e, _) | Set (_, e) | Push (_, e) | Boxed (_, e) | Post e
   | SetAttr (_, e) ->
       1 + size_expr e
+
+(** Structural hashes for the render memoization cache.
+    [Hashtbl.hash]'s default traversal bound (10 meaningful nodes)
+    would make most distinct render subexpressions collide; the widened
+    bound keeps collisions rare.  Every cache consumer re-verifies with
+    {!equal_expr} / {!equal_value} on a hit, so a residual collision
+    costs time, never correctness. *)
+let hash_value (v : value) : int = Hashtbl.hash_param 500 1000 v
+
+let hash_expr (e : expr) : int = Hashtbl.hash_param 500 1000 e

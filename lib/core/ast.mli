@@ -63,3 +63,10 @@ val closed_value : value -> bool
 
 val size_value : value -> int
 val size_expr : expr -> int
+
+val hash_value : value -> int
+(** Structural hash with a widened traversal bound; consumers verify
+    with {!equal_value} on a hit, so collisions cost time, never
+    correctness. *)
+
+val hash_expr : expr -> int

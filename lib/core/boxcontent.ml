@@ -44,6 +44,45 @@ let rec handlers ?(attr = "ontap") (b : t) : Ast.value list =
 let first_handler ?attr b =
   match handlers ?attr b with [] -> None | v :: _ -> Some v
 
+(** Hashed index over a tree's [ontap] handlers, so the TAP rule's
+    premise check [[ontap = v] ∈ B] is O(1) expected instead of a
+    List.exists scan over every handler in the tree.  Keys are
+    structural hashes; membership re-verifies with {!Ast.equal_value},
+    so collisions cost time, never a wrong premise. *)
+type handler_index = (int, Ast.value list) Hashtbl.t
+
+let build_handler_index (b : t) : handler_index =
+  let idx : handler_index = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let h = Ast.hash_value v in
+      let vs = Option.value (Hashtbl.find_opt idx h) ~default:[] in
+      Hashtbl.replace idx h (v :: vs))
+    (handlers b);
+  idx
+
+let index_mem (idx : handler_index) (v : Ast.value) : bool =
+  match Hashtbl.find_opt idx (Ast.hash_value v) with
+  | Some vs -> List.exists (Ast.equal_value v) vs
+  | None -> false
+
+(* One-slot memo keyed on the physical identity of the tree: the
+   common pattern is many taps validated against the same display, and
+   box content is immutable, so [==] identifies "the same display".
+   RENDER installs a new tree and the next tap rebuilds the index. *)
+let index_memo : (t * handler_index) option ref = ref None
+
+let handler_index (b : t) : handler_index =
+  match !index_memo with
+  | Some (b0, idx) when b0 == b -> idx
+  | _ ->
+      let idx = build_handler_index b in
+      index_memo := Some (b, idx);
+      idx
+
+let mem_handler (b : t) (v : Ast.value) : bool =
+  index_mem (handler_index b) v
+
 (** Attributes set directly on this box (not in nested boxes); last
     write wins, as the render code's later [box.a := v] overrides an
     earlier one. *)

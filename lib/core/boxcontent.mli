@@ -19,6 +19,20 @@ val handlers : ?attr:Ident.attr -> t -> Ast.value list
 
 val first_handler : ?attr:Ident.attr -> t -> Ast.value option
 
+type handler_index
+(** Hashed index over a tree's [ontap] handlers; see {!mem_handler}. *)
+
+val build_handler_index : t -> handler_index
+val index_mem : handler_index -> Ast.value -> bool
+
+val handler_index : t -> handler_index
+(** The index for this tree, memoized by physical identity (box
+    content is immutable; RENDER installs a fresh tree). *)
+
+val mem_handler : t -> Ast.value -> bool
+(** [[ontap = v] ∈ B] in O(1) expected time — the TAP premise.
+    Equivalent to [List.exists (Ast.equal_value v) (handlers b)]. *)
+
 val own_attr : Ident.attr -> t -> Ast.value option
 (** The box's own attribute (not nested ones); last write wins. *)
 

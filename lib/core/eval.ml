@@ -235,16 +235,43 @@ let run_small ?(fuel = default_fuel) (mode : Eff.t) (prog : Program.t)
 (* Big-step evaluator                                                  *)
 (* ================================================================== *)
 
+(** Read-set tracing for the render memoization cache
+    ({!Render_cache}): a stack of open scopes, one per [boxed]
+    subexpression being evaluated for the first time, plus the root
+    scope of the whole render.  Each global read is recorded (once —
+    render mode cannot change the store, so a global's value is stable
+    within one render) in the innermost scope; when a scope closes its
+    reads are folded into its parent, so every scope ends up with the
+    {e transitive} read set of its subtree. *)
+type readscope = (Ident.global, Ast.value) Hashtbl.t
+
+type tracer = { mutable scopes : readscope list  (** innermost first *) }
+
 type ctx = {
   prog : Program.t;
   mutable fuel : int;
   mutable store : Store.t;
   mutable queue : Event.t Fqueue.t;
+  trace : tracer option;  (** read-set tracing, on for cached renders *)
+  memo : Render_cache.t option;  (** subtree memoization, ditto *)
 }
 
 let tick (c : ctx) =
   c.fuel <- c.fuel - 1;
   if c.fuel <= 0 then raise Out_of_fuel
+
+let record_read (c : ctx) (g : Ident.global) (v : Ast.value) : unit =
+  match c.trace with
+  | None -> ()
+  | Some { scopes = scope :: _; _ } ->
+      if not (Hashtbl.mem scope g) then Hashtbl.add scope g v
+  | Some { scopes = []; _ } -> ()
+
+let record_reads (c : ctx) (reads : Render_cache.reads) : unit =
+  List.iter (fun (g, v) -> record_read c g v) reads
+
+let scope_reads (scope : readscope) : Render_cache.reads =
+  Hashtbl.fold (fun g v acc -> (g, v) :: acc) scope []
 
 (* Box accumulators are reversed lists for O(1) append. *)
 type boxacc = Boxcontent.item list ref
@@ -278,7 +305,9 @@ let rec eval (mode : Eff.t) (c : ctx) (box : boxacc option) (e : Ast.expr) :
       | _ -> stuck "projection from a non-tuple")
   | Ast.Get g -> (
       match Store.read c.prog g c.store with
-      | Some v -> v
+      | Some v ->
+          record_read c g v;
+          v
       | None -> stuck "undefined global %s" g)
   | Ast.Set (g, e1) ->
       if not (Eff.sub Eff.State mode) then
@@ -303,11 +332,14 @@ let rec eval (mode : Eff.t) (c : ctx) (box : boxacc option) (e : Ast.expr) :
       end
   | Ast.Boxed (id, inner) -> (
       match box with
-      | Some parent when Eff.sub Eff.Render mode ->
-          let acc : boxacc = ref [] in
-          let v = eval mode c (Some acc) inner in
-          parent := Boxcontent.Box (id, List.rev !acc) :: !parent;
-          v
+      | Some parent when Eff.sub Eff.Render mode -> (
+          match c.memo with
+          | None ->
+              let acc : boxacc = ref [] in
+              let v = eval mode c (Some acc) inner in
+              parent := Boxcontent.Box (id, List.rev !acc) :: !parent;
+              v
+          | Some memo -> eval_boxed_memo mode c parent memo id inner)
       | _ -> stuck "boxed outside render effect")
   | Ast.Post e1 -> (
       match box with
@@ -330,10 +362,46 @@ let rec eval (mode : Eff.t) (c : ctx) (box : boxacc option) (e : Ast.expr) :
       | Ok e' -> eval mode c box e'
       | Error m -> raise (Stuck m))
 
+(** A [boxed] expression under memoization.  [inner] is closed
+    (substitution already happened), so (inner, code, read globals)
+    determines the produced subtree: on a valid cache entry splice it
+    in without evaluating; otherwise evaluate under a fresh read scope
+    and record the entry.  Either way the subtree's reads are folded
+    into the enclosing scope, keeping parents' read sets transitive. *)
+and eval_boxed_memo (mode : Eff.t) (c : ctx) (parent : boxacc)
+    (memo : Render_cache.t) (id : Srcid.t option) (inner : Ast.expr) :
+    Ast.value =
+  let key = Render_cache.subtree_key id inner in
+  match
+    Render_cache.find_subtree memo key ~expr:inner ~prog:c.prog ~store:c.store
+  with
+  | Some entry ->
+      parent := entry.Render_cache.item :: !parent;
+      record_reads c entry.Render_cache.reads;
+      entry.Render_cache.value
+  | None ->
+      let scope : readscope = Hashtbl.create 8 in
+      (match c.trace with
+      | Some tr -> tr.scopes <- scope :: tr.scopes
+      | None -> ());
+      let acc : boxacc = ref [] in
+      let v = eval mode c (Some acc) inner in
+      (match c.trace with
+      | Some tr -> tr.scopes <- List.tl tr.scopes
+      | None -> ());
+      let item = Boxcontent.Box (id, List.rev !acc) in
+      parent := item :: !parent;
+      let reads = scope_reads scope in
+      Render_cache.add_subtree memo key ~expr:inner ~value:v ~item ~reads;
+      record_reads c reads;
+      v
+
 (** Evaluate a pure expression: [(C, S, e) ->p* (C, S, v)]. *)
 let eval_pure ?(fuel = default_fuel) (prog : Program.t) (store : Store.t)
     (e : Ast.expr) : Ast.value =
-  let c = { prog; fuel; store; queue = Fqueue.empty } in
+  let c =
+    { prog; fuel; store; queue = Fqueue.empty; trace = None; memo = None }
+  in
   eval Eff.Pure c None e
 
 (** Evaluate in standard mode: returns the value, final store, and the
@@ -341,7 +409,7 @@ let eval_pure ?(fuel = default_fuel) (prog : Program.t) (store : Store.t)
 let eval_state ?(fuel = default_fuel) (prog : Program.t) (store : Store.t)
     (queue : Event.t Fqueue.t) (e : Ast.expr) :
     Ast.value * Store.t * Event.t Fqueue.t =
-  let c = { prog; fuel; store; queue } in
+  let c = { prog; fuel; store; queue; trace = None; memo = None } in
   let v = eval Eff.State c None e in
   (v, c.store, c.queue)
 
@@ -351,7 +419,32 @@ let eval_state ?(fuel = default_fuel) (prog : Program.t) (store : Store.t)
     is read-only by construction. *)
 let eval_render ?(fuel = default_fuel) (prog : Program.t) (store : Store.t)
     (e : Ast.expr) : Ast.value * Boxcontent.t =
-  let c = { prog; fuel; store; queue = Fqueue.empty } in
+  let c =
+    { prog; fuel; store; queue = Fqueue.empty; trace = None; memo = None }
+  in
   let acc : boxacc = ref [] in
   let v = eval Eff.Render c (Some acc) e in
   (v, List.rev !acc)
+
+(** {!eval_render} with read-set tracing and (optionally) subtree
+    memoization against [memo]: additionally returns the set of globals
+    the render read, with the values it observed — the dependency
+    record that lets [Machine.render] revalidate the whole display next
+    time without evaluating anything. *)
+let eval_render_traced ?(fuel = default_fuel) ?memo (prog : Program.t)
+    (store : Store.t) (e : Ast.expr) :
+    Ast.value * Boxcontent.t * Render_cache.reads =
+  let root : readscope = Hashtbl.create 16 in
+  let c =
+    {
+      prog;
+      fuel;
+      store;
+      queue = Fqueue.empty;
+      trace = Some { scopes = [ root ] };
+      memo;
+    }
+  in
+  let acc : boxacc = ref [] in
+  let v = eval Eff.Render c (Some acc) e in
+  (v, List.rev !acc, scope_reads root)

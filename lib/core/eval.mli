@@ -65,3 +65,15 @@ val eval_render :
   ?fuel:int -> Program.t -> Store.t -> Ast.expr -> Ast.value * Boxcontent.t
 (** Render mode against the implicit top-level box (Sec. 4.3); the
     store is read-only by construction. *)
+
+val eval_render_traced :
+  ?fuel:int ->
+  ?memo:Render_cache.t ->
+  Program.t ->
+  Store.t ->
+  Ast.expr ->
+  Ast.value * Boxcontent.t * Render_cache.reads
+(** {!eval_render} plus the render's read set (each global read, with
+    the observed value).  With [memo], every [boxed] subexpression is
+    memoized: a valid cache entry is spliced in without evaluation.
+    The untraced {!eval_render} path is unaffected. *)

@@ -67,7 +67,7 @@ let tap (st : State.t) ~(handler : Ast.value) : State.t outcome =
   in
   let* () =
     guard
-      (List.exists (Ast.equal_value handler) (Boxcontent.handlers b))
+      (Boxcontent.mem_handler b handler)
       "TAP requires [ontap = v] ∈ B"
   in
   Ok (State.invalidate (State.enqueue (Event.Exec handler) st))
@@ -123,8 +123,17 @@ let dispatch ?fuel (st : State.t) : State.t outcome =
 (* ------------------------------------------------------------------ *)
 
 (** (RENDER): from [(C, ⊥, S, P(p,v), eps)], run the page's render
-    code in render mode and install the produced box tree. *)
-let render ?fuel (st : State.t) : State.t outcome =
+    code in render mode and install the produced box tree.
+
+    With [cache], the render is memoized (see {!Render_cache} for the
+    soundness argument): if the same page was previously rendered with
+    the same argument under the same code and none of the globals that
+    render read has changed, the previous box tree is revalidated
+    without evaluating at all; otherwise the render runs with read-set
+    tracing and unchanged [boxed] subtrees are spliced from the cache.
+    Either way the installed display is exactly what the uncached rule
+    would produce. *)
+let render ?fuel ?cache (st : State.t) : State.t outcome =
   let* () =
     guard (not (State.display_valid st)) "RENDER requires an invalid display"
   in
@@ -139,13 +148,30 @@ let render ?fuel (st : State.t) : State.t outcome =
   match Program.find_page st.code p with
   | None -> Error (Execution_failed (Fmt.str "undefined page %s" p))
   | Some (_, _, render_fn) -> (
-      match
-        Eval.eval_render ?fuel st.code st.store
-          (Ast.App (render_fn, Ast.Val v))
-      with
-      | _, box -> Ok { st with display = State.Shown box }
-      | exception Eval.Stuck m -> Error (Execution_failed m)
-      | exception Eval.Out_of_fuel -> Error Diverged)
+      let expr = Ast.App (render_fn, Ast.Val v) in
+      match cache with
+      | None -> (
+          match Eval.eval_render ?fuel st.code st.store expr with
+          | _, box -> Ok { st with display = State.Shown box }
+          | exception Eval.Stuck m -> Error (Execution_failed m)
+          | exception Eval.Out_of_fuel -> Error Diverged)
+      | Some cache -> (
+          Render_cache.ensure_code cache st.code;
+          match
+            Render_cache.find_display cache ~page:p ~arg:v ~prog:st.code
+              ~store:st.store
+          with
+          | Some box -> Ok { st with display = State.Shown box }
+          | None -> (
+              match
+                Eval.eval_render_traced ?fuel ~memo:cache st.code st.store
+                  expr
+              with
+              | _, box, reads ->
+                  Render_cache.add_display cache ~page:p ~arg:v ~reads box;
+                  Ok { st with display = State.Shown box }
+              | exception Eval.Stuck m -> Error (Execution_failed m)
+              | exception Eval.Out_of_fuel -> Error Diverged)))
 
 (* ------------------------------------------------------------------ *)
 (* Code update                                                         *)
@@ -193,7 +219,7 @@ let update ?(report = ref None) (new_code : Program.t) (st : State.t) :
     system state is unstable, one of the following transitions is
     always enabled" loop of Sec. 4.2: STARTUP on an empty stack,
     event dispatch while the queue is non-empty, then RENDER. *)
-let run_to_stable ?fuel ?(max_steps = 100_000) (st : State.t) :
+let run_to_stable ?fuel ?cache ?(max_steps = 100_000) (st : State.t) :
     State.t outcome =
   let rec go n st =
     if n <= 0 then Error Diverged
@@ -204,7 +230,7 @@ let run_to_stable ?fuel ?(max_steps = 100_000) (st : State.t) :
       let* st = dispatch ?fuel st in
       go (n - 1) st
     else if not (State.display_valid st) then
-      let* st = render ?fuel st in
+      let* st = render ?fuel ?cache st in
       go (n - 1) st
     else Ok st
   in
@@ -212,5 +238,5 @@ let run_to_stable ?fuel ?(max_steps = 100_000) (st : State.t) :
 
 (** Boot a program: initial state [(C, ⊥, eps, eps, eps)] driven to its
     first stable state. *)
-let boot ?fuel ?max_steps (code : Program.t) : State.t outcome =
-  run_to_stable ?fuel ?max_steps (State.initial code)
+let boot ?fuel ?cache ?max_steps (code : Program.t) : State.t outcome =
+  run_to_stable ?fuel ?cache ?max_steps (State.initial code)

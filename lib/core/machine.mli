@@ -36,9 +36,13 @@ val back : State.t -> State.t
 val dispatch : ?fuel:int -> State.t -> State.t outcome
 (** Dequeue and handle one event: (THUNK), (PUSH) or (POP). *)
 
-val render : ?fuel:int -> State.t -> State.t outcome
+val render : ?fuel:int -> ?cache:Render_cache.t -> State.t -> State.t outcome
 (** (RENDER): from [(C, ⊥, S, P(p,v), eps)], rebuild the display by
-    running the top page's render code in render mode. *)
+    running the top page's render code in render mode.  With [cache]
+    the render is memoized on the globals it reads — observationally
+    identical (see {!Render_cache}), but an unchanged display is
+    revalidated without evaluating and unchanged [boxed] subtrees are
+    spliced in without re-evaluation. *)
 
 val update :
   ?report:Fixup.report option ref ->
@@ -49,9 +53,20 @@ val update :
     code provided [C' |- C'] (plus the start-page condition); fix up
     store and stack per Fig. 12; invalidate the display. *)
 
-val run_to_stable : ?fuel:int -> ?max_steps:int -> State.t -> State.t outcome
+val run_to_stable :
+  ?fuel:int ->
+  ?cache:Render_cache.t ->
+  ?max_steps:int ->
+  State.t ->
+  State.t outcome
 (** Drive internal transitions (STARTUP / dispatch / RENDER) until the
-    state is stable with a valid display — Sec. 4.2's liveness loop. *)
+    state is stable with a valid display — Sec. 4.2's liveness loop.
+    [cache] memoizes the RENDER steps. *)
 
-val boot : ?fuel:int -> ?max_steps:int -> Program.t -> State.t outcome
+val boot :
+  ?fuel:int ->
+  ?cache:Render_cache.t ->
+  ?max_steps:int ->
+  Program.t ->
+  State.t outcome
 (** {!State.initial} driven to its first stable state. *)

@@ -1,0 +1,184 @@
+(** Dependency-tracked memoization of render evaluation.
+
+    The paper's type-and-effect discipline is what makes this sound:
+    render code has effect [r], so it may {e read} globals but never
+    write them, never touch the event queue, and never capture mutable
+    state (Sec. 4.1's model-view separation).  Evaluation is
+    substitution-based, so by the time a [boxed] subexpression is
+    evaluated it is {e closed}: the box subtree and value it produces
+    are a pure function of
+
+    - the subexpression itself (argument values are substituted in),
+    - the code [C] (function bodies reached through [Fn]), and
+    - the values of the globals it reads (rule EP-GLOBAL-1/2).
+
+    Hence a cache entry [(srcid, e) -> (v, B, reads)] may be replayed
+    whenever the same expression is rendered again under the same code
+    and a store that gives every global in [reads] the same value.  The
+    cache is flushed wholesale whenever the code changes (the UPDATE
+    transition installs a fresh {!Program.t}; {!ensure_code} detects it
+    by physical identity), which also covers the subtle cases — edited
+    function bodies, changed global {e initial} values read through
+    EP-GLOBAL-2, and re-stamped source ids.
+
+    Two layers:
+
+    - {b subtree entries}, consulted by {!Eval} at every [boxed]
+      expression: a hit splices the cached {!Boxcontent.item} into the
+      parent box without evaluating the subtree;
+    - {b the display entry}, consulted by [Machine.render] before
+      evaluating at all: if the same page is re-rendered with the same
+      argument and none of the globals the {e previous} render read
+      changed, the previous box tree is revalidated for free (a THUNK
+      that did not touch rendered state costs no render work). *)
+
+type reads = (Ident.global * Ast.value) list
+(** The read set of one evaluation: each global read, with the value
+    observed.  Render mode cannot write the store, so within a single
+    render every global has one stable value and each appears once. *)
+
+type subtree_entry = {
+  expr : Ast.expr;  (** the (closed) boxed subexpression — the real key *)
+  value : Ast.value;  (** the value the subexpression produced *)
+  item : Boxcontent.item;  (** the [Box] item it appended to its parent *)
+  reads : reads;
+}
+
+type display_entry = {
+  page : Ident.page;
+  arg : Ast.value;
+  box : Boxcontent.t;
+  display_reads : reads;
+}
+
+type stats = {
+  hits : int;  (** subtree entries spliced without evaluation *)
+  misses : int;  (** subtree evaluations that populated an entry *)
+  revalidations : int;  (** whole displays revalidated without evaluation *)
+  flushes : int;  (** wholesale invalidations (code changes) *)
+}
+
+type t = {
+  subtrees : (int * int, subtree_entry) Hashtbl.t;
+      (** key: (srcid as int, -1 for none; {!Ast.hash_expr} of the
+          subexpression); verified against [expr] on every hit *)
+  displays : (Ident.page, display_entry) Hashtbl.t;
+  mutable code : Program.t option;
+      (** the code the entries were recorded under, compared by
+          physical identity — UPDATE always installs a fresh value *)
+  mutable capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable revalidations : int;
+  mutable flushes : int;
+}
+
+(** Wholesale-flush threshold: beyond this many subtree entries the
+    cache resets rather than grow without bound (a long session that
+    renders many distinct subtrees, e.g. an ever-growing list). *)
+let default_capacity = 16_384
+
+let create ?(capacity = default_capacity) () : t =
+  {
+    subtrees = Hashtbl.create 256;
+    displays = Hashtbl.create 4;
+    code = None;
+    capacity;
+    hits = 0;
+    misses = 0;
+    revalidations = 0;
+    flushes = 0;
+  }
+
+let stats (c : t) : stats =
+  {
+    hits = c.hits;
+    misses = c.misses;
+    revalidations = c.revalidations;
+    flushes = c.flushes;
+  }
+
+let size (c : t) = Hashtbl.length c.subtrees
+
+let flush (c : t) : unit =
+  Hashtbl.reset c.subtrees;
+  Hashtbl.reset c.displays;
+  c.code <- None;
+  c.flushes <- c.flushes + 1
+
+(** Bind the cache to the given code, flushing every entry recorded
+    under different code.  Called at the start of every cached RENDER,
+    so a code swap (UPDATE) can never replay stale entries even if the
+    caller forgets to flush. *)
+let ensure_code (c : t) (prog : Program.t) : unit =
+  match c.code with
+  | Some p when p == prog -> ()
+  | Some _ -> flush c; c.code <- Some prog
+  | None -> c.code <- Some prog
+
+(** Every recorded read observes the same value in [store]?  Reads are
+    validated with {!Store.read} (not raw lookup) so a global whose
+    assigned value was dropped back to its initial value still
+    validates iff the observed value matches. *)
+let reads_valid (prog : Program.t) (store : Store.t) (reads : reads) : bool =
+  List.for_all
+    (fun (g, v0) ->
+      match Store.read prog g store with
+      | Some v -> Ast.equal_value v0 v
+      | None -> false)
+    reads
+
+(* ------------------------------------------------------------------ *)
+(* Subtree entries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let subtree_key (id : Srcid.t option) (e : Ast.expr) : int * int =
+  let i = match id with Some i -> Srcid.to_int i | None -> -1 in
+  (i, Ast.hash_expr e)
+
+(** Look up a replayable entry for the boxed subexpression [expr]:
+    same expression, every recorded read unchanged. *)
+let find_subtree (c : t) (key : int * int) ~(expr : Ast.expr)
+    ~(prog : Program.t) ~(store : Store.t) : subtree_entry option =
+  match Hashtbl.find_opt c.subtrees key with
+  | Some e
+    when Ast.equal_expr e.expr expr && reads_valid prog store e.reads ->
+      c.hits <- c.hits + 1;
+      Some e
+  | Some _ | None ->
+      c.misses <- c.misses + 1;
+      None
+
+let add_subtree (c : t) (key : int * int) ~(expr : Ast.expr)
+    ~(value : Ast.value) ~(item : Boxcontent.item) ~(reads : reads) : unit =
+  if Hashtbl.length c.subtrees >= c.capacity then begin
+    let code = c.code in
+    flush c;
+    c.code <- code
+  end;
+  Hashtbl.replace c.subtrees key { expr; value; item; reads }
+
+(* ------------------------------------------------------------------ *)
+(* The whole-display fast path                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Revalidate the previous render of [page]: same argument, no read
+    global changed.  [ensure_code] must have been called first, so the
+    code is known identical. *)
+let find_display (c : t) ~(page : Ident.page) ~(arg : Ast.value)
+    ~(prog : Program.t) ~(store : Store.t) : Boxcontent.t option =
+  match Hashtbl.find_opt c.displays page with
+  | Some d
+    when Ast.equal_value d.arg arg
+         && reads_valid prog store d.display_reads ->
+      c.revalidations <- c.revalidations + 1;
+      Some d.box
+  | Some _ | None -> None
+
+let add_display (c : t) ~(page : Ident.page) ~(arg : Ast.value)
+    ~(reads : reads) (box : Boxcontent.t) : unit =
+  Hashtbl.replace c.displays page { page; arg; box; display_reads = reads }
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "hits=%d misses=%d revalidations=%d flushes=%d" s.hits s.misses
+    s.revalidations s.flushes

@@ -1,0 +1,82 @@
+(** Dependency-tracked memoization of render evaluation.
+
+    Sound because render code has effect [r]: a boxed subexpression is
+    closed (substitution-based evaluation) and may only {e read}
+    globals, so its output is a pure function of (the expression, the
+    code, the values of the globals it read).  Entries are replayed
+    only under physically identical code ({!ensure_code} flushes
+    otherwise — UPDATE always installs a fresh {!Program.t}) and a
+    store in which every recorded read observes the same value. *)
+
+type reads = (Ident.global * Ast.value) list
+(** Globals read during one evaluation, with the observed values. *)
+
+type subtree_entry = {
+  expr : Ast.expr;
+  value : Ast.value;
+  item : Boxcontent.item;
+  reads : reads;
+}
+
+type stats = {
+  hits : int;  (** subtree entries spliced without evaluation *)
+  misses : int;  (** subtree evaluations that populated an entry *)
+  revalidations : int;  (** whole displays revalidated without evaluation *)
+  flushes : int;  (** wholesale invalidations (code changes) *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the subtree table; exceeding it resets the cache
+    (default 16384 entries). *)
+
+val stats : t -> stats
+val size : t -> int
+
+val flush : t -> unit
+(** Drop every entry (counted in {!stats}.flushes). *)
+
+val ensure_code : t -> Program.t -> unit
+(** Flush unless the entries were recorded under this exact (physically
+    identical) code.  Call before consulting the cache for a render. *)
+
+val reads_valid : Program.t -> Store.t -> reads -> bool
+
+val subtree_key : Srcid.t option -> Ast.expr -> int * int
+
+val find_subtree :
+  t ->
+  int * int ->
+  expr:Ast.expr ->
+  prog:Program.t ->
+  store:Store.t ->
+  subtree_entry option
+(** A replayable entry: same expression (verified structurally), every
+    recorded read unchanged.  Counts a hit or a miss. *)
+
+val add_subtree :
+  t ->
+  int * int ->
+  expr:Ast.expr ->
+  value:Ast.value ->
+  item:Boxcontent.item ->
+  reads:reads ->
+  unit
+
+val find_display :
+  t ->
+  page:Ident.page ->
+  arg:Ast.value ->
+  prog:Program.t ->
+  store:Store.t ->
+  Boxcontent.t option
+(** The whole-display fast path: the previous render of this page with
+    the same argument whose read globals all still hold the observed
+    values.  {!ensure_code} must have been called for the current
+    code. *)
+
+val add_display :
+  t -> page:Ident.page -> arg:Ast.value -> reads:reads -> Boxcontent.t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

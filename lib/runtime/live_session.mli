@@ -18,7 +18,14 @@ type error =
 val error_to_string : error -> string
 
 val create :
-  ?width:int -> ?fuel:int -> ?incremental:bool -> string -> (t, error) result
+  ?width:int ->
+  ?fuel:int ->
+  ?incremental:bool ->
+  ?cache:bool ->
+  string ->
+  (t, error) result
+(** [cache] enables the end-to-end incremental render pipeline (see
+    {!Session.create}). *)
 
 val session : t -> Session.t
 val compiled : t -> Live_surface.Compile.compiled

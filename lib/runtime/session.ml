@@ -8,12 +8,46 @@
     — the implementation counterpart of the TAP rule's premise
     [[ontap = v] ∈ B].
 
+    With [~cache:true] the whole render pipeline is incremental, end to
+    end: RENDER is memoized on the globals it reads
+    ({!Live_core.Render_cache}), an unchanged box tree skips re-layout
+    (physical identity — the cache returns the previous tree), and
+    painting repaints only the damaged row spans
+    ({!Live_ui.Render.paint_damaged}).  All of it is observationally
+    transparent; {!render_cache_stats} and {!damage_stats} expose the
+    hit/miss/damage counters for tests and benchmarks.
+
     A session also records the trace of user interactions, which the
     restart baseline replays and which this runtime deliberately never
     needs. *)
 
 module Machine = Live_core.Machine
 module State = Live_core.State
+
+(** The last painted frame: box content, its layout, its pixels. *)
+type frame = {
+  fbox : Live_core.Boxcontent.t;
+  froot : Live_ui.Layout.node;
+  ffb : Live_ui.Framebuffer.t;
+}
+
+(** Cumulative damage-painting counters (cache-enabled sessions). *)
+type damage_totals = {
+  frames : int;  (** screenshots that painted something *)
+  skipped_frames : int;  (** identical frames reused outright *)
+  full_repaints : int;  (** height changes forcing a full paint *)
+  repainted_rows : int;  (** dirty rows actually repainted *)
+  total_rows : int;  (** rows a full repaint would have painted *)
+}
+
+let no_damage =
+  {
+    frames = 0;
+    skipped_frames = 0;
+    full_repaints = 0;
+    repainted_rows = 0;
+    total_rows = 0;
+  }
 
 type t = {
   mutable state : State.t;
@@ -22,18 +56,26 @@ type t = {
   mutable layout : Live_ui.Layout.node option;
   mutable trace : Trace.t;
   cache : Live_ui.Layout.cache option;  (** incremental layout, if on *)
+  render_cache : Live_core.Render_cache.t option;
+      (** dependency-tracked render memoization, if on *)
+  reuse : Live_ui.Layout.reuse option;
+      (** previous-frame physical layout reuse (with [render_cache]) *)
+  mutable frame : frame option;  (** last painted frame (cache on) *)
+  mutable damage : damage_totals;
 }
 
 let ( let* ) = Result.bind
 
 let stabilize (t : t) : (unit, Machine.error) result =
-  let* st = Machine.run_to_stable ~fuel:t.fuel t.state in
+  let* st =
+    Machine.run_to_stable ~fuel:t.fuel ?cache:t.render_cache t.state
+  in
   t.state <- st;
   t.layout <- None;
   Ok ()
 
 let create ?(width = 48) ?(fuel = Live_core.Eval.default_fuel)
-    ?(incremental = false) (program : Live_core.Program.t) :
+    ?(incremental = false) ?(cache = false) (program : Live_core.Program.t) :
     (t, Machine.error) result =
   let t =
     {
@@ -43,6 +85,11 @@ let create ?(width = 48) ?(fuel = Live_core.Eval.default_fuel)
       layout = None;
       trace = Trace.empty;
       cache = (if incremental then Some (Live_ui.Layout.create_cache ()) else None);
+      render_cache =
+        (if cache then Some (Live_core.Render_cache.create ()) else None);
+      reuse = (if cache then Some (Live_ui.Layout.create_reuse ()) else None);
+      frame = None;
+      damage = no_damage;
     }
   in
   let* () = stabilize t in
@@ -58,7 +105,9 @@ let display_content (t : t) : Live_core.Boxcontent.t option =
   | State.Shown b -> Some b
 
 (** The layout of the current display, computed lazily and cached until
-    the next transition. *)
+    the next transition.  When the render cache revalidated the display
+    (the box tree is physically the previous one), the previous layout
+    is reused without recomputation. *)
 let layout (t : t) : Live_ui.Layout.node option =
   match t.layout with
   | Some l -> Some l
@@ -66,20 +115,74 @@ let layout (t : t) : Live_ui.Layout.node option =
       match display_content t with
       | None -> None
       | Some b ->
-          let l = Live_ui.Layout.layout_page ?cache:t.cache ~width:t.width b in
+          let l =
+            match t.frame with
+            | Some fr when fr.fbox == b -> fr.froot
+            | _ ->
+                Live_ui.Layout.layout_page ?cache:t.cache ?reuse:t.reuse
+                  ~width:t.width b
+          in
           t.layout <- Some l;
           Some l)
+
+let full_paint (t : t) (root : Live_ui.Layout.node) : Live_ui.Framebuffer.t =
+  let fb =
+    Live_ui.Framebuffer.create ~width:t.width
+      ~height:(max 1 (Live_ui.Layout.total_height root))
+  in
+  Live_ui.Render.paint fb root;
+  fb
 
 let screenshot (t : t) : string =
   match layout t with
   | None -> "<display invalid>\n"
-  | Some root ->
-      let fb =
-        Live_ui.Framebuffer.create ~width:t.width
-          ~height:(max 1 (Live_ui.Layout.total_height root))
-      in
-      Live_ui.Render.paint fb root;
-      Live_ui.Framebuffer.to_text fb
+  | Some root -> (
+      match t.render_cache with
+      | None -> Live_ui.Framebuffer.to_text (full_paint t root)
+      | Some _ -> (
+          let b =
+            match display_content t with
+            | Some b -> b
+            | None -> assert false (* layout t returned Some *)
+          in
+          match t.frame with
+          | Some fr when fr.fbox == b ->
+              (* the display was revalidated: the last frame is already
+                 this frame *)
+              t.damage <-
+                { t.damage with skipped_frames = t.damage.skipped_frames + 1 };
+              Live_ui.Framebuffer.to_text fr.ffb
+          | Some fr ->
+              let fb, dmg =
+                Live_ui.Render.paint_damaged ~prev:(fr.froot, fr.ffb) root
+              in
+              t.damage <-
+                {
+                  t.damage with
+                  frames = t.damage.frames + 1;
+                  full_repaints =
+                    (t.damage.full_repaints
+                    + if dmg.Live_ui.Render.full then 1 else 0);
+                  repainted_rows =
+                    t.damage.repainted_rows + dmg.Live_ui.Render.repainted_rows;
+                  total_rows = t.damage.total_rows + dmg.Live_ui.Render.total_rows;
+                };
+              t.frame <- Some { fbox = b; froot = root; ffb = fb };
+              Live_ui.Framebuffer.to_text fb
+          | None ->
+              let fb = full_paint t root in
+              t.damage <-
+                {
+                  t.damage with
+                  frames = t.damage.frames + 1;
+                  full_repaints = t.damage.full_repaints + 1;
+                  repainted_rows =
+                    t.damage.repainted_rows + fb.Live_ui.Framebuffer.height;
+                  total_rows =
+                    t.damage.total_rows + fb.Live_ui.Framebuffer.height;
+                };
+              t.frame <- Some { fbox = b; froot = root; ffb = fb };
+              Live_ui.Framebuffer.to_text fb))
 
 let screenshot_ansi (t : t) : string =
   match display_content t with
@@ -128,7 +231,9 @@ let back (t : t) : (unit, Machine.error) result =
 
 (** Apply a code update (the UPDATE transition) and re-render.
     Returns the fix-up report: which globals and stack entries the
-    update deleted. *)
+    update deleted.  The render cache flushes itself on the code swap
+    (its entries are keyed to the old code), preserving live-edit
+    semantics exactly. *)
 let update (t : t) (new_code : Live_core.Program.t) :
     (Live_core.Fixup.report, Machine.error) result =
   let report = ref None in
@@ -146,3 +251,9 @@ let store (t : t) = t.state.State.store
 
 let cache_stats (t : t) : (int * int) option =
   Option.map Live_ui.Layout.cache_stats t.cache
+
+let render_cache_stats (t : t) : Live_core.Render_cache.stats option =
+  Option.map Live_core.Render_cache.stats t.render_cache
+
+let damage_stats (t : t) : damage_totals option =
+  match t.render_cache with None -> None | Some _ -> Some t.damage

@@ -5,15 +5,28 @@
 
 type t
 
+type damage_totals = {
+  frames : int;  (** screenshots that painted something *)
+  skipped_frames : int;  (** identical frames reused outright *)
+  full_repaints : int;  (** height changes forcing a full paint *)
+  repainted_rows : int;  (** dirty rows actually repainted *)
+  total_rows : int;  (** rows a full repaint would have painted *)
+}
+
 val create :
   ?width:int ->
   ?fuel:int ->
   ?incremental:bool ->
+  ?cache:bool ->
   Live_core.Program.t ->
   (t, Live_core.Machine.error) result
 (** Boot to the first stable state.  [incremental] turns on the
     Sec. 5 layout-reuse cache (pixel-identical; see
-    [test/test_incremental.ml]). *)
+    [test/test_incremental.ml]).  [cache] turns on the end-to-end
+    incremental render pipeline: dependency-tracked RENDER memoization
+    ({!Live_core.Render_cache}), layout reuse for revalidated
+    displays, and damage-tracked repainting — also observationally
+    transparent (see [test/test_render_cache.ml]). *)
 
 val state : t -> Live_core.State.t
 val store : t -> Live_core.Store.t
@@ -50,3 +63,10 @@ val update :
 
 val cache_stats : t -> (int * int) option
 (** (hits, misses) of the incremental layout cache, if enabled. *)
+
+val render_cache_stats : t -> Live_core.Render_cache.stats option
+(** Hit/miss/revalidation/flush counters of the render memoization
+    cache, if enabled. *)
+
+val damage_stats : t -> damage_totals option
+(** Cumulative damage-painting counters, if the cache is enabled. *)

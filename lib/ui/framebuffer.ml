@@ -29,35 +29,55 @@ let set_char (t : t) ~x ~y ?(fg = Color.Default) ?(bg = Color.Default)
     ?(bold = false) (ch : char) : unit =
   set t ~x ~y { ch; fg; bg; bold }
 
+(** Row masks for damage-tracked repainting: when [rows] is given,
+    writes land only on rows marked [true] — the dirty rows.  Clean
+    rows keep the previous frame's cells verbatim. *)
+let row_on (rows : bool array option) (y : int) : bool =
+  match rows with
+  | None -> true
+  | Some m -> y >= 0 && y < Array.length m && m.(y)
+
+(** Reset one row to blank cells (damage repaint starts from the
+    previous frame and clears only the dirty rows). *)
+let clear_row (t : t) (y : int) : unit =
+  if y >= 0 && y < t.height then
+    for x = 0 to t.width - 1 do
+      t.cells.((y * t.width) + x) <- blank
+    done
+
 (** Fill a rectangle's background (keeps nothing underneath — boxes
     paint back-to-front). *)
-let fill_rect (t : t) (r : Geometry.rect) ~(bg : Color.t) : unit =
+let fill_rect (t : t) ?rows (r : Geometry.rect) ~(bg : Color.t) : unit =
   for y = r.y to r.y + r.h - 1 do
-    for x = r.x to r.x + r.w - 1 do
-      if in_bounds t x y then set t ~x ~y { blank with bg }
-    done
+    if row_on rows y then
+      for x = r.x to r.x + r.w - 1 do
+        if in_bounds t x y then set t ~x ~y { blank with bg }
+      done
   done
 
 (** Draw a string; clipped at the buffer edge and at [max_x] if given.
     Preserves the existing background of each cell so text composes
     over filled boxes. *)
-let draw_text (t : t) ~x ~y ?max_x ?(fg = Color.Default) ?(bold = false)
-    (s : string) : unit =
-  let limit = match max_x with Some m -> m | None -> t.width in
-  String.iteri
-    (fun i ch ->
-      let cx = x + i in
-      if cx < limit && in_bounds t cx y then begin
-        let prev = get t ~x:cx ~y in
-        set t ~x:cx ~y { ch; fg; bg = prev.bg; bold }
-      end)
-    s
+let draw_text (t : t) ?rows ~x ~y ?max_x ?(fg = Color.Default)
+    ?(bold = false) (s : string) : unit =
+  if row_on rows y then begin
+    let limit = match max_x with Some m -> m | None -> t.width in
+    String.iteri
+      (fun i ch ->
+        let cx = x + i in
+        if cx < limit && in_bounds t cx y then begin
+          let prev = get t ~x:cx ~y in
+          set t ~x:cx ~y { ch; fg; bg = prev.bg; bold }
+        end)
+      s
+  end
 
 (** Draw an ASCII border just inside the rectangle. *)
-let draw_border (t : t) (r : Geometry.rect) ?(fg = Color.Default) () : unit =
+let draw_border (t : t) ?rows (r : Geometry.rect) ?(fg = Color.Default) () :
+    unit =
   if r.w >= 2 && r.h >= 2 then begin
     let put x y ch =
-      if in_bounds t x y then begin
+      if row_on rows y && in_bounds t x y then begin
         let prev = get t ~x ~y in
         set t ~x ~y { ch; fg; bg = prev.bg; bold = false }
       end

@@ -22,18 +22,25 @@ val set_char :
   t -> x:int -> y:int -> ?fg:Color.t -> ?bg:Color.t -> ?bold:bool ->
   char -> unit
 
-val fill_rect : t -> Geometry.rect -> bg:Color.t -> unit
-(** Paint a background; boxes paint back-to-front. *)
+val clear_row : t -> int -> unit
+(** Reset one row to {!blank} cells (damage repaint clears only the
+    dirty rows of the previous frame). *)
+
+val fill_rect : t -> ?rows:bool array -> Geometry.rect -> bg:Color.t -> unit
+(** Paint a background; boxes paint back-to-front.  [rows] is a damage
+    mask: when given, only rows marked [true] are written. *)
 
 val draw_text :
-  t -> x:int -> y:int -> ?max_x:int -> ?fg:Color.t -> ?bold:bool ->
-  string -> unit
+  t -> ?rows:bool array -> x:int -> y:int -> ?max_x:int -> ?fg:Color.t ->
+  ?bold:bool -> string -> unit
 (** Clipped at the buffer edge and at [max_x]; preserves the existing
-    cell backgrounds so text composes over fills. *)
+    cell backgrounds so text composes over fills.  [rows] as in
+    {!fill_rect}. *)
 
-val draw_border : t -> Geometry.rect -> ?fg:Color.t -> unit -> unit
+val draw_border :
+  t -> ?rows:bool array -> Geometry.rect -> ?fg:Color.t -> unit -> unit
 (** ASCII frame ([+--+] / [|]) just inside the rectangle; skipped for
-    degenerate rectangles. *)
+    degenerate rectangles.  [rows] as in {!fill_rect}. *)
 
 val to_text : t -> string
 (** One line per row, trailing blanks trimmed — the golden format. *)

@@ -150,50 +150,138 @@ let cache_stats (c : cache) = (c.hits, c.misses)
 
 let rec rebase ~(dx : int) ~(dy : int) ~(prefix : int list) (n : node) : node
     =
-  let move (r : rect) = { r with x = r.x + dx; y = r.y + dy } in
-  {
-    n with
-    bpath = prefix @ n.bpath;
-    outer = move n.outer;
-    frame = move n.frame;
-    inner = move n.inner;
-    items =
-      List.map
-        (function
-          | Text t -> Text { t with rect = move t.rect }
-          | Child c -> Child (rebase ~dx ~dy ~prefix c))
-        n.items;
-  }
+  if dx = 0 && dy = 0 && prefix = [] then n
+  else
+    let move (r : rect) = { r with x = r.x + dx; y = r.y + dy } in
+    {
+      n with
+      bpath = prefix @ n.bpath;
+      outer = move n.outer;
+      frame = move n.frame;
+      inner = move n.inner;
+      items =
+        List.map
+          (function
+            | Text t -> Text { t with rect = move t.rect }
+            | Child c -> Child (rebase ~dx ~dy ~prefix c))
+          n.items;
+    }
+
+(** Previous-frame layout reuse by {e physical} identity, for sessions
+    whose box trees come out of {!Live_core.Render_cache}: the render
+    cache splices unchanged subtrees as the very same values, so a
+    subtree that is [==] to what stood at the same box path last frame
+    (with the same available width, stretch mode and srcid) lays out to
+    the same node, translated.  Unlike the structural {!cache} this
+    needs no hashing and no deep equality, and it holds exactly one
+    frame's entries, so it cannot grow without bound. *)
+type reuse = {
+  mutable last : (int list, reuse_entry) Hashtbl.t;
+      (** box path -> what was there last frame *)
+  mutable rhits : int;
+  mutable rmisses : int;
+}
+
+and reuse_entry = {
+  ebox : Boxcontent.t;
+  esrcid : Live_core.Srcid.t option;
+  eavail : int;
+  estretch : bool;
+  enode : node;
+}
+
+let create_reuse () : reuse =
+  { last = Hashtbl.create 64; rhits = 0; rmisses = 0 }
+
+let reuse_stats (r : reuse) = (r.rhits, r.rmisses)
+
+(* Record a laid-out subtree in the next frame's table.  Children's
+   layout inputs are recovered from the node itself: vertical children
+   stretch to the parent's inner width; horizontal children shrink
+   within the space right of their own left edge. *)
+let rec register_tree (next : (int list, reuse_entry) Hashtbl.t)
+    (b : Boxcontent.t) ~(srcid : Live_core.Srcid.t option) ~(avail : int)
+    ~(stretch : bool) (n : node) : unit =
+  Hashtbl.replace next n.bpath
+    { ebox = b; esrcid = srcid; eavail = avail; estretch = stretch; enode = n };
+  let horizontal = n.style.Style.direction = Style.Horizontal in
+  let boxes =
+    List.filter_map
+      (function Boxcontent.Box (id, c) -> Some (id, c) | _ -> None)
+      b
+  in
+  let childs =
+    List.filter_map (function Child c -> Some c | Text _ -> None) n.items
+  in
+  (* every Box item becomes a Child node, in order, by construction;
+     stop at the shorter list out of caution *)
+  let rec both bs cs =
+    match (bs, cs) with
+    | (id, cb) :: bs, cn :: cs ->
+        let avail =
+          if horizontal then n.inner.x + n.inner.w - cn.outer.x
+          else n.inner.w
+        in
+        register_tree next cb ~srcid:id ~avail ~stretch:(not horizontal) cn;
+        both bs cs
+    | _, _ -> ()
+  in
+  both boxes childs
 
 (** Lay out one box at absolute position [(x, y)] with [avail] outer
     width.  [stretch] forces the frame to fill the available width
-    (vertical-stack children); otherwise the box shrinks to content. *)
-let rec layout_box ?cache ~(x : int) ~(y : int) ~(avail : int)
+    (vertical-stack children); otherwise the box shrinks to content.
+    [frame] is the previous-frame physical-reuse table (paired with the
+    table being filled for the next frame); when active it takes the
+    place of the structural [cache]. *)
+let rec layout_box_frames ?cache ?frame ~(x : int) ~(y : int) ~(avail : int)
     ~(stretch : bool) ~(bpath : int list)
     (srcid : Live_core.Srcid.t option) (b : Boxcontent.t) : node =
-  match cache with
-  | None -> layout_box_raw ?cache:None ~x ~y ~avail ~stretch ~bpath srcid b
-  | Some c -> (
-      let id =
-        match srcid with
-        | Some i -> Live_core.Srcid.to_int i
-        | None -> -1
-      in
-      let key = (Boxcontent.hash b, id, avail, stretch) in
-      match Hashtbl.find_opt c.tbl key with
-      | Some (b0, n0) when Boxcontent.equal b0 b ->
-          c.hits <- c.hits + 1;
-          rebase ~dx:x ~dy:y ~prefix:bpath n0
-      | _ ->
-          c.misses <- c.misses + 1;
-          let n0 =
-            layout_box_raw ~cache:c ~x:0 ~y:0 ~avail ~stretch ~bpath:[]
-              srcid b
+  match frame with
+  | Some (r, next) -> (
+      match Hashtbl.find_opt r.last bpath with
+      | Some e
+        when e.ebox == b && e.eavail = avail && e.estretch = stretch
+             && Option.equal Live_core.Srcid.equal e.esrcid srcid ->
+          r.rhits <- r.rhits + 1;
+          let n0 = e.enode in
+          let n =
+            rebase ~dx:(x - n0.outer.x) ~dy:(y - n0.outer.y) ~prefix:[] n0
           in
-          Hashtbl.replace c.tbl key (b, n0);
-          rebase ~dx:x ~dy:y ~prefix:bpath n0)
+          register_tree next b ~srcid ~avail ~stretch n;
+          n
+      | _ ->
+          r.rmisses <- r.rmisses + 1;
+          let n = layout_box_raw ?frame ~x ~y ~avail ~stretch ~bpath srcid b in
+          Hashtbl.replace next bpath
+            { ebox = b; esrcid = srcid; eavail = avail; estretch = stretch;
+              enode = n };
+          n)
+  | None -> (
+      match cache with
+      | None ->
+          layout_box_raw ?cache:None ~x ~y ~avail ~stretch ~bpath srcid b
+      | Some c -> (
+          let id =
+            match srcid with
+            | Some i -> Live_core.Srcid.to_int i
+            | None -> -1
+          in
+          let key = (Boxcontent.hash b, id, avail, stretch) in
+          match Hashtbl.find_opt c.tbl key with
+          | Some (b0, n0) when Boxcontent.equal b0 b ->
+              c.hits <- c.hits + 1;
+              rebase ~dx:x ~dy:y ~prefix:bpath n0
+          | _ ->
+              c.misses <- c.misses + 1;
+              let n0 =
+                layout_box_raw ~cache:c ~x:0 ~y:0 ~avail ~stretch ~bpath:[]
+                  srcid b
+              in
+              Hashtbl.replace c.tbl key (b, n0);
+              rebase ~dx:x ~dy:y ~prefix:bpath n0))
 
-and layout_box_raw ?cache ~(x : int) ~(y : int) ~(avail : int)
+and layout_box_raw ?cache ?frame ~(x : int) ~(y : int) ~(avail : int)
     ~(stretch : bool) ~(bpath : int list)
     (srcid : Live_core.Srcid.t option) (b : Boxcontent.t) : node =
   let style = Style.of_box b in
@@ -249,8 +337,9 @@ and layout_box_raw ?cache ~(x : int) ~(y : int) ~(avail : int)
           if horizontal then begin
             let child_avail = max 0 (inner_x + inner_w - !cursor_x) in
             let n =
-              layout_box ?cache ~x:!cursor_x ~y:!cursor_y ~avail:child_avail
-                ~stretch:false ~bpath:(bpath @ [ idx ]) child_id child
+              layout_box_frames ?cache ?frame ~x:!cursor_x ~y:!cursor_y
+                ~avail:child_avail ~stretch:false ~bpath:(bpath @ [ idx ])
+                child_id child
             in
             items := Child n :: !items;
             cursor_x := !cursor_x + n.outer.w;
@@ -258,7 +347,7 @@ and layout_box_raw ?cache ~(x : int) ~(y : int) ~(avail : int)
           end
           else begin
             let n =
-              layout_box ?cache ~x:inner_x ~y:!cursor_y ~avail:inner_w
+              layout_box_frames ?cache ?frame ~x:inner_x ~y:!cursor_y ~avail:inner_w
                 ~stretch:true ~bpath:(bpath @ [ idx ]) child_id child
             in
             items := Child n :: !items;
@@ -280,14 +369,54 @@ and layout_box_raw ?cache ~(x : int) ~(y : int) ~(avail : int)
   let inner = inset frame chrome in
   { srcid; bpath; style; outer; frame; inner; items = List.rev !items }
 
+let layout_box ?cache ~x ~y ~avail ~stretch ~bpath srcid b =
+  layout_box_frames ?cache ~x ~y ~avail ~stretch ~bpath srcid b
+
 (** Lay out a page's whole box content under the implicit top-level
-    box ("our model has an implicit top-level box", Sec. 4.3). *)
-let layout_page ?cache ?(width = 48) (b : Boxcontent.t) : node =
-  layout_box ?cache ~x:0 ~y:0 ~avail:width ~stretch:true ~bpath:[] None b
+    box ("our model has an implicit top-level box", Sec. 4.3).
+    [reuse] rotates the previous-frame table: the layout consults last
+    frame's entries and leaves behind this frame's. *)
+let layout_page ?cache ?reuse ?(width = 48) (b : Boxcontent.t) : node =
+  match reuse with
+  | None ->
+      layout_box_frames ?cache ~x:0 ~y:0 ~avail:width ~stretch:true ~bpath:[] None b
+  | Some r ->
+      let next = Hashtbl.create (max 16 (Hashtbl.length r.last)) in
+      let n =
+        layout_box_frames ?cache ~frame:(r, next) ~x:0 ~y:0 ~avail:width
+          ~stretch:true ~bpath:[] None b
+      in
+      r.last <- next;
+      n
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
 (* ------------------------------------------------------------------ *)
+
+(** Structural equality of laid-out trees — what the damage-tracked
+    painter diffs.  Two equal nodes paint identical cells.  Physical
+    equality short-circuits, so subtrees reused between frames compare
+    in constant time. *)
+let rec node_equal (a : node) (b : node) : bool =
+  a == b
+  || Option.equal Live_core.Srcid.equal a.srcid b.srcid
+     && a.bpath = b.bpath
+     && Style.equal a.style b.style
+     && Geometry.equal a.outer b.outer
+     && Geometry.equal a.frame b.frame
+     && Geometry.equal a.inner b.inner
+     && List.equal item_equal a.items b.items
+
+and item_equal (a : item) (b : item) : bool =
+  a == b
+  ||
+  match (a, b) with
+  | ( Text { lines = la; rect = ra; style = sa },
+      Text { lines = lb; rect = rb; style = sb } ) ->
+      List.equal String.equal la lb
+      && Geometry.equal ra rb && Style.equal sa sb
+  | Child ca, Child cb -> node_equal ca cb
+  | (Text _ | Child _), _ -> false
 
 let rec iter_nodes (f : node -> unit) (n : node) : unit =
   f n;

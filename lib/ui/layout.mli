@@ -41,6 +41,22 @@ val create_cache : unit -> cache
 val cache_stats : cache -> int * int
 (** (hits, misses). *)
 
+(** {1 Previous-frame reuse}
+
+    Physical-identity layout reuse for box trees produced by
+    {!Live_core.Render_cache}: a subtree that is [==] to what stood at
+    the same box path last frame (same available width, stretch and
+    srcid) reuses its node, translated.  No hashing, no deep equality,
+    and the table holds exactly one frame, so it cannot grow without
+    bound.  When active it takes the place of the structural cache. *)
+
+type reuse
+
+val create_reuse : unit -> reuse
+
+val reuse_stats : reuse -> int * int
+(** (hits, misses). *)
+
 val layout_box :
   ?cache:cache ->
   x:int ->
@@ -52,11 +68,18 @@ val layout_box :
   Live_core.Boxcontent.t ->
   node
 
-val layout_page : ?cache:cache -> ?width:int -> Live_core.Boxcontent.t -> node
+val layout_page :
+  ?cache:cache -> ?reuse:reuse -> ?width:int -> Live_core.Boxcontent.t -> node
 (** Lay the page out under the implicit top-level box (Sec. 4.3);
-    [width] defaults to 48 cells. *)
+    [width] defaults to 48 cells.  [reuse] rotates the previous-frame
+    table (consult last frame, leave behind this frame). *)
 
 (** {1 Queries} *)
+
+val node_equal : node -> node -> bool
+(** Structural equality; equal nodes paint identical cells. *)
+
+val item_equal : item -> item -> bool
 
 val iter_nodes : (node -> unit) -> node -> unit
 val fold_nodes : ('a -> node -> 'a) -> 'a -> node -> 'a

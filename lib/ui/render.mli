@@ -1,7 +1,31 @@
 (** Painting a layout tree into a framebuffer: parent-first, so nested
-    boxes override inherited styling; foreground color inherits. *)
+    boxes override inherited styling; foreground color inherits.
+    {!paint_damaged} repaints only the rows on which the new layout
+    differs from the previous frame. *)
 
-val paint : Framebuffer.t -> ?fg:Color.t -> Layout.node -> unit
+val paint :
+  Framebuffer.t -> ?rows:bool array -> ?fg:Color.t -> Layout.node -> unit
+(** [rows] is a damage mask: only marked rows are written, and nodes
+    whose span contains no marked row are skipped wholesale. *)
+
+type damage = {
+  repainted_rows : int;  (** rows cleared and repainted *)
+  total_rows : int;  (** framebuffer height *)
+  full : bool;  (** height changed: whole-frame repaint *)
+}
+
+val mark_damage : bool array -> Layout.node -> Layout.node -> unit
+(** Mark every row any difference between the two trees touches, in
+    both old and new coordinates. *)
+
+val paint_damaged :
+  prev:Layout.node * Framebuffer.t ->
+  ?fg:Color.t ->
+  Layout.node ->
+  Framebuffer.t * damage
+(** Repaint only the dirty rows, starting from the previous frame.
+    Cell-identical to a full {!paint} into a fresh buffer; returns the
+    previous buffer unchanged when nothing differs. *)
 
 val render_page :
   ?cache:Layout.cache ->

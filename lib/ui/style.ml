@@ -45,6 +45,14 @@ let default =
     handler = None;
   }
 
+let equal (a : t) (b : t) : bool =
+  a.margin = b.margin && a.padding = b.padding && a.border = b.border
+  && a.direction = b.direction
+  && a.background = b.background
+  && a.color = b.color && a.fontsize = b.fontsize && a.bold = b.bold
+  && a.align = b.align && a.width = b.width && a.height = b.height
+  && Option.equal Ast.equal_value a.handler b.handler
+
 let int_of_value ?(min_ = 0) (v : Ast.value) : int option =
   match v with
   | Ast.VNum f when Float.is_finite f -> Some (max min_ (int_of_float f))

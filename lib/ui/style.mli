@@ -21,5 +21,6 @@ type t = {
 }
 
 val default : t
+val equal : t -> t -> bool
 val apply : t -> string -> Live_core.Ast.value -> t
 val of_box : Live_core.Boxcontent.t -> t

@@ -30,6 +30,35 @@ let flat_rows ~(n : int) : string =
       Buffer.add_string b "  }\n";
       Buffer.add_string b "}\n")
 
+(** [n] rows, each reading {e its own} global counter, tapping a row
+    bumps only that row's global — the render-memoization workload: a
+    tap invalidates exactly one row's read set, so a dependency-tracked
+    render cache re-evaluates one row and splices the other [n-1].
+    (Contrast {!flat_rows}, where every row reads the shared [sel]
+    global and a tap invalidates everything.)  Rows are unrolled
+    because the surface language cannot index globals dynamically. *)
+let independent_rows ~(n : int) : string =
+  buf_program (fun b ->
+      for i = 0 to n - 1 do
+        Buffer.add_string b (Printf.sprintf "global g%d : number = 0\n" i)
+      done;
+      Buffer.add_string b "\npage start()\ninit { }\nrender {\n";
+      Buffer.add_string b "  boxed {\n";
+      for i = 0 to n - 1 do
+        Buffer.add_string b "    boxed {\n";
+        Buffer.add_string b "      box.direction := \"horizontal\"\n";
+        Buffer.add_string b
+          (Printf.sprintf
+             "      boxed { box.width := 8 post \"row %d\" }\n" i);
+        Buffer.add_string b
+          (Printf.sprintf "      boxed { post \"count \" ++ str(g%d) }\n" i);
+        Buffer.add_string b
+          (Printf.sprintf "      on tapped { g%d := g%d + 1 }\n" i i);
+        Buffer.add_string b "    }\n"
+      done;
+      Buffer.add_string b "  }\n";
+      Buffer.add_string b "}\n")
+
 (** A page rendering a complete tree of boxes with the given depth and
     fan-out — the nesting workload for layout. *)
 let nested ~(depth : int) ~(fanout : int) : string =

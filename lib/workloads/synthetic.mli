@@ -5,6 +5,10 @@ val flat_rows : n:int -> string
 (** [n] tappable rows with a selection highlight (render scaling,
     incremental re-layout). *)
 
+val independent_rows : n:int -> string
+(** [n] rows each reading its own global; a tap invalidates one row's
+    read set (the render-memoization workload). *)
+
 val nested : depth:int -> fanout:int -> string
 (** A complete box tree of the given depth and fan-out. *)
 

@@ -77,10 +77,11 @@ let compile_error (src : string) : string =
   | Error e -> e.Live_surface.Compile.message
 
 (** Compile, boot and stabilise a surface program into a session. *)
-let session_of ?width ?incremental (src : string) : Live_runtime.Session.t =
+let session_of ?width ?incremental ?cache (src : string) :
+    Live_runtime.Session.t =
   let c = ok_compile src in
   ok_machine "session create"
-    (Live_runtime.Session.create ?width ?incremental
+    (Live_runtime.Session.create ?width ?incremental ?cache
        c.Live_surface.Compile.core)
 
 let live_of ?width (src : string) : Live_runtime.Live_session.t =

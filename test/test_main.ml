@@ -35,6 +35,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("baseline", Test_baseline.suite);
       ("incremental", Test_incremental.suite);
+      ("render-cache", Test_render_cache.suite);
       ("probe", Test_probe.suite);
       ("properties", Test_properties.suite);
       ("golden", Test_golden.suite);
