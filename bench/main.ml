@@ -25,7 +25,10 @@
     - B8 [session_ablation] — the incremental caches (layout reuse,
       dependency-tracked render memoization, damage repainting) ablated
       in the full interaction loop: cached vs. uncached tap cycles and
-      unchanged-store re-renders.
+      unchanged-store re-renders;
+    - B9 [fuzz_throughput]  — the conformance fuzzer's own burn rate:
+      traces/sec replayed per oracle configuration and for the full
+      differential run (lib/conformance).
 
     Output: one table per experiment, estimated ns (or µs/ms) per
     operation from Bechamel's OLS fit against the run count, plus a
@@ -626,6 +629,51 @@ let b8 () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* B9: conformance fuzzing throughput                                  *)
+(* ------------------------------------------------------------------ *)
+
+let b9 () =
+  let open Live_conformance in
+  (* a fixed, representative trace: regenerable forever from its seed *)
+  let trace = Engine.gen_trace ~n_events:16 ~seed:42 () in
+  let n_events = List.length trace.Ctrace.events in
+  let replay configs () =
+    match Oracle.run ~configs trace with
+    | Oracle.Agreed -> ()
+    | Oracle.Diverged _ | Oracle.Boot_failed _ -> failwith "trace must agree"
+  in
+  let tests =
+    List.map
+      (fun name ->
+        Test.make
+          ~name:(Printf.sprintf "replay/%s" name)
+          (Staged.stage (replay [ name ])))
+      Oracle.all_configs
+    @ [
+        Test.make ~name:"replay/differential-all"
+          (Staged.stage (replay Oracle.all_configs));
+        Test.make ~name:"generate"
+          (Staged.stage (fun () ->
+               ignore (Engine.gen_trace ~n_events:16 ~seed:42 ())));
+      ]
+  in
+  let rows =
+    run_experiment "B9: fuzz_throughput — the conformance oracle's own cost"
+      "How fast the differential fuzzer burns traces: one 16-event trace \
+       replayed through each configuration alone (observation included), \
+       the full 5-way differential run, and trace generation itself."
+      (Test.make_grouped ~name:"b9" tests)
+  in
+  List.iter
+    (fun name ->
+      let ns = find rows (Printf.sprintf "b9/replay/%s" name) in
+      if not (Float.is_nan ns) then
+        Printf.printf "  -> %-16s %8.1f traces/s (%d events each)\n" name
+          (1e9 /. ns) n_events)
+    (Oracle.all_configs @ [ "differential-all" ]);
+  rows
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -640,6 +688,7 @@ let () =
   let r6 = b6 () in
   let r7 = b7 () in
   let r8 = b8 () in
+  let r9 = b9 () in
   write_json
     [
       ("b1", r1);
@@ -650,5 +699,6 @@ let () =
       ("b6", r6);
       ("b7", r7);
       ("b8", r8);
+      ("b9", r9);
     ];
   Printf.printf "\nDone. See EXPERIMENTS.md for interpretation.\n"

@@ -1,0 +1,225 @@
+(** The trace format of the conformance subsystem.
+
+    Serialization is line-oriented and canonical:
+
+    {v
+    itsalive-trace 1
+    seed 42
+    program 0 3
+    global n : number = 0
+    page start()
+    init { } render { post n }
+    events
+    tap 3 5
+    update 0
+    end
+    v}
+
+    Program sources are carried verbatim as a counted block of lines
+    ([program <id> <n-lines>]), so any source text round-trips; the
+    event section is one event per line.  [to_string] after
+    [of_string] is byte-identical (tested in
+    [test/test_conformance.ml]), which is what lets shrunk failing
+    traces be checked in as golden files. *)
+
+type event =
+  | Tap of { x : int; y : int }
+  | Back
+  | Update of int
+  | Broken_update
+  | Render
+  | Flush_cache
+  | Drop_next
+  | Dup_next
+
+type t = { seed : int; pool : string array; events : event list }
+
+let equal (a : t) (b : t) =
+  a.seed = b.seed && a.pool = b.pool && a.events = b.events
+
+let pp_event ppf = function
+  | Tap { x; y } -> Fmt.pf ppf "tap %d %d" x y
+  | Back -> Fmt.string ppf "back"
+  | Update i -> Fmt.pf ppf "update %d" i
+  | Broken_update -> Fmt.string ppf "broken-update"
+  | Render -> Fmt.string ppf "render"
+  | Flush_cache -> Fmt.string ppf "flush-cache"
+  | Drop_next -> Fmt.string ppf "drop-next"
+  | Dup_next -> Fmt.string ppf "dup-next"
+
+let event_to_string e = Fmt.str "%a" pp_event e
+
+(* -- serialization --------------------------------------------------- *)
+
+let magic = "itsalive-trace 1"
+
+let to_string (t : t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" t.seed);
+  Array.iteri
+    (fun i src ->
+      let lines = String.split_on_char '\n' src in
+      Buffer.add_string buf
+        (Printf.sprintf "program %d %d\n" i (List.length lines));
+      List.iter
+        (fun l ->
+          Buffer.add_string buf l;
+          Buffer.add_char buf '\n')
+        lines)
+    t.pool;
+  Buffer.add_string buf "events\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (event_to_string e);
+      Buffer.add_char buf '\n')
+    t.events;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let of_string (s : string) : (t, string) result =
+  let lines = Array.of_list (String.split_on_char '\n' s) in
+  let n = Array.length lines in
+  let pos = ref 0 in
+  let error fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let line () = if !pos < n then Some lines.(!pos) else None in
+  let next () =
+    let l = line () in
+    incr pos;
+    l
+  in
+  let parse_event l =
+    match String.split_on_char ' ' l with
+    | [ "back" ] -> Some Back
+    | [ "broken-update" ] -> Some Broken_update
+    | [ "render" ] -> Some Render
+    | [ "flush-cache" ] -> Some Flush_cache
+    | [ "drop-next" ] -> Some Drop_next
+    | [ "dup-next" ] -> Some Dup_next
+    | [ "tap"; x; y ] -> (
+        match (int_of_string_opt x, int_of_string_opt y) with
+        | Some x, Some y -> Some (Tap { x; y })
+        | _ -> None)
+    | [ "update"; i ] ->
+        Option.map (fun i -> Update i) (int_of_string_opt i)
+    | _ -> None
+  in
+  match next () with
+  | Some m when m = magic -> (
+      match next () with
+      | Some l when String.length l > 5 && String.sub l 0 5 = "seed " -> (
+          match int_of_string_opt (String.sub l 5 (String.length l - 5)) with
+          | None -> error "bad seed line: %S" l
+          | Some seed -> (
+              (* program blocks *)
+              let pool = ref [] in
+              let rec programs () =
+                match line () with
+                | Some l
+                  when String.length l > 8 && String.sub l 0 8 = "program "
+                  -> (
+                    incr pos;
+                    match
+                      String.split_on_char ' '
+                        (String.sub l 8 (String.length l - 8))
+                    with
+                    | [ id; count ] -> (
+                        match
+                          (int_of_string_opt id, int_of_string_opt count)
+                        with
+                        | Some id, Some count when id = List.length !pool ->
+                            if !pos + count > n then
+                              error "program %d: truncated source" id
+                            else begin
+                              let src =
+                                String.concat "\n"
+                                  (Array.to_list
+                                     (Array.sub lines !pos count))
+                              in
+                              pos := !pos + count;
+                              pool := src :: !pool;
+                              programs ()
+                            end
+                        | _ -> error "bad program header: %S" l)
+                    | _ -> error "bad program header: %S" l)
+                | _ -> Ok ()
+              in
+              match programs () with
+              | Error m -> Error m
+              | Ok () -> (
+                  match next () with
+                  | Some "events" -> (
+                      let events = ref [] in
+                      let rec go () =
+                        match next () with
+                        | Some "end" -> Ok ()
+                        | Some l -> (
+                            match parse_event l with
+                            | Some e ->
+                                events := e :: !events;
+                                go ()
+                            | None -> error "unknown event: %S" l)
+                        | None -> error "missing 'end'"
+                      in
+                      match go () with
+                      | Error m -> Error m
+                      | Ok () ->
+                          Ok
+                            {
+                              seed;
+                              pool = Array.of_list (List.rev !pool);
+                              events = List.rev !events;
+                            })
+                  | other ->
+                      error "expected 'events', got %S"
+                        (Option.value other ~default:"<eof>"))))
+      | other ->
+          error "expected 'seed N', got %S"
+            (Option.value other ~default:"<eof>"))
+  | other ->
+      error "not a trace file (expected %S, got %S)" magic
+        (Option.value other ~default:"<eof>")
+
+let save (path : string) (t : t) : unit =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load (path : string) : (t, string) result =
+  match open_in path with
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      of_string s
+  | exception Sys_error m -> Error m
+
+(* -- pool garbage collection ----------------------------------------- *)
+
+let used_ids (t : t) : int list =
+  let used =
+    List.fold_left
+      (fun acc e -> match e with Update i -> i :: acc | _ -> acc)
+      [ 0 ] t.events
+  in
+  List.sort_uniq compare used
+
+let gc_pool (t : t) : t =
+  let ids = used_ids t in
+  let keep = List.filter (fun i -> i >= 0 && i < Array.length t.pool) ids in
+  let renumber = Hashtbl.create 8 in
+  List.iteri (fun fresh old -> Hashtbl.replace renumber old fresh) keep;
+  let pool = Array.of_list (List.map (fun i -> t.pool.(i)) keep) in
+  let events =
+    List.filter_map
+      (fun e ->
+        match e with
+        | Update i -> (
+            match Hashtbl.find_opt renumber i with
+            | Some j -> Some (Update j)
+            | None -> None (* out-of-range id: drop the event *))
+        | e -> Some e)
+      t.events
+  in
+  { t with pool; events }

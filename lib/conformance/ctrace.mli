@@ -1,0 +1,53 @@
+(** Deterministic conformance traces: a serializable script of system
+    transitions, replayable from a file or regenerable from a one-line
+    seed ({!Engine.gen_trace}).
+
+    A trace is self-contained: it carries the {e program pool} — the
+    surface sources its UPDATE events install — so a checked-in trace
+    replays identically forever, independent of the workload library
+    it was originally generated from. *)
+
+type event =
+  | Tap of { x : int; y : int }  (** the TAP transition, by coordinates *)
+  | Back  (** the BACK transition *)
+  | Update of int  (** the UPDATE transition; installs pool.(i) *)
+  | Broken_update
+      (** an edit that fails to compile: must be rejected by every
+          configuration and change nothing *)
+  | Render
+      (** force an extra display observation (screenshot) — exercises
+          the cached pipeline's revalidation / skipped-frame paths *)
+  | Flush_cache
+      (** fault: drop every warm cache; must be observationally
+          invisible *)
+  | Drop_next
+      (** fault: the event enqueued by the next tap/back is lost *)
+  | Dup_next
+      (** fault: ... is delivered twice, back to back *)
+
+type t = {
+  seed : int;  (** provenance; [0] for hand-written traces *)
+  pool : string array;  (** program sources; [pool.(0)] boots the trace *)
+  events : event list;
+}
+
+val equal : t -> t -> bool
+val pp_event : Format.formatter -> event -> unit
+val event_to_string : event -> string
+
+val to_string : t -> string
+(** Canonical text serialization: [to_string] after {!of_string} is
+    byte-identical. *)
+
+val of_string : string -> (t, string) result
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+
+val used_ids : t -> int list
+(** Pool ids the trace actually references (boot slot 0 plus every
+    [Update]), ascending. *)
+
+val gc_pool : t -> t
+(** Drop unreferenced pool entries and renumber — keeps shrunk traces
+    small before they are checked in. *)

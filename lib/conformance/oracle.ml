@@ -1,0 +1,452 @@
+open Live_core
+module Session = Live_runtime.Session
+module Restart = Live_baseline.Restart_runtime
+
+type divergence = {
+  step : int;
+  event : Ctrace.event option;
+  config : string;
+  field : string;
+  expected : string;
+  actual : string;
+}
+
+type outcome = Agreed | Diverged of divergence | Boot_failed of string
+
+type sabotage = Cache_no_flush
+
+(* ------------------------------------------------------------------ *)
+(* Observations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** What a configuration exposes after every step, as canonical
+    strings: cheap to compare, and already printable when a
+    divergence must be reported. *)
+type obs = { store : string; stack : string; display : string; pixels : string }
+
+let obs_of_state ~(width : int) (st : State.t) : obs =
+  let store =
+    Store.bindings st.State.store
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (g, v) ->
+           Printf.sprintf "%s = %s" g (Pretty.value_to_string v))
+    |> String.concat "\n"
+  in
+  let stack =
+    st.State.stack
+    |> List.map (fun (p, v) ->
+           Printf.sprintf "%s(%s)" p (Pretty.value_to_string v))
+    |> String.concat " ; "
+  in
+  let display, pixels =
+    match st.State.display with
+    | State.Invalid -> ("<invalid>", "<invalid>")
+    | State.Shown b ->
+        (Fmt.str "%a" Boxcontent.pp b, Live_ui.Render.screenshot ~width b)
+  in
+  { store; stack; display; pixels }
+
+(** Structural invariants every configuration must keep at every
+    stable point, whatever the trace did: the state types (Fig. 11),
+    the queue is drained, the display is valid. *)
+let invariant_of_state (st : State.t) : string option =
+  match State_typing.check_state st with
+  | Error m -> Some ("ill-typed state: " ^ m)
+  | Ok () ->
+      if not (State.is_stable st) then Some "state not stable"
+      else if not (State.display_valid st) then Some "display invalid"
+      else None
+
+(* ------------------------------------------------------------------ *)
+(* Configurations                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** A step consumes one trace event; [Ok] carries a short status word
+    so configurations must also agree on {e how} a step concluded
+    (tapped vs. missed, updated vs. rejected). *)
+type config = {
+  name : string;
+  step : Ctrace.event -> Program.t option -> (string, string) result;
+  observe : unit -> obs;
+  invariant : unit -> string option;
+  strict : unit -> bool;
+      (** structural comparison applies; the restart baseline drops
+          out at its first UPDATE or queue fault *)
+}
+
+let err_str (e : Machine.error) = Machine.error_to_string e
+
+(** The reference: the uncached Machine driven directly, with the
+    oracle's own hit-testing (no Session code involved). *)
+let machine_config ~(width : int) (boot : Program.t) :
+    (config, string) result =
+  match Machine.boot boot with
+  | Error e -> Error (err_str e)
+  | Ok st0 ->
+      let state = ref st0 in
+      let pending : [ `Drop | `Dup ] option ref = ref None in
+      let apply_pending () =
+        match !pending with
+        | None -> ()
+        | Some f ->
+            pending := None;
+            state :=
+              (match f with
+              | `Drop -> Machine.drop_oldest_event !state
+              | `Dup -> Machine.duplicate_oldest_event !state)
+      in
+      let stabilize () =
+        match Machine.run_to_stable !state with
+        | Ok st ->
+            state := st;
+            Ok ()
+        | Error e -> Error (err_str e)
+      in
+      let ( let* ) = Result.bind in
+      let step (ev : Ctrace.event) (prog : Program.t option) =
+        match ev with
+        | Ctrace.Tap { x; y } -> (
+            match !state.State.display with
+            | State.Invalid -> Error "tap: display invalid"
+            | State.Shown b -> (
+                let root = Live_ui.Layout.layout_page ~width b in
+                match Live_ui.Layout.handler_at root ~x ~y with
+                | None -> Ok "no-handler"
+                | Some handler ->
+                    let* st =
+                      Result.map_error err_str
+                        (Machine.tap !state ~handler)
+                    in
+                    state := st;
+                    apply_pending ();
+                    let* () = stabilize () in
+                    Ok "tapped"))
+        | Ctrace.Back ->
+            state := Machine.back !state;
+            apply_pending ();
+            let* () = stabilize () in
+            Ok "ok"
+        | Ctrace.Update _ -> (
+            match prog with
+            | None -> Ok "rejected"
+            | Some code ->
+                let* st =
+                  Result.map_error err_str (Machine.update code !state)
+                in
+                state := st;
+                let* () = stabilize () in
+                Ok "updated")
+        | Ctrace.Broken_update -> Ok "rejected"
+        | Ctrace.Render | Ctrace.Flush_cache -> Ok "ok"
+        | Ctrace.Drop_next ->
+            pending := Some `Drop;
+            Ok "ok"
+        | Ctrace.Dup_next ->
+            pending := Some `Dup;
+            Ok "ok"
+      in
+      Ok
+        {
+          name = "machine";
+          step;
+          observe = (fun () -> obs_of_state ~width !state);
+          invariant = (fun () -> invariant_of_state !state);
+          strict = (fun () -> true);
+        }
+
+(** A {!Live_runtime.Session}, in one of its three cache modes. *)
+let session_config ~(width : int) ~(name : string) ~(incremental : bool)
+    ~(cache : bool) ?(sabotage : sabotage option) (boot : Program.t) :
+    (config, string) result =
+  match Session.create ~width ~incremental ~cache boot with
+  | Error e -> Error (err_str e)
+  | Ok s ->
+      (match sabotage with
+      | Some Cache_no_flush ->
+          Option.iter
+            (fun rc -> Render_cache.set_sabotage_no_flush rc true)
+            (Session.render_cache_handle s)
+      | None -> ());
+      let step (ev : Ctrace.event) (prog : Program.t option) =
+        match ev with
+        | Ctrace.Tap { x; y } -> (
+            match Session.tap s ~x ~y with
+            | Ok Session.Tapped -> Ok "tapped"
+            | Ok Session.No_handler -> Ok "no-handler"
+            | Error e -> Error (err_str e))
+        | Ctrace.Back -> (
+            match Session.back s with
+            | Ok () -> Ok "ok"
+            | Error e -> Error (err_str e))
+        | Ctrace.Update _ -> (
+            match prog with
+            | None -> Ok "rejected"
+            | Some code -> (
+                match Session.update s code with
+                | Ok _report -> Ok "updated"
+                | Error e -> Error (err_str e)))
+        | Ctrace.Broken_update -> Ok "rejected"
+        | Ctrace.Render ->
+            ignore (Session.screenshot s);
+            Ok "ok"
+        | Ctrace.Flush_cache ->
+            Session.flush_caches s;
+            Ok "ok"
+        | Ctrace.Drop_next ->
+            Session.inject s Session.Drop_next_event;
+            Ok "ok"
+        | Ctrace.Dup_next ->
+            Session.inject s Session.Duplicate_next_event;
+            Ok "ok"
+      in
+      Ok
+        {
+          name;
+          step;
+          observe = (fun () -> obs_of_state ~width (Session.state s));
+          invariant = (fun () -> invariant_of_state (Session.state s));
+          strict = (fun () -> true);
+        }
+
+(** The restart baseline: structurally compared only until its first
+    UPDATE (restart-and-replay intentionally loses model state) or
+    queue fault (it has no injection hooks); always
+    invariant-checked — it may lose data, never corrupt it. *)
+let restart_config ~(width : int) (boot : Program.t) :
+    (config, string) result =
+  match Restart.create ~width boot with
+  | Error e -> Error (Restart.error_to_string e)
+  | Ok t ->
+      let strict = ref true in
+      let step (ev : Ctrace.event) (prog : Program.t option) =
+        match ev with
+        | Ctrace.Tap { x; y } -> (
+            match Restart.tap t ~x ~y with
+            | Ok Session.Tapped -> Ok "tapped"
+            | Ok Session.No_handler -> Ok "no-handler"
+            | Error e -> Error (Restart.error_to_string e))
+        | Ctrace.Back -> (
+            match Restart.back t with
+            | Ok () -> Ok "ok"
+            | Error e -> Error (Restart.error_to_string e))
+        | Ctrace.Update _ -> (
+            strict := false;
+            match prog with
+            | None -> Ok "rejected"
+            | Some code -> (
+                match Restart.update t code with
+                | Ok _outcome -> Ok "updated"
+                | Error e -> Error (Restart.error_to_string e)))
+        | Ctrace.Broken_update -> Ok "rejected"
+        | Ctrace.Render | Ctrace.Flush_cache -> Ok "ok"
+        | Ctrace.Drop_next | Ctrace.Dup_next ->
+            strict := false;
+            Ok "ok"
+      in
+      Ok
+        {
+          name = "restart";
+          step;
+          observe = (fun () -> obs_of_state ~width (Restart.state t));
+          invariant = (fun () -> invariant_of_state (Restart.state t));
+          strict = (fun () -> !strict);
+        }
+
+let all_configs = [ "machine"; "session"; "cached"; "incremental"; "restart" ]
+
+(* ------------------------------------------------------------------ *)
+(* The differential run                                                *)
+(* ------------------------------------------------------------------ *)
+
+let default_width = 46
+
+let run ?(width = default_width) ?(configs = all_configs) ?sabotage
+    (trace : Ctrace.t) : outcome =
+  if Array.length trace.Ctrace.pool = 0 then Boot_failed "empty program pool"
+  else
+    (* one compilation per distinct source, shared by every
+       configuration (programs are immutable) *)
+    let compiled : (int, Program.t option) Hashtbl.t = Hashtbl.create 8 in
+    let compile (i : int) : Program.t option =
+      match Hashtbl.find_opt compiled i with
+      | Some r -> r
+      | None ->
+          let r =
+            if i < 0 || i >= Array.length trace.Ctrace.pool then None
+            else
+              match Live_surface.Compile.compile trace.Ctrace.pool.(i) with
+              | Ok c -> Some c.Live_surface.Compile.core
+              | Error _ -> None
+          in
+          Hashtbl.replace compiled i r;
+          r
+    in
+    match compile 0 with
+    | None -> Boot_failed "boot program does not compile"
+    | Some boot -> (
+        let mk name =
+          match name with
+          | "machine" -> machine_config ~width boot
+          | "session" ->
+              session_config ~width ~name ~incremental:false ~cache:false boot
+          | "cached" ->
+              session_config ~width ~name ~incremental:false ~cache:true
+                ?sabotage boot
+          | "incremental" ->
+              session_config ~width ~name ~incremental:true ~cache:false boot
+          | "restart" -> restart_config ~width boot
+          | other -> Error (Printf.sprintf "unknown configuration %S" other)
+        in
+        let boots = List.map (fun n -> (n, mk n)) configs in
+        match
+          List.find_opt (fun (_, r) -> Result.is_error r) boots
+        with
+        | Some (n, Error m) ->
+            (* every configuration boots the same checked program; a
+               single failing boot is itself a divergence, unless all
+               fail (then the trace is unbootable) *)
+            if List.for_all (fun (_, r) -> Result.is_error r) boots then
+              Boot_failed m
+            else
+              Diverged
+                {
+                  step = -1;
+                  event = None;
+                  config = n;
+                  field = "status";
+                  expected = "boot ok";
+                  actual = m;
+                }
+        | _ -> (
+            let cfgs =
+              List.map
+                (fun (_, r) ->
+                  match r with Ok c -> c | Error _ -> assert false)
+                boots
+            in
+            match cfgs with
+            | [] -> Boot_failed "no configurations selected"
+            | reference :: others -> (
+                let divergence = ref None in
+                let report step event config field expected actual =
+                  if !divergence = None then
+                    divergence :=
+                      Some { step; event; config; field; expected; actual }
+                in
+                let compare_obs step event (ref_obs : obs) (c : config) =
+                  if c.strict () && !divergence = None then begin
+                    let o = c.observe () in
+                    let fields =
+                      [
+                        ("store", ref_obs.store, o.store);
+                        ("stack", ref_obs.stack, o.stack);
+                        ("display", ref_obs.display, o.display);
+                        ("pixels", ref_obs.pixels, o.pixels);
+                      ]
+                    in
+                    List.iter
+                      (fun (f, e, a) ->
+                        if !divergence = None && not (String.equal e a) then
+                          report step event c.name f e a)
+                      fields
+                  end
+                in
+                let check_invariants step event =
+                  List.iter
+                    (fun c ->
+                      if !divergence = None then
+                        match c.invariant () with
+                        | Some m ->
+                            report step event c.name "invariant" "holds" m
+                        | None -> ())
+                    cfgs
+                in
+                (* boot observation *)
+                let ref_obs = ref (reference.observe ()) in
+                List.iter (compare_obs (-1) None !ref_obs) others;
+                check_invariants (-1) None;
+                let stepno = ref 0 in
+                List.iter
+                  (fun ev ->
+                    if !divergence = None then begin
+                      let k = !stepno in
+                      incr stepno;
+                      let prog =
+                        match ev with
+                        | Ctrace.Update i -> compile i
+                        | _ -> None
+                      in
+                      let ref_status = reference.step ev prog in
+                      let status_str = function
+                        | Ok s -> "ok: " ^ s
+                        | Error m -> "error: " ^ m
+                      in
+                      List.iter
+                        (fun c ->
+                          let st = c.step ev prog in
+                          if
+                            !divergence = None
+                            && c.strict ()
+                            && not
+                                 (String.equal (status_str st)
+                                    (status_str ref_status))
+                          then
+                            report k (Some ev) c.name "status"
+                              (status_str ref_status) (status_str st))
+                        others;
+                      if !divergence = None then begin
+                        let prev = !ref_obs in
+                        ref_obs := reference.observe ();
+                        (* a rejected edit must change nothing, even in
+                           the reference *)
+                        (match ev with
+                        | Ctrace.Broken_update ->
+                            if
+                              not
+                                (String.equal prev.pixels !ref_obs.pixels
+                                && String.equal prev.store !ref_obs.store
+                                && String.equal prev.stack !ref_obs.stack)
+                            then
+                              report k (Some ev) reference.name
+                                "broken-update" prev.pixels !ref_obs.pixels
+                        | _ -> ());
+                        List.iter (compare_obs k (Some ev) !ref_obs) others;
+                        check_invariants k (Some ev)
+                      end
+                    end)
+                  trace.Ctrace.events;
+                match !divergence with
+                | Some d -> Diverged d
+                | None -> Agreed)))
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing a delta                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Focus a pair of multi-line observations on their first differing
+    line, with one line of context. *)
+let first_diff (expected : string) (actual : string) : string =
+  let e = Array.of_list (String.split_on_char '\n' expected) in
+  let a = Array.of_list (String.split_on_char '\n' actual) in
+  let n = max (Array.length e) (Array.length a) in
+  let line arr i = if i < Array.length arr then arr.(i) else "<eof>" in
+  let rec find i =
+    if i >= n then None
+    else if not (String.equal (line e i) (line a i)) then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> "(identical?)"
+  | Some i ->
+      Printf.sprintf "line %d:\n  expected | %s\n  actual   | %s" (i + 1)
+        (line e i) (line a i)
+
+let pp_divergence ppf (d : divergence) =
+  Fmt.pf ppf "@[<v>step %d%a: configuration %S diverges on %s@,%s@]" d.step
+    (fun ppf -> function
+      | None -> Fmt.string ppf " (boot)"
+      | Some e -> Fmt.pf ppf " (%s)" (Ctrace.event_to_string e))
+    d.event d.config d.field
+    (if String.length d.expected + String.length d.actual < 160 then
+       Printf.sprintf "  expected | %s\n  actual   | %s" d.expected d.actual
+     else first_diff d.expected d.actual)

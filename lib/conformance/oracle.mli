@@ -1,0 +1,60 @@
+(** The differential oracle: one trace, several semantic
+    configurations, structural diffing after every step.
+
+    Configurations (all driving the same Fig. 9 transition system):
+
+    - ["machine"]   — the uncached {!Live_core.Machine} driven
+      directly, with its own hit-testing (the reference);
+    - ["session"]   — {!Live_runtime.Session} with no caches;
+    - ["cached"]    — Session with the end-to-end incremental render
+      pipeline (dependency-tracked memoization, layout reuse, damage
+      repainting);
+    - ["incremental"] — Session with the Sec. 5 structural layout
+      cache;
+    - ["restart"]   — the {!Live_baseline.Restart_runtime}
+      edit-compile-run baseline; compared strictly until the first
+      UPDATE or queue fault (after which its semantics intentionally
+      differ), invariant-checked throughout.
+
+    After every event the oracle compares, per configuration: the
+    step status, the store, the page stack, the display box tree, and
+    the painted pixels — and reports the {e first} divergent step. *)
+
+type divergence = {
+  step : int;  (** event index; [-1] = divergence at boot *)
+  event : Ctrace.event option;  (** [None] at boot *)
+  config : string;  (** the configuration that disagrees *)
+  field : string;
+      (** ["status"], ["store"], ["stack"], ["display"], ["pixels"],
+          ["invariant"], or ["broken-update"] *)
+  expected : string;  (** the reference configuration's observation *)
+  actual : string;
+}
+
+type outcome =
+  | Agreed  (** every configuration agreed at every step *)
+  | Diverged of divergence
+  | Boot_failed of string
+      (** the trace's boot program does not compile or boot *)
+
+type sabotage =
+  | Cache_no_flush
+      (** deliberately keep stale render-cache entries across UPDATE
+          (see {!Live_core.Render_cache.set_sabotage_no_flush}) — used
+          to prove the oracle catches a broken cache *)
+
+val all_configs : string list
+
+val run :
+  ?width:int ->
+  ?configs:string list ->
+  ?sabotage:sabotage ->
+  Ctrace.t ->
+  outcome
+(** Replay the trace through the named configurations (default: all).
+    The first named configuration is the comparison reference;
+    ["machine"] leads the default list. *)
+
+val pp_divergence : Format.formatter -> divergence -> unit
+(** The pretty-printed delta: step, event, configuration, field, and
+    a focused diff of the two observations. *)

@@ -1,0 +1,24 @@
+(** A seeded, splittable-free PRNG (splitmix64) for the conformance
+    fuzzer.  The stdlib [Random] is avoided deliberately: its stream
+    is not specified across OCaml releases, and every fuzz failure
+    must be reproducible from a one-line seed on any toolchain the CI
+    matrix runs. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound); [0] when
+    [bound <= 0]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform draw; raises [Invalid_argument] on an empty array. *)
+
+val derive : int -> int -> int
+(** [derive seed k]: the [k]-th child seed of a master seed — a pure
+    mixing function, so campaign iteration [k] is reproducible without
+    replaying iterations [0..k-1]. *)

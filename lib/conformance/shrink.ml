@@ -1,0 +1,100 @@
+type cls = { config : string; field : string }
+
+let class_of (d : Oracle.divergence) : cls =
+  { config = d.Oracle.config; field = d.Oracle.field }
+
+let class_equal (a : cls) (b : cls) =
+  String.equal a.config b.config && String.equal a.field b.field
+
+let shrink ?(budget = 400) ?width ?configs ?sabotage (trace : Ctrace.t)
+    (d0 : Oracle.divergence) : Ctrace.t * Oracle.divergence =
+  let cls = class_of d0 in
+  let runs = ref 0 in
+  (* Does the candidate still fail the same way?  Returns the fresh
+     divergence so the final report matches the final trace. *)
+  let still_fails (t : Ctrace.t) : Oracle.divergence option =
+    if !runs >= budget then None
+    else begin
+      incr runs;
+      match Oracle.run ?width ?configs ?sabotage t with
+      | Oracle.Diverged d when class_equal (class_of d) cls -> Some d
+      | _ -> None
+    end
+  in
+  let best = ref trace in
+  let best_d = ref d0 in
+  let accept (t : Ctrace.t) : bool =
+    match still_fails t with
+    | Some d ->
+        best := t;
+        best_d := d;
+        true
+    | None -> false
+  in
+
+  (* 1. events after the divergent step cannot matter *)
+  let n = List.length trace.Ctrace.events in
+  if d0.Oracle.step >= 0 && d0.Oracle.step + 1 < n then
+    ignore
+      (accept
+         {
+           trace with
+           Ctrace.events =
+             List.filteri (fun i _ -> i <= d0.Oracle.step) trace.Ctrace.events;
+         });
+
+  (* 2. delta-debug the event list: remove chunks, halving the chunk
+     size until single events *)
+  let rec ddmin (chunk : int) =
+    if chunk >= 1 && !runs < budget then begin
+      let removed = ref false in
+      let start = ref 0 in
+      while !start < List.length !best.Ctrace.events && !runs < budget do
+        let evs = Array.of_list !best.Ctrace.events in
+        let len = Array.length evs in
+        let hi = min len (!start + chunk) in
+        let candidate =
+          {
+            !best with
+            Ctrace.events =
+              Array.to_list
+                (Array.append (Array.sub evs 0 !start)
+                   (Array.sub evs hi (len - hi)));
+          }
+        in
+        if accept candidate then removed := true
+          (* keep [start]: the next chunk slid into place *)
+        else start := !start + chunk
+      done;
+      if !removed then ddmin chunk else ddmin (chunk / 2)
+    end
+  in
+  ddmin (max 1 (List.length !best.Ctrace.events / 2));
+
+  (* 3. simplify the programs the trace still uses *)
+  let rec simplify_pool () =
+    if !runs < budget then begin
+      let improved = ref false in
+      List.iter
+        (fun id ->
+          if (not !improved) && id < Array.length !best.Ctrace.pool then
+            let src = !best.Ctrace.pool.(id) in
+            List.iter
+              (fun src' ->
+                if (not !improved) && !runs < budget then begin
+                  let pool = Array.copy !best.Ctrace.pool in
+                  pool.(id) <- src';
+                  if accept { !best with Ctrace.pool } then improved := true
+                end)
+              (Mutate.simplifications src))
+        (Ctrace.used_ids !best);
+      if !improved then simplify_pool ()
+    end
+  in
+  simplify_pool ();
+
+  (* 4. drop unused pool entries (this cannot change behaviour, but
+     verify anyway — and keep the larger trace if it somehow does) *)
+  let gced = Ctrace.gc_pool !best in
+  if not (Ctrace.equal gced !best) then ignore (accept gced);
+  (!best, !best_d)

@@ -1,0 +1,27 @@
+(** Delta-debugging minimizer for failing conformance traces.
+
+    A shrink step is accepted only if the reduced trace still fails
+    with the {e same divergence class} — the same configuration
+    disagreeing on the same observable — so the shrunk trace
+    witnesses the same bug, not a different one (a property tested in
+    [test/test_conformance.ml]). *)
+
+type cls = { config : string; field : string }
+(** The identity of a divergence for shrinking purposes. *)
+
+val class_of : Oracle.divergence -> cls
+val class_equal : cls -> cls -> bool
+
+val shrink :
+  ?budget:int ->
+  ?width:int ->
+  ?configs:string list ->
+  ?sabotage:Oracle.sabotage ->
+  Ctrace.t ->
+  Oracle.divergence ->
+  Ctrace.t * Oracle.divergence
+(** Minimize: (1) truncate past the divergent step, (2) delta-debug
+    the event list (chunks, then single events), (3) simplify the
+    programs UPDATE installs with the fixup-aware mutator's
+    deterministic reductions, (4) garbage-collect the pool.  [budget]
+    caps the number of oracle re-runs (default 400). *)

@@ -23,6 +23,11 @@ let normalise q =
 (** Add an element at the left end (newest). *)
 let enqueue x q = normalise { q with back = x :: q.back }
 
+(** Put an element back at the right end (it becomes the oldest) —
+    used by the conformance fuzzer's fault injection to re-order or
+    duplicate queued events deterministically. *)
+let push_front x q = { q with front = x :: q.front }
+
 (** Remove the element at the right end (oldest). *)
 let dequeue q =
   match (normalise q).front with

@@ -15,6 +15,10 @@ val enqueue : 'a -> 'a t -> 'a t
 val dequeue : 'a t -> ('a * 'a t) option
 (** Remove from the right (oldest) end; [None] on the empty queue. *)
 
+val push_front : 'a -> 'a t -> 'a t
+(** Put an element back at the right (oldest) end, so it is dequeued
+    next.  [dequeue (push_front x q) = Some (x, q)] up to {!equal}. *)
+
 val length : 'a t -> int
 
 val to_list : 'a t -> 'a list

@@ -119,6 +119,30 @@ let dispatch ?fuel (st : State.t) : State.t outcome =
           Ok (State.invalidate (State.pop_page st)))
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection (conformance fuzzing)                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Lose the oldest queued event, as if the platform dropped it.  Not
+    one of the paper's rules: a CRASH-style fault the conformance
+    fuzzer injects identically into every oracle configuration, so the
+    configurations must still agree on the resulting state.  No-op on
+    an empty queue. *)
+let drop_oldest_event (st : State.t) : State.t =
+  match Fqueue.dequeue st.queue with
+  | None -> st
+  | Some (_, rest) -> State.invalidate { st with queue = rest }
+
+(** Deliver the oldest queued event twice (at-least-once delivery):
+    the event is re-queued in front of itself, so it is dispatched
+    back to back.  No-op on an empty queue. *)
+let duplicate_oldest_event (st : State.t) : State.t =
+  match Fqueue.dequeue st.queue with
+  | None -> st
+  | Some (e, rest) ->
+      State.invalidate
+        { st with queue = Fqueue.push_front e (Fqueue.push_front e rest) }
+
+(* ------------------------------------------------------------------ *)
 (* Display refresh                                                     *)
 (* ------------------------------------------------------------------ *)
 

@@ -36,6 +36,14 @@ val back : State.t -> State.t
 val dispatch : ?fuel:int -> State.t -> State.t outcome
 (** Dequeue and handle one event: (THUNK), (PUSH) or (POP). *)
 
+val drop_oldest_event : State.t -> State.t
+(** Fault injection (conformance fuzzing): lose the oldest queued
+    event, as if the platform dropped it.  No-op on an empty queue. *)
+
+val duplicate_oldest_event : State.t -> State.t
+(** Fault injection: deliver the oldest queued event twice, back to
+    back (at-least-once delivery).  No-op on an empty queue. *)
+
 val render : ?fuel:int -> ?cache:Render_cache.t -> State.t -> State.t outcome
 (** (RENDER): from [(C, ⊥, S, P(p,v), eps)], rebuild the display by
     running the top page's render code in render mode.  With [cache]

@@ -66,6 +66,10 @@ type t = {
   mutable code : Program.t option;
       (** the code the entries were recorded under, compared by
           physical identity — UPDATE always installs a fresh value *)
+  mutable sabotage_no_flush : bool;
+      (** test-only: {!ensure_code} stops flushing on code changes,
+          deliberately breaking live-update soundness so the
+          conformance fuzzer can prove it would catch the bug *)
   mutable capacity : int;
   mutable hits : int;
   mutable misses : int;
@@ -83,6 +87,7 @@ let create ?(capacity = default_capacity) () : t =
     subtrees = Hashtbl.create 256;
     displays = Hashtbl.create 4;
     code = None;
+    sabotage_no_flush = false;
     capacity;
     hits = 0;
     misses = 0;
@@ -113,8 +118,16 @@ let flush (c : t) : unit =
 let ensure_code (c : t) (prog : Program.t) : unit =
   match c.code with
   | Some p when p == prog -> ()
+  | Some _ when c.sabotage_no_flush -> c.code <- Some prog
   | Some _ -> flush c; c.code <- Some prog
   | None -> c.code <- Some prog
+
+(** Break the flush-on-UPDATE invariant on purpose.  Exists only so
+    the conformance fuzzer can demonstrate sensitivity: with the flag
+    set, stale entries survive a code swap and the differential oracle
+    must report the divergence (see [test/test_conformance.ml]). *)
+let set_sabotage_no_flush (c : t) (b : bool) : unit =
+  c.sabotage_no_flush <- b
 
 (** Every recorded read observes the same value in [store]?  Reads are
     validated with {!Store.read} (not raw lookup) so a global whose

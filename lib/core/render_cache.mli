@@ -41,6 +41,12 @@ val ensure_code : t -> Program.t -> unit
 (** Flush unless the entries were recorded under this exact (physically
     identical) code.  Call before consulting the cache for a render. *)
 
+val set_sabotage_no_flush : t -> bool -> unit
+(** Test-only: make {!ensure_code} keep stale entries across code
+    changes — a deliberately broken cache, used by the conformance
+    fuzzer to prove the differential oracle catches the resulting
+    stale-display divergence. *)
+
 val reads_valid : Program.t -> Store.t -> reads -> bool
 
 val subtree_key : Srcid.t option -> Ast.expr -> int * int

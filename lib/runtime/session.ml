@@ -49,6 +49,11 @@ let no_damage =
     total_rows = 0;
   }
 
+(** Event-queue faults the conformance fuzzer injects (CRASH-style
+    transitions): each is a one-shot modifier consumed by the next
+    interaction that actually enqueues an event. *)
+type fault = Drop_next_event | Duplicate_next_event
+
 type t = {
   mutable state : State.t;
   width : int;
@@ -62,6 +67,8 @@ type t = {
       (** previous-frame physical layout reuse (with [render_cache]) *)
   mutable frame : frame option;  (** last painted frame (cache on) *)
   mutable damage : damage_totals;
+  mutable pending_fault : fault option;
+      (** consumed by the next tap/back that enqueues an event *)
 }
 
 let ( let* ) = Result.bind
@@ -90,10 +97,37 @@ let create ?(width = 48) ?(fuel = Live_core.Eval.default_fuel)
       reuse = (if cache then Some (Live_ui.Layout.create_reuse ()) else None);
       frame = None;
       damage = no_damage;
+      pending_fault = None;
     }
   in
   let* () = stabilize t in
   Ok t
+
+(** Apply (and clear) the pending queue fault.  Called between the
+    transition that enqueued an event and the stabilisation loop that
+    would dispatch it — the only window in which a session's queue is
+    non-empty. *)
+let apply_pending_fault (t : t) : unit =
+  match t.pending_fault with
+  | None -> ()
+  | Some f ->
+      t.pending_fault <- None;
+      t.state <-
+        (match f with
+        | Drop_next_event -> Machine.drop_oldest_event t.state
+        | Duplicate_next_event -> Machine.duplicate_oldest_event t.state)
+
+let inject (t : t) (f : fault) : unit = t.pending_fault <- Some f
+
+(** Drop every warm structure the incremental pipeline holds: the
+    render memoization cache, the previous frame (forcing the next
+    screenshot to paint from scratch) and the memoized layout.  A
+    forced flush must be observationally invisible — the conformance
+    fuzzer injects it mid-trace and diffs the configurations after. *)
+let flush_caches (t : t) : unit =
+  Option.iter Live_core.Render_cache.flush t.render_cache;
+  t.frame <- None;
+  t.layout <- None
 
 let state (t : t) = t.state
 let trace (t : t) = t.trace
@@ -207,6 +241,7 @@ let tap (t : t) ~(x : int) ~(y : int) : (tap_result, Machine.error) result =
       | Some handler ->
           let* st = Machine.tap t.state ~handler in
           t.state <- st;
+          apply_pending_fault t;
           let* () = stabilize t in
           Ok Tapped)
 
@@ -220,6 +255,7 @@ let tap_first (t : t) : (tap_result, Machine.error) result =
       | Some handler ->
           let* st = Machine.tap t.state ~handler in
           t.state <- st;
+          apply_pending_fault t;
           let* () = stabilize t in
           Ok Tapped)
 
@@ -227,6 +263,7 @@ let tap_first (t : t) : (tap_result, Machine.error) result =
 let back (t : t) : (unit, Machine.error) result =
   t.trace <- Trace.add Trace.Back t.trace;
   t.state <- Machine.back t.state;
+  apply_pending_fault t;
   stabilize t
 
 (** Apply a code update (the UPDATE transition) and re-render.
@@ -254,6 +291,9 @@ let cache_stats (t : t) : (int * int) option =
 
 let render_cache_stats (t : t) : Live_core.Render_cache.stats option =
   Option.map Live_core.Render_cache.stats t.render_cache
+
+let render_cache_handle (t : t) : Live_core.Render_cache.t option =
+  t.render_cache
 
 let damage_stats (t : t) : damage_totals option =
   match t.render_cache with None -> None | Some _ -> Some t.damage

@@ -68,5 +68,31 @@ val render_cache_stats : t -> Live_core.Render_cache.stats option
 (** Hit/miss/revalidation/flush counters of the render memoization
     cache, if enabled. *)
 
+val render_cache_handle : t -> Live_core.Render_cache.t option
+(** The cache itself — exposed for the conformance fuzzer's fault
+    injection (forced flushes, deliberate sabotage); ordinary clients
+    should use {!render_cache_stats}. *)
+
+(** {1 Fault injection (conformance fuzzing)}
+
+    CRASH-style event-queue faults, injected identically into every
+    oracle configuration so their observable behaviour must stay in
+    agreement (see [lib/conformance]). *)
+
+type fault =
+  | Drop_next_event
+      (** the event enqueued by the next successful tap/back is lost *)
+  | Duplicate_next_event
+      (** ... is delivered twice, back to back *)
+
+val inject : t -> fault -> unit
+(** Arm a one-shot queue fault; consumed by the next interaction that
+    enqueues an event (a tap that hits a handler, or back). *)
+
+val flush_caches : t -> unit
+(** Drop every warm incremental structure (render memoization cache,
+    previous frame, memoized layout).  Observationally invisible — the
+    fuzzer injects it mid-trace to stress the cache's cold paths. *)
+
 val damage_stats : t -> damage_totals option
 (** Cumulative damage-painting counters, if the cache is enabled. *)

@@ -30,3 +30,34 @@ let pp_entry ppf = function
 let pp = Fmt.list ~sep:(Fmt.any "; ") pp_entry
 
 let equal (a : t) (b : t) = a = b
+
+(* -- serialization --------------------------------------------------- *)
+
+(** One entry per line, oldest first: [tap X Y] or [back].  The format
+    is canonical, so [to_string] after {!of_string} is byte-identical
+    — the property the conformance round-trip tests rely on. *)
+let to_string (t : t) : string =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun e ->
+      match e with
+      | Tap { x; y } -> Buffer.add_string buf (Printf.sprintf "tap %d %d\n" x y)
+      | Back -> Buffer.add_string buf "back\n")
+    t;
+  Buffer.contents buf
+
+let of_string (s : string) : (t, string) result =
+  let entries = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None && line <> "" then
+        match String.split_on_char ' ' line with
+        | [ "back" ] -> entries := Back :: !entries
+        | [ "tap"; x; y ] -> (
+            match (int_of_string_opt x, int_of_string_opt y) with
+            | Some x, Some y -> entries := Tap { x; y } :: !entries
+            | _ -> err := Some (Printf.sprintf "line %d: bad tap %S" (i + 1) line))
+        | _ -> err := Some (Printf.sprintf "line %d: unknown entry %S" (i + 1) line))
+    (String.split_on_char '\n' s);
+  match !err with Some m -> Error m | None -> Ok (List.rev !entries)

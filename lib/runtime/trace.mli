@@ -13,3 +13,11 @@ val length : t -> int
 val equal : t -> t -> bool
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Canonical line-oriented serialization ([tap X Y] / [back], oldest
+    first), suitable for checking traces into the repository. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; [to_string] of the result is
+    byte-identical to a canonically formatted input. *)

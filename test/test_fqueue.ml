@@ -38,13 +38,31 @@ let test_of_list () =
     "roundtrip" [ 5; 6; 7 ]
     (Fqueue.to_list (Fqueue.of_list [ 5; 6; 7 ]))
 
+let test_push_front () =
+  (* push_front is the fault-injection primitive behind event
+     duplication: it must re-deliver exactly at the head *)
+  let q = Fqueue.empty |> Fqueue.enqueue 1 |> Fqueue.enqueue 2 in
+  let q = Fqueue.push_front 0 q in
+  Alcotest.(check (list int)) "head position" [ 0; 1; 2 ] (Fqueue.to_list q);
+  match Fqueue.dequeue q with
+  | Some (x, q') ->
+      Alcotest.(check int) "dequeues the pushed element" 0 x;
+      Alcotest.(check (list int)) "rest untouched" [ 1; 2 ]
+        (Fqueue.to_list q')
+  | None -> Alcotest.fail "dequeue of non-empty queue"
+
 (* model-based property: a random op sequence matches the list model *)
-type op = Enq of int | Deq
+type op = Enq of int | Deq | Push of int
 
 let gen_ops : op list QCheck2.Gen.t =
   let open QCheck2.Gen in
   list_size (int_range 0 60)
-    (frequency [ (3, int_range 0 100 >|= fun n -> Enq n); (2, pure Deq) ])
+    (frequency
+       [
+         (3, int_range 0 100 >|= fun n -> Enq n);
+         (2, pure Deq);
+         (1, int_range 0 100 >|= fun n -> Push n);
+       ])
 
 let prop_model =
   Helpers.qcheck "agrees with the list model" gen_ops (fun ops ->
@@ -52,6 +70,8 @@ let prop_model =
         | [] -> Fqueue.to_list q = model && List.rev outs_q = List.rev outs_m
         | Enq n :: rest ->
             run (Fqueue.enqueue n q) (model @ [ n ]) outs_q outs_m rest
+        | Push n :: rest ->
+            run (Fqueue.push_front n q) (n :: model) outs_q outs_m rest
         | Deq :: rest -> (
             match (Fqueue.dequeue q, model) with
             | None, [] -> run q model outs_q outs_m rest
@@ -74,6 +94,7 @@ let suite =
     Helpers.case "fifo order" test_fifo_order;
     Helpers.case "interleaved enqueue/dequeue" test_interleaved;
     Helpers.case "of_list/to_list" test_of_list;
+    Helpers.case "push_front re-delivers at the head" test_push_front;
     prop_model;
     prop_length;
   ]

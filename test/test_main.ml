@@ -43,5 +43,6 @@ let () =
       ("calculator", Test_calculator.suite);
       ("stepper", Test_stepper.suite);
       ("fuzz", Test_fuzz.suite);
+      ("conformance", Test_conformance.suite);
       ("misc", Test_misc.suite);
     ]
