@@ -28,11 +28,18 @@
       unchanged-store re-renders;
     - B9 [fuzz_throughput]  — the conformance fuzzer's own burn rate:
       traces/sec replayed per oracle configuration and for the full
-      differential run (lib/conformance).
+      differential run (lib/conformance);
+    - B10 [host_throughput] — the multi-session live host (lib/host):
+      events/sec and p50/p99 scheduler-tick latency at fleet sizes
+      {1, 10, 100, 1000}, plus broadcast-update fan-out time, under
+      the seeded synthetic load.
 
     Output: one table per experiment, estimated ns (or µs/ms) per
     operation from Bechamel's OLS fit against the run count, plus a
-    machine-readable BENCH_RESULTS.json (experiment -> test -> ns). *)
+    machine-readable BENCH_RESULTS.json: a flat [entries] array in
+    which every benchmark point carries a stable [id] and an explicit
+    [unit] — the schema the CI artifact upload preserves so the
+    cross-PR trajectory can be tracked. *)
 
 open Bechamel
 open Toolkit
@@ -114,45 +121,41 @@ let json_escape (s : string) : string =
     s;
   Buffer.contents buf
 
-(** Write every experiment's estimates to BENCH_RESULTS.json:
-    experiment -> test name (the "bN/" prefix stripped) -> estimated ns
-    per run.  NaN (no estimate) becomes null. *)
-let write_json (all : (string * (string * float) list) list) =
-  let strip_prefix exp name =
-    let p = exp ^ "/" in
-    let lp = String.length p in
-    if String.length name > lp && String.sub name 0 lp = p then
-      String.sub name lp (String.length name - lp)
-    else name
-  in
+(** One benchmark point in the stable output schema: a globally unique
+    [id] ("b3/live-update/trace=032"), an explicit [unit], a value.
+    The Bechamel experiments all report "ns/run"; B10's throughput
+    rows carry their own units — which is why the schema is a flat
+    entries array rather than an implicit-unit tree. *)
+type jentry = { id : string; unit_ : string; value : float }
+
+let entries_of_rows (rows : (string * float) list) : jentry list =
+  List.map (fun (name, est) -> { id = name; unit_ = "ns/run"; value = est }) rows
+
+(** Write BENCH_RESULTS.json, schema v2: every entry has a stable
+    [id]/[unit] pair, so the CI-uploaded artifacts are comparable
+    across PRs.  NaN (no estimate) becomes null. *)
+let write_json (entries : jentry list) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema_version\": 2,\n";
   Buffer.add_string buf (Printf.sprintf "  \"quota_s\": %g,\n" quota);
-  Buffer.add_string buf "  \"unit\": \"ns/run\",\n";
-  Buffer.add_string buf "  \"experiments\": {\n";
+  Buffer.add_string buf "  \"entries\": [\n";
   List.iteri
-    (fun i (exp, rows) ->
+    (fun i e ->
       Buffer.add_string buf
-        (Printf.sprintf "    \"%s\": {\n" (json_escape exp));
-      List.iteri
-        (fun j (name, est) ->
-          Buffer.add_string buf
-            (Printf.sprintf "      \"%s\": %s%s\n"
-               (json_escape (strip_prefix exp name))
-               (if Float.is_nan est then "null"
-                else Printf.sprintf "%.1f" est)
-               (if j = List.length rows - 1 then "" else ",")))
-        rows;
-      Buffer.add_string buf
-        (Printf.sprintf "    }%s\n"
-           (if i = List.length all - 1 then "" else ",")))
-    all;
-  Buffer.add_string buf "  }\n}\n";
+        (Printf.sprintf
+           "    { \"id\": \"%s\", \"unit\": \"%s\", \"value\": %s }%s\n"
+           (json_escape e.id) (json_escape e.unit_)
+           (if Float.is_nan e.value then "null"
+            else Printf.sprintf "%.1f" e.value)
+           (if i = List.length entries - 1 then "" else ",")))
+    entries;
+  Buffer.add_string buf "  ]\n}\n";
   let oc = open_out "BENCH_RESULTS.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  Printf.printf "\nWrote BENCH_RESULTS.json (%d experiments)\n"
-    (List.length all)
+  Printf.printf "\nWrote BENCH_RESULTS.json (%d entries)\n"
+    (List.length entries)
 
 (* ------------------------------------------------------------------ *)
 (* B1: render scaling                                                  *)
@@ -674,6 +677,97 @@ let b9 () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* B10: multi-session host throughput                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** B10 is not a Bechamel experiment: a host run is a long stateful
+    loop (seeded event streams, a mid-stream broadcast), so we measure
+    one deterministic run per fleet size wall-clock and read the
+    latency percentiles straight out of {!Live_host.Host_metrics}. *)
+let b10 () : jentry list =
+  let module H = Live_host in
+  let module Prng = Live_conformance.Prng in
+  let fleet_sizes = [ 1; 10; 100; 1000 ] in
+  let rows_n = 6 in
+  let app version =
+    (Live_workloads.Synthetic.compile_exn
+       (Live_workloads.Synthetic.host_app ~rows:rows_n ~version))
+      .Live_surface.Compile.core
+  in
+  header "B10: host_throughput — the multi-session live host"
+    "The lib/host subsystem under seeded synthetic load: events/sec, \
+     p50/p99 scheduler-tick latency, and broadcast-update fan-out time \
+     vs. fleet size.";
+  List.concat_map
+    (fun k ->
+      (* same total event budget per fleet size, so runs stay ~equal *)
+      let rounds = max 4 (4000 / k) in
+      let cfg = { H.Registry.default_config with H.Registry.width = 32 } in
+      let reg = H.Registry.create ~config:cfg (app 0) in
+      (match H.Registry.spawn_many reg k with
+      | Ok _ -> ()
+      | Error e -> failwith (Live_core.Machine.error_to_string e));
+      let sched = H.Scheduler.create ~batch:8 reg in
+      let ids = Array.of_list (H.Registry.ids reg) in
+      let rngs = Array.map (fun id -> Prng.create (Prng.derive 42 id)) ids in
+      let broadcast_round = rounds / 2 in
+      let t0 = Unix.gettimeofday () in
+      for round = 0 to rounds - 1 do
+        Array.iteri
+          (fun i id ->
+            let rng = rngs.(i) in
+            let ev =
+              if Prng.int rng 10 = 0 then H.Registry.Back
+              else
+                H.Registry.Tap
+                  { x = Prng.int rng 32; y = 1 + Prng.int rng rows_n }
+            in
+            ignore (H.Registry.offer reg id ev))
+          ids;
+        ignore (H.Scheduler.tick sched);
+        if round = broadcast_round then
+          match H.Broadcast.update reg (app 1) with
+          | Ok _ -> ()
+          | Error e -> failwith (Live_core.Machine.error_to_string e)
+      done;
+      (match H.Scheduler.drain sched with
+      | Ok _ -> ()
+      | Error m -> failwith m);
+      let dt = Unix.gettimeofday () -. t0 in
+      let s = H.Registry.snapshot reg in
+      let processed = s.H.Host_metrics.s_events_processed in
+      let eps = float_of_int processed /. dt in
+      let p50 = s.H.Host_metrics.tick_p50_ns in
+      let p99 = s.H.Host_metrics.tick_p99_ns in
+      let fanout = s.H.Host_metrics.fanout_last_ns in
+      Printf.printf
+        "  fleet=%4d  %9.0f events/s  tick p50 %s  p99 %s  fan-out %s\n" k
+        eps (pp_time p50) (pp_time p99) (pp_time fanout);
+      [
+        {
+          id = Printf.sprintf "b10/events-per-sec/fleet=%04d" k;
+          unit_ = "events/s";
+          value = eps;
+        };
+        {
+          id = Printf.sprintf "b10/tick-p50/fleet=%04d" k;
+          unit_ = "ns";
+          value = p50;
+        };
+        {
+          id = Printf.sprintf "b10/tick-p99/fleet=%04d" k;
+          unit_ = "ns";
+          value = p99;
+        };
+        {
+          id = Printf.sprintf "b10/update-fanout/fleet=%04d" k;
+          unit_ = "ns";
+          value = fanout;
+        };
+      ])
+    fleet_sizes
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -689,16 +783,9 @@ let () =
   let r7 = b7 () in
   let r8 = b8 () in
   let r9 = b9 () in
+  let r10 = b10 () in
   write_json
-    [
-      ("b1", r1);
-      ("b2", r2);
-      ("b3", r3);
-      ("b4", r4);
-      ("b5", r5);
-      ("b6", r6);
-      ("b7", r7);
-      ("b8", r8);
-      ("b9", r9);
-    ];
+    (List.concat_map entries_of_rows
+       [ r1; r2; r3; r4; r5; r6; r7; r8; r9 ]
+    @ r10);
   Printf.printf "\nDone. See EXPERIMENTS.md for interpretation.\n"

@@ -1,0 +1,314 @@
+(** The multi-session host load driver (lib/host; DESIGN.md §7):
+    spawn a fleet of sessions over the synthetic workload, replay
+    seeded per-session event streams through the bounded ingress
+    queues and the batching scheduler, fire mid-stream broadcast
+    updates, and dump {!Live_host.Host_metrics} — including p50/p99
+    tick latency and update fan-out time.
+
+    Exit status 0 iff the run completed with zero invariant
+    violations, a clean dropped-event accounting identity, and every
+    broadcast applied; 1 otherwise; 2 on usage errors.
+
+    {v
+    host_bench --sessions 1000 --seed 42       # the acceptance run
+    host_bench --sessions 100 --soak 60        # the CI soak job
+    host_bench --policy hottest-first --cache  # other configurations
+    v} *)
+
+module H = Live_host
+module Session = Live_runtime.Session
+module Prng = Live_conformance.Prng
+
+let usage () =
+  prerr_endline
+    {|usage: host_bench [options]
+  --sessions K        fleet size (default 100)
+  --seed N            master event-stream seed (default 42)
+  --events N          events per session (default 50)
+  --updates U         mid-stream broadcast updates (default 2)
+  --batch B           scheduler batch per session per tick (default 8)
+  --policy P          round-robin | hottest-first (default round-robin)
+  --queue-capacity Q  per-session ingress bound (default 64)
+  --queue-policy P    drop-oldest | reject (default drop-oldest)
+  --admission N       fleet-wide pending-event cap (default: none)
+  --cache             enable the incremental render pipeline
+  --rows N            rows in the synthetic app (default 8)
+  --width W           display width (default 32)
+  --soak SECS         wall-clock soak: run SECS seconds, broadcast ~1/s
+  --quiet             no per-phase progress|};
+  exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Options                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sessions = ref 100
+let seed = ref 42
+let events = ref 50
+let updates = ref 2
+let batch = ref 8
+let policy = ref H.Scheduler.Round_robin
+let queue_capacity = ref 64
+let queue_policy = ref H.Backpressure.Drop_oldest
+let admission = ref None
+let cache = ref false
+let rows = ref 8
+let width = ref 32
+let soak = ref None
+let quiet = ref false
+
+let parse_args () =
+  let rec parse = function
+    | [] -> ()
+    | "--sessions" :: v :: rest ->
+        sessions := int_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--events" :: v :: rest ->
+        events := int_of_string v;
+        parse rest
+    | "--updates" :: v :: rest ->
+        updates := int_of_string v;
+        parse rest
+    | "--batch" :: v :: rest ->
+        batch := int_of_string v;
+        parse rest
+    | "--policy" :: v :: rest -> (
+        match H.Scheduler.policy_of_string v with
+        | Some p ->
+            policy := p;
+            parse rest
+        | None ->
+            Printf.eprintf "unknown policy %S\n" v;
+            usage ())
+    | "--queue-capacity" :: v :: rest ->
+        queue_capacity := int_of_string v;
+        parse rest
+    | "--queue-policy" :: v :: rest -> (
+        match H.Backpressure.policy_of_string v with
+        | Some p ->
+            queue_policy := p;
+            parse rest
+        | None ->
+            Printf.eprintf "unknown queue policy %S\n" v;
+            usage ())
+    | "--admission" :: v :: rest ->
+        admission := Some (int_of_string v);
+        parse rest
+    | "--cache" :: rest ->
+        cache := true;
+        parse rest
+    | "--rows" :: v :: rest ->
+        rows := int_of_string v;
+        parse rest
+    | "--width" :: v :: rest ->
+        width := int_of_string v;
+        parse rest
+    | "--soak" :: v :: rest ->
+        soak := Some (float_of_string v);
+        parse rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse rest
+    | other :: _ ->
+        Printf.eprintf "unknown option %S\n" other;
+        usage ()
+  in
+  try parse (List.tl (Array.to_list Sys.argv)) with Failure _ -> usage ()
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compile_version (v : int) : Live_core.Program.t =
+  (Live_workloads.Synthetic.compile_exn
+     (Live_workloads.Synthetic.host_app ~rows:!rows ~version:v))
+    .Live_surface.Compile.core
+
+(** One seeded user event: mostly taps across the app's tappable band
+    (some deliberately miss), occasionally BACK.  Each session draws
+    from its own derived stream, so fleets of different sizes replay
+    identical per-session behaviour. *)
+let gen_event (rng : Prng.t) : H.Registry.uevent =
+  if Prng.int rng 10 = 0 then H.Registry.Back
+  else
+    H.Registry.Tap
+      { x = Prng.int rng !width; y = Prng.int rng (!rows + 3) }
+
+let say fmt =
+  Printf.ksprintf
+    (fun s ->
+      if not !quiet then begin
+        print_string s;
+        flush stdout
+      end)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let failures : string list ref = ref []
+let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+
+let check_fleet (reg : H.Registry.t) (where : string) =
+  match H.Registry.check_invariants reg with
+  | [] -> ()
+  | vs ->
+      List.iter
+        (fun (id, m) -> fail "%s: session %d violates invariant: %s" where id m)
+        (if List.length vs > 5 then [ List.hd vs ] else vs);
+      if List.length vs > 5 then
+        fail "%s: ... and %d more invariant violations" where
+          (List.length vs - 1)
+
+let check_accounting (reg : H.Registry.t) (where : string) =
+  let s = H.Registry.snapshot reg in
+  if not (H.Host_metrics.accounting_ok s) then
+    fail
+      "%s: dropped-event accounting mismatch: in=%d processed=%d dropped=%d \
+       rejected=%d pending=%d"
+      where s.H.Host_metrics.s_events_in s.H.Host_metrics.s_events_processed
+      s.H.Host_metrics.s_events_dropped s.H.Host_metrics.s_events_rejected
+      s.H.Host_metrics.s_pending
+
+let broadcast (reg : H.Registry.t) (version : int) =
+  match H.Broadcast.update reg (compile_version version) with
+  | Ok r ->
+      say "  broadcast v%d: %d sessions in %.2f ms (%d globals reset)\n"
+        version
+        (List.length r.H.Broadcast.outcomes)
+        (r.H.Broadcast.fanout_ns /. 1e6)
+        r.H.Broadcast.dropped_globals;
+      List.iter
+        (fun o ->
+          match o.H.Broadcast.outcome with
+          | Ok _ -> ()
+          | Error e ->
+              fail "broadcast v%d: session %d failed: %s" version
+                o.H.Broadcast.id
+                (Live_core.Machine.error_to_string e))
+        r.H.Broadcast.outcomes
+  | Error e ->
+      fail "broadcast v%d rejected: %s" version
+        (Live_core.Machine.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Modes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_fleet () : H.Registry.t * H.Scheduler.t =
+  let cfg =
+    {
+      H.Registry.default_config with
+      H.Registry.width = !width;
+      cache = !cache;
+      queue_capacity = !queue_capacity;
+      queue_policy = !queue_policy;
+      admission_limit = !admission;
+    }
+  in
+  let reg = H.Registry.create ~config:cfg (compile_version 0) in
+  (match H.Registry.spawn_many reg !sessions with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "spawn failed: %s\n" (Live_core.Machine.error_to_string e);
+      exit 1);
+  (reg, H.Scheduler.create ~policy:!policy ~batch:!batch reg)
+
+(** Per-round burst for one session: 1-3 events, so pending batches
+    build up and the scheduler's render coalescing has work to do. *)
+let offer_burst (reg : H.Registry.t) (rng : Prng.t) (id : H.Registry.id) =
+  for _ = 0 to Prng.int rng 3 do
+    ignore (H.Registry.offer reg id (gen_event rng))
+  done
+
+(** Seeded load run: [events] rounds; each round offers a small burst
+    per session then ticks once, and the configured number of
+    broadcasts fire at evenly spaced mid-stream rounds. *)
+let run_load () : H.Registry.t =
+  let t0 = Unix.gettimeofday () in
+  let reg, sched = make_fleet () in
+  say "fleet: %d sessions up in %.2f s\n" (H.Registry.size reg)
+    (Unix.gettimeofday () -. t0);
+  let ids = Array.of_list (H.Registry.ids reg) in
+  let rngs = Array.map (fun id -> Prng.create (Prng.derive !seed id)) ids in
+  let update_rounds =
+    (* mid-stream: never round 0, never after the last round *)
+    List.init !updates (fun u -> max 1 ((!events * (u + 1)) / (!updates + 1)))
+  in
+  let version = ref 0 in
+  let t1 = Unix.gettimeofday () in
+  for round = 0 to !events - 1 do
+    Array.iteri (fun i id -> offer_burst reg rngs.(i) id) ids;
+    ignore (H.Scheduler.tick sched);
+    if List.mem round update_rounds then begin
+      incr version;
+      broadcast reg !version
+    end
+  done;
+  (match H.Scheduler.drain sched with
+  | Ok _ -> ()
+  | Error m -> fail "drain: %s" m);
+  let dt = Unix.gettimeofday () -. t1 in
+  check_fleet reg "end of run";
+  check_accounting reg "end of run";
+  let s = H.Registry.snapshot reg in
+  say "load: %d events in %.2f s (%.0f events/s)\n"
+    s.H.Host_metrics.s_events_processed dt
+    (float_of_int s.H.Host_metrics.s_events_processed /. dt);
+  reg
+
+(** Wall-clock soak: offer-and-tick continuously, broadcast roughly
+    once a second, re-check the fleet invariants and the accounting
+    identity at every broadcast. *)
+let run_soak (secs : float) : H.Registry.t =
+  let reg, sched = make_fleet () in
+  say "soak: %d sessions for %.0f s, ~1 broadcast/s\n" (H.Registry.size reg)
+    secs;
+  let ids = Array.of_list (H.Registry.ids reg) in
+  let rngs = Array.map (fun id -> Prng.create (Prng.derive !seed id)) ids in
+  let t0 = Unix.gettimeofday () in
+  let last_update = ref t0 in
+  let version = ref 0 in
+  while Unix.gettimeofday () -. t0 < secs do
+    Array.iteri (fun i id -> offer_burst reg rngs.(i) id) ids;
+    ignore (H.Scheduler.tick sched);
+    let now = Unix.gettimeofday () in
+    if now -. !last_update >= 1.0 then begin
+      last_update := now;
+      incr version;
+      broadcast reg !version;
+      check_fleet reg (Printf.sprintf "soak t=%.0fs" (now -. t0));
+      check_accounting reg (Printf.sprintf "soak t=%.0fs" (now -. t0))
+    end
+  done;
+  (match H.Scheduler.drain sched with
+  | Ok _ -> ()
+  | Error m -> fail "drain: %s" m);
+  check_fleet reg "end of soak";
+  check_accounting reg "end of soak";
+  reg
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  parse_args ();
+  let reg = match !soak with None -> run_load () | Some s -> run_soak s in
+  let snap = H.Registry.snapshot reg in
+  print_newline ();
+  print_string (H.Host_metrics.to_string snap);
+  if snap.H.Host_metrics.s_updates_applied = 0 then
+    fail "no broadcast update was applied during the run";
+  match !failures with
+  | [] ->
+      Printf.printf "\nOK: zero invariant violations, accounting clean, %d \
+                     broadcast update(s) applied\n"
+        snap.H.Host_metrics.s_updates_applied;
+      exit 0
+  | fs ->
+      Printf.printf "\nFAILED (%d problems):\n" (List.length fs);
+      List.iter (fun f -> Printf.printf "  - %s\n" f) (List.rev fs);
+      exit 1

@@ -208,6 +208,82 @@ let session_config ~(width : int) ~(name : string) ~(incremental : bool)
           strict = (fun () -> true);
         }
 
+(** The multi-session host (lib/host) as a fleet of one, driven
+    end-to-end through its ingress / scheduler / broadcast pipeline: a
+    tap is offered to the bounded ingress queue and drained by a
+    scheduler tick; an update goes through the typecheck-once
+    {!Live_host.Broadcast}.  A single-session fleet must agree
+    byte-for-byte with the plain session — the scheduler batches and
+    coalesces only {e painting}, never the Fig. 9 transitions — so the
+    fuzzer's whole trace corpus covers the host subsystem for free. *)
+let host_config ~(width : int) (boot : Program.t) : (config, string) result =
+  let open Live_host in
+  let cfg =
+    {
+      Registry.default_config with
+      Registry.width;
+      (* ample headroom: the oracle ticks after every offer, so the
+         queue never fills and backpressure can never drop an event
+         (a drop would — correctly — be a divergence) *)
+      queue_capacity = 8;
+      queue_policy = Backpressure.Reject;
+    }
+  in
+  let reg = Registry.create ~config:cfg boot in
+  match Registry.spawn reg with
+  | Error e -> Error (err_str e)
+  | Ok id -> (
+      match Registry.session reg id with
+      | None -> Error "host: spawned session not found"
+      | Some s ->
+          let sched = Scheduler.create ~policy:Scheduler.Round_robin ~batch:1 reg in
+          let deliver (ev : Registry.uevent) : (string, string) result =
+            match Registry.offer reg id ev with
+            | Backpressure.Rejected | Backpressure.Dropped_oldest ->
+                Error "host: ingress queue refused the event"
+            | Backpressure.Accepted -> (
+                let r = Scheduler.tick sched in
+                match r.Scheduler.errors with
+                | (_, e) :: _ -> Error (err_str e)
+                | [] ->
+                    if r.Scheduler.taps_hit > 0 then Ok "tapped"
+                    else if r.Scheduler.taps_missed > 0 then Ok "no-handler"
+                    else Ok "ok")
+          in
+          let step (ev : Ctrace.event) (prog : Program.t option) =
+            match ev with
+            | Ctrace.Tap { x; y } -> deliver (Registry.Tap { x; y })
+            | Ctrace.Back -> deliver Registry.Back
+            | Ctrace.Update _ -> (
+                match prog with
+                | None -> Ok "rejected"
+                | Some code -> (
+                    match Broadcast.update reg code with
+                    | Ok _report -> Ok "updated"
+                    | Error e -> Error (err_str e)))
+            | Ctrace.Broken_update -> Ok "rejected"
+            | Ctrace.Render ->
+                ignore (Session.screenshot s);
+                Ok "ok"
+            | Ctrace.Flush_cache ->
+                Session.flush_caches s;
+                Ok "ok"
+            | Ctrace.Drop_next ->
+                Session.inject s Session.Drop_next_event;
+                Ok "ok"
+            | Ctrace.Dup_next ->
+                Session.inject s Session.Duplicate_next_event;
+                Ok "ok"
+          in
+          Ok
+            {
+              name = "host";
+              step;
+              observe = (fun () -> obs_of_state ~width (Session.state s));
+              invariant = (fun () -> invariant_of_state (Session.state s));
+              strict = (fun () -> true);
+            })
+
 (** The restart baseline: structurally compared only until its first
     UPDATE (restart-and-replay intentionally loses model state) or
     queue fault (it has no injection hooks); always
@@ -252,7 +328,8 @@ let restart_config ~(width : int) (boot : Program.t) :
           strict = (fun () -> !strict);
         }
 
-let all_configs = [ "machine"; "session"; "cached"; "incremental"; "restart" ]
+let all_configs =
+  [ "machine"; "session"; "cached"; "incremental"; "host"; "restart" ]
 
 (* ------------------------------------------------------------------ *)
 (* The differential run                                                *)
@@ -294,6 +371,7 @@ let run ?(width = default_width) ?(configs = all_configs) ?sabotage
                 ?sabotage boot
           | "incremental" ->
               session_config ~width ~name ~incremental:true ~cache:false boot
+          | "host" -> host_config ~width boot
           | "restart" -> restart_config ~width boot
           | other -> Error (Printf.sprintf "unknown configuration %S" other)
         in

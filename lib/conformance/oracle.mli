@@ -11,6 +11,9 @@
       repainting);
     - ["incremental"] — Session with the Sec. 5 structural layout
       cache;
+    - ["host"]      — a {!Live_host} fleet of one, driven end-to-end
+      through its ingress queue, batching scheduler and typecheck-once
+      broadcast; must agree byte-for-byte with the plain session;
     - ["restart"]   — the {!Live_baseline.Restart_runtime}
       edit-compile-run baseline; compared strictly until the first
       UPDATE or queue fault (after which its semantics intentionally

@@ -64,3 +64,18 @@ let fixup_with_report (new_code : Program.t) (store : Store.t)
       stack
   in
   (store', stack', { dropped_globals; dropped_pages })
+
+let pp_report ppf (r : report) =
+  match (r.dropped_globals, r.dropped_pages) with
+  | [], [] -> Fmt.string ppf "nothing dropped"
+  | gs, ps ->
+      let part what = function
+        | [] -> None
+        | xs ->
+            Some (Printf.sprintf "dropped %s %s" what (String.concat ", " xs))
+      in
+      Fmt.string ppf
+        (String.concat "; "
+           (List.filter_map Fun.id [ part "globals" gs; part "pages" ps ]))
+
+let report_to_string (r : report) : string = Fmt.str "%a" pp_report r

@@ -25,3 +25,10 @@ val fixup_with_report :
   Store.t ->
   (Ident.page * Ast.value) list ->
   Store.t * (Ident.page * Ast.value) list * report
+
+val pp_report : Format.formatter -> report -> unit
+(** ["dropped globals a, b; dropped pages p"], or ["nothing dropped"] —
+    the one-line summary the host's broadcast fan-out prints per
+    session. *)
+
+val report_to_string : report -> string

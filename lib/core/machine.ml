@@ -201,26 +201,34 @@ let render ?fuel ?cache (st : State.t) : State.t outcome =
 (* Code update                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(** (UPDATE): from a state with an empty event queue, swap in arbitrary
-    new code [C'], provided [C' |- C'] (and T-SYS's start-page
-    condition), and fix up the store and page stack per Fig. 12.  The
-    display is invalidated; the next RENDER rebuilds it from the new
-    code applied to the surviving model state. *)
-let update ?(report = ref None) (new_code : Program.t) (st : State.t) :
-    State.t outcome =
-  let* () =
-    guard (Fqueue.is_empty st.queue) "UPDATE requires an empty event queue"
-  in
+(** The UPDATE premise on the new code alone: [C' |- C'] plus T-SYS's
+    start-page condition.  Exposed separately so a multi-session host
+    can typecheck an edit {e once} and then apply it fleet-wide with
+    [update ~checked:true] — the per-state premise (empty queue) is
+    still re-checked per session. *)
+let check_program (new_code : Program.t) : (unit, error) result =
   let* () =
     match State_typing.check_code new_code with
     | Ok () -> Ok ()
     | Error m -> Error (Ill_typed m)
   in
+  match State_typing.check_start new_code with
+  | Ok () -> Ok ()
+  | Error m -> Error (Ill_typed m)
+
+(** (UPDATE): from a state with an empty event queue, swap in arbitrary
+    new code [C'], provided [C' |- C'] (and T-SYS's start-page
+    condition), and fix up the store and page stack per Fig. 12.  The
+    display is invalidated; the next RENDER rebuilds it from the new
+    code applied to the surviving model state.  [checked] skips the
+    code premise when the caller already discharged it via
+    {!check_program} (the broadcast fast path). *)
+let update ?(checked = false) ?(report = ref None) (new_code : Program.t)
+    (st : State.t) : State.t outcome =
   let* () =
-    match State_typing.check_start new_code with
-    | Ok () -> Ok ()
-    | Error m -> Error (Ill_typed m)
+    guard (Fqueue.is_empty st.queue) "UPDATE requires an empty event queue"
   in
+  let* () = if checked then Ok () else check_program new_code in
   let store, stack, rep =
     Fixup.fixup_with_report new_code st.store st.stack
   in

@@ -52,14 +52,22 @@ val render : ?fuel:int -> ?cache:Render_cache.t -> State.t -> State.t outcome
     revalidated without evaluating and unchanged [boxed] subtrees are
     spliced in without re-evaluation. *)
 
+val check_program : Program.t -> (unit, error) result
+(** The UPDATE premise on the new code alone: [C' |- C'] plus the
+    start-page condition.  A multi-session host typechecks an edit once
+    with this, then applies it fleet-wide with [update ~checked:true]. *)
+
 val update :
+  ?checked:bool ->
   ?report:Fixup.report option ref ->
   Program.t ->
   State.t ->
   State.t outcome
 (** (UPDATE): from a state with an empty queue, swap in arbitrary new
     code provided [C' |- C'] (plus the start-page condition); fix up
-    store and stack per Fig. 12; invalidate the display. *)
+    store and stack per Fig. 12; invalidate the display.  [checked]
+    skips the {!check_program} premise when the caller has already
+    discharged it (the empty-queue premise is always re-checked). *)
 
 val run_to_stable :
   ?fuel:int ->

@@ -1,0 +1,61 @@
+(** Bounded ingress queues (see the interface for the accounting
+    contract). *)
+
+module Fqueue = Live_core.Fqueue
+
+type policy = Drop_oldest | Reject
+
+let policy_to_string = function
+  | Drop_oldest -> "drop-oldest"
+  | Reject -> "reject"
+
+let policy_of_string = function
+  | "drop-oldest" -> Some Drop_oldest
+  | "reject" -> Some Reject
+  | _ -> None
+
+type 'a t = {
+  cap : int;
+  pol : policy;
+  mutable q : 'a Fqueue.t;
+  mutable len : int;  (** cached: Fqueue.length is O(n) *)
+}
+
+let create ~capacity ~policy = { cap = max 1 capacity; pol = policy; q = Fqueue.empty; len = 0 }
+
+type outcome = Accepted | Dropped_oldest | Rejected
+
+let offer (t : 'a t) (x : 'a) : outcome =
+  if t.len < t.cap then begin
+    t.q <- Fqueue.enqueue x t.q;
+    t.len <- t.len + 1;
+    Accepted
+  end
+  else
+    match t.pol with
+    | Reject -> Rejected
+    | Drop_oldest -> (
+        match Fqueue.dequeue t.q with
+        | None -> assert false (* cap >= 1 and len = cap *)
+        | Some (_, rest) ->
+            t.q <- Fqueue.enqueue x rest;
+            Dropped_oldest)
+
+let take (t : 'a t) : 'a option =
+  match Fqueue.dequeue t.q with
+  | None -> None
+  | Some (x, rest) ->
+      t.q <- rest;
+      t.len <- t.len - 1;
+      Some x
+
+let length (t : 'a t) = t.len
+let is_empty (t : 'a t) = t.len = 0
+let capacity (t : 'a t) = t.cap
+let policy (t : 'a t) = t.pol
+
+let clear (t : 'a t) : int =
+  let n = t.len in
+  t.q <- Fqueue.empty;
+  t.len <- 0;
+  n

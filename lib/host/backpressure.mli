@@ -1,0 +1,44 @@
+(** Bounded ingress queues for the session fleet.
+
+    Each session owns one bounded queue of not-yet-applied user events
+    (built on the persistent {!Live_core.Fqueue}, the same structure
+    as the paper's event queue [Q]).  When a queue is full the
+    configured policy decides who loses:
+
+    - {!Drop_oldest}: evict the oldest pending event to admit the new
+      one (a UI prefers fresh input — a stale tap on a long-gone frame
+      is worth less than the latest one);
+    - {!Reject}: refuse the new event and tell the producer.
+
+    Either way the loss is {e accounted}: {!offer}'s outcome feeds the
+    {!Host_metrics} counters, and the soak job checks
+    [in = processed + dropped + rejected + pending] at every quiescent
+    point. *)
+
+type policy = Drop_oldest | Reject
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+type 'a t
+
+val create : capacity:int -> policy:policy -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+type outcome =
+  | Accepted  (** enqueued; the queue had room *)
+  | Dropped_oldest  (** enqueued; the oldest pending event was evicted *)
+  | Rejected  (** refused; the queue is unchanged *)
+
+val offer : 'a t -> 'a -> outcome
+val take : 'a t -> 'a option
+(** Oldest first; [None] on an empty queue. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val capacity : 'a t -> int
+val policy : 'a t -> policy
+
+val clear : 'a t -> int
+(** Discard every pending event (session kill); returns how many were
+    discarded so they can be accounted as dropped. *)

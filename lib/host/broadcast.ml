@@ -1,0 +1,78 @@
+(** Fleet-wide UPDATE (see the interface for the transaction
+    contract). *)
+
+module Session = Live_runtime.Session
+module Machine = Live_core.Machine
+module Fixup = Live_core.Fixup
+
+type session_outcome = {
+  id : Registry.id;
+  outcome : (Fixup.report, Machine.error) result;
+}
+
+type report = {
+  outcomes : session_outcome list;
+  fanout_ns : float;
+  dropped_globals : int;
+  dropped_pages : int;
+}
+
+let update ?(clock = Unix.gettimeofday) (reg : Registry.t)
+    (new_code : Live_core.Program.t) : (report, Machine.error) result =
+  let m = Registry.metrics reg in
+  match Machine.check_program new_code with
+  | Error e ->
+      (* all-or-nothing: the typecheck failed, nothing was touched *)
+      m.Host_metrics.updates_rejected <- m.Host_metrics.updates_rejected + 1;
+      Error e
+  | Ok () ->
+      let t0 = clock () in
+      let outcomes =
+        List.map
+          (fun id ->
+            match Registry.session reg id with
+            | None -> assert false (* ids come from the registry *)
+            | Some s ->
+                { id; outcome = Session.update ~checked:true s new_code })
+          (Registry.ids reg)
+      in
+      Registry.set_program reg new_code;
+      let fanout_ns = (clock () -. t0) *. 1e9 in
+      m.Host_metrics.updates_applied <- m.Host_metrics.updates_applied + 1;
+      m.Host_metrics.fanout_last_ns <- fanout_ns;
+      Host_metrics.record m.Host_metrics.update_fanout fanout_ns;
+      let count f =
+        List.fold_left
+          (fun acc o ->
+            match o.outcome with Ok r -> acc + List.length (f r) | Error _ -> acc)
+          0 outcomes
+      in
+      Ok
+        {
+          outcomes;
+          fanout_ns;
+          dropped_globals = count (fun r -> r.Fixup.dropped_globals);
+          dropped_pages = count (fun r -> r.Fixup.dropped_pages);
+        }
+
+let report_to_string (r : report) : string =
+  let b = Buffer.create 256 in
+  Printf.ksprintf (Buffer.add_string b)
+    "broadcast: %d sessions in %.2f ms; %d globals / %d pages dropped \
+     fleet-wide\n"
+    (List.length r.outcomes) (r.fanout_ns /. 1e6) r.dropped_globals
+    r.dropped_pages;
+  List.iter
+    (fun { id; outcome } ->
+      match outcome with
+      | Ok rep when rep.Fixup.dropped_globals = [] && rep.Fixup.dropped_pages = []
+        ->
+          ()
+      | Ok rep ->
+          Printf.ksprintf (Buffer.add_string b) "  session %d: %s\n" id
+            (Fixup.report_to_string rep)
+      | Error e ->
+          Printf.ksprintf (Buffer.add_string b) "  session %d: ERROR %s\n" id
+            (Machine.error_to_string e))
+    r.outcomes;
+  Buffer.contents b

@@ -1,0 +1,42 @@
+(** Fleet-wide UPDATE: one code edit applied as one transaction across
+    every live session.
+
+    The paper's key move is that a code update is just another
+    transition (UPDATE, Fig. 9), so swapping the program under a
+    running session is always safe; the host lifts that to a fleet.
+    The edit is typechecked {b once} ({!Live_core.Machine.check_program}
+    — [C' |- C'] plus the start-page condition); on failure {e no}
+    session is touched (all-or-nothing).  On success every session
+    runs the UPDATE transition against the already-checked code
+    ([update ~checked:true]): its store and page stack are fixed up
+    per Fig. 12, its display is invalidated and re-rendered, and the
+    per-session fix-up report ("your edit reset global xs") is
+    collected into the fan-out report. *)
+
+type session_outcome = {
+  id : Registry.id;
+  outcome : (Live_core.Fixup.report, Live_core.Machine.error) result;
+      (** per-session UPDATE result; errors here are runtime (fuel,
+          stuck user code) — the typecheck can no longer fail *)
+}
+
+type report = {
+  outcomes : session_outcome list;  (** in spawn order *)
+  fanout_ns : float;  (** wall-clock time to update the whole fleet *)
+  dropped_globals : int;  (** total across sessions *)
+  dropped_pages : int;
+}
+
+val update :
+  ?clock:(unit -> float) ->
+  Registry.t ->
+  Live_core.Program.t ->
+  (report, Live_core.Machine.error) result
+(** Apply the edit to the whole fleet.  [Error] means the new code
+    failed its typecheck and {e every} session is untouched (the
+    registry's shared program is unchanged too).  [clock] is in
+    seconds ([Unix.gettimeofday] by default); the measured fan-out
+    also lands in the registry's {!Host_metrics}. *)
+
+val report_to_string : report -> string
+(** One line per session that lost state, plus the fan-out total. *)

@@ -1,0 +1,207 @@
+(** Fleet-wide counters and latency histograms (see the interface for
+    the accounting identity the soak job enforces). *)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Eight buckets per decade of nanoseconds across 12 decades (1 ns to
+    ~1000 s) — constant-time recording, and a quantile is read off the
+    cumulative bucket walk.  Exact min/max are kept so the clamped
+    quantiles never overshoot the observed range. *)
+let n_buckets = 96
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  buckets : int array;
+}
+
+let histogram () =
+  {
+    count = 0;
+    sum = 0.;
+    vmin = infinity;
+    vmax = neg_infinity;
+    buckets = Array.make n_buckets 0;
+  }
+
+let bucket_of (v : float) : int =
+  if v <= 1. then 0
+  else min (n_buckets - 1) (int_of_float (8. *. log10 v))
+
+let record (h : histogram) (v : float) =
+  let v = if v < 0. then 0. else v in
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.vmin then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let hist_count (h : histogram) = h.count
+
+let quantile (h : histogram) (q : float) : float =
+  if h.count = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = max 1 (int_of_float (Float.round (q *. float_of_int h.count))) in
+    let rec walk i cum =
+      if i >= n_buckets then h.vmax
+      else
+        let cum = cum + h.buckets.(i) in
+        if cum >= rank then
+          (* the bucket's geometric centre *)
+          Float.pow 10. ((float_of_int i +. 0.5) /. 8.)
+        else walk (i + 1) cum
+    in
+    Float.max h.vmin (Float.min h.vmax (walk 0 0))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  mutable events_in : int;
+  mutable events_processed : int;
+  mutable events_dropped : int;
+  mutable events_rejected : int;
+  mutable taps_hit : int;
+  mutable taps_missed : int;
+  mutable ticks : int;
+  mutable repaints : int;
+  mutable coalesced_renders : int;
+  mutable updates_applied : int;
+  mutable updates_rejected : int;
+  mutable sessions_spawned : int;
+  mutable sessions_killed : int;
+  mutable fanout_last_ns : float;
+  tick_latency : histogram;
+  update_fanout : histogram;
+}
+
+let create () =
+  {
+    events_in = 0;
+    events_processed = 0;
+    events_dropped = 0;
+    events_rejected = 0;
+    taps_hit = 0;
+    taps_missed = 0;
+    ticks = 0;
+    repaints = 0;
+    coalesced_renders = 0;
+    updates_applied = 0;
+    updates_rejected = 0;
+    sessions_spawned = 0;
+    sessions_killed = 0;
+    fanout_last_ns = 0.;
+    tick_latency = histogram ();
+    update_fanout = histogram ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  sessions : int;
+  s_events_in : int;
+  s_events_processed : int;
+  s_events_dropped : int;
+  s_events_rejected : int;
+  s_pending : int;
+  s_taps_hit : int;
+  s_taps_missed : int;
+  s_ticks : int;
+  s_repaints : int;
+  s_coalesced_renders : int;
+  s_updates_applied : int;
+  s_updates_rejected : int;
+  s_sessions_spawned : int;
+  s_sessions_killed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_hit_rate : float;
+  tick_p50_ns : float;
+  tick_p99_ns : float;
+  fanout_p50_ns : float;
+  fanout_p99_ns : float;
+  fanout_last_ns : float;
+}
+
+let snapshot (m : t) ~(sessions : int) ~(pending : int)
+    ~(cache : (int * int) option) : snapshot =
+  let cache_hits, cache_misses = Option.value cache ~default:(0, 0) in
+  let cache_hit_rate =
+    match cache with
+    | Some (h, ms) when h + ms > 0 -> float_of_int h /. float_of_int (h + ms)
+    | _ -> Float.nan
+  in
+  {
+    sessions;
+    s_events_in = m.events_in;
+    s_events_processed = m.events_processed;
+    s_events_dropped = m.events_dropped;
+    s_events_rejected = m.events_rejected;
+    s_pending = pending;
+    s_taps_hit = m.taps_hit;
+    s_taps_missed = m.taps_missed;
+    s_ticks = m.ticks;
+    s_repaints = m.repaints;
+    s_coalesced_renders = m.coalesced_renders;
+    s_updates_applied = m.updates_applied;
+    s_updates_rejected = m.updates_rejected;
+    s_sessions_spawned = m.sessions_spawned;
+    s_sessions_killed = m.sessions_killed;
+    cache_hits;
+    cache_misses;
+    cache_hit_rate;
+    tick_p50_ns = quantile m.tick_latency 0.5;
+    tick_p99_ns = quantile m.tick_latency 0.99;
+    fanout_p50_ns = quantile m.update_fanout 0.5;
+    fanout_p99_ns = quantile m.update_fanout 0.99;
+    fanout_last_ns = m.fanout_last_ns;
+  }
+
+let accounting_ok (s : snapshot) : bool =
+  s.s_events_in
+  = s.s_events_processed + s.s_events_dropped + s.s_events_rejected
+    + s.s_pending
+
+let pp_ns (ns : float) : string =
+  if Float.is_nan ns then "n/a"
+  else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+let to_string (s : snapshot) : string =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "host metrics";
+  line "  sessions          %6d  (spawned %d, killed %d)" s.sessions
+    s.s_sessions_spawned s.s_sessions_killed;
+  line "  events in         %6d  processed %d  dropped %d  rejected %d  pending %d"
+    s.s_events_in s.s_events_processed s.s_events_dropped s.s_events_rejected
+    s.s_pending;
+  line "  taps              %6d  hit / %d missed" s.s_taps_hit s.s_taps_missed;
+  line "  scheduler         %6d  ticks; latency p50 %s, p99 %s" s.s_ticks
+    (pp_ns s.tick_p50_ns) (pp_ns s.tick_p99_ns);
+  line "  renders           %6d  repaints, %d coalesced" s.s_repaints
+    s.s_coalesced_renders;
+  (if s.cache_hits + s.cache_misses > 0 then
+     line "  render cache      %6d  hits / %d misses (%.1f%% hit rate)"
+       s.cache_hits s.cache_misses (100. *. s.cache_hit_rate)
+   else line "  render cache         off");
+  line "  broadcast         %6d  applied, %d rejected" s.s_updates_applied
+    s.s_updates_rejected;
+  line "  update fan-out    p50 %s, p99 %s, last %s" (pp_ns s.fanout_p50_ns)
+    (pp_ns s.fanout_p99_ns) (pp_ns s.fanout_last_ns);
+  line "  accounting        %s"
+    (if accounting_ok s then "ok (in = processed + dropped + rejected + pending)"
+     else "MISMATCH");
+  Buffer.contents b

@@ -1,0 +1,92 @@
+(** Fleet-wide counters and latency histograms for the multi-session
+    host: events in / dropped / rejected / processed, repaints and
+    coalesced re-renders, broadcast updates, and log-bucketed
+    histograms of scheduler-tick latency and broadcast fan-out time.
+
+    A {!snapshot} is a typed immutable record (with the p50/p99
+    quantiles already computed) and {!to_string} is the text dump the
+    load driver prints.  The accounting identity
+
+    {v events_in = processed + dropped + rejected + pending v}
+
+    must hold at every quiescent point; {!accounting_ok} checks it and
+    the CI soak job fails on a mismatch. *)
+
+(** {1 Latency histograms} *)
+
+type histogram
+(** Log-scale histogram over nanoseconds (8 buckets per decade): O(1)
+    recording, quantiles approximated by the bucket's geometric centre
+    (good to ~15%, plenty for p50/p99 trend lines). *)
+
+val histogram : unit -> histogram
+val record : histogram -> float -> unit
+(** [record h ns] — negative values clamp to 0. *)
+
+val hist_count : histogram -> int
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0,1], in ns; [0.] on an empty
+    histogram.  Clamped to the exact observed min/max. *)
+
+(** {1 Live counters} *)
+
+type t = {
+  mutable events_in : int;  (** every event offered to the host *)
+  mutable events_processed : int;  (** drained and applied by a tick *)
+  mutable events_dropped : int;  (** evicted by drop-oldest / on kill *)
+  mutable events_rejected : int;  (** refused: queue full or admission *)
+  mutable taps_hit : int;
+  mutable taps_missed : int;
+  mutable ticks : int;
+  mutable repaints : int;  (** one per served session per tick *)
+  mutable coalesced_renders : int;  (** batched events minus repaints *)
+  mutable updates_applied : int;
+  mutable updates_rejected : int;  (** broadcasts refused by typecheck *)
+  mutable sessions_spawned : int;
+  mutable sessions_killed : int;
+  mutable fanout_last_ns : float;  (** duration of the last broadcast *)
+  tick_latency : histogram;
+  update_fanout : histogram;
+}
+
+val create : unit -> t
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  sessions : int;
+  s_events_in : int;
+  s_events_processed : int;
+  s_events_dropped : int;
+  s_events_rejected : int;
+  s_pending : int;
+  s_taps_hit : int;
+  s_taps_missed : int;
+  s_ticks : int;
+  s_repaints : int;
+  s_coalesced_renders : int;
+  s_updates_applied : int;
+  s_updates_rejected : int;
+  s_sessions_spawned : int;
+  s_sessions_killed : int;
+  cache_hits : int;  (** aggregated render-cache hits ([0] when off) *)
+  cache_misses : int;
+  cache_hit_rate : float;  (** [nan] when the cache is off / unused *)
+  tick_p50_ns : float;
+  tick_p99_ns : float;
+  fanout_p50_ns : float;
+  fanout_p99_ns : float;
+  fanout_last_ns : float;
+}
+
+val snapshot :
+  t -> sessions:int -> pending:int -> cache:(int * int) option -> snapshot
+(** Freeze the counters; [cache] is the fleet-aggregated render-cache
+    (hits, misses), [None] when no session runs the cache. *)
+
+val accounting_ok : snapshot -> bool
+(** The dropped-event accounting identity above. *)
+
+val to_string : snapshot -> string
+(** The multi-line text dump (host_bench, the CI soak job). *)

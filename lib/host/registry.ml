@@ -1,0 +1,205 @@
+(** The session fleet (see the interface).  Sessions live in a hash
+    table keyed by dense ids; spawn order is kept separately because
+    the scheduler's round-robin ring and the broadcast fan-out must
+    both be deterministic. *)
+
+module Session = Live_runtime.Session
+module Machine = Live_core.Machine
+
+type id = int
+
+type uevent = Tap of { x : int; y : int } | Back
+
+let pp_uevent ppf = function
+  | Tap { x; y } -> Fmt.pf ppf "tap(%d,%d)" x y
+  | Back -> Fmt.string ppf "back"
+
+type config = {
+  width : int;
+  fuel : int option;
+  incremental : bool;
+  cache : bool;
+  queue_capacity : int;
+  queue_policy : Backpressure.policy;
+  admission_limit : int option;
+}
+
+let default_config =
+  {
+    width = 48;
+    fuel = None;
+    incremental = false;
+    cache = false;
+    queue_capacity = 64;
+    queue_policy = Backpressure.Drop_oldest;
+    admission_limit = None;
+  }
+
+type entry = { session : Session.t; ingress : uevent Backpressure.t }
+
+type t = {
+  cfg : config;
+  mutable program : Live_core.Program.t;
+  entries : (id, entry) Hashtbl.t;
+  mutable order : id list;  (** spawn order, oldest first *)
+  mutable next_id : id;
+  mutable pending_total : int;  (** cached sum of ingress lengths *)
+  metrics : Host_metrics.t;
+}
+
+let create ?(config = default_config) (program : Live_core.Program.t) : t =
+  {
+    cfg = config;
+    program;
+    entries = Hashtbl.create 64;
+    order = [];
+    next_id = 0;
+    pending_total = 0;
+    metrics = Host_metrics.create ();
+  }
+
+let spawn (t : t) : (id, Machine.error) result =
+  match
+    Session.create ~width:t.cfg.width ?fuel:t.cfg.fuel
+      ~incremental:t.cfg.incremental ~cache:t.cfg.cache t.program
+  with
+  | Error e -> Error e
+  | Ok session ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Hashtbl.replace t.entries id
+        {
+          session;
+          ingress =
+            Backpressure.create ~capacity:t.cfg.queue_capacity
+              ~policy:t.cfg.queue_policy;
+        };
+      t.order <- t.order @ [ id ];
+      t.metrics.Host_metrics.sessions_spawned <-
+        t.metrics.Host_metrics.sessions_spawned + 1;
+      Ok id
+
+let spawn_many (t : t) (n : int) : (id list, Machine.error) result =
+  let rec go k acc =
+    if k <= 0 then Ok (List.rev acc)
+    else match spawn t with Error e -> Error e | Ok id -> go (k - 1) (id :: acc)
+  in
+  go n []
+
+let kill (t : t) (id : id) : bool =
+  match Hashtbl.find_opt t.entries id with
+  | None -> false
+  | Some e ->
+      let orphaned = Backpressure.clear e.ingress in
+      t.pending_total <- t.pending_total - orphaned;
+      t.metrics.Host_metrics.events_dropped <-
+        t.metrics.Host_metrics.events_dropped + orphaned;
+      t.metrics.Host_metrics.sessions_killed <-
+        t.metrics.Host_metrics.sessions_killed + 1;
+      Hashtbl.remove t.entries id;
+      t.order <- List.filter (fun i -> i <> id) t.order;
+      true
+
+let session (t : t) (id : id) : Session.t option =
+  Option.map (fun e -> e.session) (Hashtbl.find_opt t.entries id)
+
+let ids (t : t) : id list = t.order
+let size (t : t) : int = Hashtbl.length t.entries
+let program (t : t) = t.program
+let config (t : t) = t.cfg
+let metrics (t : t) = t.metrics
+let set_program (t : t) (p : Live_core.Program.t) = t.program <- p
+
+(* ------------------------------------------------------------------ *)
+(* Ingress                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let offer (t : t) (id : id) (ev : uevent) : Backpressure.outcome =
+  let m = t.metrics in
+  m.Host_metrics.events_in <- m.Host_metrics.events_in + 1;
+  let admission_full =
+    match t.cfg.admission_limit with
+    | Some limit -> t.pending_total >= limit
+    | None -> false
+  in
+  match Hashtbl.find_opt t.entries id with
+  | None ->
+      m.Host_metrics.events_rejected <- m.Host_metrics.events_rejected + 1;
+      Backpressure.Rejected
+  | Some _ when admission_full ->
+      m.Host_metrics.events_rejected <- m.Host_metrics.events_rejected + 1;
+      Backpressure.Rejected
+  | Some e -> (
+      match Backpressure.offer e.ingress ev with
+      | Backpressure.Accepted ->
+          t.pending_total <- t.pending_total + 1;
+          Backpressure.Accepted
+      | Backpressure.Dropped_oldest ->
+          (* one in, one out: total pending unchanged *)
+          m.Host_metrics.events_dropped <- m.Host_metrics.events_dropped + 1;
+          Backpressure.Dropped_oldest
+      | Backpressure.Rejected ->
+          m.Host_metrics.events_rejected <- m.Host_metrics.events_rejected + 1;
+          Backpressure.Rejected)
+
+let pending (t : t) (id : id) : int =
+  match Hashtbl.find_opt t.entries id with
+  | None -> 0
+  | Some e -> Backpressure.length e.ingress
+
+let total_pending (t : t) : int = t.pending_total
+
+let take (t : t) (id : id) : uevent option =
+  match Hashtbl.find_opt t.entries id with
+  | None -> None
+  | Some e -> (
+      match Backpressure.take e.ingress with
+      | None -> None
+      | Some ev ->
+          t.pending_total <- t.pending_total - 1;
+          Some ev)
+
+(* ------------------------------------------------------------------ *)
+(* Invariants and snapshots                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** The oracle's structural invariants, fleet-wide: every session's
+    state types under Fig. 11, is stable, and shows a valid display.
+    The host adds nothing a single session would not already promise —
+    which is exactly the point: render-effect isolation means fleet
+    membership cannot corrupt a session. *)
+let check_invariants (t : t) : (id * string) list =
+  List.filter_map
+    (fun id ->
+      match Hashtbl.find_opt t.entries id with
+      | None -> None
+      | Some e -> (
+          let st = Session.state e.session in
+          match Live_core.State_typing.check_state st with
+          | Error m -> Some (id, "ill-typed state: " ^ m)
+          | Ok () ->
+              if not (Live_core.State.is_stable st) then
+                Some (id, "state not stable")
+              else if not (Live_core.State.display_valid st) then
+                Some (id, "display invalid")
+              else None))
+    t.order
+
+let snapshot (t : t) : Host_metrics.snapshot =
+  let cache =
+    List.fold_left
+      (fun acc id ->
+        match Hashtbl.find_opt t.entries id with
+        | None -> acc
+        | Some e -> (
+            match Session.render_cache_stats e.session with
+            | None -> acc
+            | Some s ->
+                let h, m = Option.value acc ~default:(0, 0) in
+                Some
+                  ( h + s.Live_core.Render_cache.hits,
+                    m + s.Live_core.Render_cache.misses )))
+      None t.order
+  in
+  Host_metrics.snapshot t.metrics ~sessions:(size t)
+    ~pending:t.pending_total ~cache

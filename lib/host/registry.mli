@@ -1,0 +1,91 @@
+(** The session fleet: N concurrent {!Live_runtime.Session}s sharing
+    one program.
+
+    The registry owns spawn / kill / lookup, the per-session bounded
+    ingress queue ({!Backpressure}), an optional fleet-wide admission
+    limit on total pending events, and the {!Host_metrics} counters
+    every component reports into.  Sessions keep their own store and
+    page stack (per-user model state); the {e code} is shared and only
+    changes through {!Broadcast.update}, which applies one edit
+    transactionally across the whole fleet. *)
+
+type id = int
+(** Dense, never reused within a registry. *)
+
+(** A user event addressed to one session, not yet applied — the
+    host-level counterpart of the paper's TAP / BACK transitions. *)
+type uevent = Tap of { x : int; y : int } | Back
+
+val pp_uevent : Format.formatter -> uevent -> unit
+
+type config = {
+  width : int;  (** display width of every session *)
+  fuel : int option;  (** evaluator fuel ([None] = default) *)
+  incremental : bool;  (** Sec. 5 layout cache *)
+  cache : bool;  (** the end-to-end incremental render pipeline *)
+  queue_capacity : int;  (** per-session ingress bound *)
+  queue_policy : Backpressure.policy;
+  admission_limit : int option;
+      (** fleet-wide cap on total pending events; offers beyond it are
+          rejected whatever the per-session policy says *)
+}
+
+val default_config : config
+(** width 48, default fuel, no caches, capacity 64, drop-oldest, no
+    admission limit. *)
+
+type t
+
+val create : ?config:config -> Live_core.Program.t -> t
+(** An empty fleet over the shared program; {!spawn} boots sessions. *)
+
+val spawn : t -> (id, Live_core.Machine.error) result
+(** Boot one session on the current shared program to its first stable
+    state. *)
+
+val spawn_many : t -> int -> (id list, Live_core.Machine.error) result
+(** Spawn [n] sessions; stops at the first boot failure (already
+    spawned sessions stay). *)
+
+val kill : t -> id -> bool
+(** Remove a session; its pending ingress events are accounted as
+    dropped.  [false] if the id is unknown. *)
+
+val session : t -> id -> Live_runtime.Session.t option
+val ids : t -> id list
+(** Spawn order — the scheduler's round-robin ring. *)
+
+val size : t -> int
+val program : t -> Live_core.Program.t
+val config : t -> config
+val metrics : t -> Host_metrics.t
+
+(** {1 Ingress} *)
+
+val offer : t -> id -> uevent -> Backpressure.outcome
+(** Enqueue a user event for one session, subject to the per-session
+    bound and the fleet admission limit; every outcome is counted in
+    {!metrics}.  An unknown id rejects. *)
+
+val pending : t -> id -> int
+val total_pending : t -> int
+val take : t -> id -> uevent option
+(** Dequeue the session's oldest pending event (the scheduler's
+    draining primitive). *)
+
+(** {1 Internals shared with Broadcast} *)
+
+val set_program : t -> Live_core.Program.t -> unit
+(** Install the new shared code — {b only} {!Broadcast.update} calls
+    this, after the fleet-wide transaction committed. *)
+
+(** {1 Invariants} *)
+
+val check_invariants : t -> (id * string) list
+(** Every session's state must type (Fig. 11), be stable, and show a
+    valid display; each violation is reported as [(id, message)].
+    Empty list = healthy fleet. *)
+
+val snapshot : t -> Host_metrics.snapshot
+(** Freeze the metrics, aggregating render-cache hits/misses across
+    the fleet and the current total pending count. *)

@@ -270,11 +270,13 @@ let back (t : t) : (unit, Machine.error) result =
     Returns the fix-up report: which globals and stack entries the
     update deleted.  The render cache flushes itself on the code swap
     (its entries are keyed to the old code), preserving live-edit
-    semantics exactly. *)
-let update (t : t) (new_code : Live_core.Program.t) :
+    semantics exactly.  [checked] skips the code typecheck when the
+    caller already ran {!Live_core.Machine.check_program} — the
+    multi-session host's typecheck-once broadcast path. *)
+let update ?(checked = false) (t : t) (new_code : Live_core.Program.t) :
     (Live_core.Fixup.report, Machine.error) result =
   let report = ref None in
-  let* st = Machine.update ~report new_code t.state in
+  let* st = Machine.update ~checked ~report new_code t.state in
   t.state <- st;
   let* () = stabilize t in
   Ok

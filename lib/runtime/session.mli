@@ -55,11 +55,15 @@ val tap_first : t -> (tap_result, Live_core.Machine.error) result
 val back : t -> (unit, Live_core.Machine.error) result
 
 val update :
+  ?checked:bool ->
   t ->
   Live_core.Program.t ->
   (Live_core.Fixup.report, Live_core.Machine.error) result
 (** Apply the UPDATE transition and re-render; reports what the
-    Fig. 12 fix-up deleted. *)
+    Fig. 12 fix-up deleted.  [checked] skips the new code's typecheck
+    when the caller already discharged it with
+    {!Live_core.Machine.check_program} (the host's typecheck-once
+    broadcast). *)
 
 val cache_stats : t -> (int * int) option
 (** (hits, misses) of the incremental layout cache, if enabled. *)

@@ -59,6 +59,50 @@ let independent_rows ~(n : int) : string =
       Buffer.add_string b "  }\n";
       Buffer.add_string b "}\n")
 
+(** The multi-session host's load-driver app: a version banner over
+    [rows] independently-tappable counter rows plus a total-taps
+    footer.  The [version] parameter makes version bumps broadcastable
+    edits with observable, accountable fix-up: the banner text changes
+    (every display re-renders), the per-row counters and the shared
+    [tick] survive (they type under the new code), and the
+    version-named [epoch{v}] global is dropped and re-initialised
+    (each broadcast's fix-up report lists exactly one reset global per
+    session).  Banner at y=0, tappable rows at y in [1, rows], footer
+    below. *)
+let host_app ~(rows : int) ~(version : int) : string =
+  buf_program (fun b ->
+      Buffer.add_string b "global tick : number = 0\n";
+      for i = 0 to rows - 1 do
+        Buffer.add_string b (Printf.sprintf "global g%d : number = 0\n" i)
+      done;
+      Buffer.add_string b
+        (Printf.sprintf "global epoch%d : number = %d\n" version version);
+      (* init writes the epoch global, so it is in the store and the
+         next version bump's fix-up observably drops it (S-SKIP) *)
+      Buffer.add_string b
+        (Printf.sprintf "\npage start()\ninit { epoch%d := %d }\nrender {\n"
+           version (version + 100));
+      Buffer.add_string b "  boxed {\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    boxed { post \"fleet app v%d epoch \" ++ str(epoch%d) }\n"
+           version version);
+      for i = 0 to rows - 1 do
+        Buffer.add_string b "    boxed {\n";
+        Buffer.add_string b "      box.direction := \"horizontal\"\n";
+        Buffer.add_string b
+          (Printf.sprintf "      boxed { box.width := 8 post \"row %d\" }\n" i);
+        Buffer.add_string b
+          (Printf.sprintf "      boxed { post \"count \" ++ str(g%d) }\n" i);
+        Buffer.add_string b
+          (Printf.sprintf
+             "      on tapped { g%d := g%d + 1 tick := tick + 1 }\n" i i);
+        Buffer.add_string b "    }\n"
+      done;
+      Buffer.add_string b "    boxed { post \"taps \" ++ str(tick) }\n";
+      Buffer.add_string b "  }\n";
+      Buffer.add_string b "}\n")
+
 (** A page rendering a complete tree of boxes with the given depth and
     fan-out — the nesting workload for layout. *)
 let nested ~(depth : int) ~(fanout : int) : string =

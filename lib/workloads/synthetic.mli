@@ -9,6 +9,14 @@ val independent_rows : n:int -> string
 (** [n] rows each reading its own global; a tap invalidates one row's
     read set (the render-memoization workload). *)
 
+val host_app : rows:int -> version:int -> string
+(** The multi-session host's load-driver app: a [version] banner over
+    [rows] tappable counter rows (banner at y=0, rows at y in
+    [1, rows], a total-taps footer below).  A version bump is a
+    broadcastable edit: counters survive the Fig. 12 fix-up, the
+    version-named [epoch] global is reset, and the banner changes on
+    every display. *)
+
 val nested : depth:int -> fanout:int -> string
 (** A complete box tree of the given depth and fan-out. *)
 

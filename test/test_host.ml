@@ -1,0 +1,471 @@
+(** The multi-session host ([lib/host]): the fleet-wide broadcast
+    UPDATE must be observably identical to updating every session
+    independently (and all-or-nothing on a failed typecheck), the
+    bounded ingress queues must enforce their policies with exact
+    loss accounting, the batching scheduler must drain fairly and
+    coalesce only repaints, and a fleet of one must agree with the
+    reference machine on random traces (the oracle's ["host"]
+    configuration). *)
+
+open Helpers
+module H = Live_host
+module Session = Live_runtime.Session
+module Prng = Live_conformance.Prng
+
+let rows = 4
+let width = 32
+
+let app version : Live_core.Program.t =
+  (Live_workloads.Synthetic.compile_exn
+     (Live_workloads.Synthetic.host_app ~rows ~version))
+    .Live_surface.Compile.core
+
+(** Canonical observation of one session, à la the conformance
+    oracle: store, page stack, painted pixels. *)
+let obs (s : Session.t) : string =
+  let st = Session.state s in
+  let store =
+    Live_core.Store.bindings st.Live_core.State.store
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (g, v) ->
+           Printf.sprintf "%s=%s" g (Live_core.Pretty.value_to_string v))
+    |> String.concat ";"
+  in
+  let stack =
+    st.Live_core.State.stack
+    |> List.map (fun (p, v) ->
+           Printf.sprintf "%s(%s)" p (Live_core.Pretty.value_to_string v))
+    |> String.concat ";"
+  in
+  store ^ "\n" ^ stack ^ "\n" ^ Session.screenshot s
+
+(** A deterministic per-session event stream: mostly taps across the
+    app (some hit, some miss), occasionally BACK. *)
+let gen_events ~seed ~n (id : H.Registry.id) : H.Registry.uevent list =
+  let rng = Prng.create (Prng.derive seed id) in
+  List.init n (fun _ ->
+      if Prng.int rng 10 = 0 then H.Registry.Back
+      else
+        H.Registry.Tap
+          { x = Prng.int rng width; y = Prng.int rng (rows + 3) })
+
+(** Apply one event directly to a plain session, with the scheduler's
+    error semantics: a failing event is consumed, the session keeps
+    running. *)
+let apply_direct (s : Session.t) (ev : H.Registry.uevent) : unit =
+  match ev with
+  | H.Registry.Tap { x; y } -> (
+      match Session.tap s ~x ~y with Ok _ | Error _ -> ())
+  | H.Registry.Back -> ( match Session.back s with Ok _ | Error _ -> ())
+
+let make_fleet ?(config = { H.Registry.default_config with H.Registry.width })
+    ~sessions version : H.Registry.t * H.Registry.id list =
+  let reg = H.Registry.create ~config (app version) in
+  let ids = ok_machine "spawn_many" (H.Registry.spawn_many reg sessions) in
+  (reg, ids)
+
+let fleet_session reg id =
+  match H.Registry.session reg id with
+  | Some s -> s
+  | None -> Alcotest.failf "session %d not found" id
+
+(* -- broadcast ≡ independent per-session updates ------------------- *)
+
+let test_broadcast_equals_independent () =
+  let n = 5 in
+  let reg, ids = make_fleet ~sessions:n 0 in
+  let sched = H.Scheduler.create ~batch:4 reg in
+  let controls =
+    List.map
+      (fun _ -> ok_machine "control create" (Session.create ~width (app 0)))
+      ids
+  in
+  let streams = List.map (gen_events ~seed:7 ~n:12) ids in
+  (* drive the fleet through its ingress queues and the scheduler,
+     the controls directly — per-session order is identical *)
+  List.iter2
+    (fun id evs ->
+      List.iter
+        (fun ev ->
+          match H.Registry.offer reg id ev with
+          | H.Backpressure.Accepted -> ()
+          | _ -> Alcotest.fail "offer not accepted under default capacity")
+        evs)
+    ids streams;
+  (match H.Scheduler.drain sched with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  List.iter2 (fun c evs -> List.iter (apply_direct c) evs) controls streams;
+  List.iter2
+    (fun id c ->
+      Alcotest.(check string)
+        (Printf.sprintf "pre-update obs of session %d" id)
+        (obs c) (obs (fleet_session reg id)))
+    ids controls;
+  (* one broadcast vs. n independent updates of the same edit *)
+  let rep =
+    match H.Broadcast.update reg (app 1) with
+    | Ok r -> r
+    | Error e ->
+        Alcotest.failf "broadcast rejected: %s"
+          (Live_core.Machine.error_to_string e)
+  in
+  let control_reports =
+    List.map (fun c -> ok_machine "independent update" (Session.update c (app 1))) controls
+  in
+  List.iter2
+    (fun id c ->
+      Alcotest.(check string)
+        (Printf.sprintf "post-update obs of session %d" id)
+        (obs c) (obs (fleet_session reg id)))
+    ids controls;
+  (* the per-session fix-up summaries match the independent ones *)
+  List.iter2
+    (fun o control_rep ->
+      match o.H.Broadcast.outcome with
+      | Ok r ->
+          Alcotest.(check string)
+            (Printf.sprintf "fixup report of session %d" o.H.Broadcast.id)
+            (Live_core.Fixup.report_to_string control_rep)
+            (Live_core.Fixup.report_to_string r)
+      | Error e ->
+          Alcotest.failf "session %d failed the broadcast: %s"
+            o.H.Broadcast.id
+            (Live_core.Machine.error_to_string e))
+    rep.H.Broadcast.outcomes control_reports;
+  (* the version bump resets exactly the epoch global, per session *)
+  Alcotest.(check int) "one reset global per session" n
+    rep.H.Broadcast.dropped_globals;
+  Alcotest.(check (list int))
+    "violation-free fleet" []
+    (List.map fst (H.Registry.check_invariants reg))
+
+let test_broadcast_all_or_nothing () =
+  let reg, ids = make_fleet ~sessions:4 0 in
+  let sched = H.Scheduler.create reg in
+  List.iter
+    (fun id ->
+      ignore (H.Registry.offer reg id (H.Registry.Tap { x = 2; y = 1 })))
+    ids;
+  (match H.Scheduler.drain sched with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let before = List.map (fun id -> obs (fleet_session reg id)) ids in
+  let program_before = H.Registry.program reg in
+  (* no start page: Machine.check_program must refuse the edit *)
+  let bad = Live_core.Program.without_def (app 1) "start" in
+  let host_err =
+    match H.Broadcast.update reg bad with
+    | Ok _ -> Alcotest.fail "an ill-typed broadcast was applied"
+    | Error e -> Live_core.Machine.error_to_string e
+  in
+  (* same rejection a single session would produce *)
+  let solo = ok_machine "solo create" (Session.create ~width (app 0)) in
+  (match Session.update solo bad with
+  | Ok _ -> Alcotest.fail "an ill-typed solo update was applied"
+  | Error e ->
+      Alcotest.(check string)
+        "fleet and solo reject identically" host_err
+        (Live_core.Machine.error_to_string e));
+  (* nothing was touched: observations, shared program, counters *)
+  List.iter2
+    (fun id o ->
+      Alcotest.(check string)
+        (Printf.sprintf "session %d untouched" id)
+        o
+        (obs (fleet_session reg id)))
+    ids before;
+  Alcotest.(check bool)
+    "shared program unchanged" true
+    (program_before == H.Registry.program reg);
+  let s = H.Registry.snapshot reg in
+  Alcotest.(check int) "updates_rejected" 1 s.H.Host_metrics.s_updates_rejected;
+  Alcotest.(check int) "updates_applied" 0 s.H.Host_metrics.s_updates_applied
+
+(* -- backpressure -------------------------------------------------- *)
+
+let offer_all q xs = List.map (H.Backpressure.offer q) xs
+
+let drain_all q =
+  let rec go acc =
+    match H.Backpressure.take q with
+    | Some x -> go (x :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let outcome : H.Backpressure.outcome Alcotest.testable =
+  Alcotest.testable
+    (fun ppf o ->
+      Format.pp_print_string ppf
+        (match o with
+        | H.Backpressure.Accepted -> "accepted"
+        | H.Backpressure.Dropped_oldest -> "dropped-oldest"
+        | H.Backpressure.Rejected -> "rejected"))
+    ( = )
+
+let test_backpressure_drop_oldest () =
+  let q =
+    H.Backpressure.create ~capacity:3 ~policy:H.Backpressure.Drop_oldest
+  in
+  Alcotest.(check (list outcome))
+    "first three admitted, then evictions"
+    H.Backpressure.[ Accepted; Accepted; Accepted; Dropped_oldest; Dropped_oldest ]
+    (offer_all q [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check int) "still bounded" 3 (H.Backpressure.length q);
+  Alcotest.(check (list int)) "freshest events survive" [ 3; 4; 5 ] (drain_all q)
+
+let test_backpressure_reject () =
+  let q = H.Backpressure.create ~capacity:3 ~policy:H.Backpressure.Reject in
+  Alcotest.(check (list outcome))
+    "first three admitted, then refusals"
+    H.Backpressure.[ Accepted; Accepted; Accepted; Rejected; Rejected ]
+    (offer_all q [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check (list int)) "oldest events survive" [ 1; 2; 3 ] (drain_all q)
+
+let test_backpressure_clamp_and_clear () =
+  let q = H.Backpressure.create ~capacity:0 ~policy:H.Backpressure.Reject in
+  Alcotest.(check int) "capacity clamps to 1" 1 (H.Backpressure.capacity q);
+  ignore (H.Backpressure.offer q 1);
+  Alcotest.(check int) "clear reports the discarded count" 1
+    (H.Backpressure.clear q);
+  Alcotest.(check bool) "cleared" true (H.Backpressure.is_empty q)
+
+(* -- registry accounting ------------------------------------------- *)
+
+let accounting_line (s : H.Host_metrics.snapshot) =
+  Printf.sprintf "in=%d processed=%d dropped=%d rejected=%d pending=%d"
+    s.H.Host_metrics.s_events_in s.H.Host_metrics.s_events_processed
+    s.H.Host_metrics.s_events_dropped s.H.Host_metrics.s_events_rejected
+    s.H.Host_metrics.s_pending
+
+let check_accounting reg where =
+  let s = H.Registry.snapshot reg in
+  if not (H.Host_metrics.accounting_ok s) then
+    Alcotest.failf "%s: accounting mismatch: %s" where (accounting_line s)
+
+let test_registry_accounting_under_drops () =
+  let config =
+    {
+      H.Registry.default_config with
+      H.Registry.width;
+      queue_capacity = 2;
+      queue_policy = H.Backpressure.Drop_oldest;
+    }
+  in
+  let reg, ids = make_fleet ~config ~sessions:2 0 in
+  let a = List.nth ids 0 and b = List.nth ids 1 in
+  let tap = H.Registry.Tap { x = 2; y = 1 } in
+  Alcotest.(check (list outcome))
+    "bounded queue evicts under load"
+    H.Backpressure.[ Accepted; Accepted; Dropped_oldest; Dropped_oldest ]
+    (List.init 4 (fun _ -> H.Registry.offer reg a tap));
+  Alcotest.(check outcome) "unknown id rejects" H.Backpressure.Rejected
+    (H.Registry.offer reg 999 tap);
+  Alcotest.(check int) "pending bounded" 2 (H.Registry.pending reg a);
+  check_accounting reg "after drops";
+  let sched = H.Scheduler.create reg in
+  (match H.Scheduler.drain sched with
+  | Ok n -> Alcotest.(check int) "surviving events processed" 2 n
+  | Error m -> Alcotest.fail m);
+  check_accounting reg "after drain";
+  (* a kill accounts its orphaned pending events as dropped *)
+  ignore (H.Registry.offer reg b tap);
+  ignore (H.Registry.offer reg b tap);
+  Alcotest.(check bool) "kill succeeds" true (H.Registry.kill reg b);
+  Alcotest.(check bool) "killed id is gone" true
+    (H.Registry.session reg b = None);
+  Alcotest.(check outcome) "offers to the dead reject" H.Backpressure.Rejected
+    (H.Registry.offer reg b tap);
+  Alcotest.(check int) "fleet shrank" 1 (H.Registry.size reg);
+  check_accounting reg "after kill";
+  let s = H.Registry.snapshot reg in
+  Alcotest.(check int) "kill counted" 1 s.H.Host_metrics.s_sessions_killed
+
+let test_admission_limit () =
+  let config =
+    {
+      H.Registry.default_config with
+      H.Registry.width;
+      admission_limit = Some 3;
+    }
+  in
+  let reg, ids = make_fleet ~config ~sessions:2 0 in
+  let a = List.nth ids 0 and b = List.nth ids 1 in
+  let tap = H.Registry.Tap { x = 2; y = 1 } in
+  Alcotest.(check outcome) "1st" H.Backpressure.Accepted (H.Registry.offer reg a tap);
+  Alcotest.(check outcome) "2nd" H.Backpressure.Accepted (H.Registry.offer reg b tap);
+  Alcotest.(check outcome) "3rd" H.Backpressure.Accepted (H.Registry.offer reg a tap);
+  (* per-session queues have plenty of room; the fleet-wide cap bites *)
+  Alcotest.(check outcome) "over the admission limit" H.Backpressure.Rejected
+    (H.Registry.offer reg b tap);
+  Alcotest.(check int) "total pending capped" 3 (H.Registry.total_pending reg);
+  check_accounting reg "at the admission limit";
+  let sched = H.Scheduler.create reg in
+  (match H.Scheduler.drain sched with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check outcome) "room again after draining" H.Backpressure.Accepted
+    (H.Registry.offer reg b tap)
+
+(* -- the scheduler ------------------------------------------------- *)
+
+let test_scheduler_batching_and_coalescing () =
+  let reg, ids = make_fleet ~sessions:3 0 in
+  let sched = H.Scheduler.create ~batch:2 reg in
+  let tap = H.Registry.Tap { x = 2; y = 1 } in
+  List.iter
+    (fun id -> for _ = 1 to 5 do ignore (H.Registry.offer reg id tap) done)
+    ids;
+  let r1 = H.Scheduler.tick sched in
+  Alcotest.(check int) "tick 1: batch events per session" 6 r1.H.Scheduler.processed;
+  Alcotest.(check int) "tick 1: all sessions served" 3 r1.H.Scheduler.sessions_served;
+  Alcotest.(check int) "tick 1: one repaint per served session" 3 r1.H.Scheduler.repaints;
+  Alcotest.(check int) "tick 1: the rest coalesced" 3 r1.H.Scheduler.coalesced;
+  Alcotest.(check int) "tick 1: every tap hit" 6 r1.H.Scheduler.taps_hit;
+  Alcotest.(check int) "tick 1: no errors" 0 (List.length r1.H.Scheduler.errors);
+  ignore (H.Scheduler.tick sched);
+  let r3 = H.Scheduler.tick sched in
+  Alcotest.(check int) "tick 3: the single leftover per session" 3
+    r3.H.Scheduler.processed;
+  Alcotest.(check int) "tick 3: nothing to coalesce" 0 r3.H.Scheduler.coalesced;
+  Alcotest.(check int) "all drained" 0 (H.Registry.total_pending reg);
+  let r4 = H.Scheduler.tick sched in
+  Alcotest.(check int) "an idle tick is a no-op" 0 r4.H.Scheduler.processed;
+  let s = H.Registry.snapshot reg in
+  Alcotest.(check int) "processed total" 15 s.H.Host_metrics.s_events_processed;
+  Alcotest.(check int) "coalesced total" 6 s.H.Host_metrics.s_coalesced_renders;
+  Alcotest.(check int) "every tap landed on a handler" 15
+    s.H.Host_metrics.s_taps_hit;
+  check_accounting reg "after the batched drain";
+  (* each session counted every one of its 5 taps exactly once *)
+  List.iter
+    (fun id ->
+      let st = Session.state (fleet_session reg id) in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "session %d tick global" id)
+        5.0 (get_store_num st "tick"))
+    ids
+
+let test_scheduler_hottest_first () =
+  let reg, ids = make_fleet ~sessions:3 0 in
+  let sched =
+    H.Scheduler.create ~policy:H.Scheduler.Hottest_first ~batch:8 reg
+  in
+  let tap = H.Registry.Tap { x = 2; y = 2 } in
+  (* unbalanced backlog: 12, 3, 0 pending *)
+  let a = List.nth ids 0 and b = List.nth ids 1 in
+  for _ = 1 to 12 do ignore (H.Registry.offer reg a tap) done;
+  for _ = 1 to 3 do ignore (H.Registry.offer reg b tap) done;
+  let r1 = H.Scheduler.tick sched in
+  Alcotest.(check int) "only sessions with backlog served" 2
+    r1.H.Scheduler.sessions_served;
+  Alcotest.(check int) "hottest drains a full batch, the other its 3" 11
+    r1.H.Scheduler.processed;
+  (match H.Scheduler.drain sched with
+  | Ok n -> Alcotest.(check int) "leftover backlog" 4 n
+  | Error m -> Alcotest.fail m);
+  check_accounting reg "after hottest-first drain";
+  Alcotest.(check (list int))
+    "violation-free fleet" []
+    (List.map fst (H.Registry.check_invariants reg))
+
+let test_scheduler_policy_strings () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (H.Scheduler.policy_to_string p ^ " round-trips")
+        true
+        (H.Scheduler.policy_of_string (H.Scheduler.policy_to_string p)
+        = Some p))
+    [ H.Scheduler.Round_robin; H.Scheduler.Hottest_first ];
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (H.Backpressure.policy_to_string p ^ " round-trips")
+        true
+        (H.Backpressure.policy_of_string (H.Backpressure.policy_to_string p)
+        = Some p))
+    [ H.Backpressure.Drop_oldest; H.Backpressure.Reject ];
+  Alcotest.(check bool) "unknown policy" true
+    (H.Scheduler.policy_of_string "nope" = None)
+
+(* -- metrics ------------------------------------------------------- *)
+
+let test_histogram_quantiles () =
+  let h = H.Host_metrics.histogram () in
+  Alcotest.(check (float 0.0)) "empty histogram" 0.0
+    (H.Host_metrics.quantile h 0.5);
+  for i = 1 to 1000 do
+    H.Host_metrics.record h (float_of_int i *. 1000.)
+  done;
+  Alcotest.(check int) "count" 1000 (H.Host_metrics.hist_count h);
+  let p50 = H.Host_metrics.quantile h 0.5 in
+  let p99 = H.Host_metrics.quantile h 0.99 in
+  (* buckets approximate by their geometric centre: ~15% tolerance *)
+  if p50 < 400_000. || p50 > 600_000. then
+    Alcotest.failf "p50 %.0f outside [400k, 600k]" p50;
+  if p99 < 800_000. || p99 > 1_000_000. then
+    Alcotest.failf "p99 %.0f outside [800k, 1000k]" p99;
+  if p50 > p99 then Alcotest.failf "p50 %.0f above p99 %.0f" p50 p99;
+  let q0 = H.Host_metrics.quantile h 0. in
+  if q0 < 1000. || q0 > 1200. then
+    Alcotest.failf "q=0 is %.0f, not within a bucket of the observed min" q0;
+  Alcotest.(check (float 0.0)) "q=1 clamps to the observed max" 1_000_000.
+    (H.Host_metrics.quantile h 1.)
+
+let test_metrics_dump () =
+  let reg, ids = make_fleet ~sessions:2 0 in
+  let sched = H.Scheduler.create reg in
+  List.iter
+    (fun id ->
+      ignore (H.Registry.offer reg id (H.Registry.Tap { x = 2; y = 1 })))
+    ids;
+  (match H.Scheduler.drain sched with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match H.Broadcast.update reg (app 1) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "broadcast: %s" (Live_core.Machine.error_to_string e));
+  let dump = H.Host_metrics.to_string (H.Registry.snapshot reg) in
+  List.iter (check_contains "metrics dump" dump)
+    [ "sessions"; "latency"; "fan-out"; "p50"; "p99"; "accounting        ok" ]
+
+(* -- the oracle's single-session fleet ----------------------------- *)
+
+let test_host_is_an_oracle_config () =
+  Alcotest.(check bool) "host is differentially fuzzed" true
+    (List.mem "host" Live_conformance.Oracle.all_configs)
+
+let prop_fleet_of_one_agrees_with_machine =
+  qcheck ~count:15 "a fleet of one ≡ the reference machine on random traces"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let open Live_conformance in
+      let t = Engine.gen_trace ~n_events:10 ~seed () in
+      match Oracle.run ~configs:[ "machine"; "host" ] t with
+      | Oracle.Agreed -> true
+      | Oracle.Diverged d ->
+          QCheck2.Test.fail_reportf "diverged: %a" Oracle.pp_divergence d
+      | Oracle.Boot_failed m -> QCheck2.Test.fail_reportf "boot failed: %s" m)
+
+let suite =
+  [
+    case "broadcast UPDATE ≡ independent per-session updates"
+      test_broadcast_equals_independent;
+    case "a rejected broadcast touches nothing" test_broadcast_all_or_nothing;
+    case "drop-oldest evicts the stalest event" test_backpressure_drop_oldest;
+    case "reject refuses the newest event" test_backpressure_reject;
+    case "capacity clamps; clear accounts" test_backpressure_clamp_and_clear;
+    case "loss accounting survives drops, rejects and kills"
+      test_registry_accounting_under_drops;
+    case "the fleet-wide admission limit bites" test_admission_limit;
+    case "batched draining coalesces repaints, not semantics"
+      test_scheduler_batching_and_coalescing;
+    case "hottest-first serves the backlog" test_scheduler_hottest_first;
+    case "policy names round-trip" test_scheduler_policy_strings;
+    case "histogram quantiles are sane" test_histogram_quantiles;
+    case "the metrics dump names its numbers" test_metrics_dump;
+    case "host rides the differential fuzzer" test_host_is_an_oracle_config;
+    prop_fleet_of_one_agrees_with_machine;
+  ]

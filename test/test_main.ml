@@ -44,5 +44,6 @@ let () =
       ("stepper", Test_stepper.suite);
       ("fuzz", Test_fuzz.suite);
       ("conformance", Test_conformance.suite);
+      ("host", Test_host.suite);
       ("misc", Test_misc.suite);
     ]
