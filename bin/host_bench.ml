@@ -13,7 +13,12 @@
     host_bench --sessions 1000 --seed 42       # the acceptance run
     host_bench --sessions 100 --soak 60        # the CI soak job
     host_bench --policy hottest-first --cache  # other configurations
-    v} *)
+    host_bench --jobs 4 --digest               # the parallel pool
+    v}
+
+    Determinism contract: for a fixed [--seed], the final fleet state
+    is a pure function of the replayed trace — [--digest] prints the
+    same MD5 for every [--jobs] value (see [Live_host.Parallel]). *)
 
 module H = Live_host
 module Session = Live_runtime.Session
@@ -34,6 +39,13 @@ let usage () =
   --cache             enable the incremental render pipeline
   --rows N            rows in the synthetic app (default 8)
   --width W           display width (default 32)
+  --jobs J            worker domains (default 1 = sequential scheduler;
+                      J > 1 executes ticks on a Domain pool).  The run
+                      is deterministic in --seed: per-session final
+                      state is byte-identical for every J, only
+                      wall-clock varies.
+  --digest            print the fleet's MD5 state digest (the
+                      determinism contract: equal across --jobs values)
   --soak SECS         wall-clock soak: run SECS seconds, broadcast ~1/s
   --quiet             no per-phase progress|};
   exit 2
@@ -54,6 +66,8 @@ let admission = ref None
 let cache = ref false
 let rows = ref 8
 let width = ref 32
+let jobs = ref 1
+let digest = ref false
 let soak = ref None
 let quiet = ref false
 
@@ -106,6 +120,16 @@ let parse_args () =
     | "--width" :: v :: rest ->
         width := int_of_string v;
         parse rest
+    | "--jobs" :: v :: rest ->
+        jobs := int_of_string v;
+        if !jobs < 1 then begin
+          prerr_endline "--jobs must be >= 1";
+          usage ()
+        end;
+        parse rest
+    | "--digest" :: rest ->
+        digest := true;
+        parse rest
     | "--soak" :: v :: rest ->
         soak := Some (float_of_string v);
         parse rest
@@ -153,6 +177,20 @@ let say fmt =
 let failures : string list ref = ref []
 let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
 
+(** The execution driver: [--jobs 1] replays through the sequential
+    {!Live_host.Scheduler}, [--jobs J>1] through the
+    {!Live_host.Parallel} domain pool.  Same trace, same final fleet
+    state either way — that is the pool's determinism contract. *)
+type driver = {
+  dr_tick : unit -> unit;
+  dr_drain : unit -> (int, string) result;
+  dr_update :
+    Live_core.Program.t ->
+    (H.Broadcast.report, Live_core.Machine.error) result;
+  dr_snapshot : unit -> H.Host_metrics.snapshot;
+  dr_shutdown : unit -> unit;
+}
+
 let check_fleet (reg : H.Registry.t) (where : string) =
   match H.Registry.check_invariants reg with
   | [] -> ()
@@ -164,8 +202,7 @@ let check_fleet (reg : H.Registry.t) (where : string) =
         fail "%s: ... and %d more invariant violations" where
           (List.length vs - 1)
 
-let check_accounting (reg : H.Registry.t) (where : string) =
-  let s = H.Registry.snapshot reg in
+let check_accounting (s : H.Host_metrics.snapshot) (where : string) =
   if not (H.Host_metrics.accounting_ok s) then
     fail
       "%s: dropped-event accounting mismatch: in=%d processed=%d dropped=%d \
@@ -174,8 +211,8 @@ let check_accounting (reg : H.Registry.t) (where : string) =
       s.H.Host_metrics.s_events_dropped s.H.Host_metrics.s_events_rejected
       s.H.Host_metrics.s_pending
 
-let broadcast (reg : H.Registry.t) (version : int) =
-  match H.Broadcast.update reg (compile_version version) with
+let broadcast (dr : driver) (version : int) =
+  match dr.dr_update (compile_version version) with
   | Ok r ->
       say "  broadcast v%d: %d sessions in %.2f ms (%d globals reset)\n"
         version
@@ -199,7 +236,7 @@ let broadcast (reg : H.Registry.t) (version : int) =
 (* Modes                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let make_fleet () : H.Registry.t * H.Scheduler.t =
+let make_fleet () : H.Registry.t * driver =
   let cfg =
     {
       H.Registry.default_config with
@@ -216,7 +253,34 @@ let make_fleet () : H.Registry.t * H.Scheduler.t =
   | Error e ->
       Printf.eprintf "spawn failed: %s\n" (Live_core.Machine.error_to_string e);
       exit 1);
-  (reg, H.Scheduler.create ~policy:!policy ~batch:!batch reg)
+  if !jobs = 1 then
+    let sched = H.Scheduler.create ~policy:!policy ~batch:!batch reg in
+    ( reg,
+      {
+        dr_tick = (fun () -> ignore (H.Scheduler.tick sched));
+        dr_drain = (fun () -> H.Scheduler.drain sched);
+        dr_update = H.Broadcast.update reg;
+        dr_snapshot = (fun () -> H.Registry.snapshot reg);
+        dr_shutdown = ignore;
+      } )
+  else begin
+    (* the pool's shard assignment is always hottest-first LPT *)
+    say "pool: %d worker domains\n" !jobs;
+    let pool = H.Parallel.create ~jobs:!jobs ~batch:!batch reg in
+    ( reg,
+      {
+        dr_tick = (fun () -> ignore (H.Parallel.tick pool));
+        dr_drain = (fun () -> H.Parallel.drain pool);
+        dr_update = H.Parallel.update pool;
+        dr_snapshot = (fun () -> H.Parallel.snapshot pool);
+        dr_shutdown =
+          (fun () ->
+            (match H.Parallel.barrier_violations pool with
+            | 0 -> ()
+            | v -> fail "%d broadcast barrier violation(s)" v);
+            H.Parallel.shutdown pool);
+      } )
+  end
 
 (** Per-round burst for one session: 1-3 events, so pending batches
     build up and the scheduler's render coalescing has work to do. *)
@@ -228,9 +292,9 @@ let offer_burst (reg : H.Registry.t) (rng : Prng.t) (id : H.Registry.id) =
 (** Seeded load run: [events] rounds; each round offers a small burst
     per session then ticks once, and the configured number of
     broadcasts fire at evenly spaced mid-stream rounds. *)
-let run_load () : H.Registry.t =
+let run_load () : H.Registry.t * driver =
   let t0 = Unix.gettimeofday () in
-  let reg, sched = make_fleet () in
+  let reg, dr = make_fleet () in
   say "fleet: %d sessions up in %.2f s\n" (H.Registry.size reg)
     (Unix.gettimeofday () -. t0);
   let ids = Array.of_list (H.Registry.ids reg) in
@@ -243,29 +307,29 @@ let run_load () : H.Registry.t =
   let t1 = Unix.gettimeofday () in
   for round = 0 to !events - 1 do
     Array.iteri (fun i id -> offer_burst reg rngs.(i) id) ids;
-    ignore (H.Scheduler.tick sched);
+    dr.dr_tick ();
     if List.mem round update_rounds then begin
       incr version;
-      broadcast reg !version
+      broadcast dr !version
     end
   done;
-  (match H.Scheduler.drain sched with
+  (match dr.dr_drain () with
   | Ok _ -> ()
   | Error m -> fail "drain: %s" m);
   let dt = Unix.gettimeofday () -. t1 in
   check_fleet reg "end of run";
-  check_accounting reg "end of run";
-  let s = H.Registry.snapshot reg in
+  check_accounting (dr.dr_snapshot ()) "end of run";
+  let s = dr.dr_snapshot () in
   say "load: %d events in %.2f s (%.0f events/s)\n"
     s.H.Host_metrics.s_events_processed dt
     (float_of_int s.H.Host_metrics.s_events_processed /. dt);
-  reg
+  (reg, dr)
 
 (** Wall-clock soak: offer-and-tick continuously, broadcast roughly
     once a second, re-check the fleet invariants and the accounting
     identity at every broadcast. *)
-let run_soak (secs : float) : H.Registry.t =
-  let reg, sched = make_fleet () in
+let run_soak (secs : float) : H.Registry.t * driver =
+  let reg, dr = make_fleet () in
   say "soak: %d sessions for %.0f s, ~1 broadcast/s\n" (H.Registry.size reg)
     secs;
   let ids = Array.of_list (H.Registry.ids reg) in
@@ -275,31 +339,34 @@ let run_soak (secs : float) : H.Registry.t =
   let version = ref 0 in
   while Unix.gettimeofday () -. t0 < secs do
     Array.iteri (fun i id -> offer_burst reg rngs.(i) id) ids;
-    ignore (H.Scheduler.tick sched);
+    dr.dr_tick ();
     let now = Unix.gettimeofday () in
     if now -. !last_update >= 1.0 then begin
       last_update := now;
       incr version;
-      broadcast reg !version;
+      broadcast dr !version;
       check_fleet reg (Printf.sprintf "soak t=%.0fs" (now -. t0));
-      check_accounting reg (Printf.sprintf "soak t=%.0fs" (now -. t0))
+      check_accounting (dr.dr_snapshot ())
+        (Printf.sprintf "soak t=%.0fs" (now -. t0))
     end
   done;
-  (match H.Scheduler.drain sched with
+  (match dr.dr_drain () with
   | Ok _ -> ()
   | Error m -> fail "drain: %s" m);
   check_fleet reg "end of soak";
-  check_accounting reg "end of soak";
-  reg
+  check_accounting (dr.dr_snapshot ()) "end of soak";
+  (reg, dr)
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   parse_args ();
-  let reg = match !soak with None -> run_load () | Some s -> run_soak s in
-  let snap = H.Registry.snapshot reg in
+  let reg, dr = match !soak with None -> run_load () | Some s -> run_soak s in
+  let snap = dr.dr_snapshot () in
+  dr.dr_shutdown ();
   print_newline ();
   print_string (H.Host_metrics.to_string snap);
+  if !digest then Printf.printf "fleet digest: %s\n" (H.Registry.digest reg);
   if snap.H.Host_metrics.s_updates_applied = 0 then
     fail "no broadcast update was applied during the run";
   match !failures with

@@ -72,6 +72,9 @@ type config = {
   strict : unit -> bool;
       (** structural comparison applies; the restart baseline drops
           out at its first UPDATE or queue fault *)
+  finalize : unit -> unit;
+      (** release owned resources (the parallel host's worker
+          domains); called exactly once by {!run}, on every path *)
 }
 
 let err_str (e : Machine.error) = Machine.error_to_string e
@@ -152,6 +155,7 @@ let machine_config ~(width : int) (boot : Program.t) :
           observe = (fun () -> obs_of_state ~width !state);
           invariant = (fun () -> invariant_of_state !state);
           strict = (fun () -> true);
+          finalize = ignore;
         }
 
 (** A {!Live_runtime.Session}, in one of its three cache modes. *)
@@ -206,6 +210,7 @@ let session_config ~(width : int) ~(name : string) ~(incremental : bool)
           observe = (fun () -> obs_of_state ~width (Session.state s));
           invariant = (fun () -> invariant_of_state (Session.state s));
           strict = (fun () -> true);
+          finalize = ignore;
         }
 
 (** The multi-session host (lib/host) as a fleet of one, driven
@@ -216,7 +221,8 @@ let session_config ~(width : int) ~(name : string) ~(incremental : bool)
     byte-for-byte with the plain session — the scheduler batches and
     coalesces only {e painting}, never the Fig. 9 transitions — so the
     fuzzer's whole trace corpus covers the host subsystem for free. *)
-let host_config ~(width : int) (boot : Program.t) : (config, string) result =
+let host_config ~(width : int) ?jobs (boot : Program.t) :
+    (config, string) result =
   let open Live_host in
   let cfg =
     {
@@ -236,13 +242,37 @@ let host_config ~(width : int) (boot : Program.t) : (config, string) result =
       match Registry.session reg id with
       | None -> Error "host: spawned session not found"
       | Some s ->
-          let sched = Scheduler.create ~policy:Scheduler.Round_robin ~batch:1 reg in
+          (* [jobs = None]: the sequential batching scheduler.
+             [jobs = Some n]: the lib/host/parallel domain pool — same
+             registry, same per-session semantics, ticks fanned out
+             across domains and updates applied through the
+             stop-the-world barrier.  A fleet of one must agree
+             byte-for-byte either way, so the whole trace corpus and
+             every fuzz campaign differentially covers the parallel
+             path. *)
+          let name, tick, update, finalize =
+            match jobs with
+            | None ->
+                let sched =
+                  Scheduler.create ~policy:Scheduler.Round_robin ~batch:1 reg
+                in
+                ( "host",
+                  (fun () -> Scheduler.tick sched),
+                  (fun code -> Broadcast.update reg code),
+                  ignore )
+            | Some j ->
+                let pool = Parallel.create ~jobs:j ~batch:1 reg in
+                ( "host-parallel",
+                  (fun () -> Parallel.tick pool),
+                  Parallel.update pool,
+                  fun () -> Parallel.shutdown pool )
+          in
           let deliver (ev : Registry.uevent) : (string, string) result =
             match Registry.offer reg id ev with
             | Backpressure.Rejected | Backpressure.Dropped_oldest ->
                 Error "host: ingress queue refused the event"
             | Backpressure.Accepted -> (
-                let r = Scheduler.tick sched in
+                let r = tick () in
                 match r.Scheduler.errors with
                 | (_, e) :: _ -> Error (err_str e)
                 | [] ->
@@ -258,7 +288,7 @@ let host_config ~(width : int) (boot : Program.t) : (config, string) result =
                 match prog with
                 | None -> Ok "rejected"
                 | Some code -> (
-                    match Broadcast.update reg code with
+                    match update code with
                     | Ok _report -> Ok "updated"
                     | Error e -> Error (err_str e)))
             | Ctrace.Broken_update -> Ok "rejected"
@@ -277,11 +307,12 @@ let host_config ~(width : int) (boot : Program.t) : (config, string) result =
           in
           Ok
             {
-              name = "host";
+              name;
               step;
               observe = (fun () -> obs_of_state ~width (Session.state s));
               invariant = (fun () -> invariant_of_state (Session.state s));
               strict = (fun () -> true);
+              finalize;
             })
 
 (** The restart baseline: structurally compared only until its first
@@ -326,10 +357,24 @@ let restart_config ~(width : int) (boot : Program.t) :
           observe = (fun () -> obs_of_state ~width (Restart.state t));
           invariant = (fun () -> invariant_of_state (Restart.state t));
           strict = (fun () -> !strict);
+          finalize = ignore;
         }
 
+(** How many domains the ["host-parallel"] configuration runs: enough
+    to actually cross a domain boundary, small enough that a fuzz
+    campaign spawning one pool per trace stays cheap. *)
+let parallel_jobs = 2
+
 let all_configs =
-  [ "machine"; "session"; "cached"; "incremental"; "host"; "restart" ]
+  [
+    "machine";
+    "session";
+    "cached";
+    "incremental";
+    "host";
+    "host-parallel";
+    "restart";
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* The differential run                                                *)
@@ -372,10 +417,21 @@ let run ?(width = default_width) ?(configs = all_configs) ?sabotage
           | "incremental" ->
               session_config ~width ~name ~incremental:true ~cache:false boot
           | "host" -> host_config ~width boot
+          | "host-parallel" -> host_config ~width ~jobs:parallel_jobs boot
           | "restart" -> restart_config ~width boot
           | other -> Error (Printf.sprintf "unknown configuration %S" other)
         in
         let boots = List.map (fun n -> (n, mk n)) configs in
+        (* whatever happens below — agreement, divergence, an
+           exception — every configuration that booted releases what
+           it owns (the parallel host joins its worker domains) *)
+        let finalize_all () =
+          List.iter
+            (fun (_, r) ->
+              match r with Ok c -> c.finalize () | Error _ -> ())
+            boots
+        in
+        Fun.protect ~finally:finalize_all @@ fun () ->
         match
           List.find_opt (fun (_, r) -> Result.is_error r) boots
         with

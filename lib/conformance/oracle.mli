@@ -14,6 +14,13 @@
     - ["host"]      — a {!Live_host} fleet of one, driven end-to-end
       through its ingress queue, batching scheduler and typecheck-once
       broadcast; must agree byte-for-byte with the plain session;
+    - ["host-parallel"] — the same fleet of one executed by the
+      {!Live_host.Parallel} domain pool (2 domains): taps drain
+      through the parallel tick's shard assignment and barrier,
+      updates through the stop-the-world broadcast.  Covering it here
+      means every golden trace and every fuzz campaign differentially
+      checks the multicore host against the reference machine,
+      byte-for-byte;
     - ["restart"]   — the {!Live_baseline.Restart_runtime}
       edit-compile-run baseline; compared strictly until the first
       UPDATE or queue fault (after which its semantics intentionally

@@ -69,15 +69,26 @@ let index_mem (idx : handler_index) (v : Ast.value) : bool =
 (* One-slot memo keyed on the physical identity of the tree: the
    common pattern is many taps validated against the same display, and
    box content is immutable, so [==] identifies "the same display".
-   RENDER installs a new tree and the next tap rebuilds the index. *)
-let index_memo : (t * handler_index) option ref = ref None
+   RENDER installs a new tree and the next tap rebuilds the index.
+
+   The slot is domain-local: the parallel host (lib/host/parallel)
+   taps sessions from several domains at once, and a single global
+   slot would be both a data race and a ping-pong between domains.
+   Session affinity within a tick means each domain keeps validating
+   taps against the display it just served, so the memo hits exactly
+   as often as the sequential one did.  The memo only short-circuits
+   index construction — [index_mem] re-verifies membership — so it can
+   never change a result, only its cost. *)
+let index_memo : (t * handler_index) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let handler_index (b : t) : handler_index =
-  match !index_memo with
+  let memo = Domain.DLS.get index_memo in
+  match !memo with
   | Some (b0, idx) when b0 == b -> idx
   | _ ->
       let idx = build_handler_index b in
-      index_memo := Some (b, idx);
+      memo := Some (b, idx);
       idx
 
 let mem_handler (b : t) (v : Ast.value) : bool =

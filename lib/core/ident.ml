@@ -15,12 +15,12 @@ let start_page : page = "start"
 (** Fresh-name generation for compiler-introduced identifiers (loop
     functions, temporaries).  Generated names contain ['$'], which the
     surface lexer rejects, so they can never collide with user names. *)
-let fresh_counter = ref 0
+let fresh_counter = Atomic.make 0
 
 let fresh prefix =
-  incr fresh_counter;
-  Printf.sprintf "$%s_%d" prefix !fresh_counter
+  let n = 1 + Atomic.fetch_and_add fresh_counter 1 in
+  Printf.sprintf "$%s_%d" prefix n
 
-let reset_fresh () = fresh_counter := 0
+let reset_fresh () = Atomic.set fresh_counter 0
 
 let is_generated name = String.length name > 0 && name.[0] = '$'

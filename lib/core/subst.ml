@@ -8,12 +8,18 @@
 
 module SS = Ast.StringSet
 
-let rename_counter = ref 0
+(* Atomic so concurrent domains never tear the counter.  In the
+   parallel host this path is in fact unreachable — sessions evaluate
+   closed programs, where capture is impossible — but the small-step
+   specification machine substitutes into arbitrary terms, and a
+   module-level [ref] would be the kind of silent shared state the
+   domain audit exists to rule out. *)
+let rename_counter = Atomic.make 0
 
 let rename_away x avoid =
   let rec try_next () =
-    incr rename_counter;
-    let cand = Printf.sprintf "%s#%d" x !rename_counter in
+    let n = 1 + Atomic.fetch_and_add rename_counter 1 in
+    let cand = Printf.sprintf "%s#%d" x n in
     if SS.mem cand avoid then try_next () else cand
   in
   try_next ()

@@ -43,6 +43,19 @@ let record (h : histogram) (v : float) =
 
 let hist_count (h : histogram) = h.count
 
+(** Bucket-wise union: counts, sums and extrema add exactly, so every
+    quantile of the union is computed from the same log-bucket data the
+    two inputs held — merging per-domain histograms loses nothing a
+    single shared histogram would have kept (quantile-safe). *)
+let union_histogram (a : histogram) (b : histogram) : histogram =
+  {
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    vmin = Float.min a.vmin b.vmin;
+    vmax = Float.max a.vmax b.vmax;
+    buckets = Array.init n_buckets (fun i -> a.buckets.(i) + b.buckets.(i));
+  }
+
 let quantile (h : histogram) (q : float) : float =
   if h.count = 0 then 0.
   else begin
@@ -102,6 +115,40 @@ let create () =
     tick_latency = histogram ();
     update_fanout = histogram ();
   }
+
+(** Sum of two metric instances, as a fresh instance (the inputs keep
+    counting).  This is how the parallel host turns its per-domain
+    instances into fleet totals: every counter adds, both histograms
+    union bucket-wise, and [fanout_last_ns] takes the non-zero side
+    (only the coordinating instance ever records a fan-out).
+
+    Because addition is exact, the accounting identity is preserved:
+    if [in_a = processed_a + dropped_a + rejected_a + pending_a] and
+    likewise for [b], the merged snapshot satisfies it with the summed
+    pending — which is exactly what {!Registry}'s atomic total pending
+    reports.  [test/test_parallel.ml] proves this as a unit test. *)
+let merge (a : t) (b : t) : t =
+  {
+    events_in = a.events_in + b.events_in;
+    events_processed = a.events_processed + b.events_processed;
+    events_dropped = a.events_dropped + b.events_dropped;
+    events_rejected = a.events_rejected + b.events_rejected;
+    taps_hit = a.taps_hit + b.taps_hit;
+    taps_missed = a.taps_missed + b.taps_missed;
+    ticks = a.ticks + b.ticks;
+    repaints = a.repaints + b.repaints;
+    coalesced_renders = a.coalesced_renders + b.coalesced_renders;
+    updates_applied = a.updates_applied + b.updates_applied;
+    updates_rejected = a.updates_rejected + b.updates_rejected;
+    sessions_spawned = a.sessions_spawned + b.sessions_spawned;
+    sessions_killed = a.sessions_killed + b.sessions_killed;
+    fanout_last_ns =
+      (if b.fanout_last_ns <> 0. then b.fanout_last_ns else a.fanout_last_ns);
+    tick_latency = union_histogram a.tick_latency b.tick_latency;
+    update_fanout = union_histogram a.update_fanout b.update_fanout;
+  }
+
+let merge_all (ms : t list) : t = List.fold_left merge (create ()) ms
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)

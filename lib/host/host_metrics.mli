@@ -25,6 +25,12 @@ val record : histogram -> float -> unit
 
 val hist_count : histogram -> int
 
+val union_histogram : histogram -> histogram -> histogram
+(** Bucket-wise sum (fresh histogram; the inputs keep counting).
+    Quantile-safe: counts, sums and extrema add exactly, so quantiles
+    of the union are as accurate as if one histogram had seen every
+    sample. *)
+
 val quantile : histogram -> float -> float
 (** [quantile h q] for [q] in [0,1], in ns; [0.] on an empty
     histogram.  Clamped to the exact observed min/max. *)
@@ -51,6 +57,16 @@ type t = {
 }
 
 val create : unit -> t
+
+val merge : t -> t -> t
+(** Exact sum of two instances as a fresh instance: counters add,
+    histograms union, [fanout_last_ns] keeps the non-zero side.  The
+    parallel host ({!Parallel}) folds its per-domain instances into
+    the registry's ingress-side instance with this; addition being
+    exact, the accounting identity survives the merge. *)
+
+val merge_all : t list -> t
+(** [merge] folded over a list (empty list = zeros). *)
 
 (** {1 Snapshots} *)
 

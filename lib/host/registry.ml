@@ -43,7 +43,14 @@ type t = {
   entries : (id, entry) Hashtbl.t;
   mutable order : id list;  (** spawn order, oldest first *)
   mutable next_id : id;
-  mutable pending_total : int;  (** cached sum of ingress lengths *)
+  pending_total : int Atomic.t;
+      (** cached sum of ingress lengths.  Atomic because it is the one
+          counter genuinely shared across domains: the coordinator
+          increments it on [offer] while the parallel host's worker
+          domains decrement it through [take].  Everything else in the
+          registry is either written only between ticks (entries,
+          order, program, the ingress-side metrics) or owned by one
+          domain per tick (each session and its queue). *)
   metrics : Host_metrics.t;
 }
 
@@ -54,7 +61,7 @@ let create ?(config = default_config) (program : Live_core.Program.t) : t =
     entries = Hashtbl.create 64;
     order = [];
     next_id = 0;
-    pending_total = 0;
+    pending_total = Atomic.make 0;
     metrics = Host_metrics.create ();
   }
 
@@ -91,7 +98,7 @@ let kill (t : t) (id : id) : bool =
   | None -> false
   | Some e ->
       let orphaned = Backpressure.clear e.ingress in
-      t.pending_total <- t.pending_total - orphaned;
+      ignore (Atomic.fetch_and_add t.pending_total (-orphaned));
       t.metrics.Host_metrics.events_dropped <-
         t.metrics.Host_metrics.events_dropped + orphaned;
       t.metrics.Host_metrics.sessions_killed <-
@@ -119,7 +126,7 @@ let offer (t : t) (id : id) (ev : uevent) : Backpressure.outcome =
   m.Host_metrics.events_in <- m.Host_metrics.events_in + 1;
   let admission_full =
     match t.cfg.admission_limit with
-    | Some limit -> t.pending_total >= limit
+    | Some limit -> Atomic.get t.pending_total >= limit
     | None -> false
   in
   match Hashtbl.find_opt t.entries id with
@@ -132,7 +139,7 @@ let offer (t : t) (id : id) (ev : uevent) : Backpressure.outcome =
   | Some e -> (
       match Backpressure.offer e.ingress ev with
       | Backpressure.Accepted ->
-          t.pending_total <- t.pending_total + 1;
+          ignore (Atomic.fetch_and_add t.pending_total 1);
           Backpressure.Accepted
       | Backpressure.Dropped_oldest ->
           (* one in, one out: total pending unchanged *)
@@ -147,7 +154,7 @@ let pending (t : t) (id : id) : int =
   | None -> 0
   | Some e -> Backpressure.length e.ingress
 
-let total_pending (t : t) : int = t.pending_total
+let total_pending (t : t) : int = Atomic.get t.pending_total
 
 let take (t : t) (id : id) : uevent option =
   match Hashtbl.find_opt t.entries id with
@@ -156,7 +163,7 @@ let take (t : t) (id : id) : uevent option =
       match Backpressure.take e.ingress with
       | None -> None
       | Some ev ->
-          t.pending_total <- t.pending_total - 1;
+          ignore (Atomic.fetch_and_add t.pending_total (-1));
           Some ev)
 
 (* ------------------------------------------------------------------ *)
@@ -185,7 +192,8 @@ let check_invariants (t : t) : (id * string) list =
               else None))
     t.order
 
-let snapshot (t : t) : Host_metrics.snapshot =
+let snapshot_merged (t : t) ~(extra : Host_metrics.t list) :
+    Host_metrics.snapshot =
   let cache =
     List.fold_left
       (fun acc id ->
@@ -201,5 +209,48 @@ let snapshot (t : t) : Host_metrics.snapshot =
                     m + s.Live_core.Render_cache.misses )))
       None t.order
   in
-  Host_metrics.snapshot t.metrics ~sessions:(size t)
-    ~pending:t.pending_total ~cache
+  let m =
+    match extra with
+    | [] -> t.metrics
+    | _ -> Host_metrics.merge_all (t.metrics :: extra)
+  in
+  Host_metrics.snapshot m ~sessions:(size t)
+    ~pending:(Atomic.get t.pending_total) ~cache
+
+let snapshot (t : t) : Host_metrics.snapshot = snapshot_merged t ~extra:[]
+
+(** Canonical digest of the fleet's observable state — every session's
+    store (sorted), page stack and painted pixels, in id order, hashed
+    with MD5.  Two fleets that processed the same per-session event
+    sequences digest identically whatever the cross-session
+    interleaving was; this is the determinism contract the parallel
+    host is held to ([host_bench --digest], bench B11, and the
+    equivalence properties in [test/test_parallel.ml]). *)
+let observe_session (s : Session.t) : string =
+  let st = Session.state s in
+  let store =
+    Live_core.Store.bindings st.Live_core.State.store
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (g, v) ->
+           Printf.sprintf "%s = %s" g (Live_core.Pretty.value_to_string v))
+    |> String.concat "\n"
+  in
+  let stack =
+    st.Live_core.State.stack
+    |> List.map (fun (p, v) ->
+           Printf.sprintf "%s(%s)" p (Live_core.Pretty.value_to_string v))
+    |> String.concat " ; "
+  in
+  store ^ "\n--\n" ^ stack ^ "\n--\n" ^ Session.screenshot s
+
+let digest (t : t) : string =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.entries id with
+      | None -> ()
+      | Some e ->
+          Buffer.add_string b (Printf.sprintf "== session %d ==\n" id);
+          Buffer.add_string b (observe_session e.session))
+    t.order;
+  Digest.to_hex (Digest.string (Buffer.contents b))

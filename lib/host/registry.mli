@@ -89,3 +89,18 @@ val check_invariants : t -> (id * string) list
 val snapshot : t -> Host_metrics.snapshot
 (** Freeze the metrics, aggregating render-cache hits/misses across
     the fleet and the current total pending count. *)
+
+val snapshot_merged : t -> extra:Host_metrics.t list -> Host_metrics.snapshot
+(** Like {!snapshot}, with [extra] per-domain {!Host_metrics}
+    instances merged into the registry's own before freezing — the
+    parallel host's fleet totals ({!Parallel.snapshot} calls this). *)
+
+val observe_session : Live_runtime.Session.t -> string
+(** One session's canonical observation (sorted store, page stack,
+    painted pixels) — the unit the fleet {!digest} hashes. *)
+
+val digest : t -> string
+(** MD5 over every session's observation in id order: the fleet's
+    observable state as one hex string.  Sequential and parallel hosts
+    replaying the same seeded trace must digest identically for every
+    [--jobs] — the determinism contract of [lib/host/parallel]. *)

@@ -20,11 +20,13 @@ type t =
 
 and tv = Unbound of int | Link of t
 
-let var_counter = ref 0
+(* Atomic: compilation happens on the coordinating domain (boot, the
+   broadcast's typecheck-once), but nothing in the API forbids a
+   client compiling elsewhere, and variable ids must stay unique. *)
+let var_counter = Atomic.make 0
 
 let fresh () : t =
-  incr var_counter;
-  IVar (ref (Unbound !var_counter))
+  IVar (ref (Unbound (1 + Atomic.fetch_and_add var_counter 1)))
 
 (** Chase links so the head constructor is meaningful. *)
 let rec repr (t : t) : t =

@@ -45,5 +45,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("conformance", Test_conformance.suite);
       ("host", Test_host.suite);
+      ("parallel", Test_parallel.suite);
       ("misc", Test_misc.suite);
     ]
