@@ -32,14 +32,22 @@
     - B10 [host_throughput] — the multi-session live host (lib/host):
       events/sec and p50/p99 scheduler-tick latency at fleet sizes
       {1, 10, 100, 1000}, plus broadcast-update fan-out time, under
-      the seeded synthetic load.
+      the seeded synthetic load;
+    - B11 [host_parallel]   — the same fleet load through the
+      domain-parallel pool at jobs 1/2/4/8, digest-cross-checked;
+    - B12 [compiled_eval]   — the closure-compiled evaluator
+      (lib/core/compile_eval) against the substitution machine:
+      speedup and allocation reduction on the hot render (B1), the
+      live-edit re-render (B2), and the host fleet load (B10).
 
     Output: one table per experiment, estimated ns (or µs/ms) per
     operation from Bechamel's OLS fit against the run count, plus a
     machine-readable BENCH_RESULTS.json: a flat [entries] array in
     which every benchmark point carries a stable [id] and an explicit
     [unit] — the schema the CI artifact upload preserves so the
-    cross-PR trajectory can be tracked. *)
+    cross-PR trajectory can be tracked.  Every Bechamel point also
+    emits a per-run allocation figure (minor+major words, in bytes)
+    under the same id with an ["/alloc"] suffix and unit ["B/run"]. *)
 
 open Bechamel
 open Toolkit
@@ -62,25 +70,58 @@ let quota =
   | Some s -> float_of_string s
   | None -> 0.5
 
+(** Per-run heap allocation (bytes, minor + major) for every point
+    measured so far, keyed by the benchmark name — accumulated across
+    [run_tests] calls and emitted into BENCH_RESULTS.json as
+    ["<id>/alloc"] entries with unit ["B/run"]. *)
+let alloc_rows : (string * float) list ref = ref []
+
+let find_alloc name =
+  try List.assoc name !alloc_rows with Not_found -> Float.nan
+
 let run_tests (tests : Test.t) : (string * float) list =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
   in
-  let instances = [ Instance.monotonic_clock ] in
+  let instances =
+    [
+      Instance.monotonic_clock;
+      Instance.minor_allocated;
+      Instance.major_allocated;
+    ]
+  in
   let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.fold
-    (fun name ols acc ->
-      let est =
-        match Analyze.OLS.estimates ols with
-        | Some (e :: _) -> e
-        | _ -> Float.nan
+  let estimates instance =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | _ -> Float.nan
+        in
+        (name, est) :: acc)
+      (Analyze.all ols instance raw)
+      []
+  in
+  let minor = estimates Instance.minor_allocated in
+  let major = estimates Instance.major_allocated in
+  let word_bytes = float_of_int (Sys.word_size / 8) in
+  List.iter
+    (fun (name, mw) ->
+      let mj =
+        match List.assoc_opt name major with
+        | Some v when not (Float.is_nan v) -> v
+        | _ -> 0.0
       in
-      (name, est) :: acc)
-    results []
+      let bytes =
+        if Float.is_nan mw then Float.nan else (mw +. mj) *. word_bytes
+      in
+      alloc_rows := (name, bytes) :: !alloc_rows)
+    minor;
+  estimates Instance.monotonic_clock
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp_time ns =
@@ -93,9 +134,17 @@ let pp_time ns =
 let header title claim =
   Printf.printf "\n=== %s ===\n%s\n%s\n" title claim (String.make 72 '-')
 
+let pp_bytes b =
+  if Float.is_nan b then "        n/a"
+  else if b < 1024. then Printf.sprintf "%8.0f B " b
+  else if b < 1_048_576. then Printf.sprintf "%8.1f KB" (b /. 1024.)
+  else Printf.sprintf "%8.2f MB" (b /. 1_048_576.)
+
 let print_rows rows =
   List.iter
-    (fun (name, est) -> Printf.printf "  %-44s %s\n" name (pp_time est))
+    (fun (name, est) ->
+      Printf.printf "  %-44s %s %s/run\n" name (pp_time est)
+        (pp_bytes (find_alloc name)))
     rows
 
 let run_experiment title claim (tests : Test.t) : (string * float) list =
@@ -866,6 +915,155 @@ let b11 () : jentry list =
     results
 
 (* ------------------------------------------------------------------ *)
+(* B12: the closure-compiled evaluator vs. the substitution machine    *)
+(* ------------------------------------------------------------------ *)
+
+(** B12 measures the tentpole of lib/core/compile_eval: the same
+    workloads executed by both engines.  The Bechamel half re-runs B1's
+    hot render and B2's live-edit re-render at 500 listings under each
+    [Machine.evaluator]; the wall-clock half replays B10's fleet=100
+    host load under each {!Live_host.Registry.config} evaluator.  The
+    conformance oracle's ["compiled"] configuration guarantees the two
+    engines produce byte-identical states, so the speedup and
+    allocation-reduction ratios compare like with like. *)
+let b12 () : jentry list =
+  let module M = Live_core.Machine in
+  let n = 500 in
+  let core = Live_workloads.Mortgage.core ~listings:n () in
+  let st = ok_machine (M.boot core) in
+  let invalid = Live_core.State.invalidate st in
+  let c' = compile (Live_workloads.Mortgage.source ~listings:n ~i3:true ()) in
+  let upd evaluator () =
+    let st' = ok_machine (M.update c'.Live_surface.Compile.core st) in
+    ok_machine (M.run_to_stable ~evaluator st')
+  in
+  let point what ev =
+    Printf.sprintf "%s/%s/listings=%03d" what
+      (match ev with M.Subst -> "subst" | M.Compiled -> "compiled")
+      n
+  in
+  let tests =
+    List.concat_map
+      (fun ev ->
+        [
+          Test.make
+            ~name:(point "eval-render" ev)
+            (Staged.stage (fun () ->
+                 ok_machine (M.render ~evaluator:ev invalid)));
+          Test.make ~name:(point "update+rerender" ev) (Staged.stage (upd ev));
+        ])
+      [ M.Subst; M.Compiled ]
+  in
+  let rows =
+    run_experiment
+      "B12: compiled_eval — closure compilation vs. substitution"
+      "The compile-once evaluator resolves variables to environment \
+       slots at compile time, so the run-time pays no Subst.beta copy \
+       and no free-variable scan; verified byte-identical against the \
+       substitution machine by the conformance oracle."
+      (Test.make_grouped ~name:"b12" tests)
+  in
+  (* the fleet under each engine: B10's load, fleet=100 *)
+  let host_eps (ev : M.evaluator) : float =
+    let module H = Live_host in
+    let module Prng = Live_conformance.Prng in
+    let rows_n = 6 in
+    let k = 100 in
+    let rounds = 40 in
+    let app =
+      (Live_workloads.Synthetic.compile_exn
+         (Live_workloads.Synthetic.host_app ~rows:rows_n ~version:0))
+        .Live_surface.Compile.core
+    in
+    let cfg =
+      {
+        H.Registry.default_config with
+        H.Registry.width = 32;
+        evaluator = ev;
+      }
+    in
+    let reg = H.Registry.create ~config:cfg app in
+    (match H.Registry.spawn_many reg k with
+    | Ok _ -> ()
+    | Error e -> failwith (Live_core.Machine.error_to_string e));
+    let sched = H.Scheduler.create ~batch:8 reg in
+    let ids = Array.of_list (H.Registry.ids reg) in
+    let rngs = Array.map (fun id -> Prng.create (Prng.derive 42 id)) ids in
+    let t0 = Unix.gettimeofday () in
+    for _round = 0 to rounds - 1 do
+      Array.iteri
+        (fun i id ->
+          let rng = rngs.(i) in
+          let e =
+            if Prng.int rng 10 = 0 then H.Registry.Back
+            else
+              H.Registry.Tap { x = Prng.int rng 32; y = 1 + Prng.int rng rows_n }
+          in
+          ignore (H.Registry.offer reg id e))
+        ids;
+      ignore (H.Scheduler.tick sched)
+    done;
+    (match H.Scheduler.drain sched with
+    | Ok _ -> ()
+    | Error m -> failwith m);
+    let dt = Unix.gettimeofday () -. t0 in
+    let s = H.Registry.snapshot reg in
+    float_of_int s.H.Host_metrics.s_events_processed /. dt
+  in
+  let eps_subst = host_eps M.Subst in
+  let eps_compiled = host_eps M.Compiled in
+  let ratio a b =
+    if Float.is_nan a || Float.is_nan b || b = 0.0 then Float.nan else a /. b
+  in
+  let summary what =
+    let s = find rows ("b12/" ^ point what M.Subst) in
+    let c = find rows ("b12/" ^ point what M.Compiled) in
+    let sa = find_alloc ("b12/" ^ point what M.Subst) in
+    let ca = find_alloc ("b12/" ^ point what M.Compiled) in
+    Printf.printf
+      "  -> %-16s compiled is %.2fx faster, allocates %.1fx less\n" what
+      (ratio s c) (ratio sa ca);
+    [
+      {
+        id = Printf.sprintf "b12/speedup/%s/listings=%03d" what n;
+        unit_ = "ratio";
+        value = ratio s c;
+      };
+      {
+        id = Printf.sprintf "b12/alloc-reduction/%s/listings=%03d" what n;
+        unit_ = "ratio";
+        value = ratio sa ca;
+      };
+    ]
+  in
+  let summaries =
+    List.concat_map summary [ "eval-render"; "update+rerender" ]
+  in
+  Printf.printf
+    "  -> host fleet=100: %.0f events/s (subst) vs %.0f events/s (compiled) \
+     = %.2fx\n"
+    eps_subst eps_compiled
+    (ratio eps_compiled eps_subst);
+  entries_of_rows rows @ summaries
+  @ [
+      {
+        id = "b12/host-events-per-sec/subst/fleet=0100";
+        unit_ = "events/s";
+        value = eps_subst;
+      };
+      {
+        id = "b12/host-events-per-sec/compiled/fleet=0100";
+        unit_ = "events/s";
+        value = eps_compiled;
+      };
+      {
+        id = "b12/speedup/host/fleet=0100";
+        unit_ = "ratio";
+        value = ratio eps_compiled eps_subst;
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -883,8 +1081,14 @@ let () =
   let r9 = b9 () in
   let r10 = b10 () in
   let r11 = b11 () in
+  let r12 = b12 () in
+  let alloc_entries =
+    List.rev_map
+      (fun (name, b) -> { id = name ^ "/alloc"; unit_ = "B/run"; value = b })
+      !alloc_rows
+  in
   write_json
     (List.concat_map entries_of_rows
        [ r1; r2; r3; r4; r5; r6; r7; r8; r9 ]
-    @ r10 @ r11);
+    @ r10 @ r11 @ r12 @ alloc_entries);
   Printf.printf "\nDone. See EXPERIMENTS.md for interpretation.\n"

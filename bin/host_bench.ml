@@ -14,11 +14,16 @@
     host_bench --sessions 100 --soak 60        # the CI soak job
     host_bench --policy hottest-first --cache  # other configurations
     host_bench --jobs 4 --digest               # the parallel pool
+    host_bench --evaluator subst               # the substitution engine
     v}
 
     Determinism contract: for a fixed [--seed], the final fleet state
     is a pure function of the replayed trace — [--digest] prints the
-    same MD5 for every [--jobs] value (see [Live_host.Parallel]). *)
+    same MD5 for every [--jobs] value (see [Live_host.Parallel]) and
+    for both [--evaluator] engines (see [Live_core.Compile_eval]).
+    [--soak] enforces the latter directly: it drives a lockstep shadow
+    fleet under the {e other} evaluator over the same trace and fails
+    unless the two digests agree. *)
 
 module H = Live_host
 module Session = Live_runtime.Session
@@ -44,9 +49,14 @@ let usage () =
                       is deterministic in --seed: per-session final
                       state is byte-identical for every J, only
                       wall-clock varies.
+  --evaluator E       subst | compiled (default compiled): execution
+                      engine for every session in the fleet
   --digest            print the fleet's MD5 state digest (the
-                      determinism contract: equal across --jobs values)
-  --soak SECS         wall-clock soak: run SECS seconds, broadcast ~1/s
+                      determinism contract: equal across --jobs values
+                      and across --evaluator engines)
+  --soak SECS         wall-clock soak: run SECS seconds, broadcast ~1/s,
+                      and digest-cross-check a lockstep shadow fleet
+                      running the other evaluator
   --quiet             no per-phase progress|};
   exit 2
 
@@ -70,6 +80,15 @@ let jobs = ref 1
 let digest = ref false
 let soak = ref None
 let quiet = ref false
+let evaluator = ref Live_core.Machine.Compiled
+
+let evaluator_name = function
+  | Live_core.Machine.Subst -> "subst"
+  | Live_core.Machine.Compiled -> "compiled"
+
+let other_evaluator = function
+  | Live_core.Machine.Subst -> Live_core.Machine.Compiled
+  | Live_core.Machine.Compiled -> Live_core.Machine.Subst
 
 let parse_args () =
   let rec parse = function
@@ -127,6 +146,17 @@ let parse_args () =
           usage ()
         end;
         parse rest
+    | "--evaluator" :: v :: rest -> (
+        match v with
+        | "subst" ->
+            evaluator := Live_core.Machine.Subst;
+            parse rest
+        | "compiled" ->
+            evaluator := Live_core.Machine.Compiled;
+            parse rest
+        | _ ->
+            Printf.eprintf "unknown evaluator %S (subst | compiled)\n" v;
+            usage ())
     | "--digest" :: rest ->
         digest := true;
         parse rest
@@ -211,14 +241,15 @@ let check_accounting (s : H.Host_metrics.snapshot) (where : string) =
       s.H.Host_metrics.s_events_dropped s.H.Host_metrics.s_events_rejected
       s.H.Host_metrics.s_pending
 
-let broadcast (dr : driver) (version : int) =
+let broadcast ?(silent = false) (dr : driver) (version : int) =
   match dr.dr_update (compile_version version) with
   | Ok r ->
-      say "  broadcast v%d: %d sessions in %.2f ms (%d globals reset)\n"
-        version
-        (List.length r.H.Broadcast.outcomes)
-        (r.H.Broadcast.fanout_ns /. 1e6)
-        r.H.Broadcast.dropped_globals;
+      if not silent then
+        say "  broadcast v%d: %d sessions in %.2f ms (%d globals reset)\n"
+          version
+          (List.length r.H.Broadcast.outcomes)
+          (r.H.Broadcast.fanout_ns /. 1e6)
+          r.H.Broadcast.dropped_globals;
       List.iter
         (fun o ->
           match o.H.Broadcast.outcome with
@@ -236,7 +267,9 @@ let broadcast (dr : driver) (version : int) =
 (* Modes                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let make_fleet () : H.Registry.t * driver =
+let make_fleet ?ev ?j () : H.Registry.t * driver =
+  let ev = match ev with Some e -> e | None -> !evaluator in
+  let jobs = match j with Some j -> j | None -> !jobs in
   let cfg =
     {
       H.Registry.default_config with
@@ -245,6 +278,7 @@ let make_fleet () : H.Registry.t * driver =
       queue_capacity = !queue_capacity;
       queue_policy = !queue_policy;
       admission_limit = !admission;
+      evaluator = ev;
     }
   in
   let reg = H.Registry.create ~config:cfg (compile_version 0) in
@@ -253,7 +287,7 @@ let make_fleet () : H.Registry.t * driver =
   | Error e ->
       Printf.eprintf "spawn failed: %s\n" (Live_core.Machine.error_to_string e);
       exit 1);
-  if !jobs = 1 then
+  if jobs = 1 then
     let sched = H.Scheduler.create ~policy:!policy ~batch:!batch reg in
     ( reg,
       {
@@ -265,8 +299,8 @@ let make_fleet () : H.Registry.t * driver =
       } )
   else begin
     (* the pool's shard assignment is always hottest-first LPT *)
-    say "pool: %d worker domains\n" !jobs;
-    let pool = H.Parallel.create ~jobs:!jobs ~batch:!batch reg in
+    say "pool: %d worker domains\n" jobs;
+    let pool = H.Parallel.create ~jobs ~batch:!batch reg in
     ( reg,
       {
         dr_tick = (fun () -> ignore (H.Parallel.tick pool));
@@ -327,24 +361,40 @@ let run_load () : H.Registry.t * driver =
 
 (** Wall-clock soak: offer-and-tick continuously, broadcast roughly
     once a second, re-check the fleet invariants and the accounting
-    identity at every broadcast. *)
+    identity at every broadcast.
+
+    The soak also exercises the evaluator-equivalence contract: a
+    {e shadow} fleet running the other execution engine (compiled vs
+    substitution) replays the exact same event trace in lockstep — same
+    per-session seeds, same bursts, same broadcast rounds — on the
+    sequential scheduler, and the two fleets' MD5 state digests must
+    agree at the end.  A single diverging value anywhere in any
+    session's store, page stack, or display fails the run. *)
 let run_soak (secs : float) : H.Registry.t * driver =
   let reg, dr = make_fleet () in
-  say "soak: %d sessions for %.0f s, ~1 broadcast/s\n" (H.Registry.size reg)
-    secs;
+  let shadow_ev = other_evaluator !evaluator in
+  let sreg, sdr = make_fleet ~ev:shadow_ev ~j:1 () in
+  say
+    "soak: %d sessions for %.0f s, ~1 broadcast/s; lockstep %s shadow fleet \
+     for the digest cross-check\n"
+    (H.Registry.size reg) secs (evaluator_name shadow_ev);
   let ids = Array.of_list (H.Registry.ids reg) in
   let rngs = Array.map (fun id -> Prng.create (Prng.derive !seed id)) ids in
+  let srngs = Array.map (fun id -> Prng.create (Prng.derive !seed id)) ids in
   let t0 = Unix.gettimeofday () in
   let last_update = ref t0 in
   let version = ref 0 in
   while Unix.gettimeofday () -. t0 < secs do
     Array.iteri (fun i id -> offer_burst reg rngs.(i) id) ids;
+    Array.iteri (fun i id -> offer_burst sreg srngs.(i) id) ids;
     dr.dr_tick ();
+    sdr.dr_tick ();
     let now = Unix.gettimeofday () in
     if now -. !last_update >= 1.0 then begin
       last_update := now;
       incr version;
       broadcast dr !version;
+      broadcast ~silent:true sdr !version;
       check_fleet reg (Printf.sprintf "soak t=%.0fs" (now -. t0));
       check_accounting (dr.dr_snapshot ())
         (Printf.sprintf "soak t=%.0fs" (now -. t0))
@@ -353,8 +403,22 @@ let run_soak (secs : float) : H.Registry.t * driver =
   (match dr.dr_drain () with
   | Ok _ -> ()
   | Error m -> fail "drain: %s" m);
+  (match sdr.dr_drain () with
+  | Ok _ -> ()
+  | Error m -> fail "shadow drain: %s" m);
   check_fleet reg "end of soak";
+  check_fleet sreg "end of soak (shadow)";
   check_accounting (dr.dr_snapshot ()) "end of soak";
+  let d = H.Registry.digest reg and sd = H.Registry.digest sreg in
+  if String.equal d sd then
+    say "soak cross-check: %s and %s fleets digest-identical (%s)\n"
+      (evaluator_name !evaluator) (evaluator_name shadow_ev) d
+  else
+    fail
+      "soak cross-check: %s fleet digest %s <> %s fleet digest %s — the \
+       evaluators diverged"
+      (evaluator_name !evaluator) d (evaluator_name shadow_ev) sd;
+  sdr.dr_shutdown ();
   (reg, dr)
 
 (* ------------------------------------------------------------------ *)

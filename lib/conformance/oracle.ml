@@ -158,11 +158,14 @@ let machine_config ~(width : int) (boot : Program.t) :
           finalize = ignore;
         }
 
-(** A {!Live_runtime.Session}, in one of its three cache modes. *)
+(** A {!Live_runtime.Session}, in one of its cache modes and with
+    either expression engine.  [evaluator] defaults to the session
+    default (closure-compiled); the ["session"] configuration pins the
+    substitution engine so both engines stay under differential test. *)
 let session_config ~(width : int) ~(name : string) ~(incremental : bool)
-    ~(cache : bool) ?(sabotage : sabotage option) (boot : Program.t) :
-    (config, string) result =
-  match Session.create ~width ~incremental ~cache boot with
+    ~(cache : bool) ?evaluator ?(sabotage : sabotage option)
+    (boot : Program.t) : (config, string) result =
+  match Session.create ~width ~incremental ~cache ?evaluator boot with
   | Error e -> Error (err_str e)
   | Ok s ->
       (match sabotage with
@@ -369,6 +372,7 @@ let all_configs =
   [
     "machine";
     "session";
+    "compiled";
     "cached";
     "incremental";
     "host";
@@ -410,7 +414,17 @@ let run ?(width = default_width) ?(configs = all_configs) ?sabotage
           match name with
           | "machine" -> machine_config ~width boot
           | "session" ->
-              session_config ~width ~name ~incremental:false ~cache:false boot
+              (* the substitution engine, uncached: keeps the paper's
+                 evaluator under differential test now that sessions
+                 default to the compiled one *)
+              session_config ~width ~name ~incremental:false ~cache:false
+                ~evaluator:Machine.Subst boot
+          | "compiled" ->
+              (* the closure-compiled engine (the session default),
+                 uncached: diffed per step against the substitution
+                 machine reference *)
+              session_config ~width ~name ~incremental:false ~cache:false
+                ~evaluator:Machine.Compiled boot
           | "cached" ->
               session_config ~width ~name ~incremental:false ~cache:true
                 ?sabotage boot

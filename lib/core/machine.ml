@@ -28,6 +28,15 @@ let error_to_string e = Fmt.str "%a" pp_error e
 
 type 'a outcome = ('a, error) result
 
+(** Which expression-evaluation engine discharges the big-step
+    premises: the paper-faithful substitution evaluator ({!Eval}), or
+    the closure-compiled one ({!Compile_eval}) — compiled once per
+    program, byte-identical observable behaviour (enforced by the
+    conformance oracle's ["compiled"] configuration).  The
+    specification machine defaults to [Subst]; sessions default to
+    [Compiled]. *)
+type evaluator = Subst | Compiled
+
 let guard cond msg : (unit, error) result =
   if cond then Ok () else Error (Not_enabled msg)
 
@@ -36,6 +45,18 @@ let ( let* ) = Result.bind
 let run_state ?fuel (st : State.t) (e : Ast.expr) :
     (Store.t * Event.t Fqueue.t) outcome =
   match Eval.eval_state ?fuel st.code st.store st.queue e with
+  | _, store, queue -> Ok (store, queue)
+  | exception Eval.Stuck m -> Error (Execution_failed m)
+  | exception Eval.Out_of_fuel -> Error Diverged
+
+(** The same big-step premise discharged by the compiled engine.
+    [run] receives the compiled program and returns the same
+    (value, store, queue) triple as {!Eval.eval_state}. *)
+let run_state_compiled ?fuel (st : State.t)
+    (run : Compile_eval.t -> Ast.value * Store.t * Event.t Fqueue.t) :
+    (Store.t * Event.t Fqueue.t) outcome =
+  ignore fuel;
+  match run (Compile_eval.get st.code) with
   | _, store, queue -> Ok (store, queue)
   | exception Eval.Stuck m -> Error (Execution_failed m)
   | exception Eval.Out_of_fuel -> Error Diverged
@@ -89,7 +110,7 @@ let back (st : State.t) : State.t =
 (* ------------------------------------------------------------------ *)
 
 (** Dequeue and handle one event: (THUNK), (PUSH) or (POP). *)
-let dispatch ?fuel (st : State.t) : State.t outcome =
+let dispatch ?fuel ?(evaluator = Subst) (st : State.t) : State.t outcome =
   match Fqueue.dequeue st.queue with
   | None -> Error (Not_enabled "event queue is empty")
   | Some (ev, rest) -> (
@@ -98,7 +119,11 @@ let dispatch ?fuel (st : State.t) : State.t outcome =
       | Event.Exec v ->
           (* (THUNK): run [v ()] in standard mode *)
           let* store, queue =
-            run_state ?fuel st (Ast.App (Ast.Val v, Ast.eunit))
+            match evaluator with
+            | Subst -> run_state ?fuel st (Ast.App (Ast.Val v, Ast.eunit))
+            | Compiled ->
+                run_state_compiled ?fuel st (fun ct ->
+                    Compile_eval.run_thunk ?fuel ct st.store st.queue v)
           in
           Ok (State.invalidate { st with store; queue })
       | Event.Push (p, v) -> (
@@ -109,7 +134,12 @@ let dispatch ?fuel (st : State.t) : State.t outcome =
                 (Execution_failed (Fmt.str "push of undefined page %s" p))
           | Some (_, init, _) ->
               let* store, queue =
-                run_state ?fuel st (Ast.App (init, Ast.Val v))
+                match evaluator with
+                | Subst -> run_state ?fuel st (Ast.App (init, Ast.Val v))
+                | Compiled ->
+                    run_state_compiled ?fuel st (fun ct ->
+                        Compile_eval.run_page_init ?fuel ct ~page:p st.store
+                          st.queue v)
               in
               Ok
                 (State.invalidate
@@ -157,7 +187,8 @@ let duplicate_oldest_event (st : State.t) : State.t =
     tracing and unchanged [boxed] subtrees are spliced from the cache.
     Either way the installed display is exactly what the uncached rule
     would produce. *)
-let render ?fuel ?cache (st : State.t) : State.t outcome =
+let render ?fuel ?cache ?(evaluator = Subst) (st : State.t) :
+    State.t outcome =
   let* () =
     guard (not (State.display_valid st)) "RENDER requires an invalid display"
   in
@@ -172,10 +203,30 @@ let render ?fuel ?cache (st : State.t) : State.t outcome =
   match Program.find_page st.code p with
   | None -> Error (Execution_failed (Fmt.str "undefined page %s" p))
   | Some (_, _, render_fn) -> (
-      let expr = Ast.App (render_fn, Ast.Val v) in
+      (* the compiled engine renders through its per-page precompiled
+         entry (stable [boxed] site ids across renders); the
+         substitution engine evaluates [render_fn v] afresh *)
+      let eval_uncached () =
+        match evaluator with
+        | Subst ->
+            Eval.eval_render ?fuel st.code st.store
+              (Ast.App (render_fn, Ast.Val v))
+        | Compiled ->
+            Compile_eval.run_page_render ?fuel (Compile_eval.get st.code)
+              ~page:p st.store v
+      in
+      let eval_traced memo =
+        match evaluator with
+        | Subst ->
+            Eval.eval_render_traced ?fuel ~memo st.code st.store
+              (Ast.App (render_fn, Ast.Val v))
+        | Compiled ->
+            Compile_eval.run_page_render_traced ?fuel ~memo
+              (Compile_eval.get st.code) ~page:p st.store v
+      in
       match cache with
       | None -> (
-          match Eval.eval_render ?fuel st.code st.store expr with
+          match eval_uncached () with
           | _, box -> Ok { st with display = State.Shown box }
           | exception Eval.Stuck m -> Error (Execution_failed m)
           | exception Eval.Out_of_fuel -> Error Diverged)
@@ -187,10 +238,7 @@ let render ?fuel ?cache (st : State.t) : State.t outcome =
           with
           | Some box -> Ok { st with display = State.Shown box }
           | None -> (
-              match
-                Eval.eval_render_traced ?fuel ~memo:cache st.code st.store
-                  expr
-              with
+              match eval_traced cache with
               | _, box, reads ->
                   Render_cache.add_display cache ~page:p ~arg:v ~reads box;
                   Ok { st with display = State.Shown box }
@@ -251,18 +299,18 @@ let update ?(checked = false) ?(report = ref None) (new_code : Program.t)
     system state is unstable, one of the following transitions is
     always enabled" loop of Sec. 4.2: STARTUP on an empty stack,
     event dispatch while the queue is non-empty, then RENDER. *)
-let run_to_stable ?fuel ?cache ?(max_steps = 100_000) (st : State.t) :
-    State.t outcome =
+let run_to_stable ?fuel ?cache ?evaluator ?(max_steps = 100_000)
+    (st : State.t) : State.t outcome =
   let rec go n st =
     if n <= 0 then Error Diverged
     else if st.State.stack = [] && Fqueue.is_empty st.State.queue then
       let* st = startup st in
       go (n - 1) st
     else if not (Fqueue.is_empty st.State.queue) then
-      let* st = dispatch ?fuel st in
+      let* st = dispatch ?fuel ?evaluator st in
       go (n - 1) st
     else if not (State.display_valid st) then
-      let* st = render ?fuel ?cache st in
+      let* st = render ?fuel ?cache ?evaluator st in
       go (n - 1) st
     else Ok st
   in
@@ -270,5 +318,6 @@ let run_to_stable ?fuel ?cache ?(max_steps = 100_000) (st : State.t) :
 
 (** Boot a program: initial state [(C, ⊥, eps, eps, eps)] driven to its
     first stable state. *)
-let boot ?fuel ?cache ?max_steps (code : Program.t) : State.t outcome =
-  run_to_stable ?fuel ?cache ?max_steps (State.initial code)
+let boot ?fuel ?cache ?evaluator ?max_steps (code : Program.t) :
+    State.t outcome =
+  run_to_stable ?fuel ?cache ?evaluator ?max_steps (State.initial code)

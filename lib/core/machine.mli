@@ -18,6 +18,14 @@ val error_to_string : error -> string
 
 type 'a outcome = ('a, error) result
 
+type evaluator = Subst | Compiled
+(** Which engine discharges the big-step premises: {!Eval}'s
+    substitution evaluator (the executable specification, the default
+    here) or {!Compile_eval}'s closure-compiled one (compiled once per
+    program — the default for {!Live_runtime.Session}s).  Observable
+    behaviour is byte-identical; the conformance oracle's ["compiled"]
+    configuration enforces it. *)
+
 val startup : State.t -> State.t outcome
 (** (STARTUP): requires empty stack and queue; enqueues
     [push start ()]. *)
@@ -33,7 +41,8 @@ val tap_first : State.t -> State.t outcome
 val back : State.t -> State.t
 (** (BACK): always enabled; enqueues [pop]. *)
 
-val dispatch : ?fuel:int -> State.t -> State.t outcome
+val dispatch :
+  ?fuel:int -> ?evaluator:evaluator -> State.t -> State.t outcome
 (** Dequeue and handle one event: (THUNK), (PUSH) or (POP). *)
 
 val drop_oldest_event : State.t -> State.t
@@ -44,7 +53,12 @@ val duplicate_oldest_event : State.t -> State.t
 (** Fault injection: deliver the oldest queued event twice, back to
     back (at-least-once delivery).  No-op on an empty queue. *)
 
-val render : ?fuel:int -> ?cache:Render_cache.t -> State.t -> State.t outcome
+val render :
+  ?fuel:int ->
+  ?cache:Render_cache.t ->
+  ?evaluator:evaluator ->
+  State.t ->
+  State.t outcome
 (** (RENDER): from [(C, ⊥, S, P(p,v), eps)], rebuild the display by
     running the top page's render code in render mode.  With [cache]
     the render is memoized on the globals it reads — observationally
@@ -72,6 +86,7 @@ val update :
 val run_to_stable :
   ?fuel:int ->
   ?cache:Render_cache.t ->
+  ?evaluator:evaluator ->
   ?max_steps:int ->
   State.t ->
   State.t outcome
@@ -82,6 +97,7 @@ val run_to_stable :
 val boot :
   ?fuel:int ->
   ?cache:Render_cache.t ->
+  ?evaluator:evaluator ->
   ?max_steps:int ->
   Program.t ->
   State.t outcome

@@ -44,6 +44,14 @@ type subtree_entry = {
   reads : reads;
 }
 
+type csubtree_entry = {
+  args : Ast.value list;
+      (** the captured environment values — the real key *)
+  cvalue : Ast.value;
+  citem : Boxcontent.item;
+  creads : reads;
+}
+
 type display_entry = {
   page : Ident.page;
   arg : Ast.value;
@@ -62,6 +70,12 @@ type t = {
   subtrees : (int * int, subtree_entry) Hashtbl.t;
       (** key: (srcid as int, -1 for none; {!Ast.hash_expr} of the
           subexpression); verified against [expr] on every hit *)
+  csubtrees : (int * int, csubtree_entry) Hashtbl.t;
+      (** the compiled evaluator's subtree layer — key: (compile-time
+          site id, hash of the captured values); verified against
+          [args] on every hit.  The site id stands for the expression
+          skeleton (one compilation of one program), the captured
+          values for everything substitution would have filled in. *)
   displays : (Ident.page, display_entry) Hashtbl.t;
   mutable code : Program.t option;
       (** the code the entries were recorded under, compared by
@@ -85,6 +99,7 @@ let default_capacity = 16_384
 let create ?(capacity = default_capacity) () : t =
   {
     subtrees = Hashtbl.create 256;
+    csubtrees = Hashtbl.create 256;
     displays = Hashtbl.create 4;
     code = None;
     sabotage_no_flush = false;
@@ -103,10 +118,11 @@ let stats (c : t) : stats =
     flushes = c.flushes;
   }
 
-let size (c : t) = Hashtbl.length c.subtrees
+let size (c : t) = Hashtbl.length c.subtrees + Hashtbl.length c.csubtrees
 
 let flush (c : t) : unit =
   Hashtbl.reset c.subtrees;
+  Hashtbl.reset c.csubtrees;
   Hashtbl.reset c.displays;
   c.code <- None;
   c.flushes <- c.flushes + 1
@@ -164,12 +180,46 @@ let find_subtree (c : t) (key : int * int) ~(expr : Ast.expr)
 
 let add_subtree (c : t) (key : int * int) ~(expr : Ast.expr)
     ~(value : Ast.value) ~(item : Boxcontent.item) ~(reads : reads) : unit =
-  if Hashtbl.length c.subtrees >= c.capacity then begin
+  if size c >= c.capacity then begin
     let code = c.code in
     flush c;
     c.code <- code
   end;
   Hashtbl.replace c.subtrees key { expr; value; item; reads }
+
+(* ------------------------------------------------------------------ *)
+(* Compiled subtree entries                                            *)
+(* ------------------------------------------------------------------ *)
+
+let hash_args (args : Ast.value list) : int =
+  List.fold_left (fun h v -> (h * 31) + Ast.hash_value v) 17 args
+
+let equal_args (a : Ast.value list) (b : Ast.value list) : bool =
+  try List.for_all2 Ast.equal_value a b with Invalid_argument _ -> false
+
+(** Look up a replayable entry for the compiled [boxed] site [site]:
+    same captured values (verified structurally), every recorded read
+    unchanged.  The enclosing code identity is enforced by
+    {!ensure_code}, exactly as for expression-keyed entries. *)
+let find_csubtree (c : t) ~(site : int) ~(args : Ast.value list)
+    ~(prog : Program.t) ~(store : Store.t) : csubtree_entry option =
+  match Hashtbl.find_opt c.csubtrees (site, hash_args args) with
+  | Some e when equal_args e.args args && reads_valid prog store e.creads ->
+      c.hits <- c.hits + 1;
+      Some e
+  | Some _ | None ->
+      c.misses <- c.misses + 1;
+      None
+
+let add_csubtree (c : t) ~(site : int) ~(args : Ast.value list)
+    ~(value : Ast.value) ~(item : Boxcontent.item) ~(reads : reads) : unit =
+  if size c >= c.capacity then begin
+    let code = c.code in
+    flush c;
+    c.code <- code
+  end;
+  Hashtbl.replace c.csubtrees (site, hash_args args)
+    { args; cvalue = value; citem = item; creads = reads }
 
 (* ------------------------------------------------------------------ *)
 (* The whole-display fast path                                         *)

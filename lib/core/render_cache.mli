@@ -18,6 +18,21 @@ type subtree_entry = {
   reads : reads;
 }
 
+type csubtree_entry = {
+  args : Ast.value list;
+      (** the captured environment values — the real key *)
+  cvalue : Ast.value;
+  citem : Boxcontent.item;
+  creads : reads;
+}
+(** The compiled evaluator's subtree layer ({!Compile_eval}): entries
+    are keyed by a compile-time site id (standing for the expression
+    skeleton of one compilation of one program) plus the values of the
+    environment slots the subtree captures (standing for everything
+    substitution would have filled in).  Same soundness argument as
+    the expression-keyed layer; {!ensure_code} enforces code
+    identity. *)
+
 type stats = {
   hits : int;  (** subtree entries spliced without evaluation *)
   misses : int;  (** subtree evaluations that populated an entry *)
@@ -65,6 +80,26 @@ val add_subtree :
   t ->
   int * int ->
   expr:Ast.expr ->
+  value:Ast.value ->
+  item:Boxcontent.item ->
+  reads:reads ->
+  unit
+
+val find_csubtree :
+  t ->
+  site:int ->
+  args:Ast.value list ->
+  prog:Program.t ->
+  store:Store.t ->
+  csubtree_entry option
+(** A replayable compiled-subtree entry: same captured values
+    (verified structurally), every recorded read unchanged.  Counts a
+    hit or a miss. *)
+
+val add_csubtree :
+  t ->
+  site:int ->
+  args:Ast.value list ->
   value:Ast.value ->
   item:Boxcontent.item ->
   reads:reads ->

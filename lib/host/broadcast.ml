@@ -26,6 +26,13 @@ let update ?(clock = Unix.gettimeofday) (reg : Registry.t)
       m.Host_metrics.updates_rejected <- m.Host_metrics.updates_rejected + 1;
       Error e
   | Ok () ->
+      (* compile once, before the fan-out: every session's first
+         dispatch/render under the new code hits the warm compile
+         cache, mirroring the typecheck-once contract.  (Under the
+         parallel host this runs inside the stop-the-world update
+         barrier, so priming is single-threaded.) *)
+      (if (Registry.config reg).Registry.evaluator = Machine.Compiled then
+         ignore (Live_core.Compile_eval.get new_code : Live_core.Compile_eval.t));
       let t0 = clock () in
       let outcomes =
         List.map

@@ -19,6 +19,9 @@ type config = {
   fuel : int option;
   incremental : bool;
   cache : bool;
+  evaluator : Machine.evaluator;
+      (** expression engine for every session; [Compiled] shares one
+          compilation fleet-wide (see {!Live_core.Compile_eval}) *)
   queue_capacity : int;
   queue_policy : Backpressure.policy;
   admission_limit : int option;
@@ -30,6 +33,7 @@ let default_config =
     fuel = None;
     incremental = false;
     cache = false;
+    evaluator = Machine.Compiled;
     queue_capacity = 64;
     queue_policy = Backpressure.Drop_oldest;
     admission_limit = None;
@@ -68,7 +72,8 @@ let create ?(config = default_config) (program : Live_core.Program.t) : t =
 let spawn (t : t) : (id, Machine.error) result =
   match
     Session.create ~width:t.cfg.width ?fuel:t.cfg.fuel
-      ~incremental:t.cfg.incremental ~cache:t.cfg.cache t.program
+      ~incremental:t.cfg.incremental ~cache:t.cfg.cache
+      ~evaluator:t.cfg.evaluator t.program
   with
   | Error e -> Error e
   | Ok session ->

@@ -23,6 +23,9 @@ type config = {
   fuel : int option;  (** evaluator fuel ([None] = default) *)
   incremental : bool;  (** Sec. 5 layout cache *)
   cache : bool;  (** the end-to-end incremental render pipeline *)
+  evaluator : Live_core.Machine.evaluator;
+      (** expression engine for every session (default [Compiled]:
+          one shared compilation per program fleet-wide) *)
   queue_capacity : int;  (** per-session ingress bound *)
   queue_policy : Backpressure.policy;
   admission_limit : int option;

@@ -58,6 +58,10 @@ type t = {
   mutable state : State.t;
   width : int;
   fuel : int;
+  evaluator : Machine.evaluator;
+      (** closure-compiled (the default) or substitution evaluation;
+          observationally identical, enforced by the conformance
+          oracle's ["compiled"] configuration *)
   mutable layout : Live_ui.Layout.node option;
   mutable trace : Trace.t;
   cache : Live_ui.Layout.cache option;  (** incremental layout, if on *)
@@ -75,20 +79,23 @@ let ( let* ) = Result.bind
 
 let stabilize (t : t) : (unit, Machine.error) result =
   let* st =
-    Machine.run_to_stable ~fuel:t.fuel ?cache:t.render_cache t.state
+    Machine.run_to_stable ~fuel:t.fuel ?cache:t.render_cache
+      ~evaluator:t.evaluator t.state
   in
   t.state <- st;
   t.layout <- None;
   Ok ()
 
 let create ?(width = 48) ?(fuel = Live_core.Eval.default_fuel)
-    ?(incremental = false) ?(cache = false) (program : Live_core.Program.t) :
+    ?(incremental = false) ?(cache = false)
+    ?(evaluator = Machine.Compiled) (program : Live_core.Program.t) :
     (t, Machine.error) result =
   let t =
     {
       state = State.initial program;
       width;
       fuel;
+      evaluator;
       layout = None;
       trace = Trace.empty;
       cache = (if incremental then Some (Live_ui.Layout.create_cache ()) else None);
@@ -130,6 +137,7 @@ let flush_caches (t : t) : unit =
   t.layout <- None
 
 let state (t : t) = t.state
+let evaluator (t : t) = t.evaluator
 let trace (t : t) = t.trace
 let width (t : t) = t.width
 

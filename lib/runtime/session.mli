@@ -18,6 +18,7 @@ val create :
   ?fuel:int ->
   ?incremental:bool ->
   ?cache:bool ->
+  ?evaluator:Live_core.Machine.evaluator ->
   Live_core.Program.t ->
   (t, Live_core.Machine.error) result
 (** Boot to the first stable state.  [incremental] turns on the
@@ -26,7 +27,13 @@ val create :
     incremental render pipeline: dependency-tracked RENDER memoization
     ({!Live_core.Render_cache}), layout reuse for revalidated
     displays, and damage-tracked repainting — also observationally
-    transparent (see [test/test_render_cache.ml]). *)
+    transparent (see [test/test_render_cache.ml]).  [evaluator]
+    selects the expression engine (default
+    {!Live_core.Machine.Compiled}: programs compiled once to closures;
+    byte-identical to substitution, see [test/test_compile_eval.ml]
+    and the oracle's ["compiled"] configuration). *)
+
+val evaluator : t -> Live_core.Machine.evaluator
 
 val state : t -> Live_core.State.t
 val store : t -> Live_core.Store.t

@@ -36,6 +36,7 @@ let () =
       ("baseline", Test_baseline.suite);
       ("incremental", Test_incremental.suite);
       ("render-cache", Test_render_cache.suite);
+      ("compile-eval", Test_compile_eval.suite);
       ("probe", Test_probe.suite);
       ("properties", Test_properties.suite);
       ("golden", Test_golden.suite);
