@@ -740,7 +740,7 @@ let b10 () : jentry list =
   let rows_n = 6 in
   let app version =
     (Live_workloads.Synthetic.compile_exn
-       (Live_workloads.Synthetic.host_app ~rows:rows_n ~version))
+       (Live_workloads.Synthetic.host_app ~rows:rows_n ~version ()))
       .Live_surface.Compile.core
   in
   header "B10: host_throughput — the multi-session live host"
@@ -835,7 +835,7 @@ let b11 () : jentry list =
   let jobs_axis = [ 1; 2; 4; 8 ] in
   let app version =
     (Live_workloads.Synthetic.compile_exn
-       (Live_workloads.Synthetic.host_app ~rows:rows_n ~version))
+       (Live_workloads.Synthetic.host_app ~rows:rows_n ~version ()))
       .Live_surface.Compile.core
   in
   header "B11: host_parallel_speedup — domain-parallel fleet execution"
@@ -972,7 +972,7 @@ let b12 () : jentry list =
     let rounds = 40 in
     let app =
       (Live_workloads.Synthetic.compile_exn
-         (Live_workloads.Synthetic.host_app ~rows:rows_n ~version:0))
+         (Live_workloads.Synthetic.host_app ~rows:rows_n ~version:0 ()))
         .Live_surface.Compile.core
     in
     let cfg =
@@ -1064,6 +1064,117 @@ let b12 () : jentry list =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* B13: O(edit) broadcast — incremental vs. from-scratch UPDATE        *)
+(* ------------------------------------------------------------------ *)
+
+(** B13 measures the O(edit) broadcast pipeline end to end: a 1-line
+    structural edit of a cold definition (one [Program.with_def] on a
+    global the start page never reads) broadcast to fleets of 100 /
+    1000 / 10000 cached sessions, once through the from-scratch path
+    ([typecheck_mode = Scratch]: whole-program recheck, full
+    recompile, wholesale cache flush, full per-session re-render) and
+    once through the incremental path (diff + dirty-set recheck,
+    compile reuse, retargeted render caches).  The two fleets replay
+    the identical edit sequence and must land on byte-identical
+    digests — the speedup compares like with like. *)
+let b13 () : jentry list =
+  let module H = Live_host in
+  let module P = Live_core.Program in
+  let fleet_sizes = [ 100; 1000; 10000 ] in
+  let rows_n = 6 in
+  let cold = 32 in
+  let edits = 4 in
+  let app =
+    (Live_workloads.Synthetic.compile_exn
+       (Live_workloads.Synthetic.host_app ~cold ~rows:rows_n ~version:0 ()))
+      .Live_surface.Compile.core
+  in
+  (* the 1-line edit: restamp cold global c0's initial value *)
+  let edit (prog : P.t) ~(stamp : int) : P.t =
+    match P.find prog "c0" with
+    | Some (P.Global { name; ty; _ }) ->
+        P.with_def prog
+          (P.Global
+             { name; ty; init = Live_core.Ast.VNum (float_of_int stamp) })
+    | _ -> failwith "B13: cold global c0 not found"
+  in
+  header "B13: o_edit_broadcast — incremental vs. from-scratch UPDATE"
+    "A 1-line edit of a cold definition broadcast fleet-wide: the \
+     incremental path (program diff, dirty-set typecheck, compile \
+     reuse, retargeted render caches) vs. the from-scratch path \
+     (whole-program recheck, full recompile, wholesale cache flush), \
+     with the two fleets' digests cross-checked byte-identical.";
+  let run (mode : H.Broadcast.typecheck_mode) (k : int) : float * string =
+    let cfg =
+      {
+        H.Registry.default_config with
+        H.Registry.width = 32;
+        cache = true;
+        evaluator = Live_core.Machine.Compiled;
+      }
+    in
+    let reg = H.Registry.create ~config:cfg app in
+    (match H.Registry.spawn_many reg k with
+    | Ok _ -> ()
+    | Error e -> failwith (Live_core.Machine.error_to_string e));
+    let broadcast stamp =
+      let prog = edit (H.Registry.program reg) ~stamp in
+      match H.Broadcast.update ~typecheck:mode reg prog with
+      | Ok _ -> ()
+      | Error e -> failwith (Live_core.Machine.error_to_string e)
+    in
+    (* warm-up broadcast: the boot program was never typechecked, so
+       the first UPDATE is from-scratch in every mode; after it the
+       incremental premise (old code checked) holds *)
+    broadcast 1000;
+    let t0 = Unix.gettimeofday () in
+    for stamp = 1 to edits do
+      broadcast stamp
+    done;
+    let per_edit_ns =
+      (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int edits
+    in
+    (per_edit_ns, H.Registry.digest reg)
+  in
+  List.concat_map
+    (fun k ->
+      let scratch_ns, scratch_digest = run H.Broadcast.Scratch k in
+      let incr_ns, incr_digest = run H.Broadcast.Incremental k in
+      if not (String.equal scratch_digest incr_digest) then
+        failwith
+          (Printf.sprintf
+             "B13: fleet=%d digest mismatch — incremental broadcast \
+              diverged from from-scratch"
+             k);
+      let speedup = scratch_ns /. incr_ns in
+      Printf.printf
+        "  fleet=%5d  scratch %s/edit  incremental %s/edit  speedup %.1fx  \
+         digest %s\n"
+        k (pp_time scratch_ns) (pp_time incr_ns) speedup
+        (String.sub scratch_digest 0 8);
+      if k = 10000 && speedup < 5.0 then
+        Printf.printf
+          "  WARNING: fleet=10000 speedup %.1fx below the 5x target\n" speedup;
+      [
+        {
+          id = Printf.sprintf "b13/broadcast-scratch/fleet=%05d" k;
+          unit_ = "ns";
+          value = scratch_ns;
+        };
+        {
+          id = Printf.sprintf "b13/broadcast-incremental/fleet=%05d" k;
+          unit_ = "ns";
+          value = incr_ns;
+        };
+        {
+          id = Printf.sprintf "b13/speedup/fleet=%05d" k;
+          unit_ = "ratio";
+          value = speedup;
+        };
+      ])
+    fleet_sizes
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -1082,6 +1193,7 @@ let () =
   let r10 = b10 () in
   let r11 = b11 () in
   let r12 = b12 () in
+  let r13 = b13 () in
   let alloc_entries =
     List.rev_map
       (fun (name, b) -> { id = name ^ "/alloc"; unit_ = "B/run"; value = b })
@@ -1090,5 +1202,5 @@ let () =
   write_json
     (List.concat_map entries_of_rows
        [ r1; r2; r3; r4; r5; r6; r7; r8; r9 ]
-    @ r10 @ r11 @ r12 @ alloc_entries);
+    @ r10 @ r11 @ r12 @ r13 @ alloc_entries);
   Printf.printf "\nDone. See EXPERIMENTS.md for interpretation.\n"

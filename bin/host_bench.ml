@@ -51,6 +51,17 @@ let usage () =
                       wall-clock varies.
   --evaluator E       subst | compiled (default compiled): execution
                       engine for every session in the fleet
+  --typecheck M       scratch | incremental | both (default incremental):
+                      how broadcasts discharge the UPDATE typecheck.
+                      "both" cross-checks the two checkers on every
+                      broadcast AND replays the whole run against a
+                      lockstep scratch-mode shadow fleet, failing
+                      unless the final MD5 digests agree
+  --edit-size N       broadcast N-definition structural edits (via
+                      Program.with_def on cold definitions, preserving
+                      physical sharing) instead of whole-program
+                      version bumps; prints the per-broadcast
+                      typecheck / diff / compile / fan-out breakdown
   --digest            print the fleet's MD5 state digest (the
                       determinism contract: equal across --jobs values
                       and across --evaluator engines)
@@ -81,6 +92,8 @@ let digest = ref false
 let soak = ref None
 let quiet = ref false
 let evaluator = ref Live_core.Machine.Compiled
+let typecheck = ref H.Broadcast.Incremental
+let edit_size = ref 0
 
 let evaluator_name = function
   | Live_core.Machine.Subst -> "subst"
@@ -157,6 +170,27 @@ let parse_args () =
         | _ ->
             Printf.eprintf "unknown evaluator %S (subst | compiled)\n" v;
             usage ())
+    | "--typecheck" :: v :: rest -> (
+        match v with
+        | "scratch" ->
+            typecheck := H.Broadcast.Scratch;
+            parse rest
+        | "incremental" ->
+            typecheck := H.Broadcast.Incremental;
+            parse rest
+        | "both" ->
+            typecheck := H.Broadcast.Cross_check;
+            parse rest
+        | _ ->
+            Printf.eprintf "unknown typecheck mode %S (scratch | incremental | both)\n" v;
+            usage ())
+    | "--edit-size" :: v :: rest ->
+        edit_size := int_of_string v;
+        if !edit_size < 0 then begin
+          prerr_endline "--edit-size must be >= 0";
+          usage ()
+        end;
+        parse rest
     | "--digest" :: rest ->
         digest := true;
         parse rest
@@ -176,10 +210,49 @@ let parse_args () =
 (* Workload                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let failures : string list ref = ref []
+let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+
 let compile_version (v : int) : Live_core.Program.t =
   (Live_workloads.Synthetic.compile_exn
-     (Live_workloads.Synthetic.host_app ~rows:!rows ~version:v))
+     (Live_workloads.Synthetic.host_app ~cold:!edit_size ~rows:!rows
+        ~version:v ()))
     .Live_surface.Compile.core
+
+(** An [--edit-size]-definition structural edit: bump the initial
+    values of the app's cold globals [c0..c{n-1}] with
+    [Program.with_def], leaving every other definition {e physically}
+    shared with the current program.  This is how a real editor-driven
+    host would hand an edit to the broadcast — only the touched
+    definitions are new values — and it is what makes the diff's
+    unchanged-classification O(1) per untouched definition.  [stamp]
+    makes the edit deterministic per version so lockstep fleets
+    derive identical programs. *)
+let structural_edit (reg : H.Registry.t) ~(stamp : int) (n : int) :
+    Live_core.Program.t =
+  let module P = Live_core.Program in
+  let p = ref (H.Registry.program reg) in
+  for i = 0 to n - 1 do
+    let name = Printf.sprintf "c%d" i in
+    match P.find !p name with
+    | Some (P.Global { name; ty; _ }) ->
+        p :=
+          P.with_def !p
+            (P.Global
+               {
+                 name;
+                 ty;
+                 init = Live_core.Ast.VNum (float_of_int ((1000 * stamp) + i));
+               })
+    | _ -> fail "--edit-size: cold global %s not found" name
+  done;
+  !p
+
+(** The next broadcast's program: a structural edit of the current one
+    ([--edit-size] > 0) or a whole-source version bump. *)
+let next_edit (reg : H.Registry.t) (version : int) : Live_core.Program.t =
+  if !edit_size > 0 then structural_edit reg ~stamp:version !edit_size
+  else compile_version version
 
 (** One seeded user event: mostly taps across the app's tappable band
     (some deliberately miss), occasionally BACK.  Each session draws
@@ -203,9 +276,6 @@ let say fmt =
 (* ------------------------------------------------------------------ *)
 (* Verdicts                                                            *)
 (* ------------------------------------------------------------------ *)
-
-let failures : string list ref = ref []
-let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
 
 (** The execution driver: [--jobs 1] replays through the sequential
     {!Live_host.Scheduler}, [--jobs J>1] through the
@@ -241,15 +311,25 @@ let check_accounting (s : H.Host_metrics.snapshot) (where : string) =
       s.H.Host_metrics.s_events_dropped s.H.Host_metrics.s_events_rejected
       s.H.Host_metrics.s_pending
 
-let broadcast ?(silent = false) (dr : driver) (version : int) =
-  match dr.dr_update (compile_version version) with
+let broadcast ?(silent = false) (dr : driver) (version : int)
+    (code : Live_core.Program.t) =
+  match dr.dr_update code with
   | Ok r ->
-      if not silent then
+      if not silent then begin
         say "  broadcast v%d: %d sessions in %.2f ms (%d globals reset)\n"
           version
           (List.length r.H.Broadcast.outcomes)
           (r.H.Broadcast.fanout_ns /. 1e6)
           r.H.Broadcast.dropped_globals;
+        say
+          "    typecheck %s %.3f ms; diff %.3f ms (%d dirty / %d rechecked \
+           defs); compile %.3f ms\n"
+          (if r.H.Broadcast.incremental then "incremental" else "scratch")
+          (r.H.Broadcast.typecheck_ns /. 1e6)
+          (r.H.Broadcast.diff_ns /. 1e6)
+          r.H.Broadcast.dirty_defs r.H.Broadcast.recheck_defs
+          (r.H.Broadcast.compile_ns /. 1e6)
+      end;
       List.iter
         (fun o ->
           match o.H.Broadcast.outcome with
@@ -267,9 +347,10 @@ let broadcast ?(silent = false) (dr : driver) (version : int) =
 (* Modes                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let make_fleet ?ev ?j () : H.Registry.t * driver =
+let make_fleet ?ev ?j ?tc () : H.Registry.t * driver =
   let ev = match ev with Some e -> e | None -> !evaluator in
   let jobs = match j with Some j -> j | None -> !jobs in
+  let tc = match tc with Some t -> t | None -> !typecheck in
   let cfg =
     {
       H.Registry.default_config with
@@ -293,7 +374,7 @@ let make_fleet ?ev ?j () : H.Registry.t * driver =
       {
         dr_tick = (fun () -> ignore (H.Scheduler.tick sched));
         dr_drain = (fun () -> H.Scheduler.drain sched);
-        dr_update = H.Broadcast.update reg;
+        dr_update = (fun code -> H.Broadcast.update ~typecheck:tc reg code);
         dr_snapshot = (fun () -> H.Registry.snapshot reg);
         dr_shutdown = ignore;
       } )
@@ -305,7 +386,7 @@ let make_fleet ?ev ?j () : H.Registry.t * driver =
       {
         dr_tick = (fun () -> ignore (H.Parallel.tick pool));
         dr_drain = (fun () -> H.Parallel.drain pool);
-        dr_update = H.Parallel.update pool;
+        dr_update = (fun code -> H.Parallel.update ~typecheck:tc pool code);
         dr_snapshot = (fun () -> H.Parallel.snapshot pool);
         dr_shutdown =
           (fun () ->
@@ -329,10 +410,22 @@ let offer_burst (reg : H.Registry.t) (rng : Prng.t) (id : H.Registry.id) =
 let run_load () : H.Registry.t * driver =
   let t0 = Unix.gettimeofday () in
   let reg, dr = make_fleet () in
-  say "fleet: %d sessions up in %.2f s\n" (H.Registry.size reg)
-    (Unix.gettimeofday () -. t0);
+  (* under --typecheck both, a lockstep shadow fleet replays the whole
+     run with scratch-mode broadcasts on the sequential scheduler; the
+     final MD5 digests must agree — end-to-end evidence that the
+     incremental pipeline (typecheck reuse, targeted fix-up, cache
+     retargeting) is observationally invisible *)
+  let shadow =
+    if !typecheck = H.Broadcast.Cross_check then
+      Some (make_fleet ~j:1 ~tc:H.Broadcast.Scratch ())
+    else None
+  in
+  say "fleet: %d sessions up in %.2f s%s\n" (H.Registry.size reg)
+    (Unix.gettimeofday () -. t0)
+    (if shadow <> None then " (+ scratch-typecheck shadow fleet)" else "");
   let ids = Array.of_list (H.Registry.ids reg) in
   let rngs = Array.map (fun id -> Prng.create (Prng.derive !seed id)) ids in
+  let srngs = Array.map (fun id -> Prng.create (Prng.derive !seed id)) ids in
   let update_rounds =
     (* mid-stream: never round 0, never after the last round *)
     List.init !updates (fun u -> max 1 ((!events * (u + 1)) / (!updates + 1)))
@@ -342,9 +435,18 @@ let run_load () : H.Registry.t * driver =
   for round = 0 to !events - 1 do
     Array.iteri (fun i id -> offer_burst reg rngs.(i) id) ids;
     dr.dr_tick ();
+    Option.iter
+      (fun (sreg, sdr) ->
+        Array.iteri (fun i id -> offer_burst sreg srngs.(i) id) ids;
+        sdr.dr_tick ())
+      shadow;
     if List.mem round update_rounds then begin
       incr version;
-      broadcast dr !version
+      broadcast dr !version (next_edit reg !version);
+      Option.iter
+        (fun (sreg, sdr) ->
+          broadcast ~silent:true sdr !version (next_edit sreg !version))
+        shadow
     end
   done;
   (match dr.dr_drain () with
@@ -353,6 +455,25 @@ let run_load () : H.Registry.t * driver =
   let dt = Unix.gettimeofday () -. t1 in
   check_fleet reg "end of run";
   check_accounting (dr.dr_snapshot ()) "end of run";
+  Option.iter
+    (fun (sreg, sdr) ->
+      (match sdr.dr_drain () with
+      | Ok _ -> ()
+      | Error m -> fail "shadow drain: %s" m);
+      check_fleet sreg "end of run (scratch shadow)";
+      let d = H.Registry.digest reg and sd = H.Registry.digest sreg in
+      if String.equal d sd then
+        say
+          "typecheck cross-check: incremental and scratch fleets \
+           digest-identical (%s)\n"
+          d
+      else
+        fail
+          "typecheck cross-check: incremental fleet digest %s <> scratch \
+           fleet digest %s — the broadcast pipelines diverged"
+          d sd;
+      sdr.dr_shutdown ())
+    shadow;
   let s = dr.dr_snapshot () in
   say "load: %d events in %.2f s (%.0f events/s)\n"
     s.H.Host_metrics.s_events_processed dt
@@ -393,8 +514,8 @@ let run_soak (secs : float) : H.Registry.t * driver =
     if now -. !last_update >= 1.0 then begin
       last_update := now;
       incr version;
-      broadcast dr !version;
-      broadcast ~silent:true sdr !version;
+      broadcast dr !version (next_edit reg !version);
+      broadcast ~silent:true sdr !version (next_edit sreg !version);
       check_fleet reg (Printf.sprintf "soak t=%.0fs" (now -. t0));
       check_accounting (dr.dr_snapshot ())
         (Printf.sprintf "soak t=%.0fs" (now -. t0))

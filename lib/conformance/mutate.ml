@@ -20,6 +20,9 @@ let print (p : Sast.program) : string = Printer.program_to_string p
 let dummy_expr (desc : Sast.desc) : Sast.expr =
   { Sast.desc; loc = Loc.dummy; eid = -1 }
 
+let dummy_stmt (sdesc : Sast.sdesc) : Sast.stmt =
+  { Sast.sdesc; sloc = Loc.dummy; sid = -1 }
+
 (* -- mutation operators ---------------------------------------------- *)
 
 (** Remove one declaration (never the start page).  Usually only
@@ -131,7 +134,71 @@ let add_global (rng : Prng.t) (p : Sast.program) : Sast.program option =
           :: p.Sast.decls;
       }
 
-let operators = [| drop_decl; reset_global; retype_global; add_global |]
+(** Body-only edit class: append a [post] line to one page's render
+    block.  Every declared signature is preserved, so the incremental
+    pipeline classifies exactly this page (and its reverse dependants)
+    dirty, no store binding or stack entry is re-checked, and only the
+    edited page's cache entries are invalidated — the common case of
+    live editing, and the edit class B13 benchmarks. *)
+let edit_page_render (rng : Prng.t) (p : Sast.program) : Sast.program option =
+  let pages =
+    List.filter
+      (fun d -> match d with Sast.DPage _ -> true | _ -> false)
+      p.Sast.decls
+  in
+  match pages with
+  | [] -> None
+  | _ ->
+      let v = Sast.decl_name (Prng.pick rng (Array.of_list pages)) in
+      let line =
+        dummy_stmt
+          (Sast.SPost
+             (dummy_expr (Sast.Str (Printf.sprintf "fz%d" (Prng.int rng 1000)))))
+      in
+      Some
+        {
+          Sast.decls =
+            List.map
+              (fun d ->
+                match d with
+                | Sast.DPage ({ name; prender; _ } as pg)
+                  when String.equal name v ->
+                    Sast.DPage { pg with prender = prender @ [ line ] }
+                | d -> d)
+              p.Sast.decls;
+        }
+
+(** Added-definition edit class: declare a fresh identity function
+    nothing references.  The incremental typecheck must check exactly
+    the new definition; every session's state survives untouched. *)
+let add_fun (rng : Prng.t) (p : Sast.program) : Sast.program option =
+  let name = Printf.sprintf "fzf%d" (Prng.int rng 1000) in
+  if List.exists (fun d -> String.equal (Sast.decl_name d) name) p.Sast.decls
+  then None
+  else
+    Some
+      {
+        Sast.decls =
+          Sast.DFun
+            {
+              name;
+              params = [ ("x", Sast.TyNum) ];
+              ret = Some Sast.TyNum;
+              body = [ dummy_stmt (Sast.SReturn (dummy_expr (Sast.Ref "x"))) ];
+              dloc = Loc.dummy;
+            }
+          :: p.Sast.decls;
+      }
+
+let operators =
+  [|
+    drop_decl;
+    reset_global;
+    retype_global;
+    add_global;
+    edit_page_render;
+    add_fun;
+  |]
 
 let mutate (rng : Prng.t) (src : string) : string option =
   match Compile.parse src with

@@ -224,13 +224,14 @@ let session_config ~(width : int) ~(name : string) ~(incremental : bool)
     byte-for-byte with the plain session — the scheduler batches and
     coalesces only {e painting}, never the Fig. 9 transitions — so the
     fuzzer's whole trace corpus covers the host subsystem for free. *)
-let host_config ~(width : int) ?jobs (boot : Program.t) :
-    (config, string) result =
+let host_config ~(width : int) ?jobs ?(cache = false) ?typecheck
+    (boot : Program.t) : (config, string) result =
   let open Live_host in
   let cfg =
     {
       Registry.default_config with
       Registry.width;
+      cache;
       (* ample headroom: the oracle ticks after every offer, so the
          queue never fills and backpressure can never drop an event
          (a drop would — correctly — be a divergence) *)
@@ -259,15 +260,15 @@ let host_config ~(width : int) ?jobs (boot : Program.t) :
                 let sched =
                   Scheduler.create ~policy:Scheduler.Round_robin ~batch:1 reg
                 in
-                ( "host",
+                ( (if cache then "host-incr" else "host"),
                   (fun () -> Scheduler.tick sched),
-                  (fun code -> Broadcast.update reg code),
+                  (fun code -> Broadcast.update ?typecheck reg code),
                   ignore )
             | Some j ->
                 let pool = Parallel.create ~jobs:j ~batch:1 reg in
                 ( "host-parallel",
                   (fun () -> Parallel.tick pool),
-                  Parallel.update pool,
+                  (fun code -> Parallel.update ?typecheck pool code),
                   fun () -> Parallel.shutdown pool )
           in
           let deliver (ev : Registry.uevent) : (string, string) result =
@@ -376,6 +377,7 @@ let all_configs =
     "cached";
     "incremental";
     "host";
+    "host-incr";
     "host-parallel";
     "restart";
   ]
@@ -431,6 +433,16 @@ let run ?(width = default_width) ?(configs = all_configs) ?sabotage
           | "incremental" ->
               session_config ~width ~name ~incremental:true ~cache:false boot
           | "host" -> host_config ~width boot
+          | "host-incr" ->
+              (* the O(edit) broadcast pipeline, end to end: render
+                 cache retargeted (not flushed) across updates, and
+                 every UPDATE typechecked by {e both} the scratch and
+                 the incremental checker ([Cross_check]) — a verdict
+                 disagreement rejects the broadcast and surfaces here
+                 as a status divergence, so every fuzzed [Mutate] edit
+                 cross-checks the two checkers *)
+              host_config ~width ~cache:true
+                ~typecheck:Live_host.Broadcast.Cross_check boot
           | "host-parallel" -> host_config ~width ~jobs:parallel_jobs boot
           | "restart" -> restart_config ~width boot
           | other -> Error (Printf.sprintf "unknown configuration %S" other)

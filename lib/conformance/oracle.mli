@@ -14,6 +14,15 @@
     - ["host"]      — a {!Live_host} fleet of one, driven end-to-end
       through its ingress queue, batching scheduler and typecheck-once
       broadcast; must agree byte-for-byte with the plain session;
+    - ["host-incr"] — the same fleet of one with the O(edit) broadcast
+      pipeline fully on: render cache enabled and {e retargeted} (not
+      flushed) across updates, targeted fix-up, incremental
+      compilation, and every UPDATE typechecked by both the scratch
+      and the incremental checker
+      ({!Live_host.Broadcast.typecheck_mode} [Cross_check]) — a
+      verdict disagreement rejects the broadcast and shows up as a
+      status divergence, so every golden trace and fuzzed [Mutate]
+      edit differentially verifies the incremental pipeline;
     - ["host-parallel"] — the same fleet of one executed by the
       {!Live_host.Parallel} domain pool (2 domains): taps drain
       through the parallel tick's shard assignment and barrier,

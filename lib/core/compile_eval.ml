@@ -106,9 +106,36 @@ type t = {
       (** direct application, for functions whose body is statically a
           lambda literal (all of them, in desugared programs) *)
   cpages : (Ident.page, cpage) Hashtbl.t;
+  def_sites : (string, int list) Hashtbl.t;
+      (** subtree memoization sites stamped while compiling each
+          definition — lets {!get_incremental} carry a reused
+          definition's sites over to the next compilation *)
+  sites : (int, unit) Hashtbl.t;
+      (** every site live in this compilation (stamped fresh or carried
+          over) — the domain of {!site_live} *)
+  mutable cur_def : string option;
+      (** the definition being compiled right now (compile time only;
+          always [None] once compilation finishes) *)
 }
 
 let program (t : t) = t.cprog
+
+let site_live (t : t) (site : int) : bool = Hashtbl.mem t.sites site
+
+(* Stamp a fresh memoization site and attribute it to the definition
+   being compiled.  Dynamic (re)compilations pass no [cur_def] and are
+   never reused, so only static sites are recorded. *)
+let record_site (ct : t) : int =
+  let site = fresh_site () in
+  Hashtbl.replace ct.sites site ();
+  (match ct.cur_def with
+  | Some d ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt ct.def_sites d)
+      in
+      Hashtbl.replace ct.def_sites d (site :: prev)
+  | None -> ());
+  site
 
 (* ------------------------------------------------------------------ *)
 (* Value reification                                                   *)
@@ -289,7 +316,7 @@ let rec compile_e (ct : t) ~(static : bool) (senv : Ident.var list)
   | Ast.Boxed (id, inner) ->
       let ci = compile_e ct ~static senv inner in
       if static then
-        let site = fresh_site () in
+        let site = record_site ct in
         let slots = captured senv (Ast.free_vars inner) in
         fun rt env -> (
           tick rt;
@@ -441,35 +468,99 @@ let compile_apply (ct : t) ~(static : bool) (e : Ast.expr) : apply =
 (* Program compilation and the compile cache                           *)
 (* ------------------------------------------------------------------ *)
 
-let compile (prog : Program.t) : t =
-  let ct =
+let empty_ct (prog : Program.t) : t =
+  {
+    cprog = prog;
+    funcs = Hashtbl.create 16;
+    fapply = Hashtbl.create 16;
+    cpages = Hashtbl.create 8;
+    def_sites = Hashtbl.create 16;
+    sites = Hashtbl.create 32;
+    cur_def = None;
+  }
+
+let compile_func (ct : t) (f : Ident.func) (body : Ast.expr) : unit =
+  ct.cur_def <- Some f;
+  Hashtbl.replace ct.funcs f (compile_e ct ~static:true [] body);
+  (match body with
+  | Ast.Val (Ast.VLam _) ->
+      Hashtbl.replace ct.fapply f (compile_apply ct ~static:true body)
+  | _ -> ());
+  ct.cur_def <- None
+
+let compile_page (ct : t) (p : Ident.page) (init : Ast.expr)
+    (render : Ast.expr) : unit =
+  ct.cur_def <- Some p;
+  Hashtbl.replace ct.cpages p
     {
-      cprog = prog;
-      funcs = Hashtbl.create 16;
-      fapply = Hashtbl.create 16;
-      cpages = Hashtbl.create 8;
-    }
-  in
+      p_init = compile_apply ct ~static:true init;
+      p_render = compile_apply ct ~static:true render;
+    };
+  ct.cur_def <- None
+
+let compile (prog : Program.t) : t =
+  let ct = empty_ct prog in
   (* Eagerly compile every function and page body.  Recursion (and
      mutual recursion) works because compiled [Fn] references resolve
      through the tables at run time, after all of them are filled.
      Eager — not lazy — because [Lazy.t] is not safe to force from
      multiple domains, and compiled programs are shared fleet-wide. *)
   List.iter
+    (fun (f, _, body) -> compile_func ct f body)
+    (Program.functions prog);
+  List.iter
+    (fun (p, _, init, render) -> compile_page ct p init render)
+    (Program.pages prog);
+  ct
+
+(** Compile [prog] reusing [old_ct]'s compiled definitions for every
+    name the diff proves transitively clean; only dirty definitions are
+    recompiled.
+
+    Soundness of reuse: a reused closure resolves [Fn f] through the
+    tables of the compilation it was {e born} in ([old_ct] — closures
+    capture their [ct]), so everything it can reach at run time is a
+    definition it (transitively) references.  The diff's dirty set is
+    closed under reverse dependencies, so a transitively-clean
+    definition references only transitively-clean definitions — whose
+    old compiled code is byte-for-byte the code a fresh compilation
+    would produce (compilation is deterministic up to site ids).
+    Global reads never go through the tables at all: [Get] reads
+    [rt.prog], and every entry point builds [rt] from the {e new}
+    compilation's [cprog], so reused code observes new initial values
+    correctly.  Reused definitions keep their memoization site ids
+    (globally unique, so no collision with fresh ones) — their cached
+    subtrees stay valid; recompiled definitions get fresh ids, so
+    their stale cache entries become unreachable (and
+    {!Render_cache.retarget} evicts them by site liveness). *)
+let compile_incremental ~(diff : Program_diff.t) (old_ct : t)
+    (prog : Program.t) : t =
+  let ct = empty_ct prog in
+  let carry_sites name =
+    match Hashtbl.find_opt old_ct.def_sites name with
+    | Some sites ->
+        Hashtbl.replace ct.def_sites name sites;
+        List.iter (fun s -> Hashtbl.replace ct.sites s ()) sites
+    | None -> ()
+  in
+  List.iter
     (fun (f, _, body) ->
-      Hashtbl.replace ct.funcs f (compile_e ct ~static:true [] body);
-      match body with
-      | Ast.Val (Ast.VLam _) ->
-          Hashtbl.replace ct.fapply f (compile_apply ct ~static:true body)
-      | _ -> ())
+      match Hashtbl.find_opt old_ct.funcs f with
+      | Some c when not (Program_diff.is_dirty diff f) ->
+          Hashtbl.replace ct.funcs f c;
+          (match Hashtbl.find_opt old_ct.fapply f with
+          | Some ap -> Hashtbl.replace ct.fapply f ap
+          | None -> ());
+          carry_sites f
+      | _ -> compile_func ct f body)
     (Program.functions prog);
   List.iter
     (fun (p, _, init, render) ->
-      Hashtbl.replace ct.cpages p
-        {
-          p_init = compile_apply ct ~static:true init;
-          p_render = compile_apply ct ~static:true render;
-        })
+      match Hashtbl.find_opt old_ct.cpages p with
+      | Some cp when not (Program_diff.is_dirty diff p) ->
+          Hashtbl.replace ct.cpages p cp;
+          carry_sites p
+      | _ -> compile_page ct p init render)
     (Program.pages prog);
   ct
 
@@ -484,32 +575,47 @@ let cache : (Program.t * t) list Atomic.t = Atomic.make []
 
 let cache_size () = List.length (Atomic.get cache)
 
-let get (prog : Program.t) : t =
-  let find entries =
-    let rec go = function
-      | [] -> None
-      | (p, c) :: tl -> if p == prog then Some c else go tl
-    in
-    go entries
+let find_cached (prog : Program.t) (entries : (Program.t * t) list) :
+    t option =
+  let rec go = function
+    | [] -> None
+    | (p, c) :: tl -> if p == prog then Some c else go tl
   in
-  match find (Atomic.get cache) with
+  go entries
+
+let publish (prog : Program.t) (c : t) : t =
+  let rec loop () =
+    let old = Atomic.get cache in
+    match find_cached prog old with
+    | Some c' -> c' (* another domain won the race; use its result *)
+    | None ->
+        let trimmed =
+          if List.length old >= cache_limit then
+            List.filteri (fun i _ -> i < cache_limit - 1) old
+          else old
+        in
+        if Atomic.compare_and_set cache old ((prog, c) :: trimmed) then c
+        else loop ()
+  in
+  loop ()
+
+let get (prog : Program.t) : t =
+  match find_cached prog (Atomic.get cache) with
+  | Some c -> c
+  | None -> publish prog (compile prog)
+
+let get_incremental ~(diff : Program_diff.t) (prog : Program.t) : t =
+  match find_cached prog (Atomic.get cache) with
   | Some c -> c
   | None ->
-      let c = compile prog in
-      let rec publish () =
-        let old = Atomic.get cache in
-        match find old with
-        | Some c' -> c' (* another domain won the race; use its result *)
-        | None ->
-            let trimmed =
-              if List.length old >= cache_limit then
-                List.filteri (fun i _ -> i < cache_limit - 1) old
-              else old
-            in
-            if Atomic.compare_and_set cache old ((prog, c) :: trimmed) then c
-            else publish ()
+      let c =
+        match find_cached (Program_diff.old_program diff) (Atomic.get cache)
+        with
+        | Some old_ct when Program_diff.new_program diff == prog ->
+            compile_incremental ~diff old_ct prog
+        | _ -> compile prog (* old compilation evicted: start over *)
       in
-      publish ()
+      publish prog c
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)

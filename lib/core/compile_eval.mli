@@ -39,6 +39,25 @@ val get : Program.t -> t
     identical) program.  The broadcast path calls this once per UPDATE
     so the whole fleet shares one compilation. *)
 
+val get_incremental : diff:Program_diff.t -> Program.t -> t
+(** Like {!get}, but when the diff's old program is still in the
+    compile cache, reuse its compiled definitions for every name the
+    diff proves transitively clean and recompile only the dirty ones —
+    O(edit) instead of O(program) for a small edit.  Reused definitions
+    keep their subtree memoization site ids, so a session's
+    {!Render_cache} compiled-subtree entries for clean code stay valid
+    across the swap (see {!Render_cache.retarget} and {!site_live});
+    recompiled definitions get fresh ids, making their stale entries
+    unreachable.  Falls back to a full {!compile} when the old
+    compilation has been evicted.  The result is published in the same
+    cache, so subsequent {!get} calls for the new program hit. *)
+
+val site_live : t -> int -> bool
+(** Whether a [boxed] memoization site id belongs to this compilation
+    (stamped fresh, or carried over from the previous compilation by
+    {!get_incremental}).  {!Render_cache.retarget} uses this as the
+    compiled-subtree retention predicate. *)
+
 val compile : Program.t -> t
 (** Always compile afresh (benchmarks measuring compilation cost). *)
 

@@ -14,26 +14,46 @@
 
     "Essentially, it just deletes whatever does not type." *)
 
-(** [C' : S . S'] — the store fix-up. *)
-let fixup_store (new_code : Program.t) (s : Store.t) : Store.t =
-  Store.filter
-    (fun g v ->
+(* With a diff of the edit in hand, the Fig. 12 walk becomes targeted:
+   a binding whose declaration kept its kind and declared type survives
+   without being re-checked.  This is sound because the declared types
+   here are arrow-free (T-C-GLOBAL / T-C-PAGE), so a value that checked
+   against the type once checks forever — {!Typecheck.check_value}
+   consults the program only under arrows, which an arrow-free-typed
+   value cannot contain.  The old state being well-typed (C |- S,
+   C |- P — the machine's preservation invariant) supplies that
+   "checked once".  Everything else — removed, retyped, kind-changed or
+   somehow-undeclared names — takes the full S-/P-rule check, so the
+   targeted walk deletes exactly what the full walk deletes. *)
+
+let global_survives ?diff (new_code : Program.t) (g : Ident.global)
+    (v : Ast.value) : bool =
+  match diff with
+  | Some d when Program_diff.global_preserved d g -> true (* S-OKAY *)
+  | _ -> (
       match Program.find_global new_code g with
       | None -> false (* S-SKIP: g not in C' *)
       | Some (ty, _) -> Typecheck.check_value new_code v ty
       (* S-OKAY / S-SKIP on type mismatch *))
-    s
 
-(** [C' : P . P'] — the page stack fix-up. *)
-let fixup_stack (new_code : Program.t) (p : (Ident.page * Ast.value) list) :
-    (Ident.page * Ast.value) list =
-  List.filter
-    (fun (page, v) ->
+let page_survives ?diff (new_code : Program.t) (page : Ident.page)
+    (v : Ast.value) : bool =
+  match diff with
+  | Some d when Program_diff.page_preserved d page -> true (* P-OKAY *)
+  | _ -> (
       match Program.find_page new_code page with
       | None -> false (* P-SKIP: p not in C' *)
       | Some (arg_ty, _, _) -> Typecheck.check_value new_code v arg_ty
       (* P-OKAY *))
-    p
+
+(** [C' : S . S'] — the store fix-up. *)
+let fixup_store ?diff (new_code : Program.t) (s : Store.t) : Store.t =
+  Store.filter (global_survives ?diff new_code) s
+
+(** [C' : P . P'] — the page stack fix-up. *)
+let fixup_stack ?diff (new_code : Program.t)
+    (p : (Ident.page * Ast.value) list) : (Ident.page * Ast.value) list =
+  List.filter (fun (page, v) -> page_survives ?diff new_code page v) p
 
 (** Statistics about what a fix-up deleted — surfaced to the programmer
     by the live environment ("your edit reset global [xs]"). *)
@@ -42,11 +62,11 @@ type report = {
   dropped_pages : Ident.page list;
 }
 
-let fixup_with_report (new_code : Program.t) (store : Store.t)
+let fixup_with_report ?diff (new_code : Program.t) (store : Store.t)
     (stack : (Ident.page * Ast.value) list) :
     Store.t * (Ident.page * Ast.value) list * report =
-  let store' = fixup_store new_code store in
-  let stack' = fixup_stack new_code stack in
+  let store' = fixup_store ?diff new_code store in
+  let stack' = fixup_stack ?diff new_code stack in
   let dropped_globals =
     List.filter_map
       (fun (g, _) -> if Store.mem g store' then None else Some g)
@@ -55,12 +75,7 @@ let fixup_with_report (new_code : Program.t) (store : Store.t)
   let dropped_pages =
     List.filter_map
       (fun (page, v) ->
-        let survives =
-          match Program.find_page new_code page with
-          | None -> false
-          | Some (arg_ty, _, _) -> Typecheck.check_value new_code v arg_ty
-        in
-        if survives then None else Some page)
+        if page_survives ?diff new_code page v then None else Some page)
       stack
   in
   (store', stack', { dropped_globals; dropped_pages })

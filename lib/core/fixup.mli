@@ -3,15 +3,23 @@
     the fixed-up store and page stack always type under the new code
     (tested in [test/test_fixup.ml]). *)
 
-val fixup_store : Program.t -> Store.t -> Store.t
+val fixup_store : ?diff:Program_diff.t -> Program.t -> Store.t -> Store.t
 (** [C' : S . S'] — keep [g -> v] iff [C'] declares [g] and [v] checks
-    against its declared type (S-OKAY / S-SKIP). *)
+    against its declared type (S-OKAY / S-SKIP).  With [diff] the walk
+    is targeted: a binding whose global kept its declared (arrow-free)
+    type survives without re-checking — same deletions, O(edit) checks.
+    Sound because arrow-free-typed values never consult the program
+    when checked, so survival depends only on (value, declared type),
+    and the machine's preservation invariant says the value checked
+    under the old code. *)
 
 val fixup_stack :
+  ?diff:Program_diff.t ->
   Program.t ->
   (Ident.page * Ast.value) list ->
   (Ident.page * Ast.value) list
-(** [C' : P . P'] (P-OKAY / P-SKIP). *)
+(** [C' : P . P'] (P-OKAY / P-SKIP), targeted like {!fixup_store} when
+    [diff] is given (page argument types are arrow-free too). *)
 
 type report = {
   dropped_globals : Ident.global list;
@@ -21,10 +29,13 @@ type report = {
     environment ("your edit reset global xs"). *)
 
 val fixup_with_report :
+  ?diff:Program_diff.t ->
   Program.t ->
   Store.t ->
   (Ident.page * Ast.value) list ->
   Store.t * (Ident.page * Ast.value) list * report
+(** The two fix-ups plus the deletion report, targeted when [diff] is
+    given — the report is byte-identical either way. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** ["dropped globals a, b; dropped pages p"], or ["nothing dropped"] —

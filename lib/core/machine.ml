@@ -264,6 +264,42 @@ let check_program (new_code : Program.t) : (unit, error) result =
   | Ok () -> Ok ()
   | Error m -> Error (Ill_typed m)
 
+(** [C' |- C'] by derivation reuse: re-derive only the definitions the
+    diff marks for recheck, keep every other derivation from the old
+    code's accepted run.
+
+    Soundness (why the skipped derivations are still valid): a
+    definition's derivation reads (a) its own source and (b) the
+    {e existence} and {e declared type} of every name it references —
+    nothing else, because definitions carry declared signatures and the
+    typing rules look them up rather than re-deriving bodies.  A
+    definition outside the recheck set is unchanged and none of its
+    references changed signature or disappeared, so replaying its old
+    derivation under the new code succeeds step for step.  Hence any
+    definition that fails under [C'] is in the recheck set, and the
+    incremental walk (same order, same per-definition judgment, full
+    duplicate scan) reports the same first error the from-scratch
+    checker would.  Precondition: [Program_diff.old_program diff]
+    passed {!check_program} — callers (the broadcast path) track this
+    with a checked flag and fall back to {!check_program} otherwise.
+    The scratch/incremental agreement is cross-checked for every
+    mutation the conformance fuzzer can produce (the ["host-incr"]
+    oracle configuration) and in [test/test_program_diff.ml]. *)
+let check_program_incremental ~(diff : Program_diff.t)
+    (new_code : Program.t) : (unit, error) result =
+  let* () =
+    match
+      State_typing.check_code_filtered
+        ~recheck:(Program_diff.needs_recheck diff)
+        new_code
+    with
+    | Ok () -> Ok ()
+    | Error m -> Error (Ill_typed m)
+  in
+  match State_typing.check_start new_code with
+  | Ok () -> Ok ()
+  | Error m -> Error (Ill_typed m)
+
 (** (UPDATE): from a state with an empty event queue, swap in arbitrary
     new code [C'], provided [C' |- C'] (and T-SYS's start-page
     condition), and fix up the store and page stack per Fig. 12.  The
@@ -271,14 +307,23 @@ let check_program (new_code : Program.t) : (unit, error) result =
     code applied to the surviving model state.  [checked] skips the
     code premise when the caller already discharged it via
     {!check_program} (the broadcast fast path). *)
-let update ?(checked = false) ?(report = ref None) (new_code : Program.t)
-    (st : State.t) : State.t outcome =
+let update ?(checked = false) ?diff ?(report = ref None)
+    (new_code : Program.t) (st : State.t) : State.t outcome =
   let* () =
     guard (Fqueue.is_empty st.queue) "UPDATE requires an empty event queue"
   in
   let* () = if checked then Ok () else check_program new_code in
+  (* a diff computed against different code must not steer the fix-up *)
+  let diff =
+    match diff with
+    | Some d
+      when Program_diff.old_program d == st.code
+           && Program_diff.new_program d == new_code ->
+        diff
+    | _ -> None
+  in
   let store, stack, rep =
-    Fixup.fixup_with_report new_code st.store st.stack
+    Fixup.fixup_with_report ?diff new_code st.store st.stack
   in
   report := Some rep;
   Ok

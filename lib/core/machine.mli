@@ -71,8 +71,20 @@ val check_program : Program.t -> (unit, error) result
     start-page condition.  A multi-session host typechecks an edit once
     with this, then applies it fleet-wide with [update ~checked:true]. *)
 
+val check_program_incremental :
+  diff:Program_diff.t -> Program.t -> (unit, error) result
+(** {!check_program} by derivation reuse: re-derive only the diff's
+    recheck set, O(edit) instead of O(program).  Accepts and rejects
+    exactly as {!check_program} does, with the same first error —
+    provided the diff's old program previously passed {!check_program}
+    (the caller's obligation; {!Live_host.Broadcast} tracks it with a
+    per-registry checked flag).  The from-scratch checker remains the
+    oracle: the conformance fuzzer cross-checks the two on every
+    broadcast it generates. *)
+
 val update :
   ?checked:bool ->
+  ?diff:Program_diff.t ->
   ?report:Fixup.report option ref ->
   Program.t ->
   State.t ->
@@ -81,7 +93,11 @@ val update :
     code provided [C' |- C'] (plus the start-page condition); fix up
     store and stack per Fig. 12; invalidate the display.  [checked]
     skips the {!check_program} premise when the caller has already
-    discharged it (the empty-queue premise is always re-checked). *)
+    discharged it (the empty-queue premise is always re-checked).
+    [diff] makes the fix-up targeted ({!Fixup.fixup_with_report}):
+    bindings whose declarations kept their signature survive without
+    re-checking.  A diff whose endpoints are not physically this
+    state's code and [new_code] is ignored (full fix-up). *)
 
 val run_to_stable :
   ?fuel:int ->

@@ -1,0 +1,234 @@
+(** Structural diff between two programs (see the interface for the
+    soundness contract).  The diff is computed once per UPDATE and then
+    drives every O(edit) path: incremental re-typechecking
+    ({!State_typing.check_code_filtered}), targeted fix-up ({!Fixup}),
+    compiled-code reuse ({!Compile_eval.get_incremental}) and scoped
+    render-cache invalidation ({!Render_cache.retarget}). *)
+
+module SS = Ast.StringSet
+
+type status = Unchanged | Body_changed | Sig_changed | Added | Removed
+
+let status_to_string = function
+  | Unchanged -> "unchanged"
+  | Body_changed -> "body-changed"
+  | Sig_changed -> "sig-changed"
+  | Added -> "added"
+  | Removed -> "removed"
+
+(* -- static references of definitions -------------------------------- *)
+
+(* Every name a definition can reach at evaluation or typing time
+   appears syntactically in its source: [Fn] for functions, [Get]/[Set]
+   for globals, [Push] for pages.  Values are walked too because lambda
+   literals ([on tapped] handlers, thunk encodings) carry expressions. *)
+let rec refs_value (acc : SS.t) (v : Ast.value) : SS.t =
+  match v with
+  | Ast.VNum _ | Ast.VStr _ -> acc
+  | Ast.VTuple vs | Ast.VList (_, vs) -> List.fold_left refs_value acc vs
+  | Ast.VLam (_, _, body) -> refs_expr acc body
+
+and refs_expr (acc : SS.t) (e : Ast.expr) : SS.t =
+  match e with
+  | Ast.Val v -> refs_value acc v
+  | Ast.Var _ | Ast.Pop -> acc
+  | Ast.Tuple es -> List.fold_left refs_expr acc es
+  | Ast.App (e1, e2) -> refs_expr (refs_expr acc e1) e2
+  | Ast.Fn f -> SS.add f acc
+  | Ast.Proj (e1, _) -> refs_expr acc e1
+  | Ast.Get g -> SS.add g acc
+  | Ast.Set (g, e1) -> refs_expr (SS.add g acc) e1
+  | Ast.Push (p, e1) -> refs_expr (SS.add p acc) e1
+  | Ast.Boxed (_, e1) | Ast.Post e1 | Ast.SetAttr (_, e1) -> refs_expr acc e1
+  | Ast.Prim (_, _, es) -> List.fold_left refs_expr acc es
+
+let def_refs (d : Program.def) : SS.t =
+  match d with
+  | Program.Global { init; _ } -> refs_value SS.empty init
+  | Program.Func { body; _ } -> refs_expr SS.empty body
+  | Program.Page { init; render; _ } -> refs_expr (refs_expr SS.empty init) render
+
+let expr_refs (e : Ast.expr) : SS.t = refs_expr SS.empty e
+let value_refs (v : Ast.value) : SS.t = refs_value SS.empty v
+
+(* -- per-definition classification ----------------------------------- *)
+
+(** The {e signature} of a definition is what other derivations can
+    depend on: its kind plus its declared type (globals and functions
+    have declared types; a page's is its argument type).  Bodies are
+    invisible to other definitions' typing derivations. *)
+let classify (d_old : Program.def) (d_new : Program.def) : status =
+  if d_old == d_new then Unchanged (* [Program.with_def] shares untouched defs *)
+  else
+    match (d_old, d_new) with
+    | ( Program.Global { ty = ty1; init = i1; _ },
+        Program.Global { ty = ty2; init = i2; _ } ) ->
+        if not (Typ.equal ty1 ty2) then Sig_changed
+        else if Ast.equal_value i1 i2 then Unchanged
+        else Body_changed
+    | ( Program.Func { ty = ty1; body = b1; _ },
+        Program.Func { ty = ty2; body = b2; _ } ) ->
+        if not (Typ.equal ty1 ty2) then Sig_changed
+        else if Ast.equal_expr b1 b2 then Unchanged
+        else Body_changed
+    | ( Program.Page { arg_ty = a1; init = i1; render = r1; _ },
+        Program.Page { arg_ty = a2; init = i2; render = r2; _ } ) ->
+        if not (Typ.equal a1 a2) then Sig_changed
+        else if Ast.equal_expr i1 i2 && Ast.equal_expr r1 r2 then Unchanged
+        else Body_changed
+    | _ -> Sig_changed (* kind change: global became a page, ... *)
+
+type t = {
+  old_prog : Program.t;
+  new_prog : Program.t;
+  status : (string, status) Hashtbl.t;
+      (** names of old ∪ new whose status is {e not} [Unchanged] —
+          absence means unchanged *)
+  deps : (string, SS.t) Hashtbl.t;  (** static refs, per new definition *)
+  dirty : (string, unit) Hashtbl.t;
+      (** semantic dirty set: transitive reverse-dependency closure of
+          every non-[Unchanged] name (removed names included) *)
+  recheck : (string, unit) Hashtbl.t;
+      (** definitions whose typing derivation must be re-derived *)
+}
+
+let old_program (d : t) = d.old_prog
+let new_program (d : t) = d.new_prog
+
+let status (d : t) (name : string) : status =
+  Option.value (Hashtbl.find_opt d.status name) ~default:Unchanged
+
+let changed (d : t) : (string * status) list =
+  Hashtbl.fold (fun n s acc -> (n, s) :: acc) d.status []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let identical (d : t) : bool = Hashtbl.length d.status = 0
+let is_dirty (d : t) (name : string) : bool = Hashtbl.mem d.dirty name
+let dirty_count (d : t) : int = Hashtbl.length d.dirty
+let needs_recheck (d : t) (name : string) : bool = Hashtbl.mem d.recheck name
+let recheck_count (d : t) : int = Hashtbl.length d.recheck
+
+let diff ~(old_prog : Program.t) (new_prog : Program.t) : t =
+  let status = Hashtbl.create 16 in
+  let deps = Hashtbl.create 16 in
+  (* classify every name of old ∪ new *)
+  List.iter
+    (fun d_new ->
+      let name = Program.def_name d_new in
+      Hashtbl.replace deps name (def_refs d_new);
+      let st =
+        match Program.find old_prog name with
+        | None -> Added
+        | Some d_old -> classify d_old d_new
+      in
+      if st <> Unchanged then Hashtbl.replace status name st)
+    (Program.defs new_prog);
+  List.iter
+    (fun d_old ->
+      let name = Program.def_name d_old in
+      if not (Program.mem new_prog name) then Hashtbl.replace status name Removed)
+    (Program.defs old_prog);
+  (* reverse-dependency adjacency over the new program; removed names
+     appear as targets so their referrers are reachable from the seed *)
+  let rdeps : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let name = Program.def_name d in
+      SS.iter
+        (fun r ->
+          Hashtbl.replace rdeps r
+            (name :: Option.value (Hashtbl.find_opt rdeps r) ~default:[]))
+        (Hashtbl.find deps name))
+    (Program.defs new_prog);
+  (* dirty = transitive reverse closure of every changed name, plus any
+     definition with a reference that resolves nowhere (conservative;
+     such a program is ill-typed anyway) *)
+  let dirty = Hashtbl.create 16 in
+  let work = Queue.create () in
+  let mark n =
+    if not (Hashtbl.mem dirty n) then begin
+      Hashtbl.replace dirty n ();
+      Queue.add n work
+    end
+  in
+  Hashtbl.iter (fun n _ -> mark n) status;
+  List.iter
+    (fun d ->
+      let name = Program.def_name d in
+      if
+        SS.exists
+          (fun r -> not (Program.mem new_prog r))
+          (Hashtbl.find deps name)
+      then mark name)
+    (Program.defs new_prog);
+  while not (Queue.is_empty work) do
+    let n = Queue.pop work in
+    List.iter mark (Option.value (Hashtbl.find_opt rdeps n) ~default:[])
+  done;
+  (* recheck: declared signatures cut the typing dependency chain — a
+     derivation reads only its own source plus the existence and
+     declared types of the names it references, so only edited
+     definitions and the {e direct} referrers of a signature-level
+     change need re-derivation *)
+  let recheck = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let name = Program.def_name d in
+      let self_changed =
+        match Hashtbl.find_opt status name with
+        | Some (Added | Body_changed | Sig_changed) -> true
+        | Some (Unchanged | Removed) | None -> false
+      in
+      let dep_sig_changed =
+        SS.exists
+          (fun r ->
+            (not (Program.mem new_prog r))
+            ||
+            match Hashtbl.find_opt status r with
+            | Some (Sig_changed | Removed | Added) -> true
+            | Some (Unchanged | Body_changed) | None -> false)
+          (Hashtbl.find deps name)
+      in
+      if self_changed || dep_sig_changed then Hashtbl.replace recheck name ())
+    (Program.defs new_prog);
+  { old_prog; new_prog; status; deps; dirty; recheck }
+
+(* -- fix-up and cache-retention predicates --------------------------- *)
+
+(** A store binding for [g] survives any fix-up unchanged when the new
+    code still declares [g] as a global at the same declared type
+    ([Unchanged] or [Body_changed]): store values are arrow-free, so
+    S-OKAY depends only on (value, declared type), both untouched. *)
+let global_preserved (d : t) (g : string) : bool =
+  (match status d g with Unchanged | Body_changed -> true | _ -> false)
+  && (match Program.find d.new_prog g with
+     | Some (Program.Global _) -> true
+     | _ -> false)
+
+(** Same for a page-stack entry: the page still exists at the same
+    argument type, so P-OKAY's premise is untouched. *)
+let page_preserved (d : t) (p : string) : bool =
+  (match status d p with Unchanged | Body_changed -> true | _ -> false)
+  && (match Program.find d.new_prog p with
+     | Some (Program.Page _) -> true
+     | _ -> false)
+
+let refs_clean (d : t) (rs : SS.t) : bool =
+  SS.for_all (fun r -> Program.mem d.new_prog r && not (is_dirty d r)) rs
+
+(** Every name a (closed) expression references resolves to a
+    transitively-clean definition of the new program — the condition
+    under which re-evaluating it under the new code follows the same
+    path as under the old (its recorded global reads are validated
+    separately, against the new program's initials). *)
+let expr_clean (d : t) (e : Ast.expr) : bool = refs_clean d (expr_refs e)
+let value_clean (d : t) (v : Ast.value) : bool = refs_clean d (value_refs v)
+
+let pp ppf (d : t) =
+  if identical d then Fmt.string ppf "no definition changed"
+  else
+    Fmt.pf ppf "@[<v>%a@ dirty %d, recheck %d@]"
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (n, s) ->
+            Fmt.pf ppf "%s:%s" n (status_to_string s)))
+      (changed d) (dirty_count d) (recheck_count d)

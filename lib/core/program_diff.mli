@@ -1,0 +1,90 @@
+(** Structural diff between two programs — the blast-radius analysis
+    behind O(edit) live updates.
+
+    The UPDATE transition (Fig. 9) supports arbitrary code changes, but
+    the edits a live programming session actually broadcasts touch one
+    or two definitions.  This module compares the old and new code
+    definition by definition and computes the two sets every
+    incremental path needs:
+
+    - the {b recheck set}: definitions whose typing derivation must be
+      re-derived.  Definitions have {e declared} signatures (a global's
+      type, a function's arrow type, a page's argument type), so a
+      derivation depends only on its own source plus the existence and
+      declared types of the names it references — signature changes
+      reach their {e direct} referrers and stop there;
+    - the {b (semantic) dirty set}: the transitive reverse-dependency
+      closure of every changed, added or removed definition.  Anything
+      outside it evaluates identically under old and new code, which is
+      what makes compiled-code reuse ({!Compile_eval.get_incremental})
+      and scoped render-cache retention ({!Render_cache.retarget})
+      sound.
+
+    Unchanged definitions are detected by physical identity first (the
+    editor's {!Program.with_def} shares untouched definitions), then
+    structurally; a re-parsed program that re-stamps source ids simply
+    classifies more definitions as changed — conservative, never
+    unsound. *)
+
+type status =
+  | Unchanged
+  | Body_changed  (** same declared signature, different body *)
+  | Sig_changed  (** declared type or definition kind changed *)
+  | Added
+  | Removed
+
+val status_to_string : status -> string
+
+type t
+
+val diff : old_prog:Program.t -> Program.t -> t
+(** Classify every definition of [old_prog ∪ new_prog] and close the
+    dirty set over the new program's reverse dependency graph.  O(size
+    of the two programs) with small constants — one structural
+    comparison per definition (O(1) for physically shared ones) and one
+    linear reverse-reachability pass. *)
+
+val old_program : t -> Program.t
+val new_program : t -> Program.t
+
+val status : t -> string -> status
+(** [Unchanged] for names defined (identically) in both programs or in
+    neither. *)
+
+val changed : t -> (string * status) list
+(** Every non-[Unchanged] name with its status, sorted. *)
+
+val identical : t -> bool
+(** No definition changed at all (the no-op edit). *)
+
+val is_dirty : t -> string -> bool
+(** Membership in the semantic dirty set: the name changed, or some
+    definition it transitively reaches did.  Removed names are dirty. *)
+
+val dirty_count : t -> int
+
+val needs_recheck : t -> string -> bool
+(** The definition's typing derivation must be re-derived: it changed,
+    or a name it references directly was signature-changed, added or
+    removed. *)
+
+val recheck_count : t -> int
+
+val global_preserved : t -> string -> bool
+(** The new code declares this global at the same declared type, so a
+    well-typed store binding for it survives fix-up without being
+    re-checked (S-OKAY's premise is untouched — store values are
+    arrow-free, hence their typing never consults the program). *)
+
+val page_preserved : t -> string -> bool
+(** Same, for a page-stack entry (P-OKAY). *)
+
+val expr_clean : t -> Ast.expr -> bool
+(** Every definition the (closed) expression references is present and
+    transitively clean — evaluating it under the new code follows the
+    same path as under the old.  Used to retain render-cache subtree
+    entries across an UPDATE. *)
+
+val value_clean : t -> Ast.value -> bool
+
+val pp : Format.formatter -> t -> unit

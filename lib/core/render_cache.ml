@@ -64,6 +64,8 @@ type stats = {
   misses : int;  (** subtree evaluations that populated an entry *)
   revalidations : int;  (** whole displays revalidated without evaluation *)
   flushes : int;  (** wholesale invalidations (code changes) *)
+  retargets : int;  (** scoped invalidations (diffed code changes) *)
+  evictions : int;  (** entries dropped by scoped invalidation *)
 }
 
 type t = {
@@ -89,6 +91,8 @@ type t = {
   mutable misses : int;
   mutable revalidations : int;
   mutable flushes : int;
+  mutable retargets : int;
+  mutable evictions : int;
 }
 
 (** Wholesale-flush threshold: beyond this many subtree entries the
@@ -108,6 +112,8 @@ let create ?(capacity = default_capacity) () : t =
     misses = 0;
     revalidations = 0;
     flushes = 0;
+    retargets = 0;
+    evictions = 0;
   }
 
 let stats (c : t) : stats =
@@ -116,6 +122,8 @@ let stats (c : t) : stats =
     misses = c.misses;
     revalidations = c.revalidations;
     flushes = c.flushes;
+    retargets = c.retargets;
+    evictions = c.evictions;
   }
 
 let size (c : t) = Hashtbl.length c.subtrees + Hashtbl.length c.csubtrees
@@ -137,6 +145,71 @@ let ensure_code (c : t) (prog : Program.t) : unit =
   | Some _ when c.sabotage_no_flush -> c.code <- Some prog
   | Some _ -> flush c; c.code <- Some prog
   | None -> c.code <- Some prog
+
+(** Scoped invalidation on a code swap: rebind the cache to [new_prog]
+    keeping every entry the diff proves still replayable, instead of
+    the wholesale flush {!ensure_code} would perform.
+
+    Retention conditions, per layer:
+
+    - a {b display} entry for page [p] survives iff [p] is transitively
+      clean: re-rendering [p] evaluates only [p]'s body and the
+      definitions it transitively references, all unchanged, so under
+      the same argument and reads it reproduces the cached box tree
+      byte for byte.  (The reads are still re-validated against the
+      {e new} program on every hit, so a changed initial value read
+      through EP-GLOBAL-2 misses as it must.)
+    - a {b subtree} entry survives iff every definition its (closed)
+      expression references is transitively clean
+      ({!Program_diff.expr_clean}) — same argument, at subtree
+      granularity.
+    - a {b compiled-subtree} entry survives iff [keep_csite] accepts
+      its site id.  Site ids are compilation-scoped: the caller passes
+      the liveness predicate of the {e new} compilation
+      ({!Compile_eval.site_live}), which inherited the ids of reused
+      (clean) definitions and stamped fresh ids for recompiled ones —
+      so surviving entries are exactly those belonging to compiled
+      code that is still running, and entries of recompiled
+      definitions become unreachable garbage and are dropped here.
+
+    If the cache is not currently bound to the diff's old program the
+    entries' provenance is unknown and the whole thing degrades to the
+    wholesale flush — never wrong, just slower. *)
+let retarget (c : t) ~(diff : Program_diff.t) ~(keep_csite : int -> bool)
+    (new_prog : Program.t) : unit =
+  match c.code with
+  | Some p
+    when p == Program_diff.old_program diff
+         && new_prog == Program_diff.new_program diff
+         && not c.sabotage_no_flush ->
+      let evict tbl keep =
+        let doomed =
+          Hashtbl.fold
+            (fun k e acc -> if keep e then acc else k :: acc)
+            tbl []
+        in
+        List.iter (Hashtbl.remove tbl) doomed;
+        c.evictions <- c.evictions + List.length doomed
+      in
+      evict c.displays (fun (d : display_entry) ->
+          not (Program_diff.is_dirty diff d.page));
+      evict c.subtrees (fun (e : subtree_entry) ->
+          Program_diff.expr_clean diff e.expr);
+      (* csubtree keys carry the site id; filter on it directly *)
+      let doomed_sites =
+        Hashtbl.fold
+          (fun ((site, _) as k) _ acc ->
+            if keep_csite site then acc else k :: acc)
+          c.csubtrees []
+      in
+      List.iter (Hashtbl.remove c.csubtrees) doomed_sites;
+      c.evictions <- c.evictions + List.length doomed_sites;
+      c.retargets <- c.retargets + 1;
+      c.code <- Some new_prog
+  | _ ->
+      (* unknown provenance (or sabotage): the next [ensure_code] under
+         the new program performs the wholesale flush as before *)
+      ()
 
 (** Break the flush-on-UPDATE invariant on purpose.  Exists only so
     the conformance fuzzer can demonstrate sensitivity: with the flag
@@ -243,5 +316,5 @@ let add_display (c : t) ~(page : Ident.page) ~(arg : Ast.value)
   Hashtbl.replace c.displays page { page; arg; box; display_reads = reads }
 
 let pp_stats ppf (s : stats) =
-  Fmt.pf ppf "hits=%d misses=%d revalidations=%d flushes=%d" s.hits s.misses
-    s.revalidations s.flushes
+  Fmt.pf ppf "hits=%d misses=%d revalidations=%d flushes=%d retargets=%d evictions=%d"
+    s.hits s.misses s.revalidations s.flushes s.retargets s.evictions

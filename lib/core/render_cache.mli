@@ -38,6 +38,8 @@ type stats = {
   misses : int;  (** subtree evaluations that populated an entry *)
   revalidations : int;  (** whole displays revalidated without evaluation *)
   flushes : int;  (** wholesale invalidations (code changes) *)
+  retargets : int;  (** scoped invalidations ({!retarget} diffed swaps) *)
+  evictions : int;  (** entries dropped by scoped invalidation *)
 }
 
 type t
@@ -55,6 +57,25 @@ val flush : t -> unit
 val ensure_code : t -> Program.t -> unit
 (** Flush unless the entries were recorded under this exact (physically
     identical) code.  Call before consulting the cache for a render. *)
+
+val retarget :
+  t -> diff:Program_diff.t -> keep_csite:(int -> bool) -> Program.t -> unit
+(** Scoped invalidation on a code swap: rebind the cache from the
+    diff's old program to [new_prog], keeping every entry the diff
+    proves still replayable — instead of the wholesale flush
+    {!ensure_code} would perform.  Retention contract: display entries
+    survive iff their page is transitively clean
+    ([not (Program_diff.is_dirty diff page)]); subtree entries iff
+    every definition their expression references is transitively clean
+    ({!Program_diff.expr_clean}); compiled-subtree entries iff
+    [keep_csite] accepts their site id (pass the new compilation's
+    {!Compile_eval.site_live} — reused definitions keep their site
+    ids, recompiled ones get fresh ids, so stale entries are exactly
+    the rejected ones).  Store-dependent validity is untouched: hits
+    still re-validate their recorded reads against the {e new}
+    program's store semantics, so changed initial values miss as they
+    must.  No-op fallback (the next {!ensure_code} flushes wholesale)
+    when the cache is not currently bound to the diff's old program. *)
 
 val set_sabotage_no_flush : t -> bool -> unit
 (** Test-only: make {!ensure_code} keep stale entries across code

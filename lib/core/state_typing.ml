@@ -11,8 +11,63 @@ let ( let* ) = Result.bind
 
 let err fmt = Fmt.kstr (fun s -> Error s) fmt
 
-(** [C |- C] (T-C-GLOBAL, T-C-FUN, T-C-PAGE). *)
-let check_code (prog : Program.t) : (unit, string) result =
+(** One definition's typing derivation (T-C-GLOBAL, T-C-FUN or
+    T-C-PAGE) — shared verbatim by the from-scratch and the incremental
+    checker, so the two report byte-identical errors. *)
+let check_def (prog : Program.t) (d : Program.def) : (unit, string) result =
+  match d with
+  | Program.Global { name; ty; init } ->
+      (* T-C-GLOBAL *)
+      if not (Typ.arrow_free ty) then
+        err "global %s has a function type %s (must be ->-free)" name
+          (Typ.to_string ty)
+      else if not (Typecheck.check_value prog init ty) then
+        err "initial value of global %s does not have type %s" name
+          (Typ.to_string ty)
+      else Ok ()
+  | Program.Func { name; ty; body } -> (
+      (* T-C-FUN *)
+      match ty with
+      | Typ.Fn _ -> (
+          match Typecheck.check prog Typecheck.empty_gamma Eff.Pure body ty with
+          | Ok () -> Ok ()
+          | Error m -> err "in function %s: %s" name m)
+      | _ ->
+          err "function %s declared with non-function type %s" name
+            (Typ.to_string ty))
+  | Program.Page { name; arg_ty; init; render } ->
+      (* T-C-PAGE *)
+      if not (Typ.arrow_free arg_ty) then
+        err "page %s has a function-typed argument %s" name
+          (Typ.to_string arg_ty)
+      else
+        let* () =
+          match
+            Typecheck.check prog Typecheck.empty_gamma Eff.State init
+              (Typ.Fn (arg_ty, Eff.State, Typ.unit_))
+          with
+          | Ok () -> Ok ()
+          | Error m -> err "in init body of page %s: %s" name m
+        in
+        let* () =
+          match
+            Typecheck.check prog Typecheck.empty_gamma Eff.State render
+              (Typ.Fn (arg_ty, Eff.Render, Typ.unit_))
+          with
+          | Ok () -> Ok ()
+          | Error m -> err "in render body of page %s: %s" name m
+        in
+        Ok ()
+
+(** [C |- C] with per-definition derivations gated by [recheck]: the
+    duplicate-name scan always covers every definition (it is a global
+    property, and a cheap one), the expensive body derivations run only
+    where [recheck] says.  With [recheck = fun _ -> true] this {e is}
+    the from-scratch judgment; with anything narrower the caller
+    guarantees skipped definitions hold valid derivations (see
+    {!Machine.check_program_incremental} for the argument). *)
+let check_code_filtered ~(recheck : string -> bool) (prog : Program.t) :
+    (unit, string) result =
   let seen = Hashtbl.create 16 in
   let rec go = function
     | [] -> Ok ()
@@ -21,59 +76,15 @@ let check_code (prog : Program.t) : (unit, string) result =
         if Hashtbl.mem seen name then err "duplicate definition of %s" name
         else begin
           Hashtbl.add seen name ();
-          let* () =
-            match d with
-            | Program.Global { name; ty; init } ->
-                (* T-C-GLOBAL *)
-                if not (Typ.arrow_free ty) then
-                  err "global %s has a function type %s (must be ->-free)"
-                    name (Typ.to_string ty)
-                else if not (Typecheck.check_value prog init ty) then
-                  err "initial value of global %s does not have type %s" name
-                    (Typ.to_string ty)
-                else Ok ()
-            | Program.Func { name; ty; body } -> (
-                (* T-C-FUN *)
-                match ty with
-                | Typ.Fn _ -> (
-                    match
-                      Typecheck.check prog Typecheck.empty_gamma Eff.Pure body
-                        ty
-                    with
-                    | Ok () -> Ok ()
-                    | Error m -> err "in function %s: %s" name m)
-                | _ ->
-                    err "function %s declared with non-function type %s" name
-                      (Typ.to_string ty))
-            | Program.Page { name; arg_ty; init; render } ->
-                (* T-C-PAGE *)
-                if not (Typ.arrow_free arg_ty) then
-                  err "page %s has a function-typed argument %s" name
-                    (Typ.to_string arg_ty)
-                else
-                  let* () =
-                    match
-                      Typecheck.check prog Typecheck.empty_gamma Eff.State init
-                        (Typ.Fn (arg_ty, Eff.State, Typ.unit_))
-                    with
-                    | Ok () -> Ok ()
-                    | Error m -> err "in init body of page %s: %s" name m
-                  in
-                  let* () =
-                    match
-                      Typecheck.check prog Typecheck.empty_gamma Eff.State
-                        render
-                        (Typ.Fn (arg_ty, Eff.Render, Typ.unit_))
-                    with
-                    | Ok () -> Ok ()
-                    | Error m -> err "in render body of page %s: %s" name m
-                  in
-                  Ok ()
-          in
+          let* () = if recheck name then check_def prog d else Ok () in
           go rest
         end
   in
   go (Program.defs prog)
+
+(** [C |- C] (T-C-GLOBAL, T-C-FUN, T-C-PAGE). *)
+let check_code (prog : Program.t) : (unit, string) result =
+  check_code_filtered ~recheck:(fun _ -> true) prog
 
 (** T-SYS's extra premise: [page start() ... ∈ C], with a unit
     argument so that STARTUP's [push start ()] is well-typed. *)

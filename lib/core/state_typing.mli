@@ -6,6 +6,19 @@ val check_code : Program.t -> (unit, string) result
     well-typed initial values; function and page bodies typed at their
     declared types and effects.  The premise of UPDATE (Fig. 9). *)
 
+val check_def : Program.t -> Program.def -> (unit, string) result
+(** One definition's derivation (T-C-GLOBAL / T-C-FUN / T-C-PAGE),
+    exactly as {!check_code} runs it — the shared unit of work of the
+    from-scratch and incremental checkers. *)
+
+val check_code_filtered :
+  recheck:(string -> bool) -> Program.t -> (unit, string) result
+(** {!check_code} with per-definition derivations gated by [recheck]
+    (the duplicate-name scan always runs in full).  Sound only when
+    every skipped definition is known to hold a valid derivation under
+    [prog] — see {!Machine.check_program_incremental}.  With
+    [recheck = fun _ -> true] this is {!check_code} itself. *)
+
 val check_start : Program.t -> (unit, string) result
 (** T-SYS's extra premise: a parameterless [start] page exists. *)
 

@@ -92,8 +92,16 @@ type t = {
   mutable sessions_spawned : int;
   mutable sessions_killed : int;
   mutable fanout_last_ns : float;
+  mutable typecheck_last_ns : float;
+  mutable diff_last_ns : float;
+  mutable compile_last_ns : float;
+  mutable dirty_defs_last : int;
+  mutable recheck_defs_last : int;
+  mutable broadcasts_incremental : int;
+  mutable broadcasts_scratch : int;
   tick_latency : histogram;
   update_fanout : histogram;
+  update_typecheck : histogram;
 }
 
 let create () =
@@ -112,8 +120,16 @@ let create () =
     sessions_spawned = 0;
     sessions_killed = 0;
     fanout_last_ns = 0.;
+    typecheck_last_ns = 0.;
+    diff_last_ns = 0.;
+    compile_last_ns = 0.;
+    dirty_defs_last = 0;
+    recheck_defs_last = 0;
+    broadcasts_incremental = 0;
+    broadcasts_scratch = 0;
     tick_latency = histogram ();
     update_fanout = histogram ();
+    update_typecheck = histogram ();
   }
 
 (** Sum of two metric instances, as a fresh instance (the inputs keep
@@ -144,8 +160,26 @@ let merge (a : t) (b : t) : t =
     sessions_killed = a.sessions_killed + b.sessions_killed;
     fanout_last_ns =
       (if b.fanout_last_ns <> 0. then b.fanout_last_ns else a.fanout_last_ns);
+    typecheck_last_ns =
+      (if b.typecheck_last_ns <> 0. then b.typecheck_last_ns
+       else a.typecheck_last_ns);
+    diff_last_ns =
+      (if b.diff_last_ns <> 0. then b.diff_last_ns else a.diff_last_ns);
+    compile_last_ns =
+      (if b.compile_last_ns <> 0. then b.compile_last_ns else a.compile_last_ns);
+    dirty_defs_last =
+      (if b.broadcasts_incremental + b.broadcasts_scratch > 0 then
+         b.dirty_defs_last
+       else a.dirty_defs_last);
+    recheck_defs_last =
+      (if b.broadcasts_incremental + b.broadcasts_scratch > 0 then
+         b.recheck_defs_last
+       else a.recheck_defs_last);
+    broadcasts_incremental = a.broadcasts_incremental + b.broadcasts_incremental;
+    broadcasts_scratch = a.broadcasts_scratch + b.broadcasts_scratch;
     tick_latency = union_histogram a.tick_latency b.tick_latency;
     update_fanout = union_histogram a.update_fanout b.update_fanout;
+    update_typecheck = union_histogram a.update_typecheck b.update_typecheck;
   }
 
 let merge_all (ms : t list) : t = List.fold_left merge (create ()) ms
@@ -178,6 +212,15 @@ type snapshot = {
   fanout_p50_ns : float;
   fanout_p99_ns : float;
   fanout_last_ns : float;
+  s_typecheck_last_ns : float;
+  s_diff_last_ns : float;
+  s_compile_last_ns : float;
+  s_typecheck_p50_ns : float;
+  s_typecheck_p99_ns : float;
+  s_dirty_defs_last : int;
+  s_recheck_defs_last : int;
+  s_broadcasts_incremental : int;
+  s_broadcasts_scratch : int;
 }
 
 let snapshot (m : t) ~(sessions : int) ~(pending : int)
@@ -212,6 +255,15 @@ let snapshot (m : t) ~(sessions : int) ~(pending : int)
     fanout_p50_ns = quantile m.update_fanout 0.5;
     fanout_p99_ns = quantile m.update_fanout 0.99;
     fanout_last_ns = m.fanout_last_ns;
+    s_typecheck_last_ns = m.typecheck_last_ns;
+    s_diff_last_ns = m.diff_last_ns;
+    s_compile_last_ns = m.compile_last_ns;
+    s_typecheck_p50_ns = quantile m.update_typecheck 0.5;
+    s_typecheck_p99_ns = quantile m.update_typecheck 0.99;
+    s_dirty_defs_last = m.dirty_defs_last;
+    s_recheck_defs_last = m.recheck_defs_last;
+    s_broadcasts_incremental = m.broadcasts_incremental;
+    s_broadcasts_scratch = m.broadcasts_scratch;
   }
 
 let accounting_ok (s : snapshot) : bool =
@@ -248,6 +300,15 @@ let to_string (s : snapshot) : string =
     s.s_updates_rejected;
   line "  update fan-out    p50 %s, p99 %s, last %s" (pp_ns s.fanout_p50_ns)
     (pp_ns s.fanout_p99_ns) (pp_ns s.fanout_last_ns);
+  (if s.s_broadcasts_incremental + s.s_broadcasts_scratch > 0 then begin
+     line "  typecheck         p50 %s, p99 %s, last %s (%d incremental, %d scratch)"
+       (pp_ns s.s_typecheck_p50_ns) (pp_ns s.s_typecheck_p99_ns)
+       (pp_ns s.s_typecheck_last_ns) s.s_broadcasts_incremental
+       s.s_broadcasts_scratch;
+     line "  last edit         %d dirty defs, %d rechecked; diff %s, compile %s"
+       s.s_dirty_defs_last s.s_recheck_defs_last (pp_ns s.s_diff_last_ns)
+       (pp_ns s.s_compile_last_ns)
+   end);
   line "  accounting        %s"
     (if accounting_ok s then "ok (in = processed + dropped + rejected + pending)"
      else "MISMATCH");

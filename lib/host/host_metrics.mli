@@ -52,8 +52,23 @@ type t = {
   mutable sessions_spawned : int;
   mutable sessions_killed : int;
   mutable fanout_last_ns : float;  (** duration of the last broadcast *)
+  mutable typecheck_last_ns : float;
+      (** typecheck phase of the last broadcast (scratch or incremental) *)
+  mutable diff_last_ns : float;
+      (** program-diff phase of the last broadcast (0 when scratch) *)
+  mutable compile_last_ns : float;
+      (** compile-priming phase of the last broadcast *)
+  mutable dirty_defs_last : int;
+      (** semantic dirty-set size of the last diffed broadcast *)
+  mutable recheck_defs_last : int;
+      (** typecheck recheck-set size of the last diffed broadcast *)
+  mutable broadcasts_incremental : int;
+      (** broadcasts whose typecheck reused the previous derivation *)
+  mutable broadcasts_scratch : int;
+      (** broadcasts typechecked from scratch *)
   tick_latency : histogram;
   update_fanout : histogram;
+  update_typecheck : histogram;
 }
 
 val create : unit -> t
@@ -94,6 +109,15 @@ type snapshot = {
   fanout_p50_ns : float;
   fanout_p99_ns : float;
   fanout_last_ns : float;
+  s_typecheck_last_ns : float;
+  s_diff_last_ns : float;
+  s_compile_last_ns : float;
+  s_typecheck_p50_ns : float;
+  s_typecheck_p99_ns : float;
+  s_dirty_defs_last : int;
+  s_recheck_defs_last : int;
+  s_broadcasts_incremental : int;
+  s_broadcasts_scratch : int;
 }
 
 val snapshot :

@@ -288,7 +288,7 @@ let drain ?(max_ticks = 1_000_000) (t : t) : (int, string) result =
 (* The broadcast barrier                                               *)
 (* ------------------------------------------------------------------ *)
 
-let update (t : t) (code : Live_core.Program.t) :
+let update ?typecheck (t : t) (code : Live_core.Program.t) :
     (Broadcast.report, Machine.error) result =
   Mutex.lock t.world;
   Fun.protect
@@ -301,7 +301,7 @@ let update (t : t) (code : Live_core.Program.t) :
       if Atomic.get t.ticking then
         ignore (Atomic.fetch_and_add t.violations 1);
       Atomic.set t.updating true;
-      Broadcast.update t.reg code)
+      Broadcast.update ?typecheck t.reg code)
 
 (* ------------------------------------------------------------------ *)
 (* Fleet totals                                                        *)

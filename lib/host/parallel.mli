@@ -82,12 +82,17 @@ val drain : ?max_ticks:int -> t -> (int, string) result
 (** Tick until no events are pending; total processed. *)
 
 val update :
-  t -> Live_core.Program.t -> (Broadcast.report, Live_core.Machine.error) result
+  ?typecheck:Broadcast.typecheck_mode ->
+  t ->
+  Live_core.Program.t ->
+  (Broadcast.report, Live_core.Machine.error) result
 (** The fleet-wide UPDATE as a stop-the-world transaction: waits for
     any in-flight tick to quiesce, then runs {!Broadcast.update}
-    (typechecked once, applied to every session, all-or-nothing on
-    rejection).  Safe to call from any domain — this is how a live
-    programming environment lands an edit against a running fleet. *)
+    (typechecked once — incrementally by default, see
+    {!Broadcast.typecheck_mode} — applied to every session,
+    all-or-nothing on rejection).  Safe to call from any domain — this
+    is how a live programming environment lands an edit against a
+    running fleet. *)
 
 val snapshot : t -> Host_metrics.snapshot
 (** Fleet totals: the registry's ingress-side instance merged with

@@ -44,6 +44,13 @@ type entry = { session : Session.t; ingress : uevent Backpressure.t }
 type t = {
   cfg : config;
   mutable program : Live_core.Program.t;
+  mutable program_checked : bool;
+      (** whether [program] is known to satisfy [C |- C] — true once a
+          broadcast's typecheck accepted it; the boot program is not
+          checked ({!Live_core.Machine.boot} does not run
+          {!Live_core.Machine.check_program}), so this starts false and
+          incremental typechecking falls back to scratch on the first
+          broadcast. *)
   entries : (id, entry) Hashtbl.t;
   mutable order : id list;  (** spawn order, oldest first *)
   mutable next_id : id;
@@ -62,6 +69,7 @@ let create ?(config = default_config) (program : Live_core.Program.t) : t =
   {
     cfg = config;
     program;
+    program_checked = false;
     entries = Hashtbl.create 64;
     order = [];
     next_id = 0;
@@ -118,9 +126,13 @@ let session (t : t) (id : id) : Session.t option =
 let ids (t : t) : id list = t.order
 let size (t : t) : int = Hashtbl.length t.entries
 let program (t : t) = t.program
+let program_checked (t : t) = t.program_checked
 let config (t : t) = t.cfg
 let metrics (t : t) = t.metrics
-let set_program (t : t) (p : Live_core.Program.t) = t.program <- p
+
+let set_program (t : t) (p : Live_core.Program.t) =
+  t.program <- p;
+  t.program_checked <- true
 
 (* ------------------------------------------------------------------ *)
 (* Ingress                                                             *)

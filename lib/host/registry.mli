@@ -60,6 +60,15 @@ val ids : t -> id list
 
 val size : t -> int
 val program : t -> Live_core.Program.t
+
+val program_checked : t -> bool
+(** Whether the current shared program is known to satisfy [C |- C].
+    False for the boot program (sessions boot without the UPDATE
+    premise being discharged); true once a broadcast's typecheck
+    accepted an edit.  {!Broadcast.update}'s incremental typecheck
+    requires it — derivation reuse is only sound from a known-good
+    baseline — and falls back to a scratch check when false. *)
+
 val config : t -> config
 val metrics : t -> Host_metrics.t
 
@@ -80,7 +89,9 @@ val take : t -> id -> uevent option
 
 val set_program : t -> Live_core.Program.t -> unit
 (** Install the new shared code — {b only} {!Broadcast.update} calls
-    this, after the fleet-wide transaction committed. *)
+    this, after the fleet-wide transaction committed.  Marks the
+    program checked ({!program_checked}): the broadcast typechecked it
+    before committing. *)
 
 (** {1 Invariants} *)
 

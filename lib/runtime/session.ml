@@ -276,15 +276,39 @@ let back (t : t) : (unit, Machine.error) result =
 
 (** Apply a code update (the UPDATE transition) and re-render.
     Returns the fix-up report: which globals and stack entries the
-    update deleted.  The render cache flushes itself on the code swap
-    (its entries are keyed to the old code), preserving live-edit
+    update deleted.  Without [diff] the render cache flushes itself on
+    the code swap (its entries are keyed to the old code); with [diff]
+    the fix-up is targeted ({!Live_core.Fixup}) and the cache is
+    {e retargeted} instead of flushed — entries whose definitions the
+    diff proves unchanged survive the swap
+    ({!Live_core.Render_cache.retarget}).  Both preserve live-edit
     semantics exactly.  [checked] skips the code typecheck when the
     caller already ran {!Live_core.Machine.check_program} — the
     multi-session host's typecheck-once broadcast path. *)
-let update ?(checked = false) (t : t) (new_code : Live_core.Program.t) :
-    (Live_core.Fixup.report, Machine.error) result =
+let update ?(checked = false) ?diff (t : t) (new_code : Live_core.Program.t)
+    : (Live_core.Fixup.report, Machine.error) result =
   let report = ref None in
-  let* st = Machine.update ~checked ~report new_code t.state in
+  let* st = Machine.update ~checked ?diff ~report new_code t.state in
+  (* Scoped invalidation, before [stabilize] re-renders under the new
+     code (and [ensure_code] would otherwise flush wholesale).  Guarded
+     like [Machine.update]'s diff use: the diff must span exactly this
+     session's current code and the new code. *)
+  (match (diff, t.render_cache) with
+  | Some d, Some rc
+    when Live_core.Program_diff.old_program d == t.state.State.code
+         && Live_core.Program_diff.new_program d == new_code ->
+      let keep_csite =
+        match t.evaluator with
+        | Machine.Compiled ->
+            (* the new compilation (shared fleet-wide through the
+               compile cache) inherited the site ids of reused
+               definitions; entries at dead sites are stale *)
+            let ct = Live_core.Compile_eval.get_incremental ~diff:d new_code in
+            Live_core.Compile_eval.site_live ct
+        | Machine.Subst -> fun _ -> true (* no csubtree entries exist *)
+      in
+      Live_core.Render_cache.retarget rc ~diff:d ~keep_csite new_code
+  | _ -> ());
   t.state <- st;
   let* () = stabilize t in
   Ok

@@ -63,6 +63,7 @@ val back : t -> (unit, Live_core.Machine.error) result
 
 val update :
   ?checked:bool ->
+  ?diff:Live_core.Program_diff.t ->
   t ->
   Live_core.Program.t ->
   (Live_core.Fixup.report, Live_core.Machine.error) result
@@ -70,7 +71,13 @@ val update :
     Fig. 12 fix-up deleted.  [checked] skips the new code's typecheck
     when the caller already discharged it with
     {!Live_core.Machine.check_program} (the host's typecheck-once
-    broadcast). *)
+    broadcast).  [diff] (spanning exactly this session's current code
+    and [new_code], else ignored) makes the whole swap O(edit): the
+    fix-up re-checks only bindings whose declared types could have
+    changed, and the render cache is retargeted instead of flushed, so
+    memoized subtrees and displays of unchanged definitions survive —
+    observable behaviour is byte-identical either way (the oracle's
+    ["host-incr"] configuration enforces it). *)
 
 val cache_stats : t -> (int * int) option
 (** (hits, misses) of the incremental layout cache, if enabled. *)

@@ -69,12 +69,39 @@ let independent_rows ~(n : int) : string =
     (each broadcast's fix-up report lists exactly one reset global per
     session).  Banner at y=0, tappable rows at y in [1, rows], footer
     below. *)
-let host_app ~(rows : int) ~(version : int) : string =
+let host_app ?(cold = 0) ~(rows : int) ~(version : int) () : string =
   buf_program (fun b ->
       Buffer.add_string b "global tick : number = 0\n";
       for i = 0 to rows - 1 do
         Buffer.add_string b (Printf.sprintf "global g%d : number = 0\n" i)
       done;
+      (* [cold] definitions the start page never references: [cold]
+         globals and [cold] functions, the functions reachable only
+         through an [aux] page nobody pushes.  Editing one of them is
+         the O(edit) broadcast's target workload — the diff's dirty set
+         is {the edited def} (+ [aux] for a function), the start page
+         stays transitively clean, and every session's display cache
+         survives the swap.  Edits are made structurally
+         ([Program.with_def] on the compiled core program — see
+         [bin/host_bench.ml --edit-size]), not by regenerating source,
+         so unchanged definitions stay physically shared. *)
+      for i = 0 to cold - 1 do
+        Buffer.add_string b
+          (Printf.sprintf "global c%d : number = %d\n" i i);
+        Buffer.add_string b
+          (Printf.sprintf
+             "fun cf%d(x : number) : number {\n  return x + c%d + %d\n}\n" i i
+             i)
+      done;
+      if cold > 0 then begin
+        Buffer.add_string b "\npage aux()\ninit { }\nrender {\n";
+        Buffer.add_string b "  boxed { post \"aux \" ++ str(";
+        for i = 0 to cold - 1 do
+          if i > 0 then Buffer.add_string b " + ";
+          Buffer.add_string b (Printf.sprintf "cf%d(0)" i)
+        done;
+        Buffer.add_string b ") }\n}\n"
+      end;
       Buffer.add_string b
         (Printf.sprintf "global epoch%d : number = %d\n" version version);
       (* init writes the epoch global, so it is in the store and the

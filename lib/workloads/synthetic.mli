@@ -9,13 +9,18 @@ val independent_rows : n:int -> string
 (** [n] rows each reading its own global; a tap invalidates one row's
     read set (the render-memoization workload). *)
 
-val host_app : rows:int -> version:int -> string
+val host_app : ?cold:int -> rows:int -> version:int -> unit -> string
 (** The multi-session host's load-driver app: a [version] banner over
     [rows] tappable counter rows (banner at y=0, rows at y in
     [1, rows], a total-taps footer below).  A version bump is a
     broadcastable edit: counters survive the Fig. 12 fix-up, the
     version-named [epoch] global is reset, and the banner changes on
-    every display. *)
+    every display.  [cold] (default 0) adds that many globals and
+    functions the start page never references (reachable only through
+    an unused [aux] page): editing one of them is the O(edit)
+    broadcast workload — the diff's dirty set excludes the start page,
+    so the fleet's displays survive the swap (B13,
+    [host_bench --edit-size]). *)
 
 val nested : depth:int -> fanout:int -> string
 (** A complete box tree of the given depth and fan-out. *)

@@ -116,6 +116,7 @@ let golden =
     "queue_fault_tap";
     "fixup_retype_global";
     "update_storm";
+    "oedit_update_classes";
   ]
 
 (* under [dune runtest] the cwd is the build copy of test/; under a

@@ -37,6 +37,7 @@ let () =
       ("incremental", Test_incremental.suite);
       ("render-cache", Test_render_cache.suite);
       ("compile-eval", Test_compile_eval.suite);
+      ("program-diff", Test_program_diff.suite);
       ("probe", Test_probe.suite);
       ("properties", Test_properties.suite);
       ("golden", Test_golden.suite);

@@ -16,7 +16,7 @@ let width = 32
 
 let app version : Live_core.Program.t =
   (Live_workloads.Synthetic.compile_exn
-     (Live_workloads.Synthetic.host_app ~rows ~version))
+     (Live_workloads.Synthetic.host_app ~rows ~version ()))
     .Live_surface.Compile.core
 
 (* ------------------------------------------------------------------ *)
