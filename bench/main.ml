@@ -38,7 +38,14 @@
     - B12 [compiled_eval]   — the closure-compiled evaluator
       (lib/core/compile_eval) against the substitution machine:
       speedup and allocation reduction on the hot render (B1), the
-      live-edit re-render (B2), and the host fleet load (B10).
+      live-edit re-render (B2), and the host fleet load (B10);
+    - B13 [o_edit_broadcast] — the O(edit) fleet UPDATE: incremental
+      (diff + dirty-set recheck + compile reuse + retargeted caches)
+      vs. from-scratch broadcast at fleets {100, 1000, 10000};
+    - B14 [staged_rollout]  — the transactional rollout lifecycle
+      (lib/host/rollout): begin/canary/promote of a 2-edit change set
+      vs. one flat broadcast at the same fleet sizes, digests
+      cross-checked byte-identical.
 
     Output: one table per experiment, estimated ns (or µs/ms) per
     operation from Bechamel's OLS fit against the run count, plus a
@@ -1175,6 +1182,144 @@ let b13 () : jentry list =
     fleet_sizes
 
 (* ------------------------------------------------------------------ *)
+(* B14: staged rollout — begin/canary/promote vs. one flat broadcast   *)
+(* ------------------------------------------------------------------ *)
+
+(** B14 prices the transactional rollout machinery (lib/host/rollout):
+    the same 2-edit change set delivered to fleets of 100 / 1000 /
+    10000 cached sessions either as one flat incremental broadcast or
+    as a full staged lifecycle — [Rollout.begin_] (one diff/typecheck/
+    compile, second epoch opened, 10% canary cohort drawn),
+    [Rollout.canary] (cohort checkpointed and migrated), then
+    [Rollout.promote] (shadow cohort migrated, base epoch retired).
+    Both fleets must land on byte-identical digests — the promote ≡
+    one-shot-broadcast soundness statement, priced rather than merely
+    asserted.  The interesting number is the overhead ratio: staging
+    pays one extra per-canary checkpoint + a second migration pass,
+    and stays O(edit) in compile work because the change set is still
+    diffed and typechecked exactly once. *)
+let b14 () : jentry list =
+  let module H = Live_host in
+  let module P = Live_core.Program in
+  let fleet_sizes = [ 100; 1000; 10000 ] in
+  let rows_n = 6 in
+  let cold = 32 in
+  let edits = 4 in
+  let app =
+    (Live_workloads.Synthetic.compile_exn
+       (Live_workloads.Synthetic.host_app ~cold ~rows:rows_n ~version:0 ()))
+      .Live_surface.Compile.core
+  in
+  (* the change set: two stacked cold-global restamps composed into one
+     target program — N edits, one diff/typecheck/compile *)
+  let restamp (name : string) (stamp : int) (prog : P.t) : P.t =
+    match P.find prog name with
+    | Some (P.Global { name; ty; _ }) ->
+        P.with_def prog
+          (P.Global
+             { name; ty; init = Live_core.Ast.VNum (float_of_int stamp) })
+    | _ -> failwith ("B14: cold global " ^ name ^ " not found")
+  in
+  let change_set (prog : P.t) ~(stamp : int) : P.t =
+    H.Rollout.compose ~base:prog
+      [ restamp "c0" stamp; restamp "c1" (stamp + 1) ]
+  in
+  header "B14: staged_rollout — begin/canary/promote vs. flat broadcast"
+    "The same 2-edit change set fleet-wide, either as one flat \
+     incremental broadcast or as the full staged lifecycle (stage the \
+     second epoch, canary a 10% cohort with checkpoints, promote the \
+     rest), with the two fleets' digests cross-checked byte-identical \
+     — the price of making every fleet edit a revocable transaction.";
+  let make k =
+    let cfg =
+      {
+        H.Registry.default_config with
+        H.Registry.width = 32;
+        cache = true;
+        evaluator = Live_core.Machine.Compiled;
+      }
+    in
+    let reg = H.Registry.create ~config:cfg app in
+    (match H.Registry.spawn_many reg k with
+    | Ok _ -> ()
+    | Error e -> failwith (Live_core.Machine.error_to_string e));
+    (* warm-up broadcast: after it the boot code has been checked, so
+       every timed delivery starts from the incremental premise *)
+    (match
+       H.Broadcast.update ~typecheck:H.Broadcast.Incremental reg
+         (change_set (H.Registry.program reg) ~stamp:1000)
+     with
+    | Ok _ -> ()
+    | Error e -> failwith (Live_core.Machine.error_to_string e));
+    reg
+  in
+  let run_flat (k : int) : float * string =
+    let reg = make k in
+    let t0 = Unix.gettimeofday () in
+    for stamp = 1 to edits do
+      match
+        H.Broadcast.update ~typecheck:H.Broadcast.Incremental reg
+          (change_set (H.Registry.program reg) ~stamp)
+      with
+      | Ok _ -> ()
+      | Error e -> failwith (Live_core.Machine.error_to_string e)
+    done;
+    ( (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int edits,
+      H.Registry.digest reg )
+  in
+  let run_staged (k : int) : float * string =
+    let reg = make k in
+    let t0 = Unix.gettimeofday () in
+    for stamp = 1 to edits do
+      match
+        H.Rollout.begin_ ~typecheck:H.Broadcast.Incremental ~fraction:0.1
+          ~seed:(100 + stamp) reg
+          (change_set (H.Registry.program reg) ~stamp)
+      with
+      | Error e -> failwith (Live_core.Machine.error_to_string e)
+      | Ok r ->
+          ignore (H.Rollout.canary r);
+          ignore (H.Rollout.promote r)
+    done;
+    ( (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int edits,
+      H.Registry.digest reg )
+  in
+  List.concat_map
+    (fun k ->
+      let flat_ns, flat_digest = run_flat k in
+      let staged_ns, staged_digest = run_staged k in
+      if not (String.equal flat_digest staged_digest) then
+        failwith
+          (Printf.sprintf
+             "B14: fleet=%d digest mismatch — staged promote diverged from \
+              the flat broadcast"
+             k);
+      let overhead = staged_ns /. flat_ns in
+      Printf.printf
+        "  fleet=%5d  flat %s/edit  staged %s/edit  overhead %.2fx  digest \
+         %s\n"
+        k (pp_time flat_ns) (pp_time staged_ns) overhead
+        (String.sub flat_digest 0 8);
+      [
+        {
+          id = Printf.sprintf "b14/broadcast-flat/fleet=%05d" k;
+          unit_ = "ns";
+          value = flat_ns;
+        };
+        {
+          id = Printf.sprintf "b14/rollout-staged/fleet=%05d" k;
+          unit_ = "ns";
+          value = staged_ns;
+        };
+        {
+          id = Printf.sprintf "b14/overhead/fleet=%05d" k;
+          unit_ = "ratio";
+          value = overhead;
+        };
+      ])
+    fleet_sizes
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -1194,6 +1339,7 @@ let () =
   let r11 = b11 () in
   let r12 = b12 () in
   let r13 = b13 () in
+  let r14 = b14 () in
   let alloc_entries =
     List.rev_map
       (fun (name, b) -> { id = name ^ "/alloc"; unit_ = "B/run"; value = b })
@@ -1202,5 +1348,5 @@ let () =
   write_json
     (List.concat_map entries_of_rows
        [ r1; r2; r3; r4; r5; r6; r7; r8; r9 ]
-    @ r10 @ r11 @ r12 @ r13 @ alloc_entries);
+    @ r10 @ r11 @ r12 @ r13 @ r14 @ alloc_entries);
   Printf.printf "\nDone. See EXPERIMENTS.md for interpretation.\n"

@@ -68,6 +68,12 @@ let usage () =
   --soak SECS         wall-clock soak: run SECS seconds, broadcast ~1/s,
                       and digest-cross-check a lockstep shadow fleet
                       running the other evaluator
+  --rollout-soak SECS wall-clock staged-rollout soak: run SECS seconds,
+                      open a staged rollout every ~5 s (seeded random
+                      promote/rollback), and digest-cross-check a
+                      lockstep shadow fleet that takes each promoted
+                      change set as one flat broadcast and never sees
+                      a rolled-back one; nonzero exit on divergence
   --quiet             no per-phase progress|};
   exit 2
 
@@ -90,6 +96,7 @@ let width = ref 32
 let jobs = ref 1
 let digest = ref false
 let soak = ref None
+let rollout_soak = ref None
 let quiet = ref false
 let evaluator = ref Live_core.Machine.Compiled
 let typecheck = ref H.Broadcast.Incremental
@@ -197,6 +204,9 @@ let parse_args () =
     | "--soak" :: v :: rest ->
         soak := Some (float_of_string v);
         parse rest
+    | "--rollout-soak" :: v :: rest ->
+        rollout_soak := Some (float_of_string v);
+        parse rest
     | "--quiet" :: rest ->
         quiet := true;
         parse rest
@@ -288,6 +298,9 @@ type driver = {
     Live_core.Program.t ->
     (H.Broadcast.report, Live_core.Machine.error) result;
   dr_snapshot : unit -> H.Host_metrics.snapshot;
+  dr_excl : (unit -> unit) -> unit;
+      (** stop-the-world section for rollout stages (no-op when
+          sequential, {!Live_host.Parallel.exclusive} on the pool) *)
   dr_shutdown : unit -> unit;
 }
 
@@ -376,6 +389,7 @@ let make_fleet ?ev ?j ?tc () : H.Registry.t * driver =
         dr_drain = (fun () -> H.Scheduler.drain sched);
         dr_update = (fun code -> H.Broadcast.update ~typecheck:tc reg code);
         dr_snapshot = (fun () -> H.Registry.snapshot reg);
+        dr_excl = (fun f -> f ());
         dr_shutdown = ignore;
       } )
   else begin
@@ -388,6 +402,7 @@ let make_fleet ?ev ?j ?tc () : H.Registry.t * driver =
         dr_drain = (fun () -> H.Parallel.drain pool);
         dr_update = (fun code -> H.Parallel.update ~typecheck:tc pool code);
         dr_snapshot = (fun () -> H.Parallel.snapshot pool);
+        dr_excl = (fun f -> H.Parallel.exclusive pool f);
         dr_shutdown =
           (fun () ->
             (match H.Parallel.barrier_violations pool with
@@ -542,18 +557,188 @@ let run_soak (secs : float) : H.Registry.t * driver =
   sdr.dr_shutdown ();
   (reg, dr)
 
+(** Wall-clock staged-rollout soak: continuous fleet-wide traffic, and
+    every ~5 s a full rollout lifecycle — stage a change set as a
+    second epoch, canary it on a deterministic cohort under live
+    window traffic, observe both cohorts, then resolve with a seeded
+    coin flip.
+
+    The equivalence contract rides a lockstep {e flat} shadow fleet on
+    the sequential scheduler: when the coin says promote, the shadow
+    takes the same change set as one plain broadcast at the canary
+    point; when it says rollback, the shadow never sees the edit at
+    all.  Window traffic is routed so both fleets provably serve the
+    same trace under the same code (canary cohort only while a promote
+    is pending; everyone during a rollback window, which the journal
+    replay then erases).  At the end the two MD5 digests must agree —
+    promote ≡ one-shot broadcast, rollback ≡ never rolled out, under
+    sustained load.  Any divergence, invariant violation, cohort
+    accounting mismatch, or epoch crossing is a nonzero exit. *)
+let run_rollout_soak (secs : float) : H.Registry.t * driver =
+  let reg, dr = make_fleet () in
+  let sreg, sdr = make_fleet ~j:1 () in
+  say
+    "rollout soak: %d sessions for %.0f s, staged rollout every ~5 s \
+     (seeded promote/rollback); lockstep flat-broadcast shadow fleet for \
+     the digest cross-check\n"
+    (H.Registry.size reg) secs;
+  let ids = Array.of_list (H.Registry.ids reg) in
+  let index = Hashtbl.create (Array.length ids) in
+  Array.iteri (fun i id -> Hashtbl.replace index id i) ids;
+  let rngs = Array.map (fun id -> Prng.create (Prng.derive !seed id)) ids in
+  let srngs = Array.map (fun id -> Prng.create (Prng.derive !seed id)) ids in
+  (* one round of lockstep traffic to [targets] on both fleets; each
+     session draws from its own stream, so restricting the target list
+     keeps the two fleets' RNG consumption aligned *)
+  let round targets =
+    List.iter
+      (fun id ->
+        let i = Hashtbl.find index id in
+        offer_burst reg rngs.(i) id;
+        offer_burst sreg srngs.(i) id)
+      targets;
+    dr.dr_tick ();
+    sdr.dr_tick ()
+  in
+  let all = Array.to_list ids in
+  let crng = Prng.create (Prng.derive !seed 999_983) in
+  let version = ref 0 in
+  let promoted = ref 0 and rolled_back = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let last_rollout = ref t0 in
+  while Unix.gettimeofday () -. t0 < secs do
+    round all;
+    let now = Unix.gettimeofday () in
+    if now -. !last_rollout >= 5.0 then begin
+      last_rollout := now;
+      incr version;
+      let promote = Prng.bool crng in
+      let target = next_edit reg !version in
+      let ro = ref None in
+      dr.dr_excl (fun () ->
+          match
+            H.Rollout.begin_ ~typecheck:!typecheck ~fraction:0.25
+              ~seed:(Prng.derive !seed (7_000 + !version))
+              reg target
+          with
+          | Ok r -> ro := Some r
+          | Error e ->
+              fail "rollout v%d refused: %s" !version
+                (Live_core.Machine.error_to_string e));
+      match !ro with
+      | None -> ()
+      | Some r ->
+          let window = if promote then H.Rollout.canary_ids r else all in
+          for _ = 1 to 3 do
+            round window
+          done;
+          dr.dr_excl (fun () ->
+              List.iter
+                (fun o ->
+                  match o.H.Broadcast.outcome with
+                  | Ok _ -> ()
+                  | Error e ->
+                      fail "rollout v%d: canary %d failed: %s" !version
+                        o.H.Broadcast.id
+                        (Live_core.Machine.error_to_string e))
+                (H.Rollout.canary r));
+          if promote then
+            broadcast ~silent:true sdr !version (next_edit sreg !version);
+          for _ = 1 to 3 do
+            round window
+          done;
+          let h = H.Rollout.observe r in
+          if not (H.Rollout.healthy h) then
+            fail "rollout v%d unhealthy mid-canary: %s" !version
+              (H.Rollout.summary r);
+          dr.dr_excl (fun () ->
+              if promote then begin
+                incr promoted;
+                List.iter
+                  (fun o ->
+                    match o.H.Broadcast.outcome with
+                    | Ok _ -> ()
+                    | Error e ->
+                        fail "rollout v%d: promote of %d failed: %s" !version
+                          o.H.Broadcast.id
+                          (Live_core.Machine.error_to_string e))
+                  (H.Rollout.promote r)
+              end
+              else begin
+                incr rolled_back;
+                List.iter
+                  (fun (id, e) ->
+                    fail "rollout v%d: rollback replay of %d failed: %s"
+                      !version id
+                      (Live_core.Machine.error_to_string e))
+                  (H.Rollout.rollback r)
+              end);
+          (match H.Registry.check_epochs reg with
+          | [] -> ()
+          | vs ->
+              List.iter
+                (fun (id, m) ->
+                  fail "rollout v%d: session %d crosses epochs: %s" !version
+                    id m)
+                vs);
+          check_fleet reg (Printf.sprintf "after rollout v%d" !version);
+          check_accounting (dr.dr_snapshot ())
+            (Printf.sprintf "after rollout v%d" !version);
+          say "  rollout v%d %s (t=%.0fs)\n" !version
+            (if promote then "promoted" else "rolled back")
+            (now -. t0)
+    end
+  done;
+  (match dr.dr_drain () with
+  | Ok _ -> ()
+  | Error m -> fail "drain: %s" m);
+  (match sdr.dr_drain () with
+  | Ok _ -> ()
+  | Error m -> fail "shadow drain: %s" m);
+  check_fleet reg "end of rollout soak";
+  check_fleet sreg "end of rollout soak (flat shadow)";
+  check_accounting (dr.dr_snapshot ()) "end of rollout soak";
+  if !version = 0 then fail "no rollout was staged during the soak";
+  let d = H.Registry.digest reg and sd = H.Registry.digest sreg in
+  if String.equal d sd then
+    say
+      "rollout cross-check: staged fleet (%d promoted, %d rolled back) and \
+       flat fleet digest-identical (%s)\n"
+      !promoted !rolled_back d
+  else
+    fail
+      "rollout cross-check: staged fleet digest %s <> flat fleet digest %s \
+       — promote/rollback is not equivalent to the flat path"
+      d sd;
+  sdr.dr_shutdown ();
+  (reg, dr)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
   parse_args ();
-  let reg, dr = match !soak with None -> run_load () | Some s -> run_soak s in
+  let reg, dr =
+    match (!soak, !rollout_soak) with
+    | _, Some s -> run_rollout_soak s
+    | Some s, None -> run_soak s
+    | None, None -> run_load ()
+  in
   let snap = dr.dr_snapshot () in
   dr.dr_shutdown ();
   print_newline ();
   print_string (H.Host_metrics.to_string snap);
   if !digest then Printf.printf "fleet digest: %s\n" (H.Registry.digest reg);
-  if snap.H.Host_metrics.s_updates_applied = 0 then
-    fail "no broadcast update was applied during the run";
+  (if !rollout_soak <> None then begin
+     if snap.H.Host_metrics.s_rollouts_begun = 0 then
+       fail "no rollout was begun during the run";
+     if
+       snap.H.Host_metrics.s_rollouts_promoted
+       + snap.H.Host_metrics.s_rollouts_rolled_back
+       = 0
+     then fail "no rollout was resolved during the run"
+   end
+   else if snap.H.Host_metrics.s_updates_applied = 0 then
+     fail "no broadcast update was applied during the run");
   match !failures with
   | [] ->
       Printf.printf "\nOK: zero invariant violations, accounting clean, %d \

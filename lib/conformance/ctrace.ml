@@ -31,6 +31,10 @@ type event =
   | Flush_cache
   | Drop_next
   | Dup_next
+  | Begin_txn of { prog : int; promote : bool }
+  | Canary
+  | Promote
+  | Rollback
 
 type t = { seed : int; pool : string array; events : event list }
 
@@ -46,6 +50,12 @@ let pp_event ppf = function
   | Flush_cache -> Fmt.string ppf "flush-cache"
   | Drop_next -> Fmt.string ppf "drop-next"
   | Dup_next -> Fmt.string ppf "dup-next"
+  | Begin_txn { prog; promote } ->
+      Fmt.pf ppf "begin-txn %d %s" prog
+        (if promote then "promote" else "rollback")
+  | Canary -> Fmt.string ppf "canary"
+  | Promote -> Fmt.string ppf "promote"
+  | Rollback -> Fmt.string ppf "rollback"
 
 let event_to_string e = Fmt.str "%a" pp_event e
 
@@ -97,6 +107,14 @@ let of_string (s : string) : (t, string) result =
     | [ "flush-cache" ] -> Some Flush_cache
     | [ "drop-next" ] -> Some Drop_next
     | [ "dup-next" ] -> Some Dup_next
+    | [ "canary" ] -> Some Canary
+    | [ "promote" ] -> Some Promote
+    | [ "rollback" ] -> Some Rollback
+    | [ "begin-txn"; i; d ] -> (
+        match (int_of_string_opt i, d) with
+        | Some prog, "promote" -> Some (Begin_txn { prog; promote = true })
+        | Some prog, "rollback" -> Some (Begin_txn { prog; promote = false })
+        | _ -> None)
     | [ "tap"; x; y ] -> (
         match (int_of_string_opt x, int_of_string_opt y) with
         | Some x, Some y -> Some (Tap { x; y })
@@ -200,7 +218,10 @@ let load (path : string) : (t, string) result =
 let used_ids (t : t) : int list =
   let used =
     List.fold_left
-      (fun acc e -> match e with Update i -> i :: acc | _ -> acc)
+      (fun acc e ->
+        match e with
+        | Update i | Begin_txn { prog = i; _ } -> i :: acc
+        | _ -> acc)
       [ 0 ] t.events
   in
   List.sort_uniq compare used
@@ -219,6 +240,10 @@ let gc_pool (t : t) : t =
             match Hashtbl.find_opt renumber i with
             | Some j -> Some (Update j)
             | None -> None (* out-of-range id: drop the event *))
+        | Begin_txn { prog = i; promote } -> (
+            match Hashtbl.find_opt renumber i with
+            | Some j -> Some (Begin_txn { prog = j; promote })
+            | None -> None)
         | e -> Some e)
       t.events
   in

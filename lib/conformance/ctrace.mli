@@ -24,6 +24,23 @@ type event =
       (** fault: the event enqueued by the next tap/back is lost *)
   | Dup_next
       (** fault: ... is delivered twice, back to back *)
+  | Begin_txn of { prog : int; promote : bool }
+      (** stage an edit transaction targeting pool.(prog); [promote]
+          records the decision the driver will take at the end of the
+          canary window.  A [Begin_txn] while another transaction is
+          open resolves the open one first (promote iff it was
+          canaried with a promote decision, else rollback). *)
+  | Canary
+      (** apply the staged transaction to the canary cohort (the whole
+          fleet-of-one under the oracle); a [Canary] with no staged
+          transaction is a no-op *)
+  | Promote
+      (** resolve the open transaction; migrates the shadow cohort iff
+          the canary ran with a promote decision (a transaction that
+          never canaried is closed without applying anything) *)
+  | Rollback
+      (** resolve the open transaction by rewinding canaries to the
+          base epoch — observationally a no-op *)
 
 type t = {
   seed : int;  (** provenance; [0] for hand-written traces *)
@@ -46,7 +63,7 @@ val load : string -> (t, string) result
 
 val used_ids : t -> int list
 (** Pool ids the trace actually references (boot slot 0 plus every
-    [Update]), ascending. *)
+    [Update] and [Begin_txn]), ascending. *)
 
 val gc_pool : t -> t
 (** Drop unreferenced pool entries and renumber — keeps shrunk traces

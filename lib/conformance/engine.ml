@@ -11,6 +11,11 @@ let gen_trace ?(n_events = default_events) ?(mutants = 2) ~(seed : int) () :
     | Some src -> extra := src :: !extra
     | None -> ()
   done;
+  (* ... and one transaction-sized change set (2–4 stacked edits), so
+     Begin_txn events can stage the edit class rollouts exist for *)
+  (match Mutate.transaction rng (Prng.pick rng base) with
+  | Some src -> extra := src :: !extra
+  | None -> ());
   let pool = Array.append base (Array.of_list (List.rev !extra)) in
   (* any pool entry may boot the trace; slot 0 is the boot slot *)
   let b = Prng.int rng (Array.length pool) in
@@ -21,7 +26,7 @@ let gen_trace ?(n_events = default_events) ?(mutants = 2) ~(seed : int) () :
   let rec gen acc k =
     if k <= 0 then List.rev acc
     else
-      let w = Prng.int rng 19 in
+      let w = Prng.int rng 22 in
       if w < 8 then
         gen
           (Ctrace.Tap { x = Prng.int rng 46; y = Prng.int rng 40 } :: acc)
@@ -43,7 +48,28 @@ let gen_trace ?(n_events = default_events) ?(mutants = 2) ~(seed : int) () :
       else if w < 16 then gen (Ctrace.Render :: acc) (k - 1)
       else if w < 17 then gen (Ctrace.Flush_cache :: acc) (k - 1)
       else if w < 18 then gen (Ctrace.Drop_next :: acc) (k - 1)
-      else gen (Ctrace.Dup_next :: acc) (k - 1)
+      else if w < 19 then gen (Ctrace.Dup_next :: acc) (k - 1)
+      else begin
+        (* a staged-rollout block: stage a change set, canary it under
+           a little interleaved traffic, then resolve it the way it
+           was opened to — the full edit-transaction lifecycle in one
+           generated unit (the shrinker may still tear it apart, which
+           the oracle's resolution rule handles) *)
+        let promote = Prng.bool rng in
+        let prog = Prng.int rng (Array.length pool) in
+        let acc = ref (Ctrace.Begin_txn { prog; promote } :: acc) in
+        let traffic () =
+          for _ = 1 to Prng.int rng 3 do
+            acc :=
+              Ctrace.Tap { x = Prng.int rng 46; y = Prng.int rng 40 } :: !acc
+          done
+        in
+        traffic ();
+        acc := Ctrace.Canary :: !acc;
+        traffic ();
+        acc := (if promote then Ctrace.Promote else Ctrace.Rollback) :: !acc;
+        gen !acc (k - 1)
+      end
   in
   { Ctrace.seed; pool; events = gen [] n }
 

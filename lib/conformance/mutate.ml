@@ -190,6 +190,35 @@ let add_fun (rng : Prng.t) (p : Sast.program) : Sast.program option =
           :: p.Sast.decls;
       }
 
+(** The transaction edit class: 2–4 stacked signature-preserving edits
+    (page-body lines, fresh functions) composed into {e one} change
+    set — what {!Live_host.Rollout.compose} hands to [begin_] as a
+    single diff/typecheck.  Kept out of {!operators}: a transaction is
+    the payload of a [Begin_txn] trace event, not a plain UPDATE. *)
+let transaction (rng : Prng.t) (src : string) : string option =
+  match Compile.parse src with
+  | Error _ -> None
+  | Ok p ->
+      let ops = [| edit_page_render; add_fun |] in
+      let rec compose_edits i q =
+        if i = 0 then Some q
+        else
+          match (Prng.pick rng ops) rng q with
+          | None -> None
+          | Some q' -> compose_edits (i - 1) q'
+      in
+      let rec attempt k =
+        if k = 0 then None
+        else
+          match compose_edits (2 + Prng.int rng 3) p with
+          | None -> attempt (k - 1)
+          | Some p' ->
+              let src' = print p' in
+              if (not (String.equal src' src)) && compiles src' then Some src'
+              else attempt (k - 1)
+      in
+      attempt 10
+
 let operators =
   [|
     drop_decl;

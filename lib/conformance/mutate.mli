@@ -22,6 +22,13 @@ val mutate : Prng.t -> string -> string option
 (** One random fixup-aware mutation of a compiling source; [None] if
     no compiling mutant was found within the attempt budget. *)
 
+val transaction : Prng.t -> string -> string option
+(** A transaction-sized change set: 2–4 stacked signature-preserving
+    edits (page-body lines, fresh functions) composed into one
+    compiling source — the payload of a [Begin_txn] trace event, the
+    edit class {!Live_host.Rollout} stages and B14 benchmarks.  [None]
+    if no compiling composition was found within the budget. *)
+
 val simplifications : string -> string list
 (** Deterministic, compiling one-step simplifications of a source
     (declaration dropped, page body truncated, init body emptied) —

@@ -147,6 +147,11 @@ let machine_config ~(width : int) (boot : Program.t) :
         | Ctrace.Dup_next ->
             pending := Some `Dup;
             Ok "ok"
+        | Ctrace.Begin_txn _ | Ctrace.Canary | Ctrace.Promote
+        | Ctrace.Rollback ->
+            (* interpreted by the transaction wrapper ({!with_txn});
+               inert if a config is ever driven without it *)
+            Ok "ok"
       in
       Ok
         {
@@ -205,6 +210,9 @@ let session_config ~(width : int) ~(name : string) ~(incremental : bool)
         | Ctrace.Dup_next ->
             Session.inject s Session.Duplicate_next_event;
             Ok "ok"
+        | Ctrace.Begin_txn _ | Ctrace.Canary | Ctrace.Promote
+        | Ctrace.Rollback ->
+            Ok "ok" (* interpreted by {!with_txn} *)
       in
       Ok
         {
@@ -308,6 +316,9 @@ let host_config ~(width : int) ?jobs ?(cache = false) ?typecheck
             | Ctrace.Dup_next ->
                 Session.inject s Session.Duplicate_next_event;
                 Ok "ok"
+            | Ctrace.Begin_txn _ | Ctrace.Canary | Ctrace.Promote
+            | Ctrace.Rollback ->
+                Ok "ok" (* interpreted by {!with_txn} *)
           in
           Ok
             {
@@ -317,6 +328,162 @@ let host_config ~(width : int) ?jobs ?(cache = false) ?typecheck
               invariant = (fun () -> invariant_of_state (Session.state s));
               strict = (fun () -> true);
               finalize;
+            })
+
+(** The staged-rollout pipeline ({!Live_host.Rollout}) as a fleet of
+    one, driven through real edit transactions: [Begin_txn] stages the
+    change set as a second live epoch (diffed, typechecked once,
+    cross-checked), [Canary] applies it to the canary cohort — which,
+    with one session, is the whole fleet — and the transaction
+    resolves by {!Live_host.Rollout.promote} or
+    {!Live_host.Rollout.rollback} per the [Begin_txn]'s recorded
+    decision.  The reference configurations interpret the same events
+    through {!with_txn}: a promoted transaction is exactly one plain
+    UPDATE, a rolled-back one is exactly nothing.  During a
+    doomed-to-roll-back canary window this configuration's state
+    legitimately differs from the reference (it {e is} running the
+    edit), so it goes non-strict for the window and byte-equality is
+    re-checked from the resolving event on — which is precisely the
+    rollback soundness statement: checkpoint + journal replay must be
+    indistinguishable from never having begun the rollout. *)
+let host_txn_config ~(width : int) (boot : Program.t) :
+    (config, string) result =
+  let open Live_host in
+  let cfg =
+    {
+      Registry.default_config with
+      Registry.width;
+      cache = true;
+      queue_capacity = 8;
+      queue_policy = Backpressure.Reject;
+    }
+  in
+  let reg = Registry.create ~config:cfg boot in
+  match Registry.spawn reg with
+  | Error e -> Error (err_str e)
+  | Ok id -> (
+      match Registry.session reg id with
+      | None -> Error "host-txn: spawned session not found"
+      | Some s ->
+          let sched =
+            Scheduler.create ~policy:Scheduler.Round_robin ~batch:1 reg
+          in
+          (* the open transaction and its recorded decision; [strict]
+             drops only for a rollback-decision canary window *)
+          let txn : (Rollout.t * bool) option ref = ref None in
+          let strict = ref true in
+          let resolve () =
+            match !txn with
+            | None -> ()
+            | Some (r, promote) ->
+                txn := None;
+                (match Rollout.stage r with
+                | Rollout.Canarying when promote ->
+                    (* fleet of one, whole-fleet cohort: nothing to
+                       migrate, the promote closes the epoch *)
+                    ignore (Rollout.promote r : Broadcast.session_outcome list)
+                | Rollout.Staged | Rollout.Canarying ->
+                    (* replay errors mirror per-event errors the window
+                       already reported live; consumed exactly as the
+                       scheduler consumes them *)
+                    ignore
+                      (Rollout.rollback r
+                        : (Registry.id * Live_core.Machine.error) list)
+                | Rollout.Promoted | Rollout.Rolled_back -> ());
+                strict := true
+          in
+          let deliver (ev : Registry.uevent) : (string, string) result =
+            match Registry.offer reg id ev with
+            | Backpressure.Rejected | Backpressure.Dropped_oldest ->
+                Error "host-txn: ingress queue refused the event"
+            | Backpressure.Accepted -> (
+                let r = Scheduler.tick sched in
+                match r.Scheduler.errors with
+                | (_, e) :: _ -> Error (err_str e)
+                | [] ->
+                    if r.Scheduler.taps_hit > 0 then Ok "tapped"
+                    else if r.Scheduler.taps_missed > 0 then Ok "no-handler"
+                    else Ok "ok")
+          in
+          let step (ev : Ctrace.event) (prog : Program.t option) =
+            match ev with
+            | Ctrace.Tap { x; y } -> deliver (Registry.Tap { x; y })
+            | Ctrace.Back -> deliver Registry.Back
+            | Ctrace.Update _ -> (
+                resolve ();
+                match prog with
+                | None -> Ok "rejected"
+                | Some code -> (
+                    match
+                      Broadcast.update ~typecheck:Broadcast.Cross_check reg
+                        code
+                    with
+                    | Ok _report -> Ok "updated"
+                    | Error e -> Error (err_str e)))
+            | Ctrace.Begin_txn { promote; _ } -> (
+                match prog with
+                | None -> Ok "rejected"
+                | Some code -> (
+                    resolve ();
+                    match
+                      Rollout.begin_ ~typecheck:Broadcast.Cross_check
+                        ~fraction:1.0 ~seed:11 reg code
+                    with
+                    | Ok r ->
+                        txn := Some (r, promote);
+                        Ok "staged"
+                    | Error e -> Error (err_str e)))
+            | Ctrace.Canary -> (
+                match !txn with
+                | Some (r, promote) -> (
+                    match Rollout.stage r with
+                    | Rollout.Staged ->
+                        let _outcomes = Rollout.canary r in
+                        (* per-session fix-up outcomes are reported,
+                           not statused — exactly as a broadcast's *)
+                        if not promote then strict := false;
+                        Ok "updated"
+                    | _ -> Ok "ok")
+                | None -> Ok "ok")
+            | Ctrace.Promote | Ctrace.Rollback ->
+                resolve ();
+                Ok "ok"
+            | Ctrace.Broken_update -> Ok "rejected"
+            | Ctrace.Render ->
+                ignore (Session.screenshot s);
+                Ok "ok"
+            | Ctrace.Flush_cache ->
+                Session.flush_caches s;
+                Ok "ok"
+            | Ctrace.Drop_next ->
+                Session.inject s Session.Drop_next_event;
+                Ok "ok"
+            | Ctrace.Dup_next ->
+                Session.inject s Session.Duplicate_next_event;
+                Ok "ok"
+          in
+          let invariant () =
+            match invariant_of_state (Session.state s) with
+            | Some m -> Some m
+            | None -> (
+                (* while a rollout is open, the full side-by-side
+                   health check: cohort accounting identities, no
+                   session crossing epochs, fleet state invariants *)
+                match !txn with
+                | None -> None
+                | Some (r, _) ->
+                    let h = Rollout.observe r in
+                    if Rollout.healthy h then None
+                    else Some ("rollout unhealthy: " ^ Rollout.summary r))
+          in
+          Ok
+            {
+              name = "host-txn";
+              step;
+              observe = (fun () -> obs_of_state ~width (Session.state s));
+              invariant;
+              strict = (fun () -> !strict);
+              finalize = ignore;
             })
 
 (** The restart baseline: structurally compared only until its first
@@ -353,6 +520,9 @@ let restart_config ~(width : int) (boot : Program.t) :
         | Ctrace.Drop_next | Ctrace.Dup_next ->
             strict := false;
             Ok "ok"
+        | Ctrace.Begin_txn _ | Ctrace.Canary | Ctrace.Promote
+        | Ctrace.Rollback ->
+            Ok "ok" (* interpreted by {!with_txn} *)
       in
       Ok
         {
@@ -363,6 +533,65 @@ let restart_config ~(width : int) (boot : Program.t) :
           strict = (fun () -> !strict);
           finalize = ignore;
         }
+
+(* ------------------------------------------------------------------ *)
+(* Transaction semantics for the reference configurations              *)
+(* ------------------------------------------------------------------ *)
+
+(** What a staged rollout must be {e equivalent to}, expressed over
+    any single-state configuration: an edit transaction resolves to
+    exactly one plain UPDATE (canaried, then promoted) or to exactly
+    nothing (rolled back, or closed without ever canarying).  With a
+    fleet of one the canary cohort is the whole fleet, so the canary
+    {e is} the update: it is applied at [Canary] time when the
+    transaction's recorded decision is promote, and never applied at
+    all when the decision is rollback — the byte-identity the real
+    rollback (checkpoint + journal replay) must reproduce.
+
+    The wrapper intercepts the four transaction events and translates
+    them for the wrapped configuration; every other event passes
+    through, except that a plain [Update] first resolves any open
+    transaction (mirroring the driver, which must resolve before the
+    broadcast guard lets a flat update through). *)
+let with_txn (c : config) : config =
+  let staged : (Program.t * bool) option ref = ref None in
+  let canaried = ref false in
+  let resolve () =
+    (* a canaried promote-decision transaction already applied its
+       update at [Canary]; every other resolution applies nothing *)
+    staged := None;
+    canaried := false
+  in
+  let step (ev : Ctrace.event) (prog : Program.t option) =
+    match ev with
+    | Ctrace.Begin_txn { promote; _ } -> (
+        match prog with
+        | None -> Ok "rejected"
+        | Some code -> (
+            resolve ();
+            (* the rollout pipeline typechecks the change set once at
+               [begin_]; stage-time rejection must match it *)
+            match Machine.check_program code with
+            | Error e -> Error (err_str e)
+            | Ok () ->
+                staged := Some (code, promote);
+                Ok "staged"))
+    | Ctrace.Canary -> (
+        match !staged with
+        | Some (code, decision) when not !canaried ->
+            canaried := true;
+            if decision then c.step (Ctrace.Update 0) (Some code)
+            else Ok "updated" (* doomed window: never applied at all *)
+        | _ -> Ok "ok")
+    | Ctrace.Promote | Ctrace.Rollback ->
+        resolve ();
+        Ok "ok"
+    | Ctrace.Update _ ->
+        resolve ();
+        c.step ev prog
+    | _ -> c.step ev prog
+  in
+  { c with step }
 
 (** How many domains the ["host-parallel"] configuration runs: enough
     to actually cross a domain boundary, small enough that a fuzz
@@ -379,6 +608,7 @@ let all_configs =
     "host";
     "host-incr";
     "host-parallel";
+    "host-txn";
     "restart";
   ]
 
@@ -444,8 +674,15 @@ let run ?(width = default_width) ?(configs = all_configs) ?sabotage
               host_config ~width ~cache:true
                 ~typecheck:Live_host.Broadcast.Cross_check boot
           | "host-parallel" -> host_config ~width ~jobs:parallel_jobs boot
+          | "host-txn" -> host_txn_config ~width boot
           | "restart" -> restart_config ~width boot
           | other -> Error (Printf.sprintf "unknown configuration %S" other)
+        in
+        (* every configuration but the rollout pipeline itself gets the
+           reference transaction semantics layered on top *)
+        let mk name =
+          if String.equal name "host-txn" then mk name
+          else Result.map with_txn (mk name)
         in
         let boots = List.map (fun n -> (n, mk n)) configs in
         (* whatever happens below — agreement, divergence, an
@@ -533,7 +770,9 @@ let run ?(width = default_width) ?(configs = all_configs) ?sabotage
                       incr stepno;
                       let prog =
                         match ev with
-                        | Ctrace.Update i -> compile i
+                        | Ctrace.Update i | Ctrace.Begin_txn { prog = i; _ }
+                          ->
+                            compile i
                         | _ -> None
                       in
                       let ref_status = reference.step ev prog in

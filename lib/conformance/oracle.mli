@@ -30,6 +30,20 @@
       means every golden trace and every fuzz campaign differentially
       checks the multicore host against the reference machine,
       byte-for-byte;
+    - ["host-txn"]  — the transactional staged-rollout pipeline
+      ({!Live_host.Rollout}) as a fleet of one, driven through real
+      edit transactions: [Begin_txn] stages the change set as a second
+      live epoch (diffed, typechecked once, cross-checked), [Canary]
+      applies it to the (whole-fleet) canary cohort, and the
+      transaction resolves by promote or rollback per the recorded
+      decision.  Every other configuration interprets the same events
+      through the reference transaction semantics: a promoted
+      transaction is exactly one plain UPDATE, a rolled-back one is
+      exactly nothing.  During a doomed-to-roll-back canary window
+      this configuration legitimately runs the edit, so it is compared
+      non-strictly for the window; byte-equality resumes at the
+      resolving event — the rollback soundness statement (checkpoint +
+      journal replay ≡ never rolled out) checked on every trace;
     - ["restart"]   — the {!Live_baseline.Restart_runtime}
       edit-compile-run baseline; compared strictly until the first
       UPDATE or queue fault (after which its semantics intentionally

@@ -1,37 +1,6 @@
-(** Splitmix64 (Steele, Lea & Flood 2014): a tiny, fast, well-mixed
-    generator whose entire state is one 64-bit word, so seeds are
-    one-line and streams are identical on every platform. *)
+(** Re-export: the splitmix64 generator moved to [Live_core.Prng] so
+    the host's rollout machinery can seed canary cohorts without a
+    dependency cycle through the conformance layer.  Conformance code
+    keeps addressing it as [Prng]. *)
 
-type t = { mutable s : int64 }
-
-let create (seed : int) : t = { s = Int64.of_int seed }
-let copy (t : t) : t = { s = t.s }
-
-let golden = 0x9E3779B97F4A7C15L
-
-let mix (z : int64) : int64 =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-let next (t : t) : int64 =
-  t.s <- Int64.add t.s golden;
-  mix t.s
-
-let int (t : t) (bound : int) : int =
-  if bound <= 0 then 0
-  else
-    Int64.to_int
-      (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
-
-let bool (t : t) : bool = Int64.logand (next t) 1L = 1L
-
-let pick (t : t) (arr : 'a array) : 'a =
-  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
-  arr.(int t (Array.length arr))
-
-(** Mix the master seed with the iteration index through one splitmix
-    step each, then fold to a non-negative OCaml int. *)
-let derive (seed : int) (k : int) : int =
-  let z = mix (Int64.add (Int64.of_int seed) (Int64.mul golden (Int64.of_int (k + 1)))) in
-  Int64.to_int (Int64.shift_right_logical z 2)
+include Live_core.Prng

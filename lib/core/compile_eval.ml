@@ -599,23 +599,73 @@ let publish (prog : Program.t) (c : t) : t =
   in
   loop ()
 
+(* Epoch pins: during a staged rollout the registry keeps two code
+   epochs live at once, and both compilations must stay resident for
+   the whole rollout window — the LRU cache above would happily evict
+   the base epoch under unrelated compile traffic, and a re-compile
+   issues fresh site ids, orphaning every csubtree entry the canary
+   cohort's render caches hold.  A pin is an eviction-proof entry
+   keyed by epoch id; [get]/[get_incremental] consult pins first, so
+   all sessions of an epoch share one physical compilation. *)
+
+let epoch_pins : (int * (Program.t * t)) list Atomic.t = Atomic.make []
+
+let find_pinned (prog : Program.t) : t option =
+  let rec go = function
+    | [] -> None
+    | (_, (p, c)) :: tl -> if p == prog then Some c else go tl
+  in
+  go (Atomic.get epoch_pins)
+
 let get (prog : Program.t) : t =
-  match find_cached prog (Atomic.get cache) with
+  match find_pinned prog with
   | Some c -> c
-  | None -> publish prog (compile prog)
+  | None -> (
+      match find_cached prog (Atomic.get cache) with
+      | Some c -> c
+      | None -> publish prog (compile prog))
 
 let get_incremental ~(diff : Program_diff.t) (prog : Program.t) : t =
-  match find_cached prog (Atomic.get cache) with
+  match find_pinned prog with
   | Some c -> c
-  | None ->
-      let c =
-        match find_cached (Program_diff.old_program diff) (Atomic.get cache)
-        with
-        | Some old_ct when Program_diff.new_program diff == prog ->
-            compile_incremental ~diff old_ct prog
-        | _ -> compile prog (* old compilation evicted: start over *)
-      in
-      publish prog c
+  | None -> (
+      match find_cached prog (Atomic.get cache) with
+      | Some c -> c
+      | None ->
+          let lookup p =
+            match find_pinned p with
+            | Some c -> Some c
+            | None -> find_cached p (Atomic.get cache)
+          in
+          let c =
+            match lookup (Program_diff.old_program diff) with
+            | Some old_ct when Program_diff.new_program diff == prog ->
+                compile_incremental ~diff old_ct prog
+            | _ -> compile prog (* old compilation evicted: start over *)
+          in
+          publish prog c)
+
+let rec pin_epoch ~(epoch : int) ?(diff : Program_diff.t option)
+    (prog : Program.t) : unit =
+  let c =
+    match diff with
+    | Some d -> get_incremental ~diff:d prog
+    | None -> get prog
+  in
+  let old = Atomic.get epoch_pins in
+  let cleaned = List.remove_assoc epoch old in
+  if not (Atomic.compare_and_set epoch_pins old ((epoch, (prog, c)) :: cleaned))
+  then pin_epoch ~epoch ?diff prog
+
+let rec unpin_epoch ~(epoch : int) : unit =
+  let old = Atomic.get epoch_pins in
+  if List.mem_assoc epoch old then
+    let cleaned = List.remove_assoc epoch old in
+    if not (Atomic.compare_and_set epoch_pins old cleaned) then
+      unpin_epoch ~epoch
+
+let pinned_epochs () : int list =
+  List.sort_uniq compare (List.map fst (Atomic.get epoch_pins))
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)

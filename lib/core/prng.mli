@@ -1,10 +1,10 @@
-(** Re-export of {!Live_core.Prng} (splitmix64).  The generator lives
-    in [live_core] so host-side code (canary cohort selection in
-    {!Live_host.Rollout}) and the conformance fuzzer share one pinned
-    stream; the type is kept equal so seeds and states cross the
-    boundary freely. *)
+(** A seeded, splittable-free PRNG (splitmix64) for the conformance
+    fuzzer.  The stdlib [Random] is avoided deliberately: its stream
+    is not specified across OCaml releases, and every fuzz failure
+    must be reproducible from a one-line seed on any toolchain the CI
+    matrix runs. *)
 
-type t = Live_core.Prng.t
+type t
 
 val create : int -> t
 val copy : t -> t

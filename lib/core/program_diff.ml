@@ -105,6 +105,10 @@ let changed (d : t) : (string * status) list =
 let identical (d : t) : bool = Hashtbl.length d.status = 0
 let is_dirty (d : t) (name : string) : bool = Hashtbl.mem d.dirty name
 let dirty_count (d : t) : int = Hashtbl.length d.dirty
+
+let dirty_names (d : t) : string list =
+  Hashtbl.fold (fun n () acc -> n :: acc) d.dirty []
+  |> List.sort String.compare
 let needs_recheck (d : t) (name : string) : bool = Hashtbl.mem d.recheck name
 let recheck_count (d : t) : int = Hashtbl.length d.recheck
 

@@ -63,6 +63,11 @@ val is_dirty : t -> string -> bool
 
 val dirty_count : t -> int
 
+val dirty_names : t -> string list
+(** The semantic dirty set as a sorted list — the human-readable
+    summary of what an edit transaction touches
+    ({!Live_host.Rollout.summary}). *)
+
 val needs_recheck : t -> string -> bool
 (** The definition's typing derivation must be re-derived: it changed,
     or a name it references directly was signature-changed, added or

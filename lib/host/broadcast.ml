@@ -71,6 +71,16 @@ let update ?(clock = Unix.gettimeofday) ?(typecheck = Incremental)
     (reg : Registry.t) (new_code : Live_core.Program.t) :
     (report, Machine.error) result =
   let m = Registry.metrics reg in
+  if Registry.rollout_open reg then begin
+    (* a flat broadcast during an open rollout would install a third
+       code version and break the two-epoch invariant; the caller must
+       resolve the rollout first (Rollout.promote / Rollout.rollback) *)
+    m.Host_metrics.updates_rejected <- m.Host_metrics.updates_rejected + 1;
+    Error
+      (Machine.Not_enabled
+         "broadcast update refused: a staged rollout is open")
+  end
+  else
   let old_code = Registry.program reg in
   let old_checked = Registry.program_checked reg in
   let t_diff = clock () in

@@ -63,6 +63,19 @@ type report = {
   dropped_pages : int;
 }
 
+val run_typecheck :
+  typecheck_mode ->
+  old_checked:bool ->
+  diff:Live_core.Program_diff.t ->
+  Live_core.Program.t ->
+  (unit, Live_core.Machine.error) result * bool
+(** The typecheck phase alone: discharge [C' |- C'] for the diff's new
+    program in the given mode.  Returns the verdict plus whether the
+    incremental premise held (the diff may be handed down to fan-out
+    and compilation).  Exposed for {!Rollout}, which typechecks an
+    edit transaction once at [begin] time and fans out later, in
+    stages. *)
+
 val update :
   ?clock:(unit -> float) ->
   ?typecheck:typecheck_mode ->
@@ -75,7 +88,10 @@ val update :
     to [Incremental].  [clock] is in seconds ([Unix.gettimeofday] by
     default); the measured per-phase times land in the registry's
     {!Host_metrics} (typecheck / diff / compile last-ns, dirty and
-    recheck set sizes, incremental-vs-scratch broadcast counters). *)
+    recheck set sizes, incremental-vs-scratch broadcast counters).
+    While a staged rollout is open the broadcast refuses with
+    [Not_enabled] (and counts an [updates_rejected]): resolve the
+    rollout first. *)
 
 val report_to_string : report -> string
 (** One line per session that lost state, plus the fan-out total and

@@ -99,6 +99,10 @@ type t = {
   mutable recheck_defs_last : int;
   mutable broadcasts_incremental : int;
   mutable broadcasts_scratch : int;
+  mutable rollouts_begun : int;
+  mutable rollouts_promoted : int;
+  mutable rollouts_rolled_back : int;
+  mutable canary_sessions_last : int;
   tick_latency : histogram;
   update_fanout : histogram;
   update_typecheck : histogram;
@@ -127,6 +131,10 @@ let create () =
     recheck_defs_last = 0;
     broadcasts_incremental = 0;
     broadcasts_scratch = 0;
+    rollouts_begun = 0;
+    rollouts_promoted = 0;
+    rollouts_rolled_back = 0;
+    canary_sessions_last = 0;
     tick_latency = histogram ();
     update_fanout = histogram ();
     update_typecheck = histogram ();
@@ -177,6 +185,12 @@ let merge (a : t) (b : t) : t =
        else a.recheck_defs_last);
     broadcasts_incremental = a.broadcasts_incremental + b.broadcasts_incremental;
     broadcasts_scratch = a.broadcasts_scratch + b.broadcasts_scratch;
+    rollouts_begun = a.rollouts_begun + b.rollouts_begun;
+    rollouts_promoted = a.rollouts_promoted + b.rollouts_promoted;
+    rollouts_rolled_back = a.rollouts_rolled_back + b.rollouts_rolled_back;
+    canary_sessions_last =
+      (if b.rollouts_begun > 0 then b.canary_sessions_last
+       else a.canary_sessions_last);
     tick_latency = union_histogram a.tick_latency b.tick_latency;
     update_fanout = union_histogram a.update_fanout b.update_fanout;
     update_typecheck = union_histogram a.update_typecheck b.update_typecheck;
@@ -221,6 +235,10 @@ type snapshot = {
   s_recheck_defs_last : int;
   s_broadcasts_incremental : int;
   s_broadcasts_scratch : int;
+  s_rollouts_begun : int;
+  s_rollouts_promoted : int;
+  s_rollouts_rolled_back : int;
+  s_canary_sessions_last : int;
 }
 
 let snapshot (m : t) ~(sessions : int) ~(pending : int)
@@ -264,6 +282,10 @@ let snapshot (m : t) ~(sessions : int) ~(pending : int)
     s_recheck_defs_last = m.recheck_defs_last;
     s_broadcasts_incremental = m.broadcasts_incremental;
     s_broadcasts_scratch = m.broadcasts_scratch;
+    s_rollouts_begun = m.rollouts_begun;
+    s_rollouts_promoted = m.rollouts_promoted;
+    s_rollouts_rolled_back = m.rollouts_rolled_back;
+    s_canary_sessions_last = m.canary_sessions_last;
   }
 
 let accounting_ok (s : snapshot) : bool =
@@ -309,6 +331,10 @@ let to_string (s : snapshot) : string =
        s.s_dirty_defs_last s.s_recheck_defs_last (pp_ns s.s_diff_last_ns)
        (pp_ns s.s_compile_last_ns)
    end);
+  (if s.s_rollouts_begun > 0 then
+     line "  rollouts          %6d  begun: %d promoted, %d rolled back (last canary %d sessions)"
+       s.s_rollouts_begun s.s_rollouts_promoted s.s_rollouts_rolled_back
+       s.s_canary_sessions_last);
   line "  accounting        %s"
     (if accounting_ok s then "ok (in = processed + dropped + rejected + pending)"
      else "MISMATCH");

@@ -66,6 +66,11 @@ type t = {
       (** broadcasts whose typecheck reused the previous derivation *)
   mutable broadcasts_scratch : int;
       (** broadcasts typechecked from scratch *)
+  mutable rollouts_begun : int;  (** staged rollouts opened *)
+  mutable rollouts_promoted : int;
+  mutable rollouts_rolled_back : int;
+  mutable canary_sessions_last : int;
+      (** canary cohort size of the last begun rollout *)
   tick_latency : histogram;
   update_fanout : histogram;
   update_typecheck : histogram;
@@ -118,6 +123,10 @@ type snapshot = {
   s_recheck_defs_last : int;
   s_broadcasts_incremental : int;
   s_broadcasts_scratch : int;
+  s_rollouts_begun : int;
+  s_rollouts_promoted : int;
+  s_rollouts_rolled_back : int;
+  s_canary_sessions_last : int;
 }
 
 val snapshot :

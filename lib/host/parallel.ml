@@ -303,6 +303,18 @@ let update ?typecheck (t : t) (code : Live_core.Program.t) :
       Atomic.set t.updating true;
       Broadcast.update ?typecheck t.reg code)
 
+let exclusive (t : t) (f : unit -> 'a) : 'a =
+  Mutex.lock t.world;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set t.updating false;
+      Mutex.unlock t.world)
+    (fun () ->
+      if Atomic.get t.ticking then
+        ignore (Atomic.fetch_and_add t.violations 1);
+      Atomic.set t.updating true;
+      f ())
+
 (* ------------------------------------------------------------------ *)
 (* Fleet totals                                                        *)
 (* ------------------------------------------------------------------ *)

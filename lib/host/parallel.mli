@@ -94,6 +94,15 @@ val update :
     is how a live programming environment lands an edit against a
     running fleet. *)
 
+val exclusive : t -> (unit -> 'a) -> 'a
+(** Run [f] under the same stop-the-world discipline as {!update}:
+    the world lock is held (no tick can start), an in-flight tick
+    would be counted as a barrier violation, and the updating flag is
+    set for the duration.  This is how {!Rollout} stages (begin /
+    canary / promote / rollback) run against a parallel fleet — each
+    stage mutates fleet-shared structures (epoch table, session pins,
+    checkpoints) that must not race a serving worker. *)
+
 val snapshot : t -> Host_metrics.snapshot
 (** Fleet totals: the registry's ingress-side instance merged with
     every per-domain instance ({!Registry.snapshot_merged}).  The

@@ -39,7 +39,16 @@ let default_config =
     admission_limit = None;
   }
 
-type entry = { session : Session.t; ingress : uevent Backpressure.t }
+type entry = {
+  session : Session.t;
+  ingress : uevent Backpressure.t;
+  (* per-session ingress ledger, for cohort-level accounting during
+     staged rollouts: e_in = e_taken + e_dropped + e_rejected + queued *)
+  mutable e_in : int;
+  mutable e_taken : int;
+  mutable e_dropped : int;
+  mutable e_rejected : int;
+}
 
 type t = {
   cfg : config;
@@ -54,6 +63,13 @@ type t = {
   entries : (id, entry) Hashtbl.t;
   mutable order : id list;  (** spawn order, oldest first *)
   mutable next_id : id;
+  mutable epoch : int;
+      (** id of the installed code epoch; bumped by every
+          [set_program] and every promoted rollout *)
+  mutable epochs : (int * Live_core.Program.t) list;
+      (** live epochs, newest first.  One entry in steady state; two
+          while a rollout is open (target, then base). *)
+  mutable rollout_open : bool;
   pending_total : int Atomic.t;
       (** cached sum of ingress lengths.  Atomic because it is the one
           counter genuinely shared across domains: the coordinator
@@ -73,6 +89,9 @@ let create ?(config = default_config) (program : Live_core.Program.t) : t =
     entries = Hashtbl.create 64;
     order = [];
     next_id = 0;
+    epoch = 0;
+    epochs = [ (0, program) ];
+    rollout_open = false;
     pending_total = Atomic.make 0;
     metrics = Host_metrics.create ();
   }
@@ -87,12 +106,17 @@ let spawn (t : t) : (id, Machine.error) result =
   | Ok session ->
       let id = t.next_id in
       t.next_id <- id + 1;
+      Session.set_epoch session t.epoch;
       Hashtbl.replace t.entries id
         {
           session;
           ingress =
             Backpressure.create ~capacity:t.cfg.queue_capacity
               ~policy:t.cfg.queue_policy;
+          e_in = 0;
+          e_taken = 0;
+          e_dropped = 0;
+          e_rejected = 0;
         };
       t.order <- t.order @ [ id ];
       t.metrics.Host_metrics.sessions_spawned <-
@@ -130,9 +154,100 @@ let program_checked (t : t) = t.program_checked
 let config (t : t) = t.cfg
 let metrics (t : t) = t.metrics
 
+let repin_all (t : t) (epoch : int) : unit =
+  Hashtbl.iter (fun _ e -> Session.set_epoch e.session epoch) t.entries
+
 let set_program (t : t) (p : Live_core.Program.t) =
+  if t.rollout_open then
+    invalid_arg "Registry.set_program: a staged rollout is open";
   t.program <- p;
-  t.program_checked <- true
+  t.program_checked <- true;
+  t.epoch <- t.epoch + 1;
+  t.epochs <- [ (t.epoch, p) ];
+  repin_all t t.epoch
+
+(* ------------------------------------------------------------------ *)
+(* Code epochs (staged rollouts)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let current_epoch (t : t) : int = t.epoch
+let rollout_open (t : t) : bool = t.rollout_open
+let live_epochs (t : t) : (int * Live_core.Program.t) list = t.epochs
+
+let epoch_program (t : t) (e : int) : Live_core.Program.t option =
+  List.assoc_opt e t.epochs
+
+let session_epoch (t : t) (id : id) : int option =
+  Option.map (fun e -> Session.epoch e.session) (Hashtbl.find_opt t.entries id)
+
+let pin_session (t : t) (id : id) (epoch : int) : unit =
+  match Hashtbl.find_opt t.entries id with
+  | None -> ()
+  | Some e ->
+      if not (List.mem_assoc epoch t.epochs) then
+        invalid_arg "Registry.pin_session: epoch not live";
+      Session.set_epoch e.session epoch
+
+(** Open a rollout: register [target] as a second live epoch.  The
+    installed program, [current_epoch] and every session pin are
+    untouched — cohort migration is {!Live_host.Rollout}'s job. *)
+let open_rollout (t : t) (target : Live_core.Program.t) : int =
+  if t.rollout_open then
+    invalid_arg "Registry.open_rollout: a rollout is already open";
+  let e = t.epoch + 1 in
+  t.epochs <- (e, target) :: t.epochs;
+  t.rollout_open <- true;
+  e
+
+(** Close the open rollout by installing its target epoch fleet-wide:
+    the target becomes the program new sessions boot (typechecked by
+    the rollout's begin stage), the base epoch is retired, and every
+    session is pinned to the new epoch — the caller has already
+    migrated their states. *)
+let promote_rollout (t : t) : unit =
+  if not t.rollout_open then
+    invalid_arg "Registry.promote_rollout: no rollout open";
+  match t.epochs with
+  | (e, target) :: _ ->
+      t.program <- target;
+      t.program_checked <- true;
+      t.epoch <- e;
+      t.epochs <- [ (e, target) ];
+      t.rollout_open <- false;
+      repin_all t e
+  | [] -> assert false
+
+(** Close the open rollout by retiring its target epoch: the base
+    epoch stays installed and every session is pinned back to it — the
+    caller has already rewound the canaries. *)
+let rollback_rollout (t : t) : unit =
+  if not t.rollout_open then
+    invalid_arg "Registry.rollback_rollout: no rollout open";
+  t.epochs <- [ (t.epoch, t.program) ];
+  t.rollout_open <- false;
+  repin_all t t.epoch
+
+(** Epoch consistency, fleet-wide: every session's pin names a live
+    epoch, and its state's code is physically that epoch's program —
+    "interleaved traffic never crosses epochs" is checkable at any
+    quiescent point. *)
+let check_epochs (t : t) : (id * string) list =
+  List.filter_map
+    (fun id ->
+      match Hashtbl.find_opt t.entries id with
+      | None -> None
+      | Some e -> (
+          let pin = Session.epoch e.session in
+          match List.assoc_opt pin t.epochs with
+          | None -> Some (id, Printf.sprintf "pinned to dead epoch %d" pin)
+          | Some prog ->
+              if (Session.state e.session).Live_core.State.code == prog then
+                None
+              else
+                Some
+                  ( id,
+                    Printf.sprintf "code is not epoch %d's program" pin )))
+    t.order
 
 (* ------------------------------------------------------------------ *)
 (* Ingress                                                             *)
@@ -150,19 +265,24 @@ let offer (t : t) (id : id) (ev : uevent) : Backpressure.outcome =
   | None ->
       m.Host_metrics.events_rejected <- m.Host_metrics.events_rejected + 1;
       Backpressure.Rejected
-  | Some _ when admission_full ->
+  | Some e when admission_full ->
+      e.e_in <- e.e_in + 1;
+      e.e_rejected <- e.e_rejected + 1;
       m.Host_metrics.events_rejected <- m.Host_metrics.events_rejected + 1;
       Backpressure.Rejected
   | Some e -> (
+      e.e_in <- e.e_in + 1;
       match Backpressure.offer e.ingress ev with
       | Backpressure.Accepted ->
           ignore (Atomic.fetch_and_add t.pending_total 1);
           Backpressure.Accepted
       | Backpressure.Dropped_oldest ->
           (* one in, one out: total pending unchanged *)
+          e.e_dropped <- e.e_dropped + 1;
           m.Host_metrics.events_dropped <- m.Host_metrics.events_dropped + 1;
           Backpressure.Dropped_oldest
       | Backpressure.Rejected ->
+          e.e_rejected <- e.e_rejected + 1;
           m.Host_metrics.events_rejected <- m.Host_metrics.events_rejected + 1;
           Backpressure.Rejected)
 
@@ -180,6 +300,7 @@ let take (t : t) (id : id) : uevent option =
       match Backpressure.take e.ingress with
       | None -> None
       | Some ev ->
+          e.e_taken <- e.e_taken + 1;
           ignore (Atomic.fetch_and_add t.pending_total (-1));
           Some ev)
 
@@ -271,3 +392,52 @@ let digest (t : t) : string =
           Buffer.add_string b (observe_session e.session))
     t.order;
   Digest.to_hex (Digest.string (Buffer.contents b))
+
+(** {!digest} restricted to a cohort.  Iterates [t.order] (not the
+    argument), so the same sessions always digest in the same order
+    whatever order the cohort list is in. *)
+let digest_cohort (t : t) (cohort : id list) : string =
+  let member = Hashtbl.create (List.length cohort * 2) in
+  List.iter (fun id -> Hashtbl.replace member id ()) cohort;
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem member id then
+        match Hashtbl.find_opt t.entries id with
+        | None -> ()
+        | Some e ->
+            Buffer.add_string b (Printf.sprintf "== session %d ==\n" id);
+            Buffer.add_string b (observe_session e.session))
+    t.order;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
+(* Cohort accounting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type cohort_accounting = {
+  ca_in : int;
+  ca_taken : int;
+  ca_dropped : int;
+  ca_rejected : int;
+  ca_pending : int;
+}
+
+let cohort_accounting (t : t) (cohort : id list) : cohort_accounting =
+  List.fold_left
+    (fun acc id ->
+      match Hashtbl.find_opt t.entries id with
+      | None -> acc
+      | Some e ->
+          {
+            ca_in = acc.ca_in + e.e_in;
+            ca_taken = acc.ca_taken + e.e_taken;
+            ca_dropped = acc.ca_dropped + e.e_dropped;
+            ca_rejected = acc.ca_rejected + e.e_rejected;
+            ca_pending = acc.ca_pending + Backpressure.length e.ingress;
+          })
+    { ca_in = 0; ca_taken = 0; ca_dropped = 0; ca_rejected = 0; ca_pending = 0 }
+    (List.sort_uniq compare cohort)
+
+let cohort_accounting_ok (a : cohort_accounting) : bool =
+  a.ca_in = a.ca_taken + a.ca_dropped + a.ca_rejected + a.ca_pending

@@ -90,8 +90,60 @@ val take : t -> id -> uevent option
 val set_program : t -> Live_core.Program.t -> unit
 (** Install the new shared code — {b only} {!Broadcast.update} calls
     this, after the fleet-wide transaction committed.  Marks the
-    program checked ({!program_checked}): the broadcast typechecked it
-    before committing. *)
+    program checked ({!program_checked}), bumps the code epoch and
+    re-pins every session to it.
+    @raise Invalid_argument while a staged rollout is open. *)
+
+(** {1 Code epochs (staged rollouts)}
+
+    In steady state the fleet has one live epoch: the installed
+    program.  {!open_rollout} registers an edit transaction's target
+    as a second live epoch; while the rollout is open, each session is
+    pinned to exactly one of the two, and {!Broadcast.update} refuses
+    to run.  {!promote_rollout} / {!rollback_rollout} close the window
+    — cohort state migration (canary updates, checkpoint rewinds) is
+    {!Rollout}'s job; the registry only tracks which epochs are live
+    and who is pinned where. *)
+
+val current_epoch : t -> int
+(** The installed epoch's id (0 at creation; bumps on every
+    [set_program] and every promoted rollout). *)
+
+val rollout_open : t -> bool
+
+val live_epochs : t -> (int * Live_core.Program.t) list
+(** Newest first; one entry in steady state, two while a rollout is
+    open. *)
+
+val epoch_program : t -> int -> Live_core.Program.t option
+
+val session_epoch : t -> id -> int option
+(** The epoch a session is pinned to; [None] for an unknown id. *)
+
+val pin_session : t -> id -> int -> unit
+(** Re-pin one session ({!Rollout} migrating a canary).  Unknown ids
+    are ignored.
+    @raise Invalid_argument if the epoch is not live. *)
+
+val open_rollout : t -> Live_core.Program.t -> int
+(** Register [target] as a second live epoch and return its id.  The
+    installed program and every pin are untouched.
+    @raise Invalid_argument if a rollout is already open. *)
+
+val promote_rollout : t -> unit
+(** Install the open rollout's target fleet-wide and retire the base
+    epoch; every session is pinned to the new epoch (the caller has
+    migrated their states).  @raise Invalid_argument if none is open. *)
+
+val rollback_rollout : t -> unit
+(** Retire the open rollout's target epoch; the base stays installed
+    and every session is pinned back to it (the caller has rewound the
+    canaries).  @raise Invalid_argument if none is open. *)
+
+val check_epochs : t -> (id * string) list
+(** Epoch consistency: every session's pin names a live epoch and its
+    state's code is physically that epoch's program.  Empty list =
+    no session ever crosses epochs unaccounted. *)
 
 (** {1 Invariants} *)
 
@@ -118,3 +170,30 @@ val digest : t -> string
     observable state as one hex string.  Sequential and parallel hosts
     replaying the same seeded trace must digest identically for every
     [--jobs] — the determinism contract of [lib/host/parallel]. *)
+
+val digest_cohort : t -> id list -> string
+(** {!digest} restricted to a cohort (always hashed in id order,
+    whatever order the list is in) — the canary-vs-shadow comparison
+    unit during staged rollouts. *)
+
+(** {1 Cohort accounting}
+
+    Per-session ingress ledgers aggregated over a cohort.  The
+    accounting identity [ca_in = ca_taken + ca_dropped + ca_rejected +
+    ca_pending] holds per cohort and summed — events never migrate
+    between cohorts, so a staged rollout cannot launder a lost event
+    through the fleet totals. *)
+
+type cohort_accounting = {
+  ca_in : int;  (** offers addressed to cohort members (any outcome) *)
+  ca_taken : int;  (** events the scheduler dequeued *)
+  ca_dropped : int;  (** drop-oldest victims *)
+  ca_rejected : int;  (** queue-full and admission rejections *)
+  ca_pending : int;  (** still queued *)
+}
+
+val cohort_accounting : t -> id list -> cohort_accounting
+(** Duplicate ids in the cohort are counted once; unknown ids
+    contribute nothing (killed sessions' ledgers die with them). *)
+
+val cohort_accounting_ok : cohort_accounting -> bool

@@ -1,0 +1,132 @@
+(** Transactional staged rollouts: an {e edit transaction} applied to
+    the fleet in stages instead of one flat broadcast.
+
+    Several program edits are composed into one change set
+    ({!compose}), diffed and typechecked {b once} ({!begin_} — the
+    O(edit) pipeline of {!Broadcast}), and registered as a second live
+    code epoch in the registry.  A deterministic canary cohort
+    (seeded, {!Live_core.Prng.derive}) then takes the edit
+    ({!canary}) while the shadow cohort keeps serving on the base
+    epoch; the driver watches both cohorts side by side
+    ({!observe}: per-cohort digests, accounting, epoch and state
+    invariants) and resolves the transaction either way:
+
+    - {!promote} migrates the shadow cohort and retires the base
+      epoch.  The fleet ends {b byte-identical} to a one-shot
+      {!Broadcast.update} of the same change set — the soundness
+      statement, enforced by the oracle's ["host-txn"] configuration
+      and [test/test_rollout.ml].
+    - {!rollback} rewinds every canary to its pre-rollout checkpoint
+      and replays the interactions it served while canarying
+      ({!Live_runtime.Session.rewind}), ending byte-identical to a
+      fleet that never saw the edit.  (Re-broadcasting the old code
+      would {e not} do that: UPDATE's Fig. 12 fix-up resets state the
+      edit touched.)
+
+    Grounded in {e Edit Transactions: Dynamically Scoped Change Sets
+    for Controlled Updates in Live Programming} (see PAPERS.md): the
+    change set is the transaction, the canary cohort is its dynamic
+    scope.
+
+    Concurrency: every stage mutates fleet-shared structures and must
+    run with the fleet quiescent — under {!Parallel}, wrap each stage
+    in {!Parallel.exclusive} (the same stop-the-world discipline as a
+    broadcast). *)
+
+type stage =
+  | Staged  (** typechecked and epoch-registered; no session touched *)
+  | Canarying  (** the canary cohort runs the target epoch *)
+  | Promoted  (** resolved: target installed fleet-wide *)
+  | Rolled_back  (** resolved: canaries rewound, target retired *)
+
+type t
+
+val compose :
+  base:Live_core.Program.t ->
+  (Live_core.Program.t -> Live_core.Program.t) list ->
+  Live_core.Program.t
+(** Fold a list of edits over [base], first edit first — N edits, one
+    change set, one diff/typecheck/compile. *)
+
+val begin_ :
+  ?typecheck:Broadcast.typecheck_mode ->
+  ?fraction:float ->
+  seed:int ->
+  Registry.t ->
+  Live_core.Program.t ->
+  (t, Live_core.Machine.error) result
+(** Stage an edit transaction: diff the target against the installed
+    program, discharge [C' |- C'] once ([typecheck] defaults to
+    [Incremental]), open the target as a second live epoch, pin both
+    epochs' compilations ({!Live_core.Compile_eval.pin_epoch}, under
+    the [Compiled] evaluator) and select the canary cohort — a
+    deterministic [fraction] (default [0.1], at least one session) of
+    the current fleet, drawn by seeded partial shuffle.  [Error] means
+    the typecheck refused the change set and {e nothing} happened
+    (counted in [updates_rejected]).
+    @raise Invalid_argument if a rollout is already open. *)
+
+val canary : t -> Broadcast.session_outcome list
+(** Apply the target to the canary cohort.  Each canary checkpoints
+    first ({!Live_runtime.Session.checkpoint}) and starts journalling
+    the traffic it serves, so {!rollback} stays exact whatever happens
+    during the window.  Outcomes mirror {!Broadcast.update}'s
+    per-session outcomes (sessions killed since [begin_] are skipped).
+    @raise Invalid_argument unless the stage is [Staged]. *)
+
+val promote : t -> Broadcast.session_outcome list
+(** Resolve by migrating the shadow cohort (and any session spawned
+    mid-window) to the target, committing every canary checkpoint and
+    retiring the base epoch.  Fleet digest is byte-identical to a
+    one-shot broadcast of the same change set.
+    @raise Invalid_argument unless the stage is [Canarying]. *)
+
+val rollback : t -> (Registry.id * Live_core.Machine.error) list
+(** Resolve by rewinding every canary to its checkpoint and replaying
+    its journalled window traffic; the target epoch is retired and the
+    fleet is byte-identical to one that never began the rollout.
+    Replay errors are consumed and returned, as the scheduler consumes
+    per-event errors on the live path; [[]] is a clean rollback.
+    Allowed from [Staged] too (a rollout abandoned before canarying is
+    a pure close).
+    @raise Invalid_argument if already resolved. *)
+
+(** {1 Observation (the canary-vs-shadow comparison)} *)
+
+type health = {
+  h_stage : stage;
+  canary_digest : string;  (** {!Registry.digest_cohort} of the canaries *)
+  shadow_digest : string;  (** ... of everyone else *)
+  canary_accounting : Registry.cohort_accounting;
+  shadow_accounting : Registry.cohort_accounting;
+  accounting_ok : bool;  (** both cohort identities hold *)
+  epoch_violations : (Registry.id * string) list;
+      (** {!Registry.check_epochs}: sessions crossing epochs *)
+  invariant_violations : (Registry.id * string) list;
+      (** {!Registry.check_invariants} fleet-wide *)
+}
+
+val observe : t -> health
+(** Both cohorts side by side, at any point in the rollout's life. *)
+
+val healthy : health -> bool
+(** Accounting holds and no epoch or state invariant is violated —
+    the promote/rollback decision input. *)
+
+(** {1 Introspection} *)
+
+val stage : t -> stage
+val canary_ids : t -> Registry.id list
+(** Ascending; fixed at [begin_] time. *)
+
+val shadow_ids : t -> Registry.id list
+(** Everyone currently in the fleet but the canaries. *)
+
+val base : t -> Live_core.Program.t
+val target : t -> Live_core.Program.t
+val base_epoch : t -> int
+val target_epoch : t -> int
+
+val summary : t -> string
+(** One paragraph: stage, cohort sizes, epochs, and the change set's
+    dirty definitions ({!Live_core.Program_diff.dirty_names}). *)

@@ -54,6 +54,12 @@ let no_damage =
     interaction that actually enqueues an event. *)
 type fault = Drop_next_event | Duplicate_next_event
 
+(** One journalled interaction, for rollback replay.  Taps are replayed
+    by screen coordinates — the same resolution path a live user's
+    finger takes — so a rewound session re-derives hits and misses
+    from the restored display rather than trusting the recording. *)
+type jop = J_tap of { x : int; y : int } | J_back | J_inject of fault
+
 type t = {
   mutable state : State.t;
   width : int;
@@ -73,6 +79,12 @@ type t = {
   mutable damage : damage_totals;
   mutable pending_fault : fault option;
       (** consumed by the next tap/back that enqueues an event *)
+  mutable epoch : int;
+      (** the code epoch this session is pinned to; the registry keeps
+          it consistent with [state.code] during staged rollouts *)
+  mutable journal : jop list option;
+      (** [Some ops] (newest first) while a checkpoint is armed:
+          interactions recorded for rollback replay *)
 }
 
 let ( let* ) = Result.bind
@@ -105,6 +117,8 @@ let create ?(width = 48) ?(fuel = Live_core.Eval.default_fuel)
       frame = None;
       damage = no_damage;
       pending_fault = None;
+      epoch = 0;
+      journal = None;
     }
   in
   let* () = stabilize t in
@@ -124,7 +138,15 @@ let apply_pending_fault (t : t) : unit =
         | Drop_next_event -> Machine.drop_oldest_event t.state
         | Duplicate_next_event -> Machine.duplicate_oldest_event t.state)
 
-let inject (t : t) (f : fault) : unit = t.pending_fault <- Some f
+(** Record an interaction in the armed journal, if any. *)
+let journal_op (t : t) (op : jop) : unit =
+  match t.journal with
+  | None -> ()
+  | Some ops -> t.journal <- Some (op :: ops)
+
+let inject (t : t) (f : fault) : unit =
+  journal_op t (J_inject f);
+  t.pending_fault <- Some f
 
 (** Drop every warm structure the incremental pipeline holds: the
     render memoization cache, the previous frame (forcing the next
@@ -240,6 +262,7 @@ type tap_result =
     Records the interaction in the trace either way (the user did
     touch the screen; whether it hit is a property of the current UI). *)
 let tap (t : t) ~(x : int) ~(y : int) : (tap_result, Machine.error) result =
+  journal_op t (J_tap { x; y });
   t.trace <- Trace.add (Trace.Tap { x; y }) t.trace;
   match layout t with
   | None -> Ok No_handler
@@ -269,6 +292,7 @@ let tap_first (t : t) : (tap_result, Machine.error) result =
 
 (** The BACK button. *)
 let back (t : t) : (unit, Machine.error) result =
+  journal_op t J_back;
   t.trace <- Trace.add Trace.Back t.trace;
   t.state <- Machine.back t.state;
   apply_pending_fault t;
@@ -314,6 +338,60 @@ let update ?(checked = false) ?diff (t : t) (new_code : Live_core.Program.t)
   Ok
     (Option.value !report
        ~default:{ Live_core.Fixup.dropped_globals = []; dropped_pages = [] })
+
+(* -- checkpoint / rollback ------------------------------------------- *)
+
+(** A rollback point: the immutable parts of a session, captured by
+    reference (state, trace and the pending fault are persistent
+    values — no copying needed). *)
+type checkpoint = {
+  cp_state : State.t;
+  cp_trace : Trace.t;
+  cp_fault : fault option;
+}
+
+(** Capture a rollback point and arm the journal: every interaction
+    from here on is recorded until {!commit} or {!rewind}. *)
+let checkpoint (t : t) : checkpoint =
+  t.journal <- Some [];
+  { cp_state = t.state; cp_trace = t.trace; cp_fault = t.pending_fault }
+
+(** Keep the current state: disarm the journal and discard it. *)
+let commit (t : t) : unit = t.journal <- None
+
+(** Restore the checkpoint, then replay the journalled interactions on
+    top of it — the session ends byte-identical to one that never left
+    the checkpointed code.  Caches are flushed (their entries are keyed
+    to the abandoned code), which is observationally invisible.  Errors
+    raised by replayed interactions are consumed and returned, exactly
+    as the scheduler consumes per-event errors on the live path; an
+    empty list is a clean rewind. *)
+let rewind (t : t) (cp : checkpoint) : Machine.error list =
+  let ops = match t.journal with Some ops -> List.rev ops | None -> [] in
+  t.journal <- None;
+  t.state <- cp.cp_state;
+  t.trace <- cp.cp_trace;
+  t.pending_fault <- cp.cp_fault;
+  flush_caches t;
+  List.fold_left
+    (fun errs op ->
+      match op with
+      | J_tap { x; y } -> (
+          match tap t ~x ~y with Ok _ -> errs | Error e -> e :: errs)
+      | J_back -> (
+          match back t with Ok () -> errs | Error e -> e :: errs)
+      | J_inject f ->
+          inject t f;
+          errs)
+    [] ops
+  |> List.rev
+
+let journalling (t : t) : bool = t.journal <> None
+
+(* -- epoch pin ------------------------------------------------------- *)
+
+let epoch (t : t) : int = t.epoch
+let set_epoch (t : t) (e : int) : unit = t.epoch <- e
 
 let current_page (t : t) : (string * Live_core.Ast.value) option =
   State.top_page t.state

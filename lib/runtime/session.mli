@@ -114,3 +114,40 @@ val flush_caches : t -> unit
 
 val damage_stats : t -> damage_totals option
 (** Cumulative damage-painting counters, if the cache is enabled. *)
+
+(** {1 Checkpoint / rollback (staged rollouts)}
+
+    The rollback contract of {!Live_host.Rollout}: a canary session
+    checkpoints before taking the staged edit, journals every
+    interaction it serves while canarying, and on rollback is rewound
+    to the checkpoint and replayed — ending byte-identical to a
+    session that never saw the edit.  (Merely re-UPDATE-ing back to
+    the old code would {e not} be a no-op: the Fig. 12 fix-up resets
+    state the edit touched.) *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture a rollback point and start journalling interactions
+    ([tap], [back], [inject]).  Cheap: state, trace and pending fault
+    are persistent values captured by reference. *)
+
+val commit : t -> unit
+(** Keep the current state; stop journalling and drop the journal. *)
+
+val rewind : t -> checkpoint -> Live_core.Machine.error list
+(** Restore the checkpoint and replay the journalled interactions on
+    top of it.  Per-interaction errors are consumed and returned (the
+    scheduler consumes per-event errors the same way on the live
+    path); [[]] is a clean rewind. *)
+
+val journalling : t -> bool
+(** Whether a checkpoint is currently armed. *)
+
+(** {1 Epoch pin (staged rollouts)} *)
+
+val epoch : t -> int
+(** The code epoch this session is pinned to (0 at creation); managed
+    by {!Live_host.Registry} during staged rollouts. *)
+
+val set_epoch : t -> int -> unit

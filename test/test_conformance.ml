@@ -117,6 +117,8 @@ let golden =
     "fixup_retype_global";
     "update_storm";
     "oedit_update_classes";
+    "rollout_promote_lifecycle";
+    "rollout_midcanary_rollback";
   ]
 
 (* under [dune runtest] the cwd is the build copy of test/; under a

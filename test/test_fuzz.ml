@@ -81,7 +81,11 @@ let prop_undo_restores =
                       QCheck2.Test.fail_reportf "broken edit: %s"
                         (Live_session.error_to_string e))
               | Ctrace.Render -> ignore (Live_session.screenshot ls)
-              | Ctrace.Flush_cache | Ctrace.Drop_next | Ctrace.Dup_next ->
+              | Ctrace.Flush_cache | Ctrace.Drop_next | Ctrace.Dup_next
+              (* transactions are a host-level (fleet) notion; the
+                 single-session undo fuzz has nothing to stage *)
+              | Ctrace.Begin_txn _ | Ctrace.Canary | Ctrace.Promote
+              | Ctrace.Rollback ->
                   ())
             trace.Ctrace.events;
           (* whatever happened, the session must still be live *)

@@ -48,5 +48,6 @@ let () =
       ("conformance", Test_conformance.suite);
       ("host", Test_host.suite);
       ("parallel", Test_parallel.suite);
+      ("rollout", Test_rollout.suite);
       ("misc", Test_misc.suite);
     ]
