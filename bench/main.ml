@@ -45,7 +45,11 @@
     - B14 [staged_rollout]  — the transactional rollout lifecycle
       (lib/host/rollout): begin/canary/promote of a 2-edit change set
       vs. one flat broadcast at the same fleet sizes, digests
-      cross-checked byte-identical.
+      cross-checked byte-identical;
+    - B15 [net_e2e]         — the networked host (lib/net) over real
+      Unix-domain sockets: event-sent -> delta-received p50/p99
+      latency at fleets {10, 100, 1000} and the damage-delta
+      bandwidth ratio vs. full-frame repaints on independent_rows.
 
     Output: one table per experiment, estimated ns (or µs/ms) per
     operation from Bechamel's OLS fit against the run count, plus a
@@ -1320,6 +1324,104 @@ let b14 () : jentry list =
     fleet_sizes
 
 (* ------------------------------------------------------------------ *)
+(* B15: networked host — end-to-end latency over real sockets          *)
+(* ------------------------------------------------------------------ *)
+
+(** B15 prices the wire (lib/net): the full event-sent →
+    delta-received path over real Unix-domain sockets, server and
+    lockstep client co-scheduled on one thread.  Latency here includes
+    everything B10's tick latency leaves out — framing, the socket
+    round-trip, select, decode, and the damage diff — so the p50 gap
+    between B15 and B10 at the same fleet size {e is} the cost of the
+    network layer.  The workload is [independent_rows], where a tap
+    dirties exactly one row: the delta-row ratio is the fraction of
+    rows actually shipped vs. what full-frame repaints would send —
+    the protocol's bandwidth claim, measured rather than asserted. *)
+let b15 () : jentry list =
+  let module H = Live_host in
+  let module Server = Live_net.Server in
+  let module Client = Live_net.Client in
+  let module Wire = Live_net.Wire in
+  let module Prng = Live_conformance.Prng in
+  let fleet_conns = [ (10, 10); (100, 25); (1000, 50) ] in
+  let rows_n = 16 in
+  let core =
+    (Live_workloads.Synthetic.compile_exn
+       (Live_workloads.Synthetic.independent_rows ~n:rows_n))
+      .Live_surface.Compile.core
+  in
+  header "B15: net_e2e — the networked host over real sockets"
+    "lib/net end to end: event-sent -> delta-received latency \
+     (framing + socket + select + decode + damage diff included) and \
+     the damage-delta bandwidth ratio on independent_rows, vs. fleet \
+     size.";
+  List.concat_map
+    (fun (k, conns) ->
+      let rounds = max 4 (2000 / k) in
+      let socket =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "itsalive-b15-%d-%d.sock" (Unix.getpid ()) k)
+      in
+      let cfg = { H.Registry.default_config with H.Registry.width = 48 } in
+      let srv = Server.create ~config:cfg ~batch:8 ~socket core in
+      let rngs = Array.init k (fun s -> Prng.create (Prng.derive 42 s)) in
+      let gen ~slot ~round:_ =
+        let rng = rngs.(slot) in
+        Wire.Ev_tap { x = 2; y = Prng.int rng (rows_n + 3) }
+      in
+      let t0 = Unix.gettimeofday () in
+      let report =
+        match
+          Client.run ~socket ~conns ~sessions:k ~rounds ~gen
+            ~pump:(fun () -> ignore (Server.step ~timeout:0. srv))
+            ()
+        with
+        | Ok r -> r
+        | Error m -> failwith ("b15 client: " ^ m)
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Server.stop srv;
+      let p q = H.Host_metrics.quantile report.Client.latency q in
+      let p50 = p 0.5 and p99 = p 0.99 in
+      let eps = float_of_int report.Client.events_sent /. dt in
+      let ratio =
+        if report.Client.full_rows = 0 then 0.
+        else
+          float_of_int report.Client.delta_rows
+          /. float_of_int report.Client.full_rows
+      in
+      Printf.printf
+        "  fleet=%4d conns=%2d  %8.0f events/s  e2e p50 %s  p99 %s  \
+         delta-rows %.1f%%\n"
+        k conns eps (pp_time p50) (pp_time p99) (100. *. ratio);
+      [
+        {
+          id = Printf.sprintf "b15/e2e-p50-ns/fleet=%04d" k;
+          unit_ = "ns";
+          value = p50;
+        };
+        {
+          id = Printf.sprintf "b15/e2e-p99-ns/fleet=%04d" k;
+          unit_ = "ns";
+          value = p99;
+        };
+        {
+          id = Printf.sprintf "b15/events-per-sec/fleet=%04d" k;
+          unit_ = "events/s";
+          value = eps;
+        };
+        {
+          (* percent, not a 0-1 ratio: the JSON emitter keeps one
+             decimal, which would flatten 0.053 to 0.1 *)
+          id = Printf.sprintf "b15/delta-rows-pct/fleet=%04d" k;
+          unit_ = "percent";
+          value = 100. *. ratio;
+        };
+      ])
+    fleet_conns
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -1340,6 +1442,7 @@ let () =
   let r12 = b12 () in
   let r13 = b13 () in
   let r14 = b14 () in
+  let r15 = b15 () in
   let alloc_entries =
     List.rev_map
       (fun (name, b) -> { id = name ^ "/alloc"; unit_ = "B/run"; value = b })
@@ -1348,5 +1451,5 @@ let () =
   write_json
     (List.concat_map entries_of_rows
        [ r1; r2; r3; r4; r5; r6; r7; r8; r9 ]
-    @ r10 @ r11 @ r12 @ r13 @ r14 @ alloc_entries);
+    @ r10 @ r11 @ r12 @ r13 @ r14 @ r15 @ alloc_entries);
   Printf.printf "\nDone. See EXPERIMENTS.md for interpretation.\n"

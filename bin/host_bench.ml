@@ -15,6 +15,8 @@
     host_bench --policy hottest-first --cache  # other configurations
     host_bench --jobs 4 --digest               # the parallel pool
     host_bench --evaluator subst               # the substitution engine
+    host_bench --net --conns 25                # over real Unix sockets
+    host_bench --net --soak 60 --detach-every 5  # the net soak job
     v}
 
     Determinism contract: for a fixed [--seed], the final fleet state
@@ -74,6 +76,24 @@ let usage () =
                       lockstep shadow fleet that takes each promoted
                       change set as one flat broadcast and never sees
                       a rolled-back one; nonzero exit on divergence
+  --net               drive the fleet over real Unix-domain sockets:
+                      an in-process lib/net server plus the lockstep
+                      load client, one event per session per round.
+                      Reports end-to-end (event-written to
+                      delta-decoded) p50/p99 latency and the damage
+                      delta vs full-repaint byte ratio, then replays
+                      the identical seeded trace on a direct
+                      in-process fleet and fails unless the two
+                      digests agree (transport invariance).  With
+                      --soak SECS, runs the wall-clock net soak
+                      (periodic detach/resume, one broadcast at
+                      half-time) instead of a fixed --events count
+  --conns C           connections the --net client multiplexes the
+                      fleet over (default: min(sessions, 16))
+  --detach-every K    under --net: detach one session (rotating) to a
+                      client-held snapshot and resume it every K
+                      rounds (default 0 = never; the net soak
+                      defaults to 5)
   --quiet             no per-phase progress|};
   exit 2
 
@@ -101,6 +121,9 @@ let quiet = ref false
 let evaluator = ref Live_core.Machine.Compiled
 let typecheck = ref H.Broadcast.Incremental
 let edit_size = ref 0
+let net = ref false
+let conns = ref 0 (* 0 = auto: min (sessions, 16) *)
+let detach_every = ref 0
 
 let evaluator_name = function
   | Live_core.Machine.Subst -> "subst"
@@ -207,6 +230,15 @@ let parse_args () =
     | "--rollout-soak" :: v :: rest ->
         rollout_soak := Some (float_of_string v);
         parse rest
+    | "--net" :: rest ->
+        net := true;
+        parse rest
+    | "--conns" :: v :: rest ->
+        conns := int_of_string v;
+        parse rest
+    | "--detach-every" :: v :: rest ->
+        detach_every := int_of_string v;
+        parse rest
     | "--quiet" :: rest ->
         quiet := true;
         parse rest
@@ -215,6 +247,52 @@ let parse_args () =
         usage ()
   in
   try parse (List.tl (Array.to_list Sys.argv)) with Failure _ -> usage ()
+
+(** Reject nonsensical flag combinations up front, before any fleet is
+    spawned — a bad invocation must die with a usage message, never
+    silently ignore one of its flags (the old behaviour when --soak
+    and --rollout-soak were both given). *)
+let validate_flags () =
+  let err m =
+    prerr_endline m;
+    usage ()
+  in
+  if !sessions < 1 then err "--sessions must be >= 1";
+  if !events < 1 then err "--events must be >= 1";
+  if !updates < 0 then err "--updates must be >= 0";
+  if !batch < 1 then err "--batch must be >= 1";
+  if !queue_capacity < 1 then err "--queue-capacity must be >= 1";
+  (match !admission with
+  | Some a when a < 1 -> err "--admission must be >= 1"
+  | _ -> ());
+  if !rows < 1 then err "--rows must be >= 1";
+  if !width < 4 then err "--width must be >= 4";
+  (match !soak with
+  | Some s when s <= 0. -> err "--soak seconds must be > 0"
+  | _ -> ());
+  (match !rollout_soak with
+  | Some s when s <= 0. -> err "--rollout-soak seconds must be > 0"
+  | _ -> ());
+  if !soak <> None && !rollout_soak <> None then
+    err "--soak and --rollout-soak are mutually exclusive";
+  if !net && !rollout_soak <> None then
+    err "--net does not support --rollout-soak";
+  if !net && !jobs <> 1 then
+    err "--net drives the sequential scheduler; drop --jobs";
+  if (not !net) && !conns <> 0 then err "--conns requires --net";
+  if (not !net) && !detach_every <> 0 then err "--detach-every requires --net";
+  if !conns < 0 then err "--conns must be >= 1";
+  if !conns > 256 then err "--conns must be <= 256 (select fd budget)";
+  if !detach_every < 0 then err "--detach-every must be >= 0";
+  if !net && !conns = 0 then conns := min !sessions 16;
+  if !net && !conns > !sessions then conns := !sessions;
+  if !jobs > Domain.recommended_domain_count () then
+    Printf.eprintf
+      "warning: --jobs %d exceeds the recommended domain count (%d); expect \
+       oversubscription, not speedup\n\
+       %!"
+      !jobs
+      (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
 (* Workload                                                            *)
@@ -714,14 +792,242 @@ let run_rollout_soak (secs : float) : H.Registry.t * driver =
   (reg, dr)
 
 (* ------------------------------------------------------------------ *)
+(* The networked fleet (lib/net)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let to_wire_event : H.Registry.uevent -> Live_net.Wire.event = function
+  | H.Registry.Tap { x; y } -> Live_net.Wire.Ev_tap { x; y }
+  | H.Registry.Back -> Live_net.Wire.Ev_back
+
+let net_config () =
+  {
+    H.Registry.default_config with
+    H.Registry.width = !width;
+    cache = !cache;
+    queue_capacity = !queue_capacity;
+    queue_policy = !queue_policy;
+    admission_limit = !admission;
+    evaluator = !evaluator;
+  }
+
+(** The fleet digest in {e slot} order rather than id order: resumed
+    sessions come back under fresh ids, so the socket fleet and the
+    direct shadow fleet can only be compared by what each slot
+    observes, not by the ids it happens to hold. *)
+let slot_digest (reg : H.Registry.t) (ids : int list) : string =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun i id ->
+      Buffer.add_string buf (Printf.sprintf "== slot %d ==\n" i);
+      match H.Registry.session reg id with
+      | None -> Buffer.add_string buf "<missing>\n"
+      | Some s -> Buffer.add_string buf (H.Registry.observe_session s))
+    ids;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(** One complete networked run: an in-process {!Live_net.Server} on a
+    real Unix-domain socket, the lockstep {!Live_net.Client} driving
+    one seeded event per session per round (with optional periodic
+    detach/resume), broadcasts at the same evenly spaced rounds as the
+    direct load mode — then the {e transport invariance} check: a
+    direct in-process fleet replays the identical seeded trace and the
+    two fleets' slot-order digests must agree.  The client's
+    delta-reconstructed frames are also checked byte-for-byte against
+    the server's screenshots, so the damage protocol itself is
+    verified end to end on every run. *)
+let run_net_rounds ~(seed : int) ~(rounds : int) ~(detach_every : int)
+    ~(label : string) : H.Registry.t * driver =
+  let module Server = Live_net.Server in
+  let module Client = Live_net.Client in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "itsalive-net-%d.sock" (Unix.getpid ()))
+  in
+  let srv =
+    Server.create ~config:(net_config ()) ~batch:!batch ~socket
+      (compile_version 0)
+  in
+  let reg = Server.registry srv in
+  let pump () = ignore (Server.step ~timeout:0. srv) in
+  let rngs = Array.init !sessions (fun s -> Prng.create (Prng.derive seed s)) in
+  let gen ~slot ~round:_ = to_wire_event (gen_event rngs.(slot)) in
+  let update_rounds =
+    List.init !updates (fun u -> max 1 (rounds * (u + 1) / (!updates + 1)))
+  in
+  let version = ref 0 in
+  let on_round r =
+    if List.mem r update_rounds then begin
+      incr version;
+      (match
+         H.Broadcast.update ~typecheck:!typecheck reg (next_edit reg !version)
+       with
+      | Ok _ -> ()
+      | Error e ->
+          fail "net broadcast v%d rejected: %s" !version
+            (Live_core.Machine.error_to_string e));
+      Server.mark_all_dirty srv
+    end
+  in
+  say "%s: %d sessions over %d connections, %d rounds%s\n" label !sessions
+    !conns rounds
+    (if detach_every > 0 then
+       Printf.sprintf ", detach/resume every %d rounds" detach_every
+     else "");
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Client.run ~socket ~conns:!conns ~sessions:!sessions ~rounds ~gen
+      ?detach_every:(if detach_every > 0 then Some detach_every else None)
+      ~on_round ~pump ~stats:true ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  (* let the server process the goodbyes *)
+  for _ = 1 to 50 do
+    ignore (Server.step ~timeout:0. srv)
+  done;
+  (match result with
+  | Error m -> fail "net client: %s" m
+  | Ok r ->
+      let p q = H.Host_metrics.quantile r.Client.latency q /. 1e6 in
+      say "net: %d events in %.2f s (%.0f events/s end-to-end)\n"
+        r.Client.events_sent dt
+        (float_of_int r.Client.events_sent /. dt);
+      say "net: e2e latency p50 %.3f ms  p99 %.3f ms  (%d samples, %d rejected)\n"
+        (p 0.5) (p 0.99)
+        (H.Host_metrics.hist_count r.Client.latency)
+        r.Client.rejected;
+      if r.Client.full_rows > 0 then
+        say
+          "net: damage deltas shipped %d rows vs %d full-repaint rows \
+           (%.1f%%)\n"
+          r.Client.delta_rows r.Client.full_rows
+          (100.
+          *. float_of_int r.Client.delta_rows
+          /. float_of_int r.Client.full_rows);
+      if r.Client.detaches > 0 then
+        say "net: %d detaches, %d resumes (snapshots round-tripped the wire)\n"
+          r.Client.detaches r.Client.resumes;
+      (* the client's delta-reconstructed frames must equal the
+         server's screenshots *)
+      List.iteri
+        (fun slot id ->
+          match H.Registry.session reg id with
+          | None -> fail "net: slot %d's session %d missing at end of run" slot id
+          | Some s ->
+              let want =
+                Live_net.Wire.rows_of_text (Live_runtime.Session.screenshot s)
+              in
+              if want <> r.Client.frames.(slot) then
+                fail
+                  "net: slot %d's delta-reconstructed frame differs from the \
+                   server's screenshot"
+                  slot)
+        r.Client.session_ids;
+      (* transport invariance: the same seeded trace replayed on a
+         direct in-process fleet must digest-agree, slot for slot *)
+      let sreg = H.Registry.create ~config:(net_config ()) (compile_version 0) in
+      (match H.Registry.spawn_many sreg !sessions with
+      | Ok _ -> ()
+      | Error e ->
+          fail "net shadow spawn failed: %s"
+            (Live_core.Machine.error_to_string e));
+      let sched =
+        H.Scheduler.create ~policy:H.Scheduler.Round_robin ~batch:!batch sreg
+      in
+      let srngs =
+        Array.init !sessions (fun s -> Prng.create (Prng.derive seed s))
+      in
+      let sversion = ref 0 in
+      for round = 0 to rounds - 1 do
+        Array.iteri
+          (fun s rng -> ignore (H.Registry.offer sreg s (gen_event rng)))
+          srngs;
+        (match H.Scheduler.drain sched with
+        | Ok _ -> ()
+        | Error m -> fail "net shadow drain: %s" m);
+        if List.mem round update_rounds then begin
+          incr sversion;
+          match
+            H.Broadcast.update ~typecheck:!typecheck sreg
+              (next_edit sreg !sversion)
+          with
+          | Ok _ -> ()
+          | Error e ->
+              fail "net shadow broadcast v%d rejected: %s" !sversion
+                (Live_core.Machine.error_to_string e)
+        end
+      done;
+      check_fleet sreg (Printf.sprintf "%s (direct shadow)" label);
+      let d = slot_digest reg r.Client.session_ids in
+      let sd = slot_digest sreg (List.init !sessions Fun.id) in
+      if String.equal d sd then
+        say
+          "net cross-check: socket fleet and direct fleet digest-identical \
+           (%s)\n"
+          d
+      else
+        fail
+          "net cross-check: socket fleet digest %s <> direct fleet digest %s \
+           — the wire changed behaviour"
+          d sd);
+  check_fleet reg (Printf.sprintf "%s: end of run" label);
+  check_accounting (H.Registry.snapshot reg)
+    (Printf.sprintf "%s: end of run" label);
+  ( reg,
+    {
+      dr_tick = (fun () -> ignore (Server.step ~timeout:0. srv));
+      dr_drain = (fun () -> Ok 0);
+      dr_update =
+        (fun code -> H.Broadcast.update ~typecheck:!typecheck reg code);
+      dr_snapshot = (fun () -> H.Registry.snapshot reg);
+      dr_excl = (fun f -> f ());
+      dr_shutdown = (fun () -> Server.stop srv);
+    } )
+
+let run_net () : H.Registry.t * driver =
+  run_net_rounds ~seed:!seed ~rounds:!events ~detach_every:!detach_every
+    ~label:"net"
+
+(** Wall-clock net soak: complete networked cycles (fresh server,
+    fresh fleet, seeded traffic with periodic detach/resume,
+    mid-stream broadcasts, digest cross-check against the direct
+    shadow) back to back until the budget runs out.  Every chunk
+    derives a fresh master seed, so an hour of soaking explores an
+    hour's worth of distinct traffic, and every chunk enforces the
+    full transport-invariance and accounting contract. *)
+let run_net_soak (secs : float) : H.Registry.t * driver =
+  let de = if !detach_every > 0 then !detach_every else 5 in
+  let t0 = Unix.gettimeofday () in
+  let chunk = ref 0 in
+  let current = ref None in
+  while !chunk = 0 || Unix.gettimeofday () -. t0 < secs do
+    (match !current with Some (_, dr) -> dr.dr_shutdown () | None -> ());
+    current :=
+      Some
+        (run_net_rounds
+           ~seed:(Prng.derive !seed (424_242 + !chunk))
+           ~rounds:!events ~detach_every:de
+           ~label:(Printf.sprintf "net soak chunk %d" !chunk));
+    incr chunk
+  done;
+  say "net soak: %d chunks in %.0f s\n" !chunk (Unix.gettimeofday () -. t0);
+  Option.get !current
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   parse_args ();
+  validate_flags ();
   let reg, dr =
-    match (!soak, !rollout_soak) with
-    | _, Some s -> run_rollout_soak s
-    | Some s, None -> run_soak s
-    | None, None -> run_load ()
+    match (!net, !soak, !rollout_soak) with
+    | true, Some s, None -> run_net_soak s
+    | true, None, None -> run_net ()
+    | false, _, Some s -> run_rollout_soak s
+    | false, Some s, None -> run_soak s
+    | false, None, None -> run_load ()
+    | true, _, Some _ ->
+        (* rejected by validate_flags *)
+        assert false
   in
   let snap = dr.dr_snapshot () in
   dr.dr_shutdown ();

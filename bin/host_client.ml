@@ -1,0 +1,220 @@
+(** Standalone networked-host tooling (DESIGN.md §12): one binary,
+    three subcommands, so the server and its clients can live in
+    different processes — the deployment shape the in-process harness
+    in [host_bench --net] only simulates.
+
+    {v
+    host_client serve --socket /tmp/live.sock --rows 8 &
+    host_client load  --socket /tmp/live.sock --sessions 100 --rounds 50
+    host_client stats --socket /tmp/live.sock
+    v}
+
+    [serve] binds a Unix-domain socket over a fresh synthetic-app
+    fleet and steps the select loop until SIGINT/SIGTERM.  [load]
+    drives the seeded lockstep {!Live_net.Client} against whatever is
+    listening (any process) and prints the end-to-end latency report;
+    exit 0 iff the run completed without protocol errors.  [stats]
+    sends a single [Stats] frame and prints the host's metrics dump. *)
+
+module Wire = Live_net.Wire
+module Prng = Live_core.Prng
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let usage () =
+  prerr_endline
+    {|usage: host_client <serve|load|stats> --socket PATH [options]
+  serve --socket PATH [--width W] [--rows N] [--cache]
+        [--evaluator subst|compiled] [--queue-capacity Q]
+        [--queue-policy drop-oldest|reject] [--batch B]
+      run a networked host until SIGINT/SIGTERM
+  load --socket PATH [--sessions K] [--conns C] [--rounds R]
+       [--seed N] [--detach-every K] [--width W] [--rows N]
+      drive seeded lockstep load against a running host
+  stats --socket PATH
+      print the running host's metrics dump|};
+  exit 2
+
+(* ---- shared flags ------------------------------------------------ *)
+
+let socket = ref ""
+let width = ref 32
+let rows = ref 8
+let cache = ref false
+let evaluator = ref Live_core.Machine.Compiled
+let queue_capacity = ref 64
+let queue_policy = ref Live_host.Backpressure.Drop_oldest
+let batch = ref 8
+let sessions = ref 100
+let conns = ref 0
+let rounds = ref 50
+let seed = ref 42
+let detach_every = ref 0
+
+let int_arg name v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> die "host_client: %s expects an integer, got %S" name v
+
+let rec parse = function
+  | [] -> ()
+  | "--socket" :: v :: rest -> socket := v; parse rest
+  | "--width" :: v :: rest -> width := int_arg "--width" v; parse rest
+  | "--rows" :: v :: rest -> rows := int_arg "--rows" v; parse rest
+  | "--cache" :: rest -> cache := true; parse rest
+  | "--evaluator" :: v :: rest ->
+      (match v with
+      | "subst" -> evaluator := Live_core.Machine.Subst
+      | "compiled" -> evaluator := Live_core.Machine.Compiled
+      | _ -> die "host_client: unknown evaluator %S" v);
+      parse rest
+  | "--queue-capacity" :: v :: rest ->
+      queue_capacity := int_arg "--queue-capacity" v;
+      parse rest
+  | "--queue-policy" :: v :: rest ->
+      (match v with
+      | "drop-oldest" -> queue_policy := Live_host.Backpressure.Drop_oldest
+      | "reject" -> queue_policy := Live_host.Backpressure.Reject
+      | _ -> die "host_client: unknown queue policy %S" v);
+      parse rest
+  | "--batch" :: v :: rest -> batch := int_arg "--batch" v; parse rest
+  | "--sessions" :: v :: rest -> sessions := int_arg "--sessions" v; parse rest
+  | "--conns" :: v :: rest -> conns := int_arg "--conns" v; parse rest
+  | "--rounds" :: v :: rest -> rounds := int_arg "--rounds" v; parse rest
+  | "--seed" :: v :: rest -> seed := int_arg "--seed" v; parse rest
+  | "--detach-every" :: v :: rest ->
+      detach_every := int_arg "--detach-every" v;
+      parse rest
+  | a :: _ -> die "host_client: unknown argument %S" a
+
+let require_socket () = if !socket = "" then die "host_client: --socket is required"
+
+(* ---- serve ------------------------------------------------------- *)
+
+let serve () =
+  require_socket ();
+  let program =
+    (Live_workloads.Synthetic.compile_exn
+       (Live_workloads.Synthetic.host_app ~rows:!rows ~version:0 ()))
+      .Live_surface.Compile.core
+  in
+  let config =
+    {
+      Live_host.Registry.default_config with
+      Live_host.Registry.width = !width;
+      cache = !cache;
+      queue_capacity = !queue_capacity;
+      queue_policy = !queue_policy;
+      evaluator = !evaluator;
+    }
+  in
+  let srv = Live_net.Server.create ~config ~batch:!batch ~socket:!socket program in
+  let stopping = ref false in
+  let quit _ = stopping := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+  Printf.printf "host_client: serving on %s (rows %d, width %d, %s)\n%!"
+    !socket !rows !width
+    (match !evaluator with
+    | Live_core.Machine.Subst -> "subst"
+    | Live_core.Machine.Compiled -> "compiled");
+  Live_net.Server.run ~until:(fun () -> !stopping) srv;
+  let s = Live_net.Server.stats srv in
+  Live_net.Server.stop srv;
+  Printf.printf
+    "host_client: served %d connections, %d frames in / %d out, %d \
+     detaches, %d resumes\n%!"
+    s.Live_net.Server.accepted s.Live_net.Server.frames_in
+    s.Live_net.Server.frames_out s.Live_net.Server.detaches
+    s.Live_net.Server.resumes;
+  exit 0
+
+(* ---- load -------------------------------------------------------- *)
+
+let load () =
+  require_socket ();
+  if !conns = 0 then conns := min !sessions 16;
+  if !conns > !sessions then conns := !sessions;
+  let rngs =
+    Array.init !sessions (fun s -> Prng.create (Prng.derive !seed s))
+  in
+  let gen ~slot ~round:_ =
+    let rng = rngs.(slot) in
+    if Prng.int rng 10 = 0 then Wire.Ev_back
+    else Wire.Ev_tap { x = Prng.int rng !width; y = Prng.int rng (!rows + 3) }
+  in
+  let t0 = Unix.gettimeofday () in
+  match
+    Live_net.Client.run ~socket:!socket ~conns:!conns ~sessions:!sessions
+      ~rounds:!rounds ~gen
+      ?detach_every:(if !detach_every > 0 then Some !detach_every else None)
+      ~stats:true ()
+  with
+  | Error m ->
+      prerr_endline ("host_client: load failed: " ^ m);
+      exit 1
+  | Ok r ->
+      let dt = Unix.gettimeofday () -. t0 in
+      let p q =
+        Live_host.Host_metrics.quantile r.Live_net.Client.latency q /. 1e6
+      in
+      Printf.printf "load: %d sessions x %d rounds over %d connections\n"
+        !sessions r.Live_net.Client.rounds !conns;
+      Printf.printf "load: %d events in %.2f s (%.0f events/s)\n"
+        r.Live_net.Client.events_sent dt
+        (float_of_int r.Live_net.Client.events_sent /. dt);
+      Printf.printf "load: e2e latency p50 %.3f ms  p99 %.3f ms (%d rejected)\n"
+        (p 0.5) (p 0.99) r.Live_net.Client.rejected;
+      if r.Live_net.Client.full_rows > 0 then
+        Printf.printf "load: delta rows %d vs full-repaint rows %d (%.1f%%)\n"
+          r.Live_net.Client.delta_rows r.Live_net.Client.full_rows
+          (100.
+          *. float_of_int r.Live_net.Client.delta_rows
+          /. float_of_int r.Live_net.Client.full_rows);
+      if r.Live_net.Client.detaches > 0 then
+        Printf.printf "load: %d detaches, %d resumes\n"
+          r.Live_net.Client.detaches r.Live_net.Client.resumes;
+      (match r.Live_net.Client.metrics with
+      | Some m -> print_string m
+      | None -> ());
+      exit 0
+
+(* ---- stats ------------------------------------------------------- *)
+
+let stats () =
+  require_socket ();
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX !socket)
+   with Unix.Unix_error (e, _, _) ->
+     die "host_client: cannot connect to %s: %s" !socket (Unix.error_message e));
+  let payload = Wire.encode (Wire.Client Wire.Stats) in
+  let n = Unix.write_substring fd payload 0 (String.length payload) in
+  if n <> String.length payload then die "host_client: short write";
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec read_frame () =
+    match Wire.decode (Buffer.contents buf) with
+    | Wire.Frame (f, _) -> f
+    | Wire.Corrupt m -> die "host_client: corrupt reply: %s" m
+    | Wire.Need_more ->
+        let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if k = 0 then die "host_client: host closed the connection";
+        Buffer.add_subbytes buf chunk 0 k;
+        read_frame ()
+  in
+  (match read_frame () with
+  | Wire.Host (Wire.Metrics { text }) -> print_string text
+  | Wire.Host (Wire.Error { code; msg }) ->
+      die "host_client: host error %d: %s" code msg
+  | _ -> die "host_client: unexpected reply to Stats");
+  let bye = Wire.encode (Wire.Client Wire.Bye) in
+  ignore (Unix.write_substring fd bye 0 (String.length bye));
+  Unix.close fd;
+  exit 0
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "serve" :: rest -> parse rest; serve ()
+  | _ :: "load" :: rest -> parse rest; load ()
+  | _ :: "stats" :: rest -> parse rest; stats ()
+  | _ -> usage ()

@@ -534,6 +534,145 @@ let restart_config ~(width : int) (boot : Program.t) :
           finalize = ignore;
         }
 
+(** The networked host's persistence path, stressed to the maximum:
+    a fleet of one where {e every} step is followed by a full
+    detach/resume cycle through {!Live_net.Snapshot} — capture the
+    session, print the canonical snapshot text, parse it back, check
+    the re-print is byte-identical, restore, and adopt the restored
+    session into a {e fresh} registry (a fresh host process, as far as
+    the session can tell).  The snapshot text also rides through
+    {!Live_net.Wire} inside a [Resume] frame, so the binary codec's
+    round-trip is fuzzed by the same corpus.  Agreement with the
+    reference machine is exactly the ISSUE's digest-equality oracle:
+    a session that detaches and resumes after every single transition
+    must stay byte-identical to one that never detached. *)
+let host_net_config ~(width : int) (boot : Program.t) :
+    (config, string) result =
+  let open Live_host in
+  let module Snapshot = Live_net.Snapshot in
+  let module Wire = Live_net.Wire in
+  let cfg =
+    {
+      Registry.default_config with
+      Registry.width;
+      queue_capacity = 8;
+      queue_policy = Backpressure.Reject;
+    }
+  in
+  let fresh (program : Program.t) = Registry.create ~config:cfg program in
+  let reg0 = fresh boot in
+  match Registry.spawn reg0 with
+  | Error e -> Error (err_str e)
+  | Ok id0 -> (
+      match Registry.session reg0 id0 with
+      | None -> Error "host-net: spawned session not found"
+      | Some s0 ->
+          let reg = ref reg0 and id = ref id0 and s = ref s0 in
+          let sched =
+            ref (Scheduler.create ~policy:Scheduler.Round_robin ~batch:1 reg0)
+          in
+          (* One wire-borne detach/resume cycle: the oracle's unit of
+             coverage for the whole persistence stack. *)
+          let recycle () : (unit, string) result =
+            let snap = Snapshot.of_session !s in
+            let text = Snapshot.to_string snap in
+            let via_wire =
+              match
+                Wire.decode
+                  (Wire.encode (Wire.Client (Wire.Resume { snapshot = text })))
+              with
+              | Wire.Frame (Wire.Client (Wire.Resume { snapshot }), _) ->
+                  Ok snapshot
+              | Wire.Frame _ -> Error "host-net: wire round-trip changed frame"
+              | Wire.Need_more -> Error "host-net: wire round-trip truncated"
+              | Wire.Corrupt m -> Error ("host-net: wire round-trip: " ^ m)
+            in
+            match via_wire with
+            | Error m -> Error m
+            | Ok text' -> (
+                match Snapshot.of_string text' with
+                | Error m -> Error ("host-net: snapshot parse: " ^ m)
+                | Ok snap' ->
+                    if not (String.equal (Snapshot.to_string snap') text) then
+                      Error "host-net: snapshot re-print not byte-identical"
+                    else (
+                      match Snapshot.restore snap' with
+                      | Error m -> Error ("host-net: restore: " ^ m)
+                      | Ok s' ->
+                          let reg' =
+                            fresh (Session.state s').Live_core.State.code
+                          in
+                          let id' = Registry.adopt reg' s' in
+                          reg := reg';
+                          id := id';
+                          s := s';
+                          sched :=
+                            Scheduler.create ~policy:Scheduler.Round_robin
+                              ~batch:1 reg';
+                          Ok ()))
+          in
+          let then_recycle (r : (string, string) result) =
+            match r with
+            | Error _ as e -> e
+            | Ok status -> (
+                match recycle () with
+                | Ok () -> Ok status
+                | Error m -> Error m)
+          in
+          let deliver (ev : Registry.uevent) : (string, string) result =
+            match Registry.offer !reg !id ev with
+            | Backpressure.Rejected | Backpressure.Dropped_oldest ->
+                Error "host-net: ingress queue refused the event"
+            | Backpressure.Accepted -> (
+                let r = Scheduler.tick !sched in
+                match r.Scheduler.errors with
+                | (_, e) :: _ -> Error (err_str e)
+                | [] ->
+                    if r.Scheduler.taps_hit > 0 then Ok "tapped"
+                    else if r.Scheduler.taps_missed > 0 then Ok "no-handler"
+                    else Ok "ok")
+          in
+          let step (ev : Ctrace.event) (prog : Program.t option) =
+            match ev with
+            | Ctrace.Tap { x; y } ->
+                then_recycle (deliver (Registry.Tap { x; y }))
+            | Ctrace.Back -> then_recycle (deliver Registry.Back)
+            | Ctrace.Update _ -> (
+                match prog with
+                | None -> Ok "rejected"
+                | Some code ->
+                    then_recycle
+                      (match Broadcast.update !reg code with
+                      | Ok _report -> Ok "updated"
+                      | Error e -> Error (err_str e)))
+            | Ctrace.Broken_update -> Ok "rejected"
+            | Ctrace.Render ->
+                ignore (Session.screenshot !s);
+                then_recycle (Ok "ok")
+            | Ctrace.Flush_cache ->
+                Session.flush_caches !s;
+                then_recycle (Ok "ok")
+            | Ctrace.Drop_next ->
+                (* the armed fault must survive the detach/resume *)
+                Session.inject !s Session.Drop_next_event;
+                then_recycle (Ok "ok")
+            | Ctrace.Dup_next ->
+                Session.inject !s Session.Duplicate_next_event;
+                then_recycle (Ok "ok")
+            | Ctrace.Begin_txn _ | Ctrace.Canary | Ctrace.Promote
+            | Ctrace.Rollback ->
+                Ok "ok" (* interpreted by {!with_txn} *)
+          in
+          Ok
+            {
+              name = "host-net";
+              step;
+              observe = (fun () -> obs_of_state ~width (Session.state !s));
+              invariant = (fun () -> invariant_of_state (Session.state !s));
+              strict = (fun () -> true);
+              finalize = ignore;
+            })
+
 (* ------------------------------------------------------------------ *)
 (* Transaction semantics for the reference configurations              *)
 (* ------------------------------------------------------------------ *)
@@ -609,6 +748,7 @@ let all_configs =
     "host-incr";
     "host-parallel";
     "host-txn";
+    "host-net";
     "restart";
   ]
 
@@ -675,6 +815,7 @@ let run ?(width = default_width) ?(configs = all_configs) ?sabotage
                 ~typecheck:Live_host.Broadcast.Cross_check boot
           | "host-parallel" -> host_config ~width ~jobs:parallel_jobs boot
           | "host-txn" -> host_txn_config ~width boot
+          | "host-net" -> host_net_config ~width boot
           | "restart" -> restart_config ~width boot
           | other -> Error (Printf.sprintf "unknown configuration %S" other)
         in

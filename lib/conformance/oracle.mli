@@ -44,6 +44,15 @@
       non-strictly for the window; byte-equality resumes at the
       resolving event — the rollback soundness statement (checkpoint +
       journal replay ≡ never rolled out) checked on every trace;
+    - ["host-net"]  — the networked host's persistence stack: a fleet
+      of one where every step is followed by a full detach/resume
+      cycle — the session is captured as a canonical
+      {!Live_net.Snapshot}, the text rides through a {!Live_net.Wire}
+      [Resume] frame, is parsed back (re-print byte-identical), and
+      the restored session is adopted into a fresh registry as a fresh
+      host process would.  Byte-agreement with the reference machine
+      is the ISSUE's digest-equality statement: detach/resume after
+      every single transition must be observationally invisible;
     - ["restart"]   — the {!Live_baseline.Restart_runtime}
       edit-compile-run baseline; compared strictly until the first
       UPDATE or queue fault (after which its semantics intentionally

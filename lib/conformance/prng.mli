@@ -1,24 +1,11 @@
 (** Re-export of {!Live_core.Prng} (splitmix64).  The generator lives
     in [live_core] so host-side code (canary cohort selection in
-    {!Live_host.Rollout}) and the conformance fuzzer share one pinned
-    stream; the type is kept equal so seeds and states cross the
-    boundary freely. *)
+    {!Live_host.Rollout}), the networked load harness and the
+    conformance fuzzer share one pinned stream; re-exporting the whole
+    signature (rather than redeclaring it) keeps the two modules
+    equal by construction — seeds, states and helpers cross the
+    boundary freely and cannot drift. *)
 
-type t = Live_core.Prng.t
-
-val create : int -> t
-val copy : t -> t
-
-val int : t -> int -> int
-(** [int t bound] draws uniformly from [0, bound); [0] when
-    [bound <= 0]. *)
-
-val bool : t -> bool
-
-val pick : t -> 'a array -> 'a
-(** Uniform draw; raises [Invalid_argument] on an empty array. *)
-
-val derive : int -> int -> int
-(** [derive seed k]: the [k]-th child seed of a master seed — a pure
-    mixing function, so campaign iteration [k] is reproducible without
-    replaying iterations [0..k-1]. *)
+include module type of struct
+  include Live_core.Prng
+end

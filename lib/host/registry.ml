@@ -123,6 +123,28 @@ let spawn (t : t) : (id, Machine.error) result =
         t.metrics.Host_metrics.sessions_spawned + 1;
       Ok id
 
+let adopt (t : t) (session : Session.t) : id =
+  if t.rollout_open then
+    invalid_arg "Registry.adopt: a staged rollout is open";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Session.set_epoch session t.epoch;
+  Hashtbl.replace t.entries id
+    {
+      session;
+      ingress =
+        Backpressure.create ~capacity:t.cfg.queue_capacity
+          ~policy:t.cfg.queue_policy;
+      e_in = 0;
+      e_taken = 0;
+      e_dropped = 0;
+      e_rejected = 0;
+    };
+  t.order <- t.order @ [ id ];
+  t.metrics.Host_metrics.sessions_spawned <-
+    t.metrics.Host_metrics.sessions_spawned + 1;
+  id
+
 let spawn_many (t : t) (n : int) : (id list, Machine.error) result =
   let rec go k acc =
     if k <= 0 then Ok (List.rev acc)

@@ -50,6 +50,15 @@ val spawn_many : t -> int -> (id list, Live_core.Machine.error) result
 (** Spawn [n] sessions; stops at the first boot failure (already
     spawned sessions stay). *)
 
+val adopt : t -> Live_runtime.Session.t -> id
+(** Enroll an existing stable session (a snapshot the networked host
+    just resumed) under a fresh id, pinned to the current epoch.  The
+    caller guarantees the session's code {e is} the registry's shared
+    program (physically — {!check_epochs} compares by identity); the
+    server UPDATEs a resumed session whose snapshot carried older code
+    before adopting it.
+    @raise Invalid_argument while a staged rollout is open. *)
+
 val kill : t -> id -> bool
 (** Remove a session; its pending ingress events are accounted as
     dropped.  [false] if the id is unknown. *)

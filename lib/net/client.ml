@@ -1,0 +1,363 @@
+(** Lockstep load client (see the interface).  Everything is driven
+    from one thread: nonblocking sockets, a poll loop that interleaves
+    the caller's [pump] (the in-process server's [step]) with reads,
+    and an internal exception for the fatal paths that {!run} catches
+    into a [result]. *)
+
+module Host_metrics = Live_host.Host_metrics
+
+exception Fail of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Fail m)) fmt
+
+type cstate = {
+  fd : Unix.file_descr;
+  mutable up : bool;  (** connected — only these fds are selectable *)
+  inbuf : Buffer.t;
+  mutable in_off : int;  (** decode offset into [inbuf] *)
+  (* session id -> slot, for every slot currently homed on this
+     connection *)
+  slots : (int, int) Hashtbl.t;
+  (* slots awaiting an [Attach] on this connection, in send order —
+     the server spawns in request order, so Attaches pair up FIFO *)
+  attach_q : int Queue.t;
+}
+
+type report = {
+  rounds : int;
+  events_sent : int;
+  rejected : int;
+  latency : Host_metrics.histogram;
+  bytes_in : int;
+  bytes_out : int;
+  frames_in : int;
+  frames_out : int;
+  delta_rows : int;
+  full_rows : int;
+  detaches : int;
+  resumes : int;
+  session_ids : int list;
+  frames : string array array;
+  metrics : string option;
+}
+
+type st = {
+  conns : cstate array;
+  pump : unit -> unit;
+  slot_conn : int array;  (** slot -> connection index *)
+  slot_id : int array;  (** slot -> current server-side session id *)
+  slot_frame : string array array;  (** slot -> reconstructed rows *)
+  slot_sent_at : float array;  (** send timestamp of the in-flight event *)
+  slot_awaiting : bool array;
+  latency : Host_metrics.histogram;
+  mutable events_sent : int;
+  mutable rejected : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable delta_rows : int;
+  mutable full_rows : int;
+  mutable detaches : int;
+  mutable resumes : int;
+  (* out-of-band expectations, keyed by connection index *)
+  mutable expect_detached : (int * int * string option ref) option;
+      (** (conn, slot, cell): the next Detached on [conn] fills [cell] *)
+  mutable metrics_cell : string option;
+}
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* ------------------------------------------------------------------ *)
+(* I/O                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let send_all (t : st) (c : cstate) (frame : Wire.frame) : unit =
+  let bytes = Wire.encode frame in
+  let len = String.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring c.fd bytes !off (len - !off) with
+    | n ->
+        off := !off + n;
+        t.bytes_out <- t.bytes_out + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* the server isn't reading yet: give it the thread *)
+        t.pump ();
+        ignore (Unix.select [] [ c.fd ] [] 0.01)
+    | exception Unix.Unix_error (e, _, _) ->
+        fail "write: %s" (Unix.error_message e)
+  done;
+  t.frames_out <- t.frames_out + 1
+
+let read_chunk = Bytes.create 65536
+
+let read_available (t : st) (c : cstate) : unit =
+  let rec go () =
+    match Unix.read c.fd read_chunk 0 (Bytes.length read_chunk) with
+    | 0 -> fail "server closed the connection"
+    | n ->
+        t.bytes_in <- t.bytes_in + n;
+        Buffer.add_subbytes c.inbuf read_chunk 0 n;
+        if n = Bytes.length read_chunk then go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        fail "read: %s" (Unix.error_message e)
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Frame dispatch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let slot_of_session (t : st) (ci : int) (session : int) : int =
+  match Hashtbl.find_opt t.conns.(ci).slots session with
+  | Some slot -> slot
+  | None -> fail "server spoke of unknown session %d" session
+
+let apply_delta_frame (t : st) (ci : int) ~session ~height ~rows : unit =
+  let slot = slot_of_session t ci session in
+  t.delta_rows <- t.delta_rows + List.length rows;
+  t.full_rows <- t.full_rows + height;
+  t.slot_frame.(slot) <- Wire.apply_delta t.slot_frame.(slot) ~height ~rows;
+  if t.slot_awaiting.(slot) then begin
+    t.slot_awaiting.(slot) <- false;
+    Host_metrics.record t.latency (now_ns () -. t.slot_sent_at.(slot))
+  end
+
+let handle_host_frame (t : st) (ci : int) (f : Wire.host_frame) : unit =
+  match f with
+  | Wire.Delta { session; height; rows } ->
+      apply_delta_frame t ci ~session ~height ~rows
+  | Wire.Attach { session; width = _; frame } -> (
+      match Queue.take_opt t.conns.(ci).attach_q with
+      | Some slot ->
+          Hashtbl.replace t.conns.(ci).slots session slot;
+          t.slot_id.(slot) <- session;
+          t.slot_frame.(slot) <- Wire.rows_of_text frame
+      | None -> fail "unexpected Attach for session %d" session)
+  | Wire.Detached { session; snapshot } -> (
+      match t.expect_detached with
+      | Some (eci, slot, cell) when eci = ci && t.slot_id.(slot) = session ->
+          t.expect_detached <- None;
+          cell := Some snapshot;
+          Hashtbl.remove t.conns.(ci).slots session
+      | _ -> fail "unexpected Detached for session %d" session)
+  | Wire.Error { code = 2; msg } -> (
+      (* backpressure rejection; msg leads with the session id *)
+      match int_of_string_opt (List.hd (String.split_on_char ' ' msg)) with
+      | Some session ->
+          let slot = slot_of_session t ci session in
+          if not t.slot_awaiting.(slot) then
+            fail "stray backpressure rejection for session %d" session;
+          t.slot_awaiting.(slot) <- false;
+          t.rejected <- t.rejected + 1;
+          Host_metrics.record t.latency (now_ns () -. t.slot_sent_at.(slot))
+      | None -> fail "malformed backpressure rejection %S" msg)
+  | Wire.Error { code; msg } -> fail "host error %d: %s" code msg
+  | Wire.Metrics { text } -> t.metrics_cell <- Some text
+
+let dispatch (t : st) (ci : int) : unit =
+  let c = t.conns.(ci) in
+  let data = Buffer.contents c.inbuf in
+  let len = String.length data in
+  let continue = ref true in
+  while !continue && c.in_off < len do
+    match Wire.decode ~off:c.in_off data with
+    | Wire.Frame (Wire.Host f, consumed) ->
+        c.in_off <- c.in_off + consumed;
+        t.frames_in <- t.frames_in + 1;
+        handle_host_frame t ci f
+    | Wire.Frame (Wire.Client _, _) -> fail "client-tagged frame from the host"
+    | Wire.Need_more -> continue := false
+    | Wire.Corrupt m -> fail "corrupt frame from the host: %s" m
+  done;
+  if c.in_off > 0 && c.in_off = Buffer.length c.inbuf then begin
+    Buffer.clear c.inbuf;
+    c.in_off <- 0
+  end
+
+(* One poll iteration: pump the in-process server, then read whatever
+   arrived.  Returns whether any bytes came in. *)
+let poll (t : st) : bool =
+  t.pump ();
+  let fds =
+    Array.to_list t.conns
+    |> List.filter_map (fun c -> if c.up then Some c.fd else None)
+  in
+  if fds = [] then false
+  else
+  match Unix.select fds [] [] 0.001 with
+  | [], _, _ -> false
+  | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          Array.iteri
+            (fun ci c ->
+              if c.fd = fd then begin
+                read_available t c;
+                dispatch t ci
+              end)
+            t.conns)
+        readable;
+      true
+
+let poll_until (t : st) ~(what : string) (done_ : unit -> bool) : unit =
+  let spins = ref 0 in
+  while not (done_ ()) do
+    if not (poll t) then begin
+      incr spins;
+      if !spins > 30_000 then fail "timed out waiting for %s" what
+    end
+    else spins := 0
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run ~socket ~conns ~sessions ~rounds ~gen ?detach_every
+    ?(on_round = fun _ -> ()) ?(pump = fun () -> ()) ?(stats = false) () :
+    (report, string) result =
+  if conns < 1 then Error "conns must be >= 1"
+  else if sessions < conns then Error "sessions must be >= conns"
+  else begin
+    (* a host hanging up mid-write must surface as EPIPE (→ [Error]),
+       not kill the client process *)
+    if Sys.os_type = "Unix" then
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let t =
+      {
+        conns =
+          Array.init conns (fun _ ->
+              {
+                fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0;
+                up = false;
+                inbuf = Buffer.create 4096;
+                in_off = 0;
+                slots = Hashtbl.create 8;
+                attach_q = Queue.create ();
+              });
+        pump;
+        slot_conn = Array.make sessions 0;
+        slot_id = Array.make sessions (-1);
+        slot_frame = Array.make sessions [||];
+        slot_sent_at = Array.make sessions 0.;
+        slot_awaiting = Array.make sessions false;
+        latency = Host_metrics.histogram ();
+        events_sent = 0;
+        rejected = 0;
+        bytes_in = 0;
+        bytes_out = 0;
+        frames_in = 0;
+        frames_out = 0;
+        delta_rows = 0;
+        full_rows = 0;
+        detaches = 0;
+        resumes = 0;
+        expect_detached = None;
+        metrics_cell = None;
+      }
+    in
+    let close_all () =
+      Array.iter
+        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        t.conns
+    in
+    match
+      (* Slot layout: contiguous blocks, connection by connection. *)
+      let base = sessions / conns and extra = sessions mod conns in
+      let slot = ref 0 in
+      let block ci = base + if ci < extra then 1 else 0 in
+      Array.iteri
+        (fun ci c ->
+          pump ();
+          Unix.connect c.fd (Unix.ADDR_UNIX socket);
+          Unix.set_nonblock c.fd;
+          c.up <- true;
+          let k = block ci in
+          let first = !slot in
+          for s = first to first + k - 1 do
+            t.slot_conn.(s) <- ci
+          done;
+          slot := first + k;
+          send_all t c
+            (Wire.Client (Wire.Hello { client = "live-load"; sessions = k }));
+          (* Attaches arrive in spawn order: hand them to slots
+             first..first+k-1 FIFO. *)
+          for s = first to first + k - 1 do
+            Queue.add s c.attach_q
+          done;
+          poll_until t ~what:"Attach" (fun () -> Queue.is_empty c.attach_q))
+        t.conns;
+      (* Rounds. *)
+      for round = 0 to rounds - 1 do
+        for s = 0 to sessions - 1 do
+          let ev = gen ~slot:s ~round in
+          t.slot_awaiting.(s) <- true;
+          t.slot_sent_at.(s) <- now_ns ();
+          send_all t
+            t.conns.(t.slot_conn.(s))
+            (Wire.Client (Wire.Event { session = t.slot_id.(s); ev }));
+          t.events_sent <- t.events_sent + 1
+        done;
+        poll_until t ~what:"round answers" (fun () ->
+            Array.for_all not t.slot_awaiting);
+        (match detach_every with
+        | Some k when k > 0 && (round + 1) mod k = 0 ->
+            let s = round / k mod sessions in
+            let ci = t.slot_conn.(s) in
+            let cell = ref None in
+            t.expect_detached <- Some (ci, s, cell);
+            send_all t t.conns.(ci)
+              (Wire.Client (Wire.Detach { session = t.slot_id.(s) }));
+            poll_until t ~what:"Detached" (fun () -> !cell <> None);
+            t.detaches <- t.detaches + 1;
+            let snapshot = Option.get !cell in
+            Queue.add s t.conns.(ci).attach_q;
+            send_all t t.conns.(ci) (Wire.Client (Wire.Resume { snapshot }));
+            poll_until t ~what:"Attach after Resume" (fun () ->
+                Queue.is_empty t.conns.(ci).attach_q);
+            t.resumes <- t.resumes + 1
+        | _ -> ());
+        on_round round
+      done;
+      (* Settle: collect any unsolicited broadcast deltas still in
+         flight. *)
+      let quiet = ref 0 in
+      while !quiet < 25 do
+        if poll t then quiet := 0 else incr quiet
+      done;
+      if stats then begin
+        send_all t t.conns.(0) (Wire.Client Wire.Stats);
+        poll_until t ~what:"Metrics" (fun () -> t.metrics_cell <> None)
+      end;
+      Array.iter (fun c -> send_all t c (Wire.Client Wire.Bye)) t.conns
+    with
+    | () ->
+        close_all ();
+        Ok
+          {
+            rounds;
+            events_sent = t.events_sent;
+            rejected = t.rejected;
+            latency = t.latency;
+            bytes_in = t.bytes_in;
+            bytes_out = t.bytes_out;
+            frames_in = t.frames_in;
+            frames_out = t.frames_out;
+            delta_rows = t.delta_rows;
+            full_rows = t.full_rows;
+            detaches = t.detaches;
+            resumes = t.resumes;
+            session_ids = Array.to_list t.slot_id;
+            frames = t.slot_frame;
+            metrics = t.metrics_cell;
+          }
+    | exception Fail m ->
+        close_all ();
+        Error m
+    | exception Unix.Unix_error (e, fn, _) ->
+        close_all ();
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  end

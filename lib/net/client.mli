@@ -1,0 +1,66 @@
+(** A deterministic lockstep load client for the networked host —
+    the measurement half of bench B15 and the net soak's traffic
+    source.
+
+    The client opens [conns] connections and distributes [sessions]
+    slots over them (contiguous blocks, Hellos sent in connection
+    order, so server-side spawn order equals slot order).  Traffic is
+    {e closed-loop}: each round, every slot sends exactly one
+    generated event and the round ends only when every slot's answer
+    arrived (a [Delta] — possibly empty, the byte-identical-frame
+    acknowledgement — or a backpressure [Error] code 2).  One event in
+    flight per session means the per-session event sequence is exactly
+    [gen slot 0 .. gen slot (rounds-1)] whatever the socket
+    interleaving — which is what lets the caller replay the same
+    generator against a direct in-process fleet and demand digest
+    equality (transport invariance).
+
+    [detach_every k] exercises persistence: after every [k]-th round,
+    one slot (rotating) is detached, its snapshot carried client-side,
+    and resumed — the slot continues under the fresh session id the
+    [Attach] brings back.
+
+    Unsolicited [Delta]s (broadcast repaints pushed after
+    {!Server.mark_all_dirty}) are applied to the slot's reconstructed
+    frame whenever they arrive; {!report.frames} is therefore always
+    the server's view after {!run}'s final settle. *)
+
+type report = {
+  rounds : int;
+  events_sent : int;
+  rejected : int;  (** backpressure rejections (count as answers) *)
+  latency : Live_host.Host_metrics.histogram;
+      (** event-written → answer-decoded, nanoseconds *)
+  bytes_in : int;
+  bytes_out : int;
+  frames_in : int;
+  frames_out : int;
+  delta_rows : int;  (** rows shipped in deltas *)
+  full_rows : int;  (** rows full-frame repaints would have shipped *)
+  detaches : int;
+  resumes : int;
+  session_ids : int list;  (** final server-side id of each slot, in slot order *)
+  frames : string array array;  (** reconstructed rows per slot *)
+  metrics : string option;  (** the host's [Metrics] dump, if [stats] *)
+}
+
+val run :
+  socket:string ->
+  conns:int ->
+  sessions:int ->
+  rounds:int ->
+  gen:(slot:int -> round:int -> Wire.event) ->
+  ?detach_every:int ->
+  ?on_round:(int -> unit) ->
+  ?pump:(unit -> unit) ->
+  ?stats:bool ->
+  unit ->
+  (report, string) result
+(** Drive the load.  [on_round r] runs after round [r] fully settled
+    (every slot answered) — the quiescent point the caller injects
+    fleet-wide broadcasts at.  [pump] is called inside every poll
+    iteration; an in-process harness passes [fun () -> ignore
+    (Server.step ~timeout:0. server)] to co-schedule the server on
+    this same thread (real sockets, no threads).  Total: protocol
+    errors, decode corruption and unexpected disconnects return
+    [Error], never raise. *)

@@ -1,0 +1,455 @@
+(** The networked host (see the interface).  Single-threaded and
+    [select]-based: every connection is nonblocking, reads accumulate
+    in a per-connection buffer that {!Wire.decode} consumes frame by
+    frame, and writes drain through a queue of encoded frames so a
+    slow client never blocks the fleet. *)
+
+module Registry = Live_host.Registry
+module Scheduler = Live_host.Scheduler
+module Backpressure = Live_host.Backpressure
+module Host_metrics = Live_host.Host_metrics
+module Session = Live_runtime.Session
+
+(* Per-session client-side view: the rows this connection last saw,
+   the baseline every Delta is diffed against. *)
+type view = { mutable last : string array; mutable dirty : bool }
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable inbuf : Buffer.t;
+  outq : string Queue.t;
+  mutable out_off : int;  (** write offset into the head of [outq] *)
+  views : (Registry.id, view) Hashtbl.t;
+  mutable closing : bool;  (** close once the out queue drains *)
+}
+
+type stats = {
+  accepted : int;
+  connections : int;
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  deltas_sent : int;
+  delta_rows_sent : int;
+  full_rows : int;
+  detaches : int;
+  resumes : int;
+  corrupt : int;
+}
+
+type t = {
+  reg : Registry.t;
+  sched : Scheduler.t;
+  listen_fd : Unix.file_descr;
+  path : string;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  mutable stopped : bool;
+  mutable s_accepted : int;
+  mutable s_frames_in : int;
+  mutable s_frames_out : int;
+  mutable s_bytes_in : int;
+  mutable s_bytes_out : int;
+  mutable s_deltas : int;
+  mutable s_delta_rows : int;
+  mutable s_full_rows : int;
+  mutable s_detaches : int;
+  mutable s_resumes : int;
+  mutable s_corrupt : int;
+}
+
+let create ?(config = Registry.default_config) ?batch ~socket
+    (program : Live_core.Program.t) : t =
+  (* a peer hanging up mid-write must surface as EPIPE on the write
+     (handled per-connection), not kill the whole host *)
+  if Sys.os_type = "Unix" then
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let reg = Registry.create ~config program in
+  let sched = Scheduler.create ?batch reg in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX socket);
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  {
+    reg;
+    sched;
+    listen_fd = fd;
+    path = socket;
+    conns = Hashtbl.create 16;
+    stopped = false;
+    s_accepted = 0;
+    s_frames_in = 0;
+    s_frames_out = 0;
+    s_bytes_in = 0;
+    s_bytes_out = 0;
+    s_deltas = 0;
+    s_delta_rows = 0;
+    s_full_rows = 0;
+    s_detaches = 0;
+    s_resumes = 0;
+    s_corrupt = 0;
+  }
+
+let registry (t : t) = t.reg
+let scheduler (t : t) = t.sched
+
+let stats (t : t) : stats =
+  {
+    accepted = t.s_accepted;
+    connections = Hashtbl.length t.conns;
+    frames_in = t.s_frames_in;
+    frames_out = t.s_frames_out;
+    bytes_in = t.s_bytes_in;
+    bytes_out = t.s_bytes_out;
+    deltas_sent = t.s_deltas;
+    delta_rows_sent = t.s_delta_rows;
+    full_rows = t.s_full_rows;
+    detaches = t.s_detaches;
+    resumes = t.s_resumes;
+    corrupt = t.s_corrupt;
+  }
+
+let send (t : t) (c : conn) (f : Wire.frame) : unit =
+  Queue.add (Wire.encode f) c.outq;
+  t.s_frames_out <- t.s_frames_out + 1
+
+(* Close the connection now.  Its sessions stay in the fleet — session
+   lifetime is decoupled from connection lifetime (the whole point of
+   the persistence layer): a vanished client's sessions keep running
+   and remain observable; only an explicit [Detach] takes one out. *)
+let drop_conn (t : t) (c : conn) : unit =
+  Hashtbl.reset c.views;
+  Hashtbl.remove t.conns c.fd;
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let screenshot_rows (t : t) (id : Registry.id) : string array option =
+  match Registry.session t.reg id with
+  | None -> None
+  | Some s -> Some (Wire.rows_of_text (Session.screenshot s))
+
+let attach (t : t) (c : conn) (id : Registry.id) : unit =
+  match Registry.session t.reg id with
+  | None -> send t c (Wire.Host (Wire.Error { code = 5; msg = string_of_int id }))
+  | Some s ->
+      let text = Session.screenshot s in
+      Hashtbl.replace c.views id
+        { last = Wire.rows_of_text text; dirty = false };
+      send t c
+        (Wire.Host
+           (Wire.Attach { session = id; width = Session.width s; frame = text }))
+
+let uevent_of_wire : Wire.event -> Registry.uevent = function
+  | Wire.Ev_tap { x; y } -> Registry.Tap { x; y }
+  | Wire.Ev_back -> Registry.Back
+
+let wire_of_uevent : Registry.uevent -> Wire.event = function
+  | Registry.Tap { x; y } -> Wire.Ev_tap { x; y }
+  | Registry.Back -> Wire.Ev_back
+
+let error t c code msg = send t c (Wire.Host (Wire.Error { code; msg }))
+
+(* A protocol violation: answer code 1 and close once the write
+   drains.  The connection stops being read immediately. *)
+let violation (t : t) (c : conn) (msg : string) : unit =
+  t.s_corrupt <- t.s_corrupt + 1;
+  error t c 1 msg;
+  c.closing <- true
+
+let handle_client_frame (t : t) (c : conn) (f : Wire.client_frame) : unit =
+  match f with
+  | Wire.Hello { client = _; sessions } ->
+      if sessions < 1 then violation t c "Hello: sessions must be >= 1"
+      else
+        for _ = 1 to sessions do
+          match Registry.spawn t.reg with
+          | Ok id -> attach t c id
+          | Error e -> error t c 4 (Live_core.Machine.error_to_string e)
+        done
+  | Wire.Event { session; ev } -> (
+      match Hashtbl.find_opt c.views session with
+      | None -> error t c 5 (string_of_int session)
+      | Some view -> (
+          match Registry.offer t.reg session (uevent_of_wire ev) with
+          | Backpressure.Accepted | Backpressure.Dropped_oldest ->
+              view.dirty <- true
+          | Backpressure.Rejected ->
+              error t c 2 (Printf.sprintf "%d rejected by backpressure" session)
+          ))
+  | Wire.Detach { session } -> (
+      match Hashtbl.find_opt c.views session with
+      | None -> error t c 5 (string_of_int session)
+      | Some _ -> (
+          match Registry.session t.reg session with
+          | None -> error t c 5 (string_of_int session)
+          | Some s ->
+              (* Drain the still-queued ingress into the snapshot so
+                 no accepted event is lost across the detach. *)
+              let rec drain acc =
+                match Registry.take t.reg session with
+                | None -> List.rev acc
+                | Some ev -> drain (wire_of_uevent ev :: acc)
+              in
+              let pending = drain [] in
+              let snap = Snapshot.of_session ~pending s in
+              let text = Snapshot.to_string snap in
+              Hashtbl.remove c.views session;
+              ignore (Registry.kill t.reg session);
+              t.s_detaches <- t.s_detaches + 1;
+              send t c (Wire.Host (Wire.Detached { session; snapshot = text }))
+          ))
+  | Wire.Resume { snapshot } -> (
+      match Snapshot.of_string snapshot with
+      | Error m -> error t c 3 m
+      | Ok snap -> (
+          let host_program = Registry.program t.reg in
+          match Snapshot.restore ~program:host_program snap with
+          | Error m -> error t c 4 m
+          | Ok s -> (
+              (* A snapshot carrying older code is UPDATE-d to the
+                 host's program before joining the fleet — the fleet
+                 shares one program, physically (check_epochs). *)
+              let upd =
+                if Snapshot.program_equal snap.Snapshot.program host_program
+                then Ok ()
+                else
+                  match Session.update s host_program with
+                  | Ok _report -> Ok ()
+                  | Error e -> Error (Live_core.Machine.error_to_string e)
+              in
+              match upd with
+              | Error m -> error t c 4 m
+              | Ok () ->
+                  let id = Registry.adopt t.reg s in
+                  t.s_resumes <- t.s_resumes + 1;
+                  attach t c id;
+                  List.iter
+                    (fun ev ->
+                      match Registry.offer t.reg id (uevent_of_wire ev) with
+                      | Backpressure.Accepted | Backpressure.Dropped_oldest ->
+                          (match Hashtbl.find_opt c.views id with
+                          | Some view -> view.dirty <- true
+                          | None -> ())
+                      | Backpressure.Rejected ->
+                          error t c 2
+                            (Printf.sprintf "%d rejected by backpressure" id))
+                    snap.Snapshot.pending)))
+  | Wire.Stats ->
+      send t c
+        (Wire.Host
+           (Wire.Metrics
+              { text = Host_metrics.to_string (Registry.snapshot t.reg) }))
+  | Wire.Bye ->
+      (* orderly goodbye: the sessions live on, unattached *)
+      Hashtbl.reset c.views;
+      c.closing <- true
+
+let handle_frame (t : t) (c : conn) : Wire.frame -> unit = function
+  | Wire.Client f -> handle_client_frame t c f
+  | Wire.Host _ -> violation t c "host-tagged frame from a client"
+
+(* Decode and handle every complete frame in the connection's input
+   buffer; compacts the buffer to the undecoded remainder. *)
+let drain_inbuf (t : t) (c : conn) : unit =
+  let data = Buffer.contents c.inbuf in
+  let len = String.length data in
+  let off = ref 0 in
+  let continue = ref true in
+  while !continue && !off < len && not c.closing do
+    match Wire.decode ~off:!off data with
+    | Wire.Frame (f, consumed) ->
+        t.s_frames_in <- t.s_frames_in + 1;
+        off := !off + consumed;
+        handle_frame t c f
+    | Wire.Need_more -> continue := false
+    | Wire.Corrupt m ->
+        violation t c m;
+        continue := false
+  done;
+  if !off > 0 || c.closing then begin
+    let rest =
+      if c.closing then "" else String.sub data !off (len - !off)
+    in
+    Buffer.clear c.inbuf;
+    Buffer.add_string c.inbuf rest
+  end
+
+let read_chunk = Bytes.create 65536
+
+(* Read everything currently available; [false] if the peer hung up
+   or errored (the connection is dropped). *)
+let read_conn (t : t) (c : conn) : bool =
+  let rec go () =
+    match Unix.read c.fd read_chunk 0 (Bytes.length read_chunk) with
+    | 0 -> false
+    | n ->
+        t.s_bytes_in <- t.s_bytes_in + n;
+        Buffer.add_subbytes c.inbuf read_chunk 0 n;
+        if n = Bytes.length read_chunk then go () else true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        true
+    | exception Unix.Unix_error _ -> false
+  in
+  go ()
+
+(* Drain the out queue as far as the socket allows; [false] on a dead
+   peer. *)
+let flush_conn (t : t) (c : conn) : bool =
+  let rec go () =
+    match Queue.peek_opt c.outq with
+    | None -> true
+    | Some s -> (
+        let remaining = String.length s - c.out_off in
+        match Unix.write_substring c.fd s c.out_off remaining with
+        | n ->
+            t.s_bytes_out <- t.s_bytes_out + n;
+            if n = remaining then begin
+              ignore (Queue.pop c.outq);
+              c.out_off <- 0;
+              go ()
+            end
+            else begin
+              c.out_off <- c.out_off + n;
+              true
+            end
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            true
+        | exception Unix.Unix_error _ -> false)
+  in
+  go ()
+
+(* Send every dirty view its damage-masked Delta.  An empty row list
+   still goes out — it is the acknowledgement a lockstep client waits
+   for. *)
+let send_deltas (t : t) : unit =
+  Hashtbl.iter
+    (fun _ c ->
+      if not c.closing then
+        Hashtbl.iter
+          (fun id view ->
+            if view.dirty then begin
+              view.dirty <- false;
+              match screenshot_rows t id with
+              | None -> ()
+              | Some rows ->
+                  let delta = Wire.delta_of_frames ~prev:view.last rows in
+                  view.last <- rows;
+                  t.s_deltas <- t.s_deltas + 1;
+                  t.s_delta_rows <- t.s_delta_rows + List.length delta;
+                  t.s_full_rows <- t.s_full_rows + Array.length rows;
+                  send t c
+                    (Wire.Host
+                       (Wire.Delta
+                          {
+                            session = id;
+                            height = Array.length rows;
+                            rows = delta;
+                          }))
+            end)
+          c.views)
+    t.conns
+
+let mark_all_dirty (t : t) : unit =
+  Hashtbl.iter
+    (fun _ c -> Hashtbl.iter (fun _ view -> view.dirty <- true) c.views)
+    t.conns
+
+let accept_loop (t : t) : bool =
+  let accepted = ref false in
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        Hashtbl.replace t.conns fd
+          {
+            fd;
+            inbuf = Buffer.create 4096;
+            outq = Queue.create ();
+            out_off = 0;
+            views = Hashtbl.create 8;
+            closing = false;
+          };
+        t.s_accepted <- t.s_accepted + 1;
+        accepted := true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done;
+  !accepted
+
+let step ?(timeout = 0.05) (t : t) : bool =
+  if t.stopped then false
+  else begin
+    let reads = ref [ t.listen_fd ] in
+    let writes = ref [] in
+    Hashtbl.iter
+      (fun fd c ->
+        if not c.closing then reads := fd :: !reads;
+        if not (Queue.is_empty c.outq) then writes := fd :: !writes)
+      t.conns;
+    let readable, writable, _ =
+      try Unix.select !reads !writes [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    let worked = ref false in
+    if List.mem t.listen_fd readable then
+      if accept_loop t then worked := true;
+    (* Ingress: read and handle every complete frame on every readable
+       connection. *)
+    List.iter
+      (fun fd ->
+        if fd <> t.listen_fd then
+          match Hashtbl.find_opt t.conns fd with
+          | None -> ()
+          | Some c ->
+              worked := true;
+              if read_conn t c then drain_inbuf t c
+              else drop_conn t c)
+      readable;
+    (* Serve: drain every event accepted above (and any left over),
+       then answer with deltas. *)
+    if Registry.total_pending t.reg > 0 then begin
+      worked := true;
+      (match Scheduler.drain t.sched with Ok _ | Error _ -> ())
+    end;
+    send_deltas t;
+    (* Egress: flush what the sockets will take; close drained
+       connections that asked for it. *)
+    let dead = ref [] in
+    Hashtbl.iter
+      (fun _ c ->
+        if not (Queue.is_empty c.outq) || c.closing then begin
+          if not (flush_conn t c) then dead := c :: !dead
+          else if c.closing && Queue.is_empty c.outq then dead := c :: !dead
+        end)
+      t.conns;
+    List.iter (fun c -> drop_conn t c) !dead;
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt t.conns fd with
+        | Some c -> if not (flush_conn t c) then drop_conn t c
+        | None -> ())
+      writable;
+    !worked
+  end
+
+let run ~(until : unit -> bool) (t : t) : unit =
+  while not (until ()) && not t.stopped do
+    ignore (step t)
+  done
+
+let stop (t : t) : unit =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      t.conns;
+    Hashtbl.reset t.conns;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink t.path with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,276 @@
+(** Binary wire codec (see the interface).  The writer side is a
+    plain [Buffer]; the reader side is a cursor over a string with
+    every read bounds-checked through one internal exception that
+    {!decode} catches — so malformed bytes can only ever produce
+    {!Corrupt}, never an escape. *)
+
+let version = 1
+let max_frame = 16 * 1024 * 1024
+
+type event = Ev_tap of { x : int; y : int } | Ev_back
+
+type client_frame =
+  | Hello of { client : string; sessions : int }
+  | Event of { session : int; ev : event }
+  | Detach of { session : int }
+  | Resume of { snapshot : string }
+  | Stats
+  | Bye
+
+type host_frame =
+  | Attach of { session : int; width : int; frame : string }
+  | Delta of { session : int; height : int; rows : (int * string) list }
+  | Detached of { session : int; snapshot : string }
+  | Error of { code : int; msg : string }
+  | Metrics of { text : string }
+
+type frame = Client of client_frame | Host of host_frame
+
+let equal (a : frame) (b : frame) = a = b
+
+let pp_event ppf = function
+  | Ev_tap { x; y } -> Fmt.pf ppf "tap(%d,%d)" x y
+  | Ev_back -> Fmt.string ppf "back"
+
+let pp ppf = function
+  | Client (Hello { client; sessions }) ->
+      Fmt.pf ppf "Hello(%S, sessions=%d)" client sessions
+  | Client (Event { session; ev }) ->
+      Fmt.pf ppf "Event(#%d, %a)" session pp_event ev
+  | Client (Detach { session }) -> Fmt.pf ppf "Detach(#%d)" session
+  | Client (Resume { snapshot }) ->
+      Fmt.pf ppf "Resume(%d bytes)" (String.length snapshot)
+  | Client Stats -> Fmt.string ppf "Stats"
+  | Client Bye -> Fmt.string ppf "Bye"
+  | Host (Attach { session; width; frame }) ->
+      Fmt.pf ppf "Attach(#%d, width=%d, %d bytes)" session width
+        (String.length frame)
+  | Host (Delta { session; height; rows }) ->
+      Fmt.pf ppf "Delta(#%d, height=%d, %d rows)" session height
+        (List.length rows)
+  | Host (Detached { session; snapshot }) ->
+      Fmt.pf ppf "Detached(#%d, %d bytes)" session (String.length snapshot)
+  | Host (Error { code; msg }) -> Fmt.pf ppf "Error(%d, %S)" code msg
+  | Host (Metrics { text }) -> Fmt.pf ppf "Metrics(%d bytes)" (String.length text)
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 (b : Buffer.t) (v : int) =
+  if v < 0 || v > 0xFF then invalid_arg "Wire: u8 out of range";
+  Buffer.add_char b (Char.chr v)
+
+let put_u32 (b : Buffer.t) (v : int) =
+  if v < 0 || v > 0x3FFFFFFF then invalid_arg "Wire: u32 out of range";
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_str (b : Buffer.t) (s : string) =
+  if String.length s > max_frame then invalid_arg "Wire: string too long";
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_ev (b : Buffer.t) = function
+  | Ev_tap { x; y } ->
+      put_u8 b 0;
+      put_u32 b x;
+      put_u32 b y
+  | Ev_back -> put_u8 b 1
+
+(* Tags: client frames in 0x01-0x7F, host frames in 0x81-0xFF, so a
+   peer speaking the wrong direction is caught at the tag. *)
+let put_body (b : Buffer.t) = function
+  | Client (Hello { client; sessions }) ->
+      put_u8 b 0x01;
+      put_str b client;
+      put_u32 b sessions
+  | Client (Event { session; ev }) ->
+      put_u8 b 0x02;
+      put_u32 b session;
+      put_ev b ev
+  | Client (Detach { session }) ->
+      put_u8 b 0x03;
+      put_u32 b session
+  | Client (Resume { snapshot }) ->
+      put_u8 b 0x04;
+      put_str b snapshot
+  | Client Stats -> put_u8 b 0x05
+  | Client Bye -> put_u8 b 0x06
+  | Host (Attach { session; width; frame }) ->
+      put_u8 b 0x81;
+      put_u32 b session;
+      put_u32 b width;
+      put_str b frame
+  | Host (Delta { session; height; rows }) ->
+      put_u8 b 0x82;
+      put_u32 b session;
+      put_u32 b height;
+      put_u32 b (List.length rows);
+      List.iter
+        (fun (i, s) ->
+          put_u32 b i;
+          put_str b s)
+        rows
+  | Host (Detached { session; snapshot }) ->
+      put_u8 b 0x83;
+      put_u32 b session;
+      put_str b snapshot
+  | Host (Error { code; msg }) ->
+      put_u8 b 0x84;
+      put_u32 b code;
+      put_str b msg
+  | Host (Metrics { text }) ->
+      put_u8 b 0x85;
+      put_str b text
+
+let encode (f : frame) : string =
+  let body = Buffer.create 64 in
+  put_u8 body version;
+  put_body body f;
+  let n = Buffer.length body in
+  if n > max_frame then invalid_arg "Wire.encode: frame too large";
+  let out = Buffer.create (n + 4) in
+  put_u32 out n;
+  Buffer.add_buffer out body;
+  Buffer.contents out
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+type cursor = { buf : string; mutable pos : int; limit : int }
+
+let need (c : cursor) (n : int) =
+  if n < 0 || c.limit - c.pos < n then raise (Bad "truncated payload")
+
+let get_u8 (c : cursor) : int =
+  need c 1;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 (c : cursor) : int =
+  need c 4;
+  let b i = Char.code c.buf.[c.pos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  c.pos <- c.pos + 4;
+  if v > 0x3FFFFFFF then raise (Bad "u32 out of range");
+  v
+
+let get_str (c : cursor) : string =
+  let n = get_u32 c in
+  need c n;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_ev (c : cursor) : event =
+  match get_u8 c with
+  | 0 ->
+      let x = get_u32 c in
+      let y = get_u32 c in
+      Ev_tap { x; y }
+  | 1 -> Ev_back
+  | t -> raise (Bad (Printf.sprintf "unknown event kind 0x%02x" t))
+
+let get_body (c : cursor) : frame =
+  match get_u8 c with
+  | 0x01 ->
+      let client = get_str c in
+      let sessions = get_u32 c in
+      Client (Hello { client; sessions })
+  | 0x02 ->
+      let session = get_u32 c in
+      let ev = get_ev c in
+      Client (Event { session; ev })
+  | 0x03 -> Client (Detach { session = get_u32 c })
+  | 0x04 -> Client (Resume { snapshot = get_str c })
+  | 0x05 -> Client Stats
+  | 0x06 -> Client Bye
+  | 0x81 ->
+      let session = get_u32 c in
+      let width = get_u32 c in
+      let frame = get_str c in
+      Host (Attach { session; width; frame })
+  | 0x82 ->
+      let session = get_u32 c in
+      let height = get_u32 c in
+      let n = get_u32 c in
+      (* each row costs at least 8 bytes on the wire; a count beyond
+         that bound cannot be honest *)
+      if n > (c.limit - c.pos) / 8 + 1 then raise (Bad "row count too large");
+      let rows =
+        List.init n (fun _ ->
+            let i = get_u32 c in
+            let s = get_str c in
+            (i, s))
+      in
+      Host (Delta { session; height; rows })
+  | 0x83 ->
+      let session = get_u32 c in
+      let snapshot = get_str c in
+      Host (Detached { session; snapshot })
+  | 0x84 ->
+      let code = get_u32 c in
+      let msg = get_str c in
+      Host (Error { code; msg })
+  | 0x85 -> Host (Metrics { text = get_str c })
+  | t -> raise (Bad (Printf.sprintf "unknown frame tag 0x%02x" t))
+
+type decoded = Frame of frame * int | Need_more | Corrupt of string
+
+let decode ?(off = 0) (buf : string) : decoded =
+  let len = String.length buf in
+  if off < 0 || off > len then Corrupt "offset out of bounds"
+  else if len - off < 4 then Need_more
+  else
+    let b i = Char.code buf.[off + i] in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if n < 2 then Corrupt "frame body too short"
+    else if n > max_frame then Corrupt "frame length exceeds max_frame"
+    else if len - off - 4 < n then Need_more
+    else
+      try
+        let c = { buf; pos = off + 4; limit = off + 4 + n } in
+        let v = get_u8 c in
+        if v <> version then
+          Corrupt (Printf.sprintf "unsupported protocol version %d" v)
+        else
+          let f = get_body c in
+          if c.pos <> c.limit then Corrupt "trailing bytes in frame body"
+          else Frame (f, n + 4)
+      with Bad m -> Corrupt m
+
+(* ------------------------------------------------------------------ *)
+(* Deltas                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rows_of_text (s : string) : string array =
+  let parts = String.split_on_char '\n' s in
+  let parts =
+    match List.rev parts with "" :: rest -> List.rev rest | _ -> parts
+  in
+  Array.of_list parts
+
+let delta_of_frames ~(prev : string array) (next : string array) :
+    (int * string) list =
+  let old i = if i < Array.length prev then prev.(i) else "" in
+  let rows = ref [] in
+  for i = Array.length next - 1 downto 0 do
+    if not (String.equal next.(i) (old i)) then rows := (i, next.(i)) :: !rows
+  done;
+  !rows
+
+let apply_delta (prev : string array) ~(height : int)
+    ~(rows : (int * string) list) : string array =
+  let height = max 0 height in
+  let out =
+    Array.init height (fun i -> if i < Array.length prev then prev.(i) else "")
+  in
+  List.iter (fun (i, s) -> if i >= 0 && i < height then out.(i) <- s) rows;
+  out

@@ -1,0 +1,107 @@
+(** The binary wire protocol between a client and the networked host
+    (DESIGN.md §12).
+
+    Framing: every frame is a 4-byte big-endian length prefix followed
+    by a body of exactly that many bytes; the body starts with a
+    protocol {!version} byte and a tag byte, then the tag's payload.
+    Integers are unsigned 32-bit big-endian; strings and blobs are a
+    u32 length followed by raw bytes.  The encoding is {e canonical}:
+    a frame has exactly one wire image, so [decode (encode f) = f] and
+    re-encoding a decoded frame is byte-identical — the round-trip
+    property [test/test_net.ml] checks by qcheck and pins with a
+    golden file.
+
+    {!decode} never raises: truncated input is {!Need_more} (feed more
+    bytes and retry), and anything malformed — a bad version byte, an
+    unknown tag, an over-long length, trailing payload bytes — is
+    {!Corrupt} with a reason, which the server answers with an
+    [Error] frame before closing the connection. *)
+
+val version : int
+(** Protocol version byte, bumped on any wire-visible change. *)
+
+val max_frame : int
+(** Upper bound on a frame body's length; a length prefix beyond it is
+    {!Corrupt} (a garbage prefix must not trigger a giant allocation). *)
+
+(** A user event on the wire — the client-side counterpart of
+    {!Live_host.Registry.uevent}: a tap by screen coordinates (the
+    paper's TAP, which pushes/execs through the handler it hits) or
+    BACK (pop). *)
+type event = Ev_tap of { x : int; y : int } | Ev_back
+
+(** Client → host. *)
+type client_frame =
+  | Hello of { client : string; sessions : int }
+      (** open the conversation; the host spawns [sessions] fresh
+          sessions (at least 1) and answers each with [Attach] *)
+  | Event of { session : int; ev : event }
+      (** one user event for one of this connection's sessions *)
+  | Detach of { session : int }
+      (** stop serving the session and send back its canonical
+          {!Snapshot} as [Detached]; the session leaves the fleet *)
+  | Resume of { snapshot : string }
+      (** re-enter a detached session from its snapshot text (same or
+          different host process); answered with [Attach] *)
+  | Stats  (** ask for a [Metrics] frame *)
+  | Bye
+      (** orderly goodbye; the connection closes but its sessions live
+          on in the fleet, unattached — only [Detach] removes one *)
+
+(** Host → client. *)
+type host_frame =
+  | Attach of { session : int; width : int; frame : string }
+      (** a session is now served on this connection; [frame] is the
+          full framebuffer text (one row per line) *)
+  | Delta of { session : int; height : int; rows : (int * string) list }
+      (** damage-masked repaint after the session was served: the new
+          frame height and only the rows whose text changed.  An empty
+          [rows] still acknowledges the served events (the frame was
+          byte-identical).  Applying a delta: resize to [height] rows
+          (new rows blank), then overwrite the listed rows. *)
+  | Detached of { session : int; snapshot : string }
+      (** reply to [Detach]: the canonical snapshot text *)
+  | Error of { code : int; msg : string }
+      (** [code] 1 = protocol violation (fatal, connection closes),
+          2 = event rejected by backpressure, 3 = bad snapshot,
+          4 = resume failed, 5 = unknown session *)
+  | Metrics of { text : string }
+      (** the fleet {!Live_host.Host_metrics} dump *)
+
+type frame = Client of client_frame | Host of host_frame
+
+val equal : frame -> frame -> bool
+val pp : Format.formatter -> frame -> unit
+
+val encode : frame -> string
+(** Full wire bytes, length prefix included.
+    @raise Invalid_argument on out-of-range fields (negative ids, a
+    blob longer than {!max_frame}) — encoder inputs are trusted,
+    decoder inputs are not. *)
+
+(** One step of decoding a byte stream. *)
+type decoded =
+  | Frame of frame * int
+      (** a complete frame and the total bytes consumed (prefix
+          included); continue decoding at [off + consumed] *)
+  | Need_more  (** the buffer holds a prefix of a frame; read more *)
+  | Corrupt of string  (** malformed input; the stream is dead *)
+
+val decode : ?off:int -> string -> decoded
+(** Decode one frame starting at [off] (default 0).  Total function:
+    never raises, whatever the bytes are. *)
+
+val apply_delta : string array -> height:int -> rows:(int * string) list -> string array
+(** Client-side delta application: resize the previous frame's rows to
+    [height] (new rows blank) and overwrite the listed rows — the
+    reconstruction rule [Delta] is defined against. *)
+
+val delta_of_frames : prev:string array -> string array -> (int * string) list
+(** The rows of the new frame that differ from [prev] (rows beyond
+    [prev]'s height count as blank) — the server's damage unit.
+    [apply_delta prev ~height:(Array.length next) ~rows:(delta_of_frames
+    ~prev next) = next]. *)
+
+val rows_of_text : string -> string array
+(** Split a framebuffer text dump (one row per line, trailing newline)
+    into rows. *)

@@ -158,8 +158,44 @@ let flush_caches (t : t) : unit =
   t.frame <- None;
   t.layout <- None
 
+(** Rebuild a session from persisted state (see the interface): the
+    state is reassembled with an invalid display and an empty queue,
+    then driven to stability — RENDER re-derives the display (and so
+    the pixels) deterministically from code, store and stack, which is
+    what makes snapshot/restore byte-identical without ever
+    serializing a framebuffer. *)
+let restore ?(width = 48) ?(fuel = Live_core.Eval.default_fuel)
+    ?(incremental = false) ?(cache = false) ?(evaluator = Machine.Compiled)
+    ?(trace = Trace.empty) ?(fault = None) ~(store : Live_core.Store.t)
+    ~(stack : (Live_core.Ident.page * Live_core.Ast.value) list)
+    (program : Live_core.Program.t) : (t, Machine.error) result =
+  let state0 = Live_core.State.initial program in
+  let t =
+    {
+      state = { state0 with Live_core.State.store; stack };
+      width;
+      fuel;
+      evaluator;
+      layout = None;
+      trace;
+      cache = (if incremental then Some (Live_ui.Layout.create_cache ()) else None);
+      render_cache =
+        (if cache then Some (Live_core.Render_cache.create ()) else None);
+      reuse = (if cache then Some (Live_ui.Layout.create_reuse ()) else None);
+      frame = None;
+      damage = no_damage;
+      pending_fault = fault;
+      epoch = 0;
+      journal = None;
+    }
+  in
+  let* () = stabilize t in
+  Ok t
+
 let state (t : t) = t.state
 let evaluator (t : t) = t.evaluator
+let fuel (t : t) = t.fuel
+let pending_fault (t : t) = t.pending_fault
 let trace (t : t) = t.trace
 let width (t : t) = t.width
 

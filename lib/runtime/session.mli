@@ -34,6 +34,8 @@ val create :
     and the oracle's ["compiled"] configuration). *)
 
 val evaluator : t -> Live_core.Machine.evaluator
+val fuel : t -> int
+(** The evaluator fuel bound this session runs under. *)
 
 val state : t -> Live_core.State.t
 val store : t -> Live_core.Store.t
@@ -106,6 +108,33 @@ type fault =
 val inject : t -> fault -> unit
 (** Arm a one-shot queue fault; consumed by the next interaction that
     enqueues an event (a tap that hits a handler, or back). *)
+
+val pending_fault : t -> fault option
+(** The armed-but-not-yet-consumed fault, if any — persisted by
+    {!Live_net.Snapshot} so a detached session resumes with the same
+    fault still pending. *)
+
+val restore :
+  ?width:int ->
+  ?fuel:int ->
+  ?incremental:bool ->
+  ?cache:bool ->
+  ?evaluator:Live_core.Machine.evaluator ->
+  ?trace:Trace.t ->
+  ?fault:fault option ->
+  store:Live_core.Store.t ->
+  stack:(Live_core.Ident.page * Live_core.Ast.value) list ->
+  Live_core.Program.t ->
+  (t, Live_core.Machine.error) result
+(** Rebuild a session from persisted state — the restore half of
+    {!Live_net.Snapshot}.  The state is reassembled as
+    [(C, ⊥, S, P, eps)] and driven to stability, which re-renders the
+    display deterministically from the code, store and stack; a
+    session restored from a detached session's snapshot is therefore
+    byte-identical (store, stack, pixels) to one that was never
+    detached.  [trace] re-installs the interaction history and [fault]
+    a still-armed one-shot queue fault.  An empty [stack] boots from
+    scratch (STARTUP runs, as in {!create}). *)
 
 val flush_caches : t -> unit
 (** Drop every warm incremental structure (render memoization cache,

@@ -49,5 +49,6 @@ let () =
       ("host", Test_host.suite);
       ("parallel", Test_parallel.suite);
       ("rollout", Test_rollout.suite);
+      ("net", Test_net.suite);
       ("misc", Test_misc.suite);
     ]

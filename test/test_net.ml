@@ -1,0 +1,557 @@
+(** The networked host ([lib/net]): wire-codec totality and
+    canonicity, snapshot persistence, and the end-to-end
+    detach/resume soundness statement —
+
+    - {b codec}: [decode (encode f)] returns [f] exactly, re-encoding
+      is byte-identical (qcheck over the whole frame grammar), every
+      truncation of a valid frame is [Need_more] and arbitrary garbage
+      is [Corrupt] or a valid decode — never an exception; the on-disk
+      format (version byte included) is pinned by a golden file;
+    - {b snapshot}: [of_string (to_string s)] re-prints
+      byte-identically, and a malformed text is an [Error], never an
+      exception;
+    - {b persistence}: detach + restore is observationally invisible —
+      a session snapshotted mid-trace and resumed finishes the trace
+      byte-identical to one that never detached, under both expression
+      engines (the ISSUE's digest-equality acceptance statement);
+    - {b server}: a real Unix-socket fleet driven by the lockstep
+      client agrees state-for-state with a direct in-process fleet
+      replaying the same seeded trace (transport invariance), with
+      detach/resume and a mid-run broadcast in the loop. *)
+
+open Helpers
+module Wire = Live_net.Wire
+module Snapshot = Live_net.Snapshot
+module H = Live_host
+module Session = Live_runtime.Session
+module Prng = Live_conformance.Prng
+
+let app version : Live_core.Program.t =
+  (Live_workloads.Synthetic.compile_exn
+     (Live_workloads.Synthetic.host_app ~rows:4 ~version ()))
+    .Live_surface.Compile.core
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Gen_frame = struct
+  open QCheck2.Gen
+
+  let small_id = int_bound 100_000
+  let small_str = string_size ~gen:printable (int_range 0 40)
+
+  let event =
+    oneof
+      [
+        (let* x = int_bound 1000 in
+         let* y = int_bound 1000 in
+         pure (Wire.Ev_tap { x; y }));
+        pure Wire.Ev_back;
+      ]
+
+  let client_frame =
+    oneof
+      [
+        (let* client = small_str in
+         let* sessions = int_range 1 64 in
+         pure (Wire.Hello { client; sessions }));
+        (let* session = small_id in
+         let* ev = event in
+         pure (Wire.Event { session; ev }));
+        (small_id >|= fun session -> Wire.Detach { session });
+        (small_str >|= fun snapshot -> Wire.Resume { snapshot });
+        pure Wire.Stats;
+        pure Wire.Bye;
+      ]
+
+  let host_frame =
+    oneof
+      [
+        (let* session = small_id in
+         let* width = int_range 1 256 in
+         let* frame = small_str in
+         pure (Wire.Attach { session; width; frame }));
+        (let* session = small_id in
+         let* height = int_range 0 64 in
+         let* rows =
+           list_size (int_range 0 8)
+             (let* i = int_bound 63 in
+              let* s = small_str in
+              pure (i, s))
+         in
+         pure (Wire.Delta { session; height; rows }));
+        (let* session = small_id in
+         let* snapshot = small_str in
+         pure (Wire.Detached { session; snapshot }));
+        (let* code = int_range 1 5 in
+         let* msg = small_str in
+         pure (Wire.Error { code; msg }));
+        (small_str >|= fun text -> Wire.Metrics { text });
+      ]
+
+  let frame =
+    oneof
+      [
+        (client_frame >|= fun f -> Wire.Client f);
+        (host_frame >|= fun f -> Wire.Host f);
+      ]
+end
+
+let prop_roundtrip =
+  qcheck ~count:500 "wire: decode (encode f) = f, re-encode byte-identical"
+    Gen_frame.frame (fun f ->
+      let bytes = Wire.encode f in
+      match Wire.decode bytes with
+      | Wire.Frame (f', consumed) ->
+          if not (Wire.equal f f') then
+            QCheck2.Test.fail_reportf "decode mismatch: %a <> %a" Wire.pp f
+              Wire.pp f';
+          if consumed <> String.length bytes then
+            QCheck2.Test.fail_reportf "consumed %d of %d bytes" consumed
+              (String.length bytes);
+          if Wire.encode f' <> bytes then
+            QCheck2.Test.fail_reportf "re-encode not byte-identical for %a"
+              Wire.pp f;
+          true
+      | Wire.Need_more -> QCheck2.Test.fail_reportf "Need_more on a full frame"
+      | Wire.Corrupt m -> QCheck2.Test.fail_reportf "Corrupt: %s" m)
+
+let prop_truncation =
+  qcheck ~count:200 "wire: every truncation is Need_more, never an exception"
+    Gen_frame.frame (fun f ->
+      let bytes = Wire.encode f in
+      for k = 0 to String.length bytes - 1 do
+        match Wire.decode (String.sub bytes 0 k) with
+        | Wire.Need_more -> ()
+        | Wire.Frame _ ->
+            QCheck2.Test.fail_reportf "truncation to %d bytes decoded" k
+        | Wire.Corrupt m ->
+            QCheck2.Test.fail_reportf "truncation to %d bytes Corrupt: %s" k m
+      done;
+      true)
+
+let prop_garbage =
+  qcheck ~count:500 "wire: arbitrary bytes never raise"
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 64))
+    (fun s ->
+      (match Wire.decode s with
+      | Wire.Frame _ | Wire.Need_more | Wire.Corrupt _ -> ());
+      true)
+
+(* A valid frame whose body is then corrupted in one byte: must never
+   raise, and a corrupted version byte must be Corrupt. *)
+let prop_bitflip =
+  qcheck ~count:200 "wire: single corrupted body byte never raises"
+    QCheck2.Gen.(pair Gen_frame.frame (int_bound 1_000_000))
+    (fun (f, salt) ->
+      let bytes = Bytes.of_string (Wire.encode f) in
+      if Bytes.length bytes > 4 then begin
+        let pos = 4 + (salt mod (Bytes.length bytes - 4)) in
+        Bytes.set bytes pos
+          (Char.chr (Char.code (Bytes.get bytes pos) lxor 0xFF));
+        match Wire.decode (Bytes.to_string bytes) with
+        | Wire.Frame _ | Wire.Need_more | Wire.Corrupt _ -> ()
+      end;
+      true)
+
+(* The golden corpus: one frame of every tag, encoded and hex-dumped.
+   Catching an unintentional format change is the whole point: if this
+   test fails, either revert the codec change or bump {!Wire.version}
+   AND regenerate the file. *)
+let golden_frames : Wire.frame list =
+  [
+    Wire.Client (Wire.Hello { client = "live-load"; sessions = 3 });
+    Wire.Client (Wire.Event { session = 7; ev = Wire.Ev_tap { x = 11; y = 2 } });
+    Wire.Client (Wire.Event { session = 8; ev = Wire.Ev_back });
+    Wire.Client (Wire.Detach { session = 9 });
+    Wire.Client (Wire.Resume { snapshot = "(snapshot)" });
+    Wire.Client Wire.Stats;
+    Wire.Client Wire.Bye;
+    Wire.Host (Wire.Attach { session = 7; width = 32; frame = "a\nb\n" });
+    Wire.Host
+      (Wire.Delta { session = 7; height = 4; rows = [ (0, "x"); (3, "yz") ] });
+    Wire.Host (Wire.Detached { session = 9; snapshot = "(snapshot)" });
+    Wire.Host (Wire.Error { code = 2; msg = "7 rejected by backpressure" });
+    Wire.Host (Wire.Metrics { text = "host metrics\n" });
+  ]
+
+let hex (s : string) : string =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.init (String.length s) (fun i -> Char.code s.[i])))
+
+let golden_text () : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# wire format v%d — regenerate only on a version bump\n"
+       Wire.version);
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Fmt.str "%a\n" Wire.pp f);
+      Buffer.add_string buf (hex (Wire.encode f));
+      Buffer.add_char buf '\n')
+    golden_frames;
+  Buffer.contents buf
+
+let golden_path name =
+  let rel = Filename.concat "traces" name in
+  if Sys.file_exists rel then rel else Filename.concat "test" rel
+
+let test_wire_golden () =
+  let path = golden_path "wire_v1.golden" in
+  if Sys.getenv_opt "WIRE_GOLDEN_REGEN" = Some "1" then begin
+    let oc = open_out_bin path in
+    output_string oc (golden_text ());
+    close_out oc
+  end;
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let want = really_input_string ic n in
+  close_in ic;
+  Alcotest.(check string) "pinned wire format" want (golden_text ())
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot text                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let mk_session ?(evaluator = Live_core.Machine.Compiled) ?(cache = false) () :
+    Session.t =
+  match Session.create ~width:32 ~cache ~evaluator (app 0) with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "boot: %s" (Live_core.Machine.error_to_string e)
+
+let drive (s : Session.t) (rng : Prng.t) (n : int) : unit =
+  for _ = 1 to n do
+    if Prng.int rng 10 = 0 then ignore (Session.back s)
+    else ignore (Session.tap s ~x:(Prng.int rng 32) ~y:(Prng.int rng 7))
+  done
+
+let test_snapshot_roundtrip () =
+  let s = mk_session () in
+  drive s (Prng.create 7) 20;
+  let snap =
+    Snapshot.of_session ~pending:[ Wire.Ev_tap { x = 1; y = 2 }; Wire.Ev_back ]
+      s
+  in
+  let text = Snapshot.to_string snap in
+  match Snapshot.of_string text with
+  | Error m -> Alcotest.failf "of_string: %s" m
+  | Ok snap' ->
+      Alcotest.(check string) "re-print byte-identical" text
+        (Snapshot.to_string snap');
+      Alcotest.(check bool) "program survives" true
+        (Snapshot.program_equal snap.Snapshot.program snap'.Snapshot.program)
+
+let test_snapshot_malformed () =
+  let s = mk_session () in
+  let text = Snapshot.to_string (Snapshot.of_session s) in
+  let cases =
+    [
+      "";
+      "(";
+      "()";
+      "(snapshot)";
+      "(snapshot (version 99))";
+      String.sub text 0 (String.length text / 2);
+      text ^ "garbage";
+      Helpers.replace text "(version 1)" "(version 2)";
+    ]
+  in
+  List.iter
+    (fun c ->
+      match Snapshot.of_string c with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "malformed snapshot accepted: %S" c)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Restore ≡ never detached                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One seeded interaction, detached and resumed at the midpoint; the
+   control session plays the same events straight through.  Both must
+   finish byte-identical — store, stack, trace, pixels. *)
+let check_restore_invisible ~(evaluator : Live_core.Machine.evaluator)
+    ~(cache : bool) (seed : int) =
+  let control = mk_session ~evaluator ~cache () in
+  let subject = mk_session ~evaluator ~cache () in
+  let rng_c = Prng.create (Prng.derive seed 1) in
+  let rng_s = Prng.create (Prng.derive seed 1) in
+  drive control rng_c 15;
+  drive subject rng_s 15;
+  (* detach: capture, throw the live session away, restore *)
+  let snap = Snapshot.of_session subject in
+  let text = Snapshot.to_string snap in
+  let subject' =
+    match Snapshot.of_string text with
+    | Error m -> Alcotest.failf "of_string: %s" m
+    | Ok snap' -> (
+        match Snapshot.restore snap' with
+        | Error m -> Alcotest.failf "restore: %s" m
+        | Ok s -> s)
+  in
+  drive control rng_c 15;
+  drive subject' rng_s 15;
+  Alcotest.(check string)
+    (Printf.sprintf "observable state (seed %d)" seed)
+    (H.Registry.observe_session control)
+    (H.Registry.observe_session subject');
+  Alcotest.(check string)
+    (Printf.sprintf "pixels (seed %d)" seed)
+    (Session.screenshot control)
+    (Session.screenshot subject')
+
+let test_restore_invisible_subst () =
+  List.iter
+    (check_restore_invisible ~evaluator:Live_core.Machine.Subst ~cache:false)
+    [ 1; 2; 3 ]
+
+let test_restore_invisible_compiled () =
+  List.iter
+    (check_restore_invisible ~evaluator:Live_core.Machine.Compiled ~cache:true)
+    [ 1; 2; 3 ]
+
+(* Cross-engine restore: a snapshot written by the substitution engine
+   restores under the compiled engine's host (the evaluator rides in
+   the snapshot — restore honours it). *)
+let test_restore_carries_evaluator () =
+  let s = mk_session ~evaluator:Live_core.Machine.Subst () in
+  drive s (Prng.create 11) 10;
+  let snap = Snapshot.of_session s in
+  match Snapshot.restore snap with
+  | Error m -> Alcotest.failf "restore: %s" m
+  | Ok s' ->
+      Alcotest.(check bool) "evaluator preserved" true
+        (Session.evaluator s' = Live_core.Machine.Subst);
+      Alcotest.(check string) "state preserved"
+        (H.Registry.observe_session s)
+        (H.Registry.observe_session s')
+
+(* save/load: the file round-trip, including the atomic write path. *)
+let test_snapshot_save_load () =
+  let s = mk_session () in
+  drive s (Prng.create 13) 10;
+  let snap = Snapshot.of_session s in
+  let path = Filename.temp_file "live-snap" ".sexp" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Snapshot.save path snap;
+      match Snapshot.load path with
+      | Error m -> Alcotest.failf "load: %s" m
+      | Ok snap' ->
+          Alcotest.(check string) "file round-trip"
+            (Snapshot.to_string snap)
+            (Snapshot.to_string snap'))
+
+(* ------------------------------------------------------------------ *)
+(* Delta helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_delta =
+  qcheck ~count:300 "wire: apply_delta ∘ delta_of_frames = id"
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 0 12)
+           (string_size ~gen:printable (int_range 0 8)))
+        (array_size (int_range 0 12)
+           (string_size ~gen:printable (int_range 0 8))))
+    (fun (prev, next) ->
+      let rows = Wire.delta_of_frames ~prev next in
+      let got = Wire.apply_delta prev ~height:(Array.length next) ~rows in
+      got = next)
+
+(* ------------------------------------------------------------------ *)
+(* The server, end to end over a real socket                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_e2e () =
+  let module Server = Live_net.Server in
+  let module Client = Live_net.Client in
+  let sessions = 8 and conns = 3 and rounds = 12 and seed = 42 in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "live-test-net-%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    {
+      H.Registry.default_config with
+      H.Registry.width = 32;
+      queue_capacity = 16;
+    }
+  in
+  let srv = Server.create ~config ~socket (app 0) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let reg = Server.registry srv in
+  let rngs =
+    Array.init sessions (fun s -> Prng.create (Prng.derive seed s))
+  in
+  let gen ~slot ~round:_ =
+    let rng = rngs.(slot) in
+    if Prng.int rng 10 = 0 then Wire.Ev_back
+    else Wire.Ev_tap { x = Prng.int rng 32; y = Prng.int rng 7 }
+  in
+  let broadcast_round = rounds / 2 in
+  let on_round r =
+    if r = broadcast_round then begin
+      (match H.Broadcast.update reg (app 1) with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "broadcast: %s" (Live_core.Machine.error_to_string e));
+      Server.mark_all_dirty srv
+    end
+  in
+  let report =
+    match
+      Client.run ~socket ~conns ~sessions ~rounds ~gen ~detach_every:4
+        ~on_round
+        ~pump:(fun () -> ignore (Server.step ~timeout:0. srv))
+        ()
+    with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "client: %s" m
+  in
+  Alcotest.(check int) "every event answered" (sessions * rounds)
+    (H.Host_metrics.hist_count report.Client.latency
+    + report.Client.rejected);
+  Alcotest.(check bool) "detach/resume exercised" true
+    (report.Client.detaches > 0 && report.Client.detaches = report.Client.resumes);
+  (* reconstructed frames = server screenshots *)
+  List.iteri
+    (fun slot id ->
+      match H.Registry.session reg id with
+      | None -> Alcotest.failf "slot %d session %d missing" slot id
+      | Some s ->
+          Alcotest.(check (array string))
+            (Printf.sprintf "slot %d frame" slot)
+            (Wire.rows_of_text (Session.screenshot s))
+            report.Client.frames.(slot))
+    report.Client.session_ids;
+  (* transport invariance: direct in-process replay, same seeds *)
+  let sreg = H.Registry.create ~config (app 0) in
+  (match H.Registry.spawn_many sreg sessions with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "spawn: %s" (Live_core.Machine.error_to_string e));
+  let sched = H.Scheduler.create sreg in
+  let srngs =
+    Array.init sessions (fun s -> Prng.create (Prng.derive seed s))
+  in
+  for round = 0 to rounds - 1 do
+    Array.iteri
+      (fun s rng ->
+        let ev =
+          if Prng.int rng 10 = 0 then H.Registry.Back
+          else
+            H.Registry.Tap { x = Prng.int rng 32; y = Prng.int rng 7 }
+        in
+        ignore (H.Registry.offer sreg s ev))
+      srngs;
+    (match H.Scheduler.drain sched with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail m);
+    if round = broadcast_round then
+      match H.Broadcast.update sreg (app 1) with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "shadow broadcast: %s"
+            (Live_core.Machine.error_to_string e)
+  done;
+  List.iteri
+    (fun slot id ->
+      let net = Option.get (H.Registry.session reg id) in
+      let direct = Option.get (H.Registry.session sreg slot) in
+      Alcotest.(check string)
+        (Printf.sprintf "slot %d transport invariance" slot)
+        (H.Registry.observe_session direct)
+        (H.Registry.observe_session net))
+    report.Client.session_ids;
+  (* the fleet survives the client: Bye does not kill sessions *)
+  Alcotest.(check int) "sessions survive Bye" sessions (H.Registry.size reg);
+  match H.Registry.check_invariants reg with
+  | [] -> ()
+  | vs ->
+      Alcotest.failf "invariants: %s"
+        (String.concat "; "
+           (List.map (fun (id, m) -> Printf.sprintf "#%d: %s" id m) vs))
+
+(* A host-tagged frame from a client is a protocol violation: Error 1
+   and the connection closes — and the server survives. *)
+let test_server_rejects_garbage () =
+  let module Server = Live_net.Server in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "live-test-net-g-%d.sock" (Unix.getpid ()))
+  in
+  let srv = Server.create ~socket (app 0) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let bad = Wire.encode (Wire.Host (Wire.Metrics { text = "nope" })) in
+  ignore (Unix.write_substring fd bad 0 (String.length bad));
+  (* pump the server until the reply arrives *)
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  Unix.set_nonblock fd;
+  let deadline = 200 in
+  let rec wait n =
+    if n = 0 then Alcotest.fail "no Error reply";
+    ignore (Server.step ~timeout:0.01 srv);
+    (match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | k -> Buffer.add_subbytes buf chunk 0 k
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+    match Wire.decode (Buffer.contents buf) with
+    | Wire.Frame (Wire.Host (Wire.Error { code; _ }), _) ->
+        Alcotest.(check int) "protocol violation code" 1 code
+    | Wire.Frame (f, _) ->
+        Alcotest.failf "unexpected reply %s" (Fmt.str "%a" Wire.pp f)
+    | Wire.Need_more | Wire.Corrupt _ -> wait (n - 1)
+  in
+  wait deadline
+
+(* ------------------------------------------------------------------ *)
+(* The host-net oracle configuration                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every step of a fuzzed trace followed by a full snapshot → wire →
+   parse → restore → adopt cycle must stay byte-identical to the
+   reference machine. *)
+let prop_host_net_oracle =
+  qcheck ~count:15 "oracle: host-net agrees with the machine"
+    QCheck2.Gen.(int_bound 1_000_000_000)
+    (fun seed ->
+      let open Live_conformance in
+      let trace = Engine.gen_trace ~n_events:8 ~seed () in
+      match Oracle.run ~configs:[ "machine"; "host-net" ] trace with
+      | Oracle.Agreed -> true
+      | Oracle.Boot_failed _ -> true (* not this property's concern *)
+      | Oracle.Diverged d ->
+          QCheck2.Test.fail_reportf "seed %d: %s" seed
+            (Fmt.str "%a" Oracle.pp_divergence d))
+
+let suite =
+  [
+    prop_roundtrip;
+    prop_truncation;
+    prop_garbage;
+    prop_bitflip;
+    prop_delta;
+    Alcotest.test_case "wire golden file" `Quick test_wire_golden;
+    Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "snapshot rejects malformed" `Quick
+      test_snapshot_malformed;
+    Alcotest.test_case "restore invisible (subst)" `Quick
+      test_restore_invisible_subst;
+    Alcotest.test_case "restore invisible (compiled+cache)" `Quick
+      test_restore_invisible_compiled;
+    Alcotest.test_case "restore carries evaluator" `Quick
+      test_restore_carries_evaluator;
+    Alcotest.test_case "snapshot save/load" `Quick test_snapshot_save_load;
+    Alcotest.test_case "server e2e over a real socket" `Quick test_server_e2e;
+    Alcotest.test_case "server rejects protocol violations" `Quick
+      test_server_rejects_garbage;
+    prop_host_net_oracle;
+  ]
