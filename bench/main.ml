@@ -49,7 +49,12 @@
     - B15 [net_e2e]         — the networked host (lib/net) over real
       Unix-domain sockets: event-sent -> delta-received p50/p99
       latency at fleets {10, 100, 1000} and the damage-delta
-      bandwidth ratio vs. full-frame repaints on independent_rows.
+      bandwidth ratio vs. full-frame repaints on independent_rows;
+    - B16 [shard_scaling]   — the shard director (lib/net/director):
+      aggregate events/sec and e2e p50/p99 with the fleet spread over
+      shards {1, 2, 4} at fleets {100, 1000}, against the undirected
+      single-server baseline (the B15 shape) — the routing proxy's
+      per-event tax, measured.
 
     Output: one table per experiment, estimated ns (or µs/ms) per
     operation from Bechamel's OLS fit against the run count, plus a
@@ -1422,6 +1427,130 @@ let b15 () : jentry list =
     fleet_conns
 
 (* ------------------------------------------------------------------ *)
+(* B16: shard director — multi-shard scaling over the routing proxy    *)
+(* ------------------------------------------------------------------ *)
+
+(** B16 prices the shard director (lib/net/director): the same
+    end-to-end path as B15 but with the fleet spread across N shard
+    servers behind the routing proxy, at shards {1, 2, 4} x fleet
+    {100, 1000}.  The [single] column is the B15 configuration — one
+    undirected server — so the per-event cost of the extra hop
+    (client -> director -> shard -> director -> client, two more
+    framings per event) is read directly off the table.  Everything is
+    co-scheduled on one thread, so this measures the proxy's overhead,
+    not multi-core speedup: the win sharding buys in deployment is N
+    processes' worth of CPU, which a single-thread harness cannot
+    show; what it {e can} show is that the routing layer's tax stays
+    flat as shards are added. *)
+let b16 () : jentry list =
+  let module H = Live_host in
+  let module Server = Live_net.Server in
+  let module Client = Live_net.Client in
+  let module Director = Live_net.Director in
+  let module Wire = Live_net.Wire in
+  let module Prng = Live_conformance.Prng in
+  let rows_n = 16 in
+  let core =
+    (Live_workloads.Synthetic.compile_exn
+       (Live_workloads.Synthetic.independent_rows ~n:rows_n))
+      .Live_surface.Compile.core
+  in
+  header "B16: shard_scaling — the fleet behind the shard director"
+    "lib/net/director: event-sent -> delta-received latency and \
+     aggregate throughput with the fleet spread over N shard servers \
+     behind the routing proxy, vs. the undirected single server \
+     (the B15 baseline).";
+  let fleet_conns = [ (100, 25); (1000, 50) ] in
+  let shard_counts = [ 1; 2; 4 ] in
+  let cfg = { H.Registry.default_config with H.Registry.width = 48 } in
+  List.concat_map
+    (fun (k, conns) ->
+      let rounds = max 4 (2000 / k) in
+      let mk_gen () =
+        let rngs = Array.init k (fun s -> Prng.create (Prng.derive 42 s)) in
+        fun ~slot ~round:_ ->
+          Wire.Ev_tap { x = 2; y = Prng.int rngs.(slot) (rows_n + 3) }
+      in
+      let run_one ~label ~socket ~pump : Client.report * float =
+        let t0 = Unix.gettimeofday () in
+        match
+          Client.run ~socket ~conns ~sessions:k ~rounds ~gen:(mk_gen ()) ~pump
+            ()
+        with
+        | Ok r -> (r, Unix.gettimeofday () -. t0)
+        | Error m -> failwith ("b16 " ^ label ^ ": " ^ m)
+      in
+      let entries ~col (r : Client.report) (dt : float) =
+        let p q = H.Host_metrics.quantile r.Client.latency q in
+        let eps = float_of_int r.Client.events_sent /. dt in
+        Printf.printf
+          "  fleet=%4d %-8s  %8.0f events/s  e2e p50 %s  p99 %s\n" k col eps
+          (pp_time (p 0.5))
+          (pp_time (p 0.99));
+        [
+          {
+            id = Printf.sprintf "b16/e2e-p50-ns/%s/fleet=%04d" col k;
+            unit_ = "ns";
+            value = p 0.5;
+          };
+          {
+            id = Printf.sprintf "b16/e2e-p99-ns/%s/fleet=%04d" col k;
+            unit_ = "ns";
+            value = p 0.99;
+          };
+          {
+            id = Printf.sprintf "b16/events-per-sec/%s/fleet=%04d" col k;
+            unit_ = "events/s";
+            value = eps;
+          };
+        ]
+      in
+      (* the baseline column: one undirected server (B15's shape) *)
+      let base_sock =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "itsalive-b16-base-%d-%d.sock" (Unix.getpid ()) k)
+      in
+      let srv = Server.create ~config:cfg ~batch:8 ~socket:base_sock core in
+      let br, bdt =
+        run_one ~label:"single" ~socket:base_sock
+          ~pump:(fun () -> ignore (Server.step ~timeout:0. srv))
+      in
+      Server.stop srv;
+      entries ~col:"single" br bdt
+      @ List.concat_map
+          (fun n ->
+            let spath i =
+              Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "itsalive-b16-%d-%d-%d.sock" (Unix.getpid ())
+                   k i)
+            in
+            let shards =
+              Array.init n (fun i ->
+                  Server.create ~config:cfg ~batch:8 ~socket:(spath i) core)
+            in
+            let pump_shards () =
+              Array.iter (fun s -> ignore (Server.step ~timeout:0. s)) shards
+            in
+            let dpath = spath 9999 in
+            let dir =
+              Director.create ~pump:pump_shards ~socket:dpath
+                ~shards:(List.init n spath) ()
+            in
+            let pump () =
+              pump_shards ();
+              ignore (Director.step ~timeout:0. dir)
+            in
+            let col = Printf.sprintf "shards=%d" n in
+            let r, dt = run_one ~label:col ~socket:dpath ~pump in
+            Director.stop dir;
+            Array.iter Server.stop shards;
+            entries ~col r dt)
+          shard_counts)
+    fleet_conns
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -1443,6 +1572,7 @@ let () =
   let r13 = b13 () in
   let r14 = b14 () in
   let r15 = b15 () in
+  let r16 = b16 () in
   let alloc_entries =
     List.rev_map
       (fun (name, b) -> { id = name ^ "/alloc"; unit_ = "B/run"; value = b })
@@ -1451,5 +1581,5 @@ let () =
   write_json
     (List.concat_map entries_of_rows
        [ r1; r2; r3; r4; r5; r6; r7; r8; r9 ]
-    @ r10 @ r11 @ r12 @ r13 @ r14 @ r15 @ alloc_entries);
+    @ r10 @ r11 @ r12 @ r13 @ r14 @ r15 @ r16 @ alloc_entries);
   Printf.printf "\nDone. See EXPERIMENTS.md for interpretation.\n"

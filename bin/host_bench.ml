@@ -94,6 +94,15 @@ let usage () =
                       client-held snapshot and resume it every K
                       rounds (default 0 = never; the net soak
                       defaults to 5)
+  --shards N          drive the fleet through an in-process shard
+                      director fronting N shard servers over real
+                      Unix-domain sockets: fleet-wide UPDATEs run as
+                      two-phase commits, one mid-run rebalance
+                      migrates ~10%% of the fleet between shards, and
+                      the directed fleet's digest is cross-checked
+                      against a direct in-process shadow replay of the
+                      identical seeded trace.  With --soak SECS, runs
+                      complete sharded cycles back to back
   --quiet             no per-phase progress|};
   exit 2
 
@@ -124,6 +133,7 @@ let edit_size = ref 0
 let net = ref false
 let conns = ref 0 (* 0 = auto: min (sessions, 16) *)
 let detach_every = ref 0
+let shards = ref 0 (* 0 = no director; N > 0 = directed N-shard fleet *)
 
 let evaluator_name = function
   | Live_core.Machine.Subst -> "subst"
@@ -239,6 +249,9 @@ let parse_args () =
     | "--detach-every" :: v :: rest ->
         detach_every := int_of_string v;
         parse rest
+    | "--shards" :: v :: rest ->
+        shards := int_of_string v;
+        parse rest
     | "--quiet" :: rest ->
         quiet := true;
         parse rest
@@ -279,13 +292,25 @@ let validate_flags () =
     err "--net does not support --rollout-soak";
   if !net && !jobs <> 1 then
     err "--net drives the sequential scheduler; drop --jobs";
-  if (not !net) && !conns <> 0 then err "--conns requires --net";
+  if !shards < 0 then err "--shards must be >= 1";
+  if !shards > 0 && !net then
+    err "--shards already drives the fleet over the wire; drop --net";
+  if !shards > 0 && !rollout_soak <> None then
+    err "--shards does not support --rollout-soak";
+  if !shards > 0 && !jobs <> 1 then
+    err "--shards drives the sequential scheduler per shard; drop --jobs";
+  if !shards > 0 && !detach_every <> 0 then
+    err "--shards digest-checks by global id; drop --detach-every";
+  if !shards > 0 && !edit_size <> 0 then
+    err "--shards broadcasts whole-program versions; drop --edit-size";
+  if (not !net) && !shards = 0 && !conns <> 0 then
+    err "--conns requires --net or --shards";
   if (not !net) && !detach_every <> 0 then err "--detach-every requires --net";
   if !conns < 0 then err "--conns must be >= 1";
   if !conns > 256 then err "--conns must be <= 256 (select fd budget)";
   if !detach_every < 0 then err "--detach-every must be >= 0";
-  if !net && !conns = 0 then conns := min !sessions 16;
-  if !net && !conns > !sessions then conns := !sessions;
+  if (!net || !shards > 0) && !conns = 0 then conns := min !sessions 16;
+  if (!net || !shards > 0) && !conns > !sessions then conns := !sessions;
   if !jobs > Domain.recommended_domain_count () then
     Printf.eprintf
       "warning: --jobs %d exceeds the recommended domain count (%d); expect \
@@ -1014,20 +1039,278 @@ let run_net_soak (secs : float) : H.Registry.t * driver =
   Option.get !current
 
 (* ------------------------------------------------------------------ *)
+(* The directed multi-shard fleet (lib/net/director)                   *)
+(* ------------------------------------------------------------------ *)
+
+(** One complete sharded run: N in-process shard servers behind a
+    {!Live_net.Director}, the lockstep client driving the fleet through
+    the director's socket.  Broadcasts go over the wire as [Update]
+    frames, so they exercise the two-phase prepare/commit across every
+    shard; one mid-run [Rebalance] migrates ~10%% of the fleet between
+    shards under traffic.  The check is the ISSUE's acceptance
+    criterion verbatim: the directed fleet's digest (by global id) must
+    be byte-identical to a direct in-process shadow fleet replaying the
+    same seeded trace — sharding, the wire, two-phase UPDATE, and live
+    migration must all be observationally invisible. *)
+let run_sharded_rounds ~(seed : int) ~(rounds : int) ~(label : string) :
+    H.Registry.t * driver =
+  let module Server = Live_net.Server in
+  let module Client = Live_net.Client in
+  let module Director = Live_net.Director in
+  let module Wire = Live_net.Wire in
+  let n = !shards in
+  let sockpath i =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "itsalive-shard-%d-%d.sock" (Unix.getpid ()) i)
+  in
+  let shard_srvs =
+    Array.init n (fun i ->
+        Server.create ~config:(net_config ()) ~batch:!batch
+          ~socket:(sockpath i) (compile_version 0))
+  in
+  let pump_shards () =
+    Array.iter (fun s -> ignore (Server.step ~timeout:0. s)) shard_srvs
+  in
+  let dpath = sockpath 9999 in
+  let dir =
+    Director.create ~pump:pump_shards ~socket:dpath
+      ~shards:(List.init n sockpath) ()
+  in
+  let pump () =
+    pump_shards ();
+    ignore (Director.step ~timeout:0. dir)
+  in
+  (* a pump-aware admin connection for the fleet-wide control frames *)
+  let afd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect afd (Unix.ADDR_UNIX dpath);
+  Unix.set_nonblock afd;
+  let abuf = Buffer.create 1024 and aoff = ref 0 in
+  let admin_send f =
+    let payload = Wire.encode (Wire.Client f) in
+    let len = String.length payload in
+    let off = ref 0 in
+    while !off < len do
+      match Unix.write_substring afd payload !off (len - !off) with
+      | k -> off := !off + k
+      | exception
+          Unix.Unix_error
+            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          pump ()
+    done
+  in
+  let achunk = Bytes.create 65536 in
+  let rec admin_recv () =
+    let data = Buffer.contents abuf in
+    match Wire.decode ~off:!aoff data with
+    | Wire.Frame (Wire.Host f, k) ->
+        aoff := !aoff + k;
+        if !aoff = String.length data then begin
+          Buffer.clear abuf;
+          aoff := 0
+        end;
+        f
+    | Wire.Frame (Wire.Client _, _) ->
+        failwith "client-tagged frame from the director"
+    | Wire.Corrupt m -> failwith ("corrupt director reply: " ^ m)
+    | Wire.Need_more ->
+        pump ();
+        (match Unix.read afd achunk 0 (Bytes.length achunk) with
+        | 0 -> failwith "director closed the admin connection"
+        | k -> Buffer.add_subbytes abuf achunk 0 k
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            ());
+        admin_recv ()
+  in
+  let admin_rpc f =
+    admin_send f;
+    admin_recv ()
+  in
+  let rngs = Array.init !sessions (fun s -> Prng.create (Prng.derive seed s)) in
+  let gen ~slot ~round:_ = to_wire_event (gen_event rngs.(slot)) in
+  let update_rounds =
+    List.init !updates (fun u -> max 1 (rounds * (u + 1) / (!updates + 1)))
+  in
+  let rebalance_round = max 1 (rounds / 2) in
+  let rebalance_count = max 1 (!sessions / 10) in
+  let version = ref 0 in
+  let on_round r =
+    if List.mem r update_rounds then begin
+      incr version;
+      match
+        admin_rpc
+          (Wire.Update
+             {
+               program =
+                 Live_net.Snapshot.program_to_string (compile_version !version);
+             })
+      with
+      | Wire.Ack _ -> ()
+      | Wire.Error { code; msg } ->
+          fail "%s: two-phase update v%d refused (%d): %s" label !version code
+            msg
+      | _ -> fail "%s: unexpected reply to Update" label
+    end;
+    if r = rebalance_round then
+      match admin_rpc (Wire.Rebalance { count = rebalance_count }) with
+      | Wire.Ack _ -> ()
+      | Wire.Error { code; msg } ->
+          fail "%s: rebalance refused (%d): %s" label code msg
+      | _ -> fail "%s: unexpected reply to Rebalance" label
+  in
+  say "%s: %d sessions over %d shards (%d connections), %d rounds\n" label
+    !sessions n !conns rounds;
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Client.run ~socket:dpath ~conns:!conns ~sessions:!sessions ~rounds ~gen
+      ~on_round ~pump ~stats:true ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  for _ = 1 to 50 do
+    pump ()
+  done;
+  (* the direct in-process shadow: same seeded trace, same broadcast
+     rounds, one flat fleet *)
+  let sreg = H.Registry.create ~config:(net_config ()) (compile_version 0) in
+  (match H.Registry.spawn_many sreg !sessions with
+  | Ok _ -> ()
+  | Error e ->
+      fail "shard shadow spawn failed: %s" (Live_core.Machine.error_to_string e));
+  let sched =
+    H.Scheduler.create ~policy:H.Scheduler.Round_robin ~batch:!batch sreg
+  in
+  let srngs =
+    Array.init !sessions (fun s -> Prng.create (Prng.derive seed s))
+  in
+  let sversion = ref 0 in
+  for round = 0 to rounds - 1 do
+    Array.iteri
+      (fun s rng -> ignore (H.Registry.offer sreg s (gen_event rng)))
+      srngs;
+    (match H.Scheduler.drain sched with
+    | Ok _ -> ()
+    | Error m -> fail "shard shadow drain: %s" m);
+    if List.mem round update_rounds then begin
+      incr sversion;
+      match
+        H.Broadcast.update ~typecheck:!typecheck sreg (compile_version !sversion)
+      with
+      | Ok _ -> ()
+      | Error e ->
+          fail "shard shadow broadcast v%d rejected: %s" !sversion
+            (Live_core.Machine.error_to_string e)
+    end
+  done;
+  (match result with
+  | Error m -> fail "%s client: %s" label m
+  | Ok r ->
+      let p q = H.Host_metrics.quantile r.Client.latency q /. 1e6 in
+      say "%s: %d events in %.2f s (%.0f events/s end-to-end)\n" label
+        r.Client.events_sent dt
+        (float_of_int r.Client.events_sent /. dt);
+      say
+        "%s: e2e latency p50 %.3f ms  p99 %.3f ms  (%d samples, %d rejected)\n"
+        label (p 0.5) (p 0.99)
+        (H.Host_metrics.hist_count r.Client.latency)
+        r.Client.rejected);
+  let ds = Director.stats dir in
+  say
+    "%s: updates %d committed / %d rejected; rebalance moved %d sessions (%d \
+     digest checks, %d failed)\n"
+    label ds.Director.updates_committed ds.Director.updates_rejected
+    ds.Director.sessions_moved ds.Director.digest_checks
+    ds.Director.digest_failures;
+  List.iter
+    (fun (ep, k) -> say "%s:   %-40s %d sessions\n" label ep k)
+    ds.Director.per_shard;
+  if ds.Director.digest_failures > 0 then
+    fail "%s: %d rebalance digest check(s) failed" label
+      ds.Director.digest_failures;
+  check_fleet sreg (Printf.sprintf "%s (direct shadow)" label);
+  let d = Director.fleet_digest dir in
+  let sd = H.Registry.digest sreg in
+  if String.equal d sd then
+    say "%s cross-check: directed fleet and direct fleet digest-identical (%s)\n"
+      label d
+  else
+    fail
+      "%s cross-check: directed fleet digest %s <> direct fleet digest %s — \
+       sharding changed behaviour"
+      label d sd;
+  let merged_snapshot () =
+    Array.to_list shard_srvs
+    |> List.map (fun s ->
+           match
+             H.Host_metrics.import
+               (H.Registry.export_metrics (Server.registry s))
+           with
+           | Ok e -> e
+           | Error m -> failwith ("shard metrics import: " ^ m))
+    |> H.Host_metrics.merge_exported
+  in
+  check_accounting (merged_snapshot ()) (Printf.sprintf "%s: end of run" label);
+  ( sreg,
+    {
+      dr_tick = pump;
+      dr_drain = (fun () -> Ok 0);
+      dr_update =
+        (fun code -> H.Broadcast.update ~typecheck:!typecheck sreg code);
+      dr_snapshot = merged_snapshot;
+      dr_excl = (fun f -> f ());
+      dr_shutdown =
+        (fun () ->
+          (try Unix.close afd with Unix.Unix_error _ -> ());
+          Director.stop dir;
+          Array.iter Server.stop shard_srvs);
+    } )
+
+let run_sharded () : H.Registry.t * driver =
+  run_sharded_rounds ~seed:!seed ~rounds:!events
+    ~label:(Printf.sprintf "shards[%d]" !shards)
+
+(** Wall-clock sharded soak: complete directed cycles (fresh shard
+    servers, fresh director, seeded traffic, two-phase updates, a live
+    rebalance, the digest cross-check) back to back until the budget
+    runs out, each chunk under a fresh derived seed. *)
+let run_sharded_soak (secs : float) : H.Registry.t * driver =
+  let t0 = Unix.gettimeofday () in
+  let chunk = ref 0 in
+  let current = ref None in
+  while !chunk = 0 || Unix.gettimeofday () -. t0 < secs do
+    (match !current with Some (_, dr) -> dr.dr_shutdown () | None -> ());
+    current :=
+      Some
+        (run_sharded_rounds
+           ~seed:(Prng.derive !seed (515_151 + !chunk))
+           ~rounds:!events
+           ~label:(Printf.sprintf "shard soak chunk %d" !chunk));
+    incr chunk
+  done;
+  say "shard soak: %d chunks in %.0f s\n" !chunk (Unix.gettimeofday () -. t0);
+  Option.get !current
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   parse_args ();
   validate_flags ();
   let reg, dr =
-    match (!net, !soak, !rollout_soak) with
-    | true, Some s, None -> run_net_soak s
-    | true, None, None -> run_net ()
-    | false, _, Some s -> run_rollout_soak s
-    | false, Some s, None -> run_soak s
-    | false, None, None -> run_load ()
-    | true, _, Some _ ->
-        (* rejected by validate_flags *)
-        assert false
+    if !shards > 0 then
+      match !soak with
+      | Some s -> run_sharded_soak s
+      | None -> run_sharded ()
+    else
+      match (!net, !soak, !rollout_soak) with
+      | true, Some s, None -> run_net_soak s
+      | true, None, None -> run_net ()
+      | false, _, Some s -> run_rollout_soak s
+      | false, Some s, None -> run_soak s
+      | false, None, None -> run_load ()
+      | true, _, Some _ ->
+          (* rejected by validate_flags *)
+          assert false
   in
   let snap = dr.dr_snapshot () in
   dr.dr_shutdown ();

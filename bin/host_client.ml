@@ -23,16 +23,26 @@ let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
 let usage () =
   prerr_endline
-    {|usage: host_client <serve|load|stats> --socket PATH [options]
+    {|usage: host_client <serve|load|stats|director|rebalance> --socket PATH [options]
   serve --socket PATH [--width W] [--rows N] [--cache]
         [--evaluator subst|compiled] [--queue-capacity Q]
         [--queue-policy drop-oldest|reject] [--batch B]
       run a networked host until SIGINT/SIGTERM
   load --socket PATH [--sessions K] [--conns C] [--rounds R]
        [--seed N] [--detach-every K] [--width W] [--rows N]
-      drive seeded lockstep load against a running host
+       [--update-every R] [--rebalance-every R] [--count K] [--verify]
+      drive seeded lockstep load against a running host; --update-every
+      broadcasts a fresh program version every R rounds, --rebalance-every
+      asks a director to migrate --count sessions every R rounds, and
+      --verify replays the trace in-process afterwards and cross-checks
+      the fleet digest over the wire
   stats --socket PATH
-      print the running host's metrics dump|};
+      print the host's metrics dump (aggregated across shards when the
+      socket is a director)
+  director --socket PATH --shards P1,P2,... [--connect-timeout S]
+      front N running shard hosts behind one socket until SIGINT/SIGTERM
+  rebalance --socket PATH [--count K]
+      ask a running director to migrate K sessions between shards|};
   exit 2
 
 (* ---- shared flags ------------------------------------------------ *)
@@ -50,11 +60,22 @@ let conns = ref 0
 let rounds = ref 50
 let seed = ref 42
 let detach_every = ref 0
+let shards_csv = ref ""
+let connect_timeout = ref 10.
+let count = ref 1
+let update_every = ref 0
+let rebalance_every = ref 0
+let verify = ref false
 
 let int_arg name v =
   match int_of_string_opt v with
   | Some n -> n
   | None -> die "host_client: %s expects an integer, got %S" name v
+
+let float_arg name v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> die "host_client: %s expects a number, got %S" name v
 
 let rec parse = function
   | [] -> ()
@@ -85,6 +106,18 @@ let rec parse = function
   | "--detach-every" :: v :: rest ->
       detach_every := int_arg "--detach-every" v;
       parse rest
+  | "--shards" :: v :: rest -> shards_csv := v; parse rest
+  | "--connect-timeout" :: v :: rest ->
+      connect_timeout := float_arg "--connect-timeout" v;
+      parse rest
+  | "--count" :: v :: rest -> count := int_arg "--count" v; parse rest
+  | "--update-every" :: v :: rest ->
+      update_every := int_arg "--update-every" v;
+      parse rest
+  | "--rebalance-every" :: v :: rest ->
+      rebalance_every := int_arg "--rebalance-every" v;
+      parse rest
+  | "--verify" :: rest -> verify := true; parse rest
   | a :: _ -> die "host_client: unknown argument %S" a
 
 let require_socket () = if !socket = "" then die "host_client: --socket is required"
@@ -129,26 +162,173 @@ let serve () =
     s.Live_net.Server.resumes;
   exit 0
 
+(* ---- a raw admin connection -------------------------------------- *)
+
+(* Blocking request/reply over a side connection that owns no sessions,
+   so the only frames it ever sees are replies to its own requests.
+   Works identically against a [serve] host and a [director]. *)
+
+type admin = { afd : Unix.file_descr; abuf : Buffer.t; mutable aoff : int }
+
+let admin_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     die "host_client: cannot connect to %s: %s" path (Unix.error_message e));
+  { afd = fd; abuf = Buffer.create 1024; aoff = 0 }
+
+let admin_send (a : admin) (f : Wire.client_frame) : unit =
+  let payload = Wire.encode (Wire.Client f) in
+  let len = String.length payload in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring a.afd payload !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let admin_chunk = Bytes.create 65536
+
+let rec admin_recv (a : admin) : Wire.host_frame =
+  let data = Buffer.contents a.abuf in
+  match Wire.decode ~off:a.aoff data with
+  | Wire.Frame (Wire.Host f, consumed) ->
+      a.aoff <- a.aoff + consumed;
+      if a.aoff = String.length data then begin
+        Buffer.clear a.abuf;
+        a.aoff <- 0
+      end;
+      f
+  | Wire.Frame (Wire.Client _, _) ->
+      die "host_client: host sent a client frame"
+  | Wire.Corrupt m -> die "host_client: corrupt reply: %s" m
+  | Wire.Need_more -> (
+      match Unix.read a.afd admin_chunk 0 (Bytes.length admin_chunk) with
+      | 0 -> die "host_client: host closed the connection"
+      | k ->
+          Buffer.add_subbytes a.abuf admin_chunk 0 k;
+          admin_recv a
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> admin_recv a)
+
+let admin_rpc a f =
+  admin_send a f;
+  admin_recv a
+
+let admin_close (a : admin) : unit =
+  admin_send a Wire.Bye;
+  try Unix.close a.afd with Unix.Unix_error _ -> ()
+
 (* ---- load -------------------------------------------------------- *)
+
+let app version : Live_core.Program.t =
+  (Live_workloads.Synthetic.compile_exn
+     (Live_workloads.Synthetic.host_app ~rows:!rows ~version ()))
+    .Live_surface.Compile.core
+
+(* The seeded event stream, shared between the wire client and the
+   in-process shadow replay so [--verify] consumes the prng streams
+   identically on both sides. *)
+let mk_gen () =
+  let rngs =
+    Array.init !sessions (fun s -> Prng.create (Prng.derive !seed s))
+  in
+  fun ~slot ~round:_ ->
+    let rng = rngs.(slot) in
+    if Prng.int rng 10 = 0 then Wire.Ev_back
+    else Wire.Ev_tap { x = Prng.int rng !width; y = Prng.int rng (!rows + 3) }
+
+(* Replay the exact load trace on a private single-process fleet and
+   return its digest: the ground truth a directed (or single) host
+   must match byte-for-byte. *)
+let shadow_digest () =
+  let module R = Live_host.Registry in
+  let config = { R.default_config with R.width = !width } in
+  let reg = R.create ~config (app 0) in
+  let sched = Live_host.Scheduler.create reg in
+  (match R.spawn_many reg !sessions with
+  | Ok _ -> ()
+  | Error e ->
+      die "host_client: verify: spawn: %s"
+        (Live_core.Machine.error_to_string e));
+  let gen = mk_gen () in
+  for round = 0 to !rounds - 1 do
+    for s = 0 to !sessions - 1 do
+      let ev =
+        match gen ~slot:s ~round with
+        | Wire.Ev_tap { x; y } -> R.Tap { x; y }
+        | Wire.Ev_back -> R.Back
+      in
+      ignore (R.offer reg s ev)
+    done;
+    (match Live_host.Scheduler.drain sched with Ok _ | Error _ -> ());
+    if !update_every > 0 && (round + 1) mod !update_every = 0 then
+      match
+        Live_host.Broadcast.update reg (app ((round + 1) / !update_every))
+      with
+      | Ok _ -> ()
+      | Error e ->
+          die "host_client: verify: shadow update: %s"
+            (Live_core.Machine.error_to_string e)
+  done;
+  R.digest reg
+
+let observed_digest (a : admin) : string =
+  match admin_rpc a Wire.Observe with
+  | Wire.Observed { sessions = obs } ->
+      let b = Buffer.create 4096 in
+      List.iter
+        (fun (id, o) ->
+          Buffer.add_string b (Printf.sprintf "== session %d ==\n" id);
+          Buffer.add_string b o)
+        obs;
+      Digest.to_hex (Digest.string (Buffer.contents b))
+  | Wire.Error { code; msg } ->
+      die "host_client: observe failed (%d): %s" code msg
+  | _ -> die "host_client: unexpected reply to Observe"
 
 let load () =
   require_socket ();
   if !conns = 0 then conns := min !sessions 16;
   if !conns > !sessions then conns := !sessions;
-  let rngs =
-    Array.init !sessions (fun s -> Prng.create (Prng.derive !seed s))
+  if !verify && !detach_every > 0 then
+    die
+      "host_client: --verify needs stable session ids; drop --detach-every";
+  let gen = mk_gen () in
+  let admin = ref None in
+  let admin_get () =
+    match !admin with
+    | Some a -> a
+    | None ->
+        let a = admin_connect !socket in
+        admin := Some a;
+        a
   in
-  let gen ~slot ~round:_ =
-    let rng = rngs.(slot) in
-    if Prng.int rng 10 = 0 then Wire.Ev_back
-    else Wire.Ev_tap { x = Prng.int rng !width; y = Prng.int rng (!rows + 3) }
+  let updates_sent = ref 0 and rebalances_sent = ref 0 in
+  let on_round r =
+    if !update_every > 0 && (r + 1) mod !update_every = 0 then begin
+      let v = (r + 1) / !update_every in
+      match
+        admin_rpc (admin_get ())
+          (Wire.Update { program = Live_net.Snapshot.program_to_string (app v) })
+      with
+      | Wire.Ack _ -> incr updates_sent
+      | Wire.Error { code; msg } ->
+          die "host_client: update refused (%d): %s" code msg
+      | _ -> die "host_client: unexpected reply to Update"
+    end;
+    if !rebalance_every > 0 && (r + 1) mod !rebalance_every = 0 then
+      match admin_rpc (admin_get ()) (Wire.Rebalance { count = !count }) with
+      | Wire.Ack _ -> incr rebalances_sent
+      | Wire.Error { code; msg } ->
+          die "host_client: rebalance refused (%d): %s" code msg
+      | _ -> die "host_client: unexpected reply to Rebalance"
   in
   let t0 = Unix.gettimeofday () in
   match
     Live_net.Client.run ~socket:!socket ~conns:!conns ~sessions:!sessions
       ~rounds:!rounds ~gen
       ?detach_every:(if !detach_every > 0 then Some !detach_every else None)
-      ~stats:true ()
+      ~on_round ~stats:true ()
   with
   | Error m ->
       prerr_endline ("host_client: load failed: " ^ m);
@@ -177,7 +357,23 @@ let load () =
       (match r.Live_net.Client.metrics with
       | Some m -> print_string m
       | None -> ());
-      exit 0
+      if !updates_sent > 0 || !rebalances_sent > 0 then
+        Printf.printf "load: %d fleet updates, %d rebalances\n" !updates_sent
+          !rebalances_sent;
+      let ok = ref true in
+      if !verify then begin
+        let wire = observed_digest (admin_get ()) in
+        let shadow = shadow_digest () in
+        if String.equal wire shadow then
+          Printf.printf "verify: fleet digest %s matches shadow replay\n" wire
+        else begin
+          Printf.printf "verify: FLEET DIGEST MISMATCH wire %s shadow %s\n"
+            wire shadow;
+          ok := false
+        end
+      end;
+      (match !admin with Some a -> admin_close a | None -> ());
+      exit (if !ok then 0 else 1)
 
 (* ---- stats ------------------------------------------------------- *)
 
@@ -212,9 +408,68 @@ let stats () =
   Unix.close fd;
   exit 0
 
+(* ---- director ---------------------------------------------------- *)
+
+let director () =
+  require_socket ();
+  let shards =
+    String.split_on_char ',' !shards_csv
+    |> List.filter (fun s -> s <> "")
+  in
+  if shards = [] then die "host_client: --shards P1,P2,... is required";
+  let dir =
+    try
+      Live_net.Director.create ~connect_timeout:!connect_timeout
+        ~socket:!socket ~shards ()
+    with Unix.Unix_error (e, _, p) ->
+      die "host_client: cannot reach shard %s: %s" p (Unix.error_message e)
+  in
+  let stopping = ref false in
+  let quit _ = stopping := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+  Printf.printf "host_client: directing %d shards on %s\n%!"
+    (List.length shards) !socket;
+  (try Live_net.Director.run ~until:(fun () -> !stopping) dir
+   with Live_net.Director.Fatal m ->
+     prerr_endline ("host_client: director: fatal: " ^ m));
+  let s = Live_net.Director.stats dir in
+  Live_net.Director.stop dir;
+  Printf.printf
+    "host_client: %d sessions over %d shards, %d clients, %d frames in / %d \
+     out\n"
+    s.Live_net.Director.sessions s.Live_net.Director.shards
+    s.Live_net.Director.accepted s.Live_net.Director.frames_in
+    s.Live_net.Director.frames_out;
+  List.iter
+    (fun (ep, n) -> Printf.printf "host_client:   %-40s %d sessions\n" ep n)
+    s.Live_net.Director.per_shard;
+  Printf.printf
+    "host_client: updates %d committed / %d rejected, rebalances %d (%d \
+     moved), digest checks %d (%d failed)\n"
+    s.Live_net.Director.updates_committed s.Live_net.Director.updates_rejected
+    s.Live_net.Director.rebalances s.Live_net.Director.sessions_moved
+    s.Live_net.Director.digest_checks s.Live_net.Director.digest_failures;
+  exit (if s.Live_net.Director.digest_failures = 0 then 0 else 1)
+
+(* ---- rebalance --------------------------------------------------- *)
+
+let rebalance () =
+  require_socket ();
+  let a = admin_connect !socket in
+  (match admin_rpc a (Wire.Rebalance { count = !count }) with
+  | Wire.Ack { info } -> print_endline ("host_client: " ^ info)
+  | Wire.Error { code; msg } ->
+      die "host_client: rebalance refused (%d): %s" code msg
+  | _ -> die "host_client: unexpected reply to Rebalance");
+  admin_close a;
+  exit 0
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "serve" :: rest -> parse rest; serve ()
   | _ :: "load" :: rest -> parse rest; load ()
   | _ :: "stats" :: rest -> parse rest; stats ()
+  | _ :: "director" :: rest -> parse rest; director ()
+  | _ :: "rebalance" :: rest -> parse rest; rebalance ()
   | _ -> usage ()

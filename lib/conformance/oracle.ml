@@ -673,6 +673,278 @@ let host_net_config ~(width : int) (boot : Program.t) :
               finalize = ignore;
             })
 
+(** The shard director ({!Live_net.Director}) as a fleet of one over
+    two in-process shard servers, driven entirely over the wire — and
+    kept {e in motion}: after {e every} consumed event the session is
+    rebalanced to the other shard (detach → snapshot → wire → resume,
+    global id unchanged, strict before/after digest check inside the
+    director), and every UPDATE runs the two-phase Prepare / Commit
+    protocol across both shards.  Agreement with the reference machine
+    is the ISSUE's statement that a directed N-shard fleet is
+    observationally identical to a single process, event for event. *)
+
+let director_instances = ref 0
+
+let host_director_config ~(width : int) (boot : Program.t) :
+    (config, string) result =
+  let open Live_host in
+  let module Server = Live_net.Server in
+  let module Director = Live_net.Director in
+  let module Wire = Live_net.Wire in
+  let module Snapshot = Live_net.Snapshot in
+  incr director_instances;
+  let sock i =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "live-oracle-dir-%d-%d-%d.sock" (Unix.getpid ())
+         !director_instances i)
+  in
+  let cfg =
+    {
+      Registry.default_config with
+      Registry.width;
+      queue_capacity = 8;
+      queue_policy = Backpressure.Reject;
+    }
+  in
+  let shards =
+    Array.init 2 (fun i -> Server.create ~config:cfg ~socket:(sock i) boot)
+  in
+  let pump_shards () =
+    Array.iter (fun s -> ignore (Server.step ~timeout:0. s)) shards
+  in
+  let dir =
+    Director.create ~pump:pump_shards ~socket:(sock 99)
+      ~shards:[ sock 0; sock 1 ]
+      ()
+  in
+  let pump () =
+    pump_shards ();
+    ignore (Director.step ~timeout:0. dir)
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX (sock 99));
+  Unix.set_nonblock fd;
+  let finalize () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Director.stop dir;
+    Array.iter Server.stop shards
+  in
+  let inbuf = Buffer.create 1024 and boff = ref 0 in
+  let chunk = Bytes.create 65536 in
+  let send (f : Wire.client_frame) : unit =
+    let bytes = Wire.encode (Wire.Client f) in
+    let len = String.length bytes in
+    let o = ref 0 in
+    while !o < len do
+      match Unix.write_substring fd bytes !o (len - !o) with
+      | n -> o := !o + n
+      | exception
+          Unix.Unix_error
+            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          pump ()
+    done
+  in
+  (* one decode attempt; pumps the fleet and reads the socket when no
+     complete frame is buffered *)
+  let try_recv () : Wire.host_frame option =
+    let data = Buffer.contents inbuf in
+    match Wire.decode ~off:!boff data with
+    | Wire.Frame (Wire.Host f, consumed) ->
+        boff := !boff + consumed;
+        if !boff = String.length data then begin
+          Buffer.clear inbuf;
+          boff := 0
+        end;
+        Some f
+    | Wire.Frame (Wire.Client _, _) ->
+        failwith "host-director: client-tagged frame from the director"
+    | Wire.Corrupt m -> failwith ("host-director: corrupt stream: " ^ m)
+    | Wire.Need_more ->
+        pump ();
+        (match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> failwith "host-director: director closed the connection"
+        | n -> Buffer.add_subbytes inbuf chunk 0 n
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            ());
+        None
+  in
+  let recv () : Wire.host_frame =
+    let deadline = Unix.gettimeofday () +. 30. in
+    let rec loop () =
+      match try_recv () with
+      | Some f -> f
+      | None ->
+          if Unix.gettimeofday () > deadline then
+            failwith "host-director: no reply within 30s"
+          else loop ()
+    in
+    loop ()
+  in
+  (* consume repaint deltas already in flight (an UPDATE marks the
+     fleet dirty) so a later reply-wait cannot be satisfied by a stale
+     frame; five consecutive idle pumps of an in-process fleet means
+     nothing is queued anywhere *)
+  let drain () =
+    let idle = ref 0 in
+    while !idle < 5 do
+      match try_recv () with
+      | Some (Wire.Delta _) -> idle := 0
+      | Some f ->
+          failwith
+            ("host-director: unexpected frame while draining: "
+            ^ Fmt.to_to_string Wire.pp (Wire.Host f))
+      | None -> incr idle
+    done
+  in
+  let find_session () : Session.t =
+    let rec go i =
+      if i >= Array.length shards then
+        failwith "host-director: session lost"
+      else
+        let reg = Server.registry shards.(i) in
+        match Registry.ids reg with
+        | [ id ] -> Option.get (Registry.session reg id)
+        | [] -> go (i + 1)
+        | _ -> failwith "host-director: more than one session"
+    in
+    go 0
+  in
+  let taps () =
+    Array.fold_left
+      (fun (h, m) srv ->
+        let mt = Registry.metrics (Server.registry srv) in
+        (h + mt.Host_metrics.taps_hit, m + mt.Host_metrics.taps_missed))
+      (0, 0) shards
+  in
+  match send (Wire.Hello { client = "oracle"; sessions = 1 }); recv () with
+  | exception e ->
+      finalize ();
+      Error ("host-director: " ^ Printexc.to_string e)
+  | Wire.Error { msg; _ } ->
+      finalize ();
+      Error msg
+  | Wire.Attach { session = g; _ } ->
+      let deliver (ev : Wire.event) : (string, string) result =
+        let h0, m0 = taps () in
+        send (Wire.Event { session = g; ev });
+        match recv () with
+        | Wire.Delta _ ->
+            let h1, m1 = taps () in
+            if h1 > h0 then Ok "tapped"
+            else if m1 > m0 then Ok "no-handler"
+            else Ok "ok"
+        | Wire.Error { msg; _ } -> Error msg
+        | f ->
+            Error
+              ("host-director: unexpected event reply: "
+              ^ Fmt.to_to_string Wire.pp (Wire.Host f))
+      in
+      let update (code : Program.t) : (string, string) result =
+        send (Wire.Update { program = Snapshot.program_to_string code });
+        match recv () with
+        | Wire.Ack _ ->
+            drain ();
+            Ok "updated"
+        | Wire.Error { code = 6; msg } ->
+            (* unwrap the director's two-phase framing back to the
+               underlying machine error so the status stays comparable
+               with the reference's *)
+            let suffix = " (fleet unchanged)" in
+            let prefix = "prepare failed on " in
+            let msg =
+              if String.length msg >= String.length suffix
+                 && String.equal suffix
+                      (String.sub msg
+                         (String.length msg - String.length suffix)
+                         (String.length suffix))
+              then String.sub msg 0 (String.length msg - String.length suffix)
+              else msg
+            in
+            let msg =
+              if String.length msg > String.length prefix
+                 && String.equal prefix
+                      (String.sub msg 0 (String.length prefix))
+              then
+                match String.index_from_opt msg (String.length prefix) ':' with
+                | Some i when i + 2 <= String.length msg ->
+                    String.sub msg (i + 2) (String.length msg - i - 2)
+                | _ -> msg
+              else msg
+            in
+            Error msg
+        | Wire.Error { msg; _ } -> Error msg
+        | f ->
+            Error
+              ("host-director: unexpected update reply: "
+              ^ Fmt.to_to_string Wire.pp (Wire.Host f))
+      in
+      let rebalance () : (unit, string) result =
+        send (Wire.Rebalance { count = 1 });
+        match recv () with
+        | Wire.Ack _ ->
+            drain ();
+            Ok ()
+        | Wire.Error { msg; _ } -> Error ("host-director: rebalance: " ^ msg)
+        | f ->
+            Error
+              ("host-director: unexpected rebalance reply: "
+              ^ Fmt.to_to_string Wire.pp (Wire.Host f))
+      in
+      let then_rebalance (r : (string, string) result) =
+        match r with
+        | Error _ as e -> e
+        | Ok status -> (
+            match rebalance () with
+            | Ok () -> Ok status
+            | Error m -> Error m)
+      in
+      let step (ev : Ctrace.event) (prog : Program.t option) =
+        match ev with
+        | Ctrace.Tap { x; y } -> then_rebalance (deliver (Wire.Ev_tap { x; y }))
+        | Ctrace.Back -> then_rebalance (deliver Wire.Ev_back)
+        | Ctrace.Update _ -> (
+            match prog with
+            | None -> Ok "rejected"
+            | Some code -> then_rebalance (update code))
+        | Ctrace.Broken_update -> Ok "rejected"
+        | Ctrace.Render ->
+            ignore (Session.screenshot (find_session ()));
+            then_rebalance (Ok "ok")
+        | Ctrace.Flush_cache ->
+            Session.flush_caches (find_session ());
+            then_rebalance (Ok "ok")
+        | Ctrace.Drop_next ->
+            (* armed on the live session; the very next rebalance proves
+               the snapshot carries it across the shard boundary *)
+            Session.inject (find_session ()) Session.Drop_next_event;
+            then_rebalance (Ok "ok")
+        | Ctrace.Dup_next ->
+            Session.inject (find_session ()) Session.Duplicate_next_event;
+            then_rebalance (Ok "ok")
+        | Ctrace.Begin_txn _ | Ctrace.Canary | Ctrace.Promote
+        | Ctrace.Rollback ->
+            Ok "ok" (* interpreted by {!with_txn} *)
+      in
+      Ok
+        {
+          name = "host-director";
+          step;
+          observe =
+            (fun () -> obs_of_state ~width (Session.state (find_session ())));
+          invariant =
+            (fun () -> invariant_of_state (Session.state (find_session ())));
+          strict = (fun () -> true);
+          finalize;
+        }
+  | f ->
+      finalize ();
+      Error
+        ("host-director: unexpected Hello reply: "
+        ^ Fmt.to_to_string Wire.pp (Wire.Host f))
+
 (* ------------------------------------------------------------------ *)
 (* Transaction semantics for the reference configurations              *)
 (* ------------------------------------------------------------------ *)
@@ -749,6 +1021,7 @@ let all_configs =
     "host-parallel";
     "host-txn";
     "host-net";
+    "host-director";
     "restart";
   ]
 
@@ -816,6 +1089,7 @@ let run ?(width = default_width) ?(configs = all_configs) ?sabotage
           | "host-parallel" -> host_config ~width ~jobs:parallel_jobs boot
           | "host-txn" -> host_txn_config ~width boot
           | "host-net" -> host_net_config ~width boot
+          | "host-director" -> host_director_config ~width boot
           | "restart" -> restart_config ~width boot
           | other -> Error (Printf.sprintf "unknown configuration %S" other)
         in

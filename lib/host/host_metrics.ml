@@ -300,6 +300,200 @@ let pp_ns (ns : float) : string =
   else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
   else Printf.sprintf "%.2f s" (ns /. 1e9)
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable export (cross-process aggregation)                 *)
+(* ------------------------------------------------------------------ *)
+
+type exported = {
+  x_metrics : t;
+  x_sessions : int;
+  x_pending : int;
+  x_cache : (int * int) option;
+}
+
+(* Raw counters and histogram buckets — not the snapshot — cross the
+   wire, so the director can [merge_all] exactly and recompute
+   quantiles over the union; precomputed per-shard quantiles could not
+   be combined quantile-safely. *)
+let export (m : t) ~(sessions : int) ~(pending : int)
+    ~(cache : (int * int) option) : string =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "metrics 1";
+  line "sessions %d" sessions;
+  line "pending %d" pending;
+  (match cache with
+  | None -> line "cache none"
+  | Some (h, ms) -> line "cache %d %d" h ms);
+  line "events_in %d" m.events_in;
+  line "events_processed %d" m.events_processed;
+  line "events_dropped %d" m.events_dropped;
+  line "events_rejected %d" m.events_rejected;
+  line "taps_hit %d" m.taps_hit;
+  line "taps_missed %d" m.taps_missed;
+  line "ticks %d" m.ticks;
+  line "repaints %d" m.repaints;
+  line "coalesced_renders %d" m.coalesced_renders;
+  line "updates_applied %d" m.updates_applied;
+  line "updates_rejected %d" m.updates_rejected;
+  line "sessions_spawned %d" m.sessions_spawned;
+  line "sessions_killed %d" m.sessions_killed;
+  line "fanout_last_ns %h" m.fanout_last_ns;
+  line "typecheck_last_ns %h" m.typecheck_last_ns;
+  line "diff_last_ns %h" m.diff_last_ns;
+  line "compile_last_ns %h" m.compile_last_ns;
+  line "dirty_defs_last %d" m.dirty_defs_last;
+  line "recheck_defs_last %d" m.recheck_defs_last;
+  line "broadcasts_incremental %d" m.broadcasts_incremental;
+  line "broadcasts_scratch %d" m.broadcasts_scratch;
+  line "rollouts_begun %d" m.rollouts_begun;
+  line "rollouts_promoted %d" m.rollouts_promoted;
+  line "rollouts_rolled_back %d" m.rollouts_rolled_back;
+  line "canary_sessions_last %d" m.canary_sessions_last;
+  let hist name (h : histogram) =
+    Buffer.add_string b
+      (Printf.sprintf "hist %s %d %h %h %h" name h.count h.sum h.vmin h.vmax);
+    Array.iteri
+      (fun i c ->
+        if c > 0 then Buffer.add_string b (Printf.sprintf " %d:%d" i c))
+      h.buckets;
+    Buffer.add_char b '\n'
+  in
+  hist "tick_latency" m.tick_latency;
+  hist "update_fanout" m.update_fanout;
+  hist "update_typecheck" m.update_typecheck;
+  Buffer.contents b
+
+let import (text : string) : (exported, string) result =
+  let fail m = Error m in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | "metrics 1" :: rest -> (
+      let m = create () in
+      let sessions = ref 0 and pending = ref 0 in
+      let cache = ref None in
+      let bad = ref None in
+      let int_field v k =
+        match int_of_string_opt v with
+        | Some n -> k n
+        | None -> bad := Some (Printf.sprintf "malformed integer %S" v)
+      in
+      let float_field v k =
+        match float_of_string_opt v with
+        | Some f -> k f
+        | None -> bad := Some (Printf.sprintf "malformed float %S" v)
+      in
+      let parse_hist (h : histogram) = function
+        | count :: sum :: vmin :: vmax :: buckets ->
+            int_field count (fun n -> h.count <- n);
+            float_field sum (fun f -> h.sum <- f);
+            float_field vmin (fun f -> h.vmin <- f);
+            float_field vmax (fun f -> h.vmax <- f);
+            List.iter
+              (fun pair ->
+                match String.index_opt pair ':' with
+                | Some i -> (
+                    let bi = String.sub pair 0 i in
+                    let bc =
+                      String.sub pair (i + 1) (String.length pair - i - 1)
+                    in
+                    match (int_of_string_opt bi, int_of_string_opt bc) with
+                    | Some bi, Some bc when bi >= 0 && bi < n_buckets ->
+                        h.buckets.(bi) <- bc
+                    | _ -> bad := Some (Printf.sprintf "malformed bucket %S" pair)
+                    )
+                | None -> bad := Some (Printf.sprintf "malformed bucket %S" pair))
+              buckets
+        | _ -> bad := Some "truncated histogram line"
+      in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | [ "sessions"; v ] -> int_field v (fun n -> sessions := n)
+          | [ "pending"; v ] -> int_field v (fun n -> pending := n)
+          | [ "cache"; "none" ] -> cache := None
+          | [ "cache"; h; ms ] ->
+              int_field h (fun hv ->
+                  int_field ms (fun mv -> cache := Some (hv, mv)))
+          | [ "events_in"; v ] -> int_field v (fun n -> m.events_in <- n)
+          | [ "events_processed"; v ] ->
+              int_field v (fun n -> m.events_processed <- n)
+          | [ "events_dropped"; v ] ->
+              int_field v (fun n -> m.events_dropped <- n)
+          | [ "events_rejected"; v ] ->
+              int_field v (fun n -> m.events_rejected <- n)
+          | [ "taps_hit"; v ] -> int_field v (fun n -> m.taps_hit <- n)
+          | [ "taps_missed"; v ] -> int_field v (fun n -> m.taps_missed <- n)
+          | [ "ticks"; v ] -> int_field v (fun n -> m.ticks <- n)
+          | [ "repaints"; v ] -> int_field v (fun n -> m.repaints <- n)
+          | [ "coalesced_renders"; v ] ->
+              int_field v (fun n -> m.coalesced_renders <- n)
+          | [ "updates_applied"; v ] ->
+              int_field v (fun n -> m.updates_applied <- n)
+          | [ "updates_rejected"; v ] ->
+              int_field v (fun n -> m.updates_rejected <- n)
+          | [ "sessions_spawned"; v ] ->
+              int_field v (fun n -> m.sessions_spawned <- n)
+          | [ "sessions_killed"; v ] ->
+              int_field v (fun n -> m.sessions_killed <- n)
+          | [ "fanout_last_ns"; v ] ->
+              float_field v (fun f -> m.fanout_last_ns <- f)
+          | [ "typecheck_last_ns"; v ] ->
+              float_field v (fun f -> m.typecheck_last_ns <- f)
+          | [ "diff_last_ns"; v ] -> float_field v (fun f -> m.diff_last_ns <- f)
+          | [ "compile_last_ns"; v ] ->
+              float_field v (fun f -> m.compile_last_ns <- f)
+          | [ "dirty_defs_last"; v ] ->
+              int_field v (fun n -> m.dirty_defs_last <- n)
+          | [ "recheck_defs_last"; v ] ->
+              int_field v (fun n -> m.recheck_defs_last <- n)
+          | [ "broadcasts_incremental"; v ] ->
+              int_field v (fun n -> m.broadcasts_incremental <- n)
+          | [ "broadcasts_scratch"; v ] ->
+              int_field v (fun n -> m.broadcasts_scratch <- n)
+          | [ "rollouts_begun"; v ] -> int_field v (fun n -> m.rollouts_begun <- n)
+          | [ "rollouts_promoted"; v ] ->
+              int_field v (fun n -> m.rollouts_promoted <- n)
+          | [ "rollouts_rolled_back"; v ] ->
+              int_field v (fun n -> m.rollouts_rolled_back <- n)
+          | [ "canary_sessions_last"; v ] ->
+              int_field v (fun n -> m.canary_sessions_last <- n)
+          | "hist" :: "tick_latency" :: rest -> parse_hist m.tick_latency rest
+          | "hist" :: "update_fanout" :: rest -> parse_hist m.update_fanout rest
+          | "hist" :: "update_typecheck" :: rest ->
+              parse_hist m.update_typecheck rest
+          | _ -> bad := Some (Printf.sprintf "unknown metrics line %S" line))
+        rest;
+      match !bad with
+      | Some m -> fail m
+      | None ->
+          Ok
+            {
+              x_metrics = m;
+              x_sessions = !sessions;
+              x_pending = !pending;
+              x_cache = !cache;
+            })
+  | _ -> fail "not a metrics export"
+
+let merge_exported (xs : exported list) : snapshot =
+  let m = merge_all (List.map (fun x -> x.x_metrics) xs) in
+  let sessions = List.fold_left (fun acc x -> acc + x.x_sessions) 0 xs in
+  let pending = List.fold_left (fun acc x -> acc + x.x_pending) 0 xs in
+  let cache =
+    if List.for_all (fun x -> x.x_cache = None) xs then None
+    else
+      Some
+        (List.fold_left
+           (fun (h, ms) x ->
+             let xh, xm = Option.value x.x_cache ~default:(0, 0) in
+             (h + xh, ms + xm))
+           (0, 0) xs)
+  in
+  snapshot m ~sessions ~pending ~cache
+
 let to_string (s : snapshot) : string =
   let b = Buffer.create 512 in
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in

@@ -139,3 +139,33 @@ val accounting_ok : snapshot -> bool
 
 val to_string : snapshot -> string
 (** The multi-line text dump (host_bench, the CI soak job). *)
+
+(** {1 Machine-readable export}
+
+    Cross-process aggregation (the shard director's [stats]): each
+    shard {!export}s its raw counters and histogram buckets — {e not}
+    a {!snapshot}, whose quantiles could not be recombined — and the
+    director {!import}s and {!merge_exported}s them into one fleet
+    snapshot whose quantiles are computed over the exact union. *)
+
+type exported = {
+  x_metrics : t;
+  x_sessions : int;
+  x_pending : int;
+  x_cache : (int * int) option;
+}
+
+val export :
+  t -> sessions:int -> pending:int -> cache:(int * int) option -> string
+(** Line-based text of the raw counters, extrema and non-zero
+    histogram buckets; floats as C99 hex literals so every bit pattern
+    round-trips. *)
+
+val import : string -> (exported, string) result
+(** Parse {!export} text.  Total: malformed input is [Error reason].
+    [export (import (export m))] is byte-identical. *)
+
+val merge_exported : exported list -> snapshot
+(** Exact fleet aggregate: {!merge_all} over the metrics, sessions /
+    pending / cache totals summed, quantiles recomputed from the
+    unioned histograms. *)

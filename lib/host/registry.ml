@@ -352,23 +352,24 @@ let check_invariants (t : t) : (id * string) list =
               else None))
     t.order
 
+let cache_totals (t : t) : (int * int) option =
+  List.fold_left
+    (fun acc id ->
+      match Hashtbl.find_opt t.entries id with
+      | None -> acc
+      | Some e -> (
+          match Session.render_cache_stats e.session with
+          | None -> acc
+          | Some s ->
+              let h, m = Option.value acc ~default:(0, 0) in
+              Some
+                ( h + s.Live_core.Render_cache.hits,
+                  m + s.Live_core.Render_cache.misses )))
+    None t.order
+
 let snapshot_merged (t : t) ~(extra : Host_metrics.t list) :
     Host_metrics.snapshot =
-  let cache =
-    List.fold_left
-      (fun acc id ->
-        match Hashtbl.find_opt t.entries id with
-        | None -> acc
-        | Some e -> (
-            match Session.render_cache_stats e.session with
-            | None -> acc
-            | Some s ->
-                let h, m = Option.value acc ~default:(0, 0) in
-                Some
-                  ( h + s.Live_core.Render_cache.hits,
-                    m + s.Live_core.Render_cache.misses )))
-      None t.order
-  in
+  let cache = cache_totals t in
   let m =
     match extra with
     | [] -> t.metrics
@@ -378,6 +379,10 @@ let snapshot_merged (t : t) ~(extra : Host_metrics.t list) :
     ~pending:(Atomic.get t.pending_total) ~cache
 
 let snapshot (t : t) : Host_metrics.snapshot = snapshot_merged t ~extra:[]
+
+let export_metrics (t : t) : string =
+  Host_metrics.export t.metrics ~sessions:(size t)
+    ~pending:(Atomic.get t.pending_total) ~cache:(cache_totals t)
 
 (** Canonical digest of the fleet's observable state — every session's
     store (sorted), page stack and painted pixels, in id order, hashed

@@ -170,6 +170,15 @@ val snapshot_merged : t -> extra:Host_metrics.t list -> Host_metrics.snapshot
     instances merged into the registry's own before freezing — the
     parallel host's fleet totals ({!Parallel.snapshot} calls this). *)
 
+val cache_totals : t -> (int * int) option
+(** Fleet-aggregated render-cache (hits, misses); [None] when no
+    session runs the cache. *)
+
+val export_metrics : t -> string
+(** {!Host_metrics.export} of this registry's raw counters with the
+    current sessions / pending / cache totals — what a shard answers
+    to the director's [Stats_data] frame. *)
+
 val observe_session : Live_runtime.Session.t -> string
 (** One session's canonical observation (sorted store, page stack,
     painted pixels) — the unit the fleet {!digest} hashes. *)

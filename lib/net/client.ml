@@ -84,7 +84,9 @@ let send_all (t : st) (c : cstate) (frame : Wire.frame) : unit =
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         (* the server isn't reading yet: give it the thread *)
         t.pump ();
-        ignore (Unix.select [] [ c.fd ] [] 0.01)
+        (try ignore (Unix.select [] [ c.fd ] [] 0.01)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (e, _, _) ->
         fail "write: %s" (Unix.error_message e)
   done;
@@ -101,6 +103,7 @@ let read_available (t : st) (c : cstate) : unit =
         Buffer.add_subbytes c.inbuf read_chunk 0 n;
         if n = Bytes.length read_chunk then go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | exception Unix.Unix_error (e, _, _) ->
         fail "read: %s" (Unix.error_message e)
   in
@@ -156,6 +159,8 @@ let handle_host_frame (t : st) (ci : int) (f : Wire.host_frame) : unit =
       | None -> fail "malformed backpressure rejection %S" msg)
   | Wire.Error { code; msg } -> fail "host error %d: %s" code msg
   | Wire.Metrics { text } -> t.metrics_cell <- Some text
+  | Wire.Ack { info } -> fail "unexpected Ack %S" info
+  | Wire.Observed _ -> fail "unexpected Observed"
 
 let dispatch (t : st) (ci : int) : unit =
   let c = t.conns.(ci) in
@@ -187,7 +192,10 @@ let poll (t : st) : bool =
   in
   if fds = [] then false
   else
-  match Unix.select fds [] [] 0.001 with
+  match
+    (try Unix.select fds [] [] 0.001
+     with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], []))
+  with
   | [], _, _ -> false
   | readable, _, _ ->
       List.iter

@@ -1,0 +1,929 @@
+(** The shard director (see the interface).  Single-threaded and
+    [select]-based like {!Server}: client connections are nonblocking
+    and queue-buffered; shard connections are the same, except that a
+    control frame ([Detach]/[Resume]/[Prepare]/...) turns the shard
+    conversation briefly synchronous — the director writes the request
+    through and pumps frames off the shard until the reply arrives,
+    routing any unrelated [Delta] traffic to its owner on the way. *)
+
+module Host_metrics = Live_host.Host_metrics
+module Prng = Live_core.Prng
+
+exception Fatal of string
+
+let fatal fmt = Printf.ksprintf (fun m -> raise (Fatal m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type shard = {
+  sx : int;
+  endpoint : string;
+  sfd : Unix.file_descr;
+  s_in : Buffer.t;
+  mutable s_off : int;  (** decode offset into [s_in] *)
+  s_out : string Queue.t;
+  mutable s_out_off : int;
+  locals : (int, int) Hashtbl.t;  (** shard-local id -> global id *)
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  outq : string Queue.t;
+  mutable out_off : int;
+  mutable closing : bool;
+}
+
+type placement = {
+  mutable p_shard : int;  (** index into [shards] *)
+  mutable p_local : int;  (** the session's id on that shard *)
+  mutable p_owner : Unix.file_descr option;
+      (** the client connection attached to this session, if any *)
+}
+
+type t = {
+  shards : shard array;
+  listen_fd : Unix.file_descr;
+  path : string;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  sessions : (int, placement) Hashtbl.t;  (** global id -> placement *)
+  mutable next_global : int;
+  mutable next_txn : int;
+  pump : unit -> unit;
+  mutable stopped : bool;
+  mutable d_accepted : int;
+  mutable d_frames_in : int;
+  mutable d_frames_out : int;
+  mutable d_updates : int;
+  mutable d_updates_rejected : int;
+  mutable d_rebalances : int;
+  mutable d_moved : int;
+  mutable d_digest_checks : int;
+  mutable d_digest_failures : int;
+  mutable d_corrupt : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Placement: rendezvous hashing                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a over the endpoint string, folded to a seed.  Any fixed hash
+   works: the only requirements are determinism and that distinct
+   endpoints get distinct score streams. *)
+let hash_endpoint (s : string) : int =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land max_int)
+    s;
+  !h
+
+(* Highest-random-weight: session [g] lives wherever
+   [derive (hash endpoint) g] is largest.  Stable under shard-list
+   growth: adding an endpoint only moves the sessions it wins. *)
+let place (t : t) (g : int) : int =
+  let best = ref 0 and best_score = ref min_int in
+  Array.iter
+    (fun sh ->
+      let score = Prng.derive (hash_endpoint sh.endpoint) g in
+      if score > !best_score then begin
+        best_score := score;
+        best := sh.sx
+      end)
+    t.shards;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let connect_shard ~(timeout : float) (sx : int) (endpoint : string) : shard =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec attempt () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX endpoint) with
+    | () ->
+        Unix.set_nonblock fd;
+        fd
+    | exception Unix.Unix_error (e, _, _) when Unix.gettimeofday () < deadline
+      ->
+        Unix.close fd;
+        ignore e;
+        Unix.sleepf 0.05;
+        attempt ()
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  {
+    sx;
+    endpoint;
+    sfd = attempt ();
+    s_in = Buffer.create 4096;
+    s_off = 0;
+    s_out = Queue.create ();
+    s_out_off = 0;
+    locals = Hashtbl.create 64;
+  }
+
+let create ?(pump = fun () -> ()) ?(connect_timeout = 10.) ~socket
+    ~(shards : string list) () : t =
+  if shards = [] then invalid_arg "Director.create: no shards";
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let shards =
+    Array.of_list
+      (List.mapi (fun sx ep -> connect_shard ~timeout:connect_timeout sx ep)
+         shards)
+  in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX socket);
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  {
+    shards;
+    listen_fd = fd;
+    path = socket;
+    conns = Hashtbl.create 16;
+    sessions = Hashtbl.create 256;
+    next_global = 0;
+    next_txn = 1;
+    pump;
+    stopped = false;
+    d_accepted = 0;
+    d_frames_in = 0;
+    d_frames_out = 0;
+    d_updates = 0;
+    d_updates_rejected = 0;
+    d_rebalances = 0;
+    d_moved = 0;
+    d_digest_checks = 0;
+    d_digest_failures = 0;
+    d_corrupt = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Client-side plumbing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let send_client (t : t) (c : conn) (f : Wire.frame) : unit =
+  Queue.add (Wire.encode f) c.outq;
+  t.d_frames_out <- t.d_frames_out + 1
+
+let error t c code msg = send_client t c (Wire.Host (Wire.Error { code; msg }))
+
+let violation (t : t) (c : conn) (msg : string) : unit =
+  t.d_corrupt <- t.d_corrupt + 1;
+  error t c 1 msg;
+  c.closing <- true
+
+let disown (t : t) (c : conn) : unit =
+  Hashtbl.iter
+    (fun _ p -> if p.p_owner = Some c.fd then p.p_owner <- None)
+    t.sessions
+
+let drop_conn (t : t) (c : conn) : unit =
+  disown t c;
+  Hashtbl.remove t.conns c.fd;
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Shard-side plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let send_shard (t : t) (sh : shard) (f : Wire.client_frame) : unit =
+  Queue.add (Wire.encode (Wire.Client f)) sh.s_out;
+  t.d_frames_out <- t.d_frames_out + 1
+
+(* Write as much of the shard out-queue as the socket takes right now. *)
+let flush_shard_once (sh : shard) : unit =
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt sh.s_out with
+    | None -> continue := false
+    | Some s -> (
+        let remaining = String.length s - sh.s_out_off in
+        match Unix.write_substring sh.sfd s sh.s_out_off remaining with
+        | n ->
+            if n = remaining then begin
+              ignore (Queue.pop sh.s_out);
+              sh.s_out_off <- 0
+            end
+            else begin
+              sh.s_out_off <- sh.s_out_off + n;
+              continue := false
+            end
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            continue := false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (e, _, _) ->
+            fatal "shard %s: write: %s" sh.endpoint (Unix.error_message e))
+  done
+
+(* Block (pumping the harness) until the shard out-queue is fully on
+   the wire — the request half of a synchronous control exchange. *)
+let flush_shard (t : t) (sh : shard) : unit =
+  while not (Queue.is_empty sh.s_out) do
+    flush_shard_once sh;
+    if not (Queue.is_empty sh.s_out) then begin
+      t.pump ();
+      match Unix.select [] [ sh.sfd ] [] 0.01 with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    end
+  done
+
+let shard_read_chunk = Bytes.create 65536
+
+(* Pull whatever the shard socket holds into its decode buffer. *)
+let read_shard (sh : shard) : unit =
+  let rec go () =
+    match Unix.read sh.sfd shard_read_chunk 0 (Bytes.length shard_read_chunk) with
+    | 0 -> fatal "shard %s: connection closed" sh.endpoint
+    | n ->
+        Buffer.add_subbytes sh.s_in shard_read_chunk 0 n;
+        if n = Bytes.length shard_read_chunk then go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (e, _, _) ->
+        fatal "shard %s: read: %s" sh.endpoint (Unix.error_message e)
+  in
+  go ()
+
+(* Decode one complete frame out of the shard buffer, if present. *)
+let next_shard_frame (sh : shard) : Wire.host_frame option =
+  let data = Buffer.contents sh.s_in in
+  match Wire.decode ~off:sh.s_off data with
+  | Wire.Frame (Wire.Host f, consumed) ->
+      sh.s_off <- sh.s_off + consumed;
+      if sh.s_off = String.length data then begin
+        Buffer.clear sh.s_in;
+        sh.s_off <- 0
+      end;
+      Some f
+  | Wire.Frame (Wire.Client _, _) ->
+      fatal "shard %s: client-tagged frame" sh.endpoint
+  | Wire.Need_more ->
+      if sh.s_off > 0 then begin
+        let rest = String.sub data sh.s_off (String.length data - sh.s_off) in
+        Buffer.clear sh.s_in;
+        Buffer.add_string sh.s_in rest;
+        sh.s_off <- 0
+      end;
+      None
+  | Wire.Corrupt m -> fatal "shard %s: corrupt stream: %s" sh.endpoint m
+
+let leading_int (msg : string) : int option =
+  int_of_string_opt (List.hd (String.split_on_char ' ' msg))
+
+let owner_conn (t : t) (g : int) : conn option =
+  match Hashtbl.find_opt t.sessions g with
+  | Some { p_owner = Some fd; _ } -> (
+      match Hashtbl.find_opt t.conns fd with
+      | Some c when not c.closing -> Some c
+      | _ -> None)
+  | _ -> None
+
+(* An asynchronous shard frame (one that is not the reply a control
+   exchange is waiting for): session traffic, translated local ->
+   global and routed to the owning client. *)
+let route_shard_frame (t : t) (sh : shard) (f : Wire.host_frame) : unit =
+  match f with
+  | Wire.Delta { session = local; height; rows } -> (
+      match Hashtbl.find_opt sh.locals local with
+      | None -> () (* session migrated away mid-flight; stale delta *)
+      | Some g -> (
+          match owner_conn t g with
+          | Some c ->
+              send_client t c
+                (Wire.Host (Wire.Delta { session = g; height; rows }))
+          | None -> ()))
+  | Wire.Error { code = 2; msg } -> (
+      (* backpressure rejection: the message leads with the shard-local
+         session id; rewrite it to the global id for the owner *)
+      match leading_int msg with
+      | Some local -> (
+          match Hashtbl.find_opt sh.locals local with
+          | None -> ()
+          | Some g -> (
+              match owner_conn t g with
+              | Some c ->
+                  let rest =
+                    match String.index_opt msg ' ' with
+                    | Some i ->
+                        String.sub msg i (String.length msg - i)
+                    | None -> ""
+                  in
+                  error t c 2 (string_of_int g ^ rest)
+              | None -> ()))
+      | None -> fatal "shard %s: malformed backpressure message" sh.endpoint)
+  | f ->
+      fatal "shard %s: unexpected frame %s" sh.endpoint
+        (Fmt.to_to_string Wire.pp (Wire.Host f))
+
+(* Synchronous control exchange: send [req], then pump frames off this
+   shard — routing unrelated traffic — until [matcher] recognises the
+   reply.  The matcher must return [None] for [Delta] and
+   backpressure [Error]s (they can interleave) and [Some] for its
+   reply, including error replies. *)
+let rpc (t : t) (sh : shard) (req : Wire.client_frame)
+    (matcher : Wire.host_frame -> 'a option) : 'a =
+  send_shard t sh req;
+  flush_shard t sh;
+  let result = ref None in
+  let deadline = Unix.gettimeofday () +. 60. in
+  while !result = None do
+    (match next_shard_frame sh with
+    | Some f -> (
+        match matcher f with
+        | Some r -> result := Some r
+        | None -> route_shard_frame t sh f)
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          fatal "shard %s: no reply within 60s" sh.endpoint;
+        t.pump ();
+        (match Unix.select [ sh.sfd ] [] [] 0.001 with
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        read_shard sh)
+  done;
+  Option.get !result
+
+(* ------------------------------------------------------------------ *)
+(* Fleet-wide observation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every resident session's canonical observation, tagged with its
+   global id, ascending. *)
+let observe_fleet (t : t) : (int * string) list =
+  let all =
+    Array.to_list t.shards
+    |> List.concat_map (fun sh ->
+           let sessions =
+             rpc t sh Wire.Observe (function
+               | Wire.Observed { sessions } -> Some sessions
+               | Wire.Error { code; msg } ->
+                   fatal "shard %s: observe: error %d: %s" sh.endpoint code msg
+               | _ -> None)
+           in
+           List.map
+             (fun (local, obs) ->
+               match Hashtbl.find_opt sh.locals local with
+               | Some g -> (g, obs)
+               | None ->
+                   fatal "shard %s: unknown local session %d" sh.endpoint local)
+             sessions)
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+(* Byte-compatible with {!Live_host.Registry.digest}: same per-session
+   header, same id order (global ids are dense and spawn-ordered, like
+   a single registry's). *)
+let digest_of_observations (obs : (int * string) list) : string =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (g, o) ->
+      Buffer.add_string b (Printf.sprintf "== session %d ==\n" g);
+      Buffer.add_string b o)
+    obs;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let fleet_digest (t : t) : string = digest_of_observations (observe_fleet t)
+
+let shard_exports (t : t) : Host_metrics.exported list =
+  Array.to_list t.shards
+  |> List.map (fun sh ->
+         let text =
+           rpc t sh Wire.Stats_data (function
+             | Wire.Metrics { text } -> Some text
+             | Wire.Error { code; msg } ->
+                 fatal "shard %s: stats: error %d: %s" sh.endpoint code msg
+             | _ -> None)
+         in
+         match Host_metrics.import text with
+         | Ok x -> x
+         | Error m -> fatal "shard %s: bad metrics export: %s" sh.endpoint m)
+
+(* The exact union of the shard exports, re-exported in the same
+   format — raw counters and buckets, not precomputed quantiles. *)
+let merged_export (exports : Host_metrics.exported list) : string =
+  let m =
+    Host_metrics.merge_all
+      (List.map (fun x -> x.Host_metrics.x_metrics) exports)
+  in
+  let sessions =
+    List.fold_left (fun acc x -> acc + x.Host_metrics.x_sessions) 0 exports
+  in
+  let pending =
+    List.fold_left (fun acc x -> acc + x.Host_metrics.x_pending) 0 exports
+  in
+  let cache =
+    if List.for_all (fun x -> x.Host_metrics.x_cache = None) exports then None
+    else
+      Some
+        (List.fold_left
+           (fun (h, ms) x ->
+             let xh, xm = Option.value x.Host_metrics.x_cache ~default:(0, 0) in
+             (h + xh, ms + xm))
+           (0, 0) exports)
+  in
+  Host_metrics.export m ~sessions ~pending ~cache
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase UPDATE                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ack_or_error (what : string) (sh : shard) : Wire.host_frame -> (string, string) result option
+    = function
+  | Wire.Ack { info } -> Some (Ok info)
+  | Wire.Error { code = 6; msg } -> Some (Error msg)
+  | Wire.Error { code; msg } ->
+      fatal "shard %s: %s: error %d: %s" sh.endpoint what code msg
+  | _ -> None
+
+(* Prepare on every shard; if any refuses, abort the ones already
+   prepared and report failure — all-or-nothing.  Otherwise commit
+   everywhere.  No client frame is read while this runs, so the fleet
+   is never observably mixed-epoch. *)
+let update (t : t) (program : string) : (string, string) result =
+  let txn = t.next_txn in
+  t.next_txn <- txn + 1;
+  let prepared = ref [] in
+  let failure = ref None in
+  Array.iter
+    (fun sh ->
+      if !failure = None then
+        match rpc t sh (Wire.Prepare { txn; program }) (ack_or_error "prepare" sh) with
+        | Ok _ -> prepared := sh :: !prepared
+        | Error m -> failure := Some (sh.endpoint, m))
+    t.shards;
+  match !failure with
+  | Some (ep, m) ->
+      List.iter
+        (fun sh ->
+          match rpc t sh (Wire.Abort { txn }) (ack_or_error "abort" sh) with
+          | Ok _ -> ()
+          | Error m -> fatal "shard %s: abort refused: %s" sh.endpoint m)
+        !prepared;
+      t.d_updates_rejected <- t.d_updates_rejected + 1;
+      Error (Printf.sprintf "prepare failed on %s: %s (fleet unchanged)" ep m)
+  | None ->
+      Array.iter
+        (fun sh ->
+          match rpc t sh (Wire.Commit { txn }) (ack_or_error "commit" sh) with
+          | Ok _ -> ()
+          | Error m ->
+              (* a commit refusal after every shard prepared breaks the
+                 protocol's promise; there is no good recovery *)
+              fatal "shard %s: commit refused: %s" sh.endpoint m)
+        t.shards;
+      t.d_updates <- t.d_updates + 1;
+      Ok
+        (Printf.sprintf "txn %d committed on %d shards" txn
+           (Array.length t.shards))
+
+(* ------------------------------------------------------------------ *)
+(* Live rebalance                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let shard_load (t : t) : int array =
+  Array.map (fun sh -> Hashtbl.length sh.locals) t.shards
+
+(* Move one session: the lowest global id on the fullest shard goes to
+   the emptiest, via detach -> snapshot -> resume.  The global id is
+   unchanged; only the placement entry moves.  Returns whether the
+   migrated snapshot carried pending events (in which case the fleet
+   was not quiescent and the digest check downgrades to advisory). *)
+let move_one (t : t) ~(src : shard) ~(dst : shard) : bool =
+  let g, local =
+    Hashtbl.fold
+      (fun local g acc ->
+        match acc with
+        | Some (g0, _) when g0 <= g -> acc
+        | _ -> Some (g, local))
+      src.locals None
+    |> function
+    | Some x -> x
+    | None -> fatal "rebalance: shard %s is empty" src.endpoint
+  in
+  let snapshot =
+    rpc t src (Wire.Detach { session = local }) (function
+      | Wire.Detached { session; snapshot } when session = local ->
+          Some snapshot
+      | Wire.Error { code; msg } ->
+          fatal "shard %s: detach %d: error %d: %s" src.endpoint local code msg
+      | _ -> None)
+  in
+  Hashtbl.remove src.locals local;
+  let carried_pending =
+    match Snapshot.of_string snapshot with
+    | Ok snap -> snap.Snapshot.pending <> []
+    | Error m -> fatal "rebalance: bad snapshot for %d: %s" g m
+  in
+  let new_local =
+    rpc t dst (Wire.Resume { snapshot }) (function
+      | Wire.Attach { session; width = _; frame = _ } -> Some session
+      | Wire.Error { code; msg } ->
+          fatal "shard %s: resume %d: error %d: %s" dst.endpoint g code msg
+      | _ -> None)
+  in
+  Hashtbl.replace dst.locals new_local g;
+  (match Hashtbl.find_opt t.sessions g with
+  | Some p ->
+      p.p_shard <- dst.sx;
+      p.p_local <- new_local
+  | None -> fatal "rebalance: no placement for %d" g);
+  t.d_moved <- t.d_moved + 1;
+  carried_pending
+
+let rebalance (t : t) (count : int) : (string, string) result =
+  t.d_rebalances <- t.d_rebalances + 1;
+  if Array.length t.shards < 2 then Ok "moved 0 sessions (single shard)"
+  else begin
+    let before = observe_fleet t in
+    let exports = shard_exports t in
+    let quiescent =
+      List.for_all (fun x -> x.Host_metrics.x_pending = 0) exports
+    in
+    let moved = ref 0 in
+    let carried = ref false in
+    (try
+       for _ = 1 to count do
+         let load = shard_load t in
+         let argbest cmp =
+           let best = ref 0 in
+           Array.iteri (fun i _ -> if cmp load.(i) load.(!best) then best := i)
+             load;
+           !best
+         in
+         let src = argbest ( > ) and dst = argbest ( < ) in
+         if src <> dst && load.(src) > 0 then begin
+           if move_one t ~src:t.shards.(src) ~dst:t.shards.(dst) then
+             carried := true;
+           incr moved
+         end
+         else raise Exit
+       done
+     with Exit -> ());
+    let after = observe_fleet t in
+    let strict = quiescent && not !carried in
+    let db = digest_of_observations before
+    and da = digest_of_observations after in
+    if strict then begin
+      t.d_digest_checks <- t.d_digest_checks + 1;
+      if not (String.equal db da) then begin
+        t.d_digest_failures <- t.d_digest_failures + 1;
+        Error
+          (Printf.sprintf "digest mismatch after rebalance: %s -> %s" db da)
+      end
+      else
+        Ok
+          (Printf.sprintf "moved %d sessions, digest %s held" !moved da)
+    end
+    else
+      Ok
+        (Printf.sprintf
+           "moved %d sessions (fleet not quiescent; digest advisory %s -> %s)"
+           !moved db da)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Aggregated stats                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let aggregated_metrics (t : t) : string =
+  let exports = shard_exports t in
+  let merged = Host_metrics.merge_exported exports in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Host_metrics.to_string merged);
+  Buffer.add_string b
+    (Printf.sprintf "director: %d shards, %d sessions\n"
+       (Array.length t.shards) (Hashtbl.length t.sessions));
+  Array.iter
+    (fun sh ->
+      Buffer.add_string b
+        (Printf.sprintf "  shard %-24s %6d sessions\n" sh.endpoint
+           (Hashtbl.length sh.locals)))
+    t.shards;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  updates: %d committed, %d rejected; rebalance: %d runs, %d moved\n"
+       t.d_updates t.d_updates_rejected t.d_rebalances t.d_moved);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Client frame handling                                               *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_one (t : t) (c : conn) (client : string) : unit =
+  let g = t.next_global in
+  let sh = t.shards.(place t g) in
+  let reply =
+    rpc t sh (Wire.Hello { client; sessions = 1 }) (function
+      | Wire.Attach { session; width; frame } -> Some (Ok (session, width, frame))
+      | Wire.Error { code = (3 | 4 | 5) as code; msg } -> Some (Error (code, msg))
+      | _ -> None)
+  in
+  match reply with
+  | Error (code, msg) -> error t c code msg
+  | Ok (local, width, frame) ->
+      t.next_global <- g + 1;
+      Hashtbl.replace sh.locals local g;
+      Hashtbl.replace t.sessions g
+        { p_shard = sh.sx; p_local = local; p_owner = Some c.fd };
+      send_client t c (Wire.Host (Wire.Attach { session = g; width; frame }))
+
+let handle_client_frame (t : t) (c : conn) (f : Wire.client_frame) : unit =
+  match f with
+  | Wire.Hello { client; sessions } ->
+      if sessions < 1 then violation t c "Hello: sessions must be >= 1"
+      else
+        for _ = 1 to sessions do
+          spawn_one t c client
+        done
+  | Wire.Event { session = g; ev } -> (
+      match Hashtbl.find_opt t.sessions g with
+      | Some p when p.p_owner = Some c.fd ->
+          let sh = t.shards.(p.p_shard) in
+          send_shard t sh (Wire.Event { session = p.p_local; ev });
+          flush_shard_once sh
+      | _ -> error t c 5 (string_of_int g))
+  | Wire.Detach { session = g } -> (
+      match Hashtbl.find_opt t.sessions g with
+      | Some p when p.p_owner = Some c.fd ->
+          let sh = t.shards.(p.p_shard) in
+          let snapshot =
+            rpc t sh (Wire.Detach { session = p.p_local }) (function
+              | Wire.Detached { session; snapshot } when session = p.p_local ->
+                  Some snapshot
+              | Wire.Error { code; msg } ->
+                  fatal "shard %s: detach: error %d: %s" sh.endpoint code msg
+              | _ -> None)
+          in
+          Hashtbl.remove sh.locals p.p_local;
+          Hashtbl.remove t.sessions g;
+          send_client t c (Wire.Host (Wire.Detached { session = g; snapshot }))
+      | _ -> error t c 5 (string_of_int g))
+  | Wire.Resume { snapshot } -> (
+      let g = t.next_global in
+      let sh = t.shards.(place t g) in
+      let reply =
+        rpc t sh (Wire.Resume { snapshot }) (function
+          | Wire.Attach { session; width; frame } ->
+              Some (Ok (session, width, frame))
+          | Wire.Error { code = (3 | 4) as code; msg } -> Some (Error (code, msg))
+          | _ -> None)
+      in
+      match reply with
+      | Error (code, msg) -> error t c code msg
+      | Ok (local, width, frame) ->
+          t.next_global <- g + 1;
+          Hashtbl.replace sh.locals local g;
+          Hashtbl.replace t.sessions g
+            { p_shard = sh.sx; p_local = local; p_owner = Some c.fd };
+          send_client t c
+            (Wire.Host (Wire.Attach { session = g; width; frame })))
+  | Wire.Stats ->
+      send_client t c (Wire.Host (Wire.Metrics { text = aggregated_metrics t }))
+  | Wire.Stats_data ->
+      (* machine-readable aggregate: re-export the merged raw counters,
+         so a director composes (a director of directors merges the
+         same way a director of shards does) *)
+      send_client t c
+        (Wire.Host (Wire.Metrics { text = merged_export (shard_exports t) }))
+  | Wire.Update { program } -> (
+      match update t program with
+      | Ok info -> send_client t c (Wire.Host (Wire.Ack { info }))
+      | Error msg -> error t c 6 msg)
+  | Wire.Rebalance { count } ->
+      if count < 0 then violation t c "Rebalance: negative count"
+      else (
+        match rebalance t count with
+        | Ok info -> send_client t c (Wire.Host (Wire.Ack { info }))
+        | Error msg -> error t c 6 msg)
+  | Wire.Observe ->
+      send_client t c (Wire.Host (Wire.Observed { sessions = observe_fleet t }))
+  | Wire.Prepare _ | Wire.Commit _ | Wire.Abort _ ->
+      violation t c "shard transaction frame at the director"
+  | Wire.Bye ->
+      disown t c;
+      c.closing <- true
+
+(* ------------------------------------------------------------------ *)
+(* The select loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let drain_client_inbuf (t : t) (c : conn) : unit =
+  let data = Buffer.contents c.inbuf in
+  let len = String.length data in
+  let off = ref 0 in
+  let continue = ref true in
+  while !continue && !off < len && not c.closing do
+    match Wire.decode ~off:!off data with
+    | Wire.Frame (Wire.Client f, consumed) ->
+        t.d_frames_in <- t.d_frames_in + 1;
+        off := !off + consumed;
+        handle_client_frame t c f
+    | Wire.Frame (Wire.Host _, consumed) ->
+        ignore consumed;
+        violation t c "host-tagged frame from a client";
+        continue := false
+    | Wire.Need_more -> continue := false
+    | Wire.Corrupt m ->
+        violation t c m;
+        continue := false
+  done;
+  if !off > 0 || c.closing then begin
+    let rest = if c.closing then "" else String.sub data !off (len - !off) in
+    Buffer.clear c.inbuf;
+    Buffer.add_string c.inbuf rest
+  end
+
+let client_read_chunk = Bytes.create 65536
+
+let read_client (c : conn) : bool =
+  let rec go () =
+    match Unix.read c.fd client_read_chunk 0 (Bytes.length client_read_chunk) with
+    | 0 -> false
+    | n ->
+        Buffer.add_subbytes c.inbuf client_read_chunk 0 n;
+        if n = Bytes.length client_read_chunk then go () else true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> false
+  in
+  go ()
+
+let flush_client (c : conn) : bool =
+  let rec go () =
+    match Queue.peek_opt c.outq with
+    | None -> true
+    | Some s -> (
+        let remaining = String.length s - c.out_off in
+        match Unix.write_substring c.fd s c.out_off remaining with
+        | n ->
+            if n = remaining then begin
+              ignore (Queue.pop c.outq);
+              c.out_off <- 0;
+              go ()
+            end
+            else begin
+              c.out_off <- c.out_off + n;
+              true
+            end
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> false)
+  in
+  go ()
+
+let accept_loop (t : t) : bool =
+  let accepted = ref false in
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        Hashtbl.replace t.conns fd
+          {
+            fd;
+            inbuf = Buffer.create 4096;
+            outq = Queue.create ();
+            out_off = 0;
+            closing = false;
+          };
+        t.d_accepted <- t.d_accepted + 1;
+        accepted := true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> continue := false
+  done;
+  !accepted
+
+let step ?(timeout = 0.05) (t : t) : bool =
+  if t.stopped then false
+  else begin
+    let reads = ref [ t.listen_fd ] in
+    Array.iter (fun sh -> reads := sh.sfd :: !reads) t.shards;
+    let writes = ref [] in
+    Hashtbl.iter
+      (fun fd c ->
+        if not c.closing then reads := fd :: !reads;
+        if not (Queue.is_empty c.outq) then writes := fd :: !writes)
+      t.conns;
+    Array.iter
+      (fun sh -> if not (Queue.is_empty sh.s_out) then writes := sh.sfd :: !writes)
+      t.shards;
+    let rec select_retry () =
+      try Unix.select !reads !writes [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> select_retry ()
+    in
+    let readable, writable, _ = select_retry () in
+    let worked = ref false in
+    if List.mem t.listen_fd readable then
+      if accept_loop t then worked := true;
+    (* shard traffic first: deltas route into client out-queues.  The
+       decode loop runs whether or not the socket is readable — an rpc
+       may have left complete frames (repaint deltas that rode in
+       behind its reply) sitting in the buffer with nothing new on the
+       wire. *)
+    Array.iter
+      (fun sh ->
+        if List.mem sh.sfd readable then read_shard sh;
+        let continue = ref true in
+        while !continue do
+          match next_shard_frame sh with
+          | Some f ->
+              worked := true;
+              route_shard_frame t sh f
+          | None -> continue := false
+        done)
+      t.shards;
+    (* client frames, which may fan control exchanges out to shards *)
+    List.iter
+      (fun fd ->
+        if fd <> t.listen_fd then
+          match Hashtbl.find_opt t.conns fd with
+          | None -> ()
+          | Some c ->
+              worked := true;
+              if read_client c then drain_client_inbuf t c else drop_conn t c)
+      readable;
+    (* egress both ways *)
+    Array.iter (fun sh -> flush_shard_once sh) t.shards;
+    ignore writable;
+    let dead = ref [] in
+    Hashtbl.iter
+      (fun _ c ->
+        if not (Queue.is_empty c.outq) || c.closing then begin
+          if not (flush_client c) then dead := c :: !dead
+          else if c.closing && Queue.is_empty c.outq then dead := c :: !dead
+        end)
+      t.conns;
+    List.iter (fun c -> drop_conn t c) !dead;
+    !worked
+  end
+
+let run ~(until : unit -> bool) (t : t) : unit =
+  while not (until ()) && not t.stopped do
+    ignore (step t)
+  done
+
+type stats = {
+  shards : int;
+  sessions : int;
+  per_shard : (string * int) list;
+  accepted : int;
+  frames_in : int;
+  frames_out : int;
+  updates_committed : int;
+  updates_rejected : int;
+  rebalances : int;
+  sessions_moved : int;
+  digest_checks : int;
+  digest_failures : int;
+  corrupt : int;
+}
+
+let stats (t : t) : stats =
+  {
+    shards = Array.length t.shards;
+    sessions = Hashtbl.length t.sessions;
+    per_shard =
+      Array.to_list t.shards
+      |> List.map (fun sh -> (sh.endpoint, Hashtbl.length sh.locals));
+    accepted = t.d_accepted;
+    frames_in = t.d_frames_in;
+    frames_out = t.d_frames_out;
+    updates_committed = t.d_updates;
+    updates_rejected = t.d_updates_rejected;
+    rebalances = t.d_rebalances;
+    sessions_moved = t.d_moved;
+    digest_checks = t.d_digest_checks;
+    digest_failures = t.d_digest_failures;
+    corrupt = t.d_corrupt;
+  }
+
+let stop (t : t) : unit =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Array.iter
+      (fun sh -> try Unix.close sh.sfd with Unix.Unix_error _ -> ())
+      t.shards;
+    Hashtbl.iter
+      (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      t.conns;
+    Hashtbl.reset t.conns;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink t.path with Unix.Unix_error _ -> ()
+  end

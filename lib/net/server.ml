@@ -8,6 +8,8 @@ module Registry = Live_host.Registry
 module Scheduler = Live_host.Scheduler
 module Backpressure = Live_host.Backpressure
 module Host_metrics = Live_host.Host_metrics
+module Broadcast = Live_host.Broadcast
+module Rollout = Live_host.Rollout
 module Session = Live_runtime.Session
 
 (* Per-session client-side view: the rows this connection last saw,
@@ -44,6 +46,9 @@ type t = {
   listen_fd : Unix.file_descr;
   path : string;
   conns : (Unix.file_descr, conn) Hashtbl.t;
+  mutable pending_rollout : (int * Rollout.t) option;
+      (** the open cross-shard UPDATE transaction, at most one:
+          [Prepare]d but not yet [Commit]ted or [Abort]ed *)
   mutable stopped : bool;
   mutable s_accepted : int;
   mutable s_frames_in : int;
@@ -81,6 +86,7 @@ let create ?(config = Registry.default_config) ?batch ~socket
     listen_fd = fd;
     path = socket;
     conns = Hashtbl.create 16;
+    pending_rollout = None;
     stopped = false;
     s_accepted = 0;
     s_frames_in = 0;
@@ -153,6 +159,11 @@ let wire_of_uevent : Registry.uevent -> Wire.event = function
 
 let error t c code msg = send t c (Wire.Host (Wire.Error { code; msg }))
 
+let mark_all_dirty (t : t) : unit =
+  Hashtbl.iter
+    (fun _ c -> Hashtbl.iter (fun _ view -> view.dirty <- true) c.views)
+    t.conns
+
 (* A protocol violation: answer code 1 and close once the write
    drains.  The connection stops being read immediately. *)
 let violation (t : t) (c : conn) (msg : string) : unit =
@@ -223,8 +234,14 @@ let handle_client_frame (t : t) (c : conn) (f : Wire.client_frame) : unit =
               in
               match upd with
               | Error m -> error t c 4 m
-              | Ok () ->
-                  let id = Registry.adopt t.reg s in
+              | Ok () -> (
+                  (* adopt refuses while a rollout is open (the epoch
+                     ledger would not know which epoch to pin the
+                     newcomer to) — a resume landing inside a prepared
+                     transaction is refused, not fatal *)
+                  match Registry.adopt t.reg s with
+                  | exception Invalid_argument m -> error t c 4 m
+                  | id ->
                   t.s_resumes <- t.s_resumes + 1;
                   attach t c id;
                   List.iter
@@ -237,7 +254,7 @@ let handle_client_frame (t : t) (c : conn) (f : Wire.client_frame) : unit =
                       | Backpressure.Rejected ->
                           error t c 2
                             (Printf.sprintf "%d rejected by backpressure" id))
-                    snap.Snapshot.pending)))
+                    snap.Snapshot.pending))))
   | Wire.Stats ->
       send t c
         (Wire.Host
@@ -247,6 +264,118 @@ let handle_client_frame (t : t) (c : conn) (f : Wire.client_frame) : unit =
       (* orderly goodbye: the sessions live on, unattached *)
       Hashtbl.reset c.views;
       c.closing <- true
+  | Wire.Update { program } -> (
+      match Snapshot.program_of_string program with
+      | Error m -> error t c 6 m
+      | Ok p -> (
+          if t.pending_rollout <> None then
+            error t c 6 "a prepared transaction is open"
+          else
+            match Broadcast.update t.reg p with
+            | Error e -> error t c 6 (Live_core.Machine.error_to_string e)
+            | Ok report ->
+                let failed =
+                  List.length
+                    (List.filter
+                       (fun (o : Broadcast.session_outcome) ->
+                         Result.is_error o.Broadcast.outcome)
+                       report.Broadcast.outcomes)
+                in
+                mark_all_dirty t;
+                send t c
+                  (Wire.Host
+                     (Wire.Ack
+                        {
+                          info =
+                            Printf.sprintf "updated %d sessions (%d failed)"
+                              (List.length report.Broadcast.outcomes) failed;
+                        }))))
+  | Wire.Prepare { txn; program } -> (
+      (* phase one of the director's two-phase UPDATE: diff, typecheck
+         and compile, open the target epoch, apply nothing.  Refusing
+         when a transaction is already open is also the fault-injection
+         hook the atomicity tests lean on. *)
+      match t.pending_rollout with
+      | Some (open_txn, _) ->
+          error t c 6 (Printf.sprintf "transaction %d is already open" open_txn)
+      | None -> (
+          match Snapshot.program_of_string program with
+          | Error m -> error t c 6 m
+          | Ok p -> (
+              match Rollout.begin_ ~seed:txn t.reg p with
+              | exception Invalid_argument m -> error t c 6 m
+              | Error e -> error t c 6 (Live_core.Machine.error_to_string e)
+              | Ok r ->
+                  t.pending_rollout <- Some (txn, r);
+                  send t c
+                    (Wire.Host
+                       (Wire.Ack
+                          {
+                            info =
+                              Printf.sprintf "prepared txn %d (epoch %d)" txn
+                                (Rollout.target_epoch r);
+                          })))))
+  | Wire.Commit { txn } -> (
+      match t.pending_rollout with
+      | Some (open_txn, r) when open_txn = txn ->
+          (* canary + promote back to back — no client frame is read in
+             between, so the whole shard moves epochs in one step *)
+          let failed outcomes =
+            List.length
+              (List.filter
+                 (fun (o : Broadcast.session_outcome) ->
+                   Result.is_error o.Broadcast.outcome)
+                 outcomes)
+          in
+          let f1 = failed (Rollout.canary r) in
+          let f2 = failed (Rollout.promote r) in
+          t.pending_rollout <- None;
+          mark_all_dirty t;
+          send t c
+            (Wire.Host
+               (Wire.Ack
+                  {
+                    info =
+                      Printf.sprintf "committed txn %d (%d failed)" txn
+                        (f1 + f2);
+                  }))
+      | Some (open_txn, _) ->
+          error t c 6
+            (Printf.sprintf "commit txn %d: transaction %d is open" txn open_txn)
+      | None -> error t c 6 (Printf.sprintf "commit txn %d: none open" txn))
+  | Wire.Abort { txn } -> (
+      match t.pending_rollout with
+      | Some (open_txn, r) when open_txn = txn ->
+          (* a Staged rollout never touched a session: rollback is a
+             pure close and every session stays on the base epoch *)
+          let errs = Rollout.rollback r in
+          t.pending_rollout <- None;
+          send t c
+            (Wire.Host
+               (Wire.Ack
+                  {
+                    info =
+                      Printf.sprintf "aborted txn %d (%d replay errors)" txn
+                        (List.length errs);
+                  }))
+      | Some (open_txn, _) ->
+          error t c 6
+            (Printf.sprintf "abort txn %d: transaction %d is open" txn open_txn)
+      | None -> error t c 6 (Printf.sprintf "abort txn %d: none open" txn))
+  | Wire.Observe ->
+      let sessions =
+        List.filter_map
+          (fun id ->
+            match Registry.session t.reg id with
+            | None -> None
+            | Some s -> Some (id, Registry.observe_session s))
+          (Registry.ids t.reg)
+      in
+      send t c (Wire.Host (Wire.Observed { sessions }))
+  | Wire.Stats_data ->
+      send t c (Wire.Host (Wire.Metrics { text = Registry.export_metrics t.reg }))
+  | Wire.Rebalance _ ->
+      error t c 6 "rebalance: not a director"
 
 let handle_frame (t : t) (c : conn) : Wire.frame -> unit = function
   | Wire.Client f -> handle_client_frame t c f
@@ -292,6 +421,8 @@ let read_conn (t : t) (c : conn) : bool =
         if n = Bytes.length read_chunk then go () else true
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         true
+    (* a signal landing mid-read is not a peer error — retry *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | exception Unix.Unix_error _ -> false
   in
   go ()
@@ -319,6 +450,7 @@ let flush_conn (t : t) (c : conn) : bool =
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
           ->
             true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
         | exception Unix.Unix_error _ -> false)
   in
   go ()
@@ -354,11 +486,6 @@ let send_deltas (t : t) : unit =
           c.views)
     t.conns
 
-let mark_all_dirty (t : t) : unit =
-  Hashtbl.iter
-    (fun _ c -> Hashtbl.iter (fun _ view -> view.dirty <- true) c.views)
-    t.conns
-
 let accept_loop (t : t) : bool =
   let accepted = ref false in
   let continue = ref true in
@@ -379,6 +506,7 @@ let accept_loop (t : t) : bool =
         accepted := true
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error _ -> continue := false
   done;
   !accepted
@@ -393,10 +521,13 @@ let step ?(timeout = 0.05) (t : t) : bool =
         if not c.closing then reads := fd :: !reads;
         if not (Queue.is_empty c.outq) then writes := fd :: !writes)
       t.conns;
-    let readable, writable, _ =
+    (* An interrupted select is retried, not treated as an idle tick:
+       a signal storm must never starve the loop of readiness facts. *)
+    let rec select_retry () =
       try Unix.select !reads !writes [] timeout
-      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      with Unix.Unix_error (Unix.EINTR, _, _) -> select_retry ()
     in
+    let readable, writable, _ = select_retry () in
     let worked = ref false in
     if List.mem t.listen_fd readable then
       if accept_loop t then worked := true;

@@ -428,6 +428,25 @@ let of_string (text : string) : (t, string) result =
   | Invalid_argument m -> Error m
 
 (* ------------------------------------------------------------------ *)
+(* Standalone programs                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let program_to_string (p : Program.t) : string =
+  let b = Buffer.create 1024 in
+  print_sexp b (L (A "program" :: List.map sexp_of_def (Program.defs p)));
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let program_of_string (text : string) : (Program.t, string) result =
+  try
+    match parse_sexp (String.trim text) with
+    | L (A "program" :: defs) -> Ok (Program.of_defs (List.map def_of defs))
+    | _ -> Error "not a program"
+  with
+  | Parse m -> Error m
+  | Invalid_argument m -> Error m
+
+(* ------------------------------------------------------------------ *)
 (* Capture / restore                                                   *)
 (* ------------------------------------------------------------------ *)
 

@@ -50,6 +50,15 @@ val of_string : string -> (t, string) result
     never an exception.  [to_string] of the result is byte-identical
     to [to_string] of the value that produced the input. *)
 
+val program_to_string : Live_core.Program.t -> string
+(** Canonical text of a bare program — the same [(program def ...)]
+    s-expression a full snapshot embeds, for shipping code over the
+    wire ([Update] / [Prepare] frames). *)
+
+val program_of_string : string -> (Live_core.Program.t, string) result
+(** Parse {!program_to_string} text.  Total: malformed input is
+    [Error reason], never an exception. *)
+
 val program_equal : Live_core.Program.t -> Live_core.Program.t -> bool
 (** Structural equality of programs, definition by definition — used
     by {!restore} to decide whether a host-supplied program is the

@@ -4,7 +4,7 @@
     {!decode} catches — so malformed bytes can only ever produce
     {!Corrupt}, never an escape. *)
 
-let version = 1
+let version = 2
 let max_frame = 16 * 1024 * 1024
 
 type event = Ev_tap of { x : int; y : int } | Ev_back
@@ -16,6 +16,13 @@ type client_frame =
   | Resume of { snapshot : string }
   | Stats
   | Bye
+  | Update of { program : string }
+  | Prepare of { txn : int; program : string }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+  | Observe
+  | Rebalance of { count : int }
+  | Stats_data
 
 type host_frame =
   | Attach of { session : int; width : int; frame : string }
@@ -23,6 +30,8 @@ type host_frame =
   | Detached of { session : int; snapshot : string }
   | Error of { code : int; msg : string }
   | Metrics of { text : string }
+  | Ack of { info : string }
+  | Observed of { sessions : (int * string) list }
 
 type frame = Client of client_frame | Host of host_frame
 
@@ -42,6 +51,15 @@ let pp ppf = function
       Fmt.pf ppf "Resume(%d bytes)" (String.length snapshot)
   | Client Stats -> Fmt.string ppf "Stats"
   | Client Bye -> Fmt.string ppf "Bye"
+  | Client (Update { program }) ->
+      Fmt.pf ppf "Update(%d bytes)" (String.length program)
+  | Client (Prepare { txn; program }) ->
+      Fmt.pf ppf "Prepare(txn=%d, %d bytes)" txn (String.length program)
+  | Client (Commit { txn }) -> Fmt.pf ppf "Commit(txn=%d)" txn
+  | Client (Abort { txn }) -> Fmt.pf ppf "Abort(txn=%d)" txn
+  | Client Observe -> Fmt.string ppf "Observe"
+  | Client (Rebalance { count }) -> Fmt.pf ppf "Rebalance(count=%d)" count
+  | Client Stats_data -> Fmt.string ppf "Stats_data"
   | Host (Attach { session; width; frame }) ->
       Fmt.pf ppf "Attach(#%d, width=%d, %d bytes)" session width
         (String.length frame)
@@ -52,6 +70,9 @@ let pp ppf = function
       Fmt.pf ppf "Detached(#%d, %d bytes)" session (String.length snapshot)
   | Host (Error { code; msg }) -> Fmt.pf ppf "Error(%d, %S)" code msg
   | Host (Metrics { text }) -> Fmt.pf ppf "Metrics(%d bytes)" (String.length text)
+  | Host (Ack { info }) -> Fmt.pf ppf "Ack(%S)" info
+  | Host (Observed { sessions }) ->
+      Fmt.pf ppf "Observed(%d sessions)" (List.length sessions)
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)
@@ -99,6 +120,24 @@ let put_body (b : Buffer.t) = function
       put_str b snapshot
   | Client Stats -> put_u8 b 0x05
   | Client Bye -> put_u8 b 0x06
+  | Client (Update { program }) ->
+      put_u8 b 0x07;
+      put_str b program
+  | Client (Prepare { txn; program }) ->
+      put_u8 b 0x08;
+      put_u32 b txn;
+      put_str b program
+  | Client (Commit { txn }) ->
+      put_u8 b 0x09;
+      put_u32 b txn
+  | Client (Abort { txn }) ->
+      put_u8 b 0x0A;
+      put_u32 b txn
+  | Client Observe -> put_u8 b 0x0B
+  | Client (Rebalance { count }) ->
+      put_u8 b 0x0C;
+      put_u32 b count
+  | Client Stats_data -> put_u8 b 0x0D
   | Host (Attach { session; width; frame }) ->
       put_u8 b 0x81;
       put_u32 b session;
@@ -125,6 +164,17 @@ let put_body (b : Buffer.t) = function
   | Host (Metrics { text }) ->
       put_u8 b 0x85;
       put_str b text
+  | Host (Ack { info }) ->
+      put_u8 b 0x86;
+      put_str b info
+  | Host (Observed { sessions }) ->
+      put_u8 b 0x87;
+      put_u32 b (List.length sessions);
+      List.iter
+        (fun (id, obs) ->
+          put_u32 b id;
+          put_str b obs)
+        sessions
 
 let encode (f : frame) : string =
   let body = Buffer.create 64 in
@@ -192,6 +242,16 @@ let get_body (c : cursor) : frame =
   | 0x04 -> Client (Resume { snapshot = get_str c })
   | 0x05 -> Client Stats
   | 0x06 -> Client Bye
+  | 0x07 -> Client (Update { program = get_str c })
+  | 0x08 ->
+      let txn = get_u32 c in
+      let program = get_str c in
+      Client (Prepare { txn; program })
+  | 0x09 -> Client (Commit { txn = get_u32 c })
+  | 0x0A -> Client (Abort { txn = get_u32 c })
+  | 0x0B -> Client Observe
+  | 0x0C -> Client (Rebalance { count = get_u32 c })
+  | 0x0D -> Client Stats_data
   | 0x81 ->
       let session = get_u32 c in
       let width = get_u32 c in
@@ -220,6 +280,19 @@ let get_body (c : cursor) : frame =
       let msg = get_str c in
       Host (Error { code; msg })
   | 0x85 -> Host (Metrics { text = get_str c })
+  | 0x86 -> Host (Ack { info = get_str c })
+  | 0x87 ->
+      let n = get_u32 c in
+      (* each entry costs at least 8 bytes on the wire *)
+      if n > (c.limit - c.pos) / 8 + 1 then
+        raise (Bad "session count too large");
+      let sessions =
+        List.init n (fun _ ->
+            let id = get_u32 c in
+            let obs = get_str c in
+            (id, obs))
+      in
+      Host (Observed { sessions })
   | t -> raise (Bad (Printf.sprintf "unknown frame tag 0x%02x" t))
 
 type decoded = Frame of frame * int | Need_more | Corrupt of string

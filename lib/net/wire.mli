@@ -47,6 +47,35 @@ type client_frame =
   | Bye
       (** orderly goodbye; the connection closes but its sessions live
           on in the fleet, unattached — only [Detach] removes one *)
+  | Update of { program : string }
+      (** one-shot fleet-wide UPDATE: replace the host program with the
+          parsed {!Snapshot.program_of_string} text and broadcast to
+          every session; answered with [Ack] or [Error] code 6.  At a
+          director this runs the two-phase protocol across all shards. *)
+  | Prepare of { txn : int; program : string }
+      (** phase one of a cross-shard UPDATE (director → shard): diff,
+          typecheck, compile and open the new epoch without applying it
+          ({!Live_host.Rollout.begin_}).  Answered with [Ack] or [Error]
+          code 6; at most one transaction may be open per shard. *)
+  | Commit of { txn : int }
+      (** phase two: promote the prepared epoch to the whole shard
+          fleet atomically; [txn] must match the open [Prepare] *)
+  | Abort of { txn : int }
+      (** roll the prepared epoch back; every session stays on the old
+          code *)
+  | Observe
+      (** ask for an [Observed] frame: the canonical observation text
+          of every resident session, in session-id order — the fleet
+          digest's raw material *)
+  | Rebalance of { count : int }
+      (** director only: migrate [count] sessions from the fullest to
+          the emptiest shard via detach → snapshot → resume, proving
+          byte-identical fleet digests before and after; answered with
+          [Ack] or [Error] code 6 *)
+  | Stats_data
+      (** ask for a [Metrics] frame carrying the machine-readable
+          {!Live_host.Host_metrics.export} text instead of the human
+          dump — what a director merges across shards *)
 
 (** Host → client. *)
 type host_frame =
@@ -64,9 +93,17 @@ type host_frame =
   | Error of { code : int; msg : string }
       (** [code] 1 = protocol violation (fatal, connection closes),
           2 = event rejected by backpressure, 3 = bad snapshot,
-          4 = resume failed, 5 = unknown session *)
+          4 = resume failed, 5 = unknown session, 6 = update / prepare
+          / rebalance refused (nothing changed) *)
   | Metrics of { text : string }
-      (** the fleet {!Live_host.Host_metrics} dump *)
+      (** the fleet {!Live_host.Host_metrics} dump ([Stats]) or its
+          machine-readable export ([Stats_data]) *)
+  | Ack of { info : string }
+      (** success reply to [Update] / [Prepare] / [Commit] / [Abort] /
+          [Rebalance], with a short human-readable summary *)
+  | Observed of { sessions : (int * string) list }
+      (** reply to [Observe]: (session id, canonical observation text)
+          for every resident session, in ascending id order *)
 
 type frame = Client of client_frame | Host of host_frame
 

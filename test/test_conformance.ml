@@ -119,6 +119,7 @@ let golden =
     "oedit_update_classes";
     "rollout_promote_lifecycle";
     "rollout_midcanary_rollback";
+    "director_update_rebalance";
   ]
 
 (* under [dune runtest] the cwd is the build copy of test/; under a

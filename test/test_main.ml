@@ -50,5 +50,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("rollout", Test_rollout.suite);
       ("net", Test_net.suite);
+      ("director", Test_director.suite);
       ("misc", Test_misc.suite);
     ]

@@ -63,6 +63,15 @@ module Gen_frame = struct
         (small_str >|= fun snapshot -> Wire.Resume { snapshot });
         pure Wire.Stats;
         pure Wire.Bye;
+        (small_str >|= fun program -> Wire.Update { program });
+        (let* txn = small_id in
+         let* program = small_str in
+         pure (Wire.Prepare { txn; program }));
+        (small_id >|= fun txn -> Wire.Commit { txn });
+        (small_id >|= fun txn -> Wire.Abort { txn });
+        pure Wire.Observe;
+        (small_id >|= fun count -> Wire.Rebalance { count });
+        pure Wire.Stats_data;
       ]
 
   let host_frame =
@@ -84,10 +93,18 @@ module Gen_frame = struct
         (let* session = small_id in
          let* snapshot = small_str in
          pure (Wire.Detached { session; snapshot }));
-        (let* code = int_range 1 5 in
+        (let* code = int_range 1 6 in
          let* msg = small_str in
          pure (Wire.Error { code; msg }));
         (small_str >|= fun text -> Wire.Metrics { text });
+        (small_str >|= fun info -> Wire.Ack { info });
+        (let* sessions =
+           list_size (int_range 0 6)
+             (let* id = small_id in
+              let* obs = small_str in
+              pure (id, obs))
+         in
+         pure (Wire.Observed { sessions }));
       ]
 
   let frame =
@@ -174,6 +191,16 @@ let golden_frames : Wire.frame list =
     Wire.Host (Wire.Detached { session = 9; snapshot = "(snapshot)" });
     Wire.Host (Wire.Error { code = 2; msg = "7 rejected by backpressure" });
     Wire.Host (Wire.Metrics { text = "host metrics\n" });
+    Wire.Client (Wire.Update { program = "(program)" });
+    Wire.Client (Wire.Prepare { txn = 4; program = "(program)" });
+    Wire.Client (Wire.Commit { txn = 4 });
+    Wire.Client (Wire.Abort { txn = 4 });
+    Wire.Client Wire.Observe;
+    Wire.Client (Wire.Rebalance { count = 2 });
+    Wire.Client Wire.Stats_data;
+    Wire.Host (Wire.Ack { info = "prepared txn 4 (epoch 1)" });
+    Wire.Host
+      (Wire.Observed { sessions = [ (0, "g = 1\n--\n"); (2, "g = 2\n--\n") ] });
   ]
 
 let hex (s : string) : string =
@@ -197,7 +224,7 @@ let golden_path name =
   if Sys.file_exists rel then rel else Filename.concat "test" rel
 
 let test_wire_golden () =
-  let path = golden_path "wire_v1.golden" in
+  let path = golden_path "wire_v2.golden" in
   if Sys.getenv_opt "WIRE_GOLDEN_REGEN" = Some "1" then begin
     let oc = open_out_bin path in
     output_string oc (golden_text ());
@@ -513,6 +540,117 @@ let test_server_rejects_garbage () =
   wait deadline
 
 (* ------------------------------------------------------------------ *)
+(* Signal hardening: EINTR must not surface as idleness or errors      *)
+(* ------------------------------------------------------------------ *)
+
+(* A one-shot SIGALRM lands while the server is blocked in select with
+   a connected-but-silent client.  The old loop treated the EINTR as
+   "nothing happened" and returned after ~30 ms; the hardened loop
+   retries the select and blocks out the full timeout — and the
+   connection is still perfectly usable afterwards. *)
+let test_server_select_eintr () =
+  let module Server = Live_net.Server in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "live-test-net-eintr-%d.sock" (Unix.getpid ()))
+  in
+  let srv = Server.create ~socket (app 0) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let prev = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect ~finally:(fun () -> ignore (Sys.signal Sys.sigalrm prev))
+  @@ fun () ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* let the server accept the connection *)
+  for _ = 1 to 5 do
+    ignore (Server.step ~timeout:0.01 srv)
+  done;
+  (* one-shot timer: fires once at 30 ms, well inside the 200 ms select *)
+  let old_timer =
+    Unix.setitimer Unix.ITIMER_REAL
+      { Unix.it_value = 0.03; it_interval = 0. }
+  in
+  ignore old_timer;
+  let t0 = Unix.gettimeofday () in
+  ignore (Server.step ~timeout:0.2 srv);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = 0.; it_interval = 0. });
+  Alcotest.(check bool)
+    (Printf.sprintf "select retried after EINTR (%.0f ms)" (elapsed *. 1000.))
+    true (elapsed >= 0.15);
+  (* the interrupted connection still works: a Stats round-trip *)
+  let req = Wire.encode (Wire.Client Wire.Stats) in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  Unix.set_nonblock fd;
+  let rec wait n =
+    if n = 0 then Alcotest.fail "no Metrics reply after EINTR";
+    ignore (Server.step ~timeout:0.01 srv);
+    (match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | k -> Buffer.add_subbytes buf chunk 0 k
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+    match Wire.decode (Buffer.contents buf) with
+    | Wire.Frame (Wire.Host (Wire.Metrics _), _) -> ()
+    | Wire.Frame (f, _) ->
+        Alcotest.failf "unexpected reply %s" (Fmt.str "%a" Wire.pp f)
+    | Wire.Need_more | Wire.Corrupt _ -> wait (n - 1)
+  in
+  wait 200
+
+(* A 5 ms interval timer storms the whole client/server exchange with
+   signals: every read, write and select gets interrupted repeatedly.
+   The session must come out exactly as if no signal ever fired. *)
+let test_server_eintr_storm () =
+  let module Server = Live_net.Server in
+  let module Client = Live_net.Client in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "live-test-net-storm-%d.sock" (Unix.getpid ()))
+  in
+  let srv = Server.create ~socket (app 0) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let prev = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = 0.; it_interval = 0. });
+      ignore (Sys.signal Sys.sigalrm prev))
+  @@ fun () ->
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_value = 0.005; it_interval = 0.005 });
+  let sessions = 4 and rounds = 20 and seed = 7 in
+  let rngs =
+    Array.init sessions (fun s -> Prng.create (Prng.derive seed s))
+  in
+  let gen ~slot ~round:_ =
+    let rng = rngs.(slot) in
+    if Prng.int rng 10 = 0 then Wire.Ev_back
+    else Wire.Ev_tap { x = Prng.int rng 32; y = Prng.int rng 7 }
+  in
+  let report =
+    match
+      Client.run ~socket ~conns:2 ~sessions ~rounds ~gen ~detach_every:6
+        ~pump:(fun () -> ignore (Server.step ~timeout:0. srv))
+        ()
+    with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "client under signal storm: %s" m
+  in
+  Alcotest.(check int) "every event answered under storm"
+    (sessions * rounds)
+    (H.Host_metrics.hist_count report.Client.latency
+    + report.Client.rejected);
+  Alcotest.(check int) "fleet intact" sessions
+    (H.Registry.size (Server.registry srv))
+
+(* ------------------------------------------------------------------ *)
 (* The host-net oracle configuration                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -553,5 +691,9 @@ let suite =
     Alcotest.test_case "server e2e over a real socket" `Quick test_server_e2e;
     Alcotest.test_case "server rejects protocol violations" `Quick
       test_server_rejects_garbage;
+    Alcotest.test_case "select retries on EINTR" `Quick
+      test_server_select_eintr;
+    Alcotest.test_case "signal storm leaves traffic intact" `Quick
+      test_server_eintr_storm;
     prop_host_net_oracle;
   ]
