@@ -54,7 +54,15 @@
       aggregate events/sec and e2e p50/p99 with the fleet spread over
       shards {1, 2, 4} at fleets {100, 1000}, against the undirected
       single-server baseline (the B15 shape) — the routing proxy's
-      per-event tax, measured.
+      per-event tax, measured;
+    - B17 [shard_scaleup]   — real scale-out: shard servers forked as
+      separate processes behind the director, clients pipelining up
+      to W in-flight events per session — single vs shards {1, 2, 4}
+      x window {1, 8, 32} at fleets {1k, 10k}, core count recorded,
+      every configuration digest-checked against an in-process shadow
+      replay;
+    - B18 [wire_encode]     — Wire.encode allocation: fresh-buffer
+      encode vs the scratch-reusing encode_into on a Delta frame.
 
     Output: one table per experiment, estimated ns (or µs/ms) per
     operation from Bechamel's OLS fit against the run count, plus a
@@ -1551,6 +1559,299 @@ let b16 () : jentry list =
     fleet_conns
 
 (* ------------------------------------------------------------------ *)
+(* B17: shard scale-up — forked shard processes, pipelined clients     *)
+(* ------------------------------------------------------------------ *)
+
+(** B17 measures real scale-out, where B16 could only measure the
+    routing tax: each shard server is a {e separate child process} (a
+    spawned standalone [host_client serve], the CI soak's shape)
+    running its own select loop, so on a multi-core machine shards=N
+    buys N processes' worth of execution; the client additionally
+    pipelines up to W of each session's events before waiting for
+    delta credits ([window]).  The machine's core count is emitted as
+    [b17/cores] so the speedup figures are interpretable — on a
+    single-core container the scale-up curve is honestly flat, and
+    the CI runner's multi-core artifact is the number the acceptance
+    criterion reads.  Every configuration's fleet digest (observed
+    over the wire) must equal an in-process shadow replay of the same
+    seeded trace — the transport-invariance oracle guards the fast
+    paths at every point of the matrix. *)
+let b17 () : jentry list =
+  let module H = Live_host in
+  let module Server = Live_net.Server in
+  let module Client = Live_net.Client in
+  let module Director = Live_net.Director in
+  let module Wire = Live_net.Wire in
+  let module Prng = Live_conformance.Prng in
+  let rows_n = 16 in
+  (* the synthetic host app, because that is what a spawned
+     [host_client serve] shard runs — the shadow replay and the
+     in-process single-server baseline must execute the identical
+     program *)
+  let core =
+    (Live_workloads.Synthetic.compile_exn
+       (Live_workloads.Synthetic.host_app ~rows:rows_n ~version:0 ()))
+      .Live_surface.Compile.core
+  in
+  header "B17: shard_scaleup — forked shard processes, pipelined clients"
+    "Real scale-out: shard servers forked as separate processes \
+     behind the director, the client pipelining up to W in-flight \
+     events per session; single vs shards {1,2,4} x window {1,8,32}, \
+     every configuration digest-checked against an in-process shadow \
+     replay.";
+  let ncores = Domain.recommended_domain_count () in
+  Printf.printf "  (this machine has %d cores)\n" ncores;
+  let fleet_conns = [ (1000, 50); (10000, 64) ] in
+  let windows = [ 1; 8; 32 ] in
+  let shard_counts = [ 1; 2; 4 ] in
+  let cfg = { H.Registry.default_config with H.Registry.width = 48 } in
+  (* Shard processes are spawned by exec-ing the standalone
+     [host_client serve] binary — the CI soak's spawn path — rather
+     than [Unix.fork]: OCaml 5 forbids fork in a process that has ever
+     created domains, and B11's pool ran earlier in this binary.
+     [Sys.command] goes through the C library's [system], which
+     fork-execs below the runtime's radar. *)
+  let host_client_exe =
+    let self = Filename.dirname Sys.executable_name in
+    let p = Filename.concat (Filename.dirname self) "bin/host_client.exe" in
+    if Sys.file_exists p then p
+    else failwith ("b17: host_client binary not found at " ^ p)
+  in
+  let spawn_shard ~socket =
+    let pidfile = socket ^ ".pid" in
+    let cmd =
+      Printf.sprintf "%s serve --socket %s --width 48 --rows %d >/dev/null 2>&1 & echo $! > %s"
+        (Filename.quote host_client_exe)
+        (Filename.quote socket) rows_n (Filename.quote pidfile)
+    in
+    if Sys.command cmd <> 0 then failwith ("b17: cannot spawn shard on " ^ socket);
+    let pid =
+      let ic = open_in pidfile in
+      let p = int_of_string (String.trim (input_line ic)) in
+      close_in ic;
+      Sys.remove pidfile;
+      p
+    in
+    pid
+  in
+  let reap pid =
+    (* the shell that launched the server has exited, so the process
+       is init's child — kill it and let init reap *)
+    try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()
+  in
+  let cores_entry = { id = "b17/cores"; unit_ = "cores"; value = float_of_int ncores } in
+  cores_entry
+  :: List.concat_map
+       (fun (k, conns) ->
+         let rounds = max 2 (4000 / k) in
+         let mk_gen () =
+           let rngs = Array.init k (fun s -> Prng.create (Prng.derive 42 s)) in
+           fun ~slot ~round:_ ->
+             Wire.Ev_tap { x = 2; y = Prng.int rngs.(slot) (rows_n + 3) }
+         in
+         (* the trace is a pure function of (fleet, rounds) — one shadow
+            replay serves every topology x window cell *)
+         let shadow =
+           let reg = H.Registry.create ~config:cfg core in
+           (match H.Registry.spawn_many reg k with
+           | Ok _ -> ()
+           | Error e -> failwith (Live_core.Machine.error_to_string e));
+           let sched = H.Scheduler.create ~batch:8 reg in
+           let gen = mk_gen () in
+           for round = 0 to rounds - 1 do
+             for s = 0 to k - 1 do
+               (match gen ~slot:s ~round with
+               | Wire.Ev_tap { x; y } ->
+                   ignore (H.Registry.offer reg s (H.Registry.Tap { x; y }))
+               | Wire.Ev_back -> ignore (H.Registry.offer reg s H.Registry.Back));
+             done;
+             match H.Scheduler.drain sched with
+             | Ok _ -> ()
+             | Error m -> failwith ("b17 shadow: " ^ m)
+           done;
+           H.Registry.digest reg
+         in
+         let eps_tbl : (string * int, float) Hashtbl.t = Hashtbl.create 16 in
+         let run_cfg ~col ~window ~socket ~pump ~digest_of :
+             jentry list =
+           let t0 = Unix.gettimeofday () in
+           let r =
+             match
+               Client.run ~socket ~conns ~sessions:k ~rounds ~gen:(mk_gen ())
+                 ~window
+                 ~barrier:(fun _ -> false)
+                 ~pump ()
+             with
+             | Ok r -> r
+             | Error m -> failwith (Printf.sprintf "b17 %s: %s" col m)
+           in
+           let dt = Unix.gettimeofday () -. t0 in
+           let d = digest_of () in
+           if not (String.equal d shadow) then
+             failwith
+               (Printf.sprintf
+                  "b17 %s window=%d fleet=%d: digest %s <> shadow %s — the \
+                   fast path changed behaviour"
+                  col window k d shadow);
+           let p q = H.Host_metrics.quantile r.Client.latency q in
+           let eps = float_of_int r.Client.events_sent /. dt in
+           Hashtbl.replace eps_tbl (col, window) eps;
+           Printf.printf
+             "  fleet=%5d %-8s window=%2d  %8.0f events/s  e2e p50 %s  p99 \
+              %s  digest ok\n%!"
+             k col window eps
+             (pp_time (p 0.5))
+             (pp_time (p 0.99));
+           [
+             {
+               id =
+                 Printf.sprintf "b17/events-per-sec/%s/window=%02d/fleet=%05d"
+                   col window k;
+               unit_ = "events/s";
+               value = eps;
+             };
+             {
+               id =
+                 Printf.sprintf "b17/e2e-p50-ns/%s/window=%02d/fleet=%05d" col
+                   window k;
+               unit_ = "ns";
+               value = p 0.5;
+             };
+             {
+               id =
+                 Printf.sprintf "b17/e2e-p99-ns/%s/window=%02d/fleet=%05d" col
+                   window k;
+               unit_ = "ns";
+               value = p 0.99;
+             };
+           ]
+         in
+         let tmp = Filename.get_temp_dir_name () in
+         let single_entries =
+           List.concat_map
+             (fun w ->
+               let socket =
+                 Filename.concat tmp
+                   (Printf.sprintf "itsalive-b17-s-%d-%d-%d.sock"
+                      (Unix.getpid ()) k w)
+               in
+               let srv = Server.create ~config:cfg ~batch:8 ~socket core in
+               let entries =
+                 run_cfg ~col:"single" ~window:w ~socket
+                   ~pump:(fun () -> ignore (Server.step ~timeout:0. srv))
+                   ~digest_of:(fun () -> H.Registry.digest (Server.registry srv))
+               in
+               Server.stop srv;
+               entries)
+             windows
+         in
+         let sharded_entries =
+           List.concat_map
+             (fun n ->
+               List.concat_map
+                 (fun w ->
+                   let spath i =
+                     Filename.concat tmp
+                       (Printf.sprintf "itsalive-b17-%d-%d-%d-%d-%d.sock"
+                          (Unix.getpid ()) k n w i)
+                   in
+                   let pids =
+                     Array.init n (fun i -> spawn_shard ~socket:(spath i))
+                   in
+                   Fun.protect ~finally:(fun () -> Array.iter reap pids)
+                   @@ fun () ->
+                   let dpath = spath 9999 in
+                   let dir =
+                     Director.create ~socket:dpath
+                       ~shards:(List.init n spath) ()
+                   in
+                   let col = Printf.sprintf "shards=%d" n in
+                   let entries =
+                     run_cfg ~col ~window:w ~socket:dpath
+                       ~pump:(fun () -> ignore (Director.step ~timeout:0. dir))
+                       ~digest_of:(fun () -> Director.fleet_digest dir)
+                   in
+                   Director.stop dir;
+                   for i = 0 to n - 1 do
+                     try Unix.unlink (spath i) with Unix.Unix_error _ -> ()
+                   done;
+                   entries)
+                 windows)
+             shard_counts
+         in
+         let eps col w = Hashtbl.find eps_tbl (col, w) in
+         let ratios =
+           List.map
+             (fun w ->
+               {
+                 id =
+                   Printf.sprintf "b17/scaleup-shards4-vs-1/window=%02d/fleet=%05d"
+                     w k;
+                 unit_ = "ratio";
+                 value = eps "shards=4" w /. eps "shards=1" w;
+               })
+             windows
+           @ [
+               {
+                 id = Printf.sprintf "b17/pipeline-win8-vs-1/shards=1/fleet=%05d" k;
+                 unit_ = "ratio";
+                 value = eps "shards=1" 8 /. eps "shards=1" 1;
+               };
+             ]
+         in
+         List.iter
+           (fun w ->
+             Printf.printf
+               "  -> fleet=%5d window=%2d: shards=4 is %.2fx shards=1\n" k w
+               (eps "shards=4" w /. eps "shards=1" w))
+           windows;
+         Printf.printf
+           "  -> fleet=%5d shards=1: window=8 is %.2fx window=1\n" k
+           (eps "shards=1" 8 /. eps "shards=1" 1);
+         single_entries @ sharded_entries @ ratios)
+       fleet_conns
+
+(* ------------------------------------------------------------------ *)
+(* B18: wire encode allocation — fresh buffers vs the reused scratch   *)
+(* ------------------------------------------------------------------ *)
+
+(** B18 prices one frame encode, the operation the data plane performs
+    for every delta of every session: [Wire.encode] allocates two
+    fresh buffers and an output string per call, while [encode_into]
+    appends to a caller-owned staging buffer through a reused scratch
+    — the per-connection discipline the server and director use.  The
+    companion [/alloc] entries (emitted for every Bechamel point) are
+    the satellite's confirmation that the scratch path allocates a
+    small constant rather than per-frame garbage. *)
+let b18 () =
+  let module Wire = Live_net.Wire in
+  let frame =
+    Wire.Host
+      (Wire.Delta
+         {
+           session = 7;
+           height = 16;
+           acks = 2;
+           rows = [ (0, "updated row zero"); (9, "updated row nine") ];
+         })
+  in
+  let scratch = Buffer.create 256 in
+  let staging = Buffer.create 4096 in
+  run_experiment "B18: wire_encode — per-frame allocation on the data plane"
+    "Wire.encode allocates fresh buffers per frame; encode_into reuses \
+     a per-connection scratch and appends to the outbound staging \
+     buffer — the /alloc entries confirm the difference."
+    (Test.make_grouped ~name:"b18"
+       [
+         Test.make ~name:"encode"
+           (Staged.stage (fun () -> ignore (Wire.encode frame)));
+         Test.make ~name:"encode-into"
+           (Staged.stage (fun () ->
+                if Buffer.length staging > 1_000_000 then Buffer.clear staging;
+                Wire.encode_into ~scratch staging frame));
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -1573,6 +1874,8 @@ let () =
   let r14 = b14 () in
   let r15 = b15 () in
   let r16 = b16 () in
+  let r17 = b17 () in
+  let r18 = b18 () in
   let alloc_entries =
     List.rev_map
       (fun (name, b) -> { id = name ^ "/alloc"; unit_ = "B/run"; value = b })
@@ -1580,6 +1883,6 @@ let () =
   in
   write_json
     (List.concat_map entries_of_rows
-       [ r1; r2; r3; r4; r5; r6; r7; r8; r9 ]
-    @ r10 @ r11 @ r12 @ r13 @ r14 @ r15 @ r16 @ alloc_entries);
+       [ r1; r2; r3; r4; r5; r6; r7; r8; r9; r18 ]
+    @ r10 @ r11 @ r12 @ r13 @ r14 @ r15 @ r16 @ r17 @ alloc_entries);
   Printf.printf "\nDone. See EXPERIMENTS.md for interpretation.\n"

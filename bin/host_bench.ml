@@ -90,6 +90,19 @@ let usage () =
                       half-time) instead of a fixed --events count
   --conns C           connections the --net client multiplexes the
                       fleet over (default: min(sessions, 16))
+  --window W          per-session in-flight event budget for the --net
+                      or --shards client (default 1 = lockstep).  With
+                      W > 1 the client pipelines up to W rounds of a
+                      session's events before waiting for delta
+                      credits; broadcasts and rebalances still land at
+                      full barriers, so the digest contract is
+                      unchanged
+  --fork              under --shards: fork each shard server as a real
+                      child process running its own select loop, so
+                      shards execute on separate cores.  The director,
+                      the client and the digest cross-check are
+                      unchanged — transport invariance must hold
+                      across process boundaries too
   --detach-every K    under --net: detach one session (rotating) to a
                       client-held snapshot and resume it every K
                       rounds (default 0 = never; the net soak
@@ -134,6 +147,8 @@ let net = ref false
 let conns = ref 0 (* 0 = auto: min (sessions, 16) *)
 let detach_every = ref 0
 let shards = ref 0 (* 0 = no director; N > 0 = directed N-shard fleet *)
+let window = ref 1
+let fork = ref false
 
 let evaluator_name = function
   | Live_core.Machine.Subst -> "subst"
@@ -252,6 +267,12 @@ let parse_args () =
     | "--shards" :: v :: rest ->
         shards := int_of_string v;
         parse rest
+    | "--window" :: v :: rest ->
+        window := int_of_string v;
+        parse rest
+    | "--fork" :: rest ->
+        fork := true;
+        parse rest
     | "--quiet" :: rest ->
         quiet := true;
         parse rest
@@ -305,6 +326,10 @@ let validate_flags () =
     err "--shards broadcasts whole-program versions; drop --edit-size";
   if (not !net) && !shards = 0 && !conns <> 0 then
     err "--conns requires --net or --shards";
+  if !window < 1 then err "--window must be >= 1";
+  if !window > 1 && (not !net) && !shards = 0 then
+    err "--window requires --net or --shards";
+  if !fork && !shards = 0 then err "--fork requires --shards";
   if (not !net) && !detach_every <> 0 then err "--detach-every requires --net";
   if !conns < 0 then err "--conns must be >= 1";
   if !conns > 256 then err "--conns must be <= 256 (select fd budget)";
@@ -894,14 +919,17 @@ let run_net_rounds ~(seed : int) ~(rounds : int) ~(detach_every : int)
       Server.mark_all_dirty srv
     end
   in
-  say "%s: %d sessions over %d connections, %d rounds%s\n" label !sessions
+  say "%s: %d sessions over %d connections, %d rounds%s%s\n" label !sessions
     !conns rounds
+    (if !window > 1 then Printf.sprintf ", window %d" !window else "")
     (if detach_every > 0 then
        Printf.sprintf ", detach/resume every %d rounds" detach_every
      else "");
   let t0 = Unix.gettimeofday () in
   let result =
     Client.run ~socket ~conns:!conns ~sessions:!sessions ~rounds ~gen
+      ~window:!window
+      ~barrier:(fun r -> List.mem r update_rounds)
       ?detach_every:(if detach_every > 0 then Some detach_every else None)
       ~on_round ~pump ~stats:true ()
   in
@@ -1064,10 +1092,35 @@ let run_sharded_rounds ~(seed : int) ~(rounds : int) ~(label : string) :
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "itsalive-shard-%d-%d.sock" (Unix.getpid ()) i)
   in
-  let shard_srvs =
-    Array.init n (fun i ->
-        Server.create ~config:(net_config ()) ~batch:!batch
-          ~socket:(sockpath i) (compile_version 0))
+  (* --fork: each shard is a real child process running its own select
+     loop on its own core — the director connects to the children's
+     sockets exactly as it would to remote hosts ({!Director.create}
+     retries for up to 10 s while the children bind).  Without --fork
+     the shards are in-process servers co-scheduled on this thread via
+     [pump_shards] (a no-op in fork mode: the children schedule
+     themselves). *)
+  let shard_pids, shard_srvs =
+    if !fork then
+      ( Array.init n (fun i ->
+            (* resolve the path before forking: [sockpath] embeds the
+               calling process's pid, and the director will connect to
+               the parent-pid name *)
+            let path = sockpath i in
+            match Unix.fork () with
+            | 0 ->
+                let srv =
+                  Server.create ~config:(net_config ()) ~batch:!batch
+                    ~socket:path (compile_version 0)
+                in
+                Server.run ~until:(fun () -> false) srv;
+                Stdlib.exit 0
+            | pid -> pid),
+        [||] )
+    else
+      ( [||],
+        Array.init n (fun i ->
+            Server.create ~config:(net_config ()) ~batch:!batch
+              ~socket:(sockpath i) (compile_version 0)) )
   in
   let pump_shards () =
     Array.iter (fun s -> ignore (Server.step ~timeout:0. s)) shard_srvs
@@ -1160,11 +1213,16 @@ let run_sharded_rounds ~(seed : int) ~(rounds : int) ~(label : string) :
           fail "%s: rebalance refused (%d): %s" label code msg
       | _ -> fail "%s: unexpected reply to Rebalance" label
   in
-  say "%s: %d sessions over %d shards (%d connections), %d rounds\n" label
-    !sessions n !conns rounds;
+  say "%s: %d sessions over %d shards%s (%d connections), %d rounds%s\n" label
+    !sessions n
+    (if !fork then " (forked processes)" else "")
+    !conns rounds
+    (if !window > 1 then Printf.sprintf ", window %d" !window else "");
   let t0 = Unix.gettimeofday () in
   let result =
     Client.run ~socket:dpath ~conns:!conns ~sessions:!sessions ~rounds ~gen
+      ~window:!window
+      ~barrier:(fun r -> List.mem r update_rounds || r = rebalance_round)
       ~on_round ~pump ~stats:true ()
   in
   let dt = Unix.gettimeofday () -. t0 in
@@ -1240,15 +1298,27 @@ let run_sharded_rounds ~(seed : int) ~(rounds : int) ~(label : string) :
        sharding changed behaviour"
       label d sd;
   let merged_snapshot () =
-    Array.to_list shard_srvs
-    |> List.map (fun s ->
-           match
-             H.Host_metrics.import
-               (H.Registry.export_metrics (Server.registry s))
-           with
-           | Ok e -> e
-           | Error m -> failwith ("shard metrics import: " ^ m))
-    |> H.Host_metrics.merge_exported
+    if !fork then
+      (* the children's registries live in other processes; ask the
+         director for the fleet-merged export over the wire *)
+      match admin_rpc Wire.Stats_data with
+      | Wire.Metrics { text } -> (
+          match H.Host_metrics.import text with
+          | Ok e -> H.Host_metrics.merge_exported [ e ]
+          | Error m -> failwith ("director metrics import: " ^ m))
+      | Wire.Error { code; msg } ->
+          failwith (Printf.sprintf "director stats: error %d: %s" code msg)
+      | _ -> failwith "unexpected reply to Stats_data"
+    else
+      Array.to_list shard_srvs
+      |> List.map (fun s ->
+             match
+               H.Host_metrics.import
+                 (H.Registry.export_metrics (Server.registry s))
+             with
+             | Ok e -> e
+             | Error m -> failwith ("shard metrics import: " ^ m))
+      |> H.Host_metrics.merge_exported
   in
   check_accounting (merged_snapshot ()) (Printf.sprintf "%s: end of run" label);
   ( sreg,
@@ -1263,7 +1333,16 @@ let run_sharded_rounds ~(seed : int) ~(rounds : int) ~(label : string) :
         (fun () ->
           (try Unix.close afd with Unix.Unix_error _ -> ());
           Director.stop dir;
-          Array.iter Server.stop shard_srvs);
+          Array.iter Server.stop shard_srvs;
+          Array.iter
+            (fun pid ->
+              (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] pid))
+            shard_pids;
+          if !fork then
+            for i = 0 to n - 1 do
+              try Unix.unlink (sockpath i) with Unix.Unix_error _ -> ()
+            done);
     } )
 
 let run_sharded () : H.Registry.t * driver =

@@ -29,13 +29,16 @@ let usage () =
         [--queue-policy drop-oldest|reject] [--batch B]
       run a networked host until SIGINT/SIGTERM
   load --socket PATH [--sessions K] [--conns C] [--rounds R]
-       [--seed N] [--detach-every K] [--width W] [--rows N]
+       [--seed N] [--window W] [--detach-every K] [--width W] [--rows N]
        [--update-every R] [--rebalance-every R] [--count K] [--verify]
-      drive seeded lockstep load against a running host; --update-every
-      broadcasts a fresh program version every R rounds, --rebalance-every
-      asks a director to migrate --count sessions every R rounds, and
-      --verify replays the trace in-process afterwards and cross-checks
-      the fleet digest over the wire
+      drive seeded load against a running host; --window W pipelines up
+      to W rounds of each session's events before waiting for delta
+      credits (default 1 = lockstep), --update-every broadcasts a fresh
+      program version every R rounds, --rebalance-every asks a director
+      to migrate --count sessions every R rounds (both land at full
+      barriers whatever the window), and --verify replays the trace
+      in-process afterwards and cross-checks the fleet digest over the
+      wire
   stats --socket PATH
       print the host's metrics dump (aggregated across shards when the
       socket is a director)
@@ -66,6 +69,7 @@ let count = ref 1
 let update_every = ref 0
 let rebalance_every = ref 0
 let verify = ref false
+let window = ref 1
 
 let int_arg name v =
   match int_of_string_opt v with
@@ -118,6 +122,7 @@ let rec parse = function
       rebalance_every := int_arg "--rebalance-every" v;
       parse rest
   | "--verify" :: rest -> verify := true; parse rest
+  | "--window" :: v :: rest -> window := int_arg "--window" v; parse rest
   | a :: _ -> die "host_client: unknown argument %S" a
 
 let require_socket () = if !socket = "" then die "host_client: --socket is required"
@@ -290,6 +295,7 @@ let load () =
   require_socket ();
   if !conns = 0 then conns := min !sessions 16;
   if !conns > !sessions then conns := !sessions;
+  if !window < 1 then die "host_client: --window must be >= 1";
   if !verify && !detach_every > 0 then
     die
       "host_client: --verify needs stable session ids; drop --detach-every";
@@ -323,10 +329,16 @@ let load () =
           die "host_client: rebalance refused (%d): %s" code msg
       | _ -> die "host_client: unexpected reply to Rebalance"
   in
+  (* the rounds on_round acts at must be full barriers: broadcasts and
+     rebalances land on a quiescent fleet whatever the window *)
+  let barrier r =
+    (!update_every > 0 && (r + 1) mod !update_every = 0)
+    || (!rebalance_every > 0 && (r + 1) mod !rebalance_every = 0)
+  in
   let t0 = Unix.gettimeofday () in
   match
     Live_net.Client.run ~socket:!socket ~conns:!conns ~sessions:!sessions
-      ~rounds:!rounds ~gen
+      ~rounds:!rounds ~gen ~window:!window ~barrier
       ?detach_every:(if !detach_every > 0 then Some !detach_every else None)
       ~on_round ~stats:true ()
   with
@@ -338,8 +350,9 @@ let load () =
       let p q =
         Live_host.Host_metrics.quantile r.Live_net.Client.latency q /. 1e6
       in
-      Printf.printf "load: %d sessions x %d rounds over %d connections\n"
-        !sessions r.Live_net.Client.rounds !conns;
+      Printf.printf "load: %d sessions x %d rounds over %d connections%s\n"
+        !sessions r.Live_net.Client.rounds !conns
+        (if !window > 1 then Printf.sprintf " (window %d)" !window else "");
       Printf.printf "load: %d events in %.2f s (%.0f events/s)\n"
         r.Live_net.Client.events_sent dt
         (float_of_int r.Live_net.Client.events_sent /. dt);

@@ -5,11 +5,17 @@
 (* Histograms                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(** Eight buckets per decade of nanoseconds across 12 decades (1 ns to
-    ~1000 s) — constant-time recording, and a quantile is read off the
-    cumulative bucket walk.  Exact min/max are kept so the clamped
-    quantiles never overshoot the observed range. *)
-let n_buckets = 96
+(** Thirty-two buckets per decade of nanoseconds across 13 decades
+    (1 ns to ~10000 s) — constant-time recording, and a quantile is
+    read off the cumulative bucket walk.  Exact min/max are kept so the
+    clamped quantiles never overshoot the observed range.  The
+    per-decade resolution matters: at 8/decade a bucket spans 1.33×,
+    which collapsed p50 and p99 to the same value whenever a fleet's
+    latency spread fit one bucket (the B15 saturation bug); at
+    32/decade a bucket spans 1.075×. *)
+let buckets_per_decade = 32
+
+let n_buckets = 13 * buckets_per_decade
 
 type histogram = {
   mutable count : int;
@@ -30,7 +36,9 @@ let histogram () =
 
 let bucket_of (v : float) : int =
   if v <= 1. then 0
-  else min (n_buckets - 1) (int_of_float (8. *. log10 v))
+  else
+    min (n_buckets - 1)
+      (int_of_float (float_of_int buckets_per_decade *. log10 v))
 
 let record (h : histogram) (v : float) =
   let v = if v < 0. then 0. else v in
@@ -67,7 +75,8 @@ let quantile (h : histogram) (q : float) : float =
         let cum = cum + h.buckets.(i) in
         if cum >= rank then
           (* the bucket's geometric centre *)
-          Float.pow 10. ((float_of_int i +. 0.5) /. 8.)
+          Float.pow 10.
+            ((float_of_int i +. 0.5) /. float_of_int buckets_per_decade)
         else walk (i + 1) cum
     in
     Float.max h.vmin (Float.min h.vmax (walk 0 0))
@@ -319,7 +328,7 @@ let export (m : t) ~(sessions : int) ~(pending : int)
     ~(cache : (int * int) option) : string =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
-  line "metrics 1";
+  line "metrics 2";
   line "sessions %d" sessions;
   line "pending %d" pending;
   (match cache with
@@ -370,7 +379,7 @@ let import (text : string) : (exported, string) result =
     String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
   in
   match lines with
-  | "metrics 1" :: rest -> (
+  | "metrics 2" :: rest -> (
       let m = create () in
       let sessions = ref 0 and pending = ref 0 in
       let cache = ref None in

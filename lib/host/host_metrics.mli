@@ -15,7 +15,8 @@
 (** {1 Latency histograms} *)
 
 type histogram
-(** Log-scale histogram over nanoseconds (8 buckets per decade): O(1)
+(** Log-scale histogram over nanoseconds (32 buckets per decade,
+    13 decades — 1 ns to ~10^4 s): O(1)
     recording, quantiles approximated by the bucket's geometric centre
     (good to ~15%, plenty for p50/p99 trend lines). *)
 

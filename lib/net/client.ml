@@ -44,11 +44,15 @@ type report = {
 type st = {
   conns : cstate array;
   pump : unit -> unit;
+  window : int;  (** max in-flight events per slot *)
   slot_conn : int array;  (** slot -> connection index *)
   slot_id : int array;  (** slot -> current server-side session id *)
   slot_frame : string array array;  (** slot -> reconstructed rows *)
-  slot_sent_at : float array;  (** send timestamp of the in-flight event *)
-  slot_awaiting : bool array;
+  slot_sent_at : float Queue.t array;
+      (** send timestamps of the slot's in-flight events, oldest first —
+          credits come back in send order (the server consumes a
+          session's events FIFO), so each ack pops the head *)
+  slot_inflight : int array;
   latency : Host_metrics.histogram;
   mutable events_sent : int;
   mutable rejected : int;
@@ -118,20 +122,28 @@ let slot_of_session (t : st) (ci : int) (session : int) : int =
   | Some slot -> slot
   | None -> fail "server spoke of unknown session %d" session
 
-let apply_delta_frame (t : st) (ci : int) ~session ~height ~rows : unit =
+(* Return [n] credits to the slot: pop that many send timestamps
+   (oldest first) and record each latency.  A server batching several
+   events into one delta acks them all at once; a broadcast repaint
+   acks none. *)
+let return_credits (t : st) (slot : int) (n : int) : unit =
+  let q = t.slot_sent_at.(slot) in
+  for _ = 1 to min n (Queue.length q) do
+    t.slot_inflight.(slot) <- t.slot_inflight.(slot) - 1;
+    Host_metrics.record t.latency (now_ns () -. Queue.pop q)
+  done
+
+let apply_delta_frame (t : st) (ci : int) ~session ~height ~acks ~rows : unit =
   let slot = slot_of_session t ci session in
   t.delta_rows <- t.delta_rows + List.length rows;
   t.full_rows <- t.full_rows + height;
   t.slot_frame.(slot) <- Wire.apply_delta t.slot_frame.(slot) ~height ~rows;
-  if t.slot_awaiting.(slot) then begin
-    t.slot_awaiting.(slot) <- false;
-    Host_metrics.record t.latency (now_ns () -. t.slot_sent_at.(slot))
-  end
+  return_credits t slot acks
 
 let handle_host_frame (t : st) (ci : int) (f : Wire.host_frame) : unit =
   match f with
-  | Wire.Delta { session; height; rows } ->
-      apply_delta_frame t ci ~session ~height ~rows
+  | Wire.Delta { session; height; acks; rows } ->
+      apply_delta_frame t ci ~session ~height ~acks ~rows
   | Wire.Attach { session; width = _; frame } -> (
       match Queue.take_opt t.conns.(ci).attach_q with
       | Some slot ->
@@ -151,11 +163,11 @@ let handle_host_frame (t : st) (ci : int) (f : Wire.host_frame) : unit =
       match int_of_string_opt (List.hd (String.split_on_char ' ' msg)) with
       | Some session ->
           let slot = slot_of_session t ci session in
-          if not t.slot_awaiting.(slot) then
+          if t.slot_inflight.(slot) = 0 then
             fail "stray backpressure rejection for session %d" session;
-          t.slot_awaiting.(slot) <- false;
+          (* the rejection answers exactly one offered event *)
           t.rejected <- t.rejected + 1;
-          Host_metrics.record t.latency (now_ns () -. t.slot_sent_at.(slot))
+          return_credits t slot 1
       | None -> fail "malformed backpressure rejection %S" msg)
   | Wire.Error { code; msg } -> fail "host error %d: %s" code msg
   | Wire.Metrics { text } -> t.metrics_cell <- Some text
@@ -224,11 +236,12 @@ let poll_until (t : st) ~(what : string) (done_ : unit -> bool) : unit =
 (* The run                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run ~socket ~conns ~sessions ~rounds ~gen ?detach_every
-    ?(on_round = fun _ -> ()) ?(pump = fun () -> ()) ?(stats = false) () :
-    (report, string) result =
+let run ~socket ~conns ~sessions ~rounds ~gen ?(window = 1)
+    ?(barrier = fun _ -> true) ?detach_every ?(on_round = fun _ -> ())
+    ?(pump = fun () -> ()) ?(stats = false) () : (report, string) result =
   if conns < 1 then Error "conns must be >= 1"
   else if sessions < conns then Error "sessions must be >= conns"
+  else if window < 1 then Error "window must be >= 1"
   else begin
     (* a host hanging up mid-write must surface as EPIPE (→ [Error]),
        not kill the client process *)
@@ -247,11 +260,12 @@ let run ~socket ~conns ~sessions ~rounds ~gen ?detach_every
                 attach_q = Queue.create ();
               });
         pump;
+        window;
         slot_conn = Array.make sessions 0;
         slot_id = Array.make sessions (-1);
         slot_frame = Array.make sessions [||];
-        slot_sent_at = Array.make sessions 0.;
-        slot_awaiting = Array.make sessions false;
+        slot_sent_at = Array.init sessions (fun _ -> Queue.create ());
+        slot_inflight = Array.make sessions 0;
         latency = Host_metrics.histogram ();
         events_sent = 0;
         rejected = 0;
@@ -298,37 +312,56 @@ let run ~socket ~conns ~sessions ~rounds ~gen ?detach_every
           done;
           poll_until t ~what:"Attach" (fun () -> Queue.is_empty c.attach_q))
         t.conns;
-      (* Rounds. *)
+      (* Rounds.  With [window] = 1 every round is a full barrier —
+         the original lockstep.  With a wider window, each slot keeps
+         up to [window] events in flight and only the declared barrier
+         rounds (plus detach rounds and the final round) drain the
+         pipe before [on_round] runs at a quiescent fleet. *)
       for round = 0 to rounds - 1 do
+        let detach_round =
+          match detach_every with
+          | Some k when k > 0 && (round + 1) mod k = 0 -> true
+          | _ -> false
+        in
+        let is_barrier =
+          t.window = 1 || detach_round || round = rounds - 1 || barrier round
+        in
         for s = 0 to sessions - 1 do
           let ev = gen ~slot:s ~round in
-          t.slot_awaiting.(s) <- true;
-          t.slot_sent_at.(s) <- now_ns ();
+          if t.slot_inflight.(s) >= t.window then
+            poll_until t ~what:"window credit" (fun () ->
+                t.slot_inflight.(s) < t.window);
+          Queue.add (now_ns ()) t.slot_sent_at.(s);
+          t.slot_inflight.(s) <- t.slot_inflight.(s) + 1;
           send_all t
             t.conns.(t.slot_conn.(s))
             (Wire.Client (Wire.Event { session = t.slot_id.(s); ev }));
           t.events_sent <- t.events_sent + 1
         done;
-        poll_until t ~what:"round answers" (fun () ->
-            Array.for_all not t.slot_awaiting);
-        (match detach_every with
-        | Some k when k > 0 && (round + 1) mod k = 0 ->
-            let s = round / k mod sessions in
-            let ci = t.slot_conn.(s) in
-            let cell = ref None in
-            t.expect_detached <- Some (ci, s, cell);
-            send_all t t.conns.(ci)
-              (Wire.Client (Wire.Detach { session = t.slot_id.(s) }));
-            poll_until t ~what:"Detached" (fun () -> !cell <> None);
-            t.detaches <- t.detaches + 1;
-            let snapshot = Option.get !cell in
-            Queue.add s t.conns.(ci).attach_q;
-            send_all t t.conns.(ci) (Wire.Client (Wire.Resume { snapshot }));
-            poll_until t ~what:"Attach after Resume" (fun () ->
-                Queue.is_empty t.conns.(ci).attach_q);
-            t.resumes <- t.resumes + 1
-        | _ -> ());
-        on_round round
+        if is_barrier then begin
+          poll_until t ~what:"round answers" (fun () ->
+              Array.for_all (fun n -> n = 0) t.slot_inflight);
+          (if detach_round then
+             match detach_every with
+             | Some k ->
+                 let s = round / k mod sessions in
+                 let ci = t.slot_conn.(s) in
+                 let cell = ref None in
+                 t.expect_detached <- Some (ci, s, cell);
+                 send_all t t.conns.(ci)
+                   (Wire.Client (Wire.Detach { session = t.slot_id.(s) }));
+                 poll_until t ~what:"Detached" (fun () -> !cell <> None);
+                 t.detaches <- t.detaches + 1;
+                 let snapshot = Option.get !cell in
+                 Queue.add s t.conns.(ci).attach_q;
+                 send_all t t.conns.(ci)
+                   (Wire.Client (Wire.Resume { snapshot }));
+                 poll_until t ~what:"Attach after Resume" (fun () ->
+                     Queue.is_empty t.conns.(ci).attach_q);
+                 t.resumes <- t.resumes + 1
+             | None -> ());
+          on_round round
+        end
       done;
       (* Settle: collect any unsolicited broadcast deltas still in
          flight. *)

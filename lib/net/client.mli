@@ -5,11 +5,16 @@
     The client opens [conns] connections and distributes [sessions]
     slots over them (contiguous blocks, Hellos sent in connection
     order, so server-side spawn order equals slot order).  Traffic is
-    {e closed-loop}: each round, every slot sends exactly one
-    generated event and the round ends only when every slot's answer
-    arrived (a [Delta] — possibly empty, the byte-identical-frame
-    acknowledgement — or a backpressure [Error] code 2).  One event in
-    flight per session means the per-session event sequence is exactly
+    {e closed-loop} with a per-slot credit window: each round, every
+    slot sends exactly one generated event, but a slot may have up to
+    [window] rounds' events in flight before it must wait for credits.
+    Credits come back in [Delta] frames' [acks] field (a server
+    batching several of a session's events into one delta acks them
+    all at once) or as a backpressure [Error] code 2 (one credit).
+    With [window] = 1 — the default — every round is a full barrier
+    and the client is the original one-event-in-flight lockstep.
+    Whatever the window, a session's events leave in round order on
+    one connection, so the per-session event sequence is exactly
     [gen slot 0 .. gen slot (rounds-1)] whatever the socket
     interleaving — which is what lets the caller replay the same
     generator against a direct in-process fleet and demand digest
@@ -50,16 +55,21 @@ val run :
   sessions:int ->
   rounds:int ->
   gen:(slot:int -> round:int -> Wire.event) ->
+  ?window:int ->
+  ?barrier:(int -> bool) ->
   ?detach_every:int ->
   ?on_round:(int -> unit) ->
   ?pump:(unit -> unit) ->
   ?stats:bool ->
   unit ->
   (report, string) result
-(** Drive the load.  [on_round r] runs after round [r] fully settled
-    (every slot answered) — the quiescent point the caller injects
-    fleet-wide broadcasts at.  [pump] is called inside every poll
-    iteration; an in-process harness passes [fun () -> ignore
+(** Drive the load.  [window] (default 1) is the per-slot in-flight
+    event budget; [barrier r] (default: every round) declares the
+    rounds that must fully drain — with a wide window, [on_round] runs
+    {e only} after barrier rounds (detach rounds and the final round
+    barrier implicitly), at a quiescent fleet: the point the caller
+    injects fleet-wide broadcasts at.  [pump] is called inside every
+    poll iteration; an in-process harness passes [fun () -> ignore
     (Server.step ~timeout:0. server)] to co-schedule the server on
     this same thread (real sockets, no threads).  Total: protocol
     errors, decode corruption and unexpected disconnects return

@@ -1,10 +1,24 @@
 (** The shard director (see the interface).  Single-threaded and
-    [select]-based like {!Server}: client connections are nonblocking
-    and queue-buffered; shard connections are the same, except that a
-    control frame ([Detach]/[Resume]/[Prepare]/...) turns the shard
-    conversation briefly synchronous — the director writes the request
-    through and pumps frames off the shard until the reply arrives,
-    routing any unrelated [Delta] traffic to its owner on the way. *)
+    [select]-based like {!Server}: client connections and shard
+    connections are nonblocking, with staged egress — every frame bound
+    for a peer during one select round lands in that peer's staging
+    buffer and flushes as a single write.  A control frame
+    ([Detach]/[Resume]/[Prepare]/...) turns the shard conversation
+    briefly synchronous — the director writes the request through and
+    pumps frames off the shard until the reply arrives, routing any
+    unrelated [Delta] traffic to its owner on the way.
+
+    The data plane is copy-free: a shard's [Delta] and a client's
+    [Event] are relayed as raw bytes with only the session-id field
+    rewritten ({!Wire.relay_rewrite}), never decoded.  Shards are
+    director-trusted (an envelope violation is still {!Fatal}, but a
+    delta's payload is forwarded unexamined); client events are {e not}
+    trusted — the fast path takes only byte-validated event frames
+    ({!Wire.event_payload_ok}) and everything else falls back to the
+    full decoder, so malformed client bytes can never reach a shard
+    stream.  Fleet-wide sweeps ([Observe]/[Stats_data]) broadcast the
+    request to every shard before gathering replies: one round-trip
+    wall-clock, not one per shard. *)
 
 module Host_metrics = Live_host.Host_metrics
 module Prng = Live_core.Prng
@@ -23,18 +37,30 @@ type shard = {
   sfd : Unix.file_descr;
   s_in : Buffer.t;
   mutable s_off : int;  (** decode offset into [s_in] *)
-  s_out : string Queue.t;
+  mutable s_out_pending : string;
+      (** the write in flight; bytes before [s_out_off] are sent *)
   mutable s_out_off : int;
+  s_out_staging : Buffer.t;  (** frames staged since the last promote *)
+  s_scratch : Buffer.t;  (** body scratch for {!Wire.encode_into} *)
   locals : (int, int) Hashtbl.t;  (** shard-local id -> global id *)
 }
 
 type conn = {
   fd : Unix.file_descr;
   inbuf : Buffer.t;
-  outq : string Queue.t;
+  mutable out_pending : string;
   mutable out_off : int;
+  out_staging : Buffer.t;
+  scratch : Buffer.t;
   mutable closing : bool;
 }
+
+let shard_has_output (sh : shard) : bool =
+  String.length sh.s_out_pending > sh.s_out_off
+  || Buffer.length sh.s_out_staging > 0
+
+let conn_has_output (c : conn) : bool =
+  String.length c.out_pending > c.out_off || Buffer.length c.out_staging > 0
 
 type placement = {
   mutable p_shard : int;  (** index into [shards] *)
@@ -122,8 +148,10 @@ let connect_shard ~(timeout : float) (sx : int) (endpoint : string) : shard =
     sfd = attempt ();
     s_in = Buffer.create 4096;
     s_off = 0;
-    s_out = Queue.create ();
+    s_out_pending = "";
     s_out_off = 0;
+    s_out_staging = Buffer.create 4096;
+    s_scratch = Buffer.create 256;
     locals = Hashtbl.create 64;
   }
 
@@ -172,7 +200,7 @@ let create ?(pump = fun () -> ()) ?(connect_timeout = 10.) ~socket
 (* ------------------------------------------------------------------ *)
 
 let send_client (t : t) (c : conn) (f : Wire.frame) : unit =
-  Queue.add (Wire.encode f) c.outq;
+  Wire.encode_into ~scratch:c.scratch c.out_staging f;
   t.d_frames_out <- t.d_frames_out + 1
 
 let error t c code msg = send_client t c (Wire.Host (Wire.Error { code; msg }))
@@ -197,41 +225,43 @@ let drop_conn (t : t) (c : conn) : unit =
 (* ------------------------------------------------------------------ *)
 
 let send_shard (t : t) (sh : shard) (f : Wire.client_frame) : unit =
-  Queue.add (Wire.encode (Wire.Client f)) sh.s_out;
+  Wire.encode_into ~scratch:sh.s_scratch sh.s_out_staging (Wire.Client f);
   t.d_frames_out <- t.d_frames_out + 1
 
-(* Write as much of the shard out-queue as the socket takes right now. *)
+(* Write as much of the staged shard egress as the socket takes right
+   now: when the in-flight write completes, the whole staging buffer
+   (every frame relayed this round) becomes the next write. *)
 let flush_shard_once (sh : shard) : unit =
   let continue = ref true in
   while !continue do
-    match Queue.peek_opt sh.s_out with
-    | None -> continue := false
-    | Some s -> (
-        let remaining = String.length s - sh.s_out_off in
-        match Unix.write_substring sh.sfd s sh.s_out_off remaining with
-        | n ->
-            if n = remaining then begin
-              ignore (Queue.pop sh.s_out);
-              sh.s_out_off <- 0
-            end
-            else begin
-              sh.s_out_off <- sh.s_out_off + n;
-              continue := false
-            end
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-          ->
-            continue := false
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | exception Unix.Unix_error (e, _, _) ->
-            fatal "shard %s: write: %s" sh.endpoint (Unix.error_message e))
+    let remaining = String.length sh.s_out_pending - sh.s_out_off in
+    if remaining = 0 then
+      if Buffer.length sh.s_out_staging = 0 then continue := false
+      else begin
+        sh.s_out_pending <- Buffer.contents sh.s_out_staging;
+        Buffer.clear sh.s_out_staging;
+        sh.s_out_off <- 0
+      end
+    else
+      match
+        Unix.write_substring sh.sfd sh.s_out_pending sh.s_out_off remaining
+      with
+      | n ->
+          sh.s_out_off <- sh.s_out_off + n;
+          if n < remaining then continue := false
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (e, _, _) ->
+          fatal "shard %s: write: %s" sh.endpoint (Unix.error_message e)
   done
 
-(* Block (pumping the harness) until the shard out-queue is fully on
-   the wire — the request half of a synchronous control exchange. *)
+(* Block (pumping the harness) until the shard egress is fully on the
+   wire — the request half of a synchronous control exchange. *)
 let flush_shard (t : t) (sh : shard) : unit =
-  while not (Queue.is_empty sh.s_out) do
+  while shard_has_output sh do
     flush_shard_once sh;
-    if not (Queue.is_empty sh.s_out) then begin
+    if shard_has_output sh then begin
       t.pump ();
       match Unix.select [] [ sh.sfd ] [] 0.01 with
       | _ -> ()
@@ -256,29 +286,6 @@ let read_shard (sh : shard) : unit =
   in
   go ()
 
-(* Decode one complete frame out of the shard buffer, if present. *)
-let next_shard_frame (sh : shard) : Wire.host_frame option =
-  let data = Buffer.contents sh.s_in in
-  match Wire.decode ~off:sh.s_off data with
-  | Wire.Frame (Wire.Host f, consumed) ->
-      sh.s_off <- sh.s_off + consumed;
-      if sh.s_off = String.length data then begin
-        Buffer.clear sh.s_in;
-        sh.s_off <- 0
-      end;
-      Some f
-  | Wire.Frame (Wire.Client _, _) ->
-      fatal "shard %s: client-tagged frame" sh.endpoint
-  | Wire.Need_more ->
-      if sh.s_off > 0 then begin
-        let rest = String.sub data sh.s_off (String.length data - sh.s_off) in
-        Buffer.clear sh.s_in;
-        Buffer.add_string sh.s_in rest;
-        sh.s_off <- 0
-      end;
-      None
-  | Wire.Corrupt m -> fatal "shard %s: corrupt stream: %s" sh.endpoint m
-
 let leading_int (msg : string) : int option =
   int_of_string_opt (List.hd (String.split_on_char ' ' msg))
 
@@ -290,19 +297,35 @@ let owner_conn (t : t) (g : int) : conn option =
       | _ -> None)
   | _ -> None
 
-(* An asynchronous shard frame (one that is not the reply a control
-   exchange is waiting for): session traffic, translated local ->
-   global and routed to the owning client. *)
+(* The hot path: a shard [Delta] located by {!Wire.peek} is relayed to
+   its owner as raw bytes, only the session-id field rewritten local →
+   global — no decode, no re-encode, one append into the owner's
+   staging buffer. *)
+let route_raw_delta (t : t) (sh : shard) (data : string) (r : Wire.raw) : unit
+    =
+  match Hashtbl.find_opt sh.locals r.Wire.r_session with
+  | None -> () (* session migrated away mid-flight; stale delta *)
+  | Some g -> (
+      match owner_conn t g with
+      | Some c ->
+          Wire.relay_rewrite c.out_staging data r ~session:g;
+          t.d_frames_out <- t.d_frames_out + 1
+      | None -> ())
+
+(* An asynchronous decoded shard frame (one that is not the reply a
+   control exchange is waiting for): session traffic, translated
+   local -> global and routed to the owning client.  [Delta]s normally
+   take {!route_raw_delta} instead and only land here as a fallback. *)
 let route_shard_frame (t : t) (sh : shard) (f : Wire.host_frame) : unit =
   match f with
-  | Wire.Delta { session = local; height; rows } -> (
+  | Wire.Delta { session = local; height; acks; rows } -> (
       match Hashtbl.find_opt sh.locals local with
       | None -> () (* session migrated away mid-flight; stale delta *)
       | Some g -> (
           match owner_conn t g with
           | Some c ->
               send_client t c
-                (Wire.Host (Wire.Delta { session = g; height; rows }))
+                (Wire.Host (Wire.Delta { session = g; height; acks; rows }))
           | None -> ()))
   | Wire.Error { code = 2; msg } -> (
       (* backpressure rejection: the message leads with the shard-local
@@ -327,51 +350,135 @@ let route_shard_frame (t : t) (sh : shard) (f : Wire.host_frame) : unit =
       fatal "shard %s: unexpected frame %s" sh.endpoint
         (Fmt.to_to_string Wire.pp (Wire.Host f))
 
+(* Process every complete frame currently buffered from the shard in
+   one pass over the buffer ([Buffer.contents] once per call, not once
+   per frame).  [Delta]s take the raw fast path; anything else is
+   decoded and — when [stop] is given — offered to it first: a [Some]
+   verdict ends the pass (the reply of a control exchange), a [None]
+   routes the frame as ordinary traffic. *)
+let drain_shard_frames (t : t) (sh : shard) ?stop () =
+  let data = Buffer.contents sh.s_in in
+  let len = String.length data in
+  let result = ref None in
+  let continue = ref true in
+  while !continue && !result = None && sh.s_off < len do
+    match Wire.peek ~off:sh.s_off data with
+    | Wire.Raw_need_more -> continue := false
+    | Wire.Raw_corrupt m -> fatal "shard %s: corrupt stream: %s" sh.endpoint m
+    | Wire.Raw r when r.Wire.r_tag = 0x82 ->
+        route_raw_delta t sh data r;
+        sh.s_off <- sh.s_off + r.Wire.r_total
+    | Wire.Raw _ -> (
+        match Wire.decode ~off:sh.s_off data with
+        | Wire.Frame (Wire.Host f, consumed) -> (
+            sh.s_off <- sh.s_off + consumed;
+            match stop with
+            | Some matcher -> (
+                match matcher f with
+                | Some v -> result := Some v
+                | None -> route_shard_frame t sh f)
+            | None -> route_shard_frame t sh f)
+        | Wire.Frame (Wire.Client _, _) ->
+            fatal "shard %s: client-tagged frame" sh.endpoint
+        | Wire.Need_more -> continue := false
+        | Wire.Corrupt m -> fatal "shard %s: corrupt stream: %s" sh.endpoint m)
+  done;
+  if sh.s_off > 0 then begin
+    if sh.s_off = len then Buffer.clear sh.s_in
+    else begin
+      let rest = String.sub data sh.s_off (len - sh.s_off) in
+      Buffer.clear sh.s_in;
+      Buffer.add_string sh.s_in rest
+    end;
+    sh.s_off <- 0
+  end;
+  !result
+
 (* Synchronous control exchange: send [req], then pump frames off this
    shard — routing unrelated traffic — until [matcher] recognises the
-   reply.  The matcher must return [None] for [Delta] and
-   backpressure [Error]s (they can interleave) and [Some] for its
-   reply, including error replies. *)
+   reply.  The matcher must return [None] for backpressure [Error]s
+   (they can interleave) and [Some] for its reply, including error
+   replies; [Delta]s never reach it (raw fast path). *)
 let rpc (t : t) (sh : shard) (req : Wire.client_frame)
     (matcher : Wire.host_frame -> 'a option) : 'a =
   send_shard t sh req;
   flush_shard t sh;
-  let result = ref None in
+  let result = ref (drain_shard_frames t sh ~stop:matcher ()) in
   let deadline = Unix.gettimeofday () +. 60. in
   while !result = None do
-    (match next_shard_frame sh with
-    | Some f -> (
-        match matcher f with
-        | Some r -> result := Some r
-        | None -> route_shard_frame t sh f)
-    | None ->
-        if Unix.gettimeofday () > deadline then
-          fatal "shard %s: no reply within 60s" sh.endpoint;
-        t.pump ();
-        (match Unix.select [ sh.sfd ] [] [] 0.001 with
-        | _ -> ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-        read_shard sh)
+    if Unix.gettimeofday () > deadline then
+      fatal "shard %s: no reply within 60s" sh.endpoint;
+    t.pump ();
+    (match Unix.select [ sh.sfd ] [] [] 0.001 with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    read_shard sh;
+    result := drain_shard_frames t sh ~stop:matcher ()
   done;
   Option.get !result
+
+(* Fleet-wide sweep: the same request to {e every} shard up front, then
+   gather the replies as they land — the sweep costs one round-trip
+   wall-clock instead of one per shard, which is what makes fleet
+   observation scale when the shards are real processes answering in
+   parallel. *)
+let broadcast_rpc (t : t) (req : Wire.client_frame)
+    (matcher : shard -> Wire.host_frame -> 'a option) : 'a array =
+  Array.iter
+    (fun sh ->
+      send_shard t sh req;
+      flush_shard t sh)
+    t.shards;
+  let results = Array.map (fun _ -> None) t.shards in
+  let missing () = Array.exists Option.is_none results in
+  let gather () =
+    Array.iteri
+      (fun i sh ->
+        if results.(i) = None then
+          match drain_shard_frames t sh ~stop:(matcher sh) () with
+          | Some r -> results.(i) <- Some r
+          | None -> ())
+      t.shards
+  in
+  gather ();
+  let deadline = Unix.gettimeofday () +. 60. in
+  while missing () do
+    if Unix.gettimeofday () > deadline then
+      fatal "shards: no sweep reply within 60s";
+    t.pump ();
+    let fds =
+      Array.to_list t.shards
+      |> List.filter_map (fun sh ->
+             if results.(sh.sx) = None then Some sh.sfd else None)
+    in
+    (match Unix.select fds [] [] 0.001 with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    Array.iteri (fun i sh -> if results.(i) = None then read_shard sh) t.shards;
+    gather ()
+  done;
+  Array.map Option.get results
 
 (* ------------------------------------------------------------------ *)
 (* Fleet-wide observation                                              *)
 (* ------------------------------------------------------------------ *)
 
 (* Every resident session's canonical observation, tagged with its
-   global id, ascending. *)
+   global id, ascending.  One broadcast sweep: all shards observe
+   concurrently. *)
 let observe_fleet (t : t) : (int * string) list =
+  let per_shard =
+    broadcast_rpc t Wire.Observe (fun sh -> function
+      | Wire.Observed { sessions } -> Some sessions
+      | Wire.Error { code; msg } ->
+          fatal "shard %s: observe: error %d: %s" sh.endpoint code msg
+      | _ -> None)
+  in
   let all =
-    Array.to_list t.shards
-    |> List.concat_map (fun sh ->
-           let sessions =
-             rpc t sh Wire.Observe (function
-               | Wire.Observed { sessions } -> Some sessions
-               | Wire.Error { code; msg } ->
-                   fatal "shard %s: observe: error %d: %s" sh.endpoint code msg
-               | _ -> None)
-           in
+    Array.to_list
+      (Array.mapi
+         (fun i sessions ->
+           let sh = t.shards.(i) in
            List.map
              (fun (local, obs) ->
                match Hashtbl.find_opt sh.locals local with
@@ -379,6 +486,8 @@ let observe_fleet (t : t) : (int * string) list =
                | None ->
                    fatal "shard %s: unknown local session %d" sh.endpoint local)
              sessions)
+         per_shard)
+    |> List.concat
   in
   List.sort (fun (a, _) (b, _) -> compare a b) all
 
@@ -397,18 +506,15 @@ let digest_of_observations (obs : (int * string) list) : string =
 let fleet_digest (t : t) : string = digest_of_observations (observe_fleet t)
 
 let shard_exports (t : t) : Host_metrics.exported list =
-  Array.to_list t.shards
-  |> List.map (fun sh ->
-         let text =
-           rpc t sh Wire.Stats_data (function
-             | Wire.Metrics { text } -> Some text
-             | Wire.Error { code; msg } ->
-                 fatal "shard %s: stats: error %d: %s" sh.endpoint code msg
-             | _ -> None)
-         in
-         match Host_metrics.import text with
-         | Ok x -> x
-         | Error m -> fatal "shard %s: bad metrics export: %s" sh.endpoint m)
+  broadcast_rpc t Wire.Stats_data (fun sh -> function
+    | Wire.Metrics { text } -> (
+        match Host_metrics.import text with
+        | Ok x -> Some x
+        | Error m -> fatal "shard %s: bad metrics export: %s" sh.endpoint m)
+    | Wire.Error { code; msg } ->
+        fatal "shard %s: stats: error %d: %s" sh.endpoint code msg
+    | _ -> None)
+  |> Array.to_list
 
 (* The exact union of the shard exports, re-exported in the same
    format — raw counters and buckets, not precomputed quantiles. *)
@@ -648,11 +754,12 @@ let handle_client_frame (t : t) (c : conn) (f : Wire.client_frame) : unit =
           spawn_one t c client
         done
   | Wire.Event { session = g; ev } -> (
+      (* fallback for events the raw fast path declined; staged, and
+         flushed with the rest of the round's shard egress *)
       match Hashtbl.find_opt t.sessions g with
       | Some p when p.p_owner = Some c.fd ->
           let sh = t.shards.(p.p_shard) in
-          send_shard t sh (Wire.Event { session = p.p_local; ev });
-          flush_shard_once sh
+          send_shard t sh (Wire.Event { session = p.p_local; ev })
       | _ -> error t c 5 (string_of_int g))
   | Wire.Detach { session = g } -> (
       match Hashtbl.find_opt t.sessions g with
@@ -719,25 +826,53 @@ let handle_client_frame (t : t) (c : conn) (f : Wire.client_frame) : unit =
 (* The select loop                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* A client [Event] whose bytes validate completely takes the raw fast
+   path: relayed into the owning shard's staging buffer with only the
+   session id rewritten global → local, never decoded.  Returns [true]
+   if the frame at [off] was consumed this way.  Anything else — other
+   tags, an event that fails byte validation (the decoder will call it
+   Corrupt), an unknown or unowned session — declines into the decode
+   path, so no unvalidated client byte ever reaches a shard stream. *)
+let try_fast_event (t : t) (c : conn) (data : string) (off : int) : int option
+    =
+  match Wire.peek ~off data with
+  | Wire.Raw r
+    when r.Wire.r_tag = 0x02 && Wire.event_payload_ok data r -> (
+      match Hashtbl.find_opt t.sessions r.Wire.r_session with
+      | Some p when p.p_owner = Some c.fd ->
+          let sh = t.shards.(p.p_shard) in
+          Wire.relay_rewrite sh.s_out_staging data r ~session:p.p_local;
+          t.d_frames_in <- t.d_frames_in + 1;
+          t.d_frames_out <- t.d_frames_out + 1;
+          Some r.Wire.r_total
+      | _ ->
+          t.d_frames_in <- t.d_frames_in + 1;
+          error t c 5 (string_of_int r.Wire.r_session);
+          Some r.Wire.r_total)
+  | _ -> None
+
 let drain_client_inbuf (t : t) (c : conn) : unit =
   let data = Buffer.contents c.inbuf in
   let len = String.length data in
   let off = ref 0 in
   let continue = ref true in
   while !continue && !off < len && not c.closing do
-    match Wire.decode ~off:!off data with
-    | Wire.Frame (Wire.Client f, consumed) ->
-        t.d_frames_in <- t.d_frames_in + 1;
-        off := !off + consumed;
-        handle_client_frame t c f
-    | Wire.Frame (Wire.Host _, consumed) ->
-        ignore consumed;
-        violation t c "host-tagged frame from a client";
-        continue := false
-    | Wire.Need_more -> continue := false
-    | Wire.Corrupt m ->
-        violation t c m;
-        continue := false
+    match try_fast_event t c data !off with
+    | Some consumed -> off := !off + consumed
+    | None -> (
+        match Wire.decode ~off:!off data with
+        | Wire.Frame (Wire.Client f, consumed) ->
+            t.d_frames_in <- t.d_frames_in + 1;
+            off := !off + consumed;
+            handle_client_frame t c f
+        | Wire.Frame (Wire.Host _, consumed) ->
+            ignore consumed;
+            violation t c "host-tagged frame from a client";
+            continue := false
+        | Wire.Need_more -> continue := false
+        | Wire.Corrupt m ->
+            violation t c m;
+            continue := false)
   done;
   if !off > 0 || c.closing then begin
     let rest = if c.closing then "" else String.sub data !off (len - !off) in
@@ -763,26 +898,24 @@ let read_client (c : conn) : bool =
 
 let flush_client (c : conn) : bool =
   let rec go () =
-    match Queue.peek_opt c.outq with
-    | None -> true
-    | Some s -> (
-        let remaining = String.length s - c.out_off in
-        match Unix.write_substring c.fd s c.out_off remaining with
-        | n ->
-            if n = remaining then begin
-              ignore (Queue.pop c.outq);
-              c.out_off <- 0;
-              go ()
-            end
-            else begin
-              c.out_off <- c.out_off + n;
-              true
-            end
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-          ->
-            true
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-        | exception Unix.Unix_error _ -> false)
+    let remaining = String.length c.out_pending - c.out_off in
+    if remaining = 0 then
+      if Buffer.length c.out_staging = 0 then true
+      else begin
+        c.out_pending <- Buffer.contents c.out_staging;
+        Buffer.clear c.out_staging;
+        c.out_off <- 0;
+        go ()
+      end
+    else
+      match Unix.write_substring c.fd c.out_pending c.out_off remaining with
+      | n ->
+          c.out_off <- c.out_off + n;
+          if n = remaining then go () else true
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> false
   in
   go ()
 
@@ -797,8 +930,10 @@ let accept_loop (t : t) : bool =
           {
             fd;
             inbuf = Buffer.create 4096;
-            outq = Queue.create ();
+            out_pending = "";
             out_off = 0;
+            out_staging = Buffer.create 4096;
+            scratch = Buffer.create 256;
             closing = false;
           };
         t.d_accepted <- t.d_accepted + 1;
@@ -819,10 +954,10 @@ let step ?(timeout = 0.05) (t : t) : bool =
     Hashtbl.iter
       (fun fd c ->
         if not c.closing then reads := fd :: !reads;
-        if not (Queue.is_empty c.outq) then writes := fd :: !writes)
+        if conn_has_output c then writes := fd :: !writes)
       t.conns;
     Array.iter
-      (fun sh -> if not (Queue.is_empty sh.s_out) then writes := sh.sfd :: !writes)
+      (fun sh -> if shard_has_output sh then writes := sh.sfd :: !writes)
       t.shards;
     let rec select_retry () =
       try Unix.select !reads !writes [] timeout
@@ -832,22 +967,18 @@ let step ?(timeout = 0.05) (t : t) : bool =
     let worked = ref false in
     if List.mem t.listen_fd readable then
       if accept_loop t then worked := true;
-    (* shard traffic first: deltas route into client out-queues.  The
-       decode loop runs whether or not the socket is readable — an rpc
+    (* shard traffic first: deltas route into client staging buffers.
+       The drain runs whether or not the socket is readable — an rpc
        may have left complete frames (repaint deltas that rode in
        behind its reply) sitting in the buffer with nothing new on the
        wire. *)
     Array.iter
       (fun sh ->
         if List.mem sh.sfd readable then read_shard sh;
-        let continue = ref true in
-        while !continue do
-          match next_shard_frame sh with
-          | Some f ->
-              worked := true;
-              route_shard_frame t sh f
-          | None -> continue := false
-        done)
+        if Buffer.length sh.s_in > 0 then begin
+          worked := true;
+          ignore (drain_shard_frames t sh ())
+        end)
       t.shards;
     (* client frames, which may fan control exchanges out to shards *)
     List.iter
@@ -865,9 +996,9 @@ let step ?(timeout = 0.05) (t : t) : bool =
     let dead = ref [] in
     Hashtbl.iter
       (fun _ c ->
-        if not (Queue.is_empty c.outq) || c.closing then begin
+        if conn_has_output c || c.closing then begin
           if not (flush_client c) then dead := c :: !dead
-          else if c.closing && Queue.is_empty c.outq then dead := c :: !dead
+          else if c.closing && not (conn_has_output c) then dead := c :: !dead
         end)
       t.conns;
     List.iter (fun c -> drop_conn t c) !dead;

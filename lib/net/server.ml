@@ -1,8 +1,11 @@
 (** The networked host (see the interface).  Single-threaded and
     [select]-based: every connection is nonblocking, reads accumulate
     in a per-connection buffer that {!Wire.decode} consumes frame by
-    frame, and writes drain through a queue of encoded frames so a
-    slow client never blocks the fleet. *)
+    frame.  Egress is coalesced: every frame sent during a tick is
+    encoded (via a per-connection scratch, no per-frame allocation)
+    into one staging buffer, which flush promotes to a single write —
+    so a tick's worth of deltas costs one syscall per connection, and
+    a slow client never blocks the fleet. *)
 
 module Registry = Live_host.Registry
 module Scheduler = Live_host.Scheduler
@@ -12,18 +15,32 @@ module Broadcast = Live_host.Broadcast
 module Rollout = Live_host.Rollout
 module Session = Live_runtime.Session
 
-(* Per-session client-side view: the rows this connection last saw,
-   the baseline every Delta is diffed against. *)
-type view = { mutable last : string array; mutable dirty : bool }
+(* Per-session client-side view: the rows this connection last saw
+   (the baseline every Delta is diffed against) and the number of
+   offered-but-not-yet-acknowledged events — returned to the client as
+   the next Delta's [acks], the pipelining credit scheme. *)
+type view = {
+  mutable last : string array;
+  mutable dirty : bool;
+  mutable unacked : int;
+}
 
 type conn = {
   fd : Unix.file_descr;
   mutable inbuf : Buffer.t;
-  outq : string Queue.t;
-  mutable out_off : int;  (** write offset into the head of [outq] *)
+  mutable out_pending : string;
+      (** the write in flight; bytes before [out_off] are sent *)
+  mutable out_off : int;
+  out_staging : Buffer.t;
+      (** frames staged since the last promote — one tick's egress,
+          flushed as a single write *)
+  scratch : Buffer.t;  (** body scratch for {!Wire.encode_into} *)
   views : (Registry.id, view) Hashtbl.t;
-  mutable closing : bool;  (** close once the out queue drains *)
+  mutable closing : bool;  (** close once the out buffers drain *)
 }
+
+let has_output (c : conn) : bool =
+  String.length c.out_pending > c.out_off || Buffer.length c.out_staging > 0
 
 type stats = {
   accepted : int;
@@ -121,7 +138,7 @@ let stats (t : t) : stats =
   }
 
 let send (t : t) (c : conn) (f : Wire.frame) : unit =
-  Queue.add (Wire.encode f) c.outq;
+  Wire.encode_into ~scratch:c.scratch c.out_staging f;
   t.s_frames_out <- t.s_frames_out + 1
 
 (* Close the connection now.  Its sessions stay in the fleet — session
@@ -144,7 +161,7 @@ let attach (t : t) (c : conn) (id : Registry.id) : unit =
   | Some s ->
       let text = Session.screenshot s in
       Hashtbl.replace c.views id
-        { last = Wire.rows_of_text text; dirty = false };
+        { last = Wire.rows_of_text text; dirty = false; unacked = 0 };
       send t c
         (Wire.Host
            (Wire.Attach { session = id; width = Session.width s; frame = text }))
@@ -187,7 +204,10 @@ let handle_client_frame (t : t) (c : conn) (f : Wire.client_frame) : unit =
       | Some view -> (
           match Registry.offer t.reg session (uevent_of_wire ev) with
           | Backpressure.Accepted | Backpressure.Dropped_oldest ->
-              view.dirty <- true
+              (* a dropped-oldest still consumed an offer: the credit
+                 goes back to the client either way *)
+              view.dirty <- true;
+              view.unacked <- view.unacked + 1
           | Backpressure.Rejected ->
               error t c 2 (Printf.sprintf "%d rejected by backpressure" session)
           ))
@@ -249,7 +269,9 @@ let handle_client_frame (t : t) (c : conn) (f : Wire.client_frame) : unit =
                       match Registry.offer t.reg id (uevent_of_wire ev) with
                       | Backpressure.Accepted | Backpressure.Dropped_oldest ->
                           (match Hashtbl.find_opt c.views id with
-                          | Some view -> view.dirty <- true
+                          | Some view ->
+                              view.dirty <- true;
+                              view.unacked <- view.unacked + 1
                           | None -> ())
                       | Backpressure.Rejected ->
                           error t c 2
@@ -427,31 +449,31 @@ let read_conn (t : t) (c : conn) : bool =
   in
   go ()
 
-(* Drain the out queue as far as the socket allows; [false] on a dead
-   peer. *)
+(* Drain the out buffers as far as the socket allows; [false] on a
+   dead peer.  When the in-flight write completes, the whole staging
+   buffer — every frame sent since the last promote — becomes the next
+   write: one syscall per tick per connection in the common case. *)
 let flush_conn (t : t) (c : conn) : bool =
   let rec go () =
-    match Queue.peek_opt c.outq with
-    | None -> true
-    | Some s -> (
-        let remaining = String.length s - c.out_off in
-        match Unix.write_substring c.fd s c.out_off remaining with
-        | n ->
-            t.s_bytes_out <- t.s_bytes_out + n;
-            if n = remaining then begin
-              ignore (Queue.pop c.outq);
-              c.out_off <- 0;
-              go ()
-            end
-            else begin
-              c.out_off <- c.out_off + n;
-              true
-            end
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-          ->
-            true
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-        | exception Unix.Unix_error _ -> false)
+    let remaining = String.length c.out_pending - c.out_off in
+    if remaining = 0 then
+      if Buffer.length c.out_staging = 0 then true
+      else begin
+        c.out_pending <- Buffer.contents c.out_staging;
+        Buffer.clear c.out_staging;
+        c.out_off <- 0;
+        go ()
+      end
+    else
+      match Unix.write_substring c.fd c.out_pending c.out_off remaining with
+      | n ->
+          t.s_bytes_out <- t.s_bytes_out + n;
+          c.out_off <- c.out_off + n;
+          if n = remaining then go () else true
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> false
   in
   go ()
 
@@ -470,6 +492,8 @@ let send_deltas (t : t) : unit =
               | None -> ()
               | Some rows ->
                   let delta = Wire.delta_of_frames ~prev:view.last rows in
+                  let acks = view.unacked in
+                  view.unacked <- 0;
                   view.last <- rows;
                   t.s_deltas <- t.s_deltas + 1;
                   t.s_delta_rows <- t.s_delta_rows + List.length delta;
@@ -480,6 +504,7 @@ let send_deltas (t : t) : unit =
                           {
                             session = id;
                             height = Array.length rows;
+                            acks;
                             rows = delta;
                           }))
             end)
@@ -497,8 +522,10 @@ let accept_loop (t : t) : bool =
           {
             fd;
             inbuf = Buffer.create 4096;
-            outq = Queue.create ();
+            out_pending = "";
             out_off = 0;
+            out_staging = Buffer.create 4096;
+            scratch = Buffer.create 256;
             views = Hashtbl.create 8;
             closing = false;
           };
@@ -519,7 +546,7 @@ let step ?(timeout = 0.05) (t : t) : bool =
     Hashtbl.iter
       (fun fd c ->
         if not c.closing then reads := fd :: !reads;
-        if not (Queue.is_empty c.outq) then writes := fd :: !writes)
+        if has_output c then writes := fd :: !writes)
       t.conns;
     (* An interrupted select is retried, not treated as an idle tick:
        a signal storm must never starve the loop of readiness facts. *)
@@ -555,9 +582,9 @@ let step ?(timeout = 0.05) (t : t) : bool =
     let dead = ref [] in
     Hashtbl.iter
       (fun _ c ->
-        if not (Queue.is_empty c.outq) || c.closing then begin
+        if has_output c || c.closing then begin
           if not (flush_conn t c) then dead := c :: !dead
-          else if c.closing && Queue.is_empty c.outq then dead := c :: !dead
+          else if c.closing && not (has_output c) then dead := c :: !dead
         end)
       t.conns;
     List.iter (fun c -> drop_conn t c) !dead;

@@ -4,7 +4,7 @@
     {!decode} catches — so malformed bytes can only ever produce
     {!Corrupt}, never an escape. *)
 
-let version = 2
+let version = 3
 let max_frame = 16 * 1024 * 1024
 
 type event = Ev_tap of { x : int; y : int } | Ev_back
@@ -26,7 +26,12 @@ type client_frame =
 
 type host_frame =
   | Attach of { session : int; width : int; frame : string }
-  | Delta of { session : int; height : int; rows : (int * string) list }
+  | Delta of {
+      session : int;
+      height : int;
+      acks : int;
+      rows : (int * string) list;
+    }
   | Detached of { session : int; snapshot : string }
   | Error of { code : int; msg : string }
   | Metrics of { text : string }
@@ -63,8 +68,8 @@ let pp ppf = function
   | Host (Attach { session; width; frame }) ->
       Fmt.pf ppf "Attach(#%d, width=%d, %d bytes)" session width
         (String.length frame)
-  | Host (Delta { session; height; rows }) ->
-      Fmt.pf ppf "Delta(#%d, height=%d, %d rows)" session height
+  | Host (Delta { session; height; acks; rows }) ->
+      Fmt.pf ppf "Delta(#%d, height=%d, acks=%d, %d rows)" session height acks
         (List.length rows)
   | Host (Detached { session; snapshot }) ->
       Fmt.pf ppf "Detached(#%d, %d bytes)" session (String.length snapshot)
@@ -143,10 +148,11 @@ let put_body (b : Buffer.t) = function
       put_u32 b session;
       put_u32 b width;
       put_str b frame
-  | Host (Delta { session; height; rows }) ->
+  | Host (Delta { session; height; acks; rows }) ->
       put_u8 b 0x82;
       put_u32 b session;
       put_u32 b height;
+      put_u32 b acks;
       put_u32 b (List.length rows);
       List.iter
         (fun (i, s) ->
@@ -176,15 +182,19 @@ let put_body (b : Buffer.t) = function
           put_str b obs)
         sessions
 
-let encode (f : frame) : string =
-  let body = Buffer.create 64 in
-  put_u8 body version;
-  put_body body f;
-  let n = Buffer.length body in
+let encode_into ~(scratch : Buffer.t) (dst : Buffer.t) (f : frame) : unit =
+  Buffer.clear scratch;
+  put_u8 scratch version;
+  put_body scratch f;
+  let n = Buffer.length scratch in
   if n > max_frame then invalid_arg "Wire.encode: frame too large";
-  let out = Buffer.create (n + 4) in
-  put_u32 out n;
-  Buffer.add_buffer out body;
+  put_u32 dst n;
+  Buffer.add_buffer dst scratch
+
+let encode (f : frame) : string =
+  let scratch = Buffer.create 64 in
+  let out = Buffer.create 68 in
+  encode_into ~scratch out f;
   Buffer.contents out
 
 (* ------------------------------------------------------------------ *)
@@ -260,6 +270,7 @@ let get_body (c : cursor) : frame =
   | 0x82 ->
       let session = get_u32 c in
       let height = get_u32 c in
+      let acks = get_u32 c in
       let n = get_u32 c in
       (* each row costs at least 8 bytes on the wire; a count beyond
          that bound cannot be honest *)
@@ -270,7 +281,7 @@ let get_body (c : cursor) : frame =
             let s = get_str c in
             (i, s))
       in
-      Host (Delta { session; height; rows })
+      Host (Delta { session; height; acks; rows })
   | 0x83 ->
       let session = get_u32 c in
       let snapshot = get_str c in
@@ -318,6 +329,62 @@ let decode ?(off = 0) (buf : string) : decoded =
           if c.pos <> c.limit then Corrupt "trailing bytes in frame body"
           else Frame (f, n + 4)
       with Bad m -> Corrupt m
+
+(* ------------------------------------------------------------------ *)
+(* Raw relay                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type raw = { r_off : int; r_total : int; r_tag : int; r_session : int }
+type peeked = Raw of raw | Raw_need_more | Raw_corrupt of string
+
+(* Tags whose payload begins with a session id (body offset 2, i.e.
+   frame offset 6): Event, Detach, Attach, Delta, Detached. *)
+let session_addressed = function
+  | 0x02 | 0x03 | 0x81 | 0x82 | 0x83 -> true
+  | _ -> false
+
+let peek ?(off = 0) (buf : string) : peeked =
+  let len = String.length buf in
+  if off < 0 || off > len then Raw_corrupt "offset out of bounds"
+  else if len - off < 4 then Raw_need_more
+  else
+    let b i = Char.code buf.[off + i] in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if n < 2 then Raw_corrupt "frame body too short"
+    else if n > max_frame then Raw_corrupt "frame length exceeds max_frame"
+    else if len - off - 4 < n then Raw_need_more
+    else if b 4 <> version then
+      Raw_corrupt (Printf.sprintf "unsupported protocol version %d" (b 4))
+    else
+      let tag = b 5 in
+      if not (session_addressed tag) then
+        Raw { r_off = off; r_total = n + 4; r_tag = tag; r_session = -1 }
+      else if n < 6 then Raw_corrupt "truncated payload"
+      else
+        let s = (b 6 lsl 24) lor (b 7 lsl 16) lor (b 8 lsl 8) lor b 9 in
+        if s > 0x3FFFFFFF then Raw_corrupt "u32 out of range"
+        else Raw { r_off = off; r_total = n + 4; r_tag = tag; r_session = s }
+
+let relay (dst : Buffer.t) (buf : string) (r : raw) : unit =
+  Buffer.add_substring dst buf r.r_off r.r_total
+
+let relay_rewrite (dst : Buffer.t) (buf : string) (r : raw) ~(session : int) :
+    unit =
+  if not (session_addressed r.r_tag) then
+    invalid_arg "Wire.relay_rewrite: tag has no session field";
+  (* prefix (4) + version + tag, then the fresh id, then the rest *)
+  Buffer.add_substring dst buf r.r_off 6;
+  put_u32 dst session;
+  Buffer.add_substring dst buf (r.r_off + 10) (r.r_total - 10)
+
+let event_payload_ok (buf : string) (r : raw) : bool =
+  r.r_tag = 0x02
+  &&
+  let b i = Char.code buf.[r.r_off + i] in
+  match r.r_total with
+  | 11 -> b 10 = 1 (* Ev_back *)
+  | 19 -> b 10 = 0 && b 11 land 0xC0 = 0 && b 15 land 0xC0 = 0 (* Ev_tap *)
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Deltas                                                              *)

@@ -82,12 +82,22 @@ type host_frame =
   | Attach of { session : int; width : int; frame : string }
       (** a session is now served on this connection; [frame] is the
           full framebuffer text (one row per line) *)
-  | Delta of { session : int; height : int; rows : (int * string) list }
+  | Delta of {
+      session : int;
+      height : int;
+      acks : int;
+      rows : (int * string) list;
+    }
       (** damage-masked repaint after the session was served: the new
-          frame height and only the rows whose text changed.  An empty
-          [rows] still acknowledges the served events (the frame was
-          byte-identical).  Applying a delta: resize to [height] rows
-          (new rows blank), then overwrite the listed rows. *)
+          frame height and only the rows whose text changed.  [acks] is
+          the number of this session's offered events consumed since the
+          last delta — the pipelining credit return; a server may batch
+          several events into one delta, so one frame can acknowledge
+          many ([acks] = 0 for unsolicited repaints, e.g. a broadcast
+          UPDATE).  An empty [rows] with [acks] > 0 still acknowledges
+          the served events (the frame was byte-identical).  Applying a
+          delta: resize to [height] rows (new rows blank), then
+          overwrite the listed rows. *)
   | Detached of { session : int; snapshot : string }
       (** reply to [Detach]: the canonical snapshot text *)
   | Error of { code : int; msg : string }
@@ -116,6 +126,14 @@ val encode : frame -> string
     blob longer than {!max_frame}) — encoder inputs are trusted,
     decoder inputs are not. *)
 
+val encode_into : scratch:Buffer.t -> Buffer.t -> frame -> unit
+(** Append the full wire bytes of a frame to a destination buffer,
+    building the body in the caller-owned [scratch] (cleared first) —
+    the allocation-free path for a connection that reuses one scratch
+    and stages all of a tick's frames into one outbound buffer.
+    [encode f] ≡ fresh buffers + [encode_into]; byte-identical.
+    @raise Invalid_argument as {!encode}. *)
+
 (** One step of decoding a byte stream. *)
 type decoded =
   | Frame of frame * int
@@ -127,6 +145,50 @@ type decoded =
 val decode : ?off:int -> string -> decoded
 (** Decode one frame starting at [off] (default 0).  Total function:
     never raises, whatever the bytes are. *)
+
+(** {2 Raw relay}
+
+    The director's zero-copy fast path: look at a frame's envelope
+    (length, version, tag, and — for session-addressed tags — the
+    session id at a fixed offset) without decoding the payload, then
+    forward the original bytes, patching only the id.  {!peek} is
+    exactly as strict as {!decode} about framing (length bounds,
+    version byte) but does {e not} validate the payload, so a relay
+    must only fast-path tags whose payload it either trusts (its own
+    shards) or has validated byte-wise ({!event_payload_ok}). *)
+
+(** A complete frame located in a buffer: its start offset, total byte
+    count (length prefix included), tag, and the session id for
+    session-addressed tags ([-1] otherwise). *)
+type raw = { r_off : int; r_total : int; r_tag : int; r_session : int }
+
+type peeked = Raw of raw | Raw_need_more | Raw_corrupt of string
+
+val session_addressed : int -> bool
+(** Tags whose payload begins with a session id (frame offset 6):
+    Event 0x02, Detach 0x03, Attach 0x81, Delta 0x82, Detached 0x83. *)
+
+val peek : ?off:int -> string -> peeked
+(** Locate one frame starting at [off] without decoding its payload.
+    Agrees with {!decode} on framing verdicts: [Raw_need_more] iff
+    decode says [Need_more]; a [Raw_corrupt] is always [Corrupt] to
+    decode (the converse doesn't hold — a corrupt {e payload} peeks
+    fine).  Never raises. *)
+
+val relay : Buffer.t -> string -> raw -> unit
+(** Append the frame's original bytes to the buffer, unchanged. *)
+
+val relay_rewrite : Buffer.t -> string -> raw -> session:int -> unit
+(** Append the frame's bytes with the session-id field replaced by
+    [session] — byte-identical to decode → substitute id → re-encode,
+    without touching the payload (qcheck-pinned in test_net).
+    @raise Invalid_argument if the tag is not session-addressed. *)
+
+val event_payload_ok : string -> raw -> bool
+(** Byte-level validation of an [Event] frame's payload (exact length
+    for its event kind, known kind byte, in-range coordinates): [true]
+    iff {!decode} would accept it — what lets a director relay a
+    client's event bytes to a shard without decoding them. *)
 
 val apply_delta : string array -> height:int -> rows:(int * string) list -> string array
 (** Client-side delta application: resize the previous frame's rows to

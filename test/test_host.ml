@@ -414,6 +414,29 @@ let test_histogram_quantiles () =
   Alcotest.(check (float 0.0)) "q=1 clamps to the observed max" 1_000_000.
     (H.Host_metrics.quantile h 1.)
 
+let test_histogram_wide_distribution () =
+  (* The 8-per-decade table this replaced saturated under B15's
+     fleet=1000 run: 1.33x-wide buckets swallowed the whole latency
+     spread and the report printed p50 = p99.  Reproduce the shape
+     synthetically — bulk mass over two decades plus a 1% tail three
+     decades up — and demand the quantiles separate and land where
+     they should. *)
+  let h = H.Host_metrics.histogram () in
+  for i = 1 to 980 do
+    (* bulk: 11 µs .. ~1 ms *)
+    H.Host_metrics.record h (10_000. +. (float_of_int i *. 1_000.))
+  done;
+  for i = 1 to 20 do
+    (* tail: 1 s .. 20 s — beyond the old table's top bucket *)
+    H.Host_metrics.record h (float_of_int i *. 1_000_000_000.)
+  done;
+  let p50 = H.Host_metrics.quantile h 0.5 in
+  let p99 = H.Host_metrics.quantile h 0.99 in
+  if not (p50 < p99) then
+    Alcotest.failf "p50 %.0f not below p99 %.0f on a wide distribution" p50 p99;
+  if p50 > 2_000_000. then Alcotest.failf "p50 %.0f escaped the bulk" p50;
+  if p99 < 500_000_000. then Alcotest.failf "p99 %.0f missed the tail" p99
+
 let test_metrics_dump () =
   let reg, ids = make_fleet ~sessions:2 0 in
   let sched = H.Scheduler.create reg in
@@ -465,6 +488,8 @@ let suite =
     case "hottest-first serves the backlog" test_scheduler_hottest_first;
     case "policy names round-trip" test_scheduler_policy_strings;
     case "histogram quantiles are sane" test_histogram_quantiles;
+    case "histogram separates p50 from p99 on a wide spread"
+      test_histogram_wide_distribution;
     case "the metrics dump names its numbers" test_metrics_dump;
     case "host rides the differential fuzzer" test_host_is_an_oracle_config;
     prop_fleet_of_one_agrees_with_machine;

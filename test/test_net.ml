@@ -83,13 +83,14 @@ module Gen_frame = struct
          pure (Wire.Attach { session; width; frame }));
         (let* session = small_id in
          let* height = int_range 0 64 in
+         let* acks = int_bound 64 in
          let* rows =
            list_size (int_range 0 8)
              (let* i = int_bound 63 in
               let* s = small_str in
               pure (i, s))
          in
-         pure (Wire.Delta { session; height; rows }));
+         pure (Wire.Delta { session; height; acks; rows }));
         (let* session = small_id in
          let* snapshot = small_str in
          pure (Wire.Detached { session; snapshot }));
@@ -172,6 +173,134 @@ let prop_bitflip =
       end;
       true)
 
+(* -- the raw relay fast path --------------------------------------- *)
+
+(* The session substitution [relay_rewrite] claims to perform, spelled
+   in the typed world: the five session-addressed frames with the id
+   replaced, [None] for every other tag. *)
+let with_session (f : Wire.frame) (session : int) : Wire.frame option =
+  match f with
+  | Wire.Client (Wire.Event e) ->
+      Some (Wire.Client (Wire.Event { e with session }))
+  | Wire.Client (Wire.Detach _) -> Some (Wire.Client (Wire.Detach { session }))
+  | Wire.Host (Wire.Attach a) -> Some (Wire.Host (Wire.Attach { a with session }))
+  | Wire.Host (Wire.Delta d) -> Some (Wire.Host (Wire.Delta { d with session }))
+  | Wire.Host (Wire.Detached d) ->
+      Some (Wire.Host (Wire.Detached { d with session }))
+  | _ -> None
+
+let prop_relay_rewrite =
+  qcheck ~count:500
+    "wire: relay_rewrite ≡ decode; substitute id; re-encode (byte-identical)"
+    QCheck2.Gen.(pair Gen_frame.frame Gen_frame.small_id)
+    (fun (f, session) ->
+      let bytes = Wire.encode f in
+      match Wire.peek bytes with
+      | Wire.Raw_need_more | Wire.Raw_corrupt _ ->
+          QCheck2.Test.fail_reportf "peek rejected a valid frame %a" Wire.pp f
+      | Wire.Raw r ->
+          if r.Wire.r_off <> 0 || r.Wire.r_total <> String.length bytes then
+            QCheck2.Test.fail_reportf "peek misframed %a" Wire.pp f;
+          (* the blind passthrough is byte-identical *)
+          let out = Buffer.create 64 in
+          Wire.relay out bytes r;
+          if Buffer.contents out <> bytes then
+            QCheck2.Test.fail_reportf "relay not byte-identical for %a" Wire.pp
+              f;
+          (match with_session f r.Wire.r_session with
+          | Some f' when Wire.session_addressed r.Wire.r_tag ->
+              (* peek read the id the typed view holds *)
+              if not (Wire.equal f f') then
+                QCheck2.Test.fail_reportf "peek read session %d out of %a"
+                  r.Wire.r_session Wire.pp f
+          | Some _ ->
+              QCheck2.Test.fail_reportf
+                "tag 0x%02x addressed in the typed world but not for peek"
+                r.Wire.r_tag
+          | None ->
+              if Wire.session_addressed r.Wire.r_tag then
+                QCheck2.Test.fail_reportf
+                  "tag 0x%02x session-addressed for peek but not in the typed \
+                   world"
+                  r.Wire.r_tag);
+          (match with_session f session with
+          | None -> ()
+          | Some f' ->
+              let out = Buffer.create 64 in
+              Wire.relay_rewrite out bytes r ~session;
+              if Buffer.contents out <> Wire.encode f' then
+                QCheck2.Test.fail_reportf
+                  "relay_rewrite to %d differs from re-encode for %a" session
+                  Wire.pp f);
+          true)
+
+let describe_decoded = function
+  | Wire.Frame _ -> "Frame"
+  | Wire.Need_more -> "Need_more"
+  | Wire.Corrupt m -> "Corrupt: " ^ m
+
+let prop_peek_agreement =
+  qcheck ~count:300
+    "wire: peek agrees with decode on framing (truncation, corruption)"
+    QCheck2.Gen.(pair Gen_frame.frame (int_bound 1_000_000))
+    (fun (f, salt) ->
+      let bytes = Wire.encode f in
+      for k = 0 to String.length bytes - 1 do
+        match Wire.peek (String.sub bytes 0 k) with
+        | Wire.Raw_need_more -> ()
+        | Wire.Raw r ->
+            QCheck2.Test.fail_reportf
+              "peek framed a %d-byte truncation as %d bytes" k r.Wire.r_total
+        | Wire.Raw_corrupt m ->
+            QCheck2.Test.fail_reportf "peek corrupt on truncation to %d: %s" k
+              m
+      done;
+      (* peek is envelope-strict but payload-blind: [Raw] may still
+         decode [Corrupt], but a peek verdict of need-more/corrupt must
+         agree with the decoder *)
+      let b = Bytes.of_string bytes in
+      let pos = salt mod Bytes.length b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+      let s = Bytes.to_string b in
+      (match (Wire.peek s, Wire.decode s) with
+      | Wire.Raw_corrupt _, Wire.Corrupt _ -> ()
+      | (Wire.Raw_corrupt m, v) ->
+          QCheck2.Test.fail_reportf "peek Corrupt (%s) but decode %s" m
+            (describe_decoded v)
+      | Wire.Raw_need_more, Wire.Need_more -> ()
+      | (Wire.Raw_need_more, v) ->
+          QCheck2.Test.fail_reportf "peek Need_more but decode %s"
+            (describe_decoded v)
+      | Wire.Raw _, _ -> ());
+      true)
+
+let prop_event_payload_ok =
+  qcheck ~count:500
+    "wire: event_payload_ok accepts exactly what decode accepts"
+    QCheck2.Gen.(pair Gen_frame.frame (int_bound 1_000_000))
+    (fun (f, salt) ->
+      let check s =
+        match Wire.peek s with
+        | Wire.Raw r when r.Wire.r_tag = 0x02 ->
+            let ok = Wire.event_payload_ok s r in
+            let accepts =
+              match Wire.decode s with
+              | Wire.Frame (Wire.Client (Wire.Event _), _) -> true
+              | _ -> false
+            in
+            if ok <> accepts then
+              QCheck2.Test.fail_reportf
+                "event_payload_ok %b but the decoder says %b" ok accepts
+        | _ -> ()
+      in
+      let bytes = Wire.encode f in
+      check bytes;
+      let b = Bytes.of_string bytes in
+      let pos = salt mod Bytes.length b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+      check (Bytes.to_string b);
+      true)
+
 (* The golden corpus: one frame of every tag, encoded and hex-dumped.
    Catching an unintentional format change is the whole point: if this
    test fails, either revert the codec change or bump {!Wire.version}
@@ -187,7 +316,8 @@ let golden_frames : Wire.frame list =
     Wire.Client Wire.Bye;
     Wire.Host (Wire.Attach { session = 7; width = 32; frame = "a\nb\n" });
     Wire.Host
-      (Wire.Delta { session = 7; height = 4; rows = [ (0, "x"); (3, "yz") ] });
+      (Wire.Delta
+         { session = 7; height = 4; acks = 2; rows = [ (0, "x"); (3, "yz") ] });
     Wire.Host (Wire.Detached { session = 9; snapshot = "(snapshot)" });
     Wire.Host (Wire.Error { code = 2; msg = "7 rejected by backpressure" });
     Wire.Host (Wire.Metrics { text = "host metrics\n" });
@@ -224,7 +354,7 @@ let golden_path name =
   if Sys.file_exists rel then rel else Filename.concat "test" rel
 
 let test_wire_golden () =
-  let path = golden_path "wire_v2.golden" in
+  let path = golden_path "wire_v3.golden" in
   if Sys.getenv_opt "WIRE_GOLDEN_REGEN" = Some "1" then begin
     let oc = open_out_bin path in
     output_string oc (golden_text ());
@@ -501,6 +631,95 @@ let test_server_e2e () =
         (String.concat "; "
            (List.map (fun (id, m) -> Printf.sprintf "#%d: %s" id m) vs))
 
+(* Pipelining is invisible: the same seeded trace driven with
+   window = 4 (credits in flight, barriers only at the broadcast
+   round) must leave every session byte-identical to the lockstep
+   window = 1 run — the server applies each session's events in FIFO
+   order whatever the credit schedule.  Capacity is sized so neither
+   run sheds events; both must answer all of them. *)
+let test_pipelined_client () =
+  let module Server = Live_net.Server in
+  let module Client = Live_net.Client in
+  let sessions = 6 and conns = 2 and rounds = 10 and seed = 7 in
+  let config =
+    {
+      H.Registry.default_config with
+      H.Registry.width = 32;
+      queue_capacity = 64;
+    }
+  in
+  let broadcast_round = rounds / 2 in
+  let run_with ~window ~tag =
+    let socket =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "live-test-net-pipe-%s-%d.sock" tag (Unix.getpid ()))
+    in
+    let srv = Server.create ~config ~socket (app 0) in
+    Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+    let reg = Server.registry srv in
+    let rngs =
+      Array.init sessions (fun s -> Prng.create (Prng.derive seed s))
+    in
+    let gen ~slot ~round:_ =
+      let rng = rngs.(slot) in
+      if Prng.int rng 10 = 0 then Wire.Ev_back
+      else Wire.Ev_tap { x = Prng.int rng 32; y = Prng.int rng 7 }
+    in
+    let on_round r =
+      if r = broadcast_round then begin
+        (match H.Broadcast.update reg (app 1) with
+        | Ok _ -> ()
+        | Error e ->
+            Alcotest.failf "broadcast (%s): %s" tag
+              (Live_core.Machine.error_to_string e));
+        Server.mark_all_dirty srv
+      end
+    in
+    let report =
+      match
+        Client.run ~socket ~conns ~sessions ~rounds ~gen ~window
+          ~barrier:(fun r -> r = broadcast_round)
+          ~on_round
+          ~pump:(fun () -> ignore (Server.step ~timeout:0. srv))
+          ()
+      with
+      | Ok r -> r
+      | Error m -> Alcotest.failf "client (%s): %s" tag m
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "every event answered (%s)" tag)
+      (sessions * rounds)
+      (H.Host_metrics.hist_count report.Client.latency);
+    Alcotest.(check int)
+      (Printf.sprintf "nothing shed (%s)" tag)
+      0 report.Client.rejected;
+    let observations =
+      List.map
+        (fun id ->
+          match H.Registry.session reg id with
+          | None -> Alcotest.failf "session %d missing (%s)" id tag
+          | Some _ -> H.Registry.observe_session (Option.get (H.Registry.session reg id)))
+        report.Client.session_ids
+    in
+    (H.Registry.digest reg, observations, report.Client.frames)
+  in
+  let d1, obs1, frames1 = run_with ~window:1 ~tag:"w1" in
+  let d4, obs4, frames4 = run_with ~window:4 ~tag:"w4" in
+  Alcotest.(check string) "pipelining preserves the fleet digest" d1 d4;
+  List.iteri
+    (fun slot (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "slot %d state invariant under pipelining" slot)
+        a b)
+    (List.combine obs1 obs4);
+  Array.iteri
+    (fun slot rows ->
+      Alcotest.(check (array string))
+        (Printf.sprintf "slot %d client frame invariant under pipelining" slot)
+        rows frames4.(slot))
+    frames1
+
 (* A host-tagged frame from a client is a protocol violation: Error 1
    and the connection closes — and the server survives. *)
 let test_server_rejects_garbage () =
@@ -676,6 +895,9 @@ let suite =
     prop_truncation;
     prop_garbage;
     prop_bitflip;
+    prop_relay_rewrite;
+    prop_peek_agreement;
+    prop_event_payload_ok;
     prop_delta;
     Alcotest.test_case "wire golden file" `Quick test_wire_golden;
     Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
@@ -689,6 +911,8 @@ let suite =
       test_restore_carries_evaluator;
     Alcotest.test_case "snapshot save/load" `Quick test_snapshot_save_load;
     Alcotest.test_case "server e2e over a real socket" `Quick test_server_e2e;
+    Alcotest.test_case "pipelined client is state-invariant" `Quick
+      test_pipelined_client;
     Alcotest.test_case "server rejects protocol violations" `Quick
       test_server_rejects_garbage;
     Alcotest.test_case "select retries on EINTR" `Quick
